@@ -1,0 +1,89 @@
+#pragma once
+
+// Shared plumbing for the figure-reproduction bench binaries: argument
+// parsing (reduced vs paper scale), the standard four-department
+// CERT-style experiment layout, and small printing helpers.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "baselines/experiment.h"
+#include "baselines/variants.h"
+
+namespace acobe::bench {
+
+struct BenchArgs {
+  bool paper_scale = false;
+  int departments = 4;
+  int users_per_department = 25;
+  double rate_scale = 0.5;
+  std::uint64_t seed = 7;
+
+  static BenchArgs Parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--paper-scale") == 0) {
+        args.paper_scale = true;
+        args.users_per_department = 232;
+        args.rate_scale = 1.0;
+      } else if (std::strncmp(argv[i], "--users=", 8) == 0) {
+        args.users_per_department = std::atoi(argv[i] + 8);
+      } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+        args.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+      } else if (std::strcmp(argv[i], "--help") == 0) {
+        std::printf(
+            "flags: --paper-scale  full 929-user/512-wide configuration\n"
+            "       --users=N      users per department (default 25)\n"
+            "       --seed=S       dataset seed (default 7)\n");
+        std::exit(0);
+      }
+    }
+    return args;
+  }
+
+  baselines::ScaleProfile Scale() const {
+    return paper_scale ? baselines::ScaleProfile::Paper()
+                       : baselines::ScaleProfile::Bench();
+  }
+};
+
+/// The standard evaluation layout (Section V.A): four groups, one
+/// insider each — scenario 1 and scenario 2 once per "sub-dataset"
+/// (r6.1 / r6.2 analog), over the paper's exact date range.
+inline baselines::CertExperimentConfig StandardCertConfig(
+    const BenchArgs& args) {
+  baselines::CertExperimentConfig cfg;
+  cfg.sim.org.departments = args.departments;
+  cfg.sim.org.users_per_department = args.users_per_department;
+  cfg.sim.org.extra_users = args.paper_scale ? 1 : 0;  // 929 total
+  cfg.sim.start = Date(2010, 1, 2);
+  cfg.sim.end = Date(2011, 5, 31);
+  cfg.sim.profiles.rate_scale = args.rate_scale;
+  cfg.sim.seed = args.seed;
+  // r6.1 scenario 1 / scenario 2, r6.2 scenario 1 / scenario 2.
+  cfg.scenarios.push_back(
+      {sim::InsiderScenarioKind::kScenario1, 0, Date(2010, 8, 16), 14});
+  cfg.scenarios.push_back(
+      {sim::InsiderScenarioKind::kScenario2, 1, Date(2011, 1, 7), 60});
+  cfg.scenarios.push_back(
+      {sim::InsiderScenarioKind::kScenario1, 2, Date(2010, 10, 11), 14});
+  cfg.scenarios.push_back(
+      {sim::InsiderScenarioKind::kScenario2, 3, Date(2010, 11, 8), 45});
+  cfg.train_gap_days = 30;
+  cfg.test_tail_days = 30;
+  return cfg;
+}
+
+inline void PrintRule() {
+  std::printf(
+      "--------------------------------------------------------------\n");
+}
+
+inline void PrintHeader(const std::string& title) {
+  PrintRule();
+  std::printf("%s\n", title.c_str());
+  PrintRule();
+}
+
+}  // namespace acobe::bench

@@ -1,0 +1,171 @@
+// Reproduces Figure 5: trends of anomaly scores of one department's
+// users under different model configurations, for the scenario-2
+// insider (the paper's r6.1 scenario 2, 114 users, user JPH1910).
+//
+//   (a,b) ACOBE            — abnormal user's waveform stands out
+//   (c)   1-Day            — waveform indistinguishable (weekday peaks)
+//   (d)   No-Group         — distinguishable but higher mean error
+//   (e)   All-in-1         — device signal drowned by other aspects
+//   (f)   Baseline         — never stands out
+//
+// For every configuration the bench prints the per-subfigure statistics
+// the paper annotates (mean/std over all data points), the abnormal
+// user's separation (peak z-score vs the per-day population, number of
+// test days ranked 1st), and a sparkline of victim-vs-population score.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "eval/metrics.h"
+
+using namespace acobe;
+using namespace acobe::bench;
+using namespace acobe::baselines;
+
+namespace {
+
+char Spark(double v) {
+  static const char* kRamp = "_.-=+*#@";
+  int idx = static_cast<int>(v * 7.99);
+  if (idx < 0) idx = 0;
+  if (idx > 7) idx = 7;
+  return kRamp[idx];
+}
+
+struct AspectStats {
+  double mean = 0, stddev = 0, victim_peak_z = 0;
+  int victim_top1_days = 0, days = 0;
+};
+
+AspectStats StatsFor(const ScoreGrid& grid, int aspect, int vidx) {
+  AspectStats st;
+  double sum = 0, sumsq = 0;
+  std::size_t n = 0;
+  for (int u = 0; u < grid.users(); ++u) {
+    for (int d = grid.day_begin(); d < grid.day_end(); ++d) {
+      const double s = grid.At(aspect, u, d);
+      sum += s;
+      sumsq += s * s;
+      ++n;
+    }
+  }
+  st.mean = sum / n;
+  st.stddev = std::sqrt(std::max(0.0, sumsq / n - st.mean * st.mean));
+  st.days = grid.day_count();
+  for (int d = grid.day_begin(); d < grid.day_end(); ++d) {
+    double day_mean = 0, day_sq = 0;
+    double top = -1;
+    int top_user = -1;
+    for (int u = 0; u < grid.users(); ++u) {
+      const double s = grid.At(aspect, u, d);
+      day_mean += s;
+      day_sq += s * s;
+      if (s > top) {
+        top = s;
+        top_user = u;
+      }
+    }
+    day_mean /= grid.users();
+    const double day_std = std::sqrt(
+        std::max(1e-12, day_sq / grid.users() - day_mean * day_mean));
+    const double z = (grid.At(aspect, vidx, d) - day_mean) / day_std;
+    st.victim_peak_z = std::max(st.victim_peak_z, z);
+    if (top_user == vidx) ++st.victim_top1_days;
+  }
+  return st;
+}
+
+void PrintSparkline(const ScoreGrid& grid, int aspect, int vidx,
+                    int anomaly_begin) {
+  std::printf("    victim  |");
+  double max_score = 1e-9;
+  for (int d = grid.day_begin(); d < grid.day_end(); ++d) {
+    for (int u = 0; u < grid.users(); ++u) {
+      max_score = std::max(max_score, (double)grid.At(aspect, u, d));
+    }
+  }
+  for (int d = grid.day_begin(); d < grid.day_end(); d += 2) {
+    std::putchar(Spark(grid.At(aspect, vidx, d) / max_score));
+  }
+  std::printf("|\n    pop.avg |");
+  for (int d = grid.day_begin(); d < grid.day_end(); d += 2) {
+    double mean = 0;
+    for (int u = 0; u < grid.users(); ++u) mean += grid.At(aspect, u, d);
+    std::putchar(Spark(mean / grid.users() / max_score));
+  }
+  std::printf("|\n    anomaly |");
+  for (int d = grid.day_begin(); d < grid.day_end(); d += 2) {
+    std::putchar(d >= anomaly_begin ? '*' : ' ');
+  }
+  std::printf("|\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  const auto cfg = StandardCertConfig(args);
+  const ScaleProfile scale = args.Scale();
+
+  PrintHeader("Figure 5 - anomaly-score trends under different model "
+              "configurations (scenario 2 department)");
+  const CertData data = BuildCertData(cfg);
+  const sim::InsiderScenario& scenario = data.scenarios[1];
+  const int anomaly_begin =
+      static_cast<int>(DaysBetween(data.start, scenario.anomaly_start));
+  std::printf("department %d: %zu users; abnormal user %s; labeled from %s\n",
+              scenario.department,
+              data.department_users[scenario.department].size(),
+              scenario.user_name.c_str(),
+              scenario.anomaly_start.ToString().c_str());
+
+  const VariantKind kinds[] = {VariantKind::kAcobe,    VariantKind::kOneDay,
+                               VariantKind::kNoGroup,  VariantKind::kAllInOne,
+                               VariantKind::kBaseline};
+  const char* panel[] = {"(a,b) ACOBE", "(c) 1-Day", "(d) No-Group",
+                         "(e) All-in-1", "(f) Baseline"};
+
+  for (std::size_t k = 0; k < std::size(kinds); ++k) {
+    // Figure 5 plots raw reconstruction errors (the paper annotates
+    // their mean/std per sub-figure), so per-user calibration is off.
+    const DetectionOutput out = RunVariantOnScenario(
+        data, kinds[k], scale, scenario, cfg.train_gap_days,
+        cfg.test_tail_days, nullptr,
+        [](DetectorSpec& spec) { spec.per_user_calibration = false; });
+    int vidx = -1;
+    for (std::size_t i = 0; i < out.members.size(); ++i) {
+      if (out.members[i] == scenario.user) vidx = static_cast<int>(i);
+    }
+    std::printf("\n%s\n", panel[k]);
+    for (int a = 0; a < out.grid.aspects(); ++a) {
+      const AspectStats st = StatsFor(out.grid, a, vidx);
+      std::printf("  aspect %-8s mean=%.4f std=%.4f victim-peak-z=%+.2f "
+                  "victim-top1-days=%d/%d\n",
+                  out.grid.aspect_name(a).c_str(), st.mean, st.stddev,
+                  st.victim_peak_z, st.victim_top1_days, st.days);
+    }
+    // Sparkline for the aspect where the victim separates most.
+    int best_aspect = 0;
+    double best_z = -1e9;
+    for (int a = 0; a < out.grid.aspects(); ++a) {
+      const AspectStats st = StatsFor(out.grid, a, vidx);
+      if (st.victim_peak_z > best_z) {
+        best_z = st.victim_peak_z;
+        best_aspect = a;
+      }
+    }
+    std::printf("  strongest aspect: %s\n",
+                out.grid.aspect_name(best_aspect).c_str());
+    PrintSparkline(out.grid, best_aspect, vidx, anomaly_begin);
+  }
+
+  PrintRule();
+  std::printf(
+      "expected shape: ACOBE and No-Group separate the victim (high peak-z,\n"
+      "many top-1 days); No-Group shows a higher mean error than ACOBE;\n"
+      "1-Day and Baseline do not separate the victim; All-in-1 separates\n"
+      "less than ACOBE's per-aspect ensemble.\n");
+  return 0;
+}

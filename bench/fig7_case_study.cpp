@@ -1,0 +1,155 @@
+// Reproduces Figure 7: the enterprise case studies — (a) WannaCry-style
+// ransomware and (b) Zeus-style botnet detonated on one employee on
+// Feb 2, against 246 employees and seven months of Windows/proxy logs.
+//
+// For each attack the bench prints the victim's per-aspect daily score
+// against the population average (the paper's waveforms), the org-wide
+// Jan-26 environmental change (Command rises, HTTP drops for everyone),
+// and the victim's position in the daily investigation list (paper:
+// ranked 1st from Feb 3rd to Feb 15th).
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "baselines/experiment.h"
+#include "bench_util.h"
+#include "core/detector.h"
+
+using namespace acobe;
+using namespace acobe::bench;
+using namespace acobe::baselines;
+
+namespace {
+
+void RunCaseStudy(sim::AttackKind kind, const char* title, int employees,
+                  double rate_scale, const ScaleProfile& scale,
+                  std::uint64_t seed) {
+  EnterpriseExperimentConfig cfg;
+  cfg.sim.employees = employees;
+  cfg.sim.start = Date(2020, 8, 1);   // six months training ...
+  cfg.sim.end = Date(2021, 2, 28);    // ... one month testing
+  cfg.sim.rate_scale = rate_scale;
+  cfg.sim.seed = seed;
+  cfg.attacks = {{kind, Date(2021, 2, 2)}};
+  cfg.victim_index = 17;
+  const EnterpriseData data = BuildEnterpriseData(cfg);
+
+  DetectorSpec spec;
+  spec.name = title;
+  spec.deviation.omega = 14;  // the case study's two-week window
+  spec.deviation.matrix_days = 14;
+  spec.ensemble.encoder_dims = scale.encoder_dims;
+  spec.ensemble.train.epochs = scale.epochs;
+  spec.ensemble.train_stride = scale.train_stride;
+  spec.ensemble.optimizer = scale.optimizer;
+  spec.ensemble.learning_rate = scale.learning_rate;
+  spec.ensemble.seed = scale.seed;
+  spec.critic_votes = 3;
+
+  const int train_end =
+      static_cast<int>(DaysBetween(data.start, Date(2021, 2, 1)));
+  const Detector detector(spec);
+  const DetectionOutput out = detector.Run(
+      data.extractor->cube(), data.extractor->catalog(), data.employees, 0,
+      train_end, train_end - 14, data.days);
+
+  const UserId victim = data.attacks[0].victim;
+  int vidx = -1;
+  for (std::size_t i = 0; i < out.members.size(); ++i) {
+    if (out.members[i] == victim) vidx = static_cast<int>(i);
+  }
+  const int attack_day =
+      static_cast<int>(DaysBetween(data.start, data.attacks[0].attack_date));
+  const int env_day =
+      static_cast<int>(DaysBetween(data.start, cfg.sim.env_change));
+
+  std::printf("\n[%s] victim %s, attack on %s (day %d)\n", title,
+              data.attacks[0].victim_name.c_str(),
+              data.attacks[0].attack_date.ToString().c_str(), attack_day);
+
+  // Per-aspect population-vs-victim averages before/after the attack.
+  std::printf("%-10s | pre-attack pop/victim | post-attack pop/victim | "
+              "victim rise\n", "aspect");
+  for (int a = 0; a < out.grid.aspects(); ++a) {
+    double pre_pop = 0, pre_vic = 0, post_pop = 0, post_vic = 0;
+    int pre_n = 0, post_n = 0;
+    for (int d = out.grid.day_begin(); d < out.grid.day_end(); ++d) {
+      double mean = 0;
+      for (int u = 0; u < out.grid.users(); ++u) mean += out.grid.At(a, u, d);
+      mean /= out.grid.users();
+      if (d < attack_day) {
+        pre_pop += mean;
+        pre_vic += out.grid.At(a, vidx, d);
+        ++pre_n;
+      } else {
+        post_pop += mean;
+        post_vic += out.grid.At(a, vidx, d);
+        ++post_n;
+      }
+    }
+    std::printf("%-10s |   %.4f / %.4f     |   %.4f / %.4f      |  x%.1f\n",
+                out.grid.aspect_name(a).c_str(), pre_pop / pre_n,
+                pre_vic / pre_n, post_pop / post_n, post_vic / post_n,
+                (post_vic / post_n) / std::max(1e-9, pre_vic / pre_n));
+  }
+
+  // Org-wide environmental change (Jan 26): Command rises, HTTP drops.
+  const int cmd = 1, http = 4;  // aspect order: file,command,config,resource,http,logon
+  auto pop_mean = [&](int aspect, int day) {
+    double mean = 0;
+    for (int u = 0; u < out.grid.users(); ++u) {
+      mean += out.grid.At(aspect, u, day);
+    }
+    return mean / out.grid.users();
+  };
+  if (env_day >= out.grid.day_begin() + 7) {
+    std::printf("env change Jan 26 (new tool rollout: Command activity up, "
+                "HTTP traffic down org-wide):\n");
+    std::printf("  population Command score %.4f -> %.4f (rises for "
+                "everyone, as in the paper)\n",
+                pop_mean(cmd, env_day - 7), pop_mean(cmd, env_day + 1));
+    std::printf("  population HTTP    score %.4f -> %.4f (any org-wide "
+                "deviation ripples through scores)\n",
+                pop_mean(http, env_day - 7), pop_mean(http, env_day + 1));
+  }
+
+  // Daily investigation list: victim's position each day after attack.
+  std::printf("daily investigation-list position of victim (day offset: "
+              "position, 0 = top):\n  ");
+  int days_at_top = 0;
+  for (int d = attack_day + 1;
+       d <= attack_day + 13 && d < out.grid.day_end(); ++d) {
+    const auto daily = RankUsersOnDay(out.grid, spec.critic_votes, d);
+    int pos = -1;
+    for (std::size_t i = 0; i < daily.size(); ++i) {
+      if (daily[i].user_idx == vidx) pos = static_cast<int>(i);
+    }
+    if (pos == 0) ++days_at_top;
+    std::printf("+%d:%d ", d - attack_day, pos);
+  }
+  std::printf("\n  victim at position 0 on %d of the 13 days following the "
+              "attack (paper: 1st place Feb 3-15)\n", days_at_top);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  // The enterprise dataset has 246 employees; the reduced-scale default
+  // keeps the full population but trims rates.
+  const int employees = args.paper_scale ? 246 : 60;
+  const double rate_scale = args.paper_scale ? 1.0 : 0.5;
+
+  PrintHeader("Figure 7 - enterprise case studies (ransomware, Zeus bot)");
+  RunCaseStudy(sim::AttackKind::kRansomware, "7(a) ransomware", employees,
+               rate_scale, args.Scale(), args.seed);
+  RunCaseStudy(sim::AttackKind::kZeusBot, "7(b) zeus-bot", employees,
+               rate_scale, args.Scale(), args.seed + 1);
+  PrintRule();
+  std::printf(
+      "expected shape: Command/Config rise right after Feb 2 in both\n"
+      "attacks; File rises for ransomware; HTTP rises later for the bot\n"
+      "(C&C + DGA); the victim tops the daily list for ~2 weeks.\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Micro-benchmarks of the neural-network substrate: GEMM kernels,
+// layer forward/backward, full autoencoder training steps.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "nn/autoencoder.h"
+#include "nn/gemm.h"
+#include "nn/optimizer.h"
+#include "nn/trainer.h"
+
+using namespace acobe;
+using namespace acobe::nn;
+
+namespace {
+
+Tensor RandomTensor(std::size_t r, std::size_t c, Rng& rng) {
+  Tensor t(r, c);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t.data()[i] = static_cast<float>(rng.NextGaussian());
+  }
+  return t;
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  Rng rng(1);
+  const Tensor a = RandomTensor(n, n, rng);
+  const Tensor b = RandomTensor(n, n, rng);
+  Tensor c;
+  for (auto _ : state) {
+    Gemm(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmTransA(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  Rng rng(2);
+  const Tensor a = RandomTensor(n, n, rng);
+  const Tensor b = RandomTensor(n, n, rng);
+  Tensor c;
+  for (auto _ : state) {
+    GemmTransA(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmTransA)->Arg(128);
+
+void BM_AutoencoderForward(benchmark::State& state) {
+  const std::size_t input_dim = state.range(0);
+  Rng rng(3);
+  AutoencoderSpec spec;
+  spec.input_dim = input_dim;
+  spec.encoder_dims = ScaledEncoderDims(8);
+  Sequential net = BuildAutoencoder(spec);
+  net.InitParams(rng);
+  const Tensor batch = RandomTensor(64, input_dim, rng);
+  for (auto _ : state) {
+    Tensor y = net.Forward(batch, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_AutoencoderForward)->Arg(112)->Arg(392)->Arg(896);
+
+void BM_AutoencoderTrainStep(benchmark::State& state) {
+  const std::size_t input_dim = state.range(0);
+  Rng rng(4);
+  AutoencoderSpec spec;
+  spec.input_dim = input_dim;
+  spec.encoder_dims = ScaledEncoderDims(8);
+  Sequential net = BuildAutoencoder(spec);
+  net.InitParams(rng);
+  Adadelta opt;
+  opt.Attach(net.Params());
+  const Tensor batch = RandomTensor(64, input_dim, rng);
+  Tensor grad;
+  for (auto _ : state) {
+    net.ZeroGrad();
+    Tensor pred = net.Forward(batch, true);
+    MseLoss(pred, batch, grad);
+    net.Backward(grad);
+    opt.Step();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_AutoencoderTrainStep)->Arg(392);
+
+void BM_OptimizerStep(benchmark::State& state) {
+  Rng rng(5);
+  Param p;
+  p.value = RandomTensor(512, 256, rng);
+  p.grad = RandomTensor(512, 256, rng);
+  Adadelta opt;
+  opt.Attach({&p});
+  for (auto _ : state) {
+    opt.Step();
+    benchmark::DoNotOptimize(p.value.data());
+  }
+  state.SetItemsProcessed(state.iterations() * p.value.size());
+}
+BENCHMARK(BM_OptimizerStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

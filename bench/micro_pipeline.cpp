@@ -1,0 +1,128 @@
+// Micro-benchmarks of the data pipeline substrates: log synthesis
+// throughput, feature extraction, deviation computation, compound
+// matrix assembly and the critic.
+
+#include <benchmark/benchmark.h>
+
+#include "behavior/compound_matrix.h"
+#include "core/critic.h"
+#include "features/cert_features.h"
+#include "simdata/cert_simulator.h"
+
+using namespace acobe;
+
+namespace {
+
+sim::CertSimConfig SmallSim(int users_per_department) {
+  sim::CertSimConfig cfg;
+  cfg.org.departments = 2;
+  cfg.org.users_per_department = users_per_department;
+  cfg.org.extra_users = 0;
+  cfg.start = Date(2010, 1, 2);
+  cfg.end = Date(2010, 3, 31);
+  cfg.profiles.rate_scale = 0.5;
+  cfg.seed = 11;
+  return cfg;
+}
+
+void BM_SimulateLogs(benchmark::State& state) {
+  const int users = state.range(0);
+  std::size_t events = 0;
+  for (auto _ : state) {
+    LogStore store;
+    sim::CertSimulator simulator(SmallSim(users), store);
+    LogStore sink;
+    simulator.Run(sink);
+    events = sink.TotalEvents();
+    benchmark::DoNotOptimize(events);
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+  state.counters["events"] = static_cast<double>(events);
+}
+BENCHMARK(BM_SimulateLogs)->Arg(10)->Arg(40);
+
+void BM_ExtractFeatures(benchmark::State& state) {
+  LogStore store;
+  sim::CertSimulator simulator(SmallSim(20), store);
+  LogStore sink;
+  simulator.Run(sink);
+  sink.SortChronologically();
+  const int days =
+      static_cast<int>(DaysBetween(Date(2010, 1, 2), Date(2010, 3, 31))) + 1;
+  for (auto _ : state) {
+    CertAcobeExtractor extractor(Date(2010, 1, 2), days);
+    ReplayStore(sink, extractor);
+    benchmark::DoNotOptimize(extractor.cube().users());
+  }
+  state.SetItemsProcessed(state.iterations() * sink.TotalEvents());
+}
+BENCHMARK(BM_ExtractFeatures);
+
+MeasurementCube MakeCube(int users, int days) {
+  MeasurementCube cube(Date(2010, 1, 2), days, 16, 2);
+  Rng rng(3);
+  for (int u = 0; u < users; ++u) {
+    cube.RegisterUser(u);
+    for (int f = 0; f < 16; ++f) {
+      for (int d = 0; d < days; ++d) {
+        for (int t = 0; t < 2; ++t) {
+          cube.At(u, f, d, t) = static_cast<float>(rng.NextPoisson(4.0));
+        }
+      }
+    }
+  }
+  return cube;
+}
+
+void BM_DeviationCompute(benchmark::State& state) {
+  const int users = state.range(0);
+  const MeasurementCube cube = MakeCube(users, 365);
+  DeviationConfig cfg;
+  cfg.omega = 30;
+  for (auto _ : state) {
+    auto dev = DeviationSeries::Compute(cube, cfg);
+    benchmark::DoNotOptimize(dev.entities());
+  }
+  state.SetItemsProcessed(state.iterations() * users * 16 * 365 * 2);
+}
+BENCHMARK(BM_DeviationCompute)->Arg(25)->Arg(100);
+
+void BM_CompoundMatrixBuild(benchmark::State& state) {
+  const MeasurementCube cube = MakeCube(25, 365);
+  DeviationConfig cfg;
+  cfg.omega = 30;
+  cfg.include_group = false;
+  const auto dev = DeviationSeries::Compute(cube, cfg);
+  CompoundMatrixBuilder builder(&dev, {}, {});
+  std::vector<int> features;
+  for (int f = 0; f < 16; ++f) features.push_back(f);
+  for (auto _ : state) {
+    auto m = builder.Build(0, features, 100);
+    benchmark::DoNotOptimize(m.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CompoundMatrixBuild);
+
+void BM_Critic(benchmark::State& state) {
+  const int users = state.range(0);
+  ScoreGrid grid({"a", "b", "c"}, users, 0, 30);
+  Rng rng(9);
+  for (int a = 0; a < 3; ++a) {
+    for (int u = 0; u < users; ++u) {
+      for (int d = 0; d < 30; ++d) {
+        grid.At(a, u, d) = static_cast<float>(rng.NextDouble());
+      }
+    }
+  }
+  for (auto _ : state) {
+    auto list = RankUsers(grid, 3);
+    benchmark::DoNotOptimize(list.data());
+  }
+  state.SetItemsProcessed(state.iterations() * users);
+}
+BENCHMARK(BM_Critic)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

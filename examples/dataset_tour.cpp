@@ -1,0 +1,103 @@
+// Dataset tour: exercises the data substrates directly — simulate a
+// CERT-style organization, export/reimport logs as CSV (the CERT
+// dataset's native shape), inspect group behavior around an injected
+// org-wide environmental change, and print the deviation math for one
+// user-feature by hand.
+//
+// Run:  ./build/examples/dataset_tour
+
+#include <cstdio>
+#include <sstream>
+
+#include "behavior/deviation.h"
+#include "features/cert_features.h"
+#include "logs/log_io.h"
+#include "simdata/cert_simulator.h"
+
+using namespace acobe;
+
+int main() {
+  // --- 1. simulate ---------------------------------------------------------
+  sim::CertSimConfig config;
+  config.org.departments = 2;
+  config.org.users_per_department = 12;
+  config.org.extra_users = 0;
+  config.start = Date(2010, 1, 2);
+  config.end = Date(2010, 4, 30);
+  config.profiles.rate_scale = 0.4;
+  config.seed = 2024;
+  config.default_env_changes = false;
+  sim::EnvChange rollout;
+  rollout.kind = sim::EnvChangeKind::kNewService;
+  rollout.start = Date(2010, 3, 17);
+  rollout.duration_days = 3;
+  rollout.intensity = 3.0;
+  config.env_changes = {rollout};
+
+  LogStore store;
+  sim::CertSimulator simulator(config, store);
+  simulator.Run(store);  // buffer everything: this is a small run
+  store.SortChronologically();
+  std::printf("simulated %zu events for %zu users\n", store.TotalEvents(),
+              store.users().size());
+  std::printf("  logons %zu, device %zu, file %zu, http %zu, email %zu\n",
+              store.logons().size(), store.devices().size(),
+              store.file_events().size(), store.http_events().size(),
+              store.emails().size());
+
+  // --- 2. CSV round-trip (the CERT dataset's file-per-log-type layout) -----
+  std::stringstream device_csv, http_csv, ldap_csv;
+  WriteDeviceCsv(store, device_csv);
+  WriteHttpCsv(store, http_csv);
+  WriteLdapCsv(store, ldap_csv);
+  LogStore reloaded;
+  {
+    std::stringstream in(device_csv.str());
+    ReadDeviceCsv(in, reloaded);
+  }
+  std::printf("device.csv round-trip: %zu -> %zu events (%.1f KiB)\n",
+              store.devices().size(), reloaded.devices().size(),
+              device_csv.str().size() / 1024.0);
+
+  // --- 3. group behavior around the environmental change -------------------
+  const int days = static_cast<int>(DaysBetween(config.start, config.end)) + 1;
+  CertAcobeExtractor extractor(config.start, days);
+  ReplayStore(store, extractor);
+  const auto& cube = extractor.cube();
+
+  std::vector<int> everyone;
+  for (int u = 0; u < cube.users(); ++u) everyone.push_back(u);
+  const auto group_mean = GroupMeanSeries(cube, everyone);
+
+  const int change_day =
+      static_cast<int>(DaysBetween(config.start, rollout.start));
+  std::printf("\nnew-service rollout on %s (day %d): every user visits an "
+              "unseen domain\n", rollout.start.ToString().c_str(), change_day);
+  // HTTP new-op group mean jumps on the rollout day.
+  const int new_op = CertAcobeExtractor::kHttpNewOp;
+  const std::size_t per_feature = static_cast<std::size_t>(days) * 2;
+  const float before =
+      group_mean[new_op * per_feature + (change_day - 7) * 2 + 0];
+  const float during = group_mean[new_op * per_feature + change_day * 2 + 0];
+  std::printf("  group-mean http-new-op (work hours): %.2f a week before, "
+              "%.2f on the rollout day\n", before, during);
+
+  // --- 4. the deviation math, spelled out ----------------------------------
+  DeviationConfig dev_config;
+  dev_config.omega = 14;
+  const auto dev = DeviationSeries::Compute(cube, dev_config);
+  const int user = 0;
+  std::printf("\nper-user deviation on the rollout day (http-new-op):\n");
+  std::printf("  sigma = clamp((m - mean(h)) / max(std(h), eps), +-%.0f), "
+              "weighted by 1/log2(max(std(h),2))\n", dev_config.delta);
+  for (int u = user; u < user + 3; ++u) {
+    std::printf("  user %-8s m=%4.0f  weighted sigma=%+.2f\n",
+                store.users().NameOf(cube.UserAt(u)).c_str(),
+                cube.At(u, new_op, change_day, 0),
+                dev.Sigma(u, new_op, change_day, 0));
+  }
+  std::printf("\nbecause the *group* series bursts on the same day, ACOBE's\n"
+              "compound matrix shows matching individual+group deviations,\n"
+              "which the ensemble learns to treat as normal.\n");
+  return 0;
+}

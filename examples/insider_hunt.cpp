@@ -1,0 +1,77 @@
+// Insider-threat hunt: the paper's Section-V workflow on a multi-
+// department organization with both insider scenarios planted, showing
+// how an analyst compares ACOBE against the single-day baseline and
+// reads precision/recall off the pooled investigation lists.
+//
+// Run:  ./build/examples/insider_hunt [--paper-scale]
+
+#include <cstdio>
+#include <cstring>
+
+#include "baselines/experiment.h"
+#include "eval/metrics.h"
+
+using namespace acobe;
+using namespace acobe::baselines;
+
+int main(int argc, char** argv) {
+  const bool paper_scale =
+      argc > 1 && std::strcmp(argv[1], "--paper-scale") == 0;
+
+  CertExperimentConfig config;
+  config.sim.org.departments = 2;
+  config.sim.org.users_per_department = paper_scale ? 232 : 30;
+  config.sim.org.extra_users = 0;
+  config.sim.start = Date(2010, 1, 2);
+  config.sim.end = Date(2011, 5, 31);
+  config.sim.profiles.rate_scale = paper_scale ? 1.0 : 0.5;
+  config.sim.seed = 1234;
+  config.scenarios.push_back(
+      {sim::InsiderScenarioKind::kScenario1, 0, Date(2010, 9, 6), 14});
+  config.scenarios.push_back(
+      {sim::InsiderScenarioKind::kScenario2, 1, Date(2011, 1, 7), 60});
+  config.build_fine_hourly = false;  // this example skips Base-FF
+
+  std::printf("building dataset (%d users, %s)...\n",
+              config.sim.org.departments * config.sim.org.users_per_department,
+              paper_scale ? "paper scale" : "reduced scale");
+  const CertData data = BuildCertData(config);
+
+  const ScaleProfile scale =
+      paper_scale ? ScaleProfile::Paper() : ScaleProfile::Bench();
+
+  for (const VariantKind kind :
+       {VariantKind::kAcobe, VariantKind::kBaseline}) {
+    std::printf("\n=== %s ===\n", ToString(kind));
+    std::vector<eval::RankedUser> pooled;
+    for (const sim::InsiderScenario& scenario : data.scenarios) {
+      std::printf("scenario %d in department %d (insider %s)...\n",
+                  static_cast<int>(scenario.kind), scenario.department,
+                  scenario.user_name.c_str());
+      const DetectionOutput out = RunVariantOnScenario(
+          data, kind, scale, scenario, config.train_gap_days,
+          config.test_tail_days);
+      const auto ranked = MakeRankedUsers(out, data.truth);
+      // Where did the insider land in this department's list?
+      for (std::size_t i = 0; i < ranked.size(); ++i) {
+        if (ranked[i].positive) {
+          std::printf("  insider listed at position %zu of %zu\n", i + 1,
+                      ranked.size());
+        }
+      }
+      pooled.insert(pooled.end(), ranked.begin(), ranked.end());
+    }
+    eval::SortWorstCase(pooled);
+    const auto flags = eval::PositiveFlags(pooled);
+    std::printf("pooled: AUC %.4f%%, average precision %.4f\n",
+                100.0 * eval::RocAuc(flags), eval::AveragePrecision(flags));
+    // What a "investigate the top 1%" policy would catch (Section V.C).
+    const std::size_t budget = std::max<std::size_t>(1, flags.size() / 100);
+    const auto counts = eval::AtCutoff(flags, budget);
+    std::printf("investigating the top %zu users: %d TP, %d FP, %d FN "
+                "(precision %.2f, recall %.2f)\n",
+                budget, counts.tp, counts.fp, counts.fn, counts.Precision(),
+                counts.Recall());
+  }
+  return 0;
+}

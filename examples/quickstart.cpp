@@ -1,0 +1,66 @@
+// Quickstart: the minimal end-to-end ACOBE loop on a tiny synthetic
+// organization.
+//
+//   1. synthesize organizational audit logs (with one injected insider)
+//   2. extract per-user behavioral measurements
+//   3. train the per-aspect autoencoder ensemble on compound
+//      behavioral deviation matrices
+//   4. score the test window and print the ordered investigation list
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "baselines/experiment.h"
+#include "baselines/variants.h"
+
+using namespace acobe;
+using namespace acobe::baselines;
+
+int main() {
+  // 1. Synthesize a 20-person department over 4.5 months and plant a
+  //    scenario-1 insider (off-hour logons + thumb drive + uploads to
+  //    wikileaks.org) in early April.
+  CertExperimentConfig config;
+  config.sim.org.departments = 1;
+  config.sim.org.users_per_department = 20;
+  config.sim.org.extra_users = 0;
+  config.sim.start = Date(2010, 1, 2);
+  config.sim.end = Date(2010, 5, 15);
+  config.sim.profiles.rate_scale = 0.4;
+  config.sim.seed = 42;
+  config.scenarios.push_back(
+      {sim::InsiderScenarioKind::kScenario1, /*department=*/0,
+       /*anomaly_start=*/Date(2010, 4, 5), /*span_days=*/14});
+
+  // 2. One call simulates the logs and streams them through the feature
+  //    extractors (device / file / HTTP aspects, work + off hours).
+  std::printf("synthesizing logs and extracting features...\n");
+  const CertData data = BuildCertData(config);
+  const sim::InsiderScenario& insider = data.scenarios[0];
+  std::printf("  %d users, %d days; planted insider: %s\n",
+              data.fine->cube().users(), data.days,
+              insider.user_name.c_str());
+
+  // 3+4. Run ACOBE: deviation matrices -> ensemble -> critic. A
+  //    ScaleProfile picks window sizes and training effort; Bench() is
+  //    laptop-friendly, Paper() matches the publication.
+  ScaleProfile scale = ScaleProfile::Bench();
+  scale.omega = 10;        // small dataset -> smaller history window
+  scale.matrix_days = 10;
+  scale.epochs = 15;
+  std::printf("training the autoencoder ensemble...\n");
+  const DetectionOutput result = RunVariantOnScenario(
+      data, VariantKind::kAcobe, scale, insider,
+      /*train_gap_days=*/20, /*test_tail_days=*/15);
+
+  std::printf("\ninvestigation list (top 5 of %zu):\n", result.list.size());
+  for (std::size_t i = 0; i < result.list.size() && i < 5; ++i) {
+    const UserId user = result.members[result.list[i].user_idx];
+    const bool is_insider = data.truth.IsAbnormalUser(user);
+    std::printf("  %zu. %-8s priority %-3.0f %s\n", i + 1,
+                data.store.users().NameOf(user).c_str(),
+                result.list[i].priority, is_insider ? "<-- planted insider" : "");
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+#include "baselines/variants.h"
+
+namespace acobe::baselines {
+
+const char* ToString(VariantKind kind) {
+  switch (kind) {
+    case VariantKind::kAcobe: return "ACOBE";
+    case VariantKind::kNoGroup: return "No-Group";
+    case VariantKind::kOneDay: return "1-Day";
+    case VariantKind::kAllInOne: return "All-in-1";
+    case VariantKind::kBaseline: return "Baseline";
+    case VariantKind::kBaseFF: return "Base-FF";
+  }
+  return "?";
+}
+
+CubeKind VariantCube(VariantKind kind) {
+  switch (kind) {
+    case VariantKind::kBaseline: return CubeKind::kCoarse;
+    case VariantKind::kBaseFF: return CubeKind::kFineHourly;
+    default: return CubeKind::kFine;
+  }
+}
+
+ScaleProfile ScaleProfile::Bench() { return ScaleProfile{}; }
+
+ScaleProfile ScaleProfile::Paper() {
+  ScaleProfile s;
+  s.encoder_dims = {512, 256, 128, 64};
+  s.epochs = 30;
+  s.train_stride = 1;
+  s.omega = 30;
+  s.matrix_days = 30;
+  s.optimizer = OptimizerKind::kAdadelta;
+  s.learning_rate = 1.0f;
+  s.critic_votes = 3;
+  return s;
+}
+
+DetectorSpec MakeVariantSpec(VariantKind kind, const ScaleProfile& scale) {
+  DetectorSpec spec;
+  spec.name = ToString(kind);
+  spec.ensemble.encoder_dims = scale.encoder_dims;
+  spec.ensemble.train.epochs = scale.epochs;
+  spec.ensemble.train.batch_size = scale.batch_size;
+  spec.ensemble.train_stride = scale.train_stride;
+  spec.ensemble.optimizer = scale.optimizer;
+  spec.ensemble.learning_rate = scale.learning_rate;
+  spec.ensemble.seed = scale.seed;
+  spec.deviation.omega = scale.omega;
+  spec.deviation.matrix_days = scale.matrix_days;
+  spec.critic_votes = scale.critic_votes;
+  // Aggregating the top-k daily scores is part of ACOBE's long-term
+  // design; single-day models flag individual days, so their window
+  // score is the plain max (k=1).
+  spec.score_top_k_days = 7;
+
+  switch (kind) {
+    case VariantKind::kAcobe:
+      break;  // the defaults are ACOBE
+    case VariantKind::kNoGroup:
+      spec.deviation.include_group = false;
+      break;
+    case VariantKind::kOneDay:
+      spec.representation = Representation::kNormalizedDay;
+      spec.score_top_k_days = 1;
+      break;
+    case VariantKind::kAllInOne:
+      spec.split_aspects = false;
+      spec.critic_votes = 1;
+      break;
+    case VariantKind::kBaseline:
+      // Coarse unweighted single-day features over hourly frames; the
+      // cube choice (kCoarse) carries the feature/partition difference.
+      spec.representation = Representation::kNormalizedDay;
+      spec.score_top_k_days = 1;
+      break;
+    case VariantKind::kBaseFF:
+      spec.representation = Representation::kNormalizedDay;
+      spec.score_top_k_days = 1;
+      break;
+  }
+  return spec;
+}
+
+}  // namespace acobe::baselines

@@ -1,0 +1,69 @@
+#include "behavior/compound_matrix.h"
+
+#include <stdexcept>
+
+#include "common/stats.h"
+
+namespace acobe {
+
+CompoundMatrixBuilder::CompoundMatrixBuilder(const DeviationSeries* users,
+                                             std::vector<DeviationSeries> groups,
+                                             std::vector<int> group_of_user)
+    : users_(users),
+      groups_(std::move(groups)),
+      group_of_user_(std::move(group_of_user)) {
+  if (users_ == nullptr) {
+    throw std::invalid_argument("CompoundMatrixBuilder: null user series");
+  }
+  if (!groups_.empty() &&
+      group_of_user_.size() != static_cast<std::size_t>(users_->entities())) {
+    throw std::invalid_argument(
+        "CompoundMatrixBuilder: group_of_user size mismatch");
+  }
+  if (!users_->config().include_group) {
+    groups_.clear();  // respect the No-Group configuration regardless
+  }
+}
+
+std::size_t CompoundMatrixBuilder::FlatSize(std::size_t n_features) const {
+  const auto& cfg = users_->config();
+  const std::size_t components = groups_.empty() ? 1 : 2;
+  return components * n_features * cfg.EffectiveMatrixDays() *
+         users_->frames();
+}
+
+std::vector<float> CompoundMatrixBuilder::Build(int user_idx,
+                                                std::span<const int> features,
+                                                int anchor_day) const {
+  const auto& cfg = users_->config();
+  const int window = cfg.EffectiveMatrixDays();
+  const int frames = users_->frames();
+  if (anchor_day < FirstAnchorDay() || anchor_day >= users_->days()) {
+    throw std::out_of_range("CompoundMatrixBuilder::Build: bad anchor day");
+  }
+
+  std::vector<float> out;
+  out.reserve(FlatSize(features.size()));
+  const double delta = cfg.delta;
+
+  auto append_component = [&](const DeviationSeries& series, int entity) {
+    for (int f : features) {
+      for (int di = 0; di < window; ++di) {
+        const int day = anchor_day - window + 1 + di;
+        for (int t = 0; t < frames; ++t) {
+          const float sigma = series.Sigma(entity, f, day, t);
+          out.push_back(static_cast<float>(ToUnitInterval(sigma, delta)));
+        }
+      }
+    }
+  };
+
+  append_component(*users_, user_idx);
+  if (!groups_.empty()) {
+    const int g = group_of_user_.at(user_idx);
+    append_component(groups_.at(g), 0);
+  }
+  return out;
+}
+
+}  // namespace acobe

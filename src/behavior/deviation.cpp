@@ -1,0 +1,113 @@
+#include "behavior/deviation.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/stats.h"
+
+namespace acobe {
+
+std::size_t DeviationSeries::Offset(int entity, int feature, int day,
+                                    int frame) const {
+  if (entity < 0 || entity >= entities_ || feature < 0 ||
+      feature >= features_ || day < 0 || day >= days_ || frame < 0 ||
+      frame >= frames_) {
+    throw std::out_of_range("DeviationSeries: index out of range");
+  }
+  return ((static_cast<std::size_t>(entity) * features_ + feature) * days_ +
+          day) *
+             frames_ +
+         frame;
+}
+
+DeviationSeries DeviationSeries::Compute(const MeasurementCube& cube,
+                                         const DeviationConfig& config) {
+  DeviationSeries out;
+  out.config_ = config;
+  out.entities_ = cube.users();
+  out.features_ = cube.features();
+  out.days_ = cube.days();
+  out.frames_ = cube.frames();
+  const std::size_t total = static_cast<std::size_t>(out.entities_) *
+                            out.features_ * out.days_ * out.frames_;
+  out.sigma_.assign(total, 0.0f);
+  out.weight_.assign(total, 1.0f);
+  for (int u = 0; u < out.entities_; ++u) {
+    for (int f = 0; f < out.features_; ++f) {
+      // Series for one (user, feature): [day*frames + frame].
+      out.ComputeEntityFeature(cube.Series(u, f), u, f);
+    }
+  }
+  return out;
+}
+
+DeviationSeries DeviationSeries::ComputeFromSeries(
+    std::span<const float> series, int features, int days, int frames,
+    const DeviationConfig& config) {
+  if (series.size() !=
+      static_cast<std::size_t>(features) * days * frames) {
+    throw std::invalid_argument("ComputeFromSeries: size mismatch");
+  }
+  DeviationSeries out;
+  out.config_ = config;
+  out.entities_ = 1;
+  out.features_ = features;
+  out.days_ = days;
+  out.frames_ = frames;
+  const std::size_t total =
+      static_cast<std::size_t>(features) * days * frames;
+  out.sigma_.assign(total, 0.0f);
+  out.weight_.assign(total, 1.0f);
+  const std::size_t per_feature = static_cast<std::size_t>(days) * frames;
+  for (int f = 0; f < features; ++f) {
+    out.ComputeEntityFeature(
+        series.subspan(static_cast<std::size_t>(f) * per_feature,
+                       per_feature),
+        0, f);
+  }
+  return out;
+}
+
+void DeviationSeries::ComputeEntityFeature(std::span<const float> series,
+                                           int entity, int feature) {
+  const int history = config_.omega - 1;
+  if (history <= 0) {
+    throw std::invalid_argument("DeviationSeries: omega must be >= 2");
+  }
+  for (int t = 0; t < frames_; ++t) {
+    // Rolling sums over the last `history` days for this frame.
+    double sum = 0.0, sumsq = 0.0;
+    for (int d = 0; d < days_; ++d) {
+      const double m = series[static_cast<std::size_t>(d) * frames_ + t];
+      if (d >= history) {
+        const int count = history;
+        const double mean = sum / count;
+        double var = sumsq / count - mean * mean;
+        if (var < 0.0) var = 0.0;  // numeric guard
+        double sd = std::sqrt(var);
+        const double sd_floored = sd < config_.epsilon ? config_.epsilon : sd;
+        const double dev =
+            ClampSymmetric((m - mean) / sd_floored, config_.delta);
+        double w = 1.0;
+        if (config_.apply_weights) {
+          w = 1.0 / std::log2(std::max(sd, 2.0));
+        }
+        const std::size_t off = Offset(entity, feature, d, t);
+        sigma_[off] = static_cast<float>(dev * w);
+        weight_[off] = static_cast<float>(w);
+      }
+      // Slide: add day d, drop day d-history+1... window covers
+      // [d-history+1, d] after this update, i.e. the history for d+1.
+      sum += m;
+      sumsq += m * m;
+      if (d - history >= 0) {
+        const double old =
+            series[static_cast<std::size_t>(d - history) * frames_ + t];
+        sum -= old;
+        sumsq -= old * old;
+      }
+    }
+  }
+}
+
+}  // namespace acobe

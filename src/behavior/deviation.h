@@ -1,0 +1,90 @@
+#pragma once
+
+// Behavioral deviation computation (Section IV.A).
+//
+// For each (feature f, time-frame t, day d):
+//   h        = measurements of the omega-1 days before d (excluding d)
+//   std(h)   = max(population std, epsilon)
+//   delta    = (m_{f,t,d} - mean(h)) / std(h)
+//   sigma    = clamp(delta, -Delta, +Delta)
+//   weight   = 1 / log2(max(std(h), 2))        (optional, Equation 1)
+//
+// DeviationSeries computes sigma and weight for a whole MeasurementCube
+// (and for group-mean series) with O(days) rolling statistics.
+
+#include <span>
+#include <vector>
+
+#include "features/measurement_cube.h"
+
+namespace acobe {
+
+struct DeviationConfig {
+  /// Window size omega in days; the history is the omega-1 days before d.
+  int omega = 30;
+  /// D: number of days enclosed in one compound matrix (defaults to
+  /// omega when <= 0).
+  int matrix_days = 0;
+  double delta = 3.0;
+  double epsilon = 1e-6;
+  bool apply_weights = true;
+  bool include_group = true;
+  /// Trim fraction for the group-mean series (drop the top and bottom
+  /// share of members per cell). Keeps one compromised member from
+  /// leaking their own anomaly into everyone's group block.
+  double group_trim = 0.1;
+
+  int EffectiveMatrixDays() const {
+    return matrix_days > 0 ? matrix_days : omega;
+  }
+  /// First day index (0-based) with a full history window.
+  int FirstDeviationDay() const { return omega - 1; }
+  /// First day index usable as a matrix anchor (all D matrix days must
+  /// have full histories).
+  int FirstAnchorDay() const {
+    return FirstDeviationDay() + EffectiveMatrixDays() - 1;
+  }
+};
+
+/// Per-entity (user or group) deviation series.
+class DeviationSeries {
+ public:
+  /// Computes sigma/weight for every user in `cube`.
+  static DeviationSeries Compute(const MeasurementCube& cube,
+                                 const DeviationConfig& config);
+
+  /// Computes sigma/weight for one external series laid out as
+  /// [feature][day][frame] (e.g. a group-mean series).
+  static DeviationSeries ComputeFromSeries(std::span<const float> series,
+                                           int features, int days, int frames,
+                                           const DeviationConfig& config);
+
+  int entities() const { return entities_; }
+  int features() const { return features_; }
+  int days() const { return days_; }
+  int frames() const { return frames_; }
+
+  /// sigma, already multiplied by the weight when config.apply_weights.
+  float Sigma(int entity, int feature, int day, int frame) const {
+    return sigma_[Offset(entity, feature, day, frame)];
+  }
+  /// The raw weight w_{f,t,d} (1.0 when weights are disabled).
+  float Weight(int entity, int feature, int day, int frame) const {
+    return weight_[Offset(entity, feature, day, frame)];
+  }
+
+  const DeviationConfig& config() const { return config_; }
+
+ private:
+  DeviationSeries() = default;
+  std::size_t Offset(int entity, int feature, int day, int frame) const;
+  void ComputeEntityFeature(std::span<const float> series, int entity,
+                            int feature);
+
+  DeviationConfig config_;
+  int entities_ = 0, features_ = 0, days_ = 0, frames_ = 0;
+  std::vector<float> sigma_;
+  std::vector<float> weight_;
+};
+
+}  // namespace acobe

@@ -1,0 +1,55 @@
+#include "behavior/normalized_day.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace acobe {
+
+NormalizedDayBuilder::NormalizedDayBuilder(const MeasurementCube* cube,
+                                           int norm_begin, int norm_end)
+    : cube_(cube) {
+  if (cube_ == nullptr) {
+    throw std::invalid_argument("NormalizedDayBuilder: null cube");
+  }
+  if (norm_begin < 0 || norm_end > cube_->days() || norm_begin >= norm_end) {
+    throw std::invalid_argument("NormalizedDayBuilder: bad normalization range");
+  }
+  const std::size_t cells =
+      static_cast<std::size_t>(cube_->features()) * cube_->frames();
+  min_.assign(cells, std::numeric_limits<float>::max());
+  max_.assign(cells, std::numeric_limits<float>::lowest());
+  for (int u = 0; u < cube_->users(); ++u) {
+    for (int f = 0; f < cube_->features(); ++f) {
+      for (int d = norm_begin; d < norm_end; ++d) {
+        for (int t = 0; t < cube_->frames(); ++t) {
+          const float v = cube_->At(u, f, d, t);
+          const std::size_t i =
+              static_cast<std::size_t>(f) * cube_->frames() + t;
+          min_[i] = std::min(min_[i], v);
+          max_[i] = std::max(max_[i], v);
+        }
+      }
+    }
+  }
+}
+
+std::vector<float> NormalizedDayBuilder::Build(int user_idx,
+                                               std::span<const int> features,
+                                               int day) const {
+  std::vector<float> out;
+  out.reserve(FlatSize(features.size()));
+  for (int f : features) {
+    for (int t = 0; t < cube_->frames(); ++t) {
+      const std::size_t i = static_cast<std::size_t>(f) * cube_->frames() + t;
+      const float lo = min_[i];
+      const float hi = max_[i];
+      const float v = cube_->At(user_idx, f, day, t);
+      float scaled = hi > lo ? (v - lo) / (hi - lo) : 0.0f;
+      out.push_back(std::clamp(scaled, 0.0f, 1.0f));
+    }
+  }
+  return out;
+}
+
+}  // namespace acobe

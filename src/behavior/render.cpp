@@ -1,0 +1,55 @@
+#include "behavior/render.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace acobe {
+
+char SigmaShade(double sigma, double delta) {
+  static const char* kRamp = " .:-=+*#%@";
+  const double unit = (sigma + delta) / (2.0 * delta);
+  int idx = static_cast<int>(unit * 9.99);
+  idx = std::clamp(idx, 0, 9);
+  return kRamp[idx];
+}
+
+void RenderAspect(const DeviationSeries& series, const FeatureCatalog& catalog,
+                  int entity, const std::string& aspect,
+                  const RenderOptions& options, std::ostream& out) {
+  const int aspect_idx = catalog.AspectIndex(aspect);
+  if (aspect_idx < 0) return;
+  const int day_begin = std::max(0, options.day_begin);
+  const int day_end =
+      options.day_end > 0 ? std::min(options.day_end, series.days())
+                          : series.days();
+  const double delta = series.config().delta;
+
+  auto gutter = [&](const std::string& label) {
+    std::string text = label;
+    if (static_cast<int>(text.size()) > options.label_width) {
+      text.resize(options.label_width);
+    }
+    out << std::string(options.label_width - text.size(), ' ') << text
+        << " |";
+  };
+
+  for (int f : catalog.aspects()[aspect_idx].feature_indices) {
+    gutter(catalog.feature(f).name);
+    for (int d = day_begin; d < day_end; ++d) {
+      out << SigmaShade(series.Sigma(entity, f, d, options.frame), delta);
+    }
+    out << "|\n";
+  }
+  if (!options.marked_days.empty()) {
+    gutter("marked days");
+    for (int d = day_begin; d < day_end; ++d) {
+      const bool marked =
+          std::find(options.marked_days.begin(), options.marked_days.end(),
+                    d) != options.marked_days.end();
+      out << (marked ? '*' : ' ');
+    }
+    out << "|\n";
+  }
+}
+
+}  // namespace acobe

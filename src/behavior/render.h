@@ -1,0 +1,33 @@
+#pragma once
+
+// ASCII rendering of deviation matrices (the library form of Figure 4's
+// shade maps), reusable from examples, tools and benches.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "behavior/deviation.h"
+#include "features/feature_catalog.h"
+
+namespace acobe {
+
+struct RenderOptions {
+  int frame = 0;
+  int day_begin = 0;
+  int day_end = 0;  // exclusive; 0 = series end
+  /// Column positions to mark in the footer row (e.g. labeled days).
+  std::vector<int> marked_days;
+  /// Width of the feature-name gutter.
+  int label_width = 26;
+};
+
+/// Maps sigma in [-delta, delta] to a 10-level ASCII shade.
+char SigmaShade(double sigma, double delta);
+
+/// Renders one aspect's features as shaded rows, one day per column.
+void RenderAspect(const DeviationSeries& series, const FeatureCatalog& catalog,
+                  int entity, const std::string& aspect,
+                  const RenderOptions& options, std::ostream& out);
+
+}  // namespace acobe

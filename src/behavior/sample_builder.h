@@ -1,0 +1,28 @@
+#pragma once
+
+// Common interface over behavioral representations: a SampleBuilder
+// turns (user, feature subset, day) into the flattened [0,1] vector an
+// autoencoder consumes. Implemented by CompoundMatrixBuilder (ACOBE's
+// multi-day compound deviation matrix) and NormalizedDayBuilder (the
+// single-day baselines).
+
+#include <span>
+#include <vector>
+
+namespace acobe {
+
+class SampleBuilder {
+ public:
+  virtual ~SampleBuilder() = default;
+
+  virtual std::vector<float> BuildSample(int user_idx,
+                                         std::span<const int> features,
+                                         int day) const = 0;
+  virtual std::size_t SampleSize(std::size_t n_features) const = 0;
+  /// First day index for which BuildSample is defined.
+  virtual int FirstValidDay() const = 0;
+  /// One past the last valid day index.
+  virtual int EndDay() const = 0;
+};
+
+}  // namespace acobe

@@ -1,0 +1,41 @@
+#pragma once
+
+// Minimal CSV reading/writing used for log round-trips and bench output.
+// Handles quoting of fields containing commas/quotes/newlines; does not
+// attempt full RFC 4180 edge cases beyond that.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace acobe {
+
+/// Writes rows to an output stream, quoting when needed.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void WriteRow(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream& out_;
+};
+
+/// Reads rows from an input stream. Returns false at EOF.
+class CsvReader {
+ public:
+  explicit CsvReader(std::istream& in) : in_(in) {}
+
+  bool ReadRow(std::vector<std::string>& fields);
+
+ private:
+  std::istream& in_;
+};
+
+/// Splits a single CSV line (no embedded newlines) into fields.
+std::vector<std::string> SplitCsvLine(const std::string& line);
+
+/// Escapes a single field for CSV output.
+std::string CsvEscape(const std::string& field);
+
+}  // namespace acobe

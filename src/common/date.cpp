@@ -1,0 +1,98 @@
+#include "common/date.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace acobe {
+namespace {
+
+// Hinnant's days_from_civil.
+std::int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);            // [0,399]
+  const unsigned doy = (153u * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;  // [0,365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;            // [0,146096]
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+// Hinnant's civil_from_days.
+void CivilFromDays(std::int64_t z, int& y, int& m, int& d) {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);          // [0,146096]
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;             // [0,399]
+  const std::int64_t yy = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);          // [0,365]
+  const unsigned mp = (5 * doy + 2) / 153;                               // [0,11]
+  d = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  m = static_cast<int>(mp + (mp < 10 ? 3 : -9));
+  y = static_cast<int>(yy + (m <= 2));
+}
+
+bool IsLeap(int y) { return y % 4 == 0 && (y % 100 != 0 || y % 400 == 0); }
+
+int DaysInMonth(int y, int m) {
+  static constexpr int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (m < 1 || m > 12) return 0;
+  if (m == 2 && IsLeap(y)) return 29;
+  return kDays[m - 1];
+}
+
+}  // namespace
+
+Date Date::FromString(const std::string& text) {
+  int y = 0, m = 0, d = 0;
+  if (std::sscanf(text.c_str(), "%d-%d-%d", &y, &m, &d) != 3) {
+    throw std::invalid_argument("Date::FromString: expected YYYY-MM-DD, got '" +
+                                text + "'");
+  }
+  Date date(y, m, d);
+  if (!date.IsValid()) {
+    throw std::invalid_argument("Date::FromString: invalid date '" + text + "'");
+  }
+  return date;
+}
+
+Date Date::FromDayNumber(std::int64_t days) {
+  int y, m, d;
+  CivilFromDays(days, y, m, d);
+  return Date(y, m, d);
+}
+
+std::int64_t Date::DayNumber() const { return DaysFromCivil(year_, month_, day_); }
+
+Weekday Date::weekday() const {
+  const std::int64_t z = DayNumber();
+  // 1970-01-01 was a Thursday (=4).
+  const std::int64_t w = (z >= -4 ? (z + 4) % 7 : (z + 5) % 7 + 6);
+  return static_cast<Weekday>(w);
+}
+
+bool Date::IsWeekend() const {
+  const Weekday w = weekday();
+  return w == Weekday::kSaturday || w == Weekday::kSunday;
+}
+
+bool Date::IsValid() const {
+  return month_ >= 1 && month_ <= 12 && day_ >= 1 &&
+         day_ <= DaysInMonth(year_, month_);
+}
+
+Date Date::AddDays(std::int64_t days) const {
+  return FromDayNumber(DayNumber() + days);
+}
+
+std::string Date::ToString() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", static_cast<int>(year_),
+                static_cast<int>(month_), static_cast<int>(day_));
+  return buf;
+}
+
+std::int64_t DaysBetween(const Date& a, const Date& b) {
+  return b.DayNumber() - a.DayNumber();
+}
+
+}  // namespace acobe

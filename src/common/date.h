@@ -1,0 +1,72 @@
+#pragma once
+
+// Civil-date arithmetic on a proleptic Gregorian calendar.
+//
+// ACOBE's behavioral representation is indexed by *days*; everything in
+// the pipeline refers to a day through `Date` (year/month/day) or its
+// serial day number (days since 1970-01-01). Conversions use Howard
+// Hinnant's public-domain algorithms, which are exact over the full
+// int range we care about.
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace acobe {
+
+enum class Weekday : int {
+  kSunday = 0,
+  kMonday = 1,
+  kTuesday = 2,
+  kWednesday = 3,
+  kThursday = 4,
+  kFriday = 5,
+  kSaturday = 6,
+};
+
+/// A calendar date. Value type; totally ordered; cheap to copy.
+class Date {
+ public:
+  /// Constructs the epoch date 1970-01-01.
+  constexpr Date() = default;
+
+  /// Constructs from civil year/month/day. Does not validate; use
+  /// IsValid() when input is untrusted.
+  constexpr Date(int year, int month, int day)
+      : year_(year), month_(month), day_(day) {}
+
+  /// Parses "YYYY-MM-DD". Throws std::invalid_argument on malformed input.
+  static Date FromString(const std::string& text);
+
+  /// Date from a serial day number (days since 1970-01-01; may be negative).
+  static Date FromDayNumber(std::int64_t days);
+
+  constexpr int year() const { return year_; }
+  constexpr int month() const { return month_; }
+  constexpr int day() const { return day_; }
+
+  /// Days since 1970-01-01.
+  std::int64_t DayNumber() const;
+
+  Weekday weekday() const;
+  bool IsWeekend() const;
+  bool IsValid() const;
+
+  /// This date shifted by `days` (may be negative).
+  Date AddDays(std::int64_t days) const;
+
+  /// "YYYY-MM-DD".
+  std::string ToString() const;
+
+  friend constexpr auto operator<=>(const Date&, const Date&) = default;
+
+ private:
+  std::int16_t year_ = 1970;
+  std::int8_t month_ = 1;
+  std::int8_t day_ = 1;
+};
+
+/// Whole days between two dates: `b - a`.
+std::int64_t DaysBetween(const Date& a, const Date& b);
+
+}  // namespace acobe

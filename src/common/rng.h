@@ -1,0 +1,134 @@
+#pragma once
+
+// Deterministic random number generation.
+//
+// Every stochastic component in the repo (data synthesis, weight init,
+// batch shuffling) draws from an explicitly seeded `Rng`, so that all
+// experiments are bit-reproducible. The engine is xoshiro256** seeded
+// via splitmix64; distributions are implemented here rather than via
+// <random> because libstdc++'s distributions are not guaranteed to be
+// stable across versions.
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace acobe {
+
+/// Stateless mixer used for seeding and for key-based sub-stream derivation.
+constexpr std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256** engine with portable distribution helpers.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed) { Seed(seed); }
+
+  void Seed(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x = SplitMix64(x);
+      word = x == 0 ? 0x9e3779b97f4a7c15ULL : x;
+    }
+  }
+
+  /// Derives an independent sub-stream keyed by (this stream's seed, key).
+  /// Used to give each simulated user / day its own reproducible stream.
+  Rng Fork(std::uint64_t key) const {
+    return Rng(SplitMix64(state_[0] ^ SplitMix64(key)));
+  }
+
+  std::uint64_t NextU64() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0,1).
+  double NextDouble() { return (NextU64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  std::uint64_t NextBounded(std::uint64_t bound) {
+    if (bound == 0) throw std::invalid_argument("Rng::NextBounded: bound==0");
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t x = NextU64();
+    unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        x = NextU64();
+        m = static_cast<unsigned __int128>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform int in [lo, hi] inclusive.
+  int NextInt(int lo, int hi) {
+    if (hi < lo) throw std::invalid_argument("Rng::NextInt: hi < lo");
+    return lo + static_cast<int>(
+                    NextBounded(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [lo, hi).
+  double NextUniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+  /// Standard normal via Marsaglia polar method.
+  double NextGaussian();
+
+  /// Normal with the given mean and standard deviation.
+  double NextGaussian(double mean, double stddev) {
+    return mean + stddev * NextGaussian();
+  }
+
+  /// Poisson draw; inversion for small means, PTRS-like normal
+  /// approximation w/ rounding for large means (adequate for simulation).
+  int NextPoisson(double mean);
+
+  /// Exponential with the given rate (>0).
+  double NextExponential(double rate);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = NextBounded(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Uniformly random element index of a non-empty container.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    if (v.empty()) throw std::invalid_argument("Rng::Pick: empty vector");
+    return v[NextBounded(v.size())];
+  }
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace acobe

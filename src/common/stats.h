@@ -1,0 +1,46 @@
+#pragma once
+
+// Small numeric helpers shared across modules.
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+
+namespace acobe {
+
+/// Arithmetic mean; 0 for an empty span.
+inline double Mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+/// Population standard deviation (the paper does not specify the ddof;
+/// population std matches NumPy's default used by the reference
+/// tooling). 0 for spans with fewer than one element.
+inline double StdDev(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  const double mu = Mean(xs);
+  double acc = 0.0;
+  for (double x : xs) {
+    const double d = x - mu;
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+/// Clamps x into [-bound, bound].
+inline double ClampSymmetric(double x, double bound) {
+  if (x > bound) return bound;
+  if (x < -bound) return -bound;
+  return x;
+}
+
+/// Linear rescale of x from [-bound, bound] to [0, 1].
+inline double ToUnitInterval(double x, double bound) {
+  return (x + bound) / (2.0 * bound);
+}
+
+}  // namespace acobe

@@ -1,0 +1,106 @@
+#include "core/critic.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace acobe {
+
+namespace {
+
+std::vector<int> RanksFromScores(const std::vector<float>& scores);
+
+}  // namespace
+
+std::vector<int> AspectRanks(const ScoreGrid& grid, int aspect,
+                             int top_k_days) {
+  const int n = grid.users();
+  std::vector<float> scores(n);
+  for (int u = 0; u < n; ++u) {
+    scores[u] = top_k_days <= 1 ? grid.MaxOverDays(aspect, u)
+                                : grid.TopKMean(aspect, u, top_k_days);
+  }
+  return RanksFromScores(scores);
+}
+
+std::vector<int> AspectRanksOnDay(const ScoreGrid& grid, int aspect, int day) {
+  const int n = grid.users();
+  std::vector<float> scores(n);
+  for (int u = 0; u < n; ++u) scores[u] = grid.At(aspect, u, day);
+  return RanksFromScores(scores);
+}
+
+namespace {
+
+std::vector<int> RanksFromScores(const std::vector<float>& scores) {
+  const int n = static_cast<int>(scores.size());
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return scores[a] > scores[b];
+  });
+
+  std::vector<int> ranks(n, 0);
+  for (int pos = 0; pos < n; ++pos) {
+    // Competition ranking: equal scores share the earliest position.
+    if (pos > 0 && scores[order[pos]] == scores[order[pos - 1]]) {
+      ranks[order[pos]] = ranks[order[pos - 1]];
+    } else {
+      ranks[order[pos]] = pos + 1;
+    }
+  }
+  return ranks;
+}
+
+}  // namespace
+
+std::vector<InvestigationEntry> RankFromRanks(
+    const std::vector<std::vector<int>>& ranks, int n_votes) {
+  if (ranks.empty()) return {};
+  const int aspects = static_cast<int>(ranks.front().size());
+  if (aspects == 0) throw std::invalid_argument("RankFromRanks: no aspects");
+  const int n = std::clamp(n_votes, 1, aspects);
+
+  std::vector<InvestigationEntry> list;
+  list.reserve(ranks.size());
+  for (std::size_t u = 0; u < ranks.size(); ++u) {
+    std::vector<int> sorted = ranks[u];
+    if (static_cast<int>(sorted.size()) != aspects) {
+      throw std::invalid_argument("RankFromRanks: ragged ranks");
+    }
+    std::sort(sorted.begin(), sorted.end());
+    InvestigationEntry entry;
+    entry.user_idx = static_cast<int>(u);
+    entry.priority = sorted[n - 1];  // the N-th best rank (index from 0)
+    list.push_back(entry);
+  }
+  std::stable_sort(list.begin(), list.end(),
+                   [](const InvestigationEntry& a, const InvestigationEntry& b) {
+                     return a.priority < b.priority;
+                   });
+  return list;
+}
+
+std::vector<InvestigationEntry> RankUsers(const ScoreGrid& grid, int n_votes,
+                                          int top_k_days) {
+  std::vector<std::vector<int>> ranks(grid.users(),
+                                      std::vector<int>(grid.aspects()));
+  for (int a = 0; a < grid.aspects(); ++a) {
+    const std::vector<int> aspect_ranks = AspectRanks(grid, a, top_k_days);
+    for (int u = 0; u < grid.users(); ++u) ranks[u][a] = aspect_ranks[u];
+  }
+  return RankFromRanks(ranks, n_votes);
+}
+
+std::vector<InvestigationEntry> RankUsersOnDay(const ScoreGrid& grid,
+                                               int n_votes, int day) {
+  std::vector<std::vector<int>> ranks(grid.users(),
+                                      std::vector<int>(grid.aspects()));
+  for (int a = 0; a < grid.aspects(); ++a) {
+    const std::vector<int> aspect_ranks = AspectRanksOnDay(grid, a, day);
+    for (int u = 0; u < grid.users(); ++u) ranks[u][a] = aspect_ranks[u];
+  }
+  return RankFromRanks(ranks, n_votes);
+}
+
+}  // namespace acobe

@@ -1,0 +1,47 @@
+#pragma once
+
+// Anomaly detection critic (Section IV.C, Algorithm 1).
+//
+// Each user gets one rank per behavioral aspect (rank 1 = highest
+// anomaly score in that aspect over the evaluation window). The user's
+// investigation priority is their N-th best rank across aspects — i.e.
+// a user must be top-anomalous in at least N aspects to get a high
+// priority ("N votes"). The investigation list is sorted by priority.
+
+#include <vector>
+
+#include "core/score_grid.h"
+
+namespace acobe {
+
+struct InvestigationEntry {
+  int user_idx = -1;
+  /// Priority = N-th best per-aspect rank; smaller = investigate first.
+  double priority = 0.0;
+};
+
+/// Per-user ranks for one aspect (1-based; rank 1 = highest score over
+/// the grid's whole day range). Ties share the smallest applicable rank
+/// (competition ranking).
+std::vector<int> AspectRanks(const ScoreGrid& grid, int aspect,
+                             int top_k_days = 1);
+
+/// Per-user ranks for one aspect using only day `day`'s scores.
+std::vector<int> AspectRanksOnDay(const ScoreGrid& grid, int aspect, int day);
+
+/// Algorithm 1. `n_votes` is clamped to the number of aspects.
+std::vector<InvestigationEntry> RankUsers(const ScoreGrid& grid, int n_votes,
+                                          int top_k_days = 1);
+
+/// Algorithm 1 on a single day's scores — the daily investigation list
+/// a security analyst would pull each morning (Section VI.C evaluates
+/// the victim's rank on each day after the attack).
+std::vector<InvestigationEntry> RankUsersOnDay(const ScoreGrid& grid,
+                                               int n_votes, int day);
+
+/// Algorithm 1 on externally supplied per-user per-aspect ranks
+/// (ranks[user][aspect]); exposed for tests and custom critics.
+std::vector<InvestigationEntry> RankFromRanks(
+    const std::vector<std::vector<int>>& ranks, int n_votes);
+
+}  // namespace acobe

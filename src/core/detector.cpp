@@ -1,0 +1,115 @@
+#include "core/detector.h"
+
+#include <stdexcept>
+
+namespace acobe {
+namespace {
+
+std::vector<AspectGroup> EffectiveAspects(const FeatureCatalog& catalog,
+                                          bool split) {
+  if (split) return catalog.aspects();
+  AspectGroup all;
+  all.name = "all-in-1";
+  for (int f = 0; f < catalog.feature_count(); ++f) {
+    all.feature_indices.push_back(f);
+  }
+  return {all};
+}
+
+}  // namespace
+
+DetectionOutput Detector::Run(const MeasurementCube& cube,
+                              const FeatureCatalog& catalog,
+                              const std::vector<UserId>& members,
+                              int train_begin, int train_end, int score_begin,
+                              int score_end, std::ostream* log) const {
+  if (members.empty()) {
+    throw std::invalid_argument("Detector::Run: no group members");
+  }
+  // Dense member -> cube entity index map.
+  std::vector<int> member_map;
+  std::vector<UserId> member_ids;
+  for (UserId user : members) {
+    const int idx = cube.UserIndex(user);
+    if (idx < 0) continue;  // user produced no events at all
+    member_map.push_back(idx);
+    member_ids.push_back(user);
+  }
+  if (member_map.empty()) {
+    throw std::invalid_argument("Detector::Run: no member has measurements");
+  }
+  const int n_members = static_cast<int>(member_map.size());
+
+  // Build the behavioral representation.
+  std::unique_ptr<DeviationSeries> user_series;
+  std::unique_ptr<SampleBuilder> base_builder;
+  if (spec_.representation == Representation::kCompound) {
+    user_series = std::make_unique<DeviationSeries>(
+        DeviationSeries::Compute(cube, spec_.deviation));
+    std::vector<DeviationSeries> groups;
+    std::vector<int> group_of_user;
+    if (spec_.deviation.include_group) {
+      const std::vector<float> mean = TrimmedGroupMeanSeries(
+          cube, member_map, spec_.deviation.group_trim);
+      groups.push_back(DeviationSeries::ComputeFromSeries(
+          mean, cube.features(), cube.days(), cube.frames(),
+          spec_.deviation));
+      group_of_user.assign(cube.users(), 0);
+    }
+    base_builder = std::make_unique<CompoundMatrixBuilder>(
+        user_series.get(), std::move(groups), std::move(group_of_user));
+  } else {
+    const int norm_begin = std::max(0, train_begin);
+    const int norm_end = std::min(cube.days(), train_end);
+    base_builder =
+        std::make_unique<NormalizedDayBuilder>(&cube, norm_begin, norm_end);
+  }
+  SubsetBuilder builder(base_builder.get(), member_map);
+
+  AspectEnsemble ensemble(EffectiveAspects(catalog, spec_.split_aspects),
+                          spec_.ensemble);
+  auto epoch_logger =
+      log ? [log, this](const std::string& aspect, const nn::EpochStats& s) {
+        if (s.epoch % 5 == 0) {
+          (*log) << "[" << spec_.name << "/" << aspect << "] epoch " << s.epoch
+                 << " loss " << s.loss << "\n";
+        }
+      }
+          : std::function<void(const std::string&, const nn::EpochStats&)>();
+  ensemble.Train(builder, n_members, train_begin, train_end, epoch_logger);
+
+  DetectionOutput out;
+  out.grid = ensemble.Score(builder, n_members, score_begin, score_end);
+  if (spec_.per_user_calibration) {
+    // Baseline each user against their own training-window error,
+    // shrunk towards the population mean so users with near-zero
+    // training error cannot explode a stray test-day blip into a
+    // top-of-list ratio.
+    const ScoreGrid train_grid =
+        ensemble.Score(builder, n_members, train_begin, train_end);
+    for (int a = 0; a < out.grid.aspects(); ++a) {
+      std::vector<double> user_mean(n_members, 0.0);
+      double population_mean = 0.0;
+      for (int u = 0; u < n_members; ++u) {
+        for (int d = train_grid.day_begin(); d < train_grid.day_end(); ++d) {
+          user_mean[u] += train_grid.At(a, u, d);
+        }
+        user_mean[u] /= train_grid.day_count();
+        population_mean += user_mean[u];
+      }
+      population_mean /= n_members;
+      for (int u = 0; u < n_members; ++u) {
+        const float denom = static_cast<float>(
+            user_mean[u] + 0.5 * population_mean + 1e-9);
+        for (int d = out.grid.day_begin(); d < out.grid.day_end(); ++d) {
+          out.grid.At(a, u, d) /= denom;
+        }
+      }
+    }
+  }
+  out.list = RankUsers(out.grid, spec_.critic_votes, spec_.score_top_k_days);
+  out.members = std::move(member_ids);
+  return out;
+}
+
+}  // namespace acobe

@@ -1,0 +1,97 @@
+#pragma once
+
+// End-to-end detector: representation + ensemble + critic over one
+// measurement cube. The DetectorSpec expresses ACOBE itself as well as
+// every ablation/baseline the paper evaluates (see src/baselines for
+// the ready-made specs).
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "behavior/compound_matrix.h"
+#include "behavior/normalized_day.h"
+#include "core/critic.h"
+#include "core/ensemble.h"
+#include "features/feature_catalog.h"
+#include "features/measurement_cube.h"
+
+namespace acobe {
+
+enum class Representation {
+  kCompound,       // multi-day compound behavioral deviation matrix
+  kNormalizedDay,  // single-day min-max normalized counts
+};
+
+struct DetectorSpec {
+  std::string name = "acobe";
+  Representation representation = Representation::kCompound;
+  /// Compound-only knobs.
+  DeviationConfig deviation;
+  /// One autoencoder per catalog aspect (true) or a single all-in-one
+  /// autoencoder over every feature (false).
+  bool split_aspects = true;
+  EnsembleConfig ensemble;
+  /// Critic's N (votes); clamped to the aspect count.
+  int critic_votes = 3;
+  /// Per-aspect user score over the test window = mean of the k highest
+  /// daily scores (1 = plain max). A sustained anomaly keeps several
+  /// days elevated, while single-day score noise does not.
+  int score_top_k_days = 7;
+  /// Divide each user's scores by their mean reconstruction error over
+  /// the training window. Cancels chronic per-user reconstruction
+  /// difficulty (users with inherently noisier behavior), which
+  /// otherwise dominates at small population sizes; the paper's 929-user
+  /// population averages this out instead.
+  bool per_user_calibration = true;
+};
+
+/// Exposes a user subset of a builder as dense indices [0, n).
+class SubsetBuilder : public SampleBuilder {
+ public:
+  SubsetBuilder(const SampleBuilder* inner, std::vector<int> user_map)
+      : inner_(inner), user_map_(std::move(user_map)) {}
+
+  std::vector<float> BuildSample(int user_idx, std::span<const int> features,
+                                 int day) const override {
+    return inner_->BuildSample(user_map_.at(user_idx), features, day);
+  }
+  std::size_t SampleSize(std::size_t n_features) const override {
+    return inner_->SampleSize(n_features);
+  }
+  int FirstValidDay() const override { return inner_->FirstValidDay(); }
+  int EndDay() const override { return inner_->EndDay(); }
+
+ private:
+  const SampleBuilder* inner_;
+  std::vector<int> user_map_;
+};
+
+struct DetectionOutput {
+  ScoreGrid grid;                         // (aspect, member, day) scores
+  std::vector<InvestigationEntry> list;   // critic output, member indices
+  std::vector<UserId> members;            // dense member order
+};
+
+class Detector {
+ public:
+  explicit Detector(DetectorSpec spec) : spec_(std::move(spec)) {}
+
+  const DetectorSpec& spec() const { return spec_; }
+
+  /// Trains on [train_begin, train_end) and scores [score_begin,
+  /// score_end) for the group `members` (user ids present in `cube`).
+  /// The group component of compound matrices is the mean behavior of
+  /// `members` (the paper's department group).
+  DetectionOutput Run(const MeasurementCube& cube,
+                      const FeatureCatalog& catalog,
+                      const std::vector<UserId>& members, int train_begin,
+                      int train_end, int score_begin, int score_end,
+                      std::ostream* log = nullptr) const;
+
+ private:
+  DetectorSpec spec_;
+};
+
+}  // namespace acobe

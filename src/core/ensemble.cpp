@@ -1,0 +1,153 @@
+#include "core/ensemble.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "nn/optimizer.h"
+
+namespace acobe {
+
+AspectEnsemble::AspectEnsemble(std::vector<AspectGroup> aspects,
+                               EnsembleConfig config)
+    : aspects_(std::move(aspects)), config_(std::move(config)) {
+  if (aspects_.empty()) {
+    throw std::invalid_argument("AspectEnsemble: no aspects");
+  }
+  for (const AspectGroup& aspect : aspects_) {
+    if (aspect.feature_indices.empty()) {
+      throw std::invalid_argument("AspectEnsemble: empty aspect '" +
+                                  aspect.name + "'");
+    }
+  }
+}
+
+AspectEnsemble AspectEnsemble::FromTrainedModels(
+    std::vector<AspectGroup> aspects, EnsembleConfig config,
+    std::vector<nn::Sequential> models,
+    std::vector<nn::AutoencoderSpec> specs) {
+  if (models.size() != aspects.size() || specs.size() != aspects.size()) {
+    throw std::invalid_argument(
+        "AspectEnsemble::FromTrainedModels: size mismatch");
+  }
+  AspectEnsemble ensemble(std::move(aspects), std::move(config));
+  ensemble.models_ = std::move(models);
+  ensemble.specs_ = std::move(specs);
+  ensemble.trained_ = true;
+  return ensemble;
+}
+
+nn::Tensor AspectEnsemble::AssembleBatchForDays(const SampleBuilder& builder,
+                                                const AspectGroup& aspect,
+                                                int n_users, int day_begin,
+                                                int day_end,
+                                                int stride) const {
+  const int first = std::max(day_begin, builder.FirstValidDay());
+  const int last = std::min(day_end, builder.EndDay());
+  if (first >= last) {
+    throw std::invalid_argument(
+        "AspectEnsemble: empty day range after clamping to builder validity");
+  }
+  const std::size_t dim = builder.SampleSize(aspect.feature_indices.size());
+  std::size_t rows = 0;
+  for (int d = first; d < last; d += stride) ++rows;
+  rows *= static_cast<std::size_t>(n_users);
+
+  nn::Tensor data(rows, dim);
+  std::size_t row = 0;
+  for (int u = 0; u < n_users; ++u) {
+    for (int d = first; d < last; d += stride) {
+      const std::vector<float> sample =
+          builder.BuildSample(u, aspect.feature_indices, d);
+      std::copy(sample.begin(), sample.end(), data.data() + row * dim);
+      ++row;
+    }
+  }
+  return data;
+}
+
+void AspectEnsemble::Train(
+    const SampleBuilder& builder, int n_users, int day_begin, int day_end,
+    const std::function<void(const std::string&, const nn::EpochStats&)>&
+        on_epoch) {
+  models_.clear();
+  specs_.clear();
+  for (std::size_t a = 0; a < aspects_.size(); ++a) {
+    const AspectGroup& aspect = aspects_[a];
+    nn::AutoencoderSpec spec;
+    spec.input_dim = builder.SampleSize(aspect.feature_indices.size());
+    spec.encoder_dims = config_.encoder_dims;
+    spec.batch_norm = config_.batch_norm;
+    spec.sigmoid_output = true;
+    nn::Sequential net = nn::BuildAutoencoder(spec);
+    Rng rng(config_.seed + a * 7919);
+    net.InitParams(rng);
+
+    const nn::Tensor data =
+        AssembleBatchForDays(builder, aspect, n_users, day_begin, day_end,
+                             std::max(1, config_.train_stride));
+    std::unique_ptr<nn::Optimizer> optimizer_ptr;
+    switch (config_.optimizer) {
+      case OptimizerKind::kAdadelta:
+        optimizer_ptr = std::make_unique<nn::Adadelta>(config_.learning_rate);
+        break;
+      case OptimizerKind::kAdam:
+        optimizer_ptr = std::make_unique<nn::Adam>(config_.learning_rate);
+        break;
+      case OptimizerKind::kSgd:
+        optimizer_ptr =
+            std::make_unique<nn::Sgd>(config_.learning_rate, 0.9f);
+        break;
+    }
+    nn::Optimizer& optimizer = *optimizer_ptr;
+    nn::TrainConfig train = config_.train;
+    train.seed = config_.seed + a * 104729;
+    nn::TrainReconstruction(net, optimizer, data, train,
+                            on_epoch
+                                ? [&](const nn::EpochStats& s) {
+                                    on_epoch(aspect.name, s);
+                                  }
+                                : std::function<void(const nn::EpochStats&)>());
+    models_.push_back(std::move(net));
+    specs_.push_back(spec);
+  }
+  trained_ = true;
+}
+
+ScoreGrid AspectEnsemble::Score(const SampleBuilder& builder, int n_users,
+                                int day_begin, int day_end) const {
+  if (!trained_) throw std::logic_error("AspectEnsemble::Score before Train");
+  const int first = std::max(day_begin, builder.FirstValidDay());
+  const int last = std::min(day_end, builder.EndDay());
+  if (first >= last) {
+    throw std::invalid_argument("AspectEnsemble::Score: empty day range");
+  }
+  std::vector<std::string> names;
+  names.reserve(aspects_.size());
+  for (const AspectGroup& a : aspects_) names.push_back(a.name);
+  ScoreGrid grid(std::move(names), n_users, first, last);
+
+  for (std::size_t a = 0; a < aspects_.size(); ++a) {
+    const AspectGroup& aspect = aspects_[a];
+    const std::size_t dim = builder.SampleSize(aspect.feature_indices.size());
+    // Batch all days of one user at a time.
+    nn::Sequential& net = const_cast<nn::Sequential&>(models_[a]);
+    nn::Tensor batch(static_cast<std::size_t>(last - first), dim);
+    for (int u = 0; u < n_users; ++u) {
+      for (int d = first; d < last; ++d) {
+        const std::vector<float> sample =
+            builder.BuildSample(u, aspect.feature_indices, d);
+        std::copy(sample.begin(), sample.end(),
+                  batch.data() + static_cast<std::size_t>(d - first) * dim);
+      }
+      nn::Tensor pred = net.Forward(batch, /*training=*/false);
+      const std::vector<float> errors = nn::PerSampleMse(pred, batch);
+      for (int d = first; d < last; ++d) {
+        grid.At(static_cast<int>(a), u, d) = errors[d - first];
+      }
+    }
+  }
+  return grid;
+}
+
+}  // namespace acobe

@@ -1,0 +1,99 @@
+#include "core/ensemble_io.h"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "nn/serialize.h"
+
+namespace acobe {
+namespace {
+
+constexpr std::uint32_t kMagic = 0xAC0BE002;
+
+void WriteU32(std::ostream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint32_t ReadU32(std::istream& in) {
+  std::uint32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw std::runtime_error("LoadEnsemble: truncated stream");
+  return v;
+}
+
+void WriteString(std::ostream& out, const std::string& s) {
+  WriteU32(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string ReadString(std::istream& in) {
+  const std::uint32_t n = ReadU32(in);
+  if (n > (1u << 20)) throw std::runtime_error("LoadEnsemble: bad string");
+  std::string s(n, '\0');
+  in.read(s.data(), n);
+  if (!in) throw std::runtime_error("LoadEnsemble: truncated string");
+  return s;
+}
+
+}  // namespace
+
+void SaveEnsemble(AspectEnsemble& ensemble, std::ostream& out) {
+  if (!ensemble.trained()) {
+    throw std::logic_error("SaveEnsemble: ensemble is not trained");
+  }
+  WriteU32(out, kMagic);
+  WriteU32(out, static_cast<std::uint32_t>(ensemble.aspect_count()));
+  for (int a = 0; a < ensemble.aspect_count(); ++a) {
+    const AspectGroup& aspect = ensemble.aspect(a);
+    WriteString(out, aspect.name);
+    WriteU32(out, static_cast<std::uint32_t>(aspect.feature_indices.size()));
+    for (int f : aspect.feature_indices) {
+      WriteU32(out, static_cast<std::uint32_t>(f));
+    }
+    nn::SaveAutoencoder(ensemble.model_spec(a), ensemble.model(a), out);
+  }
+}
+
+AspectEnsemble LoadEnsemble(std::istream& in) {
+  if (ReadU32(in) != kMagic) {
+    throw std::runtime_error("LoadEnsemble: bad magic");
+  }
+  const std::uint32_t aspects = ReadU32(in);
+  std::vector<AspectGroup> groups;
+  std::vector<nn::Sequential> models;
+  std::vector<nn::AutoencoderSpec> specs;
+  for (std::uint32_t a = 0; a < aspects; ++a) {
+    AspectGroup group;
+    group.name = ReadString(in);
+    const std::uint32_t n = ReadU32(in);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      group.feature_indices.push_back(static_cast<int>(ReadU32(in)));
+    }
+    groups.push_back(std::move(group));
+    nn::AutoencoderSpec spec;
+    models.push_back(nn::LoadAutoencoder(in, spec));
+    specs.push_back(spec);
+  }
+  EnsembleConfig config;
+  if (!specs.empty()) config.encoder_dims = specs.front().encoder_dims;
+  return AspectEnsemble::FromTrainedModels(std::move(groups),
+                                           std::move(config),
+                                           std::move(models), std::move(specs));
+}
+
+void SaveEnsembleFile(AspectEnsemble& ensemble, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("SaveEnsembleFile: cannot open " + path);
+  SaveEnsemble(ensemble, out);
+}
+
+AspectEnsemble LoadEnsembleFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("LoadEnsembleFile: cannot open " + path);
+  return LoadEnsemble(in);
+}
+
+}  // namespace acobe

@@ -1,0 +1,57 @@
+#include "core/monitor.h"
+
+#include <algorithm>
+#include <map>
+
+namespace acobe {
+
+std::vector<Alert> FindPersistentAlerts(const ScoreGrid& grid,
+                                        const MonitorConfig& config) {
+  struct Tracking {
+    int streak = 0;       // consecutive firing days (pre-alert)
+    int quiet = 0;        // consecutive quiet days (while alert open)
+    bool open = false;
+    Alert alert;
+  };
+  std::map<int, Tracking> tracking;
+  std::vector<Alert> alerts;
+
+  for (int d = grid.day_begin(); d < grid.day_end(); ++d) {
+    const auto daily = RankUsersOnDay(grid, config.n_votes, d);
+    std::vector<bool> fired(grid.users(), false);
+    const int top = std::min<int>(config.top_positions,
+                                  static_cast<int>(daily.size()));
+    for (int i = 0; i < top; ++i) fired[daily[i].user_idx] = true;
+
+    for (int u = 0; u < grid.users(); ++u) {
+      Tracking& t = tracking[u];
+      if (fired[u]) {
+        t.quiet = 0;
+        ++t.streak;
+        if (!t.open && t.streak >= config.persistence_days) {
+          t.open = true;
+          t.alert = Alert{u, d - t.streak + 1, d, t.streak};
+        } else if (t.open) {
+          t.alert.last_day = d;
+          ++t.alert.firing_days;
+        }
+      } else {
+        t.streak = 0;
+        if (t.open && ++t.quiet >= config.cooloff_days) {
+          alerts.push_back(t.alert);
+          t = Tracking{};
+        }
+      }
+    }
+  }
+  for (auto& [user, t] : tracking) {
+    if (t.open) alerts.push_back(t.alert);
+  }
+  std::sort(alerts.begin(), alerts.end(),
+            [](const Alert& a, const Alert& b) {
+              return a.first_day < b.first_day;
+            });
+  return alerts;
+}
+
+}  // namespace acobe

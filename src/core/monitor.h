@@ -1,0 +1,39 @@
+#pragma once
+
+// Operational monitoring layer on top of the score grid: daily
+// investigation lists (Section VI.C's "periodic investigation") plus
+// persistent-alert extraction — a user who stays in the top of the
+// daily list for several consecutive days becomes one deduplicated
+// alert with a span, rather than one alert per day.
+
+#include <vector>
+
+#include "core/critic.h"
+#include "core/score_grid.h"
+
+namespace acobe {
+
+struct MonitorConfig {
+  /// Critic votes for the daily lists.
+  int n_votes = 2;
+  /// A user "fires" on a day when listed within the first `top_positions`.
+  int top_positions = 3;
+  /// Consecutive firing days required before an alert opens.
+  int persistence_days = 2;
+  /// An open alert closes after this many consecutive quiet days.
+  int cooloff_days = 2;
+};
+
+struct Alert {
+  int user_idx = -1;
+  int first_day = 0;   // grid day index when the alert opened
+  int last_day = 0;    // last firing day
+  int firing_days = 0; // total days in the top positions
+};
+
+/// Scans the grid's day range, builds the daily lists, and merges
+/// consecutive firings into alerts. Alerts are ordered by first_day.
+std::vector<Alert> FindPersistentAlerts(const ScoreGrid& grid,
+                                        const MonitorConfig& config);
+
+}  // namespace acobe

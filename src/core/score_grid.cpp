@@ -1,0 +1,32 @@
+#include "core/score_grid.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace acobe {
+
+float ScoreGrid::MaxOverDays(int aspect, int user) const {
+  float best = 0.0f;
+  for (int d = day_begin_; d < day_end_; ++d) {
+    best = std::max(best, At(aspect, user, d));
+  }
+  return best;
+}
+
+float ScoreGrid::TopKMean(int aspect, int user, int k) const {
+  if (k <= 0) throw std::invalid_argument("ScoreGrid::TopKMean: k <= 0");
+  k = std::min(k, day_count());
+  std::vector<float> scores;
+  scores.reserve(day_count());
+  for (int d = day_begin_; d < day_end_; ++d) {
+    scores.push_back(At(aspect, user, d));
+  }
+  std::partial_sort(scores.begin(), scores.begin() + k, scores.end(),
+                    std::greater<float>());
+  double sum = 0.0;
+  for (int i = 0; i < k; ++i) sum += scores[i];
+  return static_cast<float>(sum / k);
+}
+
+}  // namespace acobe

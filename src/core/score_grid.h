@@ -1,0 +1,68 @@
+#pragma once
+
+// Anomaly scores produced by the ensemble: one reconstruction error per
+// (aspect, user, day) over a contiguous day range.
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace acobe {
+
+class ScoreGrid {
+ public:
+  ScoreGrid() = default;
+  ScoreGrid(std::vector<std::string> aspect_names, int users, int day_begin,
+            int day_end)
+      : aspect_names_(std::move(aspect_names)),
+        users_(users),
+        day_begin_(day_begin),
+        day_end_(day_end),
+        data_(aspect_names_.size() * static_cast<std::size_t>(users) *
+              (day_end - day_begin)) {
+    if (users <= 0 || day_end <= day_begin) {
+      throw std::invalid_argument("ScoreGrid: empty dimensions");
+    }
+  }
+
+  int aspects() const { return static_cast<int>(aspect_names_.size()); }
+  int users() const { return users_; }
+  int day_begin() const { return day_begin_; }
+  int day_end() const { return day_end_; }
+  int day_count() const { return day_end_ - day_begin_; }
+  const std::string& aspect_name(int a) const { return aspect_names_.at(a); }
+
+  float& At(int aspect, int user, int day) {
+    return data_[Offset(aspect, user, day)];
+  }
+  float At(int aspect, int user, int day) const {
+    return data_[Offset(aspect, user, day)];
+  }
+
+  /// Max score over the grid's day range for (aspect, user) — the
+  /// per-aspect score used to rank users over a test window.
+  float MaxOverDays(int aspect, int user) const;
+
+  /// Mean of the `k` highest daily scores — robust to single-day noise
+  /// while still rewarding sustained elevation (k=1 reduces to max,
+  /// k=day_count to the plain mean).
+  float TopKMean(int aspect, int user, int k) const;
+
+ private:
+  std::size_t Offset(int aspect, int user, int day) const {
+    if (aspect < 0 || aspect >= aspects() || user < 0 || user >= users_ ||
+        day < day_begin_ || day >= day_end_) {
+      throw std::out_of_range("ScoreGrid: index out of range");
+    }
+    return (static_cast<std::size_t>(aspect) * users_ + user) * day_count() +
+           (day - day_begin_);
+  }
+
+  std::vector<std::string> aspect_names_;
+  int users_ = 0;
+  int day_begin_ = 0;
+  int day_end_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace acobe

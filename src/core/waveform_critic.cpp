@@ -1,0 +1,120 @@
+#include "core/waveform_critic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace acobe {
+
+const char* ToString(WaveformKind kind) {
+  switch (kind) {
+    case WaveformKind::kFlat: return "flat";
+    case WaveformKind::kRecentSpike: return "recent-spike";
+    case WaveformKind::kBurstDecay: return "burst-decay";
+    case WaveformKind::kChaotic: return "chaotic";
+  }
+  return "?";
+}
+
+WaveformFeatures AnalyzeWaveform(const ScoreGrid& grid, int aspect, int user,
+                                 const WaveformCriticConfig& config) {
+  WaveformFeatures out;
+  const int n = grid.day_count();
+  if (n < 4) return out;
+
+  // Baseline from the leading third of the window.
+  const int baseline_days = std::max(2, n / 3);
+  double base_sum = 0, base_sq = 0;
+  for (int i = 0; i < baseline_days; ++i) {
+    const double s = grid.At(aspect, user, grid.day_begin() + i);
+    base_sum += s;
+    base_sq += s * s;
+  }
+  const double base_mean = base_sum / baseline_days;
+  const double base_std = std::sqrt(std::max(
+      1e-12, base_sq / baseline_days - base_mean * base_mean));
+
+  // Peak relative to the baseline.
+  double peak = -1e30;
+  int peak_day = grid.day_begin();
+  for (int d = grid.day_begin(); d < grid.day_end(); ++d) {
+    const double s = grid.At(aspect, user, d);
+    if (s > peak) {
+      peak = s;
+      peak_day = d;
+    }
+  }
+  out.peak_z = (peak - base_mean) / base_std;
+  out.peak_day = peak_day;
+  out.recent = grid.day_end() - peak_day <= config.recent_days;
+
+  if (out.peak_z < config.spike_z) {
+    out.kind = WaveformKind::kFlat;
+    return out;
+  }
+
+  // Post-peak shape: how consistently does the series decrease, and how
+  // rough is it?
+  int decreasing = 0, steps = 0;
+  double abs_delta = 0, level = 0;
+  for (int d = peak_day + 1; d < grid.day_end(); ++d) {
+    const double prev = grid.At(aspect, user, d - 1);
+    const double cur = grid.At(aspect, user, d);
+    if (cur < prev) ++decreasing;
+    abs_delta += std::fabs(cur - prev);
+    level += cur;
+    ++steps;
+  }
+  if (steps >= 3) {
+    out.decay_fraction = static_cast<double>(decreasing) / steps;
+    const double mean_level = std::max(1e-9, level / steps);
+    out.roughness = (abs_delta / steps) / mean_level;
+  }
+
+  if (out.recent && steps < 3) {
+    out.kind = WaveformKind::kRecentSpike;
+  } else if (out.decay_fraction >= config.decay_threshold &&
+             out.roughness < 0.5) {
+    out.kind = WaveformKind::kBurstDecay;
+  } else if (out.recent) {
+    out.kind = WaveformKind::kRecentSpike;
+  } else {
+    out.kind = WaveformKind::kChaotic;
+  }
+  return out;
+}
+
+std::vector<InvestigationEntry> WaveformRankUsers(
+    const ScoreGrid& grid, const WaveformCriticConfig& config) {
+  // Start from Algorithm-1 priorities.
+  std::vector<InvestigationEntry> base =
+      RankUsers(grid, config.n_votes, config.top_k_days);
+
+  // Adjust each user's priority by their dominant waveform: find the
+  // aspect with the strongest spike and use its classification.
+  for (InvestigationEntry& entry : base) {
+    WaveformFeatures best;
+    for (int a = 0; a < grid.aspects(); ++a) {
+      const WaveformFeatures f =
+          AnalyzeWaveform(grid, a, entry.user_idx, config);
+      if (f.peak_z > best.peak_z) best = f;
+    }
+    switch (best.kind) {
+      case WaveformKind::kFlat:
+        break;  // magnitude rank stands on its own
+      case WaveformKind::kRecentSpike:
+      case WaveformKind::kChaotic:
+        entry.priority *= config.recent_bonus;  // pull up for review
+        break;
+      case WaveformKind::kBurstDecay:
+        entry.priority *= config.benign_penalty;  // likely a new project
+        break;
+    }
+  }
+  std::stable_sort(base.begin(), base.end(),
+                   [](const InvestigationEntry& a, const InvestigationEntry& b) {
+                     return a.priority < b.priority;
+                   });
+  return base;
+}
+
+}  // namespace acobe

@@ -1,0 +1,80 @@
+#pragma once
+
+// Advanced detection critic (the paper's future work, Section VII.B).
+//
+// The basic critic ranks users by reconstruction-error magnitude only.
+// Section VII.B sketches two additional factors, both implemented here:
+//
+//  1. "whether the anomaly score has a recent spike" — a user whose
+//     score jumped recently is more interesting than one with a
+//     chronically high score;
+//  2. "whether the abnormal raise demonstrates a particular waveform" —
+//     a developer starting a new project shows a bursting raise with a
+//     long-lasting smooth decrease, whereas a cyberattack shows a raise
+//     without the decrease, or chaotic signals.
+//
+// WaveformCritic classifies each user's per-aspect score series and
+// combines (a) the N-th-best magnitude rank (Algorithm 1), (b) a recent
+// -spike bonus, and (c) a benign-waveform penalty into the final
+// priority. It degrades gracefully to the basic critic when the
+// waveform analysis is disabled.
+
+#include <string>
+#include <vector>
+
+#include "core/critic.h"
+#include "core/score_grid.h"
+
+namespace acobe {
+
+enum class WaveformKind {
+  kFlat,          // no significant raise anywhere
+  kRecentSpike,   // raised within the analysis tail, still elevated
+  kBurstDecay,    // raised then smoothly decreasing (benign-looking)
+  kChaotic,       // raised with high short-term variance (attack-looking)
+};
+
+const char* ToString(WaveformKind kind);
+
+struct WaveformFeatures {
+  WaveformKind kind = WaveformKind::kFlat;
+  /// Peak z-score of the series against its own leading baseline.
+  double peak_z = 0.0;
+  /// Day index (grid coordinates) of the peak.
+  int peak_day = 0;
+  /// Fraction of post-peak days that decrease vs their predecessor.
+  double decay_fraction = 0.0;
+  /// Short-term variability after the raise (mean |Δ| / level).
+  double roughness = 0.0;
+  /// True when the raise happened within `recent_days` of the grid end.
+  bool recent = false;
+};
+
+struct WaveformCriticConfig {
+  /// Votes N of the magnitude critic (Algorithm 1).
+  int n_votes = 2;
+  /// Top-k daily scores forming the magnitude score.
+  int top_k_days = 7;
+  /// A raise counts as a spike when peak_z exceeds this.
+  double spike_z = 2.5;
+  /// Days from the grid end that count as "recent".
+  int recent_days = 14;
+  /// Post-peak series decreasing for at least this fraction of days is
+  /// a benign burst-decay waveform.
+  double decay_threshold = 0.7;
+  /// Rank multiplier applied to benign-looking users (>1 pushes them
+  /// down the list) and bonus divisor for recent spikers (<1 pulls up).
+  double benign_penalty = 2.0;
+  double recent_bonus = 0.5;
+};
+
+/// Analyzes one score series (grid day range) for one (aspect, user).
+WaveformFeatures AnalyzeWaveform(const ScoreGrid& grid, int aspect, int user,
+                                 const WaveformCriticConfig& config);
+
+/// The advanced critic: Algorithm-1 priorities adjusted by waveform
+/// analysis. Returns entries sorted by adjusted priority.
+std::vector<InvestigationEntry> WaveformRankUsers(
+    const ScoreGrid& grid, const WaveformCriticConfig& config);
+
+}  // namespace acobe

@@ -1,0 +1,101 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+namespace acobe::eval {
+
+void SortWorstCase(std::vector<RankedUser>& list) {
+  std::stable_sort(list.begin(), list.end(),
+                   [](const RankedUser& a, const RankedUser& b) {
+                     if (a.priority != b.priority) {
+                       return a.priority < b.priority;
+                     }
+                     // Same priority: list false positives first.
+                     return !a.positive && b.positive;
+                   });
+}
+
+std::vector<bool> PositiveFlags(const std::vector<RankedUser>& sorted) {
+  std::vector<bool> flags;
+  flags.reserve(sorted.size());
+  for (const RankedUser& r : sorted) flags.push_back(r.positive);
+  return flags;
+}
+
+ConfusionCounts AtCutoff(const std::vector<bool>& flags, std::size_t cutoff) {
+  ConfusionCounts c;
+  for (std::size_t i = 0; i < flags.size(); ++i) {
+    if (i < cutoff) {
+      flags[i] ? ++c.tp : ++c.fp;
+    } else {
+      flags[i] ? ++c.fn : ++c.tn;
+    }
+  }
+  return c;
+}
+
+std::vector<RocPoint> RocCurve(const std::vector<bool>& flags) {
+  int total_pos = 0, total_neg = 0;
+  for (bool f : flags) f ? ++total_pos : ++total_neg;
+  std::vector<RocPoint> curve;
+  curve.push_back({0.0, 0.0});
+  int tp = 0, fp = 0;
+  for (bool f : flags) {
+    f ? ++tp : ++fp;
+    curve.push_back({total_neg ? static_cast<double>(fp) / total_neg : 0.0,
+                     total_pos ? static_cast<double>(tp) / total_pos : 0.0});
+  }
+  return curve;
+}
+
+double RocAuc(const std::vector<bool>& flags) {
+  const std::vector<RocPoint> curve = RocCurve(flags);
+  double auc = 0.0;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    auc += (curve[i].fpr - curve[i - 1].fpr) *
+           (curve[i].tpr + curve[i - 1].tpr) * 0.5;
+  }
+  return auc;
+}
+
+std::vector<PrPoint> PrCurve(const std::vector<bool>& flags) {
+  int total_pos = 0;
+  for (bool f : flags) total_pos += f ? 1 : 0;
+  std::vector<PrPoint> curve;
+  int tp = 0;
+  for (std::size_t i = 0; i < flags.size(); ++i) {
+    if (!flags[i]) continue;
+    ++tp;
+    curve.push_back(
+        {total_pos ? static_cast<double>(tp) / total_pos : 0.0,
+         static_cast<double>(tp) / static_cast<double>(i + 1)});
+  }
+  return curve;
+}
+
+double AveragePrecision(const std::vector<bool>& flags) {
+  const std::vector<PrPoint> curve = PrCurve(flags);
+  if (curve.empty()) return 0.0;
+  double ap = 0.0;
+  double prev_recall = 0.0;
+  for (const PrPoint& p : curve) {
+    ap += (p.recall - prev_recall) * p.precision;
+    prev_recall = p.recall;
+  }
+  return ap;
+}
+
+std::vector<int> FalsePositivesBeforeEachTp(const std::vector<bool>& flags) {
+  std::vector<int> out;
+  int fp = 0;
+  for (bool f : flags) {
+    if (f) {
+      out.push_back(fp);
+    } else {
+      ++fp;
+    }
+  }
+  return out;
+}
+
+}  // namespace acobe::eval

@@ -1,0 +1,74 @@
+#pragma once
+
+// Detection metrics over ordered investigation lists (Section V.C).
+//
+// The unit of evaluation is the ordered list of users the critic emits.
+// Sweeping the investigation cut-off through the list yields confusion
+// counts, the ROC curve (with its AUC) and the precision-recall curve.
+// Per the paper, ties are broken pessimistically: when a false positive
+// and a true positive share the same priority, the FP is listed first
+// to illustrate the worst-case investigation order.
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace acobe::eval {
+
+struct RocPoint {
+  double fpr = 0.0;
+  double tpr = 0.0;
+};
+
+struct PrPoint {
+  double recall = 0.0;
+  double precision = 0.0;
+};
+
+struct ConfusionCounts {
+  int tp = 0, fp = 0, tn = 0, fn = 0;
+
+  double TpRate() const { return tp + fn ? static_cast<double>(tp) / (tp + fn) : 0.0; }
+  double FpRate() const { return fp + tn ? static_cast<double>(fp) / (fp + tn) : 0.0; }
+  double Precision() const { return tp + fp ? static_cast<double>(tp) / (tp + fp) : 0.0; }
+  double Recall() const { return TpRate(); }
+  double F1() const {
+    const double p = Precision(), r = Recall();
+    return p + r > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+  }
+};
+
+/// An investigation list entry: a user with the critic's priority
+/// (smaller = investigate earlier).
+struct RankedUser {
+  std::uint32_t user = 0;
+  double priority = 0.0;
+  bool positive = false;  // ground truth
+};
+
+/// Sorts by priority with worst-case tie ordering (FPs before TPs).
+void SortWorstCase(std::vector<RankedUser>& list);
+
+/// Positive/negative flags in final investigation order.
+std::vector<bool> PositiveFlags(const std::vector<RankedUser>& sorted);
+
+/// Confusion counts when investigating the first `cutoff` users.
+ConfusionCounts AtCutoff(const std::vector<bool>& flags, std::size_t cutoff);
+
+/// Full ROC curve: one point per list prefix (plus the origin).
+std::vector<RocPoint> RocCurve(const std::vector<bool>& flags);
+
+/// Area under the ROC curve (trapezoidal over the prefix sweep).
+double RocAuc(const std::vector<bool>& flags);
+
+/// Precision-recall curve: one point per true positive encountered.
+std::vector<PrPoint> PrCurve(const std::vector<bool>& flags);
+
+/// Average precision (area under the PR curve, step interpolation).
+double AveragePrecision(const std::vector<bool>& flags);
+
+/// For each true positive (in list order), the number of false
+/// positives listed before it — the paper's "k FPs before the i-th TP".
+std::vector<int> FalsePositivesBeforeEachTp(const std::vector<bool>& flags);
+
+}  // namespace acobe::eval

@@ -1,0 +1,46 @@
+#pragma once
+
+// Report generation: export detection results as CSV (for plotting the
+// paper's figures with external tools) and as fixed-width text tables.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+
+namespace acobe::eval {
+
+/// Writes the ROC curve as CSV ("fpr,tpr" with a header).
+void WriteRocCsv(const std::vector<bool>& flags, std::ostream& out);
+
+/// Writes the PR curve as CSV ("recall,precision").
+void WritePrCsv(const std::vector<bool>& flags, std::ostream& out);
+
+/// Writes the ranked list as CSV ("position,user,priority,positive").
+void WriteRankingCsv(const std::vector<RankedUser>& ranked,
+                     std::ostream& out);
+
+/// One row of a model-comparison table.
+struct ModelSummary {
+  std::string name;
+  double auc = 0.0;
+  double average_precision = 0.0;
+  std::vector<int> fps_before_tp;
+};
+
+/// Builds a summary from a ranked list.
+ModelSummary Summarize(const std::string& name,
+                       const std::vector<RankedUser>& ranked);
+
+/// Renders summaries as an aligned text table (the Figure 6 comparison).
+void WriteComparisonTable(const std::vector<ModelSummary>& models,
+                          std::ostream& out);
+
+/// Confusion metrics at several cut-offs ("cutoff,tp,fp,fn,tn,
+/// precision,recall,f1"), e.g. for budgeted-investigation planning.
+void WriteCutoffSweepCsv(const std::vector<bool>& flags,
+                         const std::vector<std::size_t>& cutoffs,
+                         std::ostream& out);
+
+}  // namespace acobe::eval

@@ -1,0 +1,146 @@
+#include "features/enterprise_features.h"
+
+#include <algorithm>
+#include <string>
+
+namespace acobe {
+namespace {
+
+FeatureCatalog MakeEnterpriseCatalog() {
+  std::vector<FeatureDef> defs;
+  const char* aspects[4] = {"file", "command", "config", "resource"};
+  const char* fnames[4] = {"events", "unique-events", "new-events",
+                           "distinct-event-ids"};
+  for (const char* aspect : aspects) {
+    for (const char* fname : fnames) defs.push_back({fname, aspect, 1.0});
+  }
+  defs.push_back({"success-requests", "http", 1.0});
+  defs.push_back({"success-new-domain", "http", 1.0});
+  defs.push_back({"failure-requests", "http", 1.0});
+  defs.push_back({"failure-new-domain", "http", 1.0});
+  const char* logon_features[7] = {
+      "logons",        "logoffs",         "sessions",      "session-seconds",
+      "mean-session",  "max-session",     "short-sessions"};
+  for (const char* fname : logon_features) {
+    defs.push_back({fname, "logon", 1.0});
+  }
+  return FeatureCatalog(std::move(defs));
+}
+
+// Mixes a (event_id, object) pair into one entity id for first-seen keys.
+std::uint32_t EventEntity(std::uint16_t event_id, std::uint32_t object) {
+  std::uint64_t h = (static_cast<std::uint64_t>(event_id) << 32) | object;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return static_cast<std::uint32_t>(h & 0x03ffffffu);  // 26-bit entity space
+}
+
+// Folds the day into the kind so per-day uniqueness trackers never
+// collide across days.
+std::uint32_t DayKind(std::uint32_t base, std::int32_t day) {
+  return base + static_cast<std::uint32_t>(day) * 8u;
+}
+
+}  // namespace
+
+EnterpriseExtractor::EnterpriseExtractor(Date start, int days,
+                                         TimeFramePartition partition)
+    : partition_(std::move(partition)),
+      catalog_(MakeEnterpriseCatalog()),
+      cube_(std::make_unique<MeasurementCube>(start, days, kFeatureCount,
+                                              partition_.frame_count())) {}
+
+void EnterpriseExtractor::Consume(const EnterpriseEvent& e) {
+  const Date date = DateOf(e.ts);
+  const int day = cube_->DayIndex(date);
+  if (day < 0) return;
+  const int frame = partition_.FrameOf(e.ts);
+  const auto aspect = e.aspect;
+  const std::uint32_t entity = EventEntity(e.event_id, e.object);
+
+  cube_->Accumulate(e.user, AspectFeatureIndex(aspect, kEventCount), date,
+                    frame);
+  const std::uint32_t akind = static_cast<std::uint32_t>(aspect);
+  if (unique_today_.FirstOccurrence(
+          FirstSeenTracker::Key(e.user, DayKind(akind, day), entity), day)) {
+    cube_->Accumulate(e.user, AspectFeatureIndex(aspect, kUniqueEvents), date,
+                      frame);
+  }
+  if (first_seen_.SeenNewOnDay(FirstSeenTracker::Key(e.user, akind, entity),
+                               day)) {
+    cube_->Accumulate(e.user, AspectFeatureIndex(aspect, kNewEvents), date,
+                      frame);
+  }
+  if (event_id_today_.FirstOccurrence(
+          FirstSeenTracker::Key(e.user, DayKind(akind + 4, day), e.event_id),
+          day)) {
+    cube_->Accumulate(e.user, AspectFeatureIndex(aspect, kDistinctEventIds),
+                      date, frame);
+  }
+}
+
+void EnterpriseExtractor::Consume(const ProxyEvent& e) {
+  const Date date = DateOf(e.ts);
+  const int day = cube_->DayIndex(date);
+  if (day < 0) return;
+  const int frame = partition_.FrameOf(e.ts);
+  const int base = e.success ? kHttpSuccess : kHttpFailure;
+  cube_->Accumulate(e.user, base, date, frame);
+  // "New domain": the user never reached this domain (with this verdict
+  // class) before day d.
+  const std::uint32_t kind = e.success ? 100u : 101u;
+  if (first_seen_.SeenNewOnDay(FirstSeenTracker::Key(e.user, kind, e.domain),
+                               day)) {
+    cube_->Accumulate(e.user, base + 1, date, frame);
+  }
+}
+
+void EnterpriseExtractor::Consume(const LogonEvent& e) {
+  const Date date = DateOf(e.ts);
+  const int day = cube_->DayIndex(date);
+  if (day < 0) return;
+  const int frame = partition_.FrameOf(e.ts);
+  if (e.activity == LogonActivity::kLogon) {
+    cube_->Accumulate(e.user, kLogonCount, date, frame);
+    open_sessions_[e.user] = e.ts;
+    return;
+  }
+  cube_->Accumulate(e.user, kLogoffCount, date, frame);
+  auto it = open_sessions_.find(e.user);
+  if (it == open_sessions_.end()) return;
+  const Timestamp start_ts = it->second;
+  open_sessions_.erase(it);
+  if (e.ts < start_ts) return;
+  const auto seconds = static_cast<float>(e.ts - start_ts);
+  // Sessions are attributed to the logon's day/frame.
+  const Date s_date = DateOf(start_ts);
+  if (cube_->DayIndex(s_date) < 0) return;
+  const int s_frame = partition_.FrameOf(start_ts);
+  cube_->Accumulate(e.user, kSessionCount, s_date, s_frame);
+  cube_->Accumulate(e.user, kTotalSessionSeconds, s_date, s_frame, seconds);
+  if (seconds < 300.0f) {
+    cube_->Accumulate(e.user, kShortSessions, s_date, s_frame);
+  }
+  const int uidx = cube_->UserIndex(e.user);
+  const int s_day = cube_->DayIndex(s_date);
+  float& mx = cube_->At(uidx, kMaxSessionSeconds, s_day, s_frame);
+  mx = std::max(mx, seconds);
+}
+
+void EnterpriseExtractor::Finalize() {
+  // Derive mean session length = total / count for every cell.
+  for (int u = 0; u < cube_->users(); ++u) {
+    for (int d = 0; d < cube_->days(); ++d) {
+      for (int t = 0; t < cube_->frames(); ++t) {
+        const float count = cube_->At(u, kSessionCount, d, t);
+        if (count > 0.0f) {
+          cube_->At(u, kMeanSessionSeconds, d, t) =
+              cube_->At(u, kTotalSessionSeconds, d, t) / count;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace acobe

@@ -1,0 +1,84 @@
+#pragma once
+
+// Feature extraction for the enterprise case-study dataset (Section
+// VI.B): 27 behavioral features — 16 from the four predictable aspects
+// (File, Command, Config, Resource: event count, unique events, new
+// events, distinct event ids) and 11 from the statistical aspects
+// (HTTP: success / success-to-new-domain / failure /
+// failure-to-new-domain; Logon: 7 session statistics).
+
+#include <map>
+#include <memory>
+
+#include "features/feature_catalog.h"
+#include "features/first_seen.h"
+#include "features/measurement_cube.h"
+#include "logs/log_sink.h"
+
+namespace acobe {
+
+class EnterpriseExtractor : public LogSink {
+ public:
+  EnterpriseExtractor(Date start, int days,
+                      TimeFramePartition partition =
+                          TimeFramePartition::WorkOff());
+
+  const FeatureCatalog& catalog() const { return catalog_; }
+  MeasurementCube& cube() { return *cube_; }
+  const MeasurementCube& cube() const { return *cube_; }
+  const TimeFramePartition& partition() const { return partition_; }
+
+  void Consume(const LogonEvent& e) override;
+  void Consume(const DeviceEvent&) override {}
+  void Consume(const FileEvent&) override {}
+  void Consume(const HttpEvent&) override {}
+  void Consume(const EmailEvent&) override {}
+  void Consume(const EnterpriseEvent& e) override;
+  void Consume(const ProxyEvent& e) override;
+
+  /// Call after the last event of each day (or once at the end; the
+  /// extractor flushes pending uniqueness windows automatically when a
+  /// later day arrives). Finalize() flushes the final day.
+  void Finalize();
+
+  // Feature layout: 4 aspects x 4 features, then HTTP x 4, Logon x 7.
+  static constexpr int kPerAspect = 4;
+  enum AspectFeature : int {
+    kEventCount = 0,
+    kUniqueEvents = 1,
+    kNewEvents = 2,
+    kDistinctEventIds = 3,
+  };
+  static int AspectFeatureIndex(EnterpriseAspect aspect, AspectFeature f) {
+    return static_cast<int>(aspect) * kPerAspect + static_cast<int>(f);
+  }
+  enum HttpFeature : int {
+    kHttpSuccess = 16,
+    kHttpSuccessNewDomain,
+    kHttpFailure,
+    kHttpFailureNewDomain,
+  };
+  enum LogonFeature : int {
+    kLogonCount = 20,
+    kLogoffCount,
+    kSessionCount,
+    kTotalSessionSeconds,
+    kMeanSessionSeconds,
+    kMaxSessionSeconds,
+    kShortSessions,
+    kFeatureCount,
+  };
+
+ private:
+  void TrackSession(const LogonEvent& e);
+
+  TimeFramePartition partition_;
+  FeatureCatalog catalog_;
+  std::unique_ptr<MeasurementCube> cube_;
+  FirstSeenTracker first_seen_;          // "new events" across all history
+  FirstSeenTracker unique_today_;        // per-day uniqueness, keyed w/ day
+  FirstSeenTracker event_id_today_;      // per-day distinct event ids
+  std::map<UserId, Timestamp> open_sessions_;
+};
+
+}  // namespace acobe

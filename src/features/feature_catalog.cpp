@@ -1,0 +1,33 @@
+#include "features/feature_catalog.h"
+
+namespace acobe {
+
+FeatureCatalog::FeatureCatalog(std::vector<FeatureDef> features)
+    : features_(std::move(features)) {
+  for (int i = 0; i < feature_count(); ++i) {
+    const std::string& aspect = features_[i].aspect;
+    int idx = AspectIndex(aspect);
+    if (idx < 0) {
+      aspects_.push_back({aspect, {}});
+      idx = static_cast<int>(aspects_.size()) - 1;
+    }
+    aspects_[idx].feature_indices.push_back(i);
+  }
+}
+
+int FeatureCatalog::AspectIndex(const std::string& name) const {
+  for (std::size_t i = 0; i < aspects_.size(); ++i) {
+    if (aspects_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int FeatureCatalog::FeatureIndex(const std::string& aspect,
+                                 const std::string& name) const {
+  for (int i = 0; i < feature_count(); ++i) {
+    if (features_[i].aspect == aspect && features_[i].name == name) return i;
+  }
+  return -1;
+}
+
+}  // namespace acobe

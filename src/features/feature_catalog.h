@@ -1,0 +1,48 @@
+#pragma once
+
+// Feature metadata: every extractor publishes a catalog describing its
+// features and how they group into behavioral aspects (the unit ACOBE
+// assigns one autoencoder to).
+
+#include <string>
+#include <vector>
+
+namespace acobe {
+
+struct FeatureDef {
+  std::string name;    // e.g. "upload-doc"
+  std::string aspect;  // e.g. "http"
+  /// Lower weight ceiling for features the operator deems unimportant
+  /// (multiplied into the TF-style weight); 1.0 = normal.
+  double importance = 1.0;
+};
+
+struct AspectGroup {
+  std::string name;
+  std::vector<int> feature_indices;
+};
+
+class FeatureCatalog {
+ public:
+  FeatureCatalog() = default;
+  explicit FeatureCatalog(std::vector<FeatureDef> features);
+
+  int feature_count() const { return static_cast<int>(features_.size()); }
+  const FeatureDef& feature(int i) const { return features_.at(i); }
+  const std::vector<FeatureDef>& features() const { return features_; }
+
+  /// Aspects in first-seen order with their member feature indices.
+  const std::vector<AspectGroup>& aspects() const { return aspects_; }
+
+  /// Index of the aspect named `name`; -1 if absent.
+  int AspectIndex(const std::string& name) const;
+
+  /// Feature index by (aspect, name); -1 if absent.
+  int FeatureIndex(const std::string& aspect, const std::string& name) const;
+
+ private:
+  std::vector<FeatureDef> features_;
+  std::vector<AspectGroup> aspects_;
+};
+
+}  // namespace acobe

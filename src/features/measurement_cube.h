@@ -1,0 +1,82 @@
+#pragma once
+
+// Dense measurement storage: m_{f,t,d} per user — the raw numeric
+// measurements from which behavioral deviations are derived. Laid out
+// as [user][feature][day][frame] floats.
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/date.h"
+#include "common/timeframe.h"
+#include "logs/records.h"
+
+namespace acobe {
+
+class MeasurementCube {
+ public:
+  MeasurementCube(Date start, int days, int features, int frames);
+
+  const Date& start() const { return start_; }
+  int days() const { return days_; }
+  int features() const { return features_; }
+  int frames() const { return frames_; }
+  int users() const { return static_cast<int>(user_ids_.size()); }
+
+  /// Dense index for `user`, registering it if new.
+  int RegisterUser(UserId user);
+
+  /// Dense index for `user`, or -1 if never registered.
+  int UserIndex(UserId user) const;
+
+  UserId UserAt(int index) const { return user_ids_.at(index); }
+  const std::vector<UserId>& user_ids() const { return user_ids_; }
+
+  /// Day index of `d` relative to the cube start, or -1 if outside.
+  int DayIndex(const Date& d) const;
+
+  float& At(int user_idx, int feature, int day, int frame);
+  float At(int user_idx, int feature, int day, int frame) const;
+
+  /// Adds `amount` to the cell, registering the user as needed;
+  /// silently ignores days outside the cube's range.
+  void Accumulate(UserId user, int feature, const Date& date, int frame,
+                  float amount = 1.0f);
+
+  /// The (day-major) series for one user+feature: span of days*frames
+  /// floats, index [day*frames + frame].
+  std::span<const float> Series(int user_idx, int feature) const;
+
+ private:
+  std::size_t Offset(int user_idx, int feature, int day, int frame) const;
+  void EnsureCapacity(int user_count);
+
+  Date start_;
+  int days_;
+  int features_;
+  int frames_;
+  std::vector<UserId> user_ids_;
+  std::unordered_map<UserId, int> user_index_;
+  std::vector<float> data_;
+};
+
+/// Per-feature group-mean series over `member_indices` of `cube`:
+/// result[feature*days*frames + day*frames + frame]. This is the
+/// "group behavior" component of the compound matrix (features of
+/// group behavior are the averages of member features).
+std::vector<float> GroupMeanSeries(const MeasurementCube& cube,
+                                   std::span<const int> member_indices);
+
+/// Trimmed variant: per cell, the highest and lowest `trim_fraction` of
+/// member values are dropped before averaging. Robust to a single
+/// misbehaving member dominating a rare feature's group mean (which
+/// would otherwise leak the insider's own anomaly into every group
+/// block), while genuinely org-wide bursts — present in most members —
+/// survive the trim. trim_fraction 0 reduces to GroupMeanSeries.
+std::vector<float> TrimmedGroupMeanSeries(const MeasurementCube& cube,
+                                          std::span<const int> member_indices,
+                                          double trim_fraction);
+
+}  // namespace acobe

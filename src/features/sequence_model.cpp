@@ -1,0 +1,116 @@
+#include "features/sequence_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace acobe {
+
+SequenceModel::SequenceModel(int order, std::size_t alphabet_hint)
+    : order_(order), alphabet_hint_(std::max<std::size_t>(2, alphabet_hint)) {
+  if (order < 1) throw std::invalid_argument("SequenceModel: order < 1");
+}
+
+std::uint64_t SequenceModel::HashContext(
+    std::span<const std::uint32_t> context) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL + context.size();
+  for (std::uint32_t symbol : context) {
+    h ^= symbol + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h *= 0xff51afd7ed558ccdULL;
+  }
+  return h;
+}
+
+void SequenceModel::Train(std::span<const std::uint32_t> sequence) {
+  for (std::size_t i = 0; i < sequence.size(); ++i) {
+    alphabet_[sequence[i]] = true;
+    const std::size_t ctx_len =
+        std::min<std::size_t>(order_, i);
+    if (ctx_len == 0) continue;
+    const auto context = sequence.subspan(i - ctx_len, ctx_len);
+    ContextStats& stats = table_[HashContext(context)];
+    ++stats.counts[sequence[i]];
+    ++stats.total;
+  }
+}
+
+double SequenceModel::Probability(std::span<const std::uint32_t> context,
+                                  std::uint32_t symbol) const {
+  const std::size_t vocab = std::max(alphabet_hint_, alphabet_.size());
+  auto it = table_.find(HashContext(context));
+  if (it == table_.end()) {
+    return 1.0 / static_cast<double>(vocab);
+  }
+  const ContextStats& stats = it->second;
+  auto cit = stats.counts.find(symbol);
+  const double count = cit == stats.counts.end() ? 0.0 : cit->second;
+  return (count + 1.0) /
+         (static_cast<double>(stats.total) + static_cast<double>(vocab));
+}
+
+std::vector<double> SequenceModel::Surprise(
+    std::span<const std::uint32_t> sequence) const {
+  std::vector<double> out;
+  out.reserve(sequence.size());
+  for (std::size_t i = 0; i < sequence.size(); ++i) {
+    const std::size_t ctx_len = std::min<std::size_t>(order_, i);
+    if (ctx_len == 0) {
+      out.push_back(0.0);  // no context to judge the first symbol by
+      continue;
+    }
+    const auto context = sequence.subspan(i - ctx_len, ctx_len);
+    out.push_back(-std::log2(Probability(context, sequence[i])));
+  }
+  return out;
+}
+
+double SequenceModel::MeanSurprise(
+    std::span<const std::uint32_t> sequence) const {
+  if (sequence.size() < 2) return 0.0;
+  const auto s = Surprise(sequence);
+  double sum = 0.0;
+  int n = 0;
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    sum += s[i];
+    ++n;
+  }
+  return n ? sum / n : 0.0;
+}
+
+void DailySurpriseTracker::Observe(std::uint32_t user, std::int32_t day,
+                                   std::uint32_t symbol) {
+  auto [it, inserted] = users_.try_emplace(user, order_);
+  UserState& state = it->second;
+  if (state.current_day != day) {
+    CloseDay(state);
+    state.current_day = day;
+  }
+  state.today.push_back(symbol);
+}
+
+void DailySurpriseTracker::CloseDay(UserState& state) {
+  if (state.current_day < 0 || state.today.empty()) {
+    state.today.clear();
+    return;
+  }
+  // Score today's sequence against the model trained on prior days,
+  // then fold it in.
+  state.day_surprise[state.current_day] =
+      state.model.MeanSurprise(state.today);
+  state.model.Train(state.today);
+  state.today.clear();
+}
+
+double DailySurpriseTracker::DaySurprise(std::uint32_t user,
+                                         std::int32_t day) const {
+  auto it = users_.find(user);
+  if (it == users_.end()) return 0.0;
+  auto dit = it->second.day_surprise.find(day);
+  return dit == it->second.day_surprise.end() ? 0.0 : dit->second;
+}
+
+void DailySurpriseTracker::Flush() {
+  for (auto& [user, state] : users_) CloseDay(state);
+}
+
+}  // namespace acobe

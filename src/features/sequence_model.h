@@ -1,0 +1,93 @@
+#pragma once
+
+// Discrete-event sequence anomaly model for "predictable behavioral
+// aspects" (Section VI.B.1: when dependency or causality exists among
+// consecutive events, upcoming events can be predicted from the recent
+// sequence — the paper cites DeepLog). This is the classical
+// counterpart: a per-user order-k Markov model over event symbols with
+// Laplace smoothing. The anomaly signal is per-event surprise
+// (-log p(next | context)), aggregated per day, which can be fed to the
+// measurement cube as an additional statistical feature.
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace acobe {
+
+class SequenceModel {
+ public:
+  /// `order` — context length k (1 = bigram); `alphabet_hint` — expected
+  /// symbol count, used for Laplace smoothing (grows automatically).
+  explicit SequenceModel(int order = 2, std::size_t alphabet_hint = 16);
+
+  /// Accumulates one training sequence.
+  void Train(std::span<const std::uint32_t> sequence);
+
+  /// -log2 p(symbol | context) for each position of `sequence` (the
+  /// first `order` positions use shortened contexts). Higher = more
+  /// surprising.
+  std::vector<double> Surprise(std::span<const std::uint32_t> sequence) const;
+
+  /// Mean surprise of a sequence; 0 for sequences shorter than 2.
+  double MeanSurprise(std::span<const std::uint32_t> sequence) const;
+
+  /// Probability of `symbol` following `context` (last `order` symbols,
+  /// fewer allowed), Laplace-smoothed.
+  double Probability(std::span<const std::uint32_t> context,
+                     std::uint32_t symbol) const;
+
+  std::size_t alphabet_size() const { return alphabet_.size(); }
+  int order() const { return order_; }
+
+ private:
+  static std::uint64_t HashContext(std::span<const std::uint32_t> context);
+
+  int order_;
+  std::size_t alphabet_hint_;
+  // context hash -> (symbol -> count, total)
+  struct ContextStats {
+    std::unordered_map<std::uint32_t, std::uint32_t> counts;
+    std::uint64_t total = 0;
+  };
+  std::unordered_map<std::uint64_t, ContextStats> table_;
+  std::unordered_map<std::uint32_t, bool> alphabet_;
+};
+
+/// Streaming per-user wrapper: push events in arrival order; per day it
+/// yields the user's mean sequence surprise (a ready-to-cube feature)
+/// and folds the day's events into the model afterwards (train-as-you-go
+/// on yesterday's data, so today's surprise is always out-of-sample).
+class DailySurpriseTracker {
+ public:
+  explicit DailySurpriseTracker(int order = 2) : order_(order) {}
+
+  /// Adds an event for (user). Events must arrive grouped by day.
+  void Observe(std::uint32_t user, std::int32_t day, std::uint32_t symbol);
+
+  /// Mean surprise of `user`'s events on `day` (0 if none); only valid
+  /// for completed days (i.e. after a later day's events arrived or
+  /// after Flush).
+  double DaySurprise(std::uint32_t user, std::int32_t day) const;
+
+  /// Folds any pending day into the models.
+  void Flush();
+
+ private:
+  struct UserState {
+    SequenceModel model;
+    std::int32_t current_day = -1;
+    std::vector<std::uint32_t> today;
+    std::unordered_map<std::int32_t, double> day_surprise;
+    explicit UserState(int order) : model(order) {}
+  };
+
+  void CloseDay(UserState& state);
+
+  int order_;
+  std::unordered_map<std::uint32_t, UserState> users_;
+};
+
+}  // namespace acobe

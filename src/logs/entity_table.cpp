@@ -1,0 +1,26 @@
+#include "logs/entity_table.h"
+
+#include <stdexcept>
+
+namespace acobe {
+
+std::uint32_t EntityTable::Intern(const std::string& name) {
+  auto [it, inserted] =
+      ids_.emplace(name, static_cast<std::uint32_t>(names_.size()));
+  if (inserted) names_.push_back(name);
+  return it->second;
+}
+
+std::uint32_t EntityTable::Lookup(const std::string& name) const {
+  auto it = ids_.find(name);
+  return it == ids_.end() ? 0xffffffffu : it->second;
+}
+
+const std::string& EntityTable::NameOf(std::uint32_t id) const {
+  if (id >= names_.size()) {
+    throw std::out_of_range("EntityTable::NameOf: bad id");
+  }
+  return names_[id];
+}
+
+}  // namespace acobe

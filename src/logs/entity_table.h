@@ -1,0 +1,32 @@
+#pragma once
+
+// Interning table mapping entity names (user names, PC names, file
+// paths, domains) to dense 32-bit ids and back.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace acobe {
+
+class EntityTable {
+ public:
+  /// Returns the id for `name`, interning it if new.
+  std::uint32_t Intern(const std::string& name);
+
+  /// Returns the id for `name` or kInvalidId (0xffffffff) if absent.
+  std::uint32_t Lookup(const std::string& name) const;
+
+  /// Name for an id previously returned by Intern. Throws on bad id.
+  const std::string& NameOf(std::uint32_t id) const;
+
+  std::size_t size() const { return names_.size(); }
+  bool empty() const { return names_.empty(); }
+
+ private:
+  std::unordered_map<std::string, std::uint32_t> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace acobe

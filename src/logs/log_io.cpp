@@ -1,0 +1,217 @@
+#include "logs/log_io.h"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "common/csv.h"
+
+namespace acobe {
+namespace {
+
+std::string TsToString(Timestamp ts) { return std::to_string(ts); }
+
+Timestamp TsFromString(const std::string& s) { return std::stoll(s); }
+
+void RequireFields(const std::vector<std::string>& row, std::size_t n,
+                   const char* what) {
+  if (row.size() != n) {
+    throw std::invalid_argument(std::string(what) +
+                                ": wrong field count in row");
+  }
+}
+
+bool ReadHeaderOrRow(CsvReader& reader, std::vector<std::string>& row,
+                     bool& saw_header) {
+  if (!saw_header) {
+    saw_header = true;
+    if (!reader.ReadRow(row)) return false;  // empty stream: no header at all
+    // Header consumed; fall through to the first data row.
+  }
+  return reader.ReadRow(row);
+}
+
+}  // namespace
+
+void WriteDeviceCsv(const LogStore& store, std::ostream& out) {
+  CsvWriter w(out);
+  w.WriteRow({"ts", "user", "pc", "activity"});
+  for (const DeviceEvent& e : store.devices()) {
+    w.WriteRow({TsToString(e.ts), store.users().NameOf(e.user),
+                store.pcs().NameOf(e.pc), ToString(e.activity)});
+  }
+}
+
+void ReadDeviceCsv(std::istream& in, LogStore& store) {
+  CsvReader reader(in);
+  std::vector<std::string> row;
+  bool saw_header = false;
+  while (ReadHeaderOrRow(reader, row, saw_header)) {
+    RequireFields(row, 4, "device.csv");
+    DeviceEvent e;
+    e.ts = TsFromString(row[0]);
+    e.user = store.users().Intern(row[1]);
+    e.pc = store.pcs().Intern(row[2]);
+    e.activity = DeviceActivityFromString(row[3]);
+    store.Add(e);
+  }
+}
+
+void WriteFileCsv(const LogStore& store, std::ostream& out) {
+  CsvWriter w(out);
+  w.WriteRow({"ts", "user", "pc", "activity", "file", "from", "to"});
+  for (const FileEvent& e : store.file_events()) {
+    w.WriteRow({TsToString(e.ts), store.users().NameOf(e.user),
+                store.pcs().NameOf(e.pc), ToString(e.activity),
+                store.files().NameOf(e.file), ToString(e.from),
+                ToString(e.to)});
+  }
+}
+
+void ReadFileCsv(std::istream& in, LogStore& store) {
+  CsvReader reader(in);
+  std::vector<std::string> row;
+  bool saw_header = false;
+  while (ReadHeaderOrRow(reader, row, saw_header)) {
+    RequireFields(row, 7, "file.csv");
+    FileEvent e;
+    e.ts = TsFromString(row[0]);
+    e.user = store.users().Intern(row[1]);
+    e.pc = store.pcs().Intern(row[2]);
+    e.activity = FileActivityFromString(row[3]);
+    e.file = store.files().Intern(row[4]);
+    e.from = FileLocationFromString(row[5]);
+    e.to = FileLocationFromString(row[6]);
+    store.Add(e);
+  }
+}
+
+void WriteHttpCsv(const LogStore& store, std::ostream& out) {
+  CsvWriter w(out);
+  w.WriteRow({"ts", "user", "pc", "activity", "domain", "filetype"});
+  for (const HttpEvent& e : store.http_events()) {
+    w.WriteRow({TsToString(e.ts), store.users().NameOf(e.user),
+                store.pcs().NameOf(e.pc), ToString(e.activity),
+                store.domains().NameOf(e.domain), ToString(e.filetype)});
+  }
+}
+
+void ReadHttpCsv(std::istream& in, LogStore& store) {
+  CsvReader reader(in);
+  std::vector<std::string> row;
+  bool saw_header = false;
+  while (ReadHeaderOrRow(reader, row, saw_header)) {
+    RequireFields(row, 6, "http.csv");
+    HttpEvent e;
+    e.ts = TsFromString(row[0]);
+    e.user = store.users().Intern(row[1]);
+    e.pc = store.pcs().Intern(row[2]);
+    e.activity = HttpActivityFromString(row[3]);
+    e.domain = store.domains().Intern(row[4]);
+    e.filetype = HttpFileTypeFromString(row[5]);
+    store.Add(e);
+  }
+}
+
+void WriteLogonCsv(const LogStore& store, std::ostream& out) {
+  CsvWriter w(out);
+  w.WriteRow({"ts", "user", "pc", "activity"});
+  for (const LogonEvent& e : store.logons()) {
+    w.WriteRow({TsToString(e.ts), store.users().NameOf(e.user),
+                store.pcs().NameOf(e.pc), ToString(e.activity)});
+  }
+}
+
+void ReadLogonCsv(std::istream& in, LogStore& store) {
+  CsvReader reader(in);
+  std::vector<std::string> row;
+  bool saw_header = false;
+  while (ReadHeaderOrRow(reader, row, saw_header)) {
+    RequireFields(row, 4, "logon.csv");
+    LogonEvent e;
+    e.ts = TsFromString(row[0]);
+    e.user = store.users().Intern(row[1]);
+    e.pc = store.pcs().Intern(row[2]);
+    e.activity = LogonActivityFromString(row[3]);
+    store.Add(e);
+  }
+}
+
+void WriteEnterpriseCsv(const LogStore& store, std::ostream& out) {
+  CsvWriter w(out);
+  w.WriteRow({"ts", "user", "aspect", "event_id", "object"});
+  for (const EnterpriseEvent& e : store.enterprise_events()) {
+    w.WriteRow({TsToString(e.ts), store.users().NameOf(e.user),
+                ToString(e.aspect), std::to_string(e.event_id),
+                store.objects().NameOf(e.object)});
+  }
+}
+
+void ReadEnterpriseCsv(std::istream& in, LogStore& store) {
+  CsvReader reader(in);
+  std::vector<std::string> row;
+  bool saw_header = false;
+  while (ReadHeaderOrRow(reader, row, saw_header)) {
+    RequireFields(row, 5, "enterprise.csv");
+    EnterpriseEvent e;
+    e.ts = TsFromString(row[0]);
+    e.user = store.users().Intern(row[1]);
+    e.aspect = EnterpriseAspectFromString(row[2]);
+    e.event_id = static_cast<std::uint16_t>(std::stoul(row[3]));
+    e.object = store.objects().Intern(row[4]);
+    store.Add(e);
+  }
+}
+
+void WriteProxyCsv(const LogStore& store, std::ostream& out) {
+  CsvWriter w(out);
+  w.WriteRow({"ts", "user", "domain", "success", "bytes"});
+  for (const ProxyEvent& e : store.proxy_events()) {
+    w.WriteRow({TsToString(e.ts), store.users().NameOf(e.user),
+                store.domains().NameOf(e.domain), e.success ? "1" : "0",
+                std::to_string(e.bytes)});
+  }
+}
+
+void ReadProxyCsv(std::istream& in, LogStore& store) {
+  CsvReader reader(in);
+  std::vector<std::string> row;
+  bool saw_header = false;
+  while (ReadHeaderOrRow(reader, row, saw_header)) {
+    RequireFields(row, 5, "proxy.csv");
+    ProxyEvent e;
+    e.ts = TsFromString(row[0]);
+    e.user = store.users().Intern(row[1]);
+    e.domain = store.domains().Intern(row[2]);
+    e.success = row[3] == "1";
+    e.bytes = static_cast<std::uint32_t>(std::stoul(row[4]));
+    store.Add(e);
+  }
+}
+
+void WriteLdapCsv(const LogStore& store, std::ostream& out) {
+  CsvWriter w(out);
+  w.WriteRow({"user", "department", "team", "role"});
+  for (const LdapRecord& r : store.ldap()) {
+    w.WriteRow({r.user_name, r.department, r.team, r.role});
+  }
+}
+
+void ReadLdapCsv(std::istream& in, LogStore& store) {
+  CsvReader reader(in);
+  std::vector<std::string> row;
+  bool saw_header = false;
+  while (ReadHeaderOrRow(reader, row, saw_header)) {
+    RequireFields(row, 4, "ldap.csv");
+    LdapRecord r;
+    r.user_name = row[0];
+    r.user = store.users().Intern(row[0]);
+    r.department = row[1];
+    r.team = row[2];
+    r.role = row[3];
+    store.AddLdap(std::move(r));
+  }
+}
+
+}  // namespace acobe

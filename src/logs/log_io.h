@@ -1,0 +1,35 @@
+#pragma once
+
+// CSV round-trips for log streams, mirroring the CERT dataset's
+// one-file-per-log-type layout (device.csv, file.csv, http.csv, ...).
+
+#include <iosfwd>
+
+#include "logs/log_store.h"
+
+namespace acobe {
+
+/// Writes one stream as CSV with a header row. Ids are resolved to names
+/// through the store's entity tables.
+void WriteDeviceCsv(const LogStore& store, std::ostream& out);
+void WriteFileCsv(const LogStore& store, std::ostream& out);
+void WriteHttpCsv(const LogStore& store, std::ostream& out);
+void WriteLogonCsv(const LogStore& store, std::ostream& out);
+void WriteLdapCsv(const LogStore& store, std::ostream& out);
+
+/// Enterprise case-study streams (Windows/Sysmon events, proxy logs).
+void WriteEnterpriseCsv(const LogStore& store, std::ostream& out);
+void WriteProxyCsv(const LogStore& store, std::ostream& out);
+
+/// Reads a stream previously written by the corresponding writer,
+/// interning names into `store`'s tables. Throws std::invalid_argument
+/// on malformed rows.
+void ReadDeviceCsv(std::istream& in, LogStore& store);
+void ReadFileCsv(std::istream& in, LogStore& store);
+void ReadHttpCsv(std::istream& in, LogStore& store);
+void ReadLogonCsv(std::istream& in, LogStore& store);
+void ReadLdapCsv(std::istream& in, LogStore& store);
+void ReadEnterpriseCsv(std::istream& in, LogStore& store);
+void ReadProxyCsv(std::istream& in, LogStore& store);
+
+}  // namespace acobe

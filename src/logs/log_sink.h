@@ -1,0 +1,25 @@
+#pragma once
+
+// Consumer interface for generated log records. Simulators write to a
+// LogSink; LogStore is the buffering implementation, and streaming
+// aggregators can implement it directly to avoid materializing
+// multi-million-event datasets.
+
+#include "logs/records.h"
+
+namespace acobe {
+
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+
+  virtual void Consume(const LogonEvent& e) = 0;
+  virtual void Consume(const DeviceEvent& e) = 0;
+  virtual void Consume(const FileEvent& e) = 0;
+  virtual void Consume(const HttpEvent& e) = 0;
+  virtual void Consume(const EmailEvent& e) = 0;
+  virtual void Consume(const EnterpriseEvent& e) = 0;
+  virtual void Consume(const ProxyEvent& e) = 0;
+};
+
+}  // namespace acobe

@@ -1,0 +1,51 @@
+#include "logs/log_store.h"
+
+#include <algorithm>
+
+namespace acobe {
+namespace {
+
+template <typename T>
+void SortByTs(std::vector<T>& v) {
+  std::stable_sort(v.begin(), v.end(),
+                   [](const T& a, const T& b) { return a.ts < b.ts; });
+}
+
+}  // namespace
+
+std::vector<UserId> LogStore::UsersInDepartment(
+    const std::string& department) const {
+  std::vector<UserId> out;
+  for (const LdapRecord& r : ldap_) {
+    if (r.department == department) out.push_back(r.user);
+  }
+  return out;
+}
+
+std::vector<std::string> LogStore::Departments() const {
+  std::vector<std::string> out;
+  for (const LdapRecord& r : ldap_) {
+    if (std::find(out.begin(), out.end(), r.department) == out.end()) {
+      out.push_back(r.department);
+    }
+  }
+  return out;
+}
+
+std::size_t LogStore::TotalEvents() const {
+  return logons_.size() + devices_.size() + file_events_.size() +
+         http_events_.size() + emails_.size() + enterprise_events_.size() +
+         proxy_events_.size();
+}
+
+void LogStore::SortChronologically() {
+  SortByTs(logons_);
+  SortByTs(devices_);
+  SortByTs(file_events_);
+  SortByTs(http_events_);
+  SortByTs(emails_);
+  SortByTs(enterprise_events_);
+  SortByTs(proxy_events_);
+}
+
+}  // namespace acobe

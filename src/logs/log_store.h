@@ -1,0 +1,96 @@
+#pragma once
+
+// In-memory organizational log store.
+//
+// Holds all record streams of one dataset plus the entity tables that
+// give ids meaning, and the LDAP directory that defines groups. The
+// simulators in src/simdata fill a LogStore; the extractors in
+// src/features consume one. Streams are kept in per-type vectors and
+// can be sorted chronologically in place.
+
+#include <string>
+#include <vector>
+
+#include "logs/entity_table.h"
+#include "logs/log_sink.h"
+#include "logs/records.h"
+
+namespace acobe {
+
+class LogStore : public LogSink {
+ public:
+  // --- entity tables -------------------------------------------------------
+  EntityTable& users() { return users_; }
+  const EntityTable& users() const { return users_; }
+  EntityTable& pcs() { return pcs_; }
+  const EntityTable& pcs() const { return pcs_; }
+  EntityTable& files() { return files_; }
+  const EntityTable& files() const { return files_; }
+  EntityTable& domains() { return domains_; }
+  const EntityTable& domains() const { return domains_; }
+  EntityTable& objects() { return objects_; }
+  const EntityTable& objects() const { return objects_; }
+
+  // --- directory -----------------------------------------------------------
+  void AddLdap(LdapRecord record) { ldap_.push_back(std::move(record)); }
+  const std::vector<LdapRecord>& ldap() const { return ldap_; }
+
+  /// User ids belonging to `department`.
+  std::vector<UserId> UsersInDepartment(const std::string& department) const;
+
+  /// All distinct department names, in first-seen order.
+  std::vector<std::string> Departments() const;
+
+  // --- record streams ------------------------------------------------------
+  void Add(const LogonEvent& e) { logons_.push_back(e); }
+  void Add(const DeviceEvent& e) { devices_.push_back(e); }
+  void Add(const FileEvent& e) { file_events_.push_back(e); }
+  void Add(const HttpEvent& e) { http_events_.push_back(e); }
+  void Add(const EmailEvent& e) { emails_.push_back(e); }
+  void Add(const EnterpriseEvent& e) { enterprise_events_.push_back(e); }
+  void Add(const ProxyEvent& e) { proxy_events_.push_back(e); }
+
+  // LogSink implementation (buffers into the per-type vectors above).
+  void Consume(const LogonEvent& e) override { Add(e); }
+  void Consume(const DeviceEvent& e) override { Add(e); }
+  void Consume(const FileEvent& e) override { Add(e); }
+  void Consume(const HttpEvent& e) override { Add(e); }
+  void Consume(const EmailEvent& e) override { Add(e); }
+  void Consume(const EnterpriseEvent& e) override { Add(e); }
+  void Consume(const ProxyEvent& e) override { Add(e); }
+
+  const std::vector<LogonEvent>& logons() const { return logons_; }
+  const std::vector<DeviceEvent>& devices() const { return devices_; }
+  const std::vector<FileEvent>& file_events() const { return file_events_; }
+  const std::vector<HttpEvent>& http_events() const { return http_events_; }
+  const std::vector<EmailEvent>& emails() const { return emails_; }
+  const std::vector<EnterpriseEvent>& enterprise_events() const {
+    return enterprise_events_;
+  }
+  const std::vector<ProxyEvent>& proxy_events() const { return proxy_events_; }
+
+  /// Total record count across all streams.
+  std::size_t TotalEvents() const;
+
+  /// Sorts every stream by timestamp (stable, so same-timestamp records
+  /// keep generation order).
+  void SortChronologically();
+
+ private:
+  EntityTable users_;
+  EntityTable pcs_;
+  EntityTable files_;
+  EntityTable domains_;
+  EntityTable objects_;
+  std::vector<LdapRecord> ldap_;
+
+  std::vector<LogonEvent> logons_;
+  std::vector<DeviceEvent> devices_;
+  std::vector<FileEvent> file_events_;
+  std::vector<HttpEvent> http_events_;
+  std::vector<EmailEvent> emails_;
+  std::vector<EnterpriseEvent> enterprise_events_;
+  std::vector<ProxyEvent> proxy_events_;
+};
+
+}  // namespace acobe

@@ -1,0 +1,34 @@
+#pragma once
+
+// Fan-out LogSink: forwards every record to several downstream sinks.
+// Lets one simulation pass feed multiple extractors (and optionally a
+// buffering LogStore) without materializing events twice.
+
+#include <vector>
+
+#include "logs/log_sink.h"
+
+namespace acobe {
+
+class TeeSink : public LogSink {
+ public:
+  explicit TeeSink(std::vector<LogSink*> sinks) : sinks_(std::move(sinks)) {}
+
+  void Consume(const LogonEvent& e) override { Fan(e); }
+  void Consume(const DeviceEvent& e) override { Fan(e); }
+  void Consume(const FileEvent& e) override { Fan(e); }
+  void Consume(const HttpEvent& e) override { Fan(e); }
+  void Consume(const EmailEvent& e) override { Fan(e); }
+  void Consume(const EnterpriseEvent& e) override { Fan(e); }
+  void Consume(const ProxyEvent& e) override { Fan(e); }
+
+ private:
+  template <typename Event>
+  void Fan(const Event& e) {
+    for (LogSink* sink : sinks_) sink->Consume(e);
+  }
+
+  std::vector<LogSink*> sinks_;
+};
+
+}  // namespace acobe

@@ -1,0 +1,85 @@
+#include "nn/activations.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace acobe::nn {
+
+Tensor ReLU::Forward(const Tensor& x, bool /*training*/) {
+  Tensor y = x;
+  mask_.Resize(x.rows(), x.cols());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y.data()[i] > 0.0f) {
+      mask_.data()[i] = 1.0f;
+    } else {
+      y.data()[i] = 0.0f;
+      mask_.data()[i] = 0.0f;
+    }
+  }
+  return y;
+}
+
+Tensor ReLU::Backward(const Tensor& grad_output) {
+  if (!grad_output.SameShape(mask_)) {
+    throw std::invalid_argument("ReLU::Backward: bad grad shape");
+  }
+  Tensor dx = grad_output;
+  for (std::size_t i = 0; i < dx.size(); ++i) dx.data()[i] *= mask_.data()[i];
+  return dx;
+}
+
+Tensor Sigmoid::Forward(const Tensor& x, bool /*training*/) {
+  Tensor y = x;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y.data()[i] = 1.0f / (1.0f + std::exp(-y.data()[i]));
+  }
+  output_ = y;
+  return y;
+}
+
+Tensor Sigmoid::Backward(const Tensor& grad_output) {
+  if (!grad_output.SameShape(output_)) {
+    throw std::invalid_argument("Sigmoid::Backward: bad grad shape");
+  }
+  Tensor dx = grad_output;
+  for (std::size_t i = 0; i < dx.size(); ++i) {
+    const float s = output_.data()[i];
+    dx.data()[i] *= s * (1.0f - s);
+  }
+  return dx;
+}
+
+Dropout::Dropout(float rate, std::uint64_t seed) : rate_(rate), rng_(seed) {
+  if (rate < 0.0f || rate >= 1.0f) {
+    throw std::invalid_argument("Dropout: rate must be in [0,1)");
+  }
+}
+
+Tensor Dropout::Forward(const Tensor& x, bool training) {
+  last_training_ = training && rate_ > 0.0f;
+  if (!last_training_) {
+    mask_.Resize(x.rows(), x.cols());
+    mask_.Fill(1.0f);
+    return x;
+  }
+  Tensor y = x;
+  mask_.Resize(x.rows(), x.cols());
+  const float scale = 1.0f / (1.0f - rate_);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const bool keep = !rng_.NextBernoulli(rate_);
+    mask_.data()[i] = keep ? scale : 0.0f;
+    y.data()[i] *= mask_.data()[i];
+  }
+  return y;
+}
+
+Tensor Dropout::Backward(const Tensor& grad_output) {
+  if (!grad_output.SameShape(mask_)) {
+    throw std::invalid_argument("Dropout::Backward: bad grad shape");
+  }
+  Tensor dx = grad_output;
+  for (std::size_t i = 0; i < dx.size(); ++i) dx.data()[i] *= mask_.data()[i];
+  return dx;
+}
+
+}  // namespace acobe::nn

@@ -1,0 +1,47 @@
+#pragma once
+
+// Elementwise activation layers.
+
+#include "nn/layer.h"
+
+namespace acobe::nn {
+
+class ReLU : public Layer {
+ public:
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string TypeName() const override { return "relu"; }
+
+ private:
+  Tensor mask_;  // 1 where x > 0
+};
+
+class Sigmoid : public Layer {
+ public:
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string TypeName() const override { return "sigmoid"; }
+
+ private:
+  Tensor output_;
+};
+
+/// Inverted dropout: active only in training mode (scales by 1/(1-p) so
+/// inference needs no correction). Deterministic given the seed.
+class Dropout : public Layer {
+ public:
+  explicit Dropout(float rate, std::uint64_t seed = 7);
+
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string TypeName() const override { return "dropout"; }
+  float rate() const { return rate_; }
+
+ private:
+  float rate_;
+  Rng rng_;
+  Tensor mask_;
+  bool last_training_ = false;
+};
+
+}  // namespace acobe::nn

@@ -1,0 +1,132 @@
+#include "nn/batchnorm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace acobe::nn {
+
+BatchNorm::BatchNorm(std::size_t dim, float momentum, float epsilon)
+    : dim_(dim), momentum_(momentum), epsilon_(epsilon) {
+  gamma_.name = "gamma";
+  gamma_.value.Resize(1, dim);
+  gamma_.value.Fill(1.0f);
+  gamma_.grad.Resize(1, dim);
+  beta_.name = "beta";
+  beta_.value.Resize(1, dim);
+  beta_.grad.Resize(1, dim);
+  running_mean_.Resize(1, dim);
+  running_var_.Resize(1, dim);
+  running_var_.Fill(1.0f);
+}
+
+void BatchNorm::InitParams(Rng& /*rng*/) {
+  gamma_.value.Fill(1.0f);
+  beta_.value.Fill(0.0f);
+  running_mean_.Fill(0.0f);
+  running_var_.Fill(1.0f);
+}
+
+Tensor BatchNorm::Forward(const Tensor& x, bool training) {
+  if (x.cols() != dim_) throw std::invalid_argument("BatchNorm: bad input dim");
+  const std::size_t n = x.rows();
+  last_training_ = training && n > 1;
+
+  Tensor mean(1, dim_), var(1, dim_);
+  if (last_training_) {
+    for (std::size_t r = 0; r < n; ++r) {
+      const float* row = x.data() + r * dim_;
+      for (std::size_t c = 0; c < dim_; ++c) mean.data()[c] += row[c];
+    }
+    for (std::size_t c = 0; c < dim_; ++c) {
+      mean.data()[c] /= static_cast<float>(n);
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      const float* row = x.data() + r * dim_;
+      for (std::size_t c = 0; c < dim_; ++c) {
+        const float d = row[c] - mean.data()[c];
+        var.data()[c] += d * d;
+      }
+    }
+    for (std::size_t c = 0; c < dim_; ++c) {
+      var.data()[c] /= static_cast<float>(n);
+    }
+    for (std::size_t c = 0; c < dim_; ++c) {
+      running_mean_.data()[c] = momentum_ * running_mean_.data()[c] +
+                                (1.0f - momentum_) * mean.data()[c];
+      running_var_.data()[c] = momentum_ * running_var_.data()[c] +
+                               (1.0f - momentum_) * var.data()[c];
+    }
+  } else {
+    mean = running_mean_;
+    var = running_var_;
+  }
+
+  inv_std_.Resize(1, dim_);
+  for (std::size_t c = 0; c < dim_; ++c) {
+    inv_std_.data()[c] = 1.0f / std::sqrt(var.data()[c] + epsilon_);
+  }
+
+  x_hat_.Resize(n, dim_);
+  Tensor y(n, dim_);
+  for (std::size_t r = 0; r < n; ++r) {
+    const float* row = x.data() + r * dim_;
+    float* hat = x_hat_.data() + r * dim_;
+    float* out = y.data() + r * dim_;
+    for (std::size_t c = 0; c < dim_; ++c) {
+      hat[c] = (row[c] - mean.data()[c]) * inv_std_.data()[c];
+      out[c] = gamma_.value.data()[c] * hat[c] + beta_.value.data()[c];
+    }
+  }
+  return y;
+}
+
+Tensor BatchNorm::Backward(const Tensor& grad_output) {
+  if (!grad_output.SameShape(x_hat_)) {
+    throw std::invalid_argument("BatchNorm::Backward: bad grad shape");
+  }
+  const std::size_t n = grad_output.rows();
+
+  // dgamma = sum g*x_hat ; dbeta = sum g.
+  Tensor sum_g(1, dim_), sum_gx(1, dim_);
+  for (std::size_t r = 0; r < n; ++r) {
+    const float* g = grad_output.data() + r * dim_;
+    const float* hat = x_hat_.data() + r * dim_;
+    for (std::size_t c = 0; c < dim_; ++c) {
+      sum_g.data()[c] += g[c];
+      sum_gx.data()[c] += g[c] * hat[c];
+    }
+  }
+  for (std::size_t c = 0; c < dim_; ++c) {
+    gamma_.grad.data()[c] += sum_gx.data()[c];
+    beta_.grad.data()[c] += sum_g.data()[c];
+  }
+
+  Tensor dx(n, dim_);
+  if (last_training_) {
+    // Standard batch-norm input gradient with batch statistics:
+    // dx = gamma*inv_std/n * (n*g - sum_g - x_hat*sum_gx).
+    const float inv_n = 1.0f / static_cast<float>(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      const float* g = grad_output.data() + r * dim_;
+      const float* hat = x_hat_.data() + r * dim_;
+      float* out = dx.data() + r * dim_;
+      for (std::size_t c = 0; c < dim_; ++c) {
+        out[c] = gamma_.value.data()[c] * inv_std_.data()[c] * inv_n *
+                 (static_cast<float>(n) * g[c] - sum_g.data()[c] -
+                  hat[c] * sum_gx.data()[c]);
+      }
+    }
+  } else {
+    // Running statistics are constants: dx = g * gamma * inv_std.
+    for (std::size_t r = 0; r < n; ++r) {
+      const float* g = grad_output.data() + r * dim_;
+      float* out = dx.data() + r * dim_;
+      for (std::size_t c = 0; c < dim_; ++c) {
+        out[c] = g[c] * gamma_.value.data()[c] * inv_std_.data()[c];
+      }
+    }
+  }
+  return dx;
+}
+
+}  // namespace acobe::nn

@@ -1,0 +1,45 @@
+#pragma once
+
+// Batch normalization over the feature axis (Ioffe & Szegedy 2015),
+// matching tf.keras.layers.BatchNormalization semantics: batch
+// statistics + running-average update in training mode, running
+// statistics in inference mode.
+
+#include "nn/layer.h"
+
+namespace acobe::nn {
+
+class BatchNorm : public Layer {
+ public:
+  /// `momentum` follows Keras semantics (running = m*running + (1-m)*batch).
+  /// 0.9 (vs Keras's 0.99) so running statistics converge within the
+  /// short training schedules used here; inference quality depends on it.
+  explicit BatchNorm(std::size_t dim, float momentum = 0.9f,
+                     float epsilon = 1e-3f);
+
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<Param*> Params() override { return {&gamma_, &beta_}; }
+  void InitParams(Rng& rng) override;
+  std::string TypeName() const override { return "batchnorm"; }
+
+  std::size_t dim() const { return dim_; }
+  Tensor& running_mean() { return running_mean_; }
+  Tensor& running_var() { return running_var_; }
+
+ private:
+  std::size_t dim_;
+  float momentum_;
+  float epsilon_;
+  Param gamma_;
+  Param beta_;
+  Tensor running_mean_;
+  Tensor running_var_;
+
+  // Forward cache for Backward.
+  Tensor x_hat_;
+  Tensor inv_std_;  // (1, dim)
+  bool last_training_ = false;
+};
+
+}  // namespace acobe::nn

@@ -1,0 +1,69 @@
+#include "nn/dense.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/gemm.h"
+
+namespace acobe::nn {
+
+Dense::Dense(std::size_t in_dim, std::size_t out_dim)
+    : in_dim_(in_dim), out_dim_(out_dim) {
+  if (in_dim == 0 || out_dim == 0) {
+    throw std::invalid_argument("Dense: zero dimension");
+  }
+  weight_.name = "W";
+  weight_.value.Resize(in_dim, out_dim);
+  weight_.grad.Resize(in_dim, out_dim);
+  bias_.name = "b";
+  bias_.value.Resize(1, out_dim);
+  bias_.grad.Resize(1, out_dim);
+}
+
+void Dense::InitParams(Rng& rng) {
+  // Glorot/Xavier uniform, the Keras Dense default the paper's
+  // implementation would have used.
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(in_dim_ + out_dim_));
+  for (std::size_t i = 0; i < weight_.value.size(); ++i) {
+    weight_.value.data()[i] =
+        static_cast<float>(rng.NextUniform(-limit, limit));
+  }
+  bias_.value.Fill(0.0f);
+}
+
+Tensor Dense::Forward(const Tensor& x, bool /*training*/) {
+  if (x.cols() != in_dim_) throw std::invalid_argument("Dense: bad input dim");
+  cached_input_ = x;
+  Tensor y;
+  Gemm(x, weight_.value, y);
+  for (std::size_t r = 0; r < y.rows(); ++r) {
+    float* row = y.data() + r * out_dim_;
+    const float* b = bias_.value.data();
+    for (std::size_t c = 0; c < out_dim_; ++c) row[c] += b[c];
+  }
+  return y;
+}
+
+Tensor Dense::Backward(const Tensor& grad_output) {
+  if (grad_output.cols() != out_dim_ ||
+      grad_output.rows() != cached_input_.rows()) {
+    throw std::invalid_argument("Dense::Backward: bad grad shape");
+  }
+  // dW += x^T g ; db += sum_rows g ; dx = g W^T.
+  Tensor dw;
+  GemmTransA(cached_input_, grad_output, dw);
+  for (std::size_t i = 0; i < dw.size(); ++i) {
+    weight_.grad.data()[i] += dw.data()[i];
+  }
+  for (std::size_t r = 0; r < grad_output.rows(); ++r) {
+    const float* row = grad_output.data() + r * out_dim_;
+    float* db = bias_.grad.data();
+    for (std::size_t c = 0; c < out_dim_; ++c) db[c] += row[c];
+  }
+  Tensor dx;
+  GemmTransB(grad_output, weight_.value, dx);
+  return dx;
+}
+
+}  // namespace acobe::nn

@@ -1,0 +1,31 @@
+#pragma once
+
+// Fully-connected layer: y = x W + b, W (in x out), Glorot-uniform init.
+
+#include "nn/layer.h"
+
+namespace acobe::nn {
+
+class Dense : public Layer {
+ public:
+  Dense(std::size_t in_dim, std::size_t out_dim);
+
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<Param*> Params() override { return {&weight_, &bias_}; }
+  void InitParams(Rng& rng) override;
+  std::string TypeName() const override { return "dense"; }
+  std::size_t OutputDim(std::size_t) const override { return out_dim_; }
+
+  std::size_t in_dim() const { return in_dim_; }
+  std::size_t out_dim() const { return out_dim_; }
+
+ private:
+  std::size_t in_dim_;
+  std::size_t out_dim_;
+  Param weight_;
+  Param bias_;
+  Tensor cached_input_;
+};
+
+}  // namespace acobe::nn

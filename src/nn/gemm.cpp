@@ -1,0 +1,69 @@
+#include "nn/gemm.h"
+
+#include <stdexcept>
+
+namespace acobe::nn {
+
+void Gemm(const Tensor& a, const Tensor& b, Tensor& c) {
+  if (a.cols() != b.rows()) throw std::invalid_argument("Gemm: shape mismatch");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  c.Resize(m, n);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * n;
+    for (std::size_t l = 0; l < k; ++l) {
+      const float av = arow[l];
+      if (av == 0.0f) continue;
+      const float* brow = pb + l * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void GemmTransA(const Tensor& a, const Tensor& b, Tensor& c) {
+  if (a.rows() != b.rows()) {
+    throw std::invalid_argument("GemmTransA: shape mismatch");
+  }
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  c.Resize(m, n);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // C[i][j] = sum_l A[l][i] * B[l][j]; iterate l outer for sequential reads.
+  for (std::size_t l = 0; l < k; ++l) {
+    const float* arow = pa + l * m;
+    const float* brow = pb + l * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = pc + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void GemmTransB(const Tensor& a, const Tensor& b, Tensor& c) {
+  if (a.cols() != b.cols()) {
+    throw std::invalid_argument("GemmTransB: shape mismatch");
+  }
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  c.Resize(m, n);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      float acc = 0.0f;
+      for (std::size_t l = 0; l < k; ++l) acc += arow[l] * brow[l];
+      crow[j] = acc;
+    }
+  }
+}
+
+}  // namespace acobe::nn

@@ -1,0 +1,21 @@
+#pragma once
+
+// General matrix multiplication kernels used by the dense layers.
+// C = A(op) * B(op), with A (m x k), B (k x n), C (m x n) after ops.
+// Implemented as cache-friendly ikj loops that GCC auto-vectorizes;
+// adequate single-core throughput for the model sizes in this repo.
+
+#include "nn/tensor.h"
+
+namespace acobe::nn {
+
+/// C = A * B. Shapes: A (m,k), B (k,n), C resized to (m,n).
+void Gemm(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// C = A^T * B. Shapes: A (k,m), B (k,n), C resized to (m,n).
+void GemmTransA(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// C = A * B^T. Shapes: A (m,k), B (n,k), C resized to (m,n).
+void GemmTransB(const Tensor& a, const Tensor& b, Tensor& c);
+
+}  // namespace acobe::nn

@@ -1,0 +1,52 @@
+#pragma once
+
+// Layer abstraction for the dense autoencoder stack.
+//
+// Layers process batches (batch x features). Forward caches whatever it
+// needs for Backward; Backward receives dL/d(output) and returns
+// dL/d(input), accumulating dL/d(param) into each Param's grad tensor.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/tensor.h"
+
+namespace acobe::nn {
+
+/// A trainable parameter: value plus gradient accumulator of equal shape.
+struct Param {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the layer output for input batch `x`. `training` switches
+  /// batch-norm between batch statistics and running statistics.
+  virtual Tensor Forward(const Tensor& x, bool training) = 0;
+
+  /// Given dL/d(output of Forward), returns dL/d(input) and accumulates
+  /// parameter gradients. Must be called after Forward on the same batch.
+  virtual Tensor Backward(const Tensor& grad_output) = 0;
+
+  /// Trainable parameters (empty for activations).
+  virtual std::vector<Param*> Params() { return {}; }
+
+  /// Initializes parameters from `rng` (no-op for parameterless layers).
+  virtual void InitParams(Rng& /*rng*/) {}
+
+  /// Layer type tag used by serialization.
+  virtual std::string TypeName() const = 0;
+
+  /// Output width given input width (dense layers change it).
+  virtual std::size_t OutputDim(std::size_t input_dim) const {
+    return input_dim;
+  }
+};
+
+}  // namespace acobe::nn

@@ -1,0 +1,91 @@
+#include "nn/sequential.h"
+
+#include <cmath>
+
+#include <stdexcept>
+
+namespace acobe::nn {
+
+Tensor Sequential::Forward(const Tensor& x, bool training) {
+  Tensor h = x;
+  for (auto& l : layers_) h = l->Forward(h, training);
+  return h;
+}
+
+Tensor Sequential::Backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->Backward(g);
+  }
+  return g;
+}
+
+std::vector<Param*> Sequential::Params() {
+  std::vector<Param*> params;
+  for (auto& l : layers_) {
+    for (Param* p : l->Params()) params.push_back(p);
+  }
+  return params;
+}
+
+void Sequential::ZeroGrad() {
+  for (Param* p : Params()) p->grad.Fill(0.0f);
+}
+
+float MseLoss(const Tensor& pred, const Tensor& target, Tensor& grad) {
+  if (!pred.SameShape(target)) {
+    throw std::invalid_argument("MseLoss: shape mismatch");
+  }
+  grad.Resize(pred.rows(), pred.cols());
+  const float scale = 2.0f / static_cast<float>(pred.size());
+  double loss = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const float d = pred.data()[i] - target.data()[i];
+    loss += static_cast<double>(d) * d;
+    grad.data()[i] = scale * d;
+  }
+  return static_cast<float>(loss / static_cast<double>(pred.size()));
+}
+
+float HuberLoss(const Tensor& pred, const Tensor& target, Tensor& grad,
+                float delta) {
+  if (!pred.SameShape(target)) {
+    throw std::invalid_argument("HuberLoss: shape mismatch");
+  }
+  if (delta <= 0.0f) throw std::invalid_argument("HuberLoss: delta <= 0");
+  grad.Resize(pred.rows(), pred.cols());
+  const float scale = 1.0f / static_cast<float>(pred.size());
+  double loss = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const float d = pred.data()[i] - target.data()[i];
+    const float a = std::fabs(d);
+    if (a <= delta) {
+      loss += 0.5 * static_cast<double>(d) * d;
+      grad.data()[i] = scale * d;
+    } else {
+      loss += delta * (a - 0.5 * delta);
+      grad.data()[i] = scale * (d > 0 ? delta : -delta);
+    }
+  }
+  return static_cast<float>(loss / static_cast<double>(pred.size()));
+}
+
+std::vector<float> PerSampleMse(const Tensor& pred, const Tensor& target) {
+  if (!pred.SameShape(target)) {
+    throw std::invalid_argument("PerSampleMse: shape mismatch");
+  }
+  std::vector<float> out(pred.rows());
+  for (std::size_t r = 0; r < pred.rows(); ++r) {
+    double acc = 0.0;
+    const float* p = pred.data() + r * pred.cols();
+    const float* t = target.data() + r * pred.cols();
+    for (std::size_t c = 0; c < pred.cols(); ++c) {
+      const float d = p[c] - t[c];
+      acc += static_cast<double>(d) * d;
+    }
+    out[r] = static_cast<float>(acc / static_cast<double>(pred.cols()));
+  }
+  return out;
+}
+
+}  // namespace acobe::nn

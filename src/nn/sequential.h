@@ -1,0 +1,60 @@
+#pragma once
+
+// Sequential container of layers plus the MSE loss used throughout the
+// paper (autoencoders are trained by minimizing ||X - (psi.phi)(X)||).
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace acobe::nn {
+
+class Sequential {
+ public:
+  Sequential() = default;
+  Sequential(Sequential&&) = default;
+  Sequential& operator=(Sequential&&) = default;
+
+  void Add(std::unique_ptr<Layer> layer) { layers_.push_back(std::move(layer)); }
+
+  std::size_t LayerCount() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_.at(i); }
+  const Layer& layer(std::size_t i) const { return *layers_.at(i); }
+
+  /// Initializes all parameters from `rng` (deterministic given the seed).
+  void InitParams(Rng& rng) {
+    for (auto& l : layers_) l->InitParams(rng);
+  }
+
+  /// Full forward pass over a batch.
+  Tensor Forward(const Tensor& x, bool training);
+
+  /// Full backward pass; call after Forward on the same batch.
+  Tensor Backward(const Tensor& grad_output);
+
+  /// All trainable parameters, in layer order.
+  std::vector<Param*> Params();
+
+  /// Zeroes every parameter gradient.
+  void ZeroGrad();
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// Mean-squared-error loss over a batch: mean over all elements of
+/// (pred - target)^2. Writes dL/dpred into `grad` (same shape).
+float MseLoss(const Tensor& pred, const Tensor& target, Tensor& grad);
+
+/// Per-row (per-sample) mean squared reconstruction error; this is the
+/// anomaly score the paper uses.
+std::vector<float> PerSampleMse(const Tensor& pred, const Tensor& target);
+
+/// Huber loss (quadratic within `delta`, linear outside): an outlier-
+/// robust alternative to MSE for training on noisy deviations. Writes
+/// dL/dpred into `grad`.
+float HuberLoss(const Tensor& pred, const Tensor& target, Tensor& grad,
+                float delta = 1.0f);
+
+}  // namespace acobe::nn

@@ -1,0 +1,106 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "nn/batchnorm.h"
+
+namespace acobe::nn {
+namespace {
+
+constexpr std::uint32_t kMagic = 0xAC0BE001;
+
+void WriteU32(std::ostream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint32_t ReadU32(std::istream& in) {
+  std::uint32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw std::runtime_error("LoadAutoencoder: truncated stream");
+  return v;
+}
+
+void WriteTensor(std::ostream& out, const Tensor& t) {
+  WriteU32(out, static_cast<std::uint32_t>(t.rows()));
+  WriteU32(out, static_cast<std::uint32_t>(t.cols()));
+  out.write(reinterpret_cast<const char*>(t.data()),
+            static_cast<std::streamsize>(t.size() * sizeof(float)));
+}
+
+void ReadTensorInto(std::istream& in, Tensor& t) {
+  const std::uint32_t rows = ReadU32(in);
+  const std::uint32_t cols = ReadU32(in);
+  if (rows != t.rows() || cols != t.cols()) {
+    throw std::runtime_error("LoadAutoencoder: tensor shape mismatch");
+  }
+  in.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.size() * sizeof(float)));
+  if (!in) throw std::runtime_error("LoadAutoencoder: truncated tensor");
+}
+
+template <typename Fn>
+void ForEachStateTensor(Sequential& net, Fn&& fn) {
+  for (std::size_t i = 0; i < net.LayerCount(); ++i) {
+    Layer& layer = net.layer(i);
+    for (Param* p : layer.Params()) fn(p->value);
+    if (auto* bn = dynamic_cast<BatchNorm*>(&layer)) {
+      fn(bn->running_mean());
+      fn(bn->running_var());
+    }
+  }
+}
+
+}  // namespace
+
+void SaveAutoencoder(const AutoencoderSpec& spec, Sequential& net,
+                     std::ostream& out) {
+  WriteU32(out, kMagic);
+  WriteU32(out, static_cast<std::uint32_t>(spec.input_dim));
+  WriteU32(out, static_cast<std::uint32_t>(spec.encoder_dims.size()));
+  for (std::size_t d : spec.encoder_dims) {
+    WriteU32(out, static_cast<std::uint32_t>(d));
+  }
+  WriteU32(out, spec.batch_norm ? 1 : 0);
+  WriteU32(out, spec.sigmoid_output ? 1 : 0);
+  ForEachStateTensor(net, [&](Tensor& t) { WriteTensor(out, t); });
+}
+
+Sequential LoadAutoencoder(std::istream& in, AutoencoderSpec& spec_out) {
+  if (ReadU32(in) != kMagic) {
+    throw std::runtime_error("LoadAutoencoder: bad magic");
+  }
+  AutoencoderSpec spec;
+  spec.input_dim = ReadU32(in);
+  const std::uint32_t depth = ReadU32(in);
+  spec.encoder_dims.clear();
+  for (std::uint32_t i = 0; i < depth; ++i) {
+    spec.encoder_dims.push_back(ReadU32(in));
+  }
+  spec.batch_norm = ReadU32(in) != 0;
+  spec.sigmoid_output = ReadU32(in) != 0;
+
+  Sequential net = BuildAutoencoder(spec);
+  ForEachStateTensor(net, [&](Tensor& t) { ReadTensorInto(in, t); });
+  spec_out = spec;
+  return net;
+}
+
+void SaveAutoencoderFile(const AutoencoderSpec& spec, Sequential& net,
+                         const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("SaveAutoencoderFile: cannot open " + path);
+  SaveAutoencoder(spec, net, out);
+}
+
+Sequential LoadAutoencoderFile(const std::string& path,
+                               AutoencoderSpec& spec_out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("LoadAutoencoderFile: cannot open " + path);
+  return LoadAutoencoder(in, spec_out);
+}
+
+}  // namespace acobe::nn

@@ -1,0 +1,26 @@
+#pragma once
+
+// Binary save/load for trained autoencoders. The format stores the
+// AutoencoderSpec followed by every parameter tensor and batch-norm
+// running statistic, so a loaded model reproduces inference bit-exactly.
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/autoencoder.h"
+
+namespace acobe::nn {
+
+void SaveAutoencoder(const AutoencoderSpec& spec, Sequential& net,
+                     std::ostream& out);
+
+/// Loads a model previously written by SaveAutoencoder. Throws
+/// std::runtime_error on format errors.
+Sequential LoadAutoencoder(std::istream& in, AutoencoderSpec& spec_out);
+
+void SaveAutoencoderFile(const AutoencoderSpec& spec, Sequential& net,
+                         const std::string& path);
+Sequential LoadAutoencoderFile(const std::string& path,
+                               AutoencoderSpec& spec_out);
+
+}  // namespace acobe::nn

@@ -1,0 +1,100 @@
+#pragma once
+
+// A minimal dense 2-D float tensor (row-major), the numeric workhorse of
+// the from-scratch neural-network substrate. Shapes are (rows, cols);
+// a batch of samples is (batch, features).
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace acobe::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  Tensor(std::size_t rows, std::size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Tensor FromVector(std::size_t rows, std::size_t cols,
+                           std::vector<float> values) {
+    if (values.size() != rows * cols) {
+      throw std::invalid_argument("Tensor::FromVector: size mismatch");
+    }
+    Tensor t;
+    t.rows_ = rows;
+    t.cols_ = cols;
+    t.data_ = std::move(values);
+    return t;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  float operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  float& at(std::size_t r, std::size_t c) {
+    CheckIndex(r, c);
+    return data_[r * cols_ + c];
+  }
+  float at(std::size_t r, std::size_t c) const {
+    CheckIndex(r, c);
+    return data_[r * cols_ + c];
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  std::span<float> Row(std::size_t r) {
+    CheckIndex(r, 0);
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const float> Row(std::size_t r) const {
+    CheckIndex(r, 0);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  void Fill(float value) { data_.assign(data_.size(), value); }
+
+  /// Reshapes without moving data; new shape must preserve size.
+  void Reshape(std::size_t rows, std::size_t cols) {
+    if (rows * cols != data_.size()) {
+      throw std::invalid_argument("Tensor::Reshape: size mismatch");
+    }
+    rows_ = rows;
+    cols_ = cols;
+  }
+
+  /// Resizes, discarding contents.
+  void Resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0f);
+  }
+
+  bool SameShape(const Tensor& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  void CheckIndex(std::size_t r, std::size_t c) const {
+    if (r >= rows_ || c >= cols_) {
+      throw std::out_of_range("Tensor index out of range");
+    }
+  }
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace acobe::nn

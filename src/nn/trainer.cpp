@@ -1,0 +1,85 @@
+#include "nn/trainer.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace acobe::nn {
+
+std::vector<EpochStats> TrainReconstruction(
+    Sequential& net, Optimizer& optimizer, const Tensor& data,
+    const TrainConfig& config,
+    const std::function<void(const EpochStats&)>& on_epoch) {
+  if (data.rows() == 0) {
+    throw std::invalid_argument("TrainReconstruction: empty dataset");
+  }
+  const std::size_t n = data.rows();
+  const std::size_t dim = data.cols();
+  const std::size_t batch = std::max<std::size_t>(1, config.batch_size);
+
+  optimizer.Attach(net.Params());
+  Rng rng(config.seed);
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  std::vector<EpochStats> history;
+  float best_loss = std::numeric_limits<float>::infinity();
+  int stall = 0;
+
+  Tensor x;
+  Tensor grad;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(order);
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < n; start += batch) {
+      const std::size_t count = std::min(batch, n - start);
+      x.Resize(count, dim);
+      for (std::size_t i = 0; i < count; ++i) {
+        const float* src = data.data() + order[start + i] * dim;
+        std::copy(src, src + dim, x.data() + i * dim);
+      }
+      net.ZeroGrad();
+      Tensor pred = net.Forward(x, /*training=*/true);
+      epoch_loss += MseLoss(pred, x, grad);
+      net.Backward(grad);
+      optimizer.Step();
+      ++batches;
+    }
+    EpochStats stats{epoch, static_cast<float>(epoch_loss / batches)};
+    history.push_back(stats);
+    if (on_epoch) on_epoch(stats);
+
+    if (config.patience > 0) {
+      if (stats.loss < best_loss - config.min_delta) {
+        best_loss = stats.loss;
+        stall = 0;
+      } else if (++stall >= config.patience) {
+        break;
+      }
+    }
+  }
+  return history;
+}
+
+std::vector<float> ReconstructionErrors(Sequential& net, const Tensor& data,
+                                        std::size_t batch_size) {
+  const std::size_t n = data.rows();
+  const std::size_t dim = data.cols();
+  const std::size_t batch = std::max<std::size_t>(1, batch_size);
+  std::vector<float> errors;
+  errors.reserve(n);
+  Tensor x;
+  for (std::size_t start = 0; start < n; start += batch) {
+    const std::size_t count = std::min(batch, n - start);
+    x.Resize(count, dim);
+    std::copy(data.data() + start * dim, data.data() + (start + count) * dim,
+              x.data());
+    Tensor pred = net.Forward(x, /*training=*/false);
+    for (float e : PerSampleMse(pred, x)) errors.push_back(e);
+  }
+  return errors;
+}
+
+}  // namespace acobe::nn

@@ -1,0 +1,41 @@
+#pragma once
+
+// Deterministic mini-batch trainer for reconstruction models.
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/optimizer.h"
+#include "nn/sequential.h"
+
+namespace acobe::nn {
+
+struct TrainConfig {
+  int epochs = 30;
+  std::size_t batch_size = 64;
+  std::uint64_t seed = 42;
+  /// Stop when epoch loss improves by less than `min_delta` for
+  /// `patience` consecutive epochs (0 disables early stopping).
+  int patience = 0;
+  float min_delta = 1e-5f;
+};
+
+struct EpochStats {
+  int epoch = 0;
+  float loss = 0.0f;
+};
+
+/// Trains `net` to reconstruct `data` (each row one sample) with MSE.
+/// Returns per-epoch losses. `on_epoch` (optional) observes progress.
+std::vector<EpochStats> TrainReconstruction(
+    Sequential& net, Optimizer& optimizer, const Tensor& data,
+    const TrainConfig& config,
+    const std::function<void(const EpochStats&)>& on_epoch = nullptr);
+
+/// Per-sample reconstruction error of `data` under `net` (inference
+/// mode), evaluated in batches to bound memory.
+std::vector<float> ReconstructionErrors(Sequential& net, const Tensor& data,
+                                        std::size_t batch_size = 256);
+
+}  // namespace acobe::nn

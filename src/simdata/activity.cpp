@@ -1,0 +1,81 @@
+#include "simdata/activity.h"
+
+namespace acobe::sim {
+
+const char* ToString(ActivityKind k) {
+  switch (k) {
+    case ActivityKind::kLogon: return "logon";
+    case ActivityKind::kDeviceConnect: return "device-connect";
+    case ActivityKind::kFileOpenLocal: return "file-open-local";
+    case ActivityKind::kFileOpenRemote: return "file-open-remote";
+    case ActivityKind::kFileWriteLocal: return "file-write-local";
+    case ActivityKind::kFileWriteRemote: return "file-write-remote";
+    case ActivityKind::kFileCopyLocalToRemote: return "file-copy-l2r";
+    case ActivityKind::kFileCopyRemoteToLocal: return "file-copy-r2l";
+    case ActivityKind::kFileDelete: return "file-delete";
+    case ActivityKind::kHttpVisit: return "http-visit";
+    case ActivityKind::kHttpDownload: return "http-download";
+    case ActivityKind::kHttpUploadDoc: return "http-upload-doc";
+    case ActivityKind::kHttpUploadExe: return "http-upload-exe";
+    case ActivityKind::kHttpUploadJpg: return "http-upload-jpg";
+    case ActivityKind::kHttpUploadPdf: return "http-upload-pdf";
+    case ActivityKind::kHttpUploadTxt: return "http-upload-txt";
+    case ActivityKind::kHttpUploadZip: return "http-upload-zip";
+    case ActivityKind::kEmail: return "email";
+    case ActivityKind::kCount: break;
+  }
+  return "?";
+}
+
+bool IsHumanInitiated(ActivityKind k) {
+  switch (k) {
+    case ActivityKind::kLogon:
+    case ActivityKind::kDeviceConnect:
+    case ActivityKind::kFileWriteLocal:
+    case ActivityKind::kFileWriteRemote:
+    case ActivityKind::kFileCopyLocalToRemote:
+    case ActivityKind::kFileCopyRemoteToLocal:
+    case ActivityKind::kHttpVisit:
+    case ActivityKind::kHttpDownload:
+    case ActivityKind::kHttpUploadDoc:
+    case ActivityKind::kHttpUploadJpg:
+    case ActivityKind::kHttpUploadPdf:
+    case ActivityKind::kHttpUploadTxt:
+    case ActivityKind::kHttpUploadZip:
+    case ActivityKind::kEmail:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::array<double, kActivityKindCount> DefaultWorkRates() {
+  std::array<double, kActivityKindCount> r{};
+  r[Index(ActivityKind::kLogon)] = 3.0;
+  // Thumb drives are routine for the users who have one at all: a
+  // single day's connect count is unremarkable org-wide; what gives an
+  // insider away is the change against their *own* history.
+  r[Index(ActivityKind::kDeviceConnect)] = 0.5;
+  r[Index(ActivityKind::kFileOpenLocal)] = 14.0;
+  r[Index(ActivityKind::kFileOpenRemote)] = 5.0;
+  r[Index(ActivityKind::kFileWriteLocal)] = 6.0;
+  r[Index(ActivityKind::kFileWriteRemote)] = 2.0;
+  r[Index(ActivityKind::kFileCopyLocalToRemote)] = 0.8;
+  r[Index(ActivityKind::kFileCopyRemoteToLocal)] = 1.2;
+  r[Index(ActivityKind::kFileDelete)] = 0.6;
+  r[Index(ActivityKind::kHttpVisit)] = 30.0;
+  r[Index(ActivityKind::kHttpDownload)] = 2.5;
+  // Uploading a handful of documents on any given day is mundane
+  // org-wide (webmail attachments, wikis, ticket systems); per-user
+  // habits are what differ.
+  r[Index(ActivityKind::kHttpUploadDoc)] = 0.5;
+  r[Index(ActivityKind::kHttpUploadExe)] = 0.02;
+  r[Index(ActivityKind::kHttpUploadJpg)] = 0.4;
+  r[Index(ActivityKind::kHttpUploadPdf)] = 0.35;
+  r[Index(ActivityKind::kHttpUploadTxt)] = 0.2;
+  r[Index(ActivityKind::kHttpUploadZip)] = 0.15;
+  r[Index(ActivityKind::kEmail)] = 8.0;
+  return r;
+}
+
+}  // namespace acobe::sim

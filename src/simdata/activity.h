@@ -1,0 +1,51 @@
+#pragma once
+
+// Activity kinds the CERT-style simulator draws per user per day per
+// time-frame. Each kind maps to one concrete record shape in src/logs.
+
+#include <array>
+#include <cstdint>
+
+namespace acobe::sim {
+
+enum class ActivityKind : std::uint8_t {
+  kLogon,
+  kDeviceConnect,
+  kFileOpenLocal,
+  kFileOpenRemote,
+  kFileWriteLocal,
+  kFileWriteRemote,
+  kFileCopyLocalToRemote,
+  kFileCopyRemoteToLocal,
+  kFileDelete,
+  kHttpVisit,
+  kHttpDownload,
+  kHttpUploadDoc,
+  kHttpUploadExe,
+  kHttpUploadJpg,
+  kHttpUploadPdf,
+  kHttpUploadTxt,
+  kHttpUploadZip,
+  kEmail,
+  kCount,
+};
+
+constexpr std::size_t kActivityKindCount =
+    static_cast<std::size_t>(ActivityKind::kCount);
+
+constexpr std::size_t Index(ActivityKind k) {
+  return static_cast<std::size_t>(k);
+}
+
+const char* ToString(ActivityKind k);
+
+/// True for activities dominated by humans (bursty on busy days, quiet
+/// on weekends); false for computer-initiated background activity
+/// (backups, retries), which dominates off hours.
+bool IsHumanInitiated(ActivityKind k);
+
+/// Department-level mean daily event counts during working hours for an
+/// average user; the simulator scales these per user/frame/day.
+std::array<double, kActivityKindCount> DefaultWorkRates();
+
+}  // namespace acobe::sim

@@ -1,0 +1,36 @@
+#include "simdata/calendar.h"
+
+#include <algorithm>
+
+namespace acobe::sim {
+
+OrgCalendar OrgCalendar::WithDefaultHolidays(int first_year, int last_year) {
+  std::vector<Date> holidays;
+  for (int y = first_year; y <= last_year; ++y) {
+    holidays.emplace_back(y, 1, 1);    // New Year
+    holidays.emplace_back(y, 7, 4);    // Independence Day
+    holidays.emplace_back(y, 11, 25);  // Thanksgiving-ish
+    holidays.emplace_back(y, 12, 24);
+    holidays.emplace_back(y, 12, 25);
+  }
+  return OrgCalendar(std::move(holidays));
+}
+
+bool OrgCalendar::IsHoliday(const Date& d) const {
+  return std::find(holidays_.begin(), holidays_.end(), d) != holidays_.end();
+}
+
+double OrgCalendar::BusyFactor(const Date& d) const {
+  if (!IsWorkday(d)) return 1.0;
+  double factor = d.weekday() == Weekday::kMonday ? 1.4 : 1.0;
+  // Make-up day: first workday following a holiday.
+  const Date prev = d.AddDays(-1);
+  const Date prev2 = d.AddDays(-2);
+  if (IsHoliday(prev) || (prev.IsWeekend() && IsHoliday(prev2)) ||
+      (prev.IsWeekend() && prev2.IsWeekend() && IsHoliday(d.AddDays(-3)))) {
+    factor = std::max(factor, 1.7);
+  }
+  return factor;
+}
+
+}  // namespace acobe::sim

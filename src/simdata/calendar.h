@@ -1,0 +1,50 @@
+#pragma once
+
+// Organizational calendar: weekends, fixed holidays, busy days (Mondays
+// and make-up days after holidays, which the paper singles out as the
+// classic false-positive trigger for single-day models), and org-wide
+// environmental changes (new service / service outage).
+
+#include <vector>
+
+#include "common/date.h"
+
+namespace acobe::sim {
+
+enum class EnvChangeKind {
+  kNewService,  // correlated unrecognized traffic for everyone
+  kOutage,      // correlated retry traffic for everyone
+};
+
+struct EnvChange {
+  EnvChangeKind kind = EnvChangeKind::kNewService;
+  Date start;
+  int duration_days = 3;
+  /// Strength of the org-wide burst, as a multiple of a user's normal
+  /// HTTP activity.
+  double intensity = 2.0;
+};
+
+class OrgCalendar {
+ public:
+  OrgCalendar() = default;
+  explicit OrgCalendar(std::vector<Date> holidays)
+      : holidays_(std::move(holidays)) {}
+
+  /// US-style fixed holidays for every year in [first_year, last_year].
+  static OrgCalendar WithDefaultHolidays(int first_year, int last_year);
+
+  bool IsHoliday(const Date& d) const;
+  bool IsWorkday(const Date& d) const {
+    return !d.IsWeekend() && !IsHoliday(d);
+  }
+
+  /// Human-activity multiplier for the day: 1.0 normally, elevated on
+  /// Mondays (1.4) and on make-up days right after a holiday (1.7).
+  double BusyFactor(const Date& d) const;
+
+ private:
+  std::vector<Date> holidays_;
+};
+
+}  // namespace acobe::sim

@@ -1,0 +1,22 @@
+#include "simdata/dga.h"
+
+#include "common/rng.h"
+
+namespace acobe::sim {
+
+std::string NewGozDomain(std::uint64_t seed, std::uint32_t index) {
+  std::uint64_t h = SplitMix64(seed ^ (0x9e3779b97f4a7c15ULL * (index + 1)));
+  const int length = 12 + static_cast<int>(h % 12);  // 12..23
+  std::string domain;
+  domain.reserve(length + 4);
+  for (int i = 0; i < length; ++i) {
+    h = SplitMix64(h);
+    domain.push_back(static_cast<char>('a' + h % 26));
+  }
+  static const char* kTlds[] = {".com", ".net", ".org", ".biz"};
+  h = SplitMix64(h);
+  domain += kTlds[h % 4];
+  return domain;
+}
+
+}  // namespace acobe::sim

@@ -1,0 +1,19 @@
+#pragma once
+
+// newGOZ-style domain generation algorithm (the DGA family found in
+// Gameover/Peer-to-Peer Zeus). Real newGOZ derives pseudo-random
+// domains from a date-based seed; we reproduce the observable
+// properties the detector sees — long random-looking second-level
+// labels over a small TLD set, hundreds of unique domains per day, all
+// previously unseen — with a deterministic hash-based generator.
+
+#include <cstdint>
+#include <string>
+
+namespace acobe::sim {
+
+/// The `index`-th domain for a given seed (e.g. day number). Lengths are
+/// 12..23 lowercase characters plus a TLD from {com, net, org, biz}.
+std::string NewGozDomain(std::uint64_t seed, std::uint32_t index);
+
+}  // namespace acobe::sim

@@ -1,0 +1,380 @@
+#include "simdata/enterprise_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "simdata/dga.h"
+
+namespace acobe::sim {
+namespace {
+
+// Representative Windows event ids per aspect (see Section VI.A).
+constexpr std::uint16_t kFileEventIds[] = {2, 11, 4656, 4658, 4663, 5145};
+constexpr std::uint16_t kCommandEventIds[] = {1, 4100, 4104, 4688};
+constexpr std::uint16_t kConfigEventIds[] = {13, 4657, 4720, 4738};
+constexpr std::uint16_t kResourceEventIds[] = {5140, 7036, 7045};
+
+std::uint16_t PickEventId(EnterpriseAspect aspect, Rng& rng) {
+  switch (aspect) {
+    case EnterpriseAspect::kFile:
+      return kFileEventIds[rng.NextBounded(std::size(kFileEventIds))];
+    case EnterpriseAspect::kCommand:
+      return kCommandEventIds[rng.NextBounded(std::size(kCommandEventIds))];
+    case EnterpriseAspect::kConfig:
+      return kConfigEventIds[rng.NextBounded(std::size(kConfigEventIds))];
+    case EnterpriseAspect::kResource:
+      return kResourceEventIds[rng.NextBounded(std::size(kResourceEventIds))];
+  }
+  return 0;
+}
+
+}  // namespace
+
+EnterpriseSimulator::EnterpriseSimulator(const EnterpriseSimConfig& config,
+                                         LogStore& store)
+    : config_(config),
+      store_(store),
+      calendar_(OrgCalendar::WithDefaultHolidays(config.start.year(),
+                                                 config.end.year())),
+      master_rng_(config.seed) {
+  if (config_.end < config_.start) {
+    throw std::invalid_argument("EnterpriseSimulator: end before start");
+  }
+  cc_domain_ = store_.domains().Intern("cnc-gate.example-evil.net");
+  env_tool_domain_ = store_.domains().Intern("new-collab-tool.corp");
+  env_tool_object_ = store_.objects().Intern("C:/Program Files/CollabTool/ct.exe");
+
+  // Shared pools colleagues overlap on.
+  std::vector<std::uint32_t> shared_objects[4];
+  const char* prefixes[4] = {"share/file-", "bin/tool-", "registry/key-",
+                             "svc/resource-"};
+  const int pool_sizes[4] = {160, 40, 60, 30};
+  for (int a = 0; a < 4; ++a) {
+    for (int i = 0; i < pool_sizes[a]; ++i) {
+      shared_objects[a].push_back(
+          store_.objects().Intern(prefixes[a] + std::to_string(i)));
+    }
+  }
+  std::vector<DomainId> shared_domains;
+  for (int i = 0; i < 150; ++i) {
+    shared_domains.push_back(
+        store_.domains().Intern("site-" + std::to_string(i) + ".com"));
+  }
+
+  for (int i = 0; i < config_.employees; ++i) {
+    Rng rng = master_rng_.Fork(1000 + i);
+    const std::string name = "emp" + std::to_string(i);
+    employees_.push_back(store_.users().Intern(name));
+
+    LdapRecord ldap;
+    ldap.user = employees_.back();
+    ldap.user_name = name;
+    ldap.department = "Enterprise";
+    ldap.team = "Team-" + std::to_string(i % 12);
+    ldap.role = "Employee";
+    store_.AddLdap(std::move(ldap));
+
+    Profile p;
+    const double factor = std::exp(rng.NextGaussian(0.0, 0.35));
+    // Work-hour rates; Command and Config are rare for most employees,
+    // which is exactly why malware execution pops in those aspects.
+    const double base[4] = {20.0, 0.4, 0.3, 2.0};
+    for (int a = 0; a < 4; ++a) {
+      const double work = base[a] * factor *
+                          std::exp(rng.NextGaussian(0.0, 0.3)) *
+                          config_.rate_scale;
+      p.aspect_rates[a][0] = work;
+      p.aspect_rates[a][1] = work * (a == 3 ? 0.6 : 0.1);
+    }
+    p.http_success_rate[0] = 40.0 * factor * config_.rate_scale;
+    p.http_success_rate[1] = p.http_success_rate[0] * 0.1;
+    p.http_failure_rate[0] = 1.5 * factor * config_.rate_scale;
+    p.http_failure_rate[1] = p.http_failure_rate[0] * 0.3;
+    p.logon_rate[0] = 3.0 * config_.rate_scale;
+    p.logon_rate[1] = 0.3 * config_.rate_scale;
+
+    for (int a = 0; a < 4; ++a) {
+      const std::size_t n = 5 + rng.NextBounded(15);
+      for (std::size_t j = 0; j < n; ++j) {
+        p.objects[a].push_back(
+            shared_objects[a][rng.NextBounded(shared_objects[a].size())]);
+      }
+      std::sort(p.objects[a].begin(), p.objects[a].end());
+      p.objects[a].erase(
+          std::unique(p.objects[a].begin(), p.objects[a].end()),
+          p.objects[a].end());
+    }
+    const std::size_t nd = 10 + rng.NextBounded(20);
+    for (std::size_t j = 0; j < nd; ++j) {
+      p.domains.push_back(shared_domains[rng.NextBounded(shared_domains.size())]);
+    }
+    p.new_entity_prob = 0.01 + 0.02 * rng.NextDouble();
+    profiles_.push_back(std::move(p));
+  }
+}
+
+const EnterpriseAttack& EnterpriseSimulator::InjectAttack(AttackKind kind,
+                                                          int victim_index,
+                                                          Date attack_date) {
+  if (victim_index < 0 || victim_index >= config_.employees) {
+    throw std::invalid_argument("InjectAttack: bad victim index");
+  }
+  if (attack_date < config_.start || config_.end < attack_date) {
+    throw std::invalid_argument("InjectAttack: date outside simulated range");
+  }
+  EnterpriseAttack attack;
+  attack.kind = kind;
+  attack.victim = employees_[victim_index];
+  attack.victim_name = store_.users().NameOf(attack.victim);
+  attack.attack_date = attack_date;
+  attack.tail_days = kind == AttackKind::kZeusBot ? 13 : 4;
+  attack_by_user_[attack.victim] = attack;
+  attacks_.push_back(attack);
+  truth_.AddAbnormalUser(attack.victim, attack_date,
+                         attack_date.AddDays(attack.tail_days));
+  return attacks_.back();
+}
+
+Timestamp EnterpriseSimulator::DrawTs(const Date& date, int frame,
+                                      Rng& rng) const {
+  const double hour = frame == 0
+                          ? std::clamp(rng.NextGaussian(12.0, 2.6), 6.0, 17.99)
+                          : (rng.NextBernoulli(0.5)
+                                 ? rng.NextUniform(18.0, 23.99)
+                                 : rng.NextUniform(0.0, 5.99));
+  return MakeTimestamp(date, 0) + static_cast<Timestamp>(hour * 3600.0) +
+         rng.NextInt(0, 59);
+}
+
+void EnterpriseSimulator::Run(LogSink& sink) {
+  const std::int64_t days = DaysBetween(config_.start, config_.end) + 1;
+  for (std::int64_t di = 0; di < days; ++di) {
+    const Date date = config_.start.AddDays(di);
+    // Each rollout installs a distinct tool: a new object everyone runs.
+    bool env_active = false;
+    Date active_change;
+    auto check = [&](const Date& change) {
+      if (change <= date && date < change.AddDays(config_.env_change_days)) {
+        env_active = true;
+        active_change = change;
+      }
+    };
+    check(config_.env_change);
+    for (const Date& change : config_.train_env_changes) check(change);
+    if (env_active) {
+      env_tool_object_ = store_.objects().Intern(
+          "C:/Program Files/Rollout/" + active_change.ToString() + ".exe");
+    }
+    for (std::size_t i = 0; i < employees_.size(); ++i) {
+      Rng rng = master_rng_.Fork((static_cast<std::uint64_t>(i) << 24) ^
+                                 static_cast<std::uint64_t>(date.DayNumber()));
+      SimulateUserDay(i, date, env_active, rng, sink);
+      auto it = attack_by_user_.find(employees_[i]);
+      if (it != attack_by_user_.end()) {
+        EmitAttackExtras(it->second, date, rng, sink);
+      }
+    }
+  }
+}
+
+void EnterpriseSimulator::SimulateUserDay(std::size_t idx, const Date& date,
+                                          bool env_active, Rng& rng,
+                                          LogSink& sink) {
+  const Profile& p = profiles_[idx];
+  const UserId user = employees_[idx];
+  const bool workday = calendar_.IsWorkday(date);
+  const double day_factor = workday ? calendar_.BusyFactor(date)
+                                    : p.weekend_factor;
+
+  // Host events in the four predictable aspects.
+  for (int a = 0; a < 4; ++a) {
+    const auto aspect = static_cast<EnterpriseAspect>(a);
+    for (int frame = 0; frame < 2; ++frame) {
+      double rate = p.aspect_rates[a][frame] * day_factor;
+      // Environmental change: the org deploys a new collaboration tool;
+      // everyone's Command activity rises.
+      if (env_active && aspect == EnterpriseAspect::kCommand && frame == 0) {
+        rate += 3.0 * std::max(1.0, day_factor);
+      }
+      const int count = rng.NextPoisson(rate);
+      for (int e = 0; e < count; ++e) {
+        EnterpriseEvent ev;
+        ev.ts = DrawTs(date, frame, rng);
+        ev.user = user;
+        ev.aspect = aspect;
+        ev.event_id = PickEventId(aspect, rng);
+        if (env_active && aspect == EnterpriseAspect::kCommand &&
+            rng.NextBernoulli(0.6)) {
+          ev.object = env_tool_object_;  // shared new tool for everyone
+        } else if (!p.objects[a].empty() &&
+                   !rng.NextBernoulli(p.new_entity_prob)) {
+          ev.object = p.objects[a][rng.NextBounded(p.objects[a].size())];
+        } else {
+          ev.object = store_.objects().Intern(
+              "fresh/obj-" + std::to_string(fresh_counter_++));
+        }
+        sink.Consume(ev);
+      }
+    }
+  }
+
+  // Proxy traffic. During the environmental change HTTP drops org-wide
+  // (traffic shifts into the new internal tool).
+  const double http_scale = env_active ? 0.45 : 1.0;
+  for (int frame = 0; frame < 2; ++frame) {
+    const int successes =
+        rng.NextPoisson(p.http_success_rate[frame] * day_factor * http_scale);
+    for (int e = 0; e < successes; ++e) {
+      ProxyEvent ev;
+      ev.ts = DrawTs(date, frame, rng);
+      ev.user = user;
+      ev.success = true;
+      ev.domain = (!p.domains.empty() &&
+                   !rng.NextBernoulli(p.new_entity_prob))
+                      ? p.domains[rng.NextBounded(p.domains.size())]
+                      : store_.domains().Intern(
+                            "fresh-" + std::to_string(fresh_counter_++) +
+                            ".com");
+      ev.bytes = static_cast<std::uint32_t>(rng.NextInt(400, 80000));
+      sink.Consume(ev);
+    }
+    const int failures =
+        rng.NextPoisson(p.http_failure_rate[frame] * day_factor);
+    for (int e = 0; e < failures; ++e) {
+      ProxyEvent ev;
+      ev.ts = DrawTs(date, frame, rng);
+      ev.user = user;
+      ev.success = false;
+      ev.domain = !p.domains.empty()
+                      ? p.domains[rng.NextBounded(p.domains.size())]
+                      : cc_domain_;
+      ev.bytes = 0;
+      sink.Consume(ev);
+    }
+  }
+
+  // Logons.
+  for (int frame = 0; frame < 2; ++frame) {
+    const int count = rng.NextPoisson(p.logon_rate[frame] * day_factor);
+    for (int e = 0; e < count; ++e) {
+      const Timestamp ts = DrawTs(date, frame, rng);
+      sink.Consume(LogonEvent{ts, user, 0, LogonActivity::kLogon});
+      sink.Consume(LogonEvent{ts + rng.NextInt(1800, 8 * 3600), user, 0,
+                              LogonActivity::kLogoff});
+    }
+  }
+}
+
+void EnterpriseSimulator::EmitAttackExtras(const EnterpriseAttack& attack,
+                                           const Date& date, Rng& rng,
+                                           LogSink& sink) {
+  const std::int64_t day_index = DaysBetween(attack.attack_date, date);
+  if (day_index < 0 || day_index > attack.tail_days) return;
+  const UserId user = attack.victim;
+
+  auto emit_host = [&](EnterpriseAspect aspect, std::uint16_t event_id,
+                       const std::string& object, int frame) {
+    EnterpriseEvent ev;
+    ev.ts = DrawTs(date, frame, rng);
+    ev.user = user;
+    ev.aspect = aspect;
+    ev.event_id = event_id;
+    ev.object = store_.objects().Intern(object);
+    sink.Consume(ev);
+  };
+
+  if (attack.kind == AttackKind::kZeusBot) {
+    if (day_index == 0) {
+      // Download Zeus from a downloader app, execute, delete the
+      // downloader, modify registry values.
+      ProxyEvent dl;
+      dl.ts = DrawTs(date, 0, rng);
+      dl.user = user;
+      dl.success = true;
+      dl.domain = store_.domains().Intern("free-downloader-app.com");
+      dl.bytes = 2'400'000;
+      sink.Consume(dl);
+      emit_host(EnterpriseAspect::kCommand, 4688, "tmp/downloader.exe", 0);
+      emit_host(EnterpriseAspect::kCommand, 4688, "appdata/zeus.exe", 0);
+      emit_host(EnterpriseAspect::kFile, 11, "appdata/zeus.exe", 0);
+      emit_host(EnterpriseAspect::kFile, 4663, "tmp/downloader.exe", 0);
+      for (int i = 0; i < 4; ++i) {
+        emit_host(EnterpriseAspect::kConfig, 13,
+                  "registry/HKCU-Run-zeus-" + std::to_string(i), 0);
+      }
+    } else if (day_index >= 2) {
+      // C&C check-ins plus newGOZ DGA queries to non-existing domains.
+      ProxyEvent cc;
+      cc.ts = DrawTs(date, rng.NextBernoulli(0.5) ? 0 : 1, rng);
+      cc.user = user;
+      cc.success = true;
+      cc.domain = cc_domain_;
+      cc.bytes = static_cast<std::uint32_t>(rng.NextInt(200, 4000));
+      sink.Consume(cc);
+      const int queries = rng.NextInt(15, 35);
+      for (int i = 0; i < queries; ++i) {
+        ProxyEvent ev;
+        ev.ts = DrawTs(date, rng.NextBernoulli(0.4) ? 0 : 1, rng);
+        ev.user = user;
+        ev.success = false;
+        ev.domain = store_.domains().Intern(NewGozDomain(
+            static_cast<std::uint64_t>(date.DayNumber()), i));
+        ev.bytes = 0;
+        sink.Consume(ev);
+      }
+      // The bot re-executes and refreshes its persistence keys daily,
+      // in working and off hours alike.
+      for (int frame = 0; frame < 2; ++frame) {
+        for (int i = rng.NextPoisson(1.5); i > 0; --i) {
+          emit_host(EnterpriseAspect::kCommand, 4688, "appdata/zeus.exe",
+                    frame);
+        }
+      }
+      if (rng.NextBernoulli(0.6)) {
+        emit_host(EnterpriseAspect::kConfig, 13, "registry/HKCU-Run-zeus-0",
+                  rng.NextBernoulli(0.5) ? 0 : 1);
+      }
+    }
+    return;
+  }
+
+  // Ransomware (WannaCry-like): execution + registry on the attack day,
+  // then sustained encryption of local and share files — the malware
+  // keeps running around the clock, so the footprint persists across
+  // days and spills into off hours (exactly the long-lasting signal the
+  // compound matrix is designed to capture).
+  if (day_index == 0) {
+    emit_host(EnterpriseAspect::kCommand, 4688, "tmp/wcry.exe", 0);
+    emit_host(EnterpriseAspect::kCommand, 4688, "system/vssadmin.exe", 0);
+    for (int i = 0; i < 4; ++i) {
+      emit_host(EnterpriseAspect::kConfig, 13,
+                "registry/HKLM-wcry-" + std::to_string(i), 0);
+    }
+  }
+  // The resident process re-executes and scans shares daily.
+  for (int frame = 0; frame < 2; ++frame) {
+    for (int i = rng.NextPoisson(2.0); i > 0; --i) {
+      emit_host(EnterpriseAspect::kCommand, 4688, "tmp/wcry.exe", frame);
+    }
+    for (int i = rng.NextPoisson(6.0); i > 0; --i) {
+      emit_host(EnterpriseAspect::kResource, 5140,
+                "svc/share-scan-" + std::to_string(rng.NextInt(0, 9)), frame);
+    }
+  }
+  // Encryption: a large day-0 burst, then a sustained tail in both
+  // frames until the malware is contained.
+  const int day_files = day_index == 0 ? 150 : 60;
+  for (int frame = 0; frame < 2; ++frame) {
+    const int files = rng.NextPoisson(day_files * (frame == 0 ? 0.6 : 0.4));
+    for (int i = 0; i < files; ++i) {
+      const std::string name =
+          "docs/victim-file-" + std::to_string(fresh_counter_++);
+      emit_host(EnterpriseAspect::kFile, 4663, name, frame);           // read
+      emit_host(EnterpriseAspect::kFile, 11, name + ".wncry", frame);  // write
+    }
+  }
+}
+
+}  // namespace acobe::sim

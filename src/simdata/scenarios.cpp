@@ -1,0 +1,33 @@
+#include "simdata/scenarios.h"
+
+#include <stdexcept>
+
+namespace acobe::sim {
+
+void GroundTruth::AddAbnormalUser(UserId user, const Date& start,
+                                  const Date& end) {
+  spans_[user] = {start, end};
+}
+
+bool GroundTruth::IsLabeledDay(UserId user, const Date& d) const {
+  auto it = spans_.find(user);
+  if (it == spans_.end()) return false;
+  return it->second.first <= d && d <= it->second.second;
+}
+
+std::vector<UserId> GroundTruth::AbnormalUsers() const {
+  std::vector<UserId> out;
+  out.reserve(spans_.size());
+  for (const auto& [user, span] : spans_) out.push_back(user);
+  return out;
+}
+
+std::pair<Date, Date> GroundTruth::SpanOf(UserId user) const {
+  auto it = spans_.find(user);
+  if (it == spans_.end()) {
+    throw std::out_of_range("GroundTruth::SpanOf: user not abnormal");
+  }
+  return it->second;
+}
+
+}  // namespace acobe::sim

@@ -1,0 +1,62 @@
+#pragma once
+
+// Insider-threat scenarios of the CERT dataset that the paper evaluates
+// (Section V.A.1), plus ground-truth bookkeeping.
+//
+// Scenario 1: a user who never used removable drives nor worked
+//   off-hours begins logging in off-hours, using a thumb drive, and
+//   uploading data to wikileaks.org; leaves the organization shortly
+//   thereafter.
+// Scenario 2: a user surfs job websites, solicits employment from a
+//   competitor (uploading resume.doc to several new domains), and
+//   before leaving uses a thumb drive at markedly higher rates than
+//   before to steal data.
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/date.h"
+#include "logs/records.h"
+
+namespace acobe::sim {
+
+enum class InsiderScenarioKind : int {
+  kScenario1 = 1,
+  kScenario2 = 2,
+};
+
+struct InsiderScenario {
+  InsiderScenarioKind kind = InsiderScenarioKind::kScenario1;
+  UserId user = kInvalidId;
+  std::string user_name;
+  int department = 0;
+  /// Labeled anomaly span, inclusive.
+  Date anomaly_start;
+  Date anomaly_end;
+  /// The user's last day in the organization (no activity afterwards).
+  Date leave_date;
+};
+
+/// Ground truth produced by the simulator: which users are abnormal and
+/// on which days.
+class GroundTruth {
+ public:
+  void AddAbnormalUser(UserId user, const Date& start, const Date& end);
+
+  bool IsAbnormalUser(UserId user) const {
+    return spans_.contains(user);
+  }
+  bool IsLabeledDay(UserId user, const Date& d) const;
+
+  std::vector<UserId> AbnormalUsers() const;
+
+  /// Labeled span for an abnormal user.
+  std::pair<Date, Date> SpanOf(UserId user) const;
+
+ private:
+  std::map<UserId, std::pair<Date, Date>> spans_;
+};
+
+}  // namespace acobe::sim

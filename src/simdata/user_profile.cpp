@@ -1,0 +1,76 @@
+#include "simdata/user_profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace acobe::sim {
+namespace {
+
+double LogNormalFactor(Rng& rng, double sigma) {
+  return std::exp(rng.NextGaussian(0.0, sigma));
+}
+
+template <typename Id>
+std::vector<Id> SamplePool(std::span<const Id> shared, std::size_t min_n,
+                           std::size_t max_n, Rng& rng) {
+  std::vector<Id> pool;
+  if (shared.empty() || max_n == 0) return pool;
+  const std::size_t n =
+      min_n + rng.NextBounded(std::max<std::size_t>(1, max_n - min_n + 1));
+  pool.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pool.push_back(shared[rng.NextBounded(shared.size())]);
+  }
+  std::sort(pool.begin(), pool.end());
+  pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+  return pool;
+}
+
+}  // namespace
+
+UserProfile SampleProfile(const ProfileSamplerConfig& config,
+                          const std::array<double, kActivityKindCount>&
+                              department_work_rates,
+                          std::span<const DomainId> shared_domains,
+                          std::span<const FileId> shared_files, PcId own_pc,
+                          Rng& user_rng) {
+  UserProfile profile;
+  const double user_factor = LogNormalFactor(user_rng, 0.35);
+  profile.uses_devices =
+      user_rng.NextBernoulli(config.device_user_fraction);
+
+  for (std::size_t k = 0; k < kActivityKindCount; ++k) {
+    const auto kind = static_cast<ActivityKind>(k);
+    double work = department_work_rates[k] * user_factor *
+                  LogNormalFactor(user_rng, 0.25) * config.rate_scale;
+    if (kind == ActivityKind::kDeviceConnect && !profile.uses_devices) {
+      work = 0.0;
+    }
+    // Off-hours: human activity drops sharply; computer-initiated
+    // activity (backups, retries, updates) persists.
+    const double off_share = IsHumanInitiated(kind)
+                                 ? 0.08 * LogNormalFactor(user_rng, 0.3)
+                                 : 0.6 * LogNormalFactor(user_rng, 0.2);
+    profile.rates[k][0] = work;
+    profile.rates[k][1] = work * off_share;
+  }
+
+  profile.domains = SamplePool(shared_domains, config.min_domains,
+                               config.max_domains, user_rng);
+  profile.files =
+      SamplePool(shared_files, config.min_files, config.max_files, user_rng);
+  profile.pcs = {own_pc};
+  // Real users touch previously-unseen files and domains routinely
+  // (new projects, links, shared docs) — enough that a single day's
+  // new-op count is ambiguous; only *persistently* elevated new-op
+  // activity is suspicious.
+  profile.new_entity_prob = 0.03 + 0.06 * user_rng.NextDouble();
+  profile.bulk_day_prob = 0.02 + 0.04 * user_rng.NextDouble();
+  profile.bulk_factor = 5.0 + 7.0 * user_rng.NextDouble();
+  profile.env_response = LogNormalFactor(user_rng, 0.5);
+  profile.weekend_human_factor = 0.03 + 0.04 * user_rng.NextDouble();
+  profile.weekend_machine_factor = 0.4 + 0.2 * user_rng.NextDouble();
+  return profile;
+}
+
+}  // namespace acobe::sim

@@ -1,0 +1,71 @@
+#pragma once
+
+// Per-user habitual behavior profile: mean event counts per activity
+// kind and day-half (working hours 06-18 / off hours), plus the pools
+// of habitually-touched entities (domains, files, PCs). Profiles are
+// sampled per user from department-level base rates with log-normal
+// per-user factors, mirroring the heterogeneity of the CERT data.
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "logs/records.h"
+#include "simdata/activity.h"
+
+namespace acobe::sim {
+
+struct UserProfile {
+  /// Mean daily counts: [activity][0]=working hours, [activity][1]=off hours.
+  std::array<std::array<double, 2>, kActivityKindCount> rates{};
+
+  /// Habitual entity pools; events mostly draw from these, with a small
+  /// probability of touching a brand-new entity (natural new-op noise).
+  std::vector<DomainId> domains;
+  std::vector<FileId> files;
+  std::vector<PcId> pcs;
+
+  /// Multiplier applied to human-initiated activity on weekends/holidays.
+  double weekend_human_factor = 0.05;
+  /// Multiplier applied to computer-initiated activity on weekends/holidays.
+  double weekend_machine_factor = 0.5;
+  /// Probability that an event touches a new entity instead of a pool one.
+  double new_entity_prob = 0.02;
+  /// Probability that a workday is a legitimate "bulk day" (project
+  /// migration, backup to a share, photo-album upload): file copies and
+  /// uploads multiply, but against *habitual* files/domains — so daily
+  /// volumes look like an exfiltration to a single-day model while the
+  /// new-op features stay quiet.
+  double bulk_day_prob = 0.04;
+  /// Volume multiplier on copies/writes/uploads during a bulk day.
+  double bulk_factor = 8.0;
+  /// How strongly this user participates in org-wide environmental
+  /// changes (new-service onboarding, outage retries). Heavy responders
+  /// (>1) deviate hard from their own history during a change — a
+  /// classic false positive for models without group context.
+  double env_response = 1.0;
+  /// True if this user ever uses removable drives.
+  bool uses_devices = false;
+};
+
+struct ProfileSamplerConfig {
+  /// Global scale knob on all rates (1.0 = CERT-like; benches use <1).
+  double rate_scale = 1.0;
+  /// Fraction of users that use thumb drives at all.
+  double device_user_fraction = 0.45;
+  std::size_t min_domains = 10, max_domains = 30;
+  std::size_t min_files = 15, max_files = 40;
+};
+
+/// Samples one user's profile. `user_rng` must be the user's private
+/// sub-stream. Pools draw from shared entity id ranges so colleagues
+/// overlap (group behavior), plus user-private entities.
+UserProfile SampleProfile(const ProfileSamplerConfig& config,
+                          const std::array<double, kActivityKindCount>&
+                              department_work_rates,
+                          std::span<const DomainId> shared_domains,
+                          std::span<const FileId> shared_files, PcId own_pc,
+                          Rng& user_rng);
+
+}  // namespace acobe::sim

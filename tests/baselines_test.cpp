@@ -1,0 +1,146 @@
+// Unit tests for src/baselines: variant specifications and experiment
+// plumbing (dataset build, windows, ranked-user conversion).
+
+#include <gtest/gtest.h>
+
+#include "baselines/experiment.h"
+#include "baselines/variants.h"
+
+namespace acobe::baselines {
+namespace {
+
+TEST(VariantsTest, NamesAreStable) {
+  EXPECT_STREQ(ToString(VariantKind::kAcobe), "ACOBE");
+  EXPECT_STREQ(ToString(VariantKind::kNoGroup), "No-Group");
+  EXPECT_STREQ(ToString(VariantKind::kOneDay), "1-Day");
+  EXPECT_STREQ(ToString(VariantKind::kAllInOne), "All-in-1");
+  EXPECT_STREQ(ToString(VariantKind::kBaseline), "Baseline");
+  EXPECT_STREQ(ToString(VariantKind::kBaseFF), "Base-FF");
+}
+
+TEST(VariantsTest, CubeAssignments) {
+  EXPECT_EQ(VariantCube(VariantKind::kAcobe), CubeKind::kFine);
+  EXPECT_EQ(VariantCube(VariantKind::kNoGroup), CubeKind::kFine);
+  EXPECT_EQ(VariantCube(VariantKind::kOneDay), CubeKind::kFine);
+  EXPECT_EQ(VariantCube(VariantKind::kAllInOne), CubeKind::kFine);
+  EXPECT_EQ(VariantCube(VariantKind::kBaseline), CubeKind::kCoarse);
+  EXPECT_EQ(VariantCube(VariantKind::kBaseFF), CubeKind::kFineHourly);
+}
+
+TEST(VariantsTest, SpecsEncodePaperDifferences) {
+  const ScaleProfile scale = ScaleProfile::Bench();
+  const auto acobe = MakeVariantSpec(VariantKind::kAcobe, scale);
+  EXPECT_EQ(acobe.representation, Representation::kCompound);
+  EXPECT_TRUE(acobe.deviation.include_group);
+  EXPECT_TRUE(acobe.deviation.apply_weights);
+  EXPECT_TRUE(acobe.split_aspects);
+  // Reduced scale votes 2-of-3; paper scale restores the unanimous N=3.
+  EXPECT_EQ(acobe.critic_votes, 2);
+  EXPECT_EQ(MakeVariantSpec(VariantKind::kAcobe, ScaleProfile::Paper())
+                .critic_votes,
+            3);
+
+  const auto no_group = MakeVariantSpec(VariantKind::kNoGroup, scale);
+  EXPECT_FALSE(no_group.deviation.include_group);
+  EXPECT_EQ(no_group.representation, Representation::kCompound);
+
+  const auto one_day = MakeVariantSpec(VariantKind::kOneDay, scale);
+  EXPECT_EQ(one_day.representation, Representation::kNormalizedDay);
+
+  const auto all_in_one = MakeVariantSpec(VariantKind::kAllInOne, scale);
+  EXPECT_FALSE(all_in_one.split_aspects);
+
+  const auto baseline = MakeVariantSpec(VariantKind::kBaseline, scale);
+  EXPECT_EQ(baseline.representation, Representation::kNormalizedDay);
+}
+
+TEST(VariantsTest, PaperScaleUsesPaperArchitecture) {
+  const ScaleProfile paper = ScaleProfile::Paper();
+  EXPECT_EQ(paper.encoder_dims,
+            (std::vector<std::size_t>{512, 256, 128, 64}));
+  EXPECT_EQ(paper.omega, 30);
+  EXPECT_EQ(paper.matrix_days, 30);
+  EXPECT_EQ(paper.train_stride, 1);
+}
+
+// --- Experiment plumbing ---------------------------------------------------------
+
+CertExperimentConfig TinyExperiment() {
+  CertExperimentConfig cfg;
+  cfg.sim.org.departments = 2;
+  cfg.sim.org.users_per_department = 8;
+  cfg.sim.org.extra_users = 0;
+  cfg.sim.start = Date(2010, 1, 2);
+  cfg.sim.end = Date(2010, 4, 30);
+  cfg.sim.profiles.rate_scale = 0.25;
+  cfg.sim.seed = 3;
+  cfg.scenarios.push_back(
+      {sim::InsiderScenarioKind::kScenario1, 0, Date(2010, 3, 20), 14});
+  cfg.train_gap_days = 20;
+  cfg.test_tail_days = 10;
+  return cfg;
+}
+
+TEST(ExperimentTest, BuildCertDataProducesAllCubes) {
+  const CertData data = BuildCertData(TinyExperiment());
+  EXPECT_EQ(data.days, 119);
+  EXPECT_EQ(data.department_users.size(), 2u);
+  EXPECT_EQ(data.department_users[0].size(), 8u);
+  ASSERT_EQ(data.scenarios.size(), 1u);
+  EXPECT_TRUE(data.truth.IsAbnormalUser(data.scenarios[0].user));
+
+  EXPECT_EQ(data.fine->cube().users(), 16);
+  EXPECT_EQ(data.fine->cube().frames(), 2);
+  EXPECT_EQ(data.fine_hourly->cube().frames(), 24);
+  EXPECT_EQ(data.coarse->cube().frames(), 24);
+  EXPECT_EQ(&data.CubeFor(CubeKind::kFine), &data.fine->cube());
+  EXPECT_EQ(&data.CubeFor(CubeKind::kCoarse), &data.coarse->cube());
+  EXPECT_EQ(data.CatalogFor(CubeKind::kFineHourly).feature_count(), 16);
+}
+
+TEST(ExperimentTest, WindowsRespectGapAndTail) {
+  const CertData data = BuildCertData(TinyExperiment());
+  const auto w = data.WindowsFor(data.scenarios[0], 20, 10);
+  const int anomaly_begin = static_cast<int>(
+      DaysBetween(data.start, data.scenarios[0].anomaly_start));
+  EXPECT_EQ(w.train_begin, 0);
+  EXPECT_EQ(w.train_end, anomaly_begin - 20);
+  EXPECT_EQ(w.test_begin, w.train_end);
+  const int anomaly_end = static_cast<int>(
+      DaysBetween(data.start, data.scenarios[0].anomaly_end));
+  EXPECT_EQ(w.test_end, std::min(data.days, anomaly_end + 11));
+}
+
+TEST(ExperimentTest, MakeRankedUsersAppliesTruthAndOrder) {
+  DetectionOutput output;
+  output.members = {10, 20, 30};
+  output.list = {{2, 1.0}, {0, 2.0}, {1, 2.0}};
+  sim::GroundTruth truth;
+  truth.AddAbnormalUser(10, Date(2010, 3, 1), Date(2010, 3, 10));
+  const auto ranked = MakeRankedUsers(output, truth);
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0].user, 30u);
+  // Priority tie between users 10 (TP) and 20 (FP): FP listed first.
+  EXPECT_EQ(ranked[1].user, 20u);
+  EXPECT_EQ(ranked[2].user, 10u);
+  EXPECT_TRUE(ranked[2].positive);
+}
+
+TEST(ExperimentTest, EnterpriseDataBuilds) {
+  EnterpriseExperimentConfig cfg;
+  cfg.sim.employees = 12;
+  cfg.sim.start = Date(2020, 12, 1);
+  cfg.sim.end = Date(2021, 2, 15);
+  cfg.sim.rate_scale = 0.25;
+  cfg.attacks = {{sim::AttackKind::kZeusBot, Date(2021, 2, 2)}};
+  cfg.victim_index = 2;
+  const EnterpriseData data = BuildEnterpriseData(cfg);
+  EXPECT_EQ(data.employees.size(), 12u);
+  ASSERT_EQ(data.attacks.size(), 1u);
+  EXPECT_TRUE(data.truth.IsAbnormalUser(data.attacks[0].victim));
+  EXPECT_EQ(data.extractor->cube().users(), 12);
+  EXPECT_EQ(data.extractor->catalog().feature_count(), 27);
+}
+
+}  // namespace
+}  // namespace acobe::baselines

@@ -1,0 +1,312 @@
+// Unit tests for src/behavior: deviation math, weights, compound matrix
+// assembly, normalized single-day vectors.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "behavior/compound_matrix.h"
+#include "behavior/deviation.h"
+#include "behavior/normalized_day.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace acobe {
+namespace {
+
+const Date kStart(2010, 1, 4);
+
+// Builds a 1-feature 1-frame cube for one user with the given series.
+MeasurementCube CubeFromSeries(const std::vector<float>& values) {
+  MeasurementCube cube(kStart, static_cast<int>(values.size()), 1, 1);
+  const int u = cube.RegisterUser(1);
+  for (std::size_t d = 0; d < values.size(); ++d) {
+    cube.At(u, 0, static_cast<int>(d), 0) = values[d];
+  }
+  return cube;
+}
+
+// Reference deviation per the paper's equations, computed naively.
+double NaiveSigma(const std::vector<float>& series, int d, int omega,
+                  double delta, double epsilon) {
+  std::vector<double> h;
+  for (int i = d - omega + 1; i < d; ++i) h.push_back(series[i]);
+  const double mean = Mean(h);
+  double sd = StdDev(h);
+  if (sd < epsilon) sd = epsilon;
+  return ClampSymmetric((series[d] - mean) / sd, delta);
+}
+
+TEST(DeviationTest, MatchesNaiveComputation) {
+  std::vector<float> series;
+  Rng rng(31);
+  for (int i = 0; i < 60; ++i) {
+    series.push_back(static_cast<float>(5.0 + 2.0 * rng.NextGaussian()));
+  }
+  MeasurementCube cube = CubeFromSeries(series);
+  DeviationConfig cfg;
+  cfg.omega = 10;
+  cfg.apply_weights = false;
+  const auto dev = DeviationSeries::Compute(cube, cfg);
+  for (int d = cfg.FirstDeviationDay(); d < 60; ++d) {
+    const double expected =
+        NaiveSigma(series, d, cfg.omega, cfg.delta, cfg.epsilon);
+    EXPECT_NEAR(dev.Sigma(0, 0, d, 0), expected, 1e-3) << "day " << d;
+  }
+}
+
+TEST(DeviationTest, ClampsAtDelta) {
+  // Constant history then a massive spike.
+  std::vector<float> series(20, 4.0f);
+  series[15] = 1000.0f;
+  series[16] = -1000.0f;
+  MeasurementCube cube = CubeFromSeries(series);
+  DeviationConfig cfg;
+  cfg.omega = 10;
+  cfg.apply_weights = false;
+  const auto dev = DeviationSeries::Compute(cube, cfg);
+  EXPECT_FLOAT_EQ(dev.Sigma(0, 0, 15, 0), 3.0f);
+  EXPECT_FLOAT_EQ(dev.Sigma(0, 0, 16, 0), -3.0f);
+}
+
+TEST(DeviationTest, ZeroStdUsesEpsilonFloor) {
+  std::vector<float> series(20, 7.0f);
+  MeasurementCube cube = CubeFromSeries(series);
+  DeviationConfig cfg;
+  cfg.omega = 5;
+  cfg.apply_weights = false;
+  const auto dev = DeviationSeries::Compute(cube, cfg);
+  // No change from a constant history: sigma is exactly 0, not NaN.
+  EXPECT_FLOAT_EQ(dev.Sigma(0, 0, 10, 0), 0.0f);
+  EXPECT_TRUE(std::isfinite(dev.Sigma(0, 0, 10, 0)));
+}
+
+TEST(DeviationTest, WeightFormula) {
+  // History std = 0 -> w = 1/log2(max(0,2)) = 1.
+  std::vector<float> constant(20, 3.0f);
+  {
+    MeasurementCube cube = CubeFromSeries(constant);
+    DeviationConfig cfg;
+    cfg.omega = 5;
+    const auto dev = DeviationSeries::Compute(cube, cfg);
+    EXPECT_FLOAT_EQ(dev.Weight(0, 0, 10, 0), 1.0f);
+  }
+  // Alternating 0/8 history: population std = 4 -> w = 1/log2(4) = 0.5.
+  std::vector<float> alternating;
+  for (int i = 0; i < 20; ++i) alternating.push_back(i % 2 ? 8.0f : 0.0f);
+  {
+    MeasurementCube cube = CubeFromSeries(alternating);
+    DeviationConfig cfg;
+    cfg.omega = 5;  // history of 4 days: {0,8,0,8} or {8,0,8,0}, std 4
+    const auto dev = DeviationSeries::Compute(cube, cfg);
+    EXPECT_NEAR(dev.Weight(0, 0, 10, 0), 0.5f, 1e-5);
+    // Sigma carries the weight multiplicatively.
+    const float raw = dev.Sigma(0, 0, 10, 0) / dev.Weight(0, 0, 10, 0);
+    EXPECT_NEAR(std::fabs(raw), 1.0f, 1e-4);  // (m - 4) / 4 = +-1
+  }
+}
+
+TEST(DeviationTest, SlidingWindowAbsorbsShift) {
+  // A permanent level shift: deviation spikes then fades as the history
+  // window slides over the new level (the "white tail" of Figure 4).
+  std::vector<float> series(60, 2.0f);
+  for (int i = 30; i < 60; ++i) series[i] = 10.0f;
+  // Add mild noise so std is non-degenerate.
+  Rng rng(5);
+  for (auto& v : series) v += 0.3f * static_cast<float>(rng.NextGaussian());
+  MeasurementCube cube = CubeFromSeries(series);
+  DeviationConfig cfg;
+  cfg.omega = 10;
+  cfg.apply_weights = false;
+  const auto dev = DeviationSeries::Compute(cube, cfg);
+  EXPECT_GT(dev.Sigma(0, 0, 30, 0), 2.5f);   // spike on the shift day
+  EXPECT_LT(std::fabs(dev.Sigma(0, 0, 55, 0)), 1.5f);  // absorbed
+}
+
+TEST(DeviationTest, OmegaTooSmallThrows) {
+  MeasurementCube cube = CubeFromSeries({1, 2, 3});
+  DeviationConfig cfg;
+  cfg.omega = 1;
+  EXPECT_THROW(DeviationSeries::Compute(cube, cfg), std::invalid_argument);
+}
+
+TEST(DeviationTest, ComputeFromSeriesMatchesCubePath) {
+  std::vector<float> series;
+  Rng rng(32);
+  for (int i = 0; i < 40; ++i) {
+    series.push_back(static_cast<float>(rng.NextPoisson(6.0)));
+  }
+  MeasurementCube cube = CubeFromSeries(series);
+  DeviationConfig cfg;
+  cfg.omega = 8;
+  const auto a = DeviationSeries::Compute(cube, cfg);
+  const auto b = DeviationSeries::ComputeFromSeries(series, 1, 40, 1, cfg);
+  for (int d = cfg.FirstDeviationDay(); d < 40; ++d) {
+    EXPECT_FLOAT_EQ(a.Sigma(0, 0, d, 0), b.Sigma(0, 0, d, 0));
+  }
+}
+
+TEST(DeviationTest, ConfigDayHelpers) {
+  DeviationConfig cfg;
+  cfg.omega = 30;
+  EXPECT_EQ(cfg.EffectiveMatrixDays(), 30);
+  EXPECT_EQ(cfg.FirstDeviationDay(), 29);
+  EXPECT_EQ(cfg.FirstAnchorDay(), 58);
+  cfg.matrix_days = 7;
+  EXPECT_EQ(cfg.EffectiveMatrixDays(), 7);
+  EXPECT_EQ(cfg.FirstAnchorDay(), 35);
+}
+
+// --- CompoundMatrixBuilder -----------------------------------------------------
+
+TEST(CompoundMatrixTest, LayoutAndScaling) {
+  // Two features, two frames, deterministic series.
+  MeasurementCube cube(kStart, 30, 2, 2);
+  const int u = cube.RegisterUser(1);
+  Rng rng(33);
+  for (int f = 0; f < 2; ++f) {
+    for (int d = 0; d < 30; ++d) {
+      for (int t = 0; t < 2; ++t) {
+        cube.At(u, f, d, t) = static_cast<float>(rng.NextPoisson(5.0));
+      }
+    }
+  }
+  DeviationConfig cfg;
+  cfg.omega = 10;
+  cfg.matrix_days = 5;
+  cfg.include_group = false;
+  const auto dev = DeviationSeries::Compute(cube, cfg);
+  CompoundMatrixBuilder builder(&dev, {}, {});
+
+  const std::vector<int> features = {0, 1};
+  EXPECT_EQ(builder.FlatSize(2), 2u * 5 * 2);
+  const auto matrix = builder.Build(0, features, 20);
+  ASSERT_EQ(matrix.size(), 20u);
+  for (float v : matrix) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+  // Element [f=0][day offset 0][frame 0] corresponds to day 16.
+  const float expected =
+      static_cast<float>(ToUnitInterval(dev.Sigma(0, 0, 16, 0), cfg.delta));
+  EXPECT_FLOAT_EQ(matrix[0], expected);
+  // Element [f=1][day offset 4][frame 1] -> index 1*10 + 4*2 + 1.
+  const float expected_last =
+      static_cast<float>(ToUnitInterval(dev.Sigma(0, 1, 20, 1), cfg.delta));
+  EXPECT_FLOAT_EQ(matrix[10 + 9], expected_last);
+}
+
+TEST(CompoundMatrixTest, GroupBlockDoublesSize) {
+  MeasurementCube cube(kStart, 30, 1, 1);
+  const int a = cube.RegisterUser(1);
+  const int b = cube.RegisterUser(2);
+  Rng rng(34);
+  for (int d = 0; d < 30; ++d) {
+    cube.At(a, 0, d, 0) = static_cast<float>(rng.NextPoisson(4.0));
+    cube.At(b, 0, d, 0) = static_cast<float>(rng.NextPoisson(4.0));
+  }
+  DeviationConfig cfg;
+  cfg.omega = 10;
+  cfg.matrix_days = 5;
+  const auto dev = DeviationSeries::Compute(cube, cfg);
+  const std::vector<int> members = {a, b};
+  const auto mean = GroupMeanSeries(cube, members);
+  auto group = DeviationSeries::ComputeFromSeries(mean, 1, 30, 1, cfg);
+  std::vector<DeviationSeries> groups;
+  groups.push_back(std::move(group));
+  CompoundMatrixBuilder builder(&dev, std::move(groups),
+                                std::vector<int>(2, 0));
+  EXPECT_TRUE(builder.has_groups());
+  EXPECT_EQ(builder.FlatSize(1), 2u * 5);
+  const std::vector<int> features = {0};
+  const auto m0 = builder.Build(0, features, 20);
+  const auto m1 = builder.Build(1, features, 20);
+  ASSERT_EQ(m0.size(), 10u);
+  // The group half (last 5 values) is identical for both users.
+  for (int i = 5; i < 10; ++i) EXPECT_FLOAT_EQ(m0[i], m1[i]);
+  // The individual halves differ (independent random series).
+  bool any_diff = false;
+  for (int i = 0; i < 5; ++i) any_diff |= m0[i] != m1[i];
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(CompoundMatrixTest, NoGroupConfigClearsGroups) {
+  MeasurementCube cube(kStart, 30, 1, 1);
+  cube.RegisterUser(1);
+  DeviationConfig cfg;
+  cfg.omega = 10;
+  cfg.include_group = false;
+  const auto dev = DeviationSeries::Compute(cube, cfg);
+  auto group = DeviationSeries::ComputeFromSeries(
+      std::vector<float>(30, 0.0f), 1, 30, 1, cfg);
+  std::vector<DeviationSeries> groups;
+  groups.push_back(std::move(group));
+  CompoundMatrixBuilder builder(&dev, std::move(groups),
+                                std::vector<int>(1, 0));
+  EXPECT_FALSE(builder.has_groups());
+  EXPECT_EQ(builder.FlatSize(1), static_cast<std::size_t>(10 * 1));
+}
+
+TEST(CompoundMatrixTest, BadAnchorDayThrows) {
+  MeasurementCube cube(kStart, 30, 1, 1);
+  cube.RegisterUser(1);
+  DeviationConfig cfg;
+  cfg.omega = 10;
+  cfg.matrix_days = 5;
+  cfg.include_group = false;
+  const auto dev = DeviationSeries::Compute(cube, cfg);
+  CompoundMatrixBuilder builder(&dev, {}, {});
+  const std::vector<int> features = {0};
+  EXPECT_THROW(builder.Build(0, features, builder.FirstAnchorDay() - 1),
+               std::out_of_range);
+  EXPECT_THROW(builder.Build(0, features, 30), std::out_of_range);
+  EXPECT_NO_THROW(builder.Build(0, features, builder.FirstAnchorDay()));
+}
+
+// --- NormalizedDayBuilder ---------------------------------------------------------
+
+TEST(NormalizedDayTest, MinMaxScalesFromTrainingRange) {
+  MeasurementCube cube(kStart, 10, 1, 1);
+  const int u = cube.RegisterUser(1);
+  for (int d = 0; d < 10; ++d) {
+    cube.At(u, 0, d, 0) = static_cast<float>(d);  // 0..9
+  }
+  // Normalize from days [0,5): min 0, max 4.
+  NormalizedDayBuilder builder(&cube, 0, 5);
+  const std::vector<int> features = {0};
+  EXPECT_FLOAT_EQ(builder.Build(0, features, 0)[0], 0.0f);
+  EXPECT_FLOAT_EQ(builder.Build(0, features, 2)[0], 0.5f);
+  EXPECT_FLOAT_EQ(builder.Build(0, features, 4)[0], 1.0f);
+  // Test days beyond the training max clamp to 1.
+  EXPECT_FLOAT_EQ(builder.Build(0, features, 9)[0], 1.0f);
+}
+
+TEST(NormalizedDayTest, ConstantFeatureMapsToZero) {
+  MeasurementCube cube(kStart, 5, 1, 1);
+  const int u = cube.RegisterUser(1);
+  for (int d = 0; d < 5; ++d) cube.At(u, 0, d, 0) = 3.0f;
+  NormalizedDayBuilder builder(&cube, 0, 5);
+  const std::vector<int> features = {0};
+  EXPECT_FLOAT_EQ(builder.Build(0, features, 2)[0], 0.0f);
+}
+
+TEST(NormalizedDayTest, ValidationThrows) {
+  MeasurementCube cube(kStart, 5, 1, 1);
+  cube.RegisterUser(1);
+  EXPECT_THROW(NormalizedDayBuilder(nullptr, 0, 5), std::invalid_argument);
+  EXPECT_THROW(NormalizedDayBuilder(&cube, 3, 3), std::invalid_argument);
+  EXPECT_THROW(NormalizedDayBuilder(&cube, 0, 6), std::invalid_argument);
+}
+
+TEST(NormalizedDayTest, SampleBuilderInterface) {
+  MeasurementCube cube(kStart, 5, 2, 2);
+  cube.RegisterUser(1);
+  NormalizedDayBuilder builder(&cube, 0, 5);
+  const SampleBuilder& sb = builder;
+  EXPECT_EQ(sb.SampleSize(2), 4u);
+  EXPECT_EQ(sb.FirstValidDay(), 0);
+  EXPECT_EQ(sb.EndDay(), 5);
+}
+
+}  // namespace
+}  // namespace acobe

@@ -1,0 +1,299 @@
+// Unit tests for src/common: dates, time frames, RNG, CSV, stats.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/date.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/timeframe.h"
+
+namespace acobe {
+namespace {
+
+// --- Date ------------------------------------------------------------------
+
+TEST(DateTest, EpochIsDayZero) {
+  EXPECT_EQ(Date(1970, 1, 1).DayNumber(), 0);
+  EXPECT_EQ(Date(1970, 1, 2).DayNumber(), 1);
+  EXPECT_EQ(Date(1969, 12, 31).DayNumber(), -1);
+}
+
+TEST(DateTest, KnownDayNumbers) {
+  EXPECT_EQ(Date(2010, 1, 2).DayNumber(), 14611);
+  EXPECT_EQ(Date(2000, 3, 1).DayNumber(), 11017);
+}
+
+TEST(DateTest, RoundTripThroughDayNumber) {
+  for (std::int64_t day = -1000; day <= 40000; day += 37) {
+    const Date d = Date::FromDayNumber(day);
+    EXPECT_EQ(d.DayNumber(), day) << d.ToString();
+  }
+}
+
+TEST(DateTest, WeekdayKnownValues) {
+  EXPECT_EQ(Date(1970, 1, 1).weekday(), Weekday::kThursday);
+  EXPECT_EQ(Date(2010, 1, 2).weekday(), Weekday::kSaturday);
+  EXPECT_EQ(Date(2011, 5, 31).weekday(), Weekday::kTuesday);
+  EXPECT_EQ(Date(2021, 1, 26).weekday(), Weekday::kTuesday);
+}
+
+TEST(DateTest, WeekendDetection) {
+  EXPECT_TRUE(Date(2010, 1, 2).IsWeekend());   // Saturday
+  EXPECT_TRUE(Date(2010, 1, 3).IsWeekend());   // Sunday
+  EXPECT_FALSE(Date(2010, 1, 4).IsWeekend());  // Monday
+}
+
+TEST(DateTest, LeapYearValidity) {
+  EXPECT_TRUE(Date(2000, 2, 29).IsValid());
+  EXPECT_TRUE(Date(2020, 2, 29).IsValid());
+  EXPECT_FALSE(Date(1900, 2, 29).IsValid());
+  EXPECT_FALSE(Date(2021, 2, 29).IsValid());
+  EXPECT_FALSE(Date(2021, 4, 31).IsValid());
+  EXPECT_FALSE(Date(2021, 13, 1).IsValid());
+  EXPECT_FALSE(Date(2021, 0, 1).IsValid());
+}
+
+TEST(DateTest, AddDaysCrossesMonthAndYear) {
+  EXPECT_EQ(Date(2010, 12, 31).AddDays(1), Date(2011, 1, 1));
+  EXPECT_EQ(Date(2010, 3, 1).AddDays(-1), Date(2010, 2, 28));
+  EXPECT_EQ(Date(2012, 3, 1).AddDays(-1), Date(2012, 2, 29));
+}
+
+TEST(DateTest, ParseAndFormat) {
+  EXPECT_EQ(Date::FromString("2010-01-02"), Date(2010, 1, 2));
+  EXPECT_EQ(Date(2010, 1, 2).ToString(), "2010-01-02");
+  EXPECT_THROW(Date::FromString("not-a-date"), std::invalid_argument);
+  EXPECT_THROW(Date::FromString("2021-02-30"), std::invalid_argument);
+}
+
+TEST(DateTest, Ordering) {
+  EXPECT_LT(Date(2010, 1, 2), Date(2010, 1, 3));
+  EXPECT_LT(Date(2010, 1, 31), Date(2010, 2, 1));
+  EXPECT_LT(Date(2009, 12, 31), Date(2010, 1, 1));
+}
+
+TEST(DateTest, DaysBetween) {
+  EXPECT_EQ(DaysBetween(Date(2010, 1, 2), Date(2011, 5, 31)), 514);
+  EXPECT_EQ(DaysBetween(Date(2010, 5, 1), Date(2010, 4, 30)), -1);
+}
+
+// --- Timeframe ---------------------------------------------------------------
+
+TEST(TimeframeTest, MakeTimestampAndBack) {
+  const Date d(2010, 6, 15);
+  const Timestamp ts = MakeTimestamp(d, 14, 30, 5);
+  EXPECT_EQ(DateOf(ts), d);
+  EXPECT_EQ(HourOf(ts), 14);
+}
+
+TEST(TimeframeTest, WorkOffPartition) {
+  const auto p = TimeFramePartition::WorkOff();
+  EXPECT_EQ(p.frame_count(), 2);
+  EXPECT_EQ(p.FrameOfHour(6), 0);
+  EXPECT_EQ(p.FrameOfHour(12), 0);
+  EXPECT_EQ(p.FrameOfHour(17), 0);
+  EXPECT_EQ(p.FrameOfHour(18), 1);
+  EXPECT_EQ(p.FrameOfHour(23), 1);
+  EXPECT_EQ(p.FrameOfHour(0), 1);  // wraps past midnight
+  EXPECT_EQ(p.FrameOfHour(5), 1);
+  EXPECT_EQ(p.FrameLabel(0), "06-18");
+  EXPECT_EQ(p.FrameLabel(1), "18-06");
+}
+
+TEST(TimeframeTest, HourlyPartition) {
+  const auto p = TimeFramePartition::Hourly();
+  EXPECT_EQ(p.frame_count(), 24);
+  for (int h = 0; h < 24; ++h) EXPECT_EQ(p.FrameOfHour(h), h);
+}
+
+TEST(TimeframeTest, InvalidPartitionsThrow) {
+  EXPECT_THROW(TimeFramePartition({}), std::invalid_argument);
+  EXPECT_THROW(TimeFramePartition({5, 5}), std::invalid_argument);
+  EXPECT_THROW(TimeFramePartition({18, 6}), std::invalid_argument);
+  EXPECT_THROW(TimeFramePartition({0, 24}), std::invalid_argument);
+}
+
+TEST(TimeframeTest, FrameOfHourRangeChecked) {
+  const auto p = TimeFramePartition::WorkOff();
+  EXPECT_THROW(p.FrameOfHour(-1), std::out_of_range);
+  EXPECT_THROW(p.FrameOfHour(24), std::out_of_range);
+}
+
+// --- Rng ---------------------------------------------------------------------
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.NextU64() == b.NextU64() ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ForkIsIndependentAndDeterministic) {
+  Rng base(7);
+  Rng f1 = base.Fork(1);
+  Rng f2 = base.Fork(2);
+  Rng f1_again = Rng(7).Fork(1);
+  EXPECT_EQ(f1.NextU64(), f1_again.NextU64());
+  EXPECT_NE(f1.NextU64(), f2.NextU64());
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+    const int v = rng.NextInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+  EXPECT_THROW(rng.NextBounded(0), std::invalid_argument);
+  EXPECT_THROW(rng.NextInt(3, 1), std::invalid_argument);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(5);
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sumsq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, PoissonMeanMatches) {
+  Rng rng(6);
+  for (double mean : {0.5, 3.0, 12.0, 80.0}) {
+    double sum = 0.0;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i) sum += rng.NextPoisson(mean);
+    EXPECT_NEAR(sum / n, mean, mean * 0.1 + 0.1) << "mean=" << mean;
+  }
+  EXPECT_EQ(rng.NextPoisson(0.0), 0);
+  EXPECT_EQ(rng.NextPoisson(-1.0), 0);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(8);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+  EXPECT_THROW(rng.NextExponential(0.0), std::invalid_argument);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(9);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[i] = i;
+  rng.Shuffle(v);
+  std::set<int> seen(v.begin(), v.end());
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_NE(v[0] * 1000 + v[1], 0 * 1000 + 1);  // astronomically unlikely
+}
+
+TEST(RngTest, PickThrowsOnEmpty) {
+  Rng rng(10);
+  std::vector<int> empty;
+  EXPECT_THROW(rng.Pick(empty), std::invalid_argument);
+}
+
+// --- CSV ---------------------------------------------------------------------
+
+TEST(CsvTest, EscapePlainFieldUnchanged) {
+  EXPECT_EQ(CsvEscape("hello"), "hello");
+}
+
+TEST(CsvTest, EscapeQuotesAndCommas) {
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvTest, SplitSimple) {
+  const auto fields = SplitCsvLine("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(CsvTest, SplitQuoted) {
+  const auto fields = SplitCsvLine("\"a,b\",\"say \"\"hi\"\"\",x");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a,b");
+  EXPECT_EQ(fields[1], "say \"hi\"");
+  EXPECT_EQ(fields[2], "x");
+}
+
+TEST(CsvTest, WriterReaderRoundTrip) {
+  std::stringstream ss;
+  CsvWriter writer(ss);
+  writer.WriteRow({"plain", "with,comma", "with\"quote", ""});
+  CsvReader reader(ss);
+  std::vector<std::string> row;
+  ASSERT_TRUE(reader.ReadRow(row));
+  ASSERT_EQ(row.size(), 4u);
+  EXPECT_EQ(row[0], "plain");
+  EXPECT_EQ(row[1], "with,comma");
+  EXPECT_EQ(row[2], "with\"quote");
+  EXPECT_EQ(row[3], "");
+  EXPECT_FALSE(reader.ReadRow(row));
+}
+
+// Property sweep: escape/parse round-trips arbitrary content.
+class CsvRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CsvRoundTrip, Holds) {
+  const std::string original = GetParam();
+  const auto fields = SplitCsvLine(CsvEscape(original) + "," + "tail");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], original);
+  EXPECT_EQ(fields[1], "tail");
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, CsvRoundTrip,
+                         ::testing::Values("", "plain", "a,b", "\"", "\"\"",
+                                           "a\"b,c\"d", ",,,", "trailing,"));
+
+// --- stats -------------------------------------------------------------------
+
+TEST(StatsTest, MeanAndStd) {
+  const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(Mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(StdDev(xs), 2.0);  // classic population-std example
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({}), 0.0);
+}
+
+TEST(StatsTest, ClampSymmetric) {
+  EXPECT_DOUBLE_EQ(ClampSymmetric(5.0, 3.0), 3.0);
+  EXPECT_DOUBLE_EQ(ClampSymmetric(-5.0, 3.0), -3.0);
+  EXPECT_DOUBLE_EQ(ClampSymmetric(1.5, 3.0), 1.5);
+}
+
+TEST(StatsTest, ToUnitInterval) {
+  EXPECT_DOUBLE_EQ(ToUnitInterval(-3.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(ToUnitInterval(3.0, 3.0), 1.0);
+  EXPECT_DOUBLE_EQ(ToUnitInterval(0.0, 3.0), 0.5);
+}
+
+}  // namespace
+}  // namespace acobe

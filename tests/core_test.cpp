@@ -1,0 +1,269 @@
+// Unit tests for src/core: score grid, critic (Algorithm 1), ensemble
+// training/scoring, detector plumbing.
+
+#include <gtest/gtest.h>
+
+#include "behavior/normalized_day.h"
+#include "core/critic.h"
+#include "core/detector.h"
+#include "core/ensemble.h"
+#include "core/score_grid.h"
+
+namespace acobe {
+namespace {
+
+const Date kStart(2010, 1, 4);
+
+// --- ScoreGrid ----------------------------------------------------------------
+
+TEST(ScoreGridTest, IndexingAndMax) {
+  ScoreGrid grid({"a", "b"}, 3, 10, 15);
+  EXPECT_EQ(grid.aspects(), 2);
+  EXPECT_EQ(grid.users(), 3);
+  EXPECT_EQ(grid.day_count(), 5);
+  grid.At(1, 2, 12) = 0.7f;
+  grid.At(1, 2, 14) = 0.3f;
+  EXPECT_FLOAT_EQ(grid.MaxOverDays(1, 2), 0.7f);
+  EXPECT_FLOAT_EQ(grid.MaxOverDays(0, 0), 0.0f);
+  EXPECT_THROW(grid.At(0, 0, 9), std::out_of_range);
+  EXPECT_THROW(grid.At(0, 0, 15), std::out_of_range);
+  EXPECT_THROW(grid.At(2, 0, 10), std::out_of_range);
+  EXPECT_THROW(ScoreGrid({"a"}, 0, 0, 1), std::invalid_argument);
+}
+
+// --- Critic -------------------------------------------------------------------
+
+TEST(CriticTest, PaperExampleFromSectionIVC) {
+  // "say N=2 and a user is ranked at 3rd, 5th, 4th ... this user has an
+  // investigation priority of 4."
+  const std::vector<std::vector<int>> ranks = {{3, 5, 4}};
+  const auto list = RankFromRanks(ranks, 2);
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_DOUBLE_EQ(list[0].priority, 4.0);
+}
+
+TEST(CriticTest, SortsByPriority) {
+  // User 0: ranks {1,9,9} -> N=2 priority 9.
+  // User 1: ranks {2,2,7} -> N=2 priority 2.
+  // User 2: ranks {5,3,1} -> N=2 priority 3.
+  const std::vector<std::vector<int>> ranks = {{1, 9, 9}, {2, 2, 7}, {5, 3, 1}};
+  const auto list = RankFromRanks(ranks, 2);
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0].user_idx, 1);
+  EXPECT_EQ(list[1].user_idx, 2);
+  EXPECT_EQ(list[2].user_idx, 0);
+}
+
+TEST(CriticTest, VotesClampedToAspectCount) {
+  const std::vector<std::vector<int>> ranks = {{4, 2}};
+  EXPECT_DOUBLE_EQ(RankFromRanks(ranks, 99)[0].priority, 4.0);
+  EXPECT_DOUBLE_EQ(RankFromRanks(ranks, 0)[0].priority, 2.0);
+}
+
+TEST(CriticTest, RaggedRanksThrow) {
+  const std::vector<std::vector<int>> ranks = {{1, 2}, {1}};
+  EXPECT_THROW(RankFromRanks(ranks, 1), std::invalid_argument);
+}
+
+TEST(CriticTest, AspectRanksWithTies) {
+  ScoreGrid grid({"a"}, 4, 0, 1);
+  grid.At(0, 0, 0) = 0.9f;
+  grid.At(0, 1, 0) = 0.5f;
+  grid.At(0, 2, 0) = 0.5f;
+  grid.At(0, 3, 0) = 0.1f;
+  const auto ranks = AspectRanks(grid, 0);
+  EXPECT_EQ(ranks[0], 1);
+  EXPECT_EQ(ranks[1], 2);
+  EXPECT_EQ(ranks[2], 2);  // tie shares rank 2
+  EXPECT_EQ(ranks[3], 4);  // competition ranking skips 3
+}
+
+TEST(CriticTest, RankUsersOnDayUsesOnlyThatDay) {
+  ScoreGrid grid({"a"}, 2, 0, 2);
+  grid.At(0, 0, 0) = 0.9f;  // user 0 leads on day 0
+  grid.At(0, 1, 0) = 0.1f;
+  grid.At(0, 0, 1) = 0.1f;
+  grid.At(0, 1, 1) = 0.9f;  // user 1 leads on day 1
+  EXPECT_EQ(RankUsersOnDay(grid, 1, 0)[0].user_idx, 0);
+  EXPECT_EQ(RankUsersOnDay(grid, 1, 1)[0].user_idx, 1);
+  // Whole-window ranking ties (same max): competition rank 1 for both.
+  const auto ranks = AspectRanks(grid, 0);
+  EXPECT_EQ(ranks[0], ranks[1]);
+}
+
+TEST(CriticTest, RankUsersEndToEnd) {
+  // Two aspects; user 1 is top in both, user 0 top in only one.
+  ScoreGrid grid({"a", "b"}, 3, 0, 1);
+  grid.At(0, 0, 0) = 0.9f;  // user 0 leads aspect a
+  grid.At(0, 1, 0) = 0.8f;
+  grid.At(0, 2, 0) = 0.1f;
+  grid.At(1, 0, 0) = 0.1f;
+  grid.At(1, 1, 0) = 0.9f;  // user 1 leads aspect b
+  grid.At(1, 2, 0) = 0.5f;
+  const auto list = RankUsers(grid, 2);
+  EXPECT_EQ(list[0].user_idx, 1);  // priority 2 (ranks 2,1)
+  EXPECT_DOUBLE_EQ(list[0].priority, 2.0);
+}
+
+// --- Ensemble -----------------------------------------------------------------
+
+// A tiny synthetic cube: 6 users with stable behavior in the train
+// range; user 0 deviates wildly in the test range.
+MeasurementCube MakeToyCube(int users, int days) {
+  MeasurementCube cube(kStart, days, 2, 1);
+  Rng rng(41);
+  for (int u = 0; u < users; ++u) {
+    cube.RegisterUser(100 + u);
+    for (int d = 0; d < days; ++d) {
+      cube.At(u, 0, d, 0) = static_cast<float>(rng.NextPoisson(5.0));
+      cube.At(u, 1, d, 0) = static_cast<float>(rng.NextPoisson(2.0));
+    }
+  }
+  return cube;
+}
+
+EnsembleConfig TinyEnsembleConfig() {
+  EnsembleConfig cfg;
+  cfg.encoder_dims = {8, 4};
+  cfg.train.epochs = 8;
+  cfg.train.batch_size = 16;
+  cfg.train_stride = 1;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(EnsembleTest, TrainsAndScoresShape) {
+  MeasurementCube cube = MakeToyCube(6, 40);
+  NormalizedDayBuilder builder(&cube, 0, 30);
+  FeatureCatalog catalog({{"f0", "x", 1.0}, {"f1", "y", 1.0}});
+  AspectEnsemble ensemble(catalog.aspects(), TinyEnsembleConfig());
+  ensemble.Train(builder, 6, 0, 30);
+  const ScoreGrid grid = ensemble.Score(builder, 6, 30, 40);
+  EXPECT_EQ(grid.aspects(), 2);
+  EXPECT_EQ(grid.users(), 6);
+  EXPECT_EQ(grid.day_begin(), 30);
+  EXPECT_EQ(grid.day_end(), 40);
+}
+
+TEST(EnsembleTest, ScoreBeforeTrainThrows) {
+  MeasurementCube cube = MakeToyCube(2, 10);
+  NormalizedDayBuilder builder(&cube, 0, 10);
+  FeatureCatalog catalog({{"f0", "x", 1.0}});
+  AspectEnsemble ensemble(catalog.aspects(), TinyEnsembleConfig());
+  EXPECT_THROW(ensemble.Score(builder, 2, 0, 10), std::logic_error);
+}
+
+TEST(EnsembleTest, EmptyAspectThrows) {
+  EXPECT_THROW(AspectEnsemble({}, TinyEnsembleConfig()), std::invalid_argument);
+  AspectGroup empty{"e", {}};
+  EXPECT_THROW(AspectEnsemble({empty}, TinyEnsembleConfig()),
+               std::invalid_argument);
+}
+
+TEST(EnsembleTest, DeterministicGivenSeed) {
+  auto run = [] {
+    MeasurementCube cube = MakeToyCube(4, 30);
+    NormalizedDayBuilder builder(&cube, 0, 20);
+    FeatureCatalog catalog({{"f0", "x", 1.0}, {"f1", "x", 1.0}});
+    AspectEnsemble ensemble(catalog.aspects(), TinyEnsembleConfig());
+    ensemble.Train(builder, 4, 0, 20);
+    return ensemble.Score(builder, 4, 20, 30).At(0, 0, 25);
+  };
+  EXPECT_FLOAT_EQ(run(), run());
+}
+
+// --- SubsetBuilder ---------------------------------------------------------------
+
+TEST(SubsetBuilderTest, RemapsUsers) {
+  MeasurementCube cube = MakeToyCube(5, 10);
+  cube.At(3, 0, 2, 0) = 42.0f;
+  NormalizedDayBuilder inner(&cube, 0, 10);
+  SubsetBuilder subset(&inner, {3, 1});
+  const std::vector<int> features = {0};
+  EXPECT_EQ(subset.BuildSample(0, features, 2),
+            inner.BuildSample(3, features, 2));
+  EXPECT_EQ(subset.BuildSample(1, features, 2),
+            inner.BuildSample(1, features, 2));
+  EXPECT_EQ(subset.SampleSize(1), inner.SampleSize(1));
+}
+
+// --- Detector (compound path, smallest possible) ----------------------------------
+
+TEST(DetectorTest, FlagsInjectedDeviator) {
+  // 8 users with Poisson(5) behavior; user id 103 triples its rate in
+  // the scoring window.
+  const int days = 60;
+  MeasurementCube cube(kStart, days, 2, 1);
+  Rng rng(43);
+  for (int u = 0; u < 8; ++u) {
+    cube.RegisterUser(100 + u);
+    for (int d = 0; d < days; ++d) {
+      double rate0 = 5.0, rate1 = 2.0;
+      if (u == 3 && d >= 45) {
+        rate0 = 25.0;
+        rate1 = 10.0;
+      }
+      cube.At(u, 0, d, 0) = static_cast<float>(rng.NextPoisson(rate0));
+      cube.At(u, 1, d, 0) = static_cast<float>(rng.NextPoisson(rate1));
+    }
+  }
+  FeatureCatalog catalog({{"f0", "x", 1.0}, {"f1", "x", 1.0}});
+
+  DetectorSpec spec;
+  spec.deviation.omega = 10;
+  spec.deviation.matrix_days = 7;
+  spec.ensemble.encoder_dims = {16, 8};
+  spec.ensemble.train.epochs = 12;
+  spec.ensemble.seed = 3;
+  spec.critic_votes = 1;
+
+  std::vector<UserId> members;
+  for (int u = 0; u < 8; ++u) members.push_back(100 + u);
+  const Detector detector(spec);
+  const DetectionOutput out =
+      detector.Run(cube, catalog, members, 0, 42, 42, days);
+  ASSERT_EQ(out.members.size(), 8u);
+  ASSERT_FALSE(out.list.empty());
+  EXPECT_EQ(out.members[out.list[0].user_idx], 103u);
+}
+
+TEST(DetectorTest, CalibrationTogglesChangeScoresNotValidity) {
+  MeasurementCube cube = MakeToyCube(6, 50);
+  FeatureCatalog catalog({{"f0", "x", 1.0}, {"f1", "x", 1.0}});
+  std::vector<UserId> members;
+  for (int u = 0; u < 6; ++u) members.push_back(100 + u);
+
+  DetectorSpec spec;
+  spec.deviation.omega = 10;
+  spec.deviation.matrix_days = 7;
+  spec.ensemble.encoder_dims = {8, 4};
+  spec.ensemble.train.epochs = 4;
+  spec.critic_votes = 1;
+  spec.per_user_calibration = false;
+  const DetectionOutput raw =
+      Detector(spec).Run(cube, catalog, members, 0, 40, 40, 50);
+  spec.per_user_calibration = true;
+  const DetectionOutput calibrated =
+      Detector(spec).Run(cube, catalog, members, 0, 40, 40, 50);
+  ASSERT_EQ(raw.members.size(), calibrated.members.size());
+  // Calibrated scores are ratios (~1 for in-distribution data); raw
+  // scores are small MSEs — they must differ.
+  EXPECT_NE(raw.grid.At(0, 0, 45), calibrated.grid.At(0, 0, 45));
+  for (const auto& entry : calibrated.list) {
+    EXPECT_GE(entry.user_idx, 0);
+    EXPECT_LT(entry.user_idx, 6);
+  }
+}
+
+TEST(DetectorTest, UnknownMembersRejected) {
+  MeasurementCube cube = MakeToyCube(2, 30);
+  FeatureCatalog catalog({{"f0", "x", 1.0}, {"f1", "x", 1.0}});
+  const Detector detector(DetectorSpec{});
+  EXPECT_THROW(detector.Run(cube, catalog, {}, 0, 10, 10, 20),
+               std::invalid_argument);
+  EXPECT_THROW(detector.Run(cube, catalog, {999}, 0, 10, 10, 20),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace acobe

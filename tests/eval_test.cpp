@@ -1,0 +1,108 @@
+// Unit tests for src/eval: confusion counts, ROC/AUC, PR/AP, tie
+// handling and FP-before-TP accounting.
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+
+namespace acobe::eval {
+namespace {
+
+std::vector<bool> Flags(std::initializer_list<int> xs) {
+  std::vector<bool> out;
+  for (int x : xs) out.push_back(x != 0);
+  return out;
+}
+
+TEST(MetricsTest, PerfectRankingAucIsOne) {
+  // 2 positives on top of 4 negatives.
+  const auto flags = Flags({1, 1, 0, 0, 0, 0});
+  EXPECT_DOUBLE_EQ(RocAuc(flags), 1.0);
+  EXPECT_DOUBLE_EQ(AveragePrecision(flags), 1.0);
+}
+
+TEST(MetricsTest, WorstRankingAucIsZero) {
+  const auto flags = Flags({0, 0, 0, 0, 1, 1});
+  EXPECT_DOUBLE_EQ(RocAuc(flags), 0.0);
+}
+
+TEST(MetricsTest, RandomishRankingAucMid) {
+  const auto flags = Flags({1, 0, 1, 0});
+  // TPs at positions 0 and 2: AUC = 0.75 for this arrangement.
+  EXPECT_DOUBLE_EQ(RocAuc(flags), 0.75);
+}
+
+TEST(MetricsTest, ConfusionAtCutoff) {
+  const auto flags = Flags({1, 0, 1, 0, 0});
+  const ConfusionCounts c = AtCutoff(flags, 3);
+  EXPECT_EQ(c.tp, 2);
+  EXPECT_EQ(c.fp, 1);
+  EXPECT_EQ(c.fn, 0);
+  EXPECT_EQ(c.tn, 2);
+  EXPECT_DOUBLE_EQ(c.Precision(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(c.Recall(), 1.0);
+  EXPECT_NEAR(c.F1(), 0.8, 1e-12);
+  EXPECT_DOUBLE_EQ(c.FpRate(), 1.0 / 3.0);
+}
+
+TEST(MetricsTest, ConfusionEdgeCases) {
+  const ConfusionCounts empty = AtCutoff({}, 0);
+  EXPECT_DOUBLE_EQ(empty.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.F1(), 0.0);
+}
+
+TEST(MetricsTest, RocCurveShape) {
+  const auto curve = RocCurve(Flags({1, 0, 1}));
+  ASSERT_EQ(curve.size(), 4u);
+  EXPECT_DOUBLE_EQ(curve[0].fpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve[0].tpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve[1].tpr, 0.5);
+  EXPECT_DOUBLE_EQ(curve[3].fpr, 1.0);
+  EXPECT_DOUBLE_EQ(curve[3].tpr, 1.0);
+}
+
+TEST(MetricsTest, PrCurveAndAp) {
+  // TP, FP, TP -> PR points: (0.5, 1.0), (1.0, 2/3).
+  const auto curve = PrCurve(Flags({1, 0, 1}));
+  ASSERT_EQ(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve[0].recall, 0.5);
+  EXPECT_DOUBLE_EQ(curve[0].precision, 1.0);
+  EXPECT_DOUBLE_EQ(curve[1].recall, 1.0);
+  EXPECT_DOUBLE_EQ(curve[1].precision, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(AveragePrecision(Flags({1, 0, 1})),
+                   0.5 * 1.0 + 0.5 * (2.0 / 3.0));
+}
+
+TEST(MetricsTest, FalsePositivesBeforeEachTp) {
+  const auto fps = FalsePositivesBeforeEachTp(Flags({0, 1, 0, 0, 1, 1}));
+  EXPECT_EQ(fps, (std::vector<int>{1, 3, 3}));
+}
+
+TEST(MetricsTest, WorstCaseTieOrderingPutsFpFirst) {
+  std::vector<RankedUser> list = {
+      {1, 2.0, true},   // TP at priority 2
+      {2, 2.0, false},  // FP at the same priority
+      {3, 1.0, true},
+  };
+  SortWorstCase(list);
+  EXPECT_EQ(list[0].user, 3u);
+  EXPECT_EQ(list[1].user, 2u);  // FP listed before the tied TP
+  EXPECT_EQ(list[2].user, 1u);
+  const auto flags = PositiveFlags(list);
+  EXPECT_EQ(FalsePositivesBeforeEachTp(flags), (std::vector<int>{0, 1}));
+}
+
+TEST(MetricsTest, AucMatchesPaperStyleCounts) {
+  // 925 negatives, 4 positives with 0,0,0,1 FPs before each TP: AUC
+  // must be extremely close to 1 (the paper reports 99.99%).
+  std::vector<bool> flags;
+  flags.assign(3, true);
+  flags.push_back(false);
+  flags.push_back(true);
+  flags.insert(flags.end(), 924, false);
+  EXPECT_GT(RocAuc(flags), 0.9995);
+}
+
+}  // namespace
+}  // namespace acobe::eval

@@ -1,0 +1,399 @@
+// Unit tests for src/features: catalog, cube, first-seen tracking, the
+// CERT extractors (fine + coarse) and the enterprise extractor.
+
+#include <gtest/gtest.h>
+
+#include "features/cert_features.h"
+#include "features/enterprise_features.h"
+#include "features/feature_catalog.h"
+#include "features/first_seen.h"
+#include "features/measurement_cube.h"
+
+namespace acobe {
+namespace {
+
+const Date kStart(2010, 1, 4);  // a Monday
+
+Timestamp At(int day_offset, int hour) {
+  return MakeTimestamp(kStart.AddDays(day_offset), hour);
+}
+
+// --- FeatureCatalog -----------------------------------------------------------
+
+TEST(FeatureCatalogTest, GroupsByAspectInOrder) {
+  FeatureCatalog catalog({{"a1", "x", 1.0},
+                          {"a2", "x", 1.0},
+                          {"b1", "y", 1.0},
+                          {"a3", "x", 1.0}});
+  EXPECT_EQ(catalog.feature_count(), 4);
+  ASSERT_EQ(catalog.aspects().size(), 2u);
+  EXPECT_EQ(catalog.aspects()[0].name, "x");
+  EXPECT_EQ(catalog.aspects()[0].feature_indices,
+            (std::vector<int>{0, 1, 3}));
+  EXPECT_EQ(catalog.aspects()[1].feature_indices, (std::vector<int>{2}));
+  EXPECT_EQ(catalog.AspectIndex("y"), 1);
+  EXPECT_EQ(catalog.AspectIndex("z"), -1);
+  EXPECT_EQ(catalog.FeatureIndex("x", "a3"), 3);
+  EXPECT_EQ(catalog.FeatureIndex("x", "b1"), -1);
+}
+
+// --- MeasurementCube ------------------------------------------------------------
+
+TEST(MeasurementCubeTest, RegisterAndAccumulate) {
+  MeasurementCube cube(kStart, 10, 3, 2);
+  EXPECT_EQ(cube.users(), 0);
+  cube.Accumulate(42, 1, kStart.AddDays(2), 1, 2.0f);
+  cube.Accumulate(42, 1, kStart.AddDays(2), 1);
+  EXPECT_EQ(cube.users(), 1);
+  const int idx = cube.UserIndex(42);
+  ASSERT_GE(idx, 0);
+  EXPECT_FLOAT_EQ(cube.At(idx, 1, 2, 1), 3.0f);
+  EXPECT_FLOAT_EQ(cube.At(idx, 1, 2, 0), 0.0f);
+}
+
+TEST(MeasurementCubeTest, OutOfRangeDaysIgnored) {
+  MeasurementCube cube(kStart, 5, 1, 1);
+  cube.Accumulate(1, 0, kStart.AddDays(-1), 0);
+  cube.Accumulate(1, 0, kStart.AddDays(5), 0);
+  EXPECT_EQ(cube.users(), 0);  // nothing registered
+  EXPECT_EQ(cube.DayIndex(kStart.AddDays(4)), 4);
+  EXPECT_EQ(cube.DayIndex(kStart.AddDays(5)), -1);
+}
+
+TEST(MeasurementCubeTest, IndexingIsBoundsChecked) {
+  MeasurementCube cube(kStart, 5, 2, 2);
+  cube.RegisterUser(7);
+  EXPECT_THROW(cube.At(1, 0, 0, 0), std::out_of_range);
+  EXPECT_THROW(cube.At(0, 2, 0, 0), std::out_of_range);
+  EXPECT_THROW(cube.At(0, 0, 5, 0), std::out_of_range);
+  EXPECT_THROW(cube.At(0, 0, 0, 2), std::out_of_range);
+  EXPECT_THROW(MeasurementCube(kStart, 0, 1, 1), std::invalid_argument);
+}
+
+TEST(MeasurementCubeTest, SeriesLayout) {
+  MeasurementCube cube(kStart, 3, 2, 2);
+  const int u = cube.RegisterUser(1);
+  cube.At(u, 1, 2, 1) = 9.0f;
+  const auto series = cube.Series(u, 1);
+  ASSERT_EQ(series.size(), 6u);
+  EXPECT_FLOAT_EQ(series[2 * 2 + 1], 9.0f);
+}
+
+TEST(MeasurementCubeTest, GroupMeanSeries) {
+  MeasurementCube cube(kStart, 2, 1, 1);
+  const int a = cube.RegisterUser(1);
+  const int b = cube.RegisterUser(2);
+  cube.At(a, 0, 0, 0) = 4.0f;
+  cube.At(b, 0, 0, 0) = 8.0f;
+  cube.At(a, 0, 1, 0) = 2.0f;
+  const std::vector<int> members = {a, b};
+  const auto mean = GroupMeanSeries(cube, members);
+  ASSERT_EQ(mean.size(), 2u);
+  EXPECT_FLOAT_EQ(mean[0], 6.0f);
+  EXPECT_FLOAT_EQ(mean[1], 1.0f);
+  EXPECT_TRUE(GroupMeanSeries(cube, std::span<const int>{}).size() == 2u);
+}
+
+TEST(MeasurementCubeTest, TrimmedGroupMeanDropsOutlier) {
+  MeasurementCube cube(kStart, 1, 1, 1);
+  std::vector<int> members;
+  // Nine quiet users and one screaming outlier.
+  for (int i = 0; i < 10; ++i) {
+    members.push_back(cube.RegisterUser(i));
+    cube.At(members.back(), 0, 0, 0) = i == 9 ? 500.0f : 1.0f;
+  }
+  const auto plain = GroupMeanSeries(cube, members);
+  const auto trimmed = TrimmedGroupMeanSeries(cube, members, 0.1);
+  EXPECT_NEAR(plain[0], 50.9f, 1e-3);
+  EXPECT_FLOAT_EQ(trimmed[0], 1.0f);  // outlier (and one low value) dropped
+}
+
+TEST(MeasurementCubeTest, TrimmedGroupMeanKeepsCommonBurst) {
+  // When *most* members burst (an org-wide change), trimming keeps it.
+  MeasurementCube cube(kStart, 1, 1, 1);
+  std::vector<int> members;
+  for (int i = 0; i < 10; ++i) {
+    members.push_back(cube.RegisterUser(i));
+    cube.At(members.back(), 0, 0, 0) = 8.0f + i * 0.1f;
+  }
+  const auto trimmed = TrimmedGroupMeanSeries(cube, members, 0.1);
+  EXPECT_GT(trimmed[0], 7.5f);
+}
+
+TEST(MeasurementCubeTest, TrimmedGroupMeanValidation) {
+  MeasurementCube cube(kStart, 1, 1, 1);
+  const std::vector<int> members = {cube.RegisterUser(1)};
+  EXPECT_THROW(TrimmedGroupMeanSeries(cube, members, -0.1),
+               std::invalid_argument);
+  EXPECT_THROW(TrimmedGroupMeanSeries(cube, members, 0.5),
+               std::invalid_argument);
+  // Zero trim (or too few members to trim) falls back to the plain mean.
+  const auto a = TrimmedGroupMeanSeries(cube, members, 0.0);
+  const auto b = GroupMeanSeries(cube, members);
+  EXPECT_EQ(a, b);
+}
+
+// --- FirstSeenTracker -------------------------------------------------------------
+
+TEST(FirstSeenTrackerTest, NewOnFirstDayOnly) {
+  FirstSeenTracker tracker;
+  const auto key = FirstSeenTracker::Key(1, 2, 3);
+  EXPECT_TRUE(tracker.SeenNewOnDay(key, 5));
+  EXPECT_TRUE(tracker.SeenNewOnDay(key, 5));   // same day still "new"
+  EXPECT_FALSE(tracker.SeenNewOnDay(key, 6));  // later day: not new
+  EXPECT_TRUE(tracker.SeenBefore(key, 6));
+  EXPECT_FALSE(tracker.SeenBefore(key, 5));
+}
+
+TEST(FirstSeenTrackerTest, KeysAreDistinct) {
+  FirstSeenTracker tracker;
+  EXPECT_TRUE(tracker.SeenNewOnDay(FirstSeenTracker::Key(1, 1, 1), 0));
+  EXPECT_TRUE(tracker.SeenNewOnDay(FirstSeenTracker::Key(2, 1, 1), 0));
+  EXPECT_TRUE(tracker.SeenNewOnDay(FirstSeenTracker::Key(1, 2, 1), 0));
+  EXPECT_TRUE(tracker.SeenNewOnDay(FirstSeenTracker::Key(1, 1, 2), 0));
+  EXPECT_EQ(tracker.size(), 4u);
+}
+
+// --- CertAcobeExtractor -------------------------------------------------------------
+
+TEST(CertAcobeExtractorTest, CatalogHasPaperLayout) {
+  CertAcobeExtractor ex(kStart, 30);
+  const FeatureCatalog& c = ex.catalog();
+  EXPECT_EQ(c.feature_count(), CertAcobeExtractor::kFeatureCount);
+  ASSERT_EQ(c.aspects().size(), 3u);
+  EXPECT_EQ(c.aspects()[0].name, "device");
+  EXPECT_EQ(c.aspects()[0].feature_indices.size(), 2u);
+  EXPECT_EQ(c.aspects()[1].name, "file");
+  EXPECT_EQ(c.aspects()[1].feature_indices.size(), 7u);
+  EXPECT_EQ(c.aspects()[2].name, "http");
+  EXPECT_EQ(c.aspects()[2].feature_indices.size(), 7u);
+}
+
+TEST(CertAcobeExtractorTest, DeviceConnectionAndNewHost) {
+  CertAcobeExtractor ex(kStart, 30);
+  // Day 0: two connects to pc 1 (both "new" - first day), one to pc 2.
+  ex.Consume(DeviceEvent{At(0, 9), 1, 1, DeviceActivity::kConnect});
+  ex.Consume(DeviceEvent{At(0, 10), 1, 1, DeviceActivity::kConnect});
+  ex.Consume(DeviceEvent{At(0, 11), 1, 2, DeviceActivity::kConnect});
+  ex.Consume(DeviceEvent{At(0, 12), 1, 1, DeviceActivity::kDisconnect});
+  // Day 1: connect to pc 1 again (not new) and pc 3 (new).
+  ex.Consume(DeviceEvent{At(1, 9), 1, 1, DeviceActivity::kConnect});
+  ex.Consume(DeviceEvent{At(1, 23), 1, 3, DeviceActivity::kConnect});
+
+  const auto& cube = ex.cube();
+  const int u = cube.UserIndex(1);
+  ASSERT_GE(u, 0);
+  using F = CertAcobeExtractor;
+  EXPECT_FLOAT_EQ(cube.At(u, F::kDevConnection, 0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(cube.At(u, F::kDevNewHost, 0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(cube.At(u, F::kDevConnection, 1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(cube.At(u, F::kDevNewHost, 1, 0), 0.0f);
+  // 23:00 lands in the off-hours frame.
+  EXPECT_FLOAT_EQ(cube.At(u, F::kDevConnection, 1, 1), 1.0f);
+  EXPECT_FLOAT_EQ(cube.At(u, F::kDevNewHost, 1, 1), 1.0f);
+}
+
+TEST(CertAcobeExtractorTest, FileOpsMapToDataflowFeatures) {
+  CertAcobeExtractor ex(kStart, 30);
+  ex.Consume(FileEvent{At(0, 9), 1, 1, FileActivity::kOpen, 10,
+                       FileLocation::kLocal, FileLocation::kLocal});
+  ex.Consume(FileEvent{At(0, 9), 1, 1, FileActivity::kOpen, 10,
+                       FileLocation::kRemote, FileLocation::kRemote});
+  ex.Consume(FileEvent{At(0, 9), 1, 1, FileActivity::kWrite, 11,
+                       FileLocation::kRemote, FileLocation::kRemote});
+  ex.Consume(FileEvent{At(0, 9), 1, 1, FileActivity::kCopy, 12,
+                       FileLocation::kLocal, FileLocation::kRemote});
+  ex.Consume(FileEvent{At(0, 9), 1, 1, FileActivity::kCopy, 12,
+                       FileLocation::kRemote, FileLocation::kLocal});
+
+  const auto& cube = ex.cube();
+  const int u = cube.UserIndex(1);
+  using F = CertAcobeExtractor;
+  EXPECT_FLOAT_EQ(cube.At(u, F::kFileOpenFromLocal, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(cube.At(u, F::kFileOpenFromRemote, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(cube.At(u, F::kFileWriteToRemote, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(cube.At(u, F::kFileCopyL2R, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(cube.At(u, F::kFileCopyR2L, 0, 0), 1.0f);
+  // All five (op, file) pairs are new on day 0.
+  EXPECT_FLOAT_EQ(cube.At(u, F::kFileNewOp, 0, 0), 5.0f);
+}
+
+TEST(CertAcobeExtractorTest, NewOpCountsPerOpFilePair) {
+  CertAcobeExtractor ex(kStart, 30);
+  // Day 0: open file 5.
+  ex.Consume(FileEvent{At(0, 9), 1, 1, FileActivity::kOpen, 5,
+                       FileLocation::kLocal, FileLocation::kLocal});
+  // Day 1: open file 5 again (not new) but write file 5 (new pair).
+  ex.Consume(FileEvent{At(1, 9), 1, 1, FileActivity::kOpen, 5,
+                       FileLocation::kLocal, FileLocation::kLocal});
+  ex.Consume(FileEvent{At(1, 9), 1, 1, FileActivity::kWrite, 5,
+                       FileLocation::kLocal, FileLocation::kLocal});
+  const auto& cube = ex.cube();
+  const int u = cube.UserIndex(1);
+  using F = CertAcobeExtractor;
+  EXPECT_FLOAT_EQ(cube.At(u, F::kFileNewOp, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(cube.At(u, F::kFileNewOp, 1, 0), 1.0f);
+}
+
+TEST(CertAcobeExtractorTest, HttpOnlyUploadsCount) {
+  CertAcobeExtractor ex(kStart, 30);
+  ex.Consume(HttpEvent{At(0, 9), 1, 1, HttpActivity::kVisit, 1,
+                       HttpFileType::kNone});
+  ex.Consume(HttpEvent{At(0, 9), 1, 1, HttpActivity::kDownload, 1,
+                       HttpFileType::kExe});
+  ex.Consume(HttpEvent{At(0, 9), 1, 1, HttpActivity::kUpload, 1,
+                       HttpFileType::kDoc});
+  ex.Consume(HttpEvent{At(0, 21), 1, 1, HttpActivity::kUpload, 2,
+                       HttpFileType::kZip});
+  const auto& cube = ex.cube();
+  const int u = cube.UserIndex(1);
+  using F = CertAcobeExtractor;
+  EXPECT_FLOAT_EQ(cube.At(u, F::kHttpUploadDoc, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(cube.At(u, F::kHttpUploadZip, 0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(cube.At(u, F::kHttpNewOp, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(cube.At(u, F::kHttpNewOp, 0, 1), 1.0f);
+  // Visits/downloads contribute to no feature.
+  float total = 0;
+  for (int f = 0; f < CertAcobeExtractor::kFeatureCount; ++f) {
+    for (int t = 0; t < 2; ++t) total += cube.At(u, f, 0, t);
+  }
+  EXPECT_FLOAT_EQ(total, 4.0f);
+}
+
+TEST(CertAcobeExtractorTest, PerUserFirstSeenIsolation) {
+  CertAcobeExtractor ex(kStart, 30);
+  ex.Consume(HttpEvent{At(0, 9), 1, 1, HttpActivity::kUpload, 7,
+                       HttpFileType::kDoc});
+  ex.Consume(HttpEvent{At(1, 9), 2, 1, HttpActivity::kUpload, 7,
+                       HttpFileType::kDoc});
+  const auto& cube = ex.cube();
+  using F = CertAcobeExtractor;
+  // User 2's first touch of domain 7 is new even though user 1 saw it.
+  EXPECT_FLOAT_EQ(cube.At(cube.UserIndex(2), F::kHttpNewOp, 1, 0), 1.0f);
+}
+
+// --- CertCoarseExtractor -------------------------------------------------------------
+
+TEST(CertCoarseExtractorTest, HourlyFramesAndActivityCounts) {
+  CertCoarseExtractor ex(kStart, 30);
+  EXPECT_EQ(ex.partition().frame_count(), 24);
+  ex.Consume(LogonEvent{At(0, 8), 1, 1, LogonActivity::kLogon});
+  ex.Consume(LogonEvent{At(0, 17), 1, 1, LogonActivity::kLogoff});
+  ex.Consume(HttpEvent{At(0, 8), 1, 1, HttpActivity::kVisit, 1,
+                       HttpFileType::kNone});
+  ex.Consume(DeviceEvent{At(0, 8), 1, 1, DeviceActivity::kConnect});
+  ex.Consume(FileEvent{At(0, 13), 1, 1, FileActivity::kDelete, 2,
+                       FileLocation::kLocal, FileLocation::kLocal});
+
+  const auto& cube = ex.cube();
+  const int u = cube.UserIndex(1);
+  using F = CertCoarseExtractor;
+  EXPECT_FLOAT_EQ(cube.At(u, F::kLogon, 0, 8), 1.0f);
+  EXPECT_FLOAT_EQ(cube.At(u, F::kLogoff, 0, 17), 1.0f);
+  EXPECT_FLOAT_EQ(cube.At(u, F::kVisit, 0, 8), 1.0f);
+  EXPECT_FLOAT_EQ(cube.At(u, F::kConnect, 0, 8), 1.0f);
+  EXPECT_FLOAT_EQ(cube.At(u, F::kDelete, 0, 13), 1.0f);
+  EXPECT_EQ(ex.catalog().aspects().size(), 4u);  // device/file/http/logon
+}
+
+// --- ReplayStore -------------------------------------------------------------------
+
+TEST(ReplayStoreTest, ReplaysEverythingInDayOrder) {
+  LogStore store;
+  store.Add(HttpEvent{At(1, 9), 1, 1, HttpActivity::kUpload, 3,
+                      HttpFileType::kDoc});
+  store.Add(HttpEvent{At(0, 9), 1, 1, HttpActivity::kUpload, 3,
+                      HttpFileType::kDoc});
+  store.SortChronologically();
+
+  CertAcobeExtractor ex(kStart, 30);
+  ReplayStore(store, ex);
+  const auto& cube = ex.cube();
+  const int u = cube.UserIndex(1);
+  using F = CertAcobeExtractor;
+  // The day-0 upload is the first-seen one; day 1 is not new.
+  EXPECT_FLOAT_EQ(cube.At(u, F::kHttpNewOp, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(cube.At(u, F::kHttpNewOp, 1, 0), 0.0f);
+}
+
+// --- EnterpriseExtractor -------------------------------------------------------------
+
+TEST(EnterpriseExtractorTest, CatalogHas27Features) {
+  EnterpriseExtractor ex(kStart, 30);
+  EXPECT_EQ(ex.catalog().feature_count(), 27);
+  ASSERT_EQ(ex.catalog().aspects().size(), 6u);
+  EXPECT_EQ(ex.catalog().aspects()[0].name, "file");
+  EXPECT_EQ(ex.catalog().aspects()[4].name, "http");
+  EXPECT_EQ(ex.catalog().aspects()[5].name, "logon");
+  EXPECT_EQ(ex.catalog().aspects()[5].feature_indices.size(), 7u);
+}
+
+TEST(EnterpriseExtractorTest, CountUniqueNewDistinct) {
+  EnterpriseExtractor ex(kStart, 30);
+  using E = EnterpriseExtractor;
+  // Day 0: same (event,object) twice + one other event id.
+  ex.Consume(EnterpriseEvent{At(0, 9), 1, EnterpriseAspect::kCommand, 4688, 5});
+  ex.Consume(EnterpriseEvent{At(0, 10), 1, EnterpriseAspect::kCommand, 4688, 5});
+  ex.Consume(EnterpriseEvent{At(0, 11), 1, EnterpriseAspect::kCommand, 4104, 6});
+  // Day 1: the first pair repeats (not new), one fresh object.
+  ex.Consume(EnterpriseEvent{At(1, 9), 1, EnterpriseAspect::kCommand, 4688, 5});
+  ex.Consume(EnterpriseEvent{At(1, 9), 1, EnterpriseAspect::kCommand, 4688, 77});
+
+  const auto& cube = ex.cube();
+  const int u = cube.UserIndex(1);
+  const auto idx = [](E::AspectFeature f) {
+    return E::AspectFeatureIndex(EnterpriseAspect::kCommand, f);
+  };
+  EXPECT_FLOAT_EQ(cube.At(u, idx(E::kEventCount), 0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(cube.At(u, idx(E::kUniqueEvents), 0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(cube.At(u, idx(E::kNewEvents), 0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(cube.At(u, idx(E::kDistinctEventIds), 0, 0), 2.0f);
+
+  EXPECT_FLOAT_EQ(cube.At(u, idx(E::kEventCount), 1, 0), 2.0f);
+  EXPECT_FLOAT_EQ(cube.At(u, idx(E::kUniqueEvents), 1, 0), 2.0f);
+  EXPECT_FLOAT_EQ(cube.At(u, idx(E::kNewEvents), 1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(cube.At(u, idx(E::kDistinctEventIds), 1, 0), 1.0f);
+}
+
+TEST(EnterpriseExtractorTest, ProxyFeatures) {
+  EnterpriseExtractor ex(kStart, 30);
+  using E = EnterpriseExtractor;
+  ex.Consume(ProxyEvent{At(0, 9), 1, 3, true, 100});
+  ex.Consume(ProxyEvent{At(0, 9), 1, 3, true, 100});
+  ex.Consume(ProxyEvent{At(0, 9), 1, 4, false, 0});
+  ex.Consume(ProxyEvent{At(1, 9), 1, 3, true, 100});
+  ex.Consume(ProxyEvent{At(1, 9), 1, 9, false, 0});
+
+  const auto& cube = ex.cube();
+  const int u = cube.UserIndex(1);
+  EXPECT_FLOAT_EQ(cube.At(u, E::kHttpSuccess, 0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(cube.At(u, E::kHttpSuccessNewDomain, 0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(cube.At(u, E::kHttpFailure, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(cube.At(u, E::kHttpFailureNewDomain, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(cube.At(u, E::kHttpSuccessNewDomain, 1, 0), 0.0f);
+  EXPECT_FLOAT_EQ(cube.At(u, E::kHttpFailureNewDomain, 1, 0), 1.0f);
+}
+
+TEST(EnterpriseExtractorTest, SessionStatistics) {
+  EnterpriseExtractor ex(kStart, 30);
+  using E = EnterpriseExtractor;
+  // A 2-hour session and a 2-minute session, both in working hours.
+  ex.Consume(LogonEvent{At(0, 9), 1, 0, LogonActivity::kLogon});
+  ex.Consume(LogonEvent{At(0, 11), 1, 0, LogonActivity::kLogoff});
+  ex.Consume(LogonEvent{At(0, 13), 1, 0, LogonActivity::kLogon});
+  ex.Consume(LogonEvent{At(0, 13) + 120, 1, 0, LogonActivity::kLogoff});
+  ex.Finalize();
+
+  const auto& cube = ex.cube();
+  const int u = cube.UserIndex(1);
+  EXPECT_FLOAT_EQ(cube.At(u, E::kLogonCount, 0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(cube.At(u, E::kLogoffCount, 0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(cube.At(u, E::kSessionCount, 0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(cube.At(u, E::kTotalSessionSeconds, 0, 0), 7200.0f + 120.0f);
+  EXPECT_FLOAT_EQ(cube.At(u, E::kMeanSessionSeconds, 0, 0), 3660.0f);
+  EXPECT_FLOAT_EQ(cube.At(u, E::kMaxSessionSeconds, 0, 0), 7200.0f);
+  EXPECT_FLOAT_EQ(cube.At(u, E::kShortSessions, 0, 0), 1.0f);
+}
+
+}  // namespace
+}  // namespace acobe

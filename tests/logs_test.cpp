@@ -1,0 +1,202 @@
+// Unit tests for src/logs: entity tables, records, store, CSV I/O, tee.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "logs/entity_table.h"
+#include "logs/log_io.h"
+#include "logs/log_store.h"
+#include "logs/tee_sink.h"
+
+namespace acobe {
+namespace {
+
+TEST(EntityTableTest, InternIsIdempotent) {
+  EntityTable t;
+  const auto a = t.Intern("alice");
+  const auto b = t.Intern("bob");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(t.Intern("alice"), a);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.NameOf(a), "alice");
+  EXPECT_EQ(t.NameOf(b), "bob");
+}
+
+TEST(EntityTableTest, LookupMissingReturnsInvalid) {
+  EntityTable t;
+  EXPECT_EQ(t.Lookup("ghost"), kInvalidId);
+  t.Intern("real");
+  EXPECT_NE(t.Lookup("real"), kInvalidId);
+}
+
+TEST(EntityTableTest, NameOfBadIdThrows) {
+  EntityTable t;
+  EXPECT_THROW(t.NameOf(0), std::out_of_range);
+}
+
+TEST(RecordsTest, EnumStringRoundTrips) {
+  for (auto a : {LogonActivity::kLogon, LogonActivity::kLogoff}) {
+    EXPECT_EQ(LogonActivityFromString(ToString(a)), a);
+  }
+  for (auto a : {DeviceActivity::kConnect, DeviceActivity::kDisconnect}) {
+    EXPECT_EQ(DeviceActivityFromString(ToString(a)), a);
+  }
+  for (auto a : {FileActivity::kOpen, FileActivity::kWrite,
+                 FileActivity::kCopy, FileActivity::kDelete}) {
+    EXPECT_EQ(FileActivityFromString(ToString(a)), a);
+  }
+  for (auto a : {HttpActivity::kVisit, HttpActivity::kDownload,
+                 HttpActivity::kUpload}) {
+    EXPECT_EQ(HttpActivityFromString(ToString(a)), a);
+  }
+  for (auto t : {HttpFileType::kNone, HttpFileType::kDoc, HttpFileType::kExe,
+                 HttpFileType::kJpg, HttpFileType::kPdf, HttpFileType::kTxt,
+                 HttpFileType::kZip}) {
+    EXPECT_EQ(HttpFileTypeFromString(ToString(t)), t);
+  }
+  for (auto a : {EnterpriseAspect::kFile, EnterpriseAspect::kCommand,
+                 EnterpriseAspect::kConfig, EnterpriseAspect::kResource}) {
+    EXPECT_EQ(EnterpriseAspectFromString(ToString(a)), a);
+  }
+  EXPECT_THROW(LogonActivityFromString("nope"), std::invalid_argument);
+  EXPECT_THROW(HttpFileTypeFromString(""), std::invalid_argument);
+}
+
+LogStore MakeSampleStore() {
+  LogStore store;
+  const UserId u = store.users().Intern("JPH1910");
+  const PcId pc = store.pcs().Intern("PC-1");
+  const FileId f = store.files().Intern("doc,with comma");
+  const DomainId d = store.domains().Intern("wikileaks.org");
+
+  store.Add(DeviceEvent{200, u, pc, DeviceActivity::kConnect});
+  store.Add(DeviceEvent{100, u, pc, DeviceActivity::kDisconnect});
+  store.Add(FileEvent{150, u, pc, FileActivity::kCopy, f, FileLocation::kLocal,
+                      FileLocation::kRemote});
+  store.Add(HttpEvent{120, u, pc, HttpActivity::kUpload, d, HttpFileType::kDoc});
+  store.Add(LogonEvent{90, u, pc, LogonActivity::kLogon});
+
+  LdapRecord ldap;
+  ldap.user = u;
+  ldap.user_name = "JPH1910";
+  ldap.department = "Dept-A";
+  ldap.team = "T1";
+  ldap.role = "Employee";
+  store.AddLdap(std::move(ldap));
+  return store;
+}
+
+TEST(LogStoreTest, TotalAndSort) {
+  LogStore store = MakeSampleStore();
+  EXPECT_EQ(store.TotalEvents(), 5u);
+  store.SortChronologically();
+  EXPECT_EQ(store.devices()[0].activity, DeviceActivity::kDisconnect);
+  EXPECT_EQ(store.devices()[1].activity, DeviceActivity::kConnect);
+}
+
+TEST(LogStoreTest, DepartmentsAndMembers) {
+  LogStore store = MakeSampleStore();
+  const auto depts = store.Departments();
+  ASSERT_EQ(depts.size(), 1u);
+  EXPECT_EQ(depts[0], "Dept-A");
+  EXPECT_EQ(store.UsersInDepartment("Dept-A").size(), 1u);
+  EXPECT_TRUE(store.UsersInDepartment("Dept-Z").empty());
+}
+
+TEST(LogIoTest, DeviceCsvRoundTrip) {
+  LogStore store = MakeSampleStore();
+  std::stringstream ss;
+  WriteDeviceCsv(store, ss);
+  LogStore loaded;
+  ReadDeviceCsv(ss, loaded);
+  ASSERT_EQ(loaded.devices().size(), 2u);
+  EXPECT_EQ(loaded.devices()[0].ts, 200);
+  EXPECT_EQ(loaded.users().NameOf(loaded.devices()[0].user), "JPH1910");
+  EXPECT_EQ(loaded.devices()[0].activity, DeviceActivity::kConnect);
+}
+
+TEST(LogIoTest, FileCsvRoundTripWithQuoting) {
+  LogStore store = MakeSampleStore();
+  std::stringstream ss;
+  WriteFileCsv(store, ss);
+  LogStore loaded;
+  ReadFileCsv(ss, loaded);
+  ASSERT_EQ(loaded.file_events().size(), 1u);
+  const FileEvent& e = loaded.file_events()[0];
+  EXPECT_EQ(loaded.files().NameOf(e.file), "doc,with comma");
+  EXPECT_EQ(e.from, FileLocation::kLocal);
+  EXPECT_EQ(e.to, FileLocation::kRemote);
+}
+
+TEST(LogIoTest, HttpLogonLdapRoundTrips) {
+  LogStore store = MakeSampleStore();
+  std::stringstream http, logon, ldap;
+  WriteHttpCsv(store, http);
+  WriteLogonCsv(store, logon);
+  WriteLdapCsv(store, ldap);
+
+  LogStore loaded;
+  ReadHttpCsv(http, loaded);
+  ReadLogonCsv(logon, loaded);
+  ReadLdapCsv(ldap, loaded);
+  ASSERT_EQ(loaded.http_events().size(), 1u);
+  EXPECT_EQ(loaded.http_events()[0].filetype, HttpFileType::kDoc);
+  ASSERT_EQ(loaded.logons().size(), 1u);
+  ASSERT_EQ(loaded.ldap().size(), 1u);
+  EXPECT_EQ(loaded.ldap()[0].department, "Dept-A");
+}
+
+TEST(LogIoTest, MalformedRowThrows) {
+  std::stringstream ss("ts,user,pc,activity\n1,alice\n");
+  LogStore store;
+  EXPECT_THROW(ReadDeviceCsv(ss, store), std::invalid_argument);
+}
+
+TEST(LogIoTest, EmptyStreamYieldsNothing) {
+  std::stringstream ss;
+  LogStore store;
+  ReadDeviceCsv(ss, store);
+  EXPECT_TRUE(store.devices().empty());
+}
+
+TEST(LogIoTest, EnterpriseAndProxyCsvRoundTrips) {
+  LogStore store;
+  const UserId u = store.users().Intern("emp1");
+  const auto obj = store.objects().Intern("registry/HKCU-Run");
+  const DomainId d = store.domains().Intern("cnc.example.net");
+  store.Add(EnterpriseEvent{500, u, EnterpriseAspect::kConfig, 13, obj});
+  store.Add(ProxyEvent{600, u, d, false, 0});
+
+  std::stringstream ent, proxy;
+  WriteEnterpriseCsv(store, ent);
+  WriteProxyCsv(store, proxy);
+
+  LogStore loaded;
+  ReadEnterpriseCsv(ent, loaded);
+  ReadProxyCsv(proxy, loaded);
+  ASSERT_EQ(loaded.enterprise_events().size(), 1u);
+  const EnterpriseEvent& e = loaded.enterprise_events()[0];
+  EXPECT_EQ(e.ts, 500);
+  EXPECT_EQ(e.aspect, EnterpriseAspect::kConfig);
+  EXPECT_EQ(e.event_id, 13);
+  EXPECT_EQ(loaded.objects().NameOf(e.object), "registry/HKCU-Run");
+  ASSERT_EQ(loaded.proxy_events().size(), 1u);
+  EXPECT_FALSE(loaded.proxy_events()[0].success);
+  EXPECT_EQ(loaded.domains().NameOf(loaded.proxy_events()[0].domain),
+            "cnc.example.net");
+}
+
+TEST(TeeSinkTest, FansOutToAllSinks) {
+  LogStore a, b;
+  TeeSink tee({&a, &b});
+  tee.Consume(LogonEvent{1, 0, 0, LogonActivity::kLogon});
+  tee.Consume(ProxyEvent{2, 0, 0, true, 10});
+  EXPECT_EQ(a.logons().size(), 1u);
+  EXPECT_EQ(b.logons().size(), 1u);
+  EXPECT_EQ(a.proxy_events().size(), 1u);
+  EXPECT_EQ(b.proxy_events().size(), 1u);
+}
+
+}  // namespace
+}  // namespace acobe

@@ -1,0 +1,648 @@
+// Unit tests for src/nn: tensors, GEMM, layers (with numeric gradient
+// checks), optimizers, autoencoder construction, training, serialization.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "nn/activations.h"
+#include "nn/autoencoder.h"
+#include "nn/batchnorm.h"
+#include "nn/dense.h"
+#include "nn/gemm.h"
+#include "nn/optimizer.h"
+#include "nn/sequential.h"
+#include "nn/serialize.h"
+#include "nn/tensor.h"
+#include "nn/trainer.h"
+
+namespace acobe::nn {
+namespace {
+
+// --- Tensor ------------------------------------------------------------------
+
+TEST(TensorTest, ConstructionAndIndexing) {
+  Tensor t(2, 3, 1.5f);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_FLOAT_EQ(t(1, 2), 1.5f);
+  t(0, 1) = 7.0f;
+  EXPECT_FLOAT_EQ(t.at(0, 1), 7.0f);
+  EXPECT_THROW(t.at(2, 0), std::out_of_range);
+  EXPECT_THROW(t.at(0, 3), std::out_of_range);
+}
+
+TEST(TensorTest, FromVectorAndReshape) {
+  Tensor t = Tensor::FromVector(2, 2, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(t(1, 0), 3.0f);
+  t.Reshape(4, 1);
+  EXPECT_FLOAT_EQ(t(2, 0), 3.0f);
+  EXPECT_THROW(t.Reshape(3, 3), std::invalid_argument);
+  EXPECT_THROW(Tensor::FromVector(2, 2, {1.0f}), std::invalid_argument);
+}
+
+TEST(TensorTest, RowSpan) {
+  Tensor t = Tensor::FromVector(2, 3, {1, 2, 3, 4, 5, 6});
+  auto row = t.Row(1);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_FLOAT_EQ(row[0], 4.0f);
+}
+
+// --- GEMM --------------------------------------------------------------------
+
+Tensor NaiveMul(const Tensor& a, const Tensor& b, bool ta, bool tb) {
+  const std::size_t m = ta ? a.cols() : a.rows();
+  const std::size_t k = ta ? a.rows() : a.cols();
+  const std::size_t n = tb ? b.rows() : b.cols();
+  Tensor c(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0;
+      for (std::size_t l = 0; l < k; ++l) {
+        const float av = ta ? a(l, i) : a(i, l);
+        const float bv = tb ? b(j, l) : b(l, j);
+        acc += av * bv;
+      }
+      c(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+Tensor RandomTensor(std::size_t r, std::size_t c, Rng& rng) {
+  Tensor t(r, c);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t.data()[i] = static_cast<float>(rng.NextGaussian());
+  }
+  return t;
+}
+
+struct GemmShape {
+  std::size_t m, k, n;
+};
+
+class GemmTest : public ::testing::TestWithParam<GemmShape> {};
+
+TEST_P(GemmTest, MatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m * 31 + k * 7 + n);
+  const Tensor a = RandomTensor(m, k, rng);
+  const Tensor b = RandomTensor(k, n, rng);
+  Tensor c;
+  Gemm(a, b, c);
+  const Tensor ref = NaiveMul(a, b, false, false);
+  ASSERT_EQ(c.rows(), m);
+  ASSERT_EQ(c.cols(), n);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c.data()[i], ref.data()[i], 1e-4f * (k + 1));
+  }
+}
+
+TEST_P(GemmTest, TransAMatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m + k + n);
+  const Tensor a = RandomTensor(k, m, rng);  // will be transposed
+  const Tensor b = RandomTensor(k, n, rng);
+  Tensor c;
+  GemmTransA(a, b, c);
+  const Tensor ref = NaiveMul(a, b, true, false);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c.data()[i], ref.data()[i], 1e-4f * (k + 1));
+  }
+}
+
+TEST_P(GemmTest, TransBMatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m * 3 + k + n * 5);
+  const Tensor a = RandomTensor(m, k, rng);
+  const Tensor b = RandomTensor(n, k, rng);  // will be transposed
+  Tensor c;
+  GemmTransB(a, b, c);
+  const Tensor ref = NaiveMul(a, b, false, true);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c.data()[i], ref.data()[i], 1e-4f * (k + 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GemmTest,
+                         ::testing::Values(GemmShape{1, 1, 1},
+                                           GemmShape{2, 3, 4},
+                                           GemmShape{5, 1, 7},
+                                           GemmShape{8, 16, 8},
+                                           GemmShape{17, 13, 29},
+                                           GemmShape{64, 32, 64}));
+
+TEST(GemmTest, ShapeMismatchThrows) {
+  Tensor a(2, 3), b(4, 5), c;
+  EXPECT_THROW(Gemm(a, b, c), std::invalid_argument);
+  EXPECT_THROW(GemmTransA(a, b, c), std::invalid_argument);
+  EXPECT_THROW(GemmTransB(a, b, c), std::invalid_argument);
+}
+
+// --- Gradient checking -------------------------------------------------------
+
+// Numerically verifies dL/dx and dL/dparam for a layer under L = sum(y*g)
+// with fixed random g (so dL/dy = g).
+void CheckGradients(Layer& layer, Tensor x, bool training, float tol = 2e-2f) {
+  Rng rng(77);
+  Tensor y = layer.Forward(x, training);
+  Tensor g(y.rows(), y.cols());
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    g.data()[i] = static_cast<float>(rng.NextGaussian());
+  }
+  for (Param* p : layer.Params()) p->grad.Fill(0.0f);
+  const Tensor dx = layer.Backward(g);
+
+  auto loss_at = [&]() {
+    Tensor out = layer.Forward(x, training);
+    double acc = 0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      acc += static_cast<double>(out.data()[i]) * g.data()[i];
+    }
+    return acc;
+  };
+
+  const float eps = 1e-3f;
+  // Input gradient at a few positions.
+  for (std::size_t i = 0; i < std::min<std::size_t>(x.size(), 8); ++i) {
+    const float orig = x.data()[i];
+    x.data()[i] = orig + eps;
+    const double lp = loss_at();
+    x.data()[i] = orig - eps;
+    const double lm = loss_at();
+    x.data()[i] = orig;
+    const double numeric = (lp - lm) / (2 * eps);
+    EXPECT_NEAR(dx.data()[i], numeric, tol * (1.0 + std::fabs(numeric)))
+        << "input grad at " << i;
+  }
+  // Parameter gradients at a few positions.
+  // Re-run forward/backward to get fresh parameter grads for unperturbed x.
+  for (Param* p : layer.Params()) p->grad.Fill(0.0f);
+  layer.Forward(x, training);
+  layer.Backward(g);
+  for (Param* p : layer.Params()) {
+    for (std::size_t i = 0; i < std::min<std::size_t>(p->value.size(), 6);
+         ++i) {
+      const float orig = p->value.data()[i];
+      p->value.data()[i] = orig + eps;
+      const double lp = loss_at();
+      p->value.data()[i] = orig - eps;
+      const double lm = loss_at();
+      p->value.data()[i] = orig;
+      const double numeric = (lp - lm) / (2 * eps);
+      EXPECT_NEAR(p->grad.data()[i], numeric,
+                  tol * (1.0 + std::fabs(numeric)))
+          << p->name << " grad at " << i;
+    }
+  }
+}
+
+TEST(DenseTest, ForwardComputesAffine) {
+  Dense dense(2, 2);
+  dense.Params()[0]->value = Tensor::FromVector(2, 2, {1, 2, 3, 4});  // W
+  dense.Params()[1]->value = Tensor::FromVector(1, 2, {0.5f, -0.5f});  // b
+  Tensor x = Tensor::FromVector(1, 2, {1, 1});
+  Tensor y = dense.Forward(x, true);
+  EXPECT_FLOAT_EQ(y(0, 0), 1 + 3 + 0.5f);
+  EXPECT_FLOAT_EQ(y(0, 1), 2 + 4 - 0.5f);
+}
+
+TEST(DenseTest, GradientsMatchNumeric) {
+  Rng rng(11);
+  Dense dense(4, 3);
+  dense.InitParams(rng);
+  CheckGradients(dense, RandomTensor(5, 4, rng), true);
+}
+
+TEST(DenseTest, BadShapesThrow) {
+  Dense dense(4, 3);
+  Tensor x(2, 5);
+  EXPECT_THROW(dense.Forward(x, true), std::invalid_argument);
+  EXPECT_THROW(Dense(0, 3), std::invalid_argument);
+}
+
+TEST(ReluTest, ForwardZeroesNegatives) {
+  ReLU relu;
+  Tensor x = Tensor::FromVector(1, 4, {-1, 0, 2, -3});
+  Tensor y = relu.Forward(x, true);
+  EXPECT_FLOAT_EQ(y(0, 0), 0);
+  EXPECT_FLOAT_EQ(y(0, 1), 0);
+  EXPECT_FLOAT_EQ(y(0, 2), 2);
+  EXPECT_FLOAT_EQ(y(0, 3), 0);
+}
+
+TEST(ReluTest, GradientsMatchNumeric) {
+  Rng rng(12);
+  ReLU relu;
+  Tensor x = RandomTensor(4, 6, rng);
+  // Nudge values away from the kink at 0 for stable numeric diff.
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (std::fabs(x.data()[i]) < 0.05f) x.data()[i] += 0.1f;
+  }
+  CheckGradients(relu, x, true);
+}
+
+TEST(SigmoidTest, ForwardRange) {
+  Sigmoid sigmoid;
+  Tensor x = Tensor::FromVector(1, 3, {-10, 0, 10});
+  Tensor y = sigmoid.Forward(x, true);
+  EXPECT_NEAR(y(0, 0), 0.0f, 1e-4);
+  EXPECT_FLOAT_EQ(y(0, 1), 0.5f);
+  EXPECT_NEAR(y(0, 2), 1.0f, 1e-4);
+}
+
+TEST(SigmoidTest, GradientsMatchNumeric) {
+  Rng rng(13);
+  Sigmoid sigmoid;
+  CheckGradients(sigmoid, RandomTensor(3, 5, rng), true);
+}
+
+TEST(BatchNormTest, TrainingNormalizesBatch) {
+  BatchNorm bn(3);
+  Rng rng(14);
+  Tensor x = RandomTensor(64, 3, rng);
+  for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = x.data()[i] * 3 + 5;
+  Tensor y = bn.Forward(x, true);
+  for (std::size_t c = 0; c < 3; ++c) {
+    double mean = 0, var = 0;
+    for (std::size_t r = 0; r < 64; ++r) mean += y(r, c);
+    mean /= 64;
+    for (std::size_t r = 0; r < 64; ++r) {
+      var += (y(r, c) - mean) * (y(r, c) - mean);
+    }
+    var /= 64;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNormTest, InferenceUsesRunningStats) {
+  BatchNorm bn(2, /*momentum=*/0.0f);  // running stats = last batch stats
+  Rng rng(15);
+  Tensor x = RandomTensor(128, 2, rng);
+  bn.Forward(x, true);
+  // A single-row inference must not explode (it uses running stats).
+  Tensor one = RandomTensor(1, 2, rng);
+  Tensor y = bn.Forward(one, false);
+  EXPECT_TRUE(std::isfinite(y(0, 0)));
+  EXPECT_TRUE(std::isfinite(y(0, 1)));
+}
+
+TEST(BatchNormTest, GradientsMatchNumeric) {
+  Rng rng(16);
+  BatchNorm bn(4);
+  CheckGradients(bn, RandomTensor(8, 4, rng), /*training=*/false);
+}
+
+TEST(BatchNormTest, TrainingGradientsMatchNumeric) {
+  Rng rng(17);
+  BatchNorm bn(3);
+  CheckGradients(bn, RandomTensor(6, 3, rng), /*training=*/true, 5e-2f);
+}
+
+// --- Sequential & loss --------------------------------------------------------
+
+TEST(SequentialTest, GradCheckThroughStack) {
+  Rng rng(18);
+  Sequential net;
+  net.Add(std::make_unique<Dense>(3, 5));
+  net.Add(std::make_unique<ReLU>());
+  net.Add(std::make_unique<Dense>(5, 3));
+  net.Add(std::make_unique<Sigmoid>());
+  net.InitParams(rng);
+
+  Tensor x = RandomTensor(4, 3, rng);
+  Tensor y = net.Forward(x, true);
+  Tensor target = RandomTensor(4, 3, rng);
+  Tensor grad;
+  MseLoss(y, target, grad);
+  net.ZeroGrad();
+  net.Backward(grad);
+
+  // Numeric check on first dense weight.
+  Param* w = net.Params()[0];
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const float orig = w->value.data()[i];
+    Tensor g;
+    w->value.data()[i] = orig + eps;
+    const float lp = MseLoss(net.Forward(x, true), target, g);
+    w->value.data()[i] = orig - eps;
+    const float lm = MseLoss(net.Forward(x, true), target, g);
+    w->value.data()[i] = orig;
+    const double numeric = (lp - lm) / (2 * eps);
+    EXPECT_NEAR(w->grad.data()[i], numeric, 2e-2 * (1 + std::fabs(numeric)));
+  }
+}
+
+TEST(MseLossTest, ValueAndGradient) {
+  Tensor pred = Tensor::FromVector(1, 2, {1.0f, 3.0f});
+  Tensor target = Tensor::FromVector(1, 2, {0.0f, 1.0f});
+  Tensor grad;
+  const float loss = MseLoss(pred, target, grad);
+  EXPECT_FLOAT_EQ(loss, (1.0f + 4.0f) / 2.0f);
+  EXPECT_FLOAT_EQ(grad(0, 0), 2.0f * 1.0f / 2.0f);
+  EXPECT_FLOAT_EQ(grad(0, 1), 2.0f * 2.0f / 2.0f);
+}
+
+TEST(MseLossTest, PerSampleErrors) {
+  Tensor pred = Tensor::FromVector(2, 2, {1, 1, 0, 0});
+  Tensor target = Tensor::FromVector(2, 2, {0, 0, 0, 2});
+  const auto errors = PerSampleMse(pred, target);
+  ASSERT_EQ(errors.size(), 2u);
+  EXPECT_FLOAT_EQ(errors[0], 1.0f);
+  EXPECT_FLOAT_EQ(errors[1], 2.0f);
+}
+
+TEST(DropoutTest, InferenceIsIdentity) {
+  Dropout dropout(0.5f, 3);
+  Rng rng(61);
+  Tensor x = RandomTensor(4, 6, rng);
+  Tensor y = dropout.Forward(x, /*training=*/false);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_FLOAT_EQ(y.data()[i], x.data()[i]);
+  }
+}
+
+TEST(DropoutTest, TrainingDropsAndScales) {
+  Dropout dropout(0.5f, 3);
+  Tensor x(1, 1000, 1.0f);
+  Tensor y = dropout.Forward(x, /*training=*/true);
+  int zeros = 0;
+  double sum = 0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y.data()[i] == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_FLOAT_EQ(y.data()[i], 2.0f);  // inverted scaling 1/(1-0.5)
+    }
+    sum += y.data()[i];
+  }
+  EXPECT_NEAR(zeros / 1000.0, 0.5, 0.06);
+  EXPECT_NEAR(sum / 1000.0, 1.0, 0.12);  // expectation preserved
+}
+
+TEST(DropoutTest, BackwardUsesSameMask) {
+  Dropout dropout(0.3f, 4);
+  Rng rng(62);
+  Tensor x = RandomTensor(2, 50, rng);
+  Tensor y = dropout.Forward(x, true);
+  Tensor g(2, 50, 1.0f);
+  Tensor dx = dropout.Backward(g);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y.data()[i] == 0.0f) {
+      EXPECT_FLOAT_EQ(dx.data()[i], 0.0f);
+    } else {
+      EXPECT_GT(dx.data()[i], 0.0f);
+    }
+  }
+  EXPECT_THROW(Dropout(1.0f), std::invalid_argument);
+  EXPECT_THROW(Dropout(-0.1f), std::invalid_argument);
+}
+
+TEST(HuberLossTest, QuadraticInsideLinearOutside) {
+  Tensor pred = Tensor::FromVector(1, 2, {0.5f, 5.0f});
+  Tensor target = Tensor::FromVector(1, 2, {0.0f, 0.0f});
+  Tensor grad;
+  const float loss = HuberLoss(pred, target, grad, 1.0f);
+  // Element 0: 0.5*0.25 = 0.125; element 1: 1*(5-0.5) = 4.5.
+  EXPECT_NEAR(loss, (0.125f + 4.5f) / 2.0f, 1e-5);
+  EXPECT_FLOAT_EQ(grad(0, 0), 0.5f / 2.0f);   // d/2 inside
+  EXPECT_FLOAT_EQ(grad(0, 1), 1.0f / 2.0f);   // clipped at delta outside
+  EXPECT_THROW(HuberLoss(pred, target, grad, 0.0f), std::invalid_argument);
+}
+
+TEST(HuberLossTest, MatchesMseForSmallErrors) {
+  Rng rng(63);
+  Tensor pred = RandomTensor(3, 4, rng);
+  Tensor target = pred;
+  for (std::size_t i = 0; i < target.size(); ++i) {
+    target.data()[i] += 0.01f;
+  }
+  Tensor g1, g2;
+  const float huber = HuberLoss(pred, target, g1, 1.0f);
+  const float mse = MseLoss(pred, target, g2);
+  EXPECT_NEAR(huber, mse / 2.0f, 1e-6);  // Huber = 0.5 d^2 vs MSE = d^2
+}
+
+// --- Optimizers ----------------------------------------------------------------
+
+TEST(OptimizerTest, SgdStepMath) {
+  Param p;
+  p.value = Tensor::FromVector(1, 2, {1.0f, 2.0f});
+  p.grad = Tensor::FromVector(1, 2, {0.5f, -1.0f});
+  Sgd sgd(0.1f);
+  sgd.Attach({&p});
+  sgd.Step();
+  EXPECT_FLOAT_EQ(p.value(0, 0), 1.0f - 0.05f);
+  EXPECT_FLOAT_EQ(p.value(0, 1), 2.0f + 0.1f);
+}
+
+TEST(OptimizerTest, StepBeforeAttachThrows) {
+  Sgd sgd(0.1f);
+  EXPECT_THROW(sgd.Step(), std::logic_error);
+  Adam adam;
+  EXPECT_THROW(adam.Step(), std::logic_error);
+  Adadelta adadelta;
+  EXPECT_THROW(adadelta.Step(), std::logic_error);
+}
+
+// A quadratic bowl: all optimizers must monotonically-ish reduce loss.
+template <typename Opt>
+double MinimizeQuadratic(Opt opt, int steps) {
+  Param p;
+  p.value = Tensor::FromVector(1, 2, {5.0f, -4.0f});
+  p.grad = Tensor(1, 2);
+  opt.Attach({&p});
+  double loss = 0;
+  for (int i = 0; i < steps; ++i) {
+    loss = 0;
+    for (int j = 0; j < 2; ++j) {
+      loss += p.value.data()[j] * p.value.data()[j];
+      p.grad.data()[j] = 2 * p.value.data()[j];
+    }
+    opt.Step();
+  }
+  return loss;
+}
+
+TEST(OptimizerTest, AllOptimizersReduceQuadratic) {
+  EXPECT_LT(MinimizeQuadratic(Sgd(0.1f), 100), 1e-6);
+  EXPECT_LT(MinimizeQuadratic(Adam(0.1f), 300), 1e-3);
+  EXPECT_LT(MinimizeQuadratic(Adadelta(1.0f), 3000), 1.0);
+}
+
+// --- Autoencoder & trainer -----------------------------------------------------
+
+TEST(AutoencoderTest, BuildsSymmetricStack) {
+  AutoencoderSpec spec;
+  spec.input_dim = 20;
+  spec.encoder_dims = {16, 8};
+  Sequential net = BuildAutoencoder(spec);
+  Rng rng(19);
+  net.InitParams(rng);
+  Tensor x(3, 20, 0.5f);
+  Tensor y = net.Forward(x, false);
+  EXPECT_EQ(y.rows(), 3u);
+  EXPECT_EQ(y.cols(), 20u);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_GE(y.data()[i], 0.0f);  // sigmoid output
+    EXPECT_LE(y.data()[i], 1.0f);
+  }
+}
+
+TEST(AutoencoderTest, InvalidSpecsThrow) {
+  AutoencoderSpec spec;
+  spec.input_dim = 0;
+  EXPECT_THROW(BuildAutoencoder(spec), std::invalid_argument);
+  spec.input_dim = 4;
+  spec.encoder_dims = {};
+  EXPECT_THROW(BuildAutoencoder(spec), std::invalid_argument);
+}
+
+TEST(AutoencoderTest, ScaledDimsFloorAtEight) {
+  const auto dims = ScaledEncoderDims(8);
+  EXPECT_EQ(dims, (std::vector<std::size_t>{64, 32, 16, 8}));
+  const auto tiny = ScaledEncoderDims(1000);
+  for (std::size_t d : tiny) EXPECT_EQ(d, 8u);
+  EXPECT_THROW(ScaledEncoderDims(0), std::invalid_argument);
+}
+
+// The fundamental autoencoder property the whole paper rests on:
+// reconstruction error is low for training-like data and high for
+// out-of-distribution data.
+TEST(TrainerTest, AnomalyScoresSeparate) {
+  Rng rng(20);
+  const std::size_t dim = 12;
+  // Normal data: two prototype patterns + small noise.
+  Tensor data(256, dim);
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    const bool pattern = r % 2 == 0;
+    for (std::size_t c = 0; c < dim; ++c) {
+      const float base = pattern ? (c < dim / 2 ? 0.8f : 0.2f)
+                                 : (c < dim / 2 ? 0.2f : 0.8f);
+      data(r, c) = base + 0.03f * static_cast<float>(rng.NextGaussian());
+    }
+  }
+  AutoencoderSpec spec;
+  spec.input_dim = dim;
+  spec.encoder_dims = {16, 4};
+  Sequential net = BuildAutoencoder(spec);
+  net.InitParams(rng);
+  Adadelta opt(1.0f);
+  TrainConfig cfg;
+  cfg.epochs = 60;
+  cfg.batch_size = 32;
+  const auto history = TrainReconstruction(net, opt, data, cfg);
+  EXPECT_LT(history.back().loss, history.front().loss);
+
+  // Normal-like sample vs inverted (anomalous) sample.
+  Tensor probe(2, dim);
+  for (std::size_t c = 0; c < dim; ++c) {
+    probe(0, c) = c < dim / 2 ? 0.8f : 0.2f;   // in-distribution
+    probe(1, c) = c % 2 ? 0.95f : 0.05f;        // out-of-distribution
+  }
+  const auto errors = ReconstructionErrors(net, probe);
+  EXPECT_LT(errors[0], errors[1]);
+}
+
+TEST(TrainerTest, DeterministicGivenSeed) {
+  auto run = [] {
+    Rng rng(21);
+    Tensor data = RandomTensor(64, 6, rng);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data.data()[i] = std::fabs(data.data()[i]) * 0.2f;
+    }
+    AutoencoderSpec spec;
+    spec.input_dim = 6;
+    spec.encoder_dims = {8, 4};
+    Sequential net = BuildAutoencoder(spec);
+    net.InitParams(rng);
+    Adadelta opt;
+    TrainConfig cfg;
+    cfg.epochs = 5;
+    cfg.seed = 7;
+    return TrainReconstruction(net, opt, data, cfg).back().loss;
+  };
+  EXPECT_FLOAT_EQ(run(), run());
+}
+
+TEST(TrainerTest, EarlyStoppingHalts) {
+  Rng rng(22);
+  Tensor data(32, 4, 0.5f);  // constant data: converges immediately
+  AutoencoderSpec spec;
+  spec.input_dim = 4;
+  spec.encoder_dims = {8, 4};
+  spec.batch_norm = false;
+  Sequential net = BuildAutoencoder(spec);
+  net.InitParams(rng);
+  Adam opt(0.01f);
+  TrainConfig cfg;
+  cfg.epochs = 500;
+  cfg.patience = 3;
+  cfg.min_delta = 1e-7f;
+  const auto history = TrainReconstruction(net, opt, data, cfg);
+  EXPECT_LT(history.size(), 500u);
+}
+
+TEST(TrainerTest, EmptyDatasetThrows) {
+  Sequential net;
+  Adam opt;
+  Tensor empty;
+  EXPECT_THROW(TrainReconstruction(net, opt, empty, {}), std::invalid_argument);
+}
+
+// --- Serialization --------------------------------------------------------------
+
+TEST(SerializeTest, RoundTripReproducesInference) {
+  Rng rng(23);
+  AutoencoderSpec spec;
+  spec.input_dim = 10;
+  spec.encoder_dims = {12, 6};
+  Sequential net = BuildAutoencoder(spec);
+  net.InitParams(rng);
+  // Push some data through in training mode so running stats move.
+  Tensor data = RandomTensor(32, 10, rng);
+  net.Forward(data, true);
+
+  std::stringstream ss;
+  SaveAutoencoder(spec, net, ss);
+  AutoencoderSpec loaded_spec;
+  Sequential loaded = LoadAutoencoder(ss, loaded_spec);
+  EXPECT_EQ(loaded_spec.input_dim, spec.input_dim);
+  EXPECT_EQ(loaded_spec.encoder_dims, spec.encoder_dims);
+
+  Tensor probe = RandomTensor(4, 10, rng);
+  Tensor y1 = net.Forward(probe, false);
+  Tensor y2 = loaded.Forward(probe, false);
+  ASSERT_TRUE(y1.SameShape(y2));
+  for (std::size_t i = 0; i < y1.size(); ++i) {
+    EXPECT_FLOAT_EQ(y1.data()[i], y2.data()[i]);
+  }
+}
+
+TEST(SerializeTest, BadMagicThrows) {
+  std::stringstream ss("garbage that is not a model");
+  AutoencoderSpec spec;
+  EXPECT_THROW(LoadAutoencoder(ss, spec), std::runtime_error);
+}
+
+TEST(SerializeTest, TruncatedStreamThrows) {
+  Rng rng(24);
+  AutoencoderSpec spec;
+  spec.input_dim = 6;
+  spec.encoder_dims = {8, 4};
+  Sequential net = BuildAutoencoder(spec);
+  net.InitParams(rng);
+  std::stringstream ss;
+  SaveAutoencoder(spec, net, ss);
+  const std::string full = ss.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  AutoencoderSpec out;
+  EXPECT_THROW(LoadAutoencoder(cut, out), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace acobe::nn

@@ -1,0 +1,309 @@
+// Property-based suites: invariants that must hold across parameter
+// sweeps and randomized inputs — the deviation pipeline against naive
+// reference implementations, critic ordering properties, metric
+// invariants, and group-mean robustness.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "behavior/compound_matrix.h"
+#include "behavior/deviation.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "core/critic.h"
+#include "eval/metrics.h"
+#include "features/measurement_cube.h"
+
+namespace acobe {
+namespace {
+
+const Date kStart(2010, 1, 4);
+
+// --- Deviation vs naive reference, swept over omega --------------------------
+
+class DeviationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeviationSweep, RollingMatchesNaiveForAllOmegas) {
+  const int omega = GetParam();
+  const int days = 90;
+  Rng rng(1000 + omega);
+  MeasurementCube cube(kStart, days, 1, 2);
+  const int u = cube.RegisterUser(1);
+  for (int d = 0; d < days; ++d) {
+    for (int t = 0; t < 2; ++t) {
+      cube.At(u, 0, d, t) = static_cast<float>(rng.NextPoisson(4.0));
+    }
+  }
+  DeviationConfig cfg;
+  cfg.omega = omega;
+  cfg.apply_weights = false;
+  const auto dev = DeviationSeries::Compute(cube, cfg);
+  for (int t = 0; t < 2; ++t) {
+    for (int d = cfg.FirstDeviationDay(); d < days; ++d) {
+      std::vector<double> h;
+      for (int i = d - omega + 1; i < d; ++i) h.push_back(cube.At(u, 0, i, t));
+      double sd = StdDev(h);
+      if (sd < cfg.epsilon) sd = cfg.epsilon;
+      const double expected =
+          ClampSymmetric((cube.At(u, 0, d, t) - Mean(h)) / sd, cfg.delta);
+      EXPECT_NEAR(dev.Sigma(0, 0, d, t), expected, 2e-3)
+          << "omega=" << omega << " d=" << d << " t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Omegas, DeviationSweep,
+                         ::testing::Values(2, 3, 5, 7, 14, 30, 60));
+
+// Sigma is always within [-Delta, Delta] and finite, whatever the data.
+class DeviationBounds : public ::testing::TestWithParam<double> {};
+
+TEST_P(DeviationBounds, SigmaAlwaysBounded) {
+  const double delta = GetParam();
+  Rng rng(77);
+  MeasurementCube cube(kStart, 60, 2, 1);
+  const int u = cube.RegisterUser(1);
+  for (int d = 0; d < 60; ++d) {
+    // Pathological mixture: zeros, huge spikes, negatives.
+    float v = 0.0f;
+    const int kind = rng.NextInt(0, 3);
+    if (kind == 1) v = static_cast<float>(rng.NextUniform(0, 1e6));
+    if (kind == 2) v = static_cast<float>(-rng.NextUniform(0, 100));
+    if (kind == 3) v = static_cast<float>(rng.NextGaussian());
+    cube.At(u, 0, d, 0) = v;
+    cube.At(u, 1, d, 0) = 3.0f;  // constant
+  }
+  DeviationConfig cfg;
+  cfg.omega = 10;
+  cfg.delta = delta;
+  const auto dev = DeviationSeries::Compute(cube, cfg);
+  for (int f = 0; f < 2; ++f) {
+    for (int d = cfg.FirstDeviationDay(); d < 60; ++d) {
+      const float s = dev.Sigma(0, f, d, 0);
+      EXPECT_TRUE(std::isfinite(s));
+      // Weighted sigma can only shrink (weights <= 1).
+      EXPECT_LE(std::fabs(s), delta + 1e-4);
+      const float w = dev.Weight(0, f, d, 0);
+      EXPECT_GT(w, 0.0f);
+      EXPECT_LE(w, 1.0f + 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Deltas, DeviationBounds,
+                         ::testing::Values(1.0, 3.0, 6.0, 10.0));
+
+// Compound matrices are always in [0,1], any configuration.
+class MatrixRange : public ::testing::TestWithParam<std::tuple<int, int, bool>> {
+};
+
+TEST_P(MatrixRange, FlattenedValuesInUnitInterval) {
+  const auto [omega, matrix_days, group] = GetParam();
+  Rng rng(31 + omega * 7 + matrix_days);
+  MeasurementCube cube(kStart, 80, 3, 2);
+  for (int u = 0; u < 4; ++u) {
+    cube.RegisterUser(10 + u);
+    for (int f = 0; f < 3; ++f) {
+      for (int d = 0; d < 80; ++d) {
+        for (int t = 0; t < 2; ++t) {
+          cube.At(u, f, d, t) = static_cast<float>(rng.NextPoisson(3.0));
+        }
+      }
+    }
+  }
+  DeviationConfig cfg;
+  cfg.omega = omega;
+  cfg.matrix_days = matrix_days;
+  cfg.include_group = group;
+  const auto dev = DeviationSeries::Compute(cube, cfg);
+  std::vector<DeviationSeries> groups;
+  std::vector<int> group_of_user;
+  if (group) {
+    const std::vector<int> members = {0, 1, 2, 3};
+    groups.push_back(DeviationSeries::ComputeFromSeries(
+        GroupMeanSeries(cube, members), 3, 80, 2, cfg));
+    group_of_user.assign(4, 0);
+  }
+  CompoundMatrixBuilder builder(&dev, std::move(groups),
+                                std::move(group_of_user));
+  const std::vector<int> features = {0, 1, 2};
+  for (int day = builder.FirstAnchorDay(); day < 80; day += 5) {
+    for (int u = 0; u < 4; ++u) {
+      const auto m = builder.BuildSample(u, features, day);
+      EXPECT_EQ(m.size(), builder.SampleSize(3));
+      for (float v : m) {
+        EXPECT_GE(v, 0.0f);
+        EXPECT_LE(v, 1.0f);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, MatrixRange,
+    ::testing::Values(std::make_tuple(7, 7, false),
+                      std::make_tuple(7, 7, true),
+                      std::make_tuple(14, 7, true),
+                      std::make_tuple(10, 3, false),
+                      std::make_tuple(21, 21, true)));
+
+// --- Critic properties -----------------------------------------------------------
+
+TEST(CriticProperties, PriorityIsPermutationEquivariant) {
+  // Relabeling users must relabel the list, not change its structure.
+  Rng rng(91);
+  const int users = 12, aspects = 3;
+  std::vector<std::vector<int>> ranks(users, std::vector<int>(aspects));
+  std::vector<int> perm(users);
+  std::iota(perm.begin(), perm.end(), 0);
+  for (int u = 0; u < users; ++u) {
+    for (int a = 0; a < aspects; ++a) ranks[u][a] = rng.NextInt(1, users);
+  }
+  rng.Shuffle(perm);
+  std::vector<std::vector<int>> permuted(users);
+  for (int u = 0; u < users; ++u) permuted[perm[u]] = ranks[u];
+
+  const auto base = RankFromRanks(ranks, 2);
+  const auto shuffled = RankFromRanks(permuted, 2);
+  // Same multiset of priorities.
+  std::vector<double> p1, p2;
+  for (const auto& e : base) p1.push_back(e.priority);
+  for (const auto& e : shuffled) p2.push_back(e.priority);
+  EXPECT_EQ(p1, p2);  // both sorted ascending by construction
+  // Each user keeps their priority under the relabeling.
+  std::vector<double> by_user1(users), by_user2(users);
+  for (const auto& e : base) by_user1[e.user_idx] = e.priority;
+  for (const auto& e : shuffled) by_user2[e.user_idx] = e.priority;
+  for (int u = 0; u < users; ++u) {
+    EXPECT_DOUBLE_EQ(by_user1[u], by_user2[perm[u]]);
+  }
+}
+
+TEST(CriticProperties, MonotoneInVotes) {
+  // A user's priority never improves as N grows (the N-th best rank is
+  // non-decreasing in N).
+  Rng rng(92);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<int> user_ranks = {rng.NextInt(1, 20), rng.NextInt(1, 20),
+                                   rng.NextInt(1, 20)};
+    const std::vector<std::vector<int>> ranks = {user_ranks};
+    double prev = 0;
+    for (int n = 1; n <= 3; ++n) {
+      const double p = RankFromRanks(ranks, n)[0].priority;
+      EXPECT_GE(p, prev);
+      prev = p;
+    }
+  }
+}
+
+TEST(CriticProperties, TopKMeanBetweenMeanAndMax) {
+  Rng rng(93);
+  ScoreGrid grid({"a"}, 1, 0, 30);
+  double sum = 0, mx = 0;
+  for (int d = 0; d < 30; ++d) {
+    const double v = rng.NextDouble();
+    grid.At(0, 0, d) = static_cast<float>(v);
+    sum += v;
+    mx = std::max(mx, v);
+  }
+  const double mean = sum / 30;
+  double prev = mx + 1e-9;
+  for (int k = 1; k <= 30; ++k) {
+    const double v = grid.TopKMean(0, 0, k);
+    EXPECT_LE(v, prev + 1e-6);  // non-increasing in k
+    EXPECT_GE(v, mean - 1e-6);
+    EXPECT_LE(v, mx + 1e-6);
+    prev = v;
+  }
+  EXPECT_NEAR(grid.TopKMean(0, 0, 1), mx, 1e-6);
+  EXPECT_NEAR(grid.TopKMean(0, 0, 30), mean, 1e-6);
+}
+
+// --- Metric invariants -------------------------------------------------------------
+
+TEST(MetricProperties, AucImprovesWhenTpMovesUp) {
+  // Swapping an adjacent (FP, TP) pair so the TP comes first can only
+  // increase AUC.
+  Rng rng(94);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<bool> flags;
+    for (int i = 0; i < 40; ++i) flags.push_back(rng.NextBernoulli(0.15));
+    if (std::none_of(flags.begin(), flags.end(), [](bool b) { return b; })) {
+      flags[17] = true;
+    }
+    for (std::size_t i = 0; i + 1 < flags.size(); ++i) {
+      if (!flags[i] && flags[i + 1]) {
+        std::vector<bool> better = flags;
+        better[i] = true;
+        better[i + 1] = false;
+        EXPECT_GE(eval::RocAuc(better), eval::RocAuc(flags));
+        EXPECT_GE(eval::AveragePrecision(better),
+                  eval::AveragePrecision(flags));
+      }
+    }
+  }
+}
+
+TEST(MetricProperties, ConfusionCountsAlwaysConsistent) {
+  Rng rng(95);
+  std::vector<bool> flags;
+  for (int i = 0; i < 60; ++i) flags.push_back(rng.NextBernoulli(0.2));
+  int total_pos = 0;
+  for (bool f : flags) total_pos += f;
+  for (std::size_t cutoff = 0; cutoff <= flags.size(); cutoff += 7) {
+    const auto c = eval::AtCutoff(flags, cutoff);
+    EXPECT_EQ(c.tp + c.fp, static_cast<int>(cutoff));
+    EXPECT_EQ(c.tp + c.fn, total_pos);
+    EXPECT_EQ(c.tp + c.fp + c.tn + c.fn, static_cast<int>(flags.size()));
+    EXPECT_GE(c.Precision(), 0.0);
+    EXPECT_LE(c.Precision(), 1.0);
+    EXPECT_GE(c.F1(), 0.0);
+    EXPECT_LE(c.F1(), 1.0);
+  }
+}
+
+// --- Trimmed group mean robustness -----------------------------------------------
+
+TEST(GroupMeanProperties, TrimmedMeanBoundedByExtremes) {
+  Rng rng(96);
+  MeasurementCube cube(kStart, 3, 1, 1);
+  std::vector<int> members;
+  for (int i = 0; i < 20; ++i) {
+    members.push_back(cube.RegisterUser(i));
+    for (int d = 0; d < 3; ++d) {
+      cube.At(members.back(), 0, d, 0) =
+          static_cast<float>(rng.NextUniform(0, 50));
+    }
+  }
+  for (double trim : {0.0, 0.05, 0.1, 0.2, 0.4}) {
+    const auto mean = TrimmedGroupMeanSeries(cube, members, trim);
+    for (int d = 0; d < 3; ++d) {
+      float lo = 1e9, hi = -1e9;
+      for (int m : members) {
+        lo = std::min(lo, cube.At(m, 0, d, 0));
+        hi = std::max(hi, cube.At(m, 0, d, 0));
+      }
+      EXPECT_GE(mean[d], lo);
+      EXPECT_LE(mean[d], hi);
+    }
+  }
+}
+
+TEST(GroupMeanProperties, SingleOutlierInfluenceVanishesWithTrim) {
+  MeasurementCube cube(kStart, 1, 1, 1);
+  std::vector<int> members;
+  for (int i = 0; i < 20; ++i) {
+    members.push_back(cube.RegisterUser(i));
+    cube.At(members.back(), 0, 0, 0) = 2.0f;
+  }
+  cube.At(members[7], 0, 0, 0) = 1e6f;
+  const auto plain = TrimmedGroupMeanSeries(cube, members, 0.0);
+  const auto trimmed = TrimmedGroupMeanSeries(cube, members, 0.1);
+  EXPECT_GT(plain[0], 1e4);
+  EXPECT_FLOAT_EQ(trimmed[0], 2.0f);
+}
+
+}  // namespace
+}  // namespace acobe

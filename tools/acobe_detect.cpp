@@ -1,0 +1,150 @@
+// acobe-detect: runs ACOBE over a directory of CERT-layout CSV logs
+// (as produced by acobe-gen or converted from the real CERT dataset)
+// and prints the ordered investigation list per department.
+//
+//   acobe-detect --in=DIR --train-end=YYYY-MM-DD [--test-end=YYYY-MM-DD]
+//                [--omega=N] [--epochs=N] [--votes=N] [--top=N]
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <string>
+
+#include "core/detector.h"
+#include "features/cert_features.h"
+#include "logs/log_io.h"
+
+using namespace acobe;
+
+namespace {
+
+void Usage() {
+  std::printf(
+      "acobe-detect --in=DIR --train-end=YYYY-MM-DD\n"
+      "             [--test-end=YYYY-MM-DD] [--omega=N] [--epochs=N]\n"
+      "             [--votes=N] [--top=N]\n");
+}
+
+bool ReadInto(const std::string& path, LogStore& store,
+              void (*reader)(std::istream&, LogStore&)) {
+  std::ifstream in(path);
+  if (!in) return false;
+  reader(in, store);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string in_dir;
+  std::string train_end_text, test_end_text;
+  int omega = 14, epochs = 25, votes = 2, top = 10;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--in=", 5) == 0) {
+      in_dir = arg + 5;
+    } else if (std::strncmp(arg, "--train-end=", 12) == 0) {
+      train_end_text = arg + 12;
+    } else if (std::strncmp(arg, "--test-end=", 11) == 0) {
+      test_end_text = arg + 11;
+    } else if (std::strncmp(arg, "--omega=", 8) == 0) {
+      omega = std::atoi(arg + 8);
+    } else if (std::strncmp(arg, "--epochs=", 9) == 0) {
+      epochs = std::atoi(arg + 9);
+    } else if (std::strncmp(arg, "--votes=", 8) == 0) {
+      votes = std::atoi(arg + 8);
+    } else if (std::strncmp(arg, "--top=", 6) == 0) {
+      top = std::atoi(arg + 6);
+    } else {
+      Usage();
+      return std::strcmp(arg, "--help") == 0 ? 0 : 2;
+    }
+  }
+  if (in_dir.empty() || train_end_text.empty()) {
+    Usage();
+    return 2;
+  }
+
+  LogStore store;
+  bool any = false;
+  any |= ReadInto(in_dir + "/device.csv", store, ReadDeviceCsv);
+  any |= ReadInto(in_dir + "/file.csv", store, ReadFileCsv);
+  any |= ReadInto(in_dir + "/http.csv", store, ReadHttpCsv);
+  any |= ReadInto(in_dir + "/logon.csv", store, ReadLogonCsv);
+  if (!ReadInto(in_dir + "/ldap.csv", store, ReadLdapCsv) || !any) {
+    std::fprintf(stderr, "no readable logs under %s\n", in_dir.c_str());
+    return 1;
+  }
+  store.SortChronologically();
+  std::fprintf(stderr, "loaded %zu events, %zu users\n", store.TotalEvents(),
+               store.users().size());
+
+  // Day range from the data itself.
+  Timestamp lo = std::numeric_limits<Timestamp>::max();
+  Timestamp hi = std::numeric_limits<Timestamp>::min();
+  auto scan = [&](auto const& events) {
+    for (const auto& e : events) {
+      lo = std::min(lo, e.ts);
+      hi = std::max(hi, e.ts);
+    }
+  };
+  scan(store.devices());
+  scan(store.file_events());
+  scan(store.http_events());
+  scan(store.logons());
+  if (lo > hi) {
+    std::fprintf(stderr, "no events\n");
+    return 1;
+  }
+  const Date start = DateOf(lo);
+  const Date last = DateOf(hi);
+  const int days = static_cast<int>(DaysBetween(start, last)) + 1;
+
+  CertAcobeExtractor extractor(start, days);
+  ReplayStore(store, extractor);
+  for (const LdapRecord& r : store.ldap()) {
+    extractor.cube().RegisterUser(r.user);
+  }
+
+  const int train_end = static_cast<int>(
+      DaysBetween(start, Date::FromString(train_end_text)));
+  const int test_end =
+      test_end_text.empty()
+          ? days
+          : static_cast<int>(
+                DaysBetween(start, Date::FromString(test_end_text))) + 1;
+  if (train_end <= 0 || train_end >= test_end) {
+    std::fprintf(stderr, "bad train/test split\n");
+    return 2;
+  }
+
+  DetectorSpec spec;
+  spec.deviation.omega = omega;
+  spec.deviation.matrix_days = omega;
+  spec.ensemble.encoder_dims = {64, 32, 16, 8};
+  spec.ensemble.train.epochs = epochs;
+  spec.ensemble.train_stride = 2;
+  spec.ensemble.optimizer = OptimizerKind::kAdam;
+  spec.ensemble.learning_rate = 1e-3f;
+  spec.critic_votes = votes;
+  const Detector detector(spec);
+
+  for (const std::string& department : store.Departments()) {
+    const auto members = store.UsersInDepartment(department);
+    if (members.size() < 3) continue;
+    std::printf("\n=== %s (%zu users) ===\n", department.c_str(),
+                members.size());
+    const DetectionOutput out =
+        detector.Run(extractor.cube(), extractor.catalog(), members, 0,
+                     train_end, train_end, test_end);
+    for (std::size_t i = 0;
+         i < out.list.size() && i < static_cast<std::size_t>(top); ++i) {
+      const UserId user = out.members[out.list[i].user_idx];
+      std::printf("%3zu. %-10s priority %.0f\n", i + 1,
+                  store.users().NameOf(user).c_str(), out.list[i].priority);
+    }
+  }
+  return 0;
+}

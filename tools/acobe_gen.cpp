@@ -1,0 +1,140 @@
+// acobe-gen: synthesizes a CERT-style dataset and writes it to a
+// directory in the CERT dataset's one-CSV-per-log-type layout
+// (device.csv, file.csv, http.csv, logon.csv, ldap.csv) plus a
+// ground-truth file listing the planted insiders.
+//
+//   acobe-gen --out=DIR [--users=N] [--departments=N] [--seed=S]
+//             [--start=YYYY-MM-DD] [--end=YYYY-MM-DD] [--rate=R]
+//             [--scenario1=DEPT:YYYY-MM-DD:DAYS]...
+//             [--scenario2=DEPT:YYYY-MM-DD:DAYS]...
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "logs/log_io.h"
+#include "simdata/cert_simulator.h"
+
+using namespace acobe;
+
+namespace {
+
+struct ScenarioArg {
+  sim::InsiderScenarioKind kind;
+  int department;
+  Date start;
+  int days;
+};
+
+bool ParseScenario(const char* text, sim::InsiderScenarioKind kind,
+                   std::vector<ScenarioArg>& out) {
+  int dept = 0, days = 0;
+  char date[16] = {};
+  if (std::sscanf(text, "%d:%10[0-9-]:%d", &dept, date, &days) != 3) {
+    return false;
+  }
+  out.push_back({kind, dept, Date::FromString(date), days});
+  return true;
+}
+
+void Usage() {
+  std::printf(
+      "acobe-gen --out=DIR [--users=N] [--departments=N] [--seed=S]\n"
+      "          [--start=YYYY-MM-DD] [--end=YYYY-MM-DD] [--rate=R]\n"
+      "          [--scenario1=DEPT:DATE:DAYS] [--scenario2=DEPT:DATE:DAYS]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_dir;
+  sim::CertSimConfig config;
+  config.org.departments = 2;
+  config.org.users_per_department = 20;
+  config.org.extra_users = 0;
+  config.profiles.rate_scale = 0.5;
+  std::vector<ScenarioArg> scenarios;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--out=", 6) == 0) {
+      out_dir = arg + 6;
+    } else if (std::strncmp(arg, "--users=", 8) == 0) {
+      config.org.users_per_department = std::atoi(arg + 8);
+    } else if (std::strncmp(arg, "--departments=", 14) == 0) {
+      config.org.departments = std::atoi(arg + 14);
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      config.seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strncmp(arg, "--start=", 8) == 0) {
+      config.start = Date::FromString(arg + 8);
+    } else if (std::strncmp(arg, "--end=", 6) == 0) {
+      config.end = Date::FromString(arg + 6);
+    } else if (std::strncmp(arg, "--rate=", 7) == 0) {
+      config.profiles.rate_scale = std::atof(arg + 7);
+    } else if (std::strncmp(arg, "--scenario1=", 12) == 0) {
+      if (!ParseScenario(arg + 12, sim::InsiderScenarioKind::kScenario1,
+                         scenarios)) {
+        Usage();
+        return 2;
+      }
+    } else if (std::strncmp(arg, "--scenario2=", 12) == 0) {
+      if (!ParseScenario(arg + 12, sim::InsiderScenarioKind::kScenario2,
+                         scenarios)) {
+        Usage();
+        return 2;
+      }
+    } else {
+      Usage();
+      return std::strcmp(arg, "--help") == 0 ? 0 : 2;
+    }
+  }
+  if (out_dir.empty()) {
+    Usage();
+    return 2;
+  }
+
+  LogStore store;
+  sim::CertSimulator simulator(config, store);
+  for (const ScenarioArg& s : scenarios) {
+    const auto& planted =
+        simulator.InjectScenario(s.kind, s.department, s.start, s.days);
+    std::fprintf(stderr, "planted scenario %d insider %s in department %d\n",
+                 static_cast<int>(s.kind), planted.user_name.c_str(),
+                 s.department);
+  }
+  simulator.Run(store);
+  store.SortChronologically();
+  std::fprintf(stderr, "simulated %zu events for %zu users\n",
+               store.TotalEvents(), store.users().size());
+
+  auto write = [&](const char* name, auto writer) {
+    const std::string path = out_dir + "/" + name;
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      std::exit(1);
+    }
+    writer(store, out);
+    std::fprintf(stderr, "wrote %s\n", path.c_str());
+  };
+  write("device.csv", WriteDeviceCsv);
+  write("file.csv", WriteFileCsv);
+  write("http.csv", WriteHttpCsv);
+  write("logon.csv", WriteLogonCsv);
+  write("ldap.csv", WriteLdapCsv);
+
+  // Ground truth for evaluation.
+  {
+    const std::string path = out_dir + "/truth.csv";
+    std::ofstream out(path);
+    out << "user,anomaly_start,anomaly_end\n";
+    for (const auto& scenario : simulator.scenarios()) {
+      out << scenario.user_name << ',' << scenario.anomaly_start.ToString()
+          << ',' << scenario.anomaly_end.ToString() << '\n';
+    }
+    std::fprintf(stderr, "wrote %s\n", path.c_str());
+  }
+  return 0;
+}
