@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_deviation_matrix.dir/fig4_deviation_matrix.cpp.o"
+  "CMakeFiles/fig4_deviation_matrix.dir/fig4_deviation_matrix.cpp.o.d"
+  "fig4_deviation_matrix"
+  "fig4_deviation_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_deviation_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5_score_trends.cpp" "bench/CMakeFiles/fig5_score_trends.dir/fig5_score_trends.cpp.o" "gcc" "bench/CMakeFiles/fig5_score_trends.dir/fig5_score_trends.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/acobe_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/acobe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/behavior/CMakeFiles/acobe_behavior.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/acobe_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/acobe_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/simdata/CMakeFiles/acobe_simdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/logs/CMakeFiles/acobe_logs.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/acobe_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/acobe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

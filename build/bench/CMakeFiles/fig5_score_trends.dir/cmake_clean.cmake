@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_score_trends.dir/fig5_score_trends.cpp.o"
+  "CMakeFiles/fig5_score_trends.dir/fig5_score_trends.cpp.o.d"
+  "fig5_score_trends"
+  "fig5_score_trends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_score_trends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_roc_pr.dir/fig6_roc_pr.cpp.o"
+  "CMakeFiles/fig6_roc_pr.dir/fig6_roc_pr.cpp.o.d"
+  "fig6_roc_pr"
+  "fig6_roc_pr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_roc_pr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_roc_pr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_tour.dir/dataset_tour.cpp.o"
+  "CMakeFiles/dataset_tour.dir/dataset_tour.cpp.o.d"
+  "dataset_tour"
+  "dataset_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

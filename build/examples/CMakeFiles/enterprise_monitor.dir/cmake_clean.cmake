@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enterprise_monitor.dir/enterprise_monitor.cpp.o"
+  "CMakeFiles/enterprise_monitor.dir/enterprise_monitor.cpp.o.d"
+  "enterprise_monitor"
+  "enterprise_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enterprise_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insider_hunt.dir/insider_hunt.cpp.o"
+  "CMakeFiles/insider_hunt.dir/insider_hunt.cpp.o.d"
+  "insider_hunt"
+  "insider_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insider_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for insider_hunt.
+# This may be replaced when dependencies are built.

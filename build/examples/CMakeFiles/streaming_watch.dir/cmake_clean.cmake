@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_watch.dir/streaming_watch.cpp.o"
+  "CMakeFiles/streaming_watch.dir/streaming_watch.cpp.o.d"
+  "streaming_watch"
+  "streaming_watch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_watch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

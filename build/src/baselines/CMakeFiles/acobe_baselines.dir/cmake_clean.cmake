@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acobe_baselines.dir/experiment.cpp.o"
+  "CMakeFiles/acobe_baselines.dir/experiment.cpp.o.d"
+  "CMakeFiles/acobe_baselines.dir/variants.cpp.o"
+  "CMakeFiles/acobe_baselines.dir/variants.cpp.o.d"
+  "libacobe_baselines.a"
+  "libacobe_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acobe_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/behavior/compound_matrix.cpp" "src/behavior/CMakeFiles/acobe_behavior.dir/compound_matrix.cpp.o" "gcc" "src/behavior/CMakeFiles/acobe_behavior.dir/compound_matrix.cpp.o.d"
+  "/root/repo/src/behavior/deviation.cpp" "src/behavior/CMakeFiles/acobe_behavior.dir/deviation.cpp.o" "gcc" "src/behavior/CMakeFiles/acobe_behavior.dir/deviation.cpp.o.d"
+  "/root/repo/src/behavior/normalized_day.cpp" "src/behavior/CMakeFiles/acobe_behavior.dir/normalized_day.cpp.o" "gcc" "src/behavior/CMakeFiles/acobe_behavior.dir/normalized_day.cpp.o.d"
+  "/root/repo/src/behavior/render.cpp" "src/behavior/CMakeFiles/acobe_behavior.dir/render.cpp.o" "gcc" "src/behavior/CMakeFiles/acobe_behavior.dir/render.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/features/CMakeFiles/acobe_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/acobe_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/logs/CMakeFiles/acobe_logs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

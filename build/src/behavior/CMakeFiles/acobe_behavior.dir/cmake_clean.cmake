@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acobe_behavior.dir/compound_matrix.cpp.o"
+  "CMakeFiles/acobe_behavior.dir/compound_matrix.cpp.o.d"
+  "CMakeFiles/acobe_behavior.dir/deviation.cpp.o"
+  "CMakeFiles/acobe_behavior.dir/deviation.cpp.o.d"
+  "CMakeFiles/acobe_behavior.dir/normalized_day.cpp.o"
+  "CMakeFiles/acobe_behavior.dir/normalized_day.cpp.o.d"
+  "CMakeFiles/acobe_behavior.dir/render.cpp.o"
+  "CMakeFiles/acobe_behavior.dir/render.cpp.o.d"
+  "libacobe_behavior.a"
+  "libacobe_behavior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acobe_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for acobe_behavior.
+# This may be replaced when dependencies are built.

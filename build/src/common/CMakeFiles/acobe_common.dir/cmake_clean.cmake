@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acobe_common.dir/csv.cpp.o"
+  "CMakeFiles/acobe_common.dir/csv.cpp.o.d"
+  "CMakeFiles/acobe_common.dir/date.cpp.o"
+  "CMakeFiles/acobe_common.dir/date.cpp.o.d"
+  "CMakeFiles/acobe_common.dir/rng.cpp.o"
+  "CMakeFiles/acobe_common.dir/rng.cpp.o.d"
+  "CMakeFiles/acobe_common.dir/timeframe.cpp.o"
+  "CMakeFiles/acobe_common.dir/timeframe.cpp.o.d"
+  "libacobe_common.a"
+  "libacobe_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acobe_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/critic.cpp" "src/core/CMakeFiles/acobe_core.dir/critic.cpp.o" "gcc" "src/core/CMakeFiles/acobe_core.dir/critic.cpp.o.d"
+  "/root/repo/src/core/detector.cpp" "src/core/CMakeFiles/acobe_core.dir/detector.cpp.o" "gcc" "src/core/CMakeFiles/acobe_core.dir/detector.cpp.o.d"
+  "/root/repo/src/core/ensemble.cpp" "src/core/CMakeFiles/acobe_core.dir/ensemble.cpp.o" "gcc" "src/core/CMakeFiles/acobe_core.dir/ensemble.cpp.o.d"
+  "/root/repo/src/core/ensemble_io.cpp" "src/core/CMakeFiles/acobe_core.dir/ensemble_io.cpp.o" "gcc" "src/core/CMakeFiles/acobe_core.dir/ensemble_io.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/core/CMakeFiles/acobe_core.dir/monitor.cpp.o" "gcc" "src/core/CMakeFiles/acobe_core.dir/monitor.cpp.o.d"
+  "/root/repo/src/core/score_grid.cpp" "src/core/CMakeFiles/acobe_core.dir/score_grid.cpp.o" "gcc" "src/core/CMakeFiles/acobe_core.dir/score_grid.cpp.o.d"
+  "/root/repo/src/core/waveform_critic.cpp" "src/core/CMakeFiles/acobe_core.dir/waveform_critic.cpp.o" "gcc" "src/core/CMakeFiles/acobe_core.dir/waveform_critic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/behavior/CMakeFiles/acobe_behavior.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/acobe_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/acobe_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/logs/CMakeFiles/acobe_logs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/acobe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acobe_core.dir/critic.cpp.o"
+  "CMakeFiles/acobe_core.dir/critic.cpp.o.d"
+  "CMakeFiles/acobe_core.dir/detector.cpp.o"
+  "CMakeFiles/acobe_core.dir/detector.cpp.o.d"
+  "CMakeFiles/acobe_core.dir/ensemble.cpp.o"
+  "CMakeFiles/acobe_core.dir/ensemble.cpp.o.d"
+  "CMakeFiles/acobe_core.dir/ensemble_io.cpp.o"
+  "CMakeFiles/acobe_core.dir/ensemble_io.cpp.o.d"
+  "CMakeFiles/acobe_core.dir/monitor.cpp.o"
+  "CMakeFiles/acobe_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/acobe_core.dir/score_grid.cpp.o"
+  "CMakeFiles/acobe_core.dir/score_grid.cpp.o.d"
+  "CMakeFiles/acobe_core.dir/waveform_critic.cpp.o"
+  "CMakeFiles/acobe_core.dir/waveform_critic.cpp.o.d"
+  "libacobe_core.a"
+  "libacobe_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acobe_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acobe_eval.dir/metrics.cpp.o"
+  "CMakeFiles/acobe_eval.dir/metrics.cpp.o.d"
+  "CMakeFiles/acobe_eval.dir/report.cpp.o"
+  "CMakeFiles/acobe_eval.dir/report.cpp.o.d"
+  "libacobe_eval.a"
+  "libacobe_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acobe_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/cert_features.cpp" "src/features/CMakeFiles/acobe_features.dir/cert_features.cpp.o" "gcc" "src/features/CMakeFiles/acobe_features.dir/cert_features.cpp.o.d"
+  "/root/repo/src/features/enterprise_features.cpp" "src/features/CMakeFiles/acobe_features.dir/enterprise_features.cpp.o" "gcc" "src/features/CMakeFiles/acobe_features.dir/enterprise_features.cpp.o.d"
+  "/root/repo/src/features/feature_catalog.cpp" "src/features/CMakeFiles/acobe_features.dir/feature_catalog.cpp.o" "gcc" "src/features/CMakeFiles/acobe_features.dir/feature_catalog.cpp.o.d"
+  "/root/repo/src/features/measurement_cube.cpp" "src/features/CMakeFiles/acobe_features.dir/measurement_cube.cpp.o" "gcc" "src/features/CMakeFiles/acobe_features.dir/measurement_cube.cpp.o.d"
+  "/root/repo/src/features/sequence_model.cpp" "src/features/CMakeFiles/acobe_features.dir/sequence_model.cpp.o" "gcc" "src/features/CMakeFiles/acobe_features.dir/sequence_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logs/CMakeFiles/acobe_logs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/acobe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

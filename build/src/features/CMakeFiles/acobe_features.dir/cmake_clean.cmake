@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acobe_features.dir/cert_features.cpp.o"
+  "CMakeFiles/acobe_features.dir/cert_features.cpp.o.d"
+  "CMakeFiles/acobe_features.dir/enterprise_features.cpp.o"
+  "CMakeFiles/acobe_features.dir/enterprise_features.cpp.o.d"
+  "CMakeFiles/acobe_features.dir/feature_catalog.cpp.o"
+  "CMakeFiles/acobe_features.dir/feature_catalog.cpp.o.d"
+  "CMakeFiles/acobe_features.dir/measurement_cube.cpp.o"
+  "CMakeFiles/acobe_features.dir/measurement_cube.cpp.o.d"
+  "CMakeFiles/acobe_features.dir/sequence_model.cpp.o"
+  "CMakeFiles/acobe_features.dir/sequence_model.cpp.o.d"
+  "libacobe_features.a"
+  "libacobe_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acobe_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libacobe_features.a"
+)

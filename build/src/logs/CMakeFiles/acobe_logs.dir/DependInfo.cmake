@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logs/entity_table.cpp" "src/logs/CMakeFiles/acobe_logs.dir/entity_table.cpp.o" "gcc" "src/logs/CMakeFiles/acobe_logs.dir/entity_table.cpp.o.d"
+  "/root/repo/src/logs/log_io.cpp" "src/logs/CMakeFiles/acobe_logs.dir/log_io.cpp.o" "gcc" "src/logs/CMakeFiles/acobe_logs.dir/log_io.cpp.o.d"
+  "/root/repo/src/logs/log_store.cpp" "src/logs/CMakeFiles/acobe_logs.dir/log_store.cpp.o" "gcc" "src/logs/CMakeFiles/acobe_logs.dir/log_store.cpp.o.d"
+  "/root/repo/src/logs/records.cpp" "src/logs/CMakeFiles/acobe_logs.dir/records.cpp.o" "gcc" "src/logs/CMakeFiles/acobe_logs.dir/records.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/acobe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

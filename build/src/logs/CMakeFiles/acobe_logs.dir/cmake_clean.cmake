@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acobe_logs.dir/entity_table.cpp.o"
+  "CMakeFiles/acobe_logs.dir/entity_table.cpp.o.d"
+  "CMakeFiles/acobe_logs.dir/log_io.cpp.o"
+  "CMakeFiles/acobe_logs.dir/log_io.cpp.o.d"
+  "CMakeFiles/acobe_logs.dir/log_store.cpp.o"
+  "CMakeFiles/acobe_logs.dir/log_store.cpp.o.d"
+  "CMakeFiles/acobe_logs.dir/records.cpp.o"
+  "CMakeFiles/acobe_logs.dir/records.cpp.o.d"
+  "libacobe_logs.a"
+  "libacobe_logs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acobe_logs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/acobe_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/acobe_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/autoencoder.cpp" "src/nn/CMakeFiles/acobe_nn.dir/autoencoder.cpp.o" "gcc" "src/nn/CMakeFiles/acobe_nn.dir/autoencoder.cpp.o.d"
+  "/root/repo/src/nn/batchnorm.cpp" "src/nn/CMakeFiles/acobe_nn.dir/batchnorm.cpp.o" "gcc" "src/nn/CMakeFiles/acobe_nn.dir/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/nn/CMakeFiles/acobe_nn.dir/dense.cpp.o" "gcc" "src/nn/CMakeFiles/acobe_nn.dir/dense.cpp.o.d"
+  "/root/repo/src/nn/gemm.cpp" "src/nn/CMakeFiles/acobe_nn.dir/gemm.cpp.o" "gcc" "src/nn/CMakeFiles/acobe_nn.dir/gemm.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/acobe_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/acobe_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/nn/CMakeFiles/acobe_nn.dir/sequential.cpp.o" "gcc" "src/nn/CMakeFiles/acobe_nn.dir/sequential.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/acobe_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/acobe_nn.dir/serialize.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/nn/CMakeFiles/acobe_nn.dir/trainer.cpp.o" "gcc" "src/nn/CMakeFiles/acobe_nn.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/acobe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acobe_nn.dir/activations.cpp.o"
+  "CMakeFiles/acobe_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/acobe_nn.dir/autoencoder.cpp.o"
+  "CMakeFiles/acobe_nn.dir/autoencoder.cpp.o.d"
+  "CMakeFiles/acobe_nn.dir/batchnorm.cpp.o"
+  "CMakeFiles/acobe_nn.dir/batchnorm.cpp.o.d"
+  "CMakeFiles/acobe_nn.dir/dense.cpp.o"
+  "CMakeFiles/acobe_nn.dir/dense.cpp.o.d"
+  "CMakeFiles/acobe_nn.dir/gemm.cpp.o"
+  "CMakeFiles/acobe_nn.dir/gemm.cpp.o.d"
+  "CMakeFiles/acobe_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/acobe_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/acobe_nn.dir/sequential.cpp.o"
+  "CMakeFiles/acobe_nn.dir/sequential.cpp.o.d"
+  "CMakeFiles/acobe_nn.dir/serialize.cpp.o"
+  "CMakeFiles/acobe_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/acobe_nn.dir/trainer.cpp.o"
+  "CMakeFiles/acobe_nn.dir/trainer.cpp.o.d"
+  "libacobe_nn.a"
+  "libacobe_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acobe_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simdata/activity.cpp" "src/simdata/CMakeFiles/acobe_simdata.dir/activity.cpp.o" "gcc" "src/simdata/CMakeFiles/acobe_simdata.dir/activity.cpp.o.d"
+  "/root/repo/src/simdata/calendar.cpp" "src/simdata/CMakeFiles/acobe_simdata.dir/calendar.cpp.o" "gcc" "src/simdata/CMakeFiles/acobe_simdata.dir/calendar.cpp.o.d"
+  "/root/repo/src/simdata/cert_simulator.cpp" "src/simdata/CMakeFiles/acobe_simdata.dir/cert_simulator.cpp.o" "gcc" "src/simdata/CMakeFiles/acobe_simdata.dir/cert_simulator.cpp.o.d"
+  "/root/repo/src/simdata/dga.cpp" "src/simdata/CMakeFiles/acobe_simdata.dir/dga.cpp.o" "gcc" "src/simdata/CMakeFiles/acobe_simdata.dir/dga.cpp.o.d"
+  "/root/repo/src/simdata/enterprise_simulator.cpp" "src/simdata/CMakeFiles/acobe_simdata.dir/enterprise_simulator.cpp.o" "gcc" "src/simdata/CMakeFiles/acobe_simdata.dir/enterprise_simulator.cpp.o.d"
+  "/root/repo/src/simdata/org_model.cpp" "src/simdata/CMakeFiles/acobe_simdata.dir/org_model.cpp.o" "gcc" "src/simdata/CMakeFiles/acobe_simdata.dir/org_model.cpp.o.d"
+  "/root/repo/src/simdata/scenarios.cpp" "src/simdata/CMakeFiles/acobe_simdata.dir/scenarios.cpp.o" "gcc" "src/simdata/CMakeFiles/acobe_simdata.dir/scenarios.cpp.o.d"
+  "/root/repo/src/simdata/user_profile.cpp" "src/simdata/CMakeFiles/acobe_simdata.dir/user_profile.cpp.o" "gcc" "src/simdata/CMakeFiles/acobe_simdata.dir/user_profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logs/CMakeFiles/acobe_logs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/acobe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acobe_simdata.dir/activity.cpp.o"
+  "CMakeFiles/acobe_simdata.dir/activity.cpp.o.d"
+  "CMakeFiles/acobe_simdata.dir/calendar.cpp.o"
+  "CMakeFiles/acobe_simdata.dir/calendar.cpp.o.d"
+  "CMakeFiles/acobe_simdata.dir/cert_simulator.cpp.o"
+  "CMakeFiles/acobe_simdata.dir/cert_simulator.cpp.o.d"
+  "CMakeFiles/acobe_simdata.dir/dga.cpp.o"
+  "CMakeFiles/acobe_simdata.dir/dga.cpp.o.d"
+  "CMakeFiles/acobe_simdata.dir/enterprise_simulator.cpp.o"
+  "CMakeFiles/acobe_simdata.dir/enterprise_simulator.cpp.o.d"
+  "CMakeFiles/acobe_simdata.dir/org_model.cpp.o"
+  "CMakeFiles/acobe_simdata.dir/org_model.cpp.o.d"
+  "CMakeFiles/acobe_simdata.dir/scenarios.cpp.o"
+  "CMakeFiles/acobe_simdata.dir/scenarios.cpp.o.d"
+  "CMakeFiles/acobe_simdata.dir/user_profile.cpp.o"
+  "CMakeFiles/acobe_simdata.dir/user_profile.cpp.o.d"
+  "libacobe_simdata.a"
+  "libacobe_simdata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acobe_simdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

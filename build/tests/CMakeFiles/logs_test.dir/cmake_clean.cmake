@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logs_test.dir/logs_test.cpp.o"
+  "CMakeFiles/logs_test.dir/logs_test.cpp.o.d"
+  "logs_test"
+  "logs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simdata_test.dir/simdata_test.cpp.o"
+  "CMakeFiles/simdata_test.dir/simdata_test.cpp.o.d"
+  "simdata_test"
+  "simdata_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simdata_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acobe_detect.dir/acobe_detect.cpp.o"
+  "CMakeFiles/acobe_detect.dir/acobe_detect.cpp.o.d"
+  "acobe_detect"
+  "acobe_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acobe_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

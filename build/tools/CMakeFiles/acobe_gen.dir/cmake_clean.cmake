@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acobe_gen.dir/acobe_gen.cpp.o"
+  "CMakeFiles/acobe_gen.dir/acobe_gen.cpp.o.d"
+  "acobe_gen"
+  "acobe_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acobe_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
