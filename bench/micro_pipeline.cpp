@@ -1,11 +1,17 @@
 // Micro-benchmarks of the data pipeline substrates: log synthesis
 // throughput, feature extraction, deviation computation, compound
-// matrix assembly and the critic.
+// matrix assembly, the critic, and the parallel ensemble runtime
+// (serial-vs-parallel train+score speedup).
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "behavior/compound_matrix.h"
+#include "behavior/normalized_day.h"
+#include "common/parallel.h"
 #include "core/critic.h"
+#include "core/ensemble.h"
 #include "features/cert_features.h"
 #include "simdata/cert_simulator.h"
 
@@ -103,6 +109,77 @@ void BM_CompoundMatrixBuild(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_CompoundMatrixBuild);
+
+std::vector<AspectGroup> MakeAspects(int n_aspects, int features_per_aspect) {
+  std::vector<AspectGroup> aspects;
+  for (int a = 0; a < n_aspects; ++a) {
+    AspectGroup g;
+    g.name = "aspect" + std::to_string(a);
+    for (int f = 0; f < features_per_aspect; ++f) {
+      g.feature_indices.push_back(a * features_per_aspect + f);
+    }
+    aspects.push_back(std::move(g));
+  }
+  return aspects;
+}
+
+EnsembleConfig SmallEnsembleConfig(int threads) {
+  EnsembleConfig cfg;
+  cfg.encoder_dims = {32, 16};
+  cfg.optimizer = OptimizerKind::kAdam;
+  cfg.learning_rate = 1e-3f;
+  cfg.train.epochs = 4;
+  cfg.train.batch_size = 32;
+  cfg.threads = threads;
+  return cfg;
+}
+
+double TrainScoreSeconds(const MeasurementCube& cube, int users,
+                         int threads) {
+  NormalizedDayBuilder builder(&cube, 0, 60);
+  const auto start = std::chrono::steady_clock::now();
+  AspectEnsemble ensemble(MakeAspects(4, 4), SmallEnsembleConfig(threads));
+  ensemble.Train(builder, users, 0, 60);
+  const ScoreGrid grid = ensemble.Score(builder, users, 60, 90);
+  benchmark::DoNotOptimize(grid.users());
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Multi-aspect train+score at a fixed thread count (real time, since
+/// the work happens on pool workers).
+void BM_EnsembleTrainScore(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const int users = 24;
+  const MeasurementCube cube = MakeCube(users, 90);
+  for (auto _ : state) {
+    TrainScoreSeconds(cube, users, threads);
+  }
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_EnsembleTrainScore)->Arg(1)->Arg(4)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// End-to-end serial-vs-parallel comparison in one benchmark so the
+/// speedup lands directly in BENCH output. Parallel uses the resolved
+/// default (ACOBE_THREADS env or hardware concurrency).
+void BM_EnsembleParallelSpeedup(benchmark::State& state) {
+  const int users = 24;
+  const MeasurementCube cube = MakeCube(users, 90);
+  const int parallel_threads = DefaultThreadCount();
+  double serial_s = 0.0, parallel_s = 0.0;
+  for (auto _ : state) {
+    serial_s += TrainScoreSeconds(cube, users, /*threads=*/1);
+    parallel_s += TrainScoreSeconds(cube, users, parallel_threads);
+  }
+  state.counters["serial_ms"] = 1e3 * serial_s / state.iterations();
+  state.counters["parallel_ms"] = 1e3 * parallel_s / state.iterations();
+  state.counters["threads"] = parallel_threads;
+  state.counters["speedup"] = parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
+}
+BENCHMARK(BM_EnsembleParallelSpeedup)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_Critic(benchmark::State& state) {
   const int users = state.range(0);

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/parallel.h"
 #include "common/stats.h"
 
 namespace acobe {
@@ -32,12 +33,14 @@ DeviationSeries DeviationSeries::Compute(const MeasurementCube& cube,
                             out.features_ * out.days_ * out.frames_;
   out.sigma_.assign(total, 0.0f);
   out.weight_.assign(total, 1.0f);
-  for (int u = 0; u < out.entities_; ++u) {
+  // Entities are independent and write disjoint sigma_/weight_ ranges,
+  // so partitioning users across workers is deterministic.
+  ParallelFor(0, out.entities_, config.threads, [&](int u) {
     for (int f = 0; f < out.features_; ++f) {
       // Series for one (user, feature): [day*frames + frame].
       out.ComputeEntityFeature(cube.Series(u, f), u, f);
     }
-  }
+  });
   return out;
 }
 

@@ -33,6 +33,10 @@ struct DeviationConfig {
   /// share of members per cell). Keeps one compromised member from
   /// leaking their own anomaly into everyone's group block.
   double group_trim = 0.1;
+  /// Worker threads for Compute (partitioned across entities; results
+  /// are identical for any count). 0 = ACOBE_THREADS env, falling back
+  /// to hardware concurrency (see common/parallel.h).
+  int threads = 0;
 
   int EffectiveMatrixDays() const {
     return matrix_days > 0 ? matrix_days : omega;

@@ -1,0 +1,143 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <utility>
+
+namespace acobe {
+
+int DefaultThreadCount() {
+  if (const char* env = std::getenv("ACOBE_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+int ResolveThreadCount(int configured) {
+  return configured > 0 ? configured : DefaultThreadCount();
+}
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = ResolveThreadCount(threads);
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> future = task.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::ParallelFor(int begin, int end,
+                             const std::function<void(int)>& fn) {
+  if (begin >= end) return;
+  const int span = end - begin;
+  const int n = std::min(size(), span);
+  if (n <= 1) {
+    for (int i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  auto next = std::make_shared<std::atomic<int>>(begin);
+  auto failed = std::make_shared<std::atomic<bool>>(false);
+  std::vector<std::future<void>> futures;
+  futures.reserve(n);
+  for (int t = 0; t < n; ++t) {
+    futures.push_back(Submit([next, failed, end, &fn] {
+      for (;;) {
+        const int i = next->fetch_add(1, std::memory_order_relaxed);
+        if (i >= end || failed->load(std::memory_order_relaxed)) return;
+        try {
+          fn(i);
+        } catch (...) {
+          failed->store(true, std::memory_order_relaxed);
+          throw;  // carried to the caller by the future
+        }
+      }
+    }));
+  }
+  std::exception_ptr error;
+  for (std::future<void>& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!error) error = std::current_exception();
+    }
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // exceptions land in the packaged_task's future
+  }
+}
+
+void ParallelFor(int begin, int end, int threads,
+                 const std::function<void(int)>& fn) {
+  if (begin >= end) return;
+  const int span = end - begin;
+  int n = ResolveThreadCount(threads);
+  if (n > span) n = span;
+  if (n <= 1) {
+    for (int i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<int> next(begin);
+  std::atomic<bool> failed(false);
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  auto worker = [&] {
+    for (;;) {
+      const int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= end || failed.load(std::memory_order_relaxed)) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> extra;
+  extra.reserve(n - 1);
+  for (int t = 1; t < n; ++t) extra.emplace_back(worker);
+  worker();  // the calling thread participates
+  for (std::thread& t : extra) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace acobe

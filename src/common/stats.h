@@ -19,7 +19,9 @@ inline double Mean(std::span<const double> xs) {
 
 /// Population standard deviation (the paper does not specify the ddof;
 /// population std matches NumPy's default used by the reference
-/// tooling). 0 for spans with fewer than one element.
+/// tooling). 0 for an empty span; a single-element span also yields 0
+/// (its deviation sum is exactly zero), so only the empty case needs a
+/// guard against dividing by zero.
 inline double StdDev(std::span<const double> xs) {
   if (xs.empty()) return 0.0;
   const double mu = Mean(xs);

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/parallel.h"
+
 namespace acobe {
 namespace {
 
@@ -44,8 +46,12 @@ DetectionOutput Detector::Run(const MeasurementCube& cube,
   std::unique_ptr<DeviationSeries> user_series;
   std::unique_ptr<SampleBuilder> base_builder;
   if (spec_.representation == Representation::kCompound) {
+    // One knob drives the whole run: an unset deviation thread count
+    // inherits the ensemble's.
+    DeviationConfig dev_config = spec_.deviation;
+    if (dev_config.threads == 0) dev_config.threads = spec_.ensemble.threads;
     user_series = std::make_unique<DeviationSeries>(
-        DeviationSeries::Compute(cube, spec_.deviation));
+        DeviationSeries::Compute(cube, dev_config));
     std::vector<DeviationSeries> groups;
     std::vector<int> group_of_user;
     if (spec_.deviation.include_group) {
@@ -87,24 +93,28 @@ DetectionOutput Detector::Run(const MeasurementCube& cube,
     // top-of-list ratio.
     const ScoreGrid train_grid =
         ensemble.Score(builder, n_members, train_begin, train_end);
+    const int threads = spec_.ensemble.threads;
     for (int a = 0; a < out.grid.aspects(); ++a) {
+      // Per-user means in parallel (disjoint writes), then a serial
+      // reduction in user order so the population mean — and with it
+      // every calibrated score — is bit-identical at any thread count.
       std::vector<double> user_mean(n_members, 0.0);
-      double population_mean = 0.0;
-      for (int u = 0; u < n_members; ++u) {
+      ParallelFor(0, n_members, threads, [&](int u) {
         for (int d = train_grid.day_begin(); d < train_grid.day_end(); ++d) {
           user_mean[u] += train_grid.At(a, u, d);
         }
         user_mean[u] /= train_grid.day_count();
-        population_mean += user_mean[u];
-      }
+      });
+      double population_mean = 0.0;
+      for (int u = 0; u < n_members; ++u) population_mean += user_mean[u];
       population_mean /= n_members;
-      for (int u = 0; u < n_members; ++u) {
+      ParallelFor(0, n_members, threads, [&](int u) {
         const float denom = static_cast<float>(
             user_mean[u] + 0.5 * population_mean + 1e-9);
         for (int d = out.grid.day_begin(); d < out.grid.day_end(); ++d) {
           out.grid.At(a, u, d) /= denom;
         }
-      }
+      });
     }
   }
   out.list = RankUsers(out.grid, spec_.critic_votes, spec_.score_top_k_days);

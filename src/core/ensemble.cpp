@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 
+#include "common/parallel.h"
 #include "nn/optimizer.h"
 
 namespace acobe {
@@ -72,45 +74,58 @@ void AspectEnsemble::Train(
         on_epoch) {
   models_.clear();
   specs_.clear();
-  for (std::size_t a = 0; a < aspects_.size(); ++a) {
-    const AspectGroup& aspect = aspects_[a];
-    nn::AutoencoderSpec spec;
-    spec.input_dim = builder.SampleSize(aspect.feature_indices.size());
-    spec.encoder_dims = config_.encoder_dims;
-    spec.batch_norm = config_.batch_norm;
-    spec.sigmoid_output = true;
-    nn::Sequential net = nn::BuildAutoencoder(spec);
-    Rng rng(config_.seed + a * 7919);
-    net.InitParams(rng);
+  models_.resize(aspects_.size());
+  specs_.resize(aspects_.size());
 
-    const nn::Tensor data =
-        AssembleBatchForDays(builder, aspect, n_users, day_begin, day_end,
-                             std::max(1, config_.train_stride));
-    std::unique_ptr<nn::Optimizer> optimizer_ptr;
-    switch (config_.optimizer) {
-      case OptimizerKind::kAdadelta:
-        optimizer_ptr = std::make_unique<nn::Adadelta>(config_.learning_rate);
-        break;
-      case OptimizerKind::kAdam:
-        optimizer_ptr = std::make_unique<nn::Adam>(config_.learning_rate);
-        break;
-      case OptimizerKind::kSgd:
-        optimizer_ptr =
-            std::make_unique<nn::Sgd>(config_.learning_rate, 0.9f);
-        break;
-    }
-    nn::Optimizer& optimizer = *optimizer_ptr;
-    nn::TrainConfig train = config_.train;
-    train.seed = config_.seed + a * 104729;
-    nn::TrainReconstruction(net, optimizer, data, train,
-                            on_epoch
-                                ? [&](const nn::EpochStats& s) {
-                                    on_epoch(aspect.name, s);
-                                  }
-                                : std::function<void(const nn::EpochStats&)>());
-    models_.push_back(std::move(net));
-    specs_.push_back(spec);
-  }
+  // Epoch callbacks arrive from worker threads; serialize them. Their
+  // interleaving across aspects depends on scheduling, but each model
+  // only consumes its own seed-derived RNG streams, so the trained
+  // parameters are bit-identical to a serial run.
+  std::mutex epoch_mutex;
+
+  ParallelFor(
+      0, static_cast<int>(aspects_.size()), config_.threads,
+      [&](int ai) {
+        const std::size_t a = static_cast<std::size_t>(ai);
+        const AspectGroup& aspect = aspects_[a];
+        nn::AutoencoderSpec spec;
+        spec.input_dim = builder.SampleSize(aspect.feature_indices.size());
+        spec.encoder_dims = config_.encoder_dims;
+        spec.batch_norm = config_.batch_norm;
+        spec.sigmoid_output = true;
+        nn::Sequential net = nn::BuildAutoencoder(spec);
+        Rng rng(config_.seed + a * 7919);
+        net.InitParams(rng);
+
+        const nn::Tensor data =
+            AssembleBatchForDays(builder, aspect, n_users, day_begin, day_end,
+                                 std::max(1, config_.train_stride));
+        std::unique_ptr<nn::Optimizer> optimizer_ptr;
+        switch (config_.optimizer) {
+          case OptimizerKind::kAdadelta:
+            optimizer_ptr =
+                std::make_unique<nn::Adadelta>(config_.learning_rate);
+            break;
+          case OptimizerKind::kAdam:
+            optimizer_ptr = std::make_unique<nn::Adam>(config_.learning_rate);
+            break;
+          case OptimizerKind::kSgd:
+            optimizer_ptr =
+                std::make_unique<nn::Sgd>(config_.learning_rate, 0.9f);
+            break;
+        }
+        nn::Optimizer& optimizer = *optimizer_ptr;
+        nn::TrainConfig train = config_.train;
+        train.seed = config_.seed + a * 104729;
+        nn::TrainReconstruction(
+            net, optimizer, data, train,
+            on_epoch ? [&](const nn::EpochStats& s) {
+              std::lock_guard<std::mutex> lock(epoch_mutex);
+              on_epoch(aspect.name, s);
+            } : std::function<void(const nn::EpochStats&)>());
+        models_[a] = std::move(net);
+        specs_[a] = spec;
+      });
   trained_ = true;
 }
 
@@ -127,26 +142,33 @@ ScoreGrid AspectEnsemble::Score(const SampleBuilder& builder, int n_users,
   for (const AspectGroup& a : aspects_) names.push_back(a.name);
   ScoreGrid grid(std::move(names), n_users, first, last);
 
-  for (std::size_t a = 0; a < aspects_.size(); ++a) {
+  // One work item per (aspect, user): each scores all of the user's days
+  // in one batch through the aspect's model via the const Infer path
+  // (models are shared read-only across workers; every item writes a
+  // disjoint set of grid cells).
+  const int n_aspects = static_cast<int>(aspects_.size());
+  const int n_days = last - first;
+  ParallelFor(0, n_aspects * n_users, config_.threads, [&](int item) {
+    const int a = item / n_users;
+    const int u = item % n_users;
     const AspectGroup& aspect = aspects_[a];
     const std::size_t dim = builder.SampleSize(aspect.feature_indices.size());
-    // Batch all days of one user at a time.
-    nn::Sequential& net = const_cast<nn::Sequential&>(models_[a]);
-    nn::Tensor batch(static_cast<std::size_t>(last - first), dim);
-    for (int u = 0; u < n_users; ++u) {
-      for (int d = first; d < last; ++d) {
-        const std::vector<float> sample =
-            builder.BuildSample(u, aspect.feature_indices, d);
-        std::copy(sample.begin(), sample.end(),
-                  batch.data() + static_cast<std::size_t>(d - first) * dim);
-      }
-      nn::Tensor pred = net.Forward(batch, /*training=*/false);
-      const std::vector<float> errors = nn::PerSampleMse(pred, batch);
-      for (int d = first; d < last; ++d) {
-        grid.At(static_cast<int>(a), u, d) = errors[d - first];
-      }
+    const nn::Sequential& net = models_[a];
+    thread_local nn::Tensor batch;
+    thread_local nn::Sequential::InferScratch scratch;
+    batch.Resize(static_cast<std::size_t>(n_days), dim);
+    for (int d = first; d < last; ++d) {
+      const std::vector<float> sample =
+          builder.BuildSample(u, aspect.feature_indices, d);
+      std::copy(sample.begin(), sample.end(),
+                batch.data() + static_cast<std::size_t>(d - first) * dim);
     }
-  }
+    const nn::Tensor& pred = net.Infer(batch, scratch);
+    const std::vector<float> errors = nn::PerSampleMse(pred, batch);
+    for (int d = first; d < last; ++d) {
+      grid.At(a, u, d) = errors[d - first];
+    }
+  });
   return grid;
 }
 

@@ -36,6 +36,12 @@ struct EnsembleConfig {
   /// training set (1 = all days).
   int train_stride = 1;
   std::uint64_t seed = 1234;
+  /// Worker threads for Train (across aspects) and Score (across
+  /// users). 0 = the ACOBE_THREADS environment variable, falling back
+  /// to hardware concurrency (see common/parallel.h). Results are
+  /// bit-identical for every thread count: per-aspect RNG streams are
+  /// seed-derived and scoring writes disjoint grid cells.
+  int threads = 0;
 };
 
 class AspectEnsemble {

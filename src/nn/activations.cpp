@@ -19,6 +19,14 @@ Tensor ReLU::Forward(const Tensor& x, bool /*training*/) {
   return y;
 }
 
+void ReLU::Infer(const Tensor& x, Tensor& y) const {
+  y.Resize(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const float v = x.data()[i];
+    y.data()[i] = v > 0.0f ? v : 0.0f;
+  }
+}
+
 Tensor ReLU::Backward(const Tensor& grad_output) {
   if (!grad_output.SameShape(mask_)) {
     throw std::invalid_argument("ReLU::Backward: bad grad shape");
@@ -35,6 +43,13 @@ Tensor Sigmoid::Forward(const Tensor& x, bool /*training*/) {
   }
   output_ = y;
   return y;
+}
+
+void Sigmoid::Infer(const Tensor& x, Tensor& y) const {
+  y.Resize(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y.data()[i] = 1.0f / (1.0f + std::exp(-x.data()[i]));
+  }
 }
 
 Tensor Sigmoid::Backward(const Tensor& grad_output) {
@@ -71,6 +86,11 @@ Tensor Dropout::Forward(const Tensor& x, bool training) {
     y.data()[i] *= mask_.data()[i];
   }
   return y;
+}
+
+void Dropout::Infer(const Tensor& x, Tensor& y) const {
+  // Inverted dropout needs no inference-time correction.
+  y = x;
 }
 
 Tensor Dropout::Backward(const Tensor& grad_output) {

@@ -10,6 +10,7 @@ class ReLU : public Layer {
  public:
   Tensor Forward(const Tensor& x, bool training) override;
   Tensor Backward(const Tensor& grad_output) override;
+  void Infer(const Tensor& x, Tensor& y) const override;
   std::string TypeName() const override { return "relu"; }
 
  private:
@@ -20,6 +21,7 @@ class Sigmoid : public Layer {
  public:
   Tensor Forward(const Tensor& x, bool training) override;
   Tensor Backward(const Tensor& grad_output) override;
+  void Infer(const Tensor& x, Tensor& y) const override;
   std::string TypeName() const override { return "sigmoid"; }
 
  private:
@@ -34,6 +36,7 @@ class Dropout : public Layer {
 
   Tensor Forward(const Tensor& x, bool training) override;
   Tensor Backward(const Tensor& grad_output) override;
+  void Infer(const Tensor& x, Tensor& y) const override;
   std::string TypeName() const override { return "dropout"; }
   float rate() const { return rate_; }
 

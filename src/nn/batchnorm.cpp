@@ -80,6 +80,26 @@ Tensor BatchNorm::Forward(const Tensor& x, bool training) {
   return y;
 }
 
+void BatchNorm::Infer(const Tensor& x, Tensor& y) const {
+  if (x.cols() != dim_) throw std::invalid_argument("BatchNorm: bad input dim");
+  const std::size_t n = x.rows();
+  // Same arithmetic (and order) as Forward's inference branch so the
+  // outputs are bit-identical, but without writing the backward caches.
+  std::vector<float> inv_std(dim_);
+  for (std::size_t c = 0; c < dim_; ++c) {
+    inv_std[c] = 1.0f / std::sqrt(running_var_.data()[c] + epsilon_);
+  }
+  y.Resize(n, dim_);
+  for (std::size_t r = 0; r < n; ++r) {
+    const float* row = x.data() + r * dim_;
+    float* out = y.data() + r * dim_;
+    for (std::size_t c = 0; c < dim_; ++c) {
+      const float hat = (row[c] - running_mean_.data()[c]) * inv_std[c];
+      out[c] = gamma_.value.data()[c] * hat + beta_.value.data()[c];
+    }
+  }
+}
+
 Tensor BatchNorm::Backward(const Tensor& grad_output) {
   if (!grad_output.SameShape(x_hat_)) {
     throw std::invalid_argument("BatchNorm::Backward: bad grad shape");

@@ -19,6 +19,7 @@ class BatchNorm : public Layer {
 
   Tensor Forward(const Tensor& x, bool training) override;
   Tensor Backward(const Tensor& grad_output) override;
+  void Infer(const Tensor& x, Tensor& y) const override;
   std::vector<Param*> Params() override { return {&gamma_, &beta_}; }
   void InitParams(Rng& rng) override;
   std::string TypeName() const override { return "batchnorm"; }

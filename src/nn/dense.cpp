@@ -45,6 +45,16 @@ Tensor Dense::Forward(const Tensor& x, bool /*training*/) {
   return y;
 }
 
+void Dense::Infer(const Tensor& x, Tensor& y) const {
+  if (x.cols() != in_dim_) throw std::invalid_argument("Dense: bad input dim");
+  Gemm(x, weight_.value, y);
+  for (std::size_t r = 0; r < y.rows(); ++r) {
+    float* row = y.data() + r * out_dim_;
+    const float* b = bias_.value.data();
+    for (std::size_t c = 0; c < out_dim_; ++c) row[c] += b[c];
+  }
+}
+
 Tensor Dense::Backward(const Tensor& grad_output) {
   if (grad_output.cols() != out_dim_ ||
       grad_output.rows() != cached_input_.rows()) {

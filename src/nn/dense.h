@@ -12,6 +12,7 @@ class Dense : public Layer {
 
   Tensor Forward(const Tensor& x, bool training) override;
   Tensor Backward(const Tensor& grad_output) override;
+  void Infer(const Tensor& x, Tensor& y) const override;
   std::vector<Param*> Params() override { return {&weight_, &bias_}; }
   void InitParams(Rng& rng) override;
   std::string TypeName() const override { return "dense"; }

@@ -1,13 +1,31 @@
 #include "nn/gemm.h"
 
+#include <cassert>
 #include <stdexcept>
 
 namespace acobe::nn {
+
+namespace {
+
+// Gemm and GemmTransA skip zero multiplicands and accumulate with `+=`
+// instead of writing every cell, so they depend on Tensor::Resize's
+// zero-fill contract (see tensor.h). Assert it in debug builds so a
+// future non-zeroing Resize cannot silently corrupt the accumulation.
+inline void AssertZeroFilled(const Tensor& c) {
+#ifndef NDEBUG
+  for (std::size_t i = 0; i < c.size(); ++i) assert(c.data()[i] == 0.0f);
+#else
+  (void)c;
+#endif
+}
+
+}  // namespace
 
 void Gemm(const Tensor& a, const Tensor& b, Tensor& c) {
   if (a.cols() != b.rows()) throw std::invalid_argument("Gemm: shape mismatch");
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
   c.Resize(m, n);
+  AssertZeroFilled(c);
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
@@ -29,6 +47,7 @@ void GemmTransA(const Tensor& a, const Tensor& b, Tensor& c) {
   }
   const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
   c.Resize(m, n);
+  AssertZeroFilled(c);
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();

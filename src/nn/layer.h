@@ -34,6 +34,14 @@ class Layer {
   /// parameter gradients. Must be called after Forward on the same batch.
   virtual Tensor Backward(const Tensor& grad_output) = 0;
 
+  /// Inference-only forward pass writing into caller-owned `y`. Unlike
+  /// Forward, this mutates no layer state (no activation caches, no
+  /// running-statistics updates), so it is safe to call concurrently on
+  /// a shared trained model — one output tensor per thread. Must produce
+  /// bit-identical values to Forward(x, /*training=*/false). BatchNorm
+  /// uses running statistics; Dropout is the identity.
+  virtual void Infer(const Tensor& x, Tensor& y) const = 0;
+
   /// Trainable parameters (empty for activations).
   virtual std::vector<Param*> Params() { return {}; }
 

@@ -12,6 +12,23 @@ Tensor Sequential::Forward(const Tensor& x, bool training) {
   return h;
 }
 
+const Tensor& Sequential::Infer(const Tensor& x,
+                                InferScratch& scratch) const {
+  if (layers_.empty()) {
+    scratch.buf[0] = x;
+    return scratch.buf[0];
+  }
+  const Tensor* in = &x;
+  int cur = 0;
+  for (const auto& l : layers_) {
+    Tensor& out = scratch.buf[cur];
+    l->Infer(*in, out);
+    in = &out;
+    cur ^= 1;
+  }
+  return *in;
+}
+
 Tensor Sequential::Backward(const Tensor& grad_output) {
   Tensor g = grad_output;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {

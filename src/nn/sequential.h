@@ -27,8 +27,28 @@ class Sequential {
     for (auto& l : layers_) l->InitParams(rng);
   }
 
+  /// Caller-owned activation workspace for Infer. Reusing one scratch
+  /// across calls (per thread) keeps inference allocation-free once the
+  /// buffers reach steady-state capacity.
+  struct InferScratch {
+    Tensor buf[2];
+  };
+
   /// Full forward pass over a batch.
   Tensor Forward(const Tensor& x, bool training);
+
+  /// Inference-only forward pass: const and thread-safe on a trained
+  /// model (activations live in `scratch`, not in the layers; batch-norm
+  /// uses running statistics, dropout is the identity). Bit-identical to
+  /// Forward(x, /*training=*/false). The returned reference points into
+  /// `scratch` and is valid until its next use.
+  const Tensor& Infer(const Tensor& x, InferScratch& scratch) const;
+
+  /// Convenience overload with a private workspace.
+  Tensor Infer(const Tensor& x) const {
+    InferScratch scratch;
+    return Infer(x, scratch);
+  }
 
   /// Full backward pass; call after Forward on the same batch.
   Tensor Backward(const Tensor& grad_output);

@@ -74,7 +74,10 @@ class Tensor {
     cols_ = cols;
   }
 
-  /// Resizes, discarding contents.
+  /// Resizes, discarding contents. Contract: the result is zero-filled.
+  /// Gemm/GemmTransA accumulate into a freshly Resized output and depend
+  /// on this (asserted in gemm.cpp) — a future non-zeroing Resize
+  /// optimization must give them an explicit zeroing step.
   void Resize(std::size_t rows, std::size_t cols) {
     rows_ = rows;
     cols_ = cols;

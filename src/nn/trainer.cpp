@@ -31,8 +31,10 @@ std::vector<EpochStats> TrainReconstruction(
   Tensor grad;
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     rng.Shuffle(order);
+    // Per-sample accumulation: each batch mean is weighted by its sample
+    // count, so a partial final batch no longer skews the epoch loss
+    // (and with it the early-stopping comparison) as if it were full.
     double epoch_loss = 0.0;
-    std::size_t batches = 0;
     for (std::size_t start = 0; start < n; start += batch) {
       const std::size_t count = std::min(batch, n - start);
       x.Resize(count, dim);
@@ -42,12 +44,11 @@ std::vector<EpochStats> TrainReconstruction(
       }
       net.ZeroGrad();
       Tensor pred = net.Forward(x, /*training=*/true);
-      epoch_loss += MseLoss(pred, x, grad);
+      epoch_loss += static_cast<double>(MseLoss(pred, x, grad)) * count;
       net.Backward(grad);
       optimizer.Step();
-      ++batches;
     }
-    EpochStats stats{epoch, static_cast<float>(epoch_loss / batches)};
+    EpochStats stats{epoch, static_cast<float>(epoch_loss / n)};
     history.push_back(stats);
     if (on_epoch) on_epoch(stats);
 
@@ -63,7 +64,8 @@ std::vector<EpochStats> TrainReconstruction(
   return history;
 }
 
-std::vector<float> ReconstructionErrors(Sequential& net, const Tensor& data,
+std::vector<float> ReconstructionErrors(const Sequential& net,
+                                        const Tensor& data,
                                         std::size_t batch_size) {
   const std::size_t n = data.rows();
   const std::size_t dim = data.cols();
@@ -71,12 +73,13 @@ std::vector<float> ReconstructionErrors(Sequential& net, const Tensor& data,
   std::vector<float> errors;
   errors.reserve(n);
   Tensor x;
+  Sequential::InferScratch scratch;
   for (std::size_t start = 0; start < n; start += batch) {
     const std::size_t count = std::min(batch, n - start);
     x.Resize(count, dim);
     std::copy(data.data() + start * dim, data.data() + (start + count) * dim,
               x.data());
-    Tensor pred = net.Forward(x, /*training=*/false);
+    const Tensor& pred = net.Infer(x, scratch);
     for (float e : PerSampleMse(pred, x)) errors.push_back(e);
   }
   return errors;

@@ -34,8 +34,10 @@ std::vector<EpochStats> TrainReconstruction(
     const std::function<void(const EpochStats&)>& on_epoch = nullptr);
 
 /// Per-sample reconstruction error of `data` under `net` (inference
-/// mode), evaluated in batches to bound memory.
-std::vector<float> ReconstructionErrors(Sequential& net, const Tensor& data,
+/// mode), evaluated in batches to bound memory. Const and thread-safe
+/// on a trained model.
+std::vector<float> ReconstructionErrors(const Sequential& net,
+                                        const Tensor& data,
                                         std::size_t batch_size = 256);
 
 }  // namespace acobe::nn

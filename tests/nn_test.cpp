@@ -569,6 +569,57 @@ TEST(TrainerTest, DeterministicGivenSeed) {
   EXPECT_FLOAT_EQ(run(), run());
 }
 
+TEST(TrainerTest, PartialFinalBatchLossIsPerSampleMean) {
+  // 5 samples with batch size 2 -> batches of 2, 2 and 1. With a zero
+  // learning rate the parameters never move, and without batch-norm the
+  // per-sample predictions are independent of batch composition, so the
+  // reported epoch loss must equal the whole-dataset MSE. The old
+  // per-batch average over-weighted the final single-sample batch.
+  Rng rng(33);
+  Tensor data = RandomTensor(5, 3, rng);
+  AutoencoderSpec spec;
+  spec.input_dim = 3;
+  spec.encoder_dims = {4};
+  spec.batch_norm = false;
+  Sequential net = BuildAutoencoder(spec);
+  net.InitParams(rng);
+  Sgd opt(0.0f);
+  TrainConfig cfg;
+  cfg.epochs = 1;
+  cfg.batch_size = 2;
+  const auto history = TrainReconstruction(net, opt, data, cfg);
+  ASSERT_EQ(history.size(), 1u);
+
+  Tensor pred = net.Forward(data, /*training=*/false);
+  Tensor grad;
+  const float expected = MseLoss(pred, data, grad);
+  EXPECT_NEAR(history[0].loss, expected, 1e-6f);
+}
+
+TEST(SequentialTest, InferMatchesInferenceForward) {
+  Rng rng(29);
+  AutoencoderSpec spec;
+  spec.input_dim = 10;
+  spec.encoder_dims = {12, 6};
+  Sequential net = BuildAutoencoder(spec);
+  net.InitParams(rng);
+  // Move batch-norm running statistics off their init values first.
+  Tensor data = RandomTensor(32, 10, rng);
+  net.Forward(data, true);
+
+  Tensor probe = RandomTensor(4, 10, rng);
+  Tensor y1 = net.Forward(probe, /*training=*/false);
+  const Sequential& const_net = net;
+  Sequential::InferScratch scratch;
+  const Tensor& y2 = const_net.Infer(probe, scratch);
+  ASSERT_TRUE(y1.SameShape(y2));
+  for (std::size_t i = 0; i < y1.size(); ++i) {
+    // Bit-identical, not merely close: Infer promises the exact
+    // arithmetic of the inference-mode Forward.
+    EXPECT_EQ(y1.data()[i], y2.data()[i]);
+  }
+}
+
 TEST(TrainerTest, EarlyStoppingHalts) {
   Rng rng(22);
   Tensor data(32, 4, 0.5f);  // constant data: converges immediately

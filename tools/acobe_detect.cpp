@@ -4,6 +4,11 @@
 //
 //   acobe-detect --in=DIR --train-end=YYYY-MM-DD [--test-end=YYYY-MM-DD]
 //                [--omega=N] [--epochs=N] [--votes=N] [--top=N]
+//                [--threads=N]
+//
+// --threads: worker threads for training/scoring/deviation (0 = the
+// ACOBE_THREADS environment variable, else hardware concurrency).
+// Results are identical for any thread count.
 
 #include <cstdio>
 #include <cstring>
@@ -23,7 +28,7 @@ void Usage() {
   std::printf(
       "acobe-detect --in=DIR --train-end=YYYY-MM-DD\n"
       "             [--test-end=YYYY-MM-DD] [--omega=N] [--epochs=N]\n"
-      "             [--votes=N] [--top=N]\n");
+      "             [--votes=N] [--top=N] [--threads=N]\n");
 }
 
 bool ReadInto(const std::string& path, LogStore& store,
@@ -39,7 +44,7 @@ bool ReadInto(const std::string& path, LogStore& store,
 int main(int argc, char** argv) {
   std::string in_dir;
   std::string train_end_text, test_end_text;
-  int omega = 14, epochs = 25, votes = 2, top = 10;
+  int omega = 14, epochs = 25, votes = 2, top = 10, threads = 0;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -57,6 +62,8 @@ int main(int argc, char** argv) {
       votes = std::atoi(arg + 8);
     } else if (std::strncmp(arg, "--top=", 6) == 0) {
       top = std::atoi(arg + 6);
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      threads = std::atoi(arg + 10);
     } else {
       Usage();
       return std::strcmp(arg, "--help") == 0 ? 0 : 2;
@@ -129,6 +136,7 @@ int main(int argc, char** argv) {
   spec.ensemble.optimizer = OptimizerKind::kAdam;
   spec.ensemble.learning_rate = 1e-3f;
   spec.critic_votes = votes;
+  spec.ensemble.threads = threads;  // deviation inherits via Detector::Run
   const Detector detector(spec);
 
   for (const std::string& department : store.Departments()) {
