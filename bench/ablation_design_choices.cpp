@@ -84,5 +84,6 @@ int main(int argc, char** argv) {
   std::printf("expected: the reference configuration is at or near the top;\n"
               "removing weights / trim / calibration or shrinking the window\n"
               "degrades the insider's position.\n");
+  args.FinishTelemetry();
   return 0;
 }

@@ -6,10 +6,12 @@
 
 #include <cstdio>
 #include <cstring>
+#include <iostream>
 #include <string>
 
 #include "baselines/experiment.h"
 #include "baselines/variants.h"
+#include "common/telemetry.h"
 
 namespace acobe::bench {
 
@@ -19,6 +21,8 @@ struct BenchArgs {
   int users_per_department = 25;
   double rate_scale = 0.5;
   std::uint64_t seed = 7;
+  std::string metrics_out;
+  std::string trace_out;
 
   static BenchArgs Parse(int argc, char** argv) {
     BenchArgs args;
@@ -31,15 +35,36 @@ struct BenchArgs {
         args.users_per_department = std::atoi(argv[i] + 8);
       } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
         args.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+      } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+        args.metrics_out = argv[i] + 14;
+      } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+        args.trace_out = argv[i] + 12;
       } else if (std::strcmp(argv[i], "--help") == 0) {
         std::printf(
-            "flags: --paper-scale  full 929-user/512-wide configuration\n"
-            "       --users=N      users per department (default 25)\n"
-            "       --seed=S       dataset seed (default 7)\n");
+            "flags: --paper-scale    full 929-user/512-wide configuration\n"
+            "       --users=N        users per department (default 25)\n"
+            "       --seed=S         dataset seed (default 7)\n"
+            "       --metrics-out=F  write telemetry metrics JSON to F\n"
+            "       --trace-out=F    write chrome://tracing JSON to F\n");
         std::exit(0);
       }
     }
+    telemetry::EnableMetrics(true);
+    telemetry::EnableTracing(!args.trace_out.empty());
     return args;
+  }
+
+  /// End-of-run telemetry flush: report on stderr, plus the same JSON
+  /// exports the tools emit (schema acobe.metrics.v1 / trace-event).
+  void FinishTelemetry() const {
+    telemetry::WriteReport(std::cerr);
+    if (!metrics_out.empty() &&
+        !telemetry::WriteMetricsJsonFile(metrics_out)) {
+      std::fprintf(stderr, "bench: cannot write %s\n", metrics_out.c_str());
+    }
+    if (!trace_out.empty() && !telemetry::WriteTraceJsonFile(trace_out)) {
+      std::fprintf(stderr, "bench: cannot write %s\n", trace_out.c_str());
+    }
   }
 
   baselines::ScaleProfile Scale() const {

@@ -108,5 +108,6 @@ int main(int argc, char** argv) {
   std::printf("upload-doc mean sigma inside labeled span: %+.3f, outside: "
               "%+.3f  (expect inside >> outside)\n",
               in_span / in_n, out_span / out_n);
+  args.FinishTelemetry();
   return 0;
 }

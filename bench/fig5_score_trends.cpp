@@ -167,5 +167,6 @@ int main(int argc, char** argv) {
       "many top-1 days); No-Group shows a higher mean error than ACOBE;\n"
       "1-Day and Baseline do not separate the victim; All-in-1 separates\n"
       "less than ACOBE's per-aspect ensemble.\n");
+  args.FinishTelemetry();
   return 0;
 }

@@ -119,5 +119,6 @@ int main(int argc, char** argv) {
               "Base-FF %.2f%%\n",
               100 * auc_by_name["ACOBE"], 100 * auc_by_name["No-Group"],
               100 * auc_by_name["Baseline"], 100 * auc_by_name["Base-FF"]);
+  args.FinishTelemetry();
   return 0;
 }

@@ -151,5 +151,6 @@ int main(int argc, char** argv) {
       "expected shape: Command/Config rise right after Feb 2 in both\n"
       "attacks; File rises for ransomware; HTTP rises later for the bot\n"
       "(C&C + DGA); the victim tops the daily list for ~2 weeks.\n");
+  args.FinishTelemetry();
   return 0;
 }

@@ -6,10 +6,15 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "behavior/compound_matrix.h"
 #include "behavior/normalized_day.h"
 #include "common/parallel.h"
+#include "common/telemetry.h"
 #include "core/critic.h"
 #include "core/ensemble.h"
 #include "features/cert_features.h"
@@ -181,6 +186,37 @@ void BM_EnsembleParallelSpeedup(benchmark::State& state) {
 BENCHMARK(BM_EnsembleParallelSpeedup)->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+/// The <2% overhead contract: the same train+score pipeline with the
+/// metrics registry off vs on (spans, counters, histograms all active).
+/// Reported as overhead_pct; trace buffering is measured separately by
+/// the tracing_pct counter since it additionally records events.
+void BM_TelemetryOverhead(benchmark::State& state) {
+  const int users = 24;
+  const MeasurementCube cube = MakeCube(users, 90);
+  const bool metrics_was = telemetry::MetricsEnabled();
+  const bool tracing_was = telemetry::TracingEnabled();
+  double off_s = 0.0, on_s = 0.0, trace_s = 0.0;
+  for (auto _ : state) {
+    telemetry::EnableMetrics(false);
+    telemetry::EnableTracing(false);
+    off_s += TrainScoreSeconds(cube, users, /*threads=*/2);
+    telemetry::EnableMetrics(true);
+    on_s += TrainScoreSeconds(cube, users, /*threads=*/2);
+    telemetry::EnableTracing(true);
+    trace_s += TrainScoreSeconds(cube, users, /*threads=*/2);
+  }
+  telemetry::EnableMetrics(metrics_was);
+  telemetry::EnableTracing(tracing_was);
+  state.counters["off_ms"] = 1e3 * off_s / state.iterations();
+  state.counters["on_ms"] = 1e3 * on_s / state.iterations();
+  state.counters["overhead_pct"] =
+      off_s > 0.0 ? 100.0 * (on_s - off_s) / off_s : 0.0;
+  state.counters["tracing_pct"] =
+      off_s > 0.0 ? 100.0 * (trace_s - off_s) / off_s : 0.0;
+}
+BENCHMARK(BM_TelemetryOverhead)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 void BM_Critic(benchmark::State& state) {
   const int users = state.range(0);
   ScoreGrid grid({"a", "b", "c"}, users, 0, 30);
@@ -202,4 +238,44 @@ BENCHMARK(BM_Critic)->Arg(100)->Arg(1000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): peel off --metrics-out/
+// --trace-out (google-benchmark rejects flags it does not know) and
+// flush the telemetry registry after the run so micro benches emit the
+// same JSON artifacts as the tools.
+int main(int argc, char** argv) {
+  std::string metrics_out, trace_out;
+  std::vector<char*> bench_argv;
+  bench_argv.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      metrics_out = argv[i] + 14;
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_out = argv[i] + 12;
+    } else {
+      bench_argv.push_back(argv[i]);
+    }
+  }
+  telemetry::EnableMetrics(true);
+  telemetry::EnableTracing(!trace_out.empty());
+
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  telemetry::WriteReport(std::cerr);
+  if (!metrics_out.empty() && !telemetry::WriteMetricsJsonFile(metrics_out)) {
+    std::fprintf(stderr, "micro_pipeline: cannot write %s\n",
+                 metrics_out.c_str());
+    return 1;
+  }
+  if (!trace_out.empty() && !telemetry::WriteTraceJsonFile(trace_out)) {
+    std::fprintf(stderr, "micro_pipeline: cannot write %s\n",
+                 trace_out.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -5,6 +5,8 @@
 
 #include "common/parallel.h"
 #include "common/stats.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
 
 namespace acobe {
 
@@ -23,6 +25,7 @@ std::size_t DeviationSeries::Offset(int entity, int feature, int day,
 
 DeviationSeries DeviationSeries::Compute(const MeasurementCube& cube,
                                          const DeviationConfig& config) {
+  ACOBE_SPAN("behavior.deviation_compute");
   DeviationSeries out;
   out.config_ = config;
   out.entities_ = cube.users();
@@ -41,12 +44,14 @@ DeviationSeries DeviationSeries::Compute(const MeasurementCube& cube,
       out.ComputeEntityFeature(cube.Series(u, f), u, f);
     }
   });
+  ACOBE_COUNT("behavior.deviation_cells", total);
   return out;
 }
 
 DeviationSeries DeviationSeries::ComputeFromSeries(
     std::span<const float> series, int features, int days, int frames,
     const DeviationConfig& config) {
+  ACOBE_SPAN("behavior.deviation_group");
   if (series.size() !=
       static_cast<std::size_t>(features) * days * frames) {
     throw std::invalid_argument("ComputeFromSeries: size mismatch");

@@ -5,7 +5,11 @@
 #include <cstdlib>
 #include <exception>
 #include <memory>
+#include <string>
 #include <utility>
+
+#include "common/telemetry.h"
+#include "common/trace.h"
 
 namespace acobe {
 
@@ -24,9 +28,15 @@ int ResolveThreadCount(int configured) {
 
 ThreadPool::ThreadPool(int threads) {
   const int n = ResolveThreadCount(threads);
+  ACOBE_GAUGE_MAX("pool.threads", n);
   workers_.reserve(n);
   for (int i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] {
+      if (telemetry::TracingEnabled()) {
+        telemetry::SetCurrentThreadName("pool-worker-" + std::to_string(i));
+      }
+      WorkerLoop();
+    });
   }
 }
 
@@ -45,6 +55,9 @@ std::future<void> ThreadPool::Submit(std::function<void()> fn) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
+    ACOBE_COUNT("pool.tasks_submitted", 1);
+    ACOBE_HISTOGRAM("pool.queue_depth", queue_.size());
+    ACOBE_GAUGE_MAX("pool.queue_depth_peak", queue_.size());
   }
   cv_.notify_one();
   return future;
@@ -98,7 +111,11 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    // Span "pool.task" is how utilization shows up: the fraction of a
+    // worker's trace row covered by pool.task events is its busy share.
+    telemetry::TraceSpan span("pool.task");
     task();  // exceptions land in the packaged_task's future
+    ACOBE_COUNT("pool.tasks_executed", 1);
   }
 }
 
@@ -108,6 +125,8 @@ void ParallelFor(int begin, int end, int threads,
   const int span = end - begin;
   int n = ResolveThreadCount(threads);
   if (n > span) n = span;
+  ACOBE_COUNT("parallel.for_calls", 1);
+  ACOBE_HISTOGRAM("parallel.for_iterations", span);
   if (n <= 1) {
     for (int i = begin; i < end; ++i) fn(i);
     return;
@@ -134,7 +153,15 @@ void ParallelFor(int begin, int end, int threads,
 
   std::vector<std::thread> extra;
   extra.reserve(n - 1);
-  for (int t = 1; t < n; ++t) extra.emplace_back(worker);
+  for (int t = 1; t < n; ++t) {
+    extra.emplace_back([&worker] {
+      if (telemetry::TracingEnabled()) {
+        telemetry::SetCurrentThreadName("parallel-worker");
+      }
+      telemetry::TraceSpan span("parallel.worker");
+      worker();
+    });
+  }
   worker();  // the calling thread participates
   for (std::thread& t : extra) t.join();
   if (error) std::rethrow_exception(error);

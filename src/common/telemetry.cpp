@@ -1,0 +1,402 @@
+#include "common/telemetry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <ostream>
+
+namespace acobe::telemetry {
+namespace {
+
+#ifndef ACOBE_TELEMETRY_DISABLED
+std::atomic<bool> g_metrics_enabled{false};
+std::atomic<bool> g_tracing_enabled{false};
+#endif
+
+struct TraceEvent {
+  std::string name;
+  int tid = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+};
+
+constexpr int kTraceStripes = 16;
+
+// The registry is a leaked singleton: metric objects must outlive every
+// thread-exit path and every static destructor that might still record
+// (function-local statics at call sites hold references into it).
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+  std::map<std::string, std::unique_ptr<Series>, std::less<>> series;
+
+  struct TraceStripe {
+    std::mutex mutex;
+    std::vector<TraceEvent> events;
+  };
+  TraceStripe trace[kTraceStripes];
+  std::mutex names_mutex;
+  std::map<int, std::string> thread_names;
+};
+
+Registry& R() {
+  static Registry* registry = new Registry;
+  return *registry;
+}
+
+template <typename T>
+T& GetOrCreate(std::map<std::string, std::unique_ptr<T>, std::less<>>& map,
+               std::string_view name) {
+  Registry& r = R();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name), std::make_unique<T>()).first;
+  }
+  return *it->second;
+}
+
+double NearestRank(const std::vector<double>& sorted, double percentile) {
+  if (sorted.empty()) return 0.0;
+  const double n = static_cast<double>(sorted.size());
+  const std::size_t rank = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(percentile / 100.0 * n)));
+  return sorted[std::min(rank, sorted.size()) - 1];
+}
+
+void JsonEscape(std::ostream& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+// JSON numbers must not be NaN/Inf; metrics never should be, but a
+// defensive clamp keeps the output parseable no matter what.
+void JsonNumber(std::ostream& out, double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  out << buf;
+}
+
+}  // namespace
+
+#ifndef ACOBE_TELEMETRY_DISABLED
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+bool TracingEnabled() {
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+void EnableMetrics(bool on) {
+  g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+void EnableTracing(bool on) {
+  g_tracing_enabled.store(on, std::memory_order_relaxed);
+}
+#else
+void EnableMetrics(bool) {}
+void EnableTracing(bool) {}
+#endif
+
+void Gauge::SetMax(double v) {
+  double cur = value_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Record(double v) {
+  Stripe& stripe = stripes_[CurrentThreadTid() % kStripes];
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  stripe.samples.push_back(v);
+}
+
+Histogram::Stats Histogram::Snapshot() const {
+  std::vector<double> all;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    all.insert(all.end(), stripe.samples.begin(), stripe.samples.end());
+  }
+  Stats s;
+  s.count = all.size();
+  if (all.empty()) return s;
+  std::sort(all.begin(), all.end());
+  for (double v : all) s.sum += v;
+  s.min = all.front();
+  s.max = all.back();
+  s.mean = s.sum / static_cast<double>(all.size());
+  s.p50 = NearestRank(all, 50.0);
+  s.p95 = NearestRank(all, 95.0);
+  s.p99 = NearestRank(all, 99.0);
+  return s;
+}
+
+void Histogram::Reset() {
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    stripe.samples.clear();
+  }
+}
+
+void Series::Append(double v) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  values_.push_back(v);
+}
+
+std::vector<double> Series::Values() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return values_;
+}
+
+void Series::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  values_.clear();
+}
+
+Counter& GetCounter(std::string_view name) {
+  return GetOrCreate(R().counters, name);
+}
+Gauge& GetGauge(std::string_view name) { return GetOrCreate(R().gauges, name); }
+Histogram& GetHistogram(std::string_view name) {
+  return GetOrCreate(R().histograms, name);
+}
+Series& GetSeries(std::string_view name) {
+  return GetOrCreate(R().series, name);
+}
+
+void ResetTelemetry() {
+  Registry& r = R();
+  {
+    std::lock_guard<std::mutex> lock(r.mutex);
+    for (auto& [name, c] : r.counters) c->Reset();
+    for (auto& [name, g] : r.gauges) g->Reset();
+    for (auto& [name, h] : r.histograms) h->Reset();
+    for (auto& [name, s] : r.series) s->Reset();
+  }
+  for (auto& stripe : r.trace) {
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    stripe.events.clear();
+  }
+  std::lock_guard<std::mutex> lock(r.names_mutex);
+  r.thread_names.clear();
+}
+
+std::uint64_t NowNs() {
+  static const std::chrono::steady_clock::time_point anchor =
+      std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - anchor)
+          .count());
+}
+
+int CurrentThreadTid() {
+  static std::atomic<int> next{1};
+  thread_local const int tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+void SetCurrentThreadName(const std::string& name) {
+  Registry& r = R();
+  std::lock_guard<std::mutex> lock(r.names_mutex);
+  r.thread_names[CurrentThreadTid()] = name;
+}
+
+void RecordTraceEvent(std::string name, std::uint64_t start_ns,
+                      std::uint64_t duration_ns) {
+  const int tid = CurrentThreadTid();
+  auto& stripe = R().trace[tid % kTraceStripes];
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  stripe.events.push_back(
+      TraceEvent{std::move(name), tid, start_ns, duration_ns});
+}
+
+void WriteReport(std::ostream& out) {
+  Registry& r = R();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  out << "--- telemetry report ------------------------------------------\n";
+  if (!r.counters.empty()) {
+    out << "counters:\n";
+    for (const auto& [name, c] : r.counters) {
+      char line[160];
+      std::snprintf(line, sizeof line, "  %-40s %20llu\n", name.c_str(),
+                    static_cast<unsigned long long>(c->value()));
+      out << line;
+    }
+  }
+  if (!r.gauges.empty()) {
+    out << "gauges:\n";
+    for (const auto& [name, g] : r.gauges) {
+      char line[160];
+      std::snprintf(line, sizeof line, "  %-40s %20.4g\n", name.c_str(),
+                    g->value());
+      out << line;
+    }
+  }
+  if (!r.histograms.empty()) {
+    char head[200];
+    std::snprintf(head, sizeof head, "%-42s %8s %12s %10s %10s %10s %10s\n",
+                  "histograms:", "count", "sum", "mean", "p50", "p95", "p99");
+    out << head;
+    for (const auto& [name, h] : r.histograms) {
+      const Histogram::Stats s = h->Snapshot();
+      char line[240];
+      std::snprintf(line, sizeof line,
+                    "  %-40s %8llu %12.3f %10.4f %10.4f %10.4f %10.4f\n",
+                    name.c_str(), static_cast<unsigned long long>(s.count),
+                    s.sum, s.mean, s.p50, s.p95, s.p99);
+      out << line;
+    }
+  }
+  if (!r.series.empty()) {
+    out << "series:\n";
+    for (const auto& [name, s] : r.series) {
+      const std::vector<double> v = s->Values();
+      char line[240];
+      if (v.empty()) {
+        std::snprintf(line, sizeof line, "  %-40s (empty)\n", name.c_str());
+      } else {
+        std::snprintf(line, sizeof line,
+                      "  %-40s n=%-5zu first=%-10.5g last=%-10.5g\n",
+                      name.c_str(), v.size(), v.front(), v.back());
+      }
+      out << line;
+    }
+  }
+  out << "---------------------------------------------------------------\n";
+}
+
+void WriteMetricsJson(std::ostream& out) {
+  Registry& r = R();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  out << "{\n  \"schema\": \"acobe.metrics.v1\",\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : r.counters) {
+    out << (first ? "\n" : ",\n") << "    \"";
+    JsonEscape(out, name);
+    out << "\": " << c->value();
+    first = false;
+  }
+  out << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : r.gauges) {
+    out << (first ? "\n" : ",\n") << "    \"";
+    JsonEscape(out, name);
+    out << "\": ";
+    JsonNumber(out, g->value());
+    first = false;
+  }
+  out << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : r.histograms) {
+    const Histogram::Stats s = h->Snapshot();
+    out << (first ? "\n" : ",\n") << "    \"";
+    JsonEscape(out, name);
+    out << "\": {\"count\": " << s.count << ", \"sum\": ";
+    JsonNumber(out, s.sum);
+    out << ", \"min\": ";
+    JsonNumber(out, s.min);
+    out << ", \"max\": ";
+    JsonNumber(out, s.max);
+    out << ", \"mean\": ";
+    JsonNumber(out, s.mean);
+    out << ", \"p50\": ";
+    JsonNumber(out, s.p50);
+    out << ", \"p95\": ";
+    JsonNumber(out, s.p95);
+    out << ", \"p99\": ";
+    JsonNumber(out, s.p99);
+    out << "}";
+    first = false;
+  }
+  out << "\n  },\n  \"series\": {";
+  first = true;
+  for (const auto& [name, s] : r.series) {
+    out << (first ? "\n" : ",\n") << "    \"";
+    JsonEscape(out, name);
+    out << "\": [";
+    const std::vector<double> values = s->Values();
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i) out << ", ";
+      JsonNumber(out, values[i]);
+    }
+    out << "]";
+    first = false;
+  }
+  out << "\n  }\n}\n";
+}
+
+void WriteTraceJson(std::ostream& out) {
+  Registry& r = R();
+  std::vector<TraceEvent> events;
+  for (auto& stripe : r.trace) {
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    events.insert(events.end(), stripe.events.begin(), stripe.events.end());
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_ns < b.start_ns;
+            });
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  {
+    std::lock_guard<std::mutex> lock(r.names_mutex);
+    for (const auto& [tid, name] : r.thread_names) {
+      out << (first ? "\n" : ",\n")
+          << "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+             "\"tid\": "
+          << tid << ", \"args\": {\"name\": \"";
+      JsonEscape(out, name);
+      out << "\"}}";
+      first = false;
+    }
+  }
+  for (const TraceEvent& e : events) {
+    out << (first ? "\n" : ",\n") << "  {\"name\": \"";
+    JsonEscape(out, e.name);
+    out << "\", \"cat\": \"acobe\", \"ph\": \"X\", \"pid\": 1, \"tid\": "
+        << e.tid << ", \"ts\": ";
+    JsonNumber(out, static_cast<double>(e.start_ns) / 1e3);
+    out << ", \"dur\": ";
+    JsonNumber(out, static_cast<double>(e.duration_ns) / 1e3);
+    out << "}";
+    first = false;
+  }
+  out << "\n]}\n";
+}
+
+bool WriteMetricsJsonFile(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteMetricsJson(out);
+  return static_cast<bool>(out);
+}
+
+bool WriteTraceJsonFile(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteTraceJson(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace acobe::telemetry

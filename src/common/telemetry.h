@@ -1,0 +1,210 @@
+#pragma once
+
+// Process-wide observability for the detection pipeline.
+//
+// A metrics registry (counters, gauges, histograms with nearest-rank
+// p50/p95/p99, append-only series) plus buffered trace events, exported
+// three ways:
+//   - WriteReport()       human-readable end-of-run summary,
+//   - WriteMetricsJson()  machine-readable metrics (BENCH_*.json input),
+//   - WriteTraceJson()    chrome://tracing / Perfetto "traceEvents".
+//
+// Concurrency contract: every recording entry point is safe from any
+// thread, including inside ParallelFor workers. Counters and gauges are
+// single relaxed atomics; histogram samples and trace events go to
+// lock-striped buffers (stripe = thread id modulo stripe count, so
+// concurrent recorders almost never share a lock) and are merged only
+// at flush/snapshot time. Recording never touches pipeline state, so
+// results are bit-identical with telemetry on or off (pinned by
+// tests/telemetry_test.cpp).
+//
+// Cost contract: everything is gated on two process-wide flags, both
+// default-off. Disabled-at-runtime cost is one relaxed atomic load per
+// instrumentation point. Compiling with -DACOBE_TELEMETRY=OFF (the
+// ACOBE_TELEMETRY_DISABLED define) turns the flags into constexpr
+// false, so every ACOBE_* macro and TraceSpan folds to nothing.
+//
+// Registered metric objects are never destroyed (the registry leaks by
+// design); references returned by GetCounter()/GetGauge()/... stay
+// valid for the process lifetime, which lets call sites cache them in
+// function-local statics. ResetTelemetry() zeroes values in place.
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace acobe::telemetry {
+
+#ifdef ACOBE_TELEMETRY_DISABLED
+constexpr bool MetricsEnabled() { return false; }
+constexpr bool TracingEnabled() { return false; }
+#else
+/// True after EnableMetrics(true): counters/gauges/histograms/series
+/// record, and spans feed the "span.<name>" duration histograms.
+bool MetricsEnabled();
+/// True after EnableTracing(true): spans additionally emit trace events
+/// (one per span instance, attributed to the recording thread).
+bool TracingEnabled();
+#endif
+
+/// Both are no-ops in ACOBE_TELEMETRY_DISABLED builds.
+void EnableMetrics(bool on);
+void EnableTracing(bool on);
+
+/// Monotonically increasing event count (relaxed atomic).
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins scalar with an atomic running-max variant.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  /// Raises the gauge to `v` if `v` is larger (CAS loop).
+  void SetMax(double v);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Sample distribution; full samples are kept (runs are bounded) and
+/// order statistics are computed at snapshot time via nearest-rank.
+class Histogram {
+ public:
+  struct Stats {
+    std::uint64_t count = 0;
+    double sum = 0.0, min = 0.0, max = 0.0, mean = 0.0;
+    double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+  };
+
+  void Record(double v);
+  /// Merges every stripe's buffer (a copy; recording continues).
+  Stats Snapshot() const;
+  void Reset();
+
+ private:
+  static constexpr int kStripes = 16;
+  struct Stripe {
+    mutable std::mutex mutex;
+    std::vector<double> samples;
+  };
+  Stripe stripes_[kStripes];
+};
+
+/// Append-only value sequence (e.g. per-epoch training loss); appends
+/// from different threads target different Series objects in practice,
+/// but a mutex keeps any interleaving safe.
+class Series {
+ public:
+  void Append(double v);
+  std::vector<double> Values() const;
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> values_;
+};
+
+/// Lazily creates (and forever retains) the named metric.
+Counter& GetCounter(std::string_view name);
+Gauge& GetGauge(std::string_view name);
+Histogram& GetHistogram(std::string_view name);
+Series& GetSeries(std::string_view name);
+
+/// Zeroes every registered metric in place and drops buffered trace
+/// events and thread names. References previously returned by the
+/// getters remain valid.
+void ResetTelemetry();
+
+/// Human-readable end-of-run report (sections: counters, gauges,
+/// histograms incl. span timings, series).
+void WriteReport(std::ostream& out);
+
+/// {"schema":"acobe.metrics.v1","counters":{...},"gauges":{...},
+///  "histograms":{name:{count,sum,min,max,mean,p50,p95,p99}},
+///  "series":{name:[...]}}
+void WriteMetricsJson(std::ostream& out);
+
+/// Chrome trace-event JSON: {"traceEvents":[...],"displayTimeUnit":"ms"}
+/// with complete ("ph":"X") events plus thread-name metadata records.
+void WriteTraceJson(std::ostream& out);
+
+/// File variants; return false (and leave no partial guarantee) when
+/// the file cannot be opened.
+bool WriteMetricsJsonFile(const std::string& path);
+bool WriteTraceJsonFile(const std::string& path);
+
+// --- Plumbing shared with trace.h (stable public API, rarely called
+// --- directly by instrumentation sites).
+
+/// Nanoseconds since the process's telemetry clock anchor (steady).
+std::uint64_t NowNs();
+/// Small dense id for the calling thread (1 = first thread observed).
+int CurrentThreadTid();
+/// Labels the calling thread in trace output ("pool-worker-3", ...).
+void SetCurrentThreadName(const std::string& name);
+/// Buffers one complete trace event for the calling thread.
+void RecordTraceEvent(std::string name, std::uint64_t start_ns,
+                      std::uint64_t duration_ns);
+
+}  // namespace acobe::telemetry
+
+// Statement macros for instrumentation sites with literal metric names.
+// They cache the registry lookup in a function-local static, so the
+// steady-state enabled cost is one relaxed load + one relaxed RMW (or a
+// striped-lock append for histograms). All fold to ((void)0) in
+// ACOBE_TELEMETRY_DISABLED builds. Dynamic names (per-aspect series)
+// call GetSeries()/GetHistogram() directly under MetricsEnabled().
+#ifdef ACOBE_TELEMETRY_DISABLED
+#define ACOBE_COUNT(name, n) ((void)0)
+#define ACOBE_GAUGE_SET(name, v) ((void)0)
+#define ACOBE_GAUGE_MAX(name, v) ((void)0)
+#define ACOBE_HISTOGRAM(name, v) ((void)0)
+#else
+#define ACOBE_COUNT(name, n)                                      \
+  do {                                                            \
+    if (acobe::telemetry::MetricsEnabled()) {                     \
+      static acobe::telemetry::Counter& acobe_tm_metric =         \
+          acobe::telemetry::GetCounter(name);                     \
+      acobe_tm_metric.Add(static_cast<std::uint64_t>(n));         \
+    }                                                             \
+  } while (0)
+#define ACOBE_GAUGE_SET(name, v)                                  \
+  do {                                                            \
+    if (acobe::telemetry::MetricsEnabled()) {                     \
+      static acobe::telemetry::Gauge& acobe_tm_metric =           \
+          acobe::telemetry::GetGauge(name);                       \
+      acobe_tm_metric.Set(static_cast<double>(v));                \
+    }                                                             \
+  } while (0)
+#define ACOBE_GAUGE_MAX(name, v)                                  \
+  do {                                                            \
+    if (acobe::telemetry::MetricsEnabled()) {                     \
+      static acobe::telemetry::Gauge& acobe_tm_metric =           \
+          acobe::telemetry::GetGauge(name);                       \
+      acobe_tm_metric.SetMax(static_cast<double>(v));             \
+    }                                                             \
+  } while (0)
+#define ACOBE_HISTOGRAM(name, v)                                  \
+  do {                                                            \
+    if (acobe::telemetry::MetricsEnabled()) {                     \
+      static acobe::telemetry::Histogram& acobe_tm_metric =       \
+          acobe::telemetry::GetHistogram(name);                   \
+      acobe_tm_metric.Record(static_cast<double>(v));             \
+    }                                                             \
+  } while (0)
+#endif

@@ -1,0 +1,22 @@
+#include "common/trace.h"
+
+namespace acobe::telemetry {
+
+void TraceSpan::End() {
+  if (!active_) return;
+  const std::uint64_t duration_ns = NowNs() - start_ns_;
+  if (MetricsEnabled()) {
+    GetHistogram(std::string("span.") + name_)
+        .Record(static_cast<double>(duration_ns) / 1e6);
+  }
+  if (TracingEnabled()) {
+    std::string event_name = name_;
+    if (!detail_.empty()) {
+      event_name += ':';
+      event_name += detail_;
+    }
+    RecordTraceEvent(std::move(event_name), start_ns_, duration_ns);
+  }
+}
+
+}  // namespace acobe::telemetry

@@ -1,0 +1,69 @@
+#pragma once
+
+// Scoped trace spans over the telemetry registry (common/telemetry.h).
+//
+// A TraceSpan measures the lifetime of a scope. On destruction it
+//   - records the duration (milliseconds) into the histogram
+//     "span.<name>" when metrics are enabled, and
+//   - buffers one chrome://tracing complete event attributed to the
+//     current thread when tracing is enabled (name "<name>" or
+//     "<name>:<detail>").
+// When both are disabled the constructor is a pair of relaxed loads and
+// the destructor a branch; in ACOBE_TELEMETRY_DISABLED builds the whole
+// class folds away.
+//
+// `name` must be a string with static storage duration (the span keeps
+// only the pointer). `detail` carries run-dependent context (an aspect
+// name, a file stem) into the trace only — histogram names stay at
+// bounded cardinality.
+
+#include <cstdint>
+#include <string>
+
+#include "common/telemetry.h"
+
+namespace acobe::telemetry {
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) : name_(name) { Begin(); }
+  TraceSpan(const char* name, std::string detail)
+      : name_(name), detail_(std::move(detail)) {
+    Begin();
+  }
+  ~TraceSpan() { End(); }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  void Begin() {
+    active_ = MetricsEnabled() || TracingEnabled();
+    if (active_) start_ns_ = NowNs();
+  }
+  void End();
+
+  const char* name_;
+  std::string detail_;
+  std::uint64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace acobe::telemetry
+
+// Statement macro: ACOBE_SPAN("ensemble.train"); measures to the end of
+// the enclosing scope. ACOBE_SPAN2 adds a dynamic detail string (trace
+// event name only). Both vanish in ACOBE_TELEMETRY_DISABLED builds.
+#define ACOBE_SPAN_CONCAT2(a, b) a##b
+#define ACOBE_SPAN_CONCAT(a, b) ACOBE_SPAN_CONCAT2(a, b)
+#ifdef ACOBE_TELEMETRY_DISABLED
+#define ACOBE_SPAN(name) ((void)0)
+#define ACOBE_SPAN2(name, detail) ((void)0)
+#else
+#define ACOBE_SPAN(name)                                    \
+  acobe::telemetry::TraceSpan ACOBE_SPAN_CONCAT(            \
+      acobe_tm_span_, __LINE__)(name)
+#define ACOBE_SPAN2(name, detail)                           \
+  acobe::telemetry::TraceSpan ACOBE_SPAN_CONCAT(            \
+      acobe_tm_span_, __LINE__)(name, detail)
+#endif

@@ -4,6 +4,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "common/telemetry.h"
+
 namespace acobe {
 
 namespace {
@@ -57,6 +59,8 @@ std::vector<int> RanksFromScores(const std::vector<float>& scores) {
 std::vector<InvestigationEntry> RankFromRanks(
     const std::vector<std::vector<int>>& ranks, int n_votes) {
   if (ranks.empty()) return {};
+  ACOBE_COUNT("critic.rankings", 1);
+  ACOBE_COUNT("critic.users_ranked", ranks.size());
   const int aspects = static_cast<int>(ranks.front().size());
   if (aspects == 0) throw std::invalid_argument("RankFromRanks: no aspects");
   const int n = std::clamp(n_votes, 1, aspects);

@@ -3,6 +3,8 @@
 #include <stdexcept>
 
 #include "common/parallel.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
 
 namespace acobe {
 namespace {
@@ -28,6 +30,7 @@ DetectionOutput Detector::Run(const MeasurementCube& cube,
   if (members.empty()) {
     throw std::invalid_argument("Detector::Run: no group members");
   }
+  telemetry::TraceSpan run_span("detector.run", spec_.name);
   // Dense member -> cube entity index map.
   std::vector<int> member_map;
   std::vector<UserId> member_ids;
@@ -42,33 +45,38 @@ DetectionOutput Detector::Run(const MeasurementCube& cube,
   }
   const int n_members = static_cast<int>(member_map.size());
 
+  ACOBE_GAUGE_MAX("detector.group_members", n_members);
+
   // Build the behavioral representation.
   std::unique_ptr<DeviationSeries> user_series;
   std::unique_ptr<SampleBuilder> base_builder;
-  if (spec_.representation == Representation::kCompound) {
-    // One knob drives the whole run: an unset deviation thread count
-    // inherits the ensemble's.
-    DeviationConfig dev_config = spec_.deviation;
-    if (dev_config.threads == 0) dev_config.threads = spec_.ensemble.threads;
-    user_series = std::make_unique<DeviationSeries>(
-        DeviationSeries::Compute(cube, dev_config));
-    std::vector<DeviationSeries> groups;
-    std::vector<int> group_of_user;
-    if (spec_.deviation.include_group) {
-      const std::vector<float> mean = TrimmedGroupMeanSeries(
-          cube, member_map, spec_.deviation.group_trim);
-      groups.push_back(DeviationSeries::ComputeFromSeries(
-          mean, cube.features(), cube.days(), cube.frames(),
-          spec_.deviation));
-      group_of_user.assign(cube.users(), 0);
+  {
+    telemetry::TraceSpan representation_span("detector.representation");
+    if (spec_.representation == Representation::kCompound) {
+      // One knob drives the whole run: an unset deviation thread count
+      // inherits the ensemble's.
+      DeviationConfig dev_config = spec_.deviation;
+      if (dev_config.threads == 0) dev_config.threads = spec_.ensemble.threads;
+      user_series = std::make_unique<DeviationSeries>(
+          DeviationSeries::Compute(cube, dev_config));
+      std::vector<DeviationSeries> groups;
+      std::vector<int> group_of_user;
+      if (spec_.deviation.include_group) {
+        const std::vector<float> mean = TrimmedGroupMeanSeries(
+            cube, member_map, spec_.deviation.group_trim);
+        groups.push_back(DeviationSeries::ComputeFromSeries(
+            mean, cube.features(), cube.days(), cube.frames(),
+            spec_.deviation));
+        group_of_user.assign(cube.users(), 0);
+      }
+      base_builder = std::make_unique<CompoundMatrixBuilder>(
+          user_series.get(), std::move(groups), std::move(group_of_user));
+    } else {
+      const int norm_begin = std::max(0, train_begin);
+      const int norm_end = std::min(cube.days(), train_end);
+      base_builder =
+          std::make_unique<NormalizedDayBuilder>(&cube, norm_begin, norm_end);
     }
-    base_builder = std::make_unique<CompoundMatrixBuilder>(
-        user_series.get(), std::move(groups), std::move(group_of_user));
-  } else {
-    const int norm_begin = std::max(0, train_begin);
-    const int norm_end = std::min(cube.days(), train_end);
-    base_builder =
-        std::make_unique<NormalizedDayBuilder>(&cube, norm_begin, norm_end);
   }
   SubsetBuilder builder(base_builder.get(), member_map);
 
@@ -82,11 +90,18 @@ DetectionOutput Detector::Run(const MeasurementCube& cube,
         }
       }
           : std::function<void(const std::string&, const nn::EpochStats&)>();
-  ensemble.Train(builder, n_members, train_begin, train_end, epoch_logger);
+  {
+    telemetry::TraceSpan train_span("detector.train");
+    ensemble.Train(builder, n_members, train_begin, train_end, epoch_logger);
+  }
 
   DetectionOutput out;
-  out.grid = ensemble.Score(builder, n_members, score_begin, score_end);
+  {
+    telemetry::TraceSpan score_span("detector.score");
+    out.grid = ensemble.Score(builder, n_members, score_begin, score_end);
+  }
   if (spec_.per_user_calibration) {
+    telemetry::TraceSpan calibrate_span("detector.calibrate");
     // Baseline each user against their own training-window error,
     // shrunk towards the population mean so users with near-zero
     // training error cannot explode a stray test-day blip into a
@@ -117,7 +132,12 @@ DetectionOutput Detector::Run(const MeasurementCube& cube,
       });
     }
   }
-  out.list = RankUsers(out.grid, spec_.critic_votes, spec_.score_top_k_days);
+  {
+    telemetry::TraceSpan rank_span("detector.rank");
+    out.list =
+        RankUsers(out.grid, spec_.critic_votes, spec_.score_top_k_days);
+  }
+  ACOBE_COUNT("detector.runs", 1);
   out.members = std::move(member_ids);
   return out;
 }

@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "common/parallel.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
 #include "nn/optimizer.h"
 
 namespace acobe {
@@ -72,6 +74,7 @@ void AspectEnsemble::Train(
     const SampleBuilder& builder, int n_users, int day_begin, int day_end,
     const std::function<void(const std::string&, const nn::EpochStats&)>&
         on_epoch) {
+  ACOBE_SPAN("ensemble.train");
   models_.clear();
   specs_.clear();
   models_.resize(aspects_.size());
@@ -88,6 +91,13 @@ void AspectEnsemble::Train(
       [&](int ai) {
         const std::size_t a = static_cast<std::size_t>(ai);
         const AspectGroup& aspect = aspects_[a];
+        telemetry::TraceSpan aspect_span("ensemble.train_aspect", aspect.name);
+        // Per-aspect per-epoch loss trajectory ("train.loss.<aspect>");
+        // each aspect owns its Series, so worker appends never contend.
+        telemetry::Series* loss_series =
+            telemetry::MetricsEnabled()
+                ? &telemetry::GetSeries("train.loss." + aspect.name)
+                : nullptr;
         nn::AutoencoderSpec spec;
         spec.input_dim = builder.SampleSize(aspect.feature_indices.size());
         spec.encoder_dims = config_.encoder_dims;
@@ -119,18 +129,23 @@ void AspectEnsemble::Train(
         train.seed = config_.seed + a * 104729;
         nn::TrainReconstruction(
             net, optimizer, data, train,
-            on_epoch ? [&](const nn::EpochStats& s) {
-              std::lock_guard<std::mutex> lock(epoch_mutex);
-              on_epoch(aspect.name, s);
+            (on_epoch || loss_series) ? [&](const nn::EpochStats& s) {
+              if (loss_series) loss_series->Append(s.loss);
+              if (on_epoch) {
+                std::lock_guard<std::mutex> lock(epoch_mutex);
+                on_epoch(aspect.name, s);
+              }
             } : std::function<void(const nn::EpochStats&)>());
         models_[a] = std::move(net);
         specs_[a] = spec;
       });
+  ACOBE_COUNT("ensemble.aspects_trained", aspects_.size());
   trained_ = true;
 }
 
 ScoreGrid AspectEnsemble::Score(const SampleBuilder& builder, int n_users,
                                 int day_begin, int day_end) const {
+  ACOBE_SPAN("ensemble.score");
   if (!trained_) throw std::logic_error("AspectEnsemble::Score before Train");
   const int first = std::max(day_begin, builder.FirstValidDay());
   const int last = std::min(day_end, builder.EndDay());
@@ -149,6 +164,7 @@ ScoreGrid AspectEnsemble::Score(const SampleBuilder& builder, int n_users,
   const int n_aspects = static_cast<int>(aspects_.size());
   const int n_days = last - first;
   ParallelFor(0, n_aspects * n_users, config_.threads, [&](int item) {
+    telemetry::TraceSpan item_span("ensemble.score_user");
     const int a = item / n_users;
     const int u = item % n_users;
     const AspectGroup& aspect = aspects_[a];
@@ -169,6 +185,8 @@ ScoreGrid AspectEnsemble::Score(const SampleBuilder& builder, int n_users,
       grid.At(a, u, d) = errors[d - first];
     }
   });
+  ACOBE_COUNT("ensemble.samples_scored",
+              static_cast<std::uint64_t>(n_aspects) * n_users * n_days);
   return grid;
 }
 

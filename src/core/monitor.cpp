@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <map>
 
+#include "common/telemetry.h"
+#include "common/trace.h"
+
 namespace acobe {
 
 std::vector<Alert> FindPersistentAlerts(const ScoreGrid& grid,
                                         const MonitorConfig& config) {
+  ACOBE_SPAN("monitor.find_alerts");
   struct Tracking {
     int streak = 0;       // consecutive firing days (pre-alert)
     int quiet = 0;        // consecutive quiet days (while alert open)
@@ -30,6 +34,7 @@ std::vector<Alert> FindPersistentAlerts(const ScoreGrid& grid,
         ++t.streak;
         if (!t.open && t.streak >= config.persistence_days) {
           t.open = true;
+          ACOBE_COUNT("monitor.alerts_opened", 1);
           t.alert = Alert{u, d - t.streak + 1, d, t.streak};
         } else if (t.open) {
           t.alert.last_day = d;
@@ -51,6 +56,8 @@ std::vector<Alert> FindPersistentAlerts(const ScoreGrid& grid,
             [](const Alert& a, const Alert& b) {
               return a.first_day < b.first_day;
             });
+  ACOBE_COUNT("monitor.daily_lists", grid.day_end() - grid.day_begin());
+  ACOBE_COUNT("monitor.alerts_emitted", alerts.size());
   return alerts;
 }
 

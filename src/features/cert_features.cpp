@@ -4,6 +4,9 @@
 #include <limits>
 #include <memory>
 
+#include "common/telemetry.h"
+#include "common/trace.h"
+
 namespace acobe {
 namespace {
 
@@ -84,6 +87,7 @@ int FileOpFeature(const FileEvent& e) {
 }  // namespace
 
 void ReplayStore(const LogStore& store, LogSink& sink) {
+  ACOBE_SPAN("features.replay");
   // Merge the per-type streams by day so that first-seen semantics see a
   // consistent chronological order. Within a day, type order does not
   // matter (new-op is defined as "never before day d").
@@ -111,10 +115,14 @@ void ReplayStore(const LogStore& store, LogSink& sink) {
 
   const std::int64_t first_day = lo / kSecondsPerDay;
   const std::int64_t last_day = hi / kSecondsPerDay;
+  std::size_t replayed = 0;
   for (std::int64_t day = first_day; day <= last_day; ++day) {
     const Timestamp day_end = (day + 1) * kSecondsPerDay;
     auto drain = [&](auto const& v, std::size_t& idx) {
-      while (idx < v.size() && v[idx].ts < day_end) sink.Consume(v[idx++]);
+      while (idx < v.size() && v[idx].ts < day_end) {
+        sink.Consume(v[idx++]);
+        ++replayed;
+      }
     };
     drain(store.logons(), cur.logon);
     drain(store.devices(), cur.device);
@@ -124,6 +132,7 @@ void ReplayStore(const LogStore& store, LogSink& sink) {
     drain(store.enterprise_events(), cur.enterprise);
     drain(store.proxy_events(), cur.proxy);
   }
+  ACOBE_COUNT("features.events_replayed", replayed);
 }
 
 CertAcobeExtractor::CertAcobeExtractor(Date start, int days,

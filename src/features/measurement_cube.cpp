@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/telemetry.h"
+
 namespace acobe {
 
 MeasurementCube::MeasurementCube(Date start, int days, int features,
@@ -19,6 +21,8 @@ int MeasurementCube::RegisterUser(UserId user) {
   if (inserted) {
     user_ids_.push_back(user);
     EnsureCapacity(static_cast<int>(user_ids_.size()));
+    ACOBE_COUNT("features.users_registered", 1);
+    ACOBE_GAUGE_MAX("features.users", user_ids_.size());
   }
   return it->second;
 }

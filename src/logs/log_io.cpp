@@ -6,6 +6,8 @@
 #include <string>
 
 #include "common/csv.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
 
 namespace acobe {
 namespace {
@@ -17,6 +19,7 @@ Timestamp TsFromString(const std::string& s) { return std::stoll(s); }
 void RequireFields(const std::vector<std::string>& row, std::size_t n,
                    const char* what) {
   if (row.size() != n) {
+    ACOBE_COUNT("logs.parse_errors", 1);
     throw std::invalid_argument(std::string(what) +
                                 ": wrong field count in row");
   }
@@ -29,12 +32,15 @@ bool ReadHeaderOrRow(CsvReader& reader, std::vector<std::string>& row,
     if (!reader.ReadRow(row)) return false;  // empty stream: no header at all
     // Header consumed; fall through to the first data row.
   }
-  return reader.ReadRow(row);
+  if (!reader.ReadRow(row)) return false;
+  ACOBE_COUNT("logs.rows_read", 1);
+  return true;
 }
 
 }  // namespace
 
 void WriteDeviceCsv(const LogStore& store, std::ostream& out) {
+  ACOBE_SPAN2("logs.write", "device");
   CsvWriter w(out);
   w.WriteRow({"ts", "user", "pc", "activity"});
   for (const DeviceEvent& e : store.devices()) {
@@ -44,6 +50,7 @@ void WriteDeviceCsv(const LogStore& store, std::ostream& out) {
 }
 
 void ReadDeviceCsv(std::istream& in, LogStore& store) {
+  ACOBE_SPAN2("logs.read", "device");
   CsvReader reader(in);
   std::vector<std::string> row;
   bool saw_header = false;
@@ -59,6 +66,7 @@ void ReadDeviceCsv(std::istream& in, LogStore& store) {
 }
 
 void WriteFileCsv(const LogStore& store, std::ostream& out) {
+  ACOBE_SPAN2("logs.write", "file");
   CsvWriter w(out);
   w.WriteRow({"ts", "user", "pc", "activity", "file", "from", "to"});
   for (const FileEvent& e : store.file_events()) {
@@ -70,6 +78,7 @@ void WriteFileCsv(const LogStore& store, std::ostream& out) {
 }
 
 void ReadFileCsv(std::istream& in, LogStore& store) {
+  ACOBE_SPAN2("logs.read", "file");
   CsvReader reader(in);
   std::vector<std::string> row;
   bool saw_header = false;
@@ -88,6 +97,7 @@ void ReadFileCsv(std::istream& in, LogStore& store) {
 }
 
 void WriteHttpCsv(const LogStore& store, std::ostream& out) {
+  ACOBE_SPAN2("logs.write", "http");
   CsvWriter w(out);
   w.WriteRow({"ts", "user", "pc", "activity", "domain", "filetype"});
   for (const HttpEvent& e : store.http_events()) {
@@ -98,6 +108,7 @@ void WriteHttpCsv(const LogStore& store, std::ostream& out) {
 }
 
 void ReadHttpCsv(std::istream& in, LogStore& store) {
+  ACOBE_SPAN2("logs.read", "http");
   CsvReader reader(in);
   std::vector<std::string> row;
   bool saw_header = false;
@@ -115,6 +126,7 @@ void ReadHttpCsv(std::istream& in, LogStore& store) {
 }
 
 void WriteLogonCsv(const LogStore& store, std::ostream& out) {
+  ACOBE_SPAN2("logs.write", "logon");
   CsvWriter w(out);
   w.WriteRow({"ts", "user", "pc", "activity"});
   for (const LogonEvent& e : store.logons()) {
@@ -124,6 +136,7 @@ void WriteLogonCsv(const LogStore& store, std::ostream& out) {
 }
 
 void ReadLogonCsv(std::istream& in, LogStore& store) {
+  ACOBE_SPAN2("logs.read", "logon");
   CsvReader reader(in);
   std::vector<std::string> row;
   bool saw_header = false;
@@ -139,6 +152,7 @@ void ReadLogonCsv(std::istream& in, LogStore& store) {
 }
 
 void WriteEnterpriseCsv(const LogStore& store, std::ostream& out) {
+  ACOBE_SPAN2("logs.write", "enterprise");
   CsvWriter w(out);
   w.WriteRow({"ts", "user", "aspect", "event_id", "object"});
   for (const EnterpriseEvent& e : store.enterprise_events()) {
@@ -149,6 +163,7 @@ void WriteEnterpriseCsv(const LogStore& store, std::ostream& out) {
 }
 
 void ReadEnterpriseCsv(std::istream& in, LogStore& store) {
+  ACOBE_SPAN2("logs.read", "enterprise");
   CsvReader reader(in);
   std::vector<std::string> row;
   bool saw_header = false;
@@ -165,6 +180,7 @@ void ReadEnterpriseCsv(std::istream& in, LogStore& store) {
 }
 
 void WriteProxyCsv(const LogStore& store, std::ostream& out) {
+  ACOBE_SPAN2("logs.write", "proxy");
   CsvWriter w(out);
   w.WriteRow({"ts", "user", "domain", "success", "bytes"});
   for (const ProxyEvent& e : store.proxy_events()) {
@@ -175,6 +191,7 @@ void WriteProxyCsv(const LogStore& store, std::ostream& out) {
 }
 
 void ReadProxyCsv(std::istream& in, LogStore& store) {
+  ACOBE_SPAN2("logs.read", "proxy");
   CsvReader reader(in);
   std::vector<std::string> row;
   bool saw_header = false;
@@ -191,6 +208,7 @@ void ReadProxyCsv(std::istream& in, LogStore& store) {
 }
 
 void WriteLdapCsv(const LogStore& store, std::ostream& out) {
+  ACOBE_SPAN2("logs.write", "ldap");
   CsvWriter w(out);
   w.WriteRow({"user", "department", "team", "role"});
   for (const LdapRecord& r : store.ldap()) {
@@ -199,6 +217,7 @@ void WriteLdapCsv(const LogStore& store, std::ostream& out) {
 }
 
 void ReadLdapCsv(std::istream& in, LogStore& store) {
+  ACOBE_SPAN2("logs.read", "ldap");
   CsvReader reader(in);
   std::vector<std::string> row;
   bool saw_header = false;

@@ -4,6 +4,9 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "common/telemetry.h"
+#include "common/trace.h"
+
 namespace acobe::nn {
 
 std::vector<EpochStats> TrainReconstruction(
@@ -30,6 +33,7 @@ std::vector<EpochStats> TrainReconstruction(
   Tensor x;
   Tensor grad;
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    acobe::telemetry::TraceSpan epoch_span("nn.train_epoch");
     rng.Shuffle(order);
     // Per-sample accumulation: each batch mean is weighted by its sample
     // count, so a partial final batch no longer skews the epoch loss
@@ -50,6 +54,8 @@ std::vector<EpochStats> TrainReconstruction(
     }
     EpochStats stats{epoch, static_cast<float>(epoch_loss / n)};
     history.push_back(stats);
+    ACOBE_COUNT("nn.epochs", 1);
+    ACOBE_COUNT("nn.samples_trained", n);
     if (on_epoch) on_epoch(stats);
 
     if (config.patience > 0) {

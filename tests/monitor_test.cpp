@@ -1,0 +1,101 @@
+// Persistent-alert edge cases in the monitor: alert re-opening after a
+// cooloff, a firing streak exactly at persistence_days, and a user
+// still firing on the final grid day (the end-of-range flush).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/monitor.h"
+
+using namespace acobe;
+
+namespace {
+
+/// Single-aspect grid where `hot` tops the daily list exactly on
+/// `hot_days` (user 0 tops it on every other day).
+ScoreGrid GridWithHotDays(int users, int days, int hot,
+                          const std::vector<int>& hot_days) {
+  ScoreGrid grid({"a"}, users, 0, days);
+  for (int d = 0; d < days; ++d) {
+    grid.At(0, 0, d) = 0.30f;
+    for (int u = 1; u < users; ++u) grid.At(0, u, d) = 0.10f - 0.01f * u;
+  }
+  for (int d : hot_days) grid.At(0, hot, d) = 1.0f;
+  return grid;
+}
+
+std::vector<Alert> AlertsFor(const std::vector<Alert>& alerts, int user) {
+  std::vector<Alert> mine;
+  for (const Alert& a : alerts) {
+    if (a.user_idx == user) mine.push_back(a);
+  }
+  return mine;
+}
+
+TEST(MonitorTest, AlertReopensAfterCooloff) {
+  // User 1 fires on days 2..5, goes quiet for 6 days (past the 2-day
+  // cooloff, closing the alert), then fires again on days 12..15: two
+  // separate alerts, not one merged span.
+  const ScoreGrid grid =
+      GridWithHotDays(3, 20, 1, {2, 3, 4, 5, 12, 13, 14, 15});
+  MonitorConfig cfg;
+  cfg.top_positions = 1;
+  cfg.persistence_days = 2;
+  cfg.cooloff_days = 2;
+  const auto mine = AlertsFor(FindPersistentAlerts(grid, cfg), 1);
+  ASSERT_EQ(mine.size(), 2u);
+  EXPECT_EQ(mine[0].first_day, 2);
+  EXPECT_EQ(mine[0].last_day, 5);
+  EXPECT_EQ(mine[0].firing_days, 4);
+  EXPECT_EQ(mine[1].first_day, 12);
+  EXPECT_EQ(mine[1].last_day, 15);
+  EXPECT_EQ(mine[1].firing_days, 4);
+}
+
+TEST(MonitorTest, StreakExactlyAtPersistenceOpensAlert) {
+  // persistence_days = 3: a 3-day streak opens (backdated to the
+  // streak's first day), a 2-day streak does not.
+  const ScoreGrid grid = GridWithHotDays(3, 16, 1, {4, 5, 6, 10, 11});
+  MonitorConfig cfg;
+  cfg.top_positions = 1;
+  cfg.persistence_days = 3;
+  cfg.cooloff_days = 2;
+  const auto mine = AlertsFor(FindPersistentAlerts(grid, cfg), 1);
+  ASSERT_EQ(mine.size(), 1u);
+  EXPECT_EQ(mine[0].first_day, 4);
+  EXPECT_EQ(mine[0].last_day, 6);
+  EXPECT_EQ(mine[0].firing_days, 3);
+}
+
+TEST(MonitorTest, AlertOpenOnFinalDayIsStillEmitted) {
+  // User 1's streak runs through the last grid day, so the alert never
+  // sees a cooloff; the end-of-range flush must still emit it.
+  const ScoreGrid grid = GridWithHotDays(3, 10, 1, {7, 8, 9});
+  MonitorConfig cfg;
+  cfg.top_positions = 1;
+  cfg.persistence_days = 2;
+  cfg.cooloff_days = 2;
+  const auto mine = AlertsFor(FindPersistentAlerts(grid, cfg), 1);
+  ASSERT_EQ(mine.size(), 1u);
+  EXPECT_EQ(mine[0].first_day, 7);
+  EXPECT_EQ(mine[0].last_day, 9);  // == day_end() - 1
+  EXPECT_EQ(mine[0].firing_days, 3);
+}
+
+TEST(MonitorTest, QuietGapShorterThanCooloffKeepsAlertOpen) {
+  // A 1-day dip inside a 2-day cooloff must not split the alert; the
+  // dip day is not counted as a firing day.
+  const ScoreGrid grid = GridWithHotDays(3, 14, 1, {3, 4, 5, 7, 8});
+  MonitorConfig cfg;
+  cfg.top_positions = 1;
+  cfg.persistence_days = 2;
+  cfg.cooloff_days = 2;
+  const auto mine = AlertsFor(FindPersistentAlerts(grid, cfg), 1);
+  ASSERT_EQ(mine.size(), 1u);
+  EXPECT_EQ(mine[0].first_day, 3);
+  EXPECT_EQ(mine[0].last_day, 8);
+  EXPECT_EQ(mine[0].firing_days, 5);
+}
+
+}  // namespace

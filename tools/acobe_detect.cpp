@@ -4,18 +4,28 @@
 //
 //   acobe-detect --in=DIR --train-end=YYYY-MM-DD [--test-end=YYYY-MM-DD]
 //                [--omega=N] [--epochs=N] [--votes=N] [--top=N]
-//                [--threads=N]
+//                [--threads=N] [--metrics-out=FILE] [--trace-out=FILE]
 //
 // --threads: worker threads for training/scoring/deviation (0 = the
 // ACOBE_THREADS environment variable, else hardware concurrency).
-// Results are identical for any thread count.
+// Results are identical for any thread count, and identical with
+// telemetry on or off.
+//
+// Telemetry: a run report always lands on stderr; --metrics-out writes
+// the metrics registry as JSON (counters, per-phase span timings,
+// per-aspect per-epoch losses), --trace-out writes a chrome://tracing /
+// Perfetto trace with spans attributed to worker threads.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <limits>
 #include <string>
 
+#include "common/telemetry.h"
+#include "common/trace.h"
 #include "core/detector.h"
 #include "features/cert_features.h"
 #include "logs/log_io.h"
@@ -28,7 +38,43 @@ void Usage() {
   std::printf(
       "acobe-detect --in=DIR --train-end=YYYY-MM-DD\n"
       "             [--test-end=YYYY-MM-DD] [--omega=N] [--epochs=N]\n"
-      "             [--votes=N] [--top=N] [--threads=N]\n");
+      "             [--votes=N] [--top=N] [--threads=N]\n"
+      "             [--metrics-out=FILE] [--trace-out=FILE]\n"
+      "  --omega=N        deviation window, days (>= 2; default 14)\n"
+      "  --epochs=N       training epochs per aspect (>= 1; default 25)\n"
+      "  --votes=N        critic votes (>= 1; default 2)\n"
+      "  --top=N          list entries printed per department (>= 1)\n"
+      "  --threads=N      worker threads (0 = ACOBE_THREADS/hardware)\n"
+      "  --metrics-out=F  write telemetry metrics JSON to F\n"
+      "  --trace-out=F    write chrome://tracing trace JSON to F\n");
+}
+
+[[noreturn]] void DieBadFlag(const char* arg, const std::string& why) {
+  std::fprintf(stderr, "acobe-detect: bad argument '%s': %s\n", arg,
+               why.c_str());
+  Usage();
+  std::exit(2);
+}
+
+/// Strict integer flag value: the whole value must be digits (optional
+/// leading minus), parse without overflow, and land in [min, max].
+/// std::atoi's silent garbage-to-0 / negative acceptance is exactly
+/// what this replaces.
+int ParseIntValue(const char* arg, const char* value, int min, int max) {
+  if (*value == '\0') DieBadFlag(arg, "empty value");
+  char* end = nullptr;
+  errno = 0;
+  const long parsed = std::strtol(value, &end, 10);
+  if (*end != '\0') DieBadFlag(arg, "not an integer");
+  if (errno == ERANGE || parsed < std::numeric_limits<int>::min() ||
+      parsed > std::numeric_limits<int>::max()) {
+    DieBadFlag(arg, "out of range");
+  }
+  if (parsed < min || parsed > max) {
+    DieBadFlag(arg, "must be in [" + std::to_string(min) + ", " +
+                        std::to_string(max) + "]");
+  }
+  return static_cast<int>(parsed);
 }
 
 bool ReadInto(const std::string& path, LogStore& store,
@@ -44,8 +90,10 @@ bool ReadInto(const std::string& path, LogStore& store,
 int main(int argc, char** argv) {
   std::string in_dir;
   std::string train_end_text, test_end_text;
+  std::string metrics_out, trace_out;
   int omega = 14, epochs = 25, votes = 2, top = 10, threads = 0;
 
+  const int kMaxInt = std::numeric_limits<int>::max();
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--in=", 5) == 0) {
@@ -55,24 +103,36 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(arg, "--test-end=", 11) == 0) {
       test_end_text = arg + 11;
     } else if (std::strncmp(arg, "--omega=", 8) == 0) {
-      omega = std::atoi(arg + 8);
+      omega = ParseIntValue(arg, arg + 8, 2, kMaxInt);
     } else if (std::strncmp(arg, "--epochs=", 9) == 0) {
-      epochs = std::atoi(arg + 9);
+      epochs = ParseIntValue(arg, arg + 9, 1, kMaxInt);
     } else if (std::strncmp(arg, "--votes=", 8) == 0) {
-      votes = std::atoi(arg + 8);
+      votes = ParseIntValue(arg, arg + 8, 1, kMaxInt);
     } else if (std::strncmp(arg, "--top=", 6) == 0) {
-      top = std::atoi(arg + 6);
+      top = ParseIntValue(arg, arg + 6, 1, kMaxInt);
     } else if (std::strncmp(arg, "--threads=", 10) == 0) {
-      threads = std::atoi(arg + 10);
-    } else {
+      threads = ParseIntValue(arg, arg + 10, 0, kMaxInt);
+    } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
+      metrics_out = arg + 14;
+    } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      trace_out = arg + 12;
+    } else if (std::strcmp(arg, "--help") == 0) {
       Usage();
-      return std::strcmp(arg, "--help") == 0 ? 0 : 2;
+      return 0;
+    } else {
+      std::fprintf(stderr, "acobe-detect: unknown argument '%s'\n", arg);
+      Usage();
+      return 2;
     }
   }
   if (in_dir.empty() || train_end_text.empty()) {
+    std::fprintf(stderr, "acobe-detect: --in and --train-end are required\n");
     Usage();
     return 2;
   }
+
+  telemetry::EnableMetrics(true);
+  telemetry::EnableTracing(!trace_out.empty());
 
   LogStore store;
   bool any = false;
@@ -110,20 +170,36 @@ int main(int argc, char** argv) {
   const int days = static_cast<int>(DaysBetween(start, last)) + 1;
 
   CertAcobeExtractor extractor(start, days);
-  ReplayStore(store, extractor);
-  for (const LdapRecord& r : store.ldap()) {
-    extractor.cube().RegisterUser(r.user);
+  {
+    telemetry::TraceSpan extract_span("detect.extract_features");
+    ReplayStore(store, extractor);
+    for (const LdapRecord& r : store.ldap()) {
+      extractor.cube().RegisterUser(r.user);
+    }
   }
+  ACOBE_GAUGE_SET("features.days", extractor.cube().days());
+  ACOBE_GAUGE_SET("features.features", extractor.cube().features());
+  ACOBE_GAUGE_SET("features.frames", extractor.cube().frames());
+  ACOBE_GAUGE_SET("features.aspects", extractor.catalog().aspects().size());
 
-  const int train_end = static_cast<int>(
-      DaysBetween(start, Date::FromString(train_end_text)));
-  const int test_end =
-      test_end_text.empty()
-          ? days
-          : static_cast<int>(
-                DaysBetween(start, Date::FromString(test_end_text))) + 1;
+  int train_end = 0, test_end = 0;
+  try {
+    train_end = static_cast<int>(
+        DaysBetween(start, Date::FromString(train_end_text)));
+    test_end =
+        test_end_text.empty()
+            ? days
+            : static_cast<int>(
+                  DaysBetween(start, Date::FromString(test_end_text))) + 1;
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "acobe-detect: %s\n", e.what());
+    Usage();
+    return 2;
+  }
   if (train_end <= 0 || train_end >= test_end) {
-    std::fprintf(stderr, "bad train/test split\n");
+    std::fprintf(stderr,
+                 "acobe-detect: bad train/test split (train-end must fall "
+                 "after the first event and before test-end)\n");
     return 2;
   }
 
@@ -153,6 +229,17 @@ int main(int argc, char** argv) {
       std::printf("%3zu. %-10s priority %.0f\n", i + 1,
                   store.users().NameOf(user).c_str(), out.list[i].priority);
     }
+  }
+
+  telemetry::WriteReport(std::cerr);
+  if (!metrics_out.empty() && !telemetry::WriteMetricsJsonFile(metrics_out)) {
+    std::fprintf(stderr, "acobe-detect: cannot write %s\n",
+                 metrics_out.c_str());
+    return 1;
+  }
+  if (!trace_out.empty() && !telemetry::WriteTraceJsonFile(trace_out)) {
+    std::fprintf(stderr, "acobe-detect: cannot write %s\n", trace_out.c_str());
+    return 1;
   }
   return 0;
 }

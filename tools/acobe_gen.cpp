@@ -7,13 +7,17 @@
 //             [--start=YYYY-MM-DD] [--end=YYYY-MM-DD] [--rate=R]
 //             [--scenario1=DEPT:YYYY-MM-DD:DAYS]...
 //             [--scenario2=DEPT:YYYY-MM-DD:DAYS]...
+//             [--metrics-out=FILE] [--trace-out=FILE]
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <string>
 #include <vector>
 
+#include "common/telemetry.h"
+#include "common/trace.h"
 #include "logs/log_io.h"
 #include "simdata/cert_simulator.h"
 
@@ -43,13 +47,15 @@ void Usage() {
   std::printf(
       "acobe-gen --out=DIR [--users=N] [--departments=N] [--seed=S]\n"
       "          [--start=YYYY-MM-DD] [--end=YYYY-MM-DD] [--rate=R]\n"
-      "          [--scenario1=DEPT:DATE:DAYS] [--scenario2=DEPT:DATE:DAYS]\n");
+      "          [--scenario1=DEPT:DATE:DAYS] [--scenario2=DEPT:DATE:DAYS]\n"
+      "          [--metrics-out=FILE] [--trace-out=FILE]\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string out_dir;
+  std::string metrics_out, trace_out;
   sim::CertSimConfig config;
   config.org.departments = 2;
   config.org.users_per_department = 20;
@@ -85,6 +91,10 @@ int main(int argc, char** argv) {
         Usage();
         return 2;
       }
+    } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
+      metrics_out = arg + 14;
+    } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      trace_out = arg + 12;
     } else {
       Usage();
       return std::strcmp(arg, "--help") == 0 ? 0 : 2;
@@ -95,6 +105,9 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  telemetry::EnableMetrics(true);
+  telemetry::EnableTracing(!trace_out.empty());
+
   LogStore store;
   sim::CertSimulator simulator(config, store);
   for (const ScenarioArg& s : scenarios) {
@@ -104,8 +117,13 @@ int main(int argc, char** argv) {
                  static_cast<int>(s.kind), planted.user_name.c_str(),
                  s.department);
   }
-  simulator.Run(store);
-  store.SortChronologically();
+  {
+    telemetry::TraceSpan sim_span("gen.simulate");
+    simulator.Run(store);
+    store.SortChronologically();
+  }
+  ACOBE_COUNT("gen.events_simulated", store.TotalEvents());
+  ACOBE_GAUGE_SET("gen.users", store.users().size());
   std::fprintf(stderr, "simulated %zu events for %zu users\n",
                store.TotalEvents(), store.users().size());
 
@@ -135,6 +153,16 @@ int main(int argc, char** argv) {
           << ',' << scenario.anomaly_end.ToString() << '\n';
     }
     std::fprintf(stderr, "wrote %s\n", path.c_str());
+  }
+
+  telemetry::WriteReport(std::cerr);
+  if (!metrics_out.empty() && !telemetry::WriteMetricsJsonFile(metrics_out)) {
+    std::fprintf(stderr, "acobe-gen: cannot write %s\n", metrics_out.c_str());
+    return 1;
+  }
+  if (!trace_out.empty() && !telemetry::WriteTraceJsonFile(trace_out)) {
+    std::fprintf(stderr, "acobe-gen: cannot write %s\n", trace_out.c_str());
+    return 1;
   }
   return 0;
 }
