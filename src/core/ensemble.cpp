@@ -172,7 +172,8 @@ ScoreGrid AspectEnsemble::Score(const SampleBuilder& builder, int n_users,
     const nn::Sequential& net = models_[a];
     thread_local nn::Tensor batch;
     thread_local nn::Sequential::InferScratch scratch;
-    batch.Resize(static_cast<std::size_t>(n_days), dim);
+    thread_local std::vector<float> errors;
+    batch.ResizeUninit(static_cast<std::size_t>(n_days), dim);
     for (int d = first; d < last; ++d) {
       const std::vector<float> sample =
           builder.BuildSample(u, aspect.feature_indices, d);
@@ -180,7 +181,10 @@ ScoreGrid AspectEnsemble::Score(const SampleBuilder& builder, int n_users,
                 batch.data() + static_cast<std::size_t>(d - first) * dim);
     }
     const nn::Tensor& pred = net.Infer(batch, scratch);
-    const std::vector<float> errors = nn::PerSampleMse(pred, batch);
+    if (errors.size() < static_cast<std::size_t>(n_days)) {
+      errors.resize(static_cast<std::size_t>(n_days));
+    }
+    nn::PerSampleMse(pred, batch, errors.data());
     for (int d = first; d < last; ++d) {
       grid.At(a, u, d) = errors[d - first];
     }

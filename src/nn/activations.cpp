@@ -1,67 +1,77 @@
 #include "nn/activations.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 namespace acobe::nn {
 
-Tensor ReLU::Forward(const Tensor& x, bool /*training*/) {
-  Tensor y = x;
-  mask_.Resize(x.rows(), x.cols());
-  for (std::size_t i = 0; i < y.size(); ++i) {
-    if (y.data()[i] > 0.0f) {
-      mask_.data()[i] = 1.0f;
-    } else {
-      y.data()[i] = 0.0f;
-      mask_.data()[i] = 0.0f;
-    }
-  }
-  return y;
-}
-
-void ReLU::Infer(const Tensor& x, Tensor& y) const {
-  y.Resize(x.rows(), x.cols());
+void ReLU::Forward(const Tensor& x, Tensor& y, bool /*training*/) {
+  y.ResizeUninit(x.rows(), x.cols());
+  const float* in = x.data();
+  float* out = y.data();
   for (std::size_t i = 0; i < x.size(); ++i) {
-    const float v = x.data()[i];
-    y.data()[i] = v > 0.0f ? v : 0.0f;
+    const float v = in[i];
+    out[i] = v > 0.0f ? v : 0.0f;
   }
 }
 
-Tensor ReLU::Backward(const Tensor& grad_output) {
-  if (!grad_output.SameShape(mask_)) {
+void ReLU::Infer(MatSpan x, Tensor& y) const {
+  y.ResizeUninit(x.rows, x.cols);
+  float* out = y.data();
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const float v = x.data[i];
+    out[i] = v > 0.0f ? v : 0.0f;
+  }
+}
+
+void ReLU::Backward(const Tensor& /*x*/, const Tensor& y, const Tensor& g,
+                    Tensor& dx, bool need_dx) {
+  if (!g.SameShape(y)) {
     throw std::invalid_argument("ReLU::Backward: bad grad shape");
   }
-  Tensor dx = grad_output;
-  for (std::size_t i = 0; i < dx.size(); ++i) dx.data()[i] *= mask_.data()[i];
-  return dx;
-}
-
-Tensor Sigmoid::Forward(const Tensor& x, bool /*training*/) {
-  Tensor y = x;
-  for (std::size_t i = 0; i < y.size(); ++i) {
-    y.data()[i] = 1.0f / (1.0f + std::exp(-y.data()[i]));
+  if (!need_dx) return;
+  dx.ResizeUninit(g.rows(), g.cols());
+  const float* gp = g.data();
+  const float* yp = y.data();
+  float* out = dx.data();
+  // Same arithmetic as multiplying by a saved 0/1 mask.
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    out[i] = gp[i] * (yp[i] > 0.0f ? 1.0f : 0.0f);
   }
-  output_ = y;
-  return y;
 }
 
-void Sigmoid::Infer(const Tensor& x, Tensor& y) const {
-  y.Resize(x.rows(), x.cols());
+void Sigmoid::Forward(const Tensor& x, Tensor& y, bool /*training*/) {
+  y.ResizeUninit(x.rows(), x.cols());
+  const float* in = x.data();
+  float* out = y.data();
   for (std::size_t i = 0; i < x.size(); ++i) {
-    y.data()[i] = 1.0f / (1.0f + std::exp(-x.data()[i]));
+    out[i] = 1.0f / (1.0f + std::exp(-in[i]));
   }
 }
 
-Tensor Sigmoid::Backward(const Tensor& grad_output) {
-  if (!grad_output.SameShape(output_)) {
+void Sigmoid::Infer(MatSpan x, Tensor& y) const {
+  y.ResizeUninit(x.rows, x.cols);
+  float* out = y.data();
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = 1.0f / (1.0f + std::exp(-x.data[i]));
+  }
+}
+
+void Sigmoid::Backward(const Tensor& /*x*/, const Tensor& y, const Tensor& g,
+                       Tensor& dx, bool need_dx) {
+  if (!g.SameShape(y)) {
     throw std::invalid_argument("Sigmoid::Backward: bad grad shape");
   }
-  Tensor dx = grad_output;
-  for (std::size_t i = 0; i < dx.size(); ++i) {
-    const float s = output_.data()[i];
-    dx.data()[i] *= s * (1.0f - s);
+  if (!need_dx) return;
+  dx.ResizeUninit(g.rows(), g.cols());
+  const float* gp = g.data();
+  const float* yp = y.data();
+  float* out = dx.data();
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const float s = yp[i];
+    out[i] = gp[i] * (s * (1.0f - s));
   }
-  return dx;
 }
 
 Dropout::Dropout(float rate, std::uint64_t seed) : rate_(rate), rng_(seed) {
@@ -70,36 +80,44 @@ Dropout::Dropout(float rate, std::uint64_t seed) : rate_(rate), rng_(seed) {
   }
 }
 
-Tensor Dropout::Forward(const Tensor& x, bool training) {
+void Dropout::Forward(const Tensor& x, Tensor& y, bool training) {
   last_training_ = training && rate_ > 0.0f;
+  y.ResizeUninit(x.rows(), x.cols());
   if (!last_training_) {
-    mask_.Resize(x.rows(), x.cols());
+    mask_.ResizeUninit(x.rows(), x.cols());
     mask_.Fill(1.0f);
-    return x;
+    std::copy(x.data(), x.data() + x.size(), y.data());
+    return;
   }
-  Tensor y = x;
-  mask_.Resize(x.rows(), x.cols());
+  mask_.ResizeUninit(x.rows(), x.cols());
   const float scale = 1.0f / (1.0f - rate_);
-  for (std::size_t i = 0; i < y.size(); ++i) {
+  const float* in = x.data();
+  float* mp = mask_.data();
+  float* out = y.data();
+  for (std::size_t i = 0; i < x.size(); ++i) {
     const bool keep = !rng_.NextBernoulli(rate_);
-    mask_.data()[i] = keep ? scale : 0.0f;
-    y.data()[i] *= mask_.data()[i];
+    mp[i] = keep ? scale : 0.0f;
+    out[i] = in[i] * mp[i];
   }
-  return y;
 }
 
-void Dropout::Infer(const Tensor& x, Tensor& y) const {
+void Dropout::Infer(MatSpan x, Tensor& y) const {
   // Inverted dropout needs no inference-time correction.
-  y = x;
+  y.ResizeUninit(x.rows, x.cols);
+  std::copy(x.data, x.data + x.size(), y.data());
 }
 
-Tensor Dropout::Backward(const Tensor& grad_output) {
-  if (!grad_output.SameShape(mask_)) {
+void Dropout::Backward(const Tensor& /*x*/, const Tensor& /*y*/,
+                       const Tensor& g, Tensor& dx, bool need_dx) {
+  if (!g.SameShape(mask_)) {
     throw std::invalid_argument("Dropout::Backward: bad grad shape");
   }
-  Tensor dx = grad_output;
-  for (std::size_t i = 0; i < dx.size(); ++i) dx.data()[i] *= mask_.data()[i];
-  return dx;
+  if (!need_dx) return;
+  dx.ResizeUninit(g.rows(), g.cols());
+  const float* gp = g.data();
+  const float* mp = mask_.data();
+  float* out = dx.data();
+  for (std::size_t i = 0; i < g.size(); ++i) out[i] = gp[i] * mp[i];
 }
 
 }  // namespace acobe::nn

@@ -6,37 +6,41 @@
 
 namespace acobe::nn {
 
+/// ReLU keeps no state: the backward mask is recomputed from the output
+/// tensor (y > 0 exactly when x > 0), which Sequential's activation
+/// tape already retains.
 class ReLU : public Layer {
  public:
-  Tensor Forward(const Tensor& x, bool training) override;
-  Tensor Backward(const Tensor& grad_output) override;
-  void Infer(const Tensor& x, Tensor& y) const override;
+  void Forward(const Tensor& x, Tensor& y, bool training) override;
+  void Backward(const Tensor& x, const Tensor& y, const Tensor& g, Tensor& dx,
+                bool need_dx) override;
+  void Infer(MatSpan x, Tensor& y) const override;
   std::string TypeName() const override { return "relu"; }
-
- private:
-  Tensor mask_;  // 1 where x > 0
 };
 
+/// Sigmoid keeps no state: backward reads the saved output y directly
+/// (dL/dx = g * y * (1 - y)).
 class Sigmoid : public Layer {
  public:
-  Tensor Forward(const Tensor& x, bool training) override;
-  Tensor Backward(const Tensor& grad_output) override;
-  void Infer(const Tensor& x, Tensor& y) const override;
+  void Forward(const Tensor& x, Tensor& y, bool training) override;
+  void Backward(const Tensor& x, const Tensor& y, const Tensor& g, Tensor& dx,
+                bool need_dx) override;
+  void Infer(MatSpan x, Tensor& y) const override;
   std::string TypeName() const override { return "sigmoid"; }
-
- private:
-  Tensor output_;
 };
 
 /// Inverted dropout: active only in training mode (scales by 1/(1-p) so
-/// inference needs no correction). Deterministic given the seed.
+/// inference needs no correction). Deterministic given the seed. The
+/// mask is the one per-layer buffer Backward needs beyond (x, y); it is
+/// resized in place and reused across batches.
 class Dropout : public Layer {
  public:
   explicit Dropout(float rate, std::uint64_t seed = 7);
 
-  Tensor Forward(const Tensor& x, bool training) override;
-  Tensor Backward(const Tensor& grad_output) override;
-  void Infer(const Tensor& x, Tensor& y) const override;
+  void Forward(const Tensor& x, Tensor& y, bool training) override;
+  void Backward(const Tensor& x, const Tensor& y, const Tensor& g, Tensor& dx,
+                bool need_dx) override;
+  void Infer(MatSpan x, Tensor& y) const override;
   std::string TypeName() const override { return "dropout"; }
   float rate() const { return rate_; }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
 namespace acobe::nn {
 
@@ -26,72 +27,76 @@ void BatchNorm::InitParams(Rng& /*rng*/) {
   running_var_.Fill(1.0f);
 }
 
-Tensor BatchNorm::Forward(const Tensor& x, bool training) {
+void BatchNorm::Forward(const Tensor& x, Tensor& y, bool training) {
   if (x.cols() != dim_) throw std::invalid_argument("BatchNorm: bad input dim");
   const std::size_t n = x.rows();
   last_training_ = training && n > 1;
 
-  Tensor mean(1, dim_), var(1, dim_);
+  const float* mean;
+  const float* var;
   if (last_training_) {
+    mean_.Resize(1, dim_);  // Resize zero-fills: these are accumulators
+    var_.Resize(1, dim_);
     for (std::size_t r = 0; r < n; ++r) {
       const float* row = x.data() + r * dim_;
-      for (std::size_t c = 0; c < dim_; ++c) mean.data()[c] += row[c];
+      for (std::size_t c = 0; c < dim_; ++c) mean_.data()[c] += row[c];
     }
     for (std::size_t c = 0; c < dim_; ++c) {
-      mean.data()[c] /= static_cast<float>(n);
+      mean_.data()[c] /= static_cast<float>(n);
     }
     for (std::size_t r = 0; r < n; ++r) {
       const float* row = x.data() + r * dim_;
       for (std::size_t c = 0; c < dim_; ++c) {
-        const float d = row[c] - mean.data()[c];
-        var.data()[c] += d * d;
+        const float d = row[c] - mean_.data()[c];
+        var_.data()[c] += d * d;
       }
     }
     for (std::size_t c = 0; c < dim_; ++c) {
-      var.data()[c] /= static_cast<float>(n);
+      var_.data()[c] /= static_cast<float>(n);
     }
     for (std::size_t c = 0; c < dim_; ++c) {
       running_mean_.data()[c] = momentum_ * running_mean_.data()[c] +
-                                (1.0f - momentum_) * mean.data()[c];
+                                (1.0f - momentum_) * mean_.data()[c];
       running_var_.data()[c] = momentum_ * running_var_.data()[c] +
-                               (1.0f - momentum_) * var.data()[c];
+                               (1.0f - momentum_) * var_.data()[c];
     }
+    mean = mean_.data();
+    var = var_.data();
   } else {
-    mean = running_mean_;
-    var = running_var_;
+    mean = running_mean_.data();
+    var = running_var_.data();
   }
 
-  inv_std_.Resize(1, dim_);
+  inv_std_.ResizeUninit(1, dim_);
   for (std::size_t c = 0; c < dim_; ++c) {
-    inv_std_.data()[c] = 1.0f / std::sqrt(var.data()[c] + epsilon_);
+    inv_std_.data()[c] = 1.0f / std::sqrt(var[c] + epsilon_);
   }
 
-  x_hat_.Resize(n, dim_);
-  Tensor y(n, dim_);
+  x_hat_.ResizeUninit(n, dim_);
+  y.ResizeUninit(n, dim_);
   for (std::size_t r = 0; r < n; ++r) {
     const float* row = x.data() + r * dim_;
     float* hat = x_hat_.data() + r * dim_;
     float* out = y.data() + r * dim_;
     for (std::size_t c = 0; c < dim_; ++c) {
-      hat[c] = (row[c] - mean.data()[c]) * inv_std_.data()[c];
+      hat[c] = (row[c] - mean[c]) * inv_std_.data()[c];
       out[c] = gamma_.value.data()[c] * hat[c] + beta_.value.data()[c];
     }
   }
-  return y;
 }
 
-void BatchNorm::Infer(const Tensor& x, Tensor& y) const {
-  if (x.cols() != dim_) throw std::invalid_argument("BatchNorm: bad input dim");
-  const std::size_t n = x.rows();
+void BatchNorm::Infer(MatSpan x, Tensor& y) const {
+  if (x.cols != dim_) throw std::invalid_argument("BatchNorm: bad input dim");
+  const std::size_t n = x.rows;
   // Same arithmetic (and order) as Forward's inference branch so the
   // outputs are bit-identical, but without writing the backward caches.
   std::vector<float> inv_std(dim_);
   for (std::size_t c = 0; c < dim_; ++c) {
     inv_std[c] = 1.0f / std::sqrt(running_var_.data()[c] + epsilon_);
   }
-  y.Resize(n, dim_);
+  y.ResizeUninit(n, dim_);
   for (std::size_t r = 0; r < n; ++r) {
-    const float* row = x.data() + r * dim_;
+    const float* row = x.RowPtr(r);
     float* out = y.data() + r * dim_;
     for (std::size_t c = 0; c < dim_; ++c) {
       const float hat = (row[c] - running_mean_.data()[c]) * inv_std[c];
@@ -100,53 +105,55 @@ void BatchNorm::Infer(const Tensor& x, Tensor& y) const {
   }
 }
 
-Tensor BatchNorm::Backward(const Tensor& grad_output) {
-  if (!grad_output.SameShape(x_hat_)) {
+void BatchNorm::Backward(const Tensor& /*x*/, const Tensor& /*y*/,
+                         const Tensor& g, Tensor& dx, bool need_dx) {
+  if (!g.SameShape(x_hat_)) {
     throw std::invalid_argument("BatchNorm::Backward: bad grad shape");
   }
-  const std::size_t n = grad_output.rows();
+  const std::size_t n = g.rows();
 
   // dgamma = sum g*x_hat ; dbeta = sum g.
-  Tensor sum_g(1, dim_), sum_gx(1, dim_);
+  sum_g_.Resize(1, dim_);  // Resize zero-fills: these are accumulators
+  sum_gx_.Resize(1, dim_);
   for (std::size_t r = 0; r < n; ++r) {
-    const float* g = grad_output.data() + r * dim_;
+    const float* gp = g.data() + r * dim_;
     const float* hat = x_hat_.data() + r * dim_;
     for (std::size_t c = 0; c < dim_; ++c) {
-      sum_g.data()[c] += g[c];
-      sum_gx.data()[c] += g[c] * hat[c];
+      sum_g_.data()[c] += gp[c];
+      sum_gx_.data()[c] += gp[c] * hat[c];
     }
   }
   for (std::size_t c = 0; c < dim_; ++c) {
-    gamma_.grad.data()[c] += sum_gx.data()[c];
-    beta_.grad.data()[c] += sum_g.data()[c];
+    gamma_.grad.data()[c] += sum_gx_.data()[c];
+    beta_.grad.data()[c] += sum_g_.data()[c];
   }
 
-  Tensor dx(n, dim_);
+  if (!need_dx) return;
+  dx.ResizeUninit(n, dim_);
   if (last_training_) {
     // Standard batch-norm input gradient with batch statistics:
     // dx = gamma*inv_std/n * (n*g - sum_g - x_hat*sum_gx).
     const float inv_n = 1.0f / static_cast<float>(n);
     for (std::size_t r = 0; r < n; ++r) {
-      const float* g = grad_output.data() + r * dim_;
+      const float* gp = g.data() + r * dim_;
       const float* hat = x_hat_.data() + r * dim_;
       float* out = dx.data() + r * dim_;
       for (std::size_t c = 0; c < dim_; ++c) {
         out[c] = gamma_.value.data()[c] * inv_std_.data()[c] * inv_n *
-                 (static_cast<float>(n) * g[c] - sum_g.data()[c] -
-                  hat[c] * sum_gx.data()[c]);
+                 (static_cast<float>(n) * gp[c] - sum_g_.data()[c] -
+                  hat[c] * sum_gx_.data()[c]);
       }
     }
   } else {
     // Running statistics are constants: dx = g * gamma * inv_std.
     for (std::size_t r = 0; r < n; ++r) {
-      const float* g = grad_output.data() + r * dim_;
+      const float* gp = g.data() + r * dim_;
       float* out = dx.data() + r * dim_;
       for (std::size_t c = 0; c < dim_; ++c) {
-        out[c] = g[c] * gamma_.value.data()[c] * inv_std_.data()[c];
+        out[c] = gp[c] * gamma_.value.data()[c] * inv_std_.data()[c];
       }
     }
   }
-  return dx;
 }
 
 }  // namespace acobe::nn

@@ -17,9 +17,10 @@ class BatchNorm : public Layer {
   explicit BatchNorm(std::size_t dim, float momentum = 0.9f,
                      float epsilon = 1e-3f);
 
-  Tensor Forward(const Tensor& x, bool training) override;
-  Tensor Backward(const Tensor& grad_output) override;
-  void Infer(const Tensor& x, Tensor& y) const override;
+  void Forward(const Tensor& x, Tensor& y, bool training) override;
+  void Backward(const Tensor& x, const Tensor& y, const Tensor& g, Tensor& dx,
+                bool need_dx) override;
+  void Infer(MatSpan x, Tensor& y) const override;
   std::vector<Param*> Params() override { return {&gamma_, &beta_}; }
   void InitParams(Rng& rng) override;
   std::string TypeName() const override { return "batchnorm"; }
@@ -37,9 +38,14 @@ class BatchNorm : public Layer {
   Tensor running_mean_;
   Tensor running_var_;
 
-  // Forward cache for Backward.
+  // Forward caches for Backward, plus (1, dim) statistic scratch
+  // buffers; all resized in place and reused across batches.
   Tensor x_hat_;
   Tensor inv_std_;  // (1, dim)
+  Tensor mean_;     // (1, dim)
+  Tensor var_;      // (1, dim)
+  Tensor sum_g_;    // (1, dim)
+  Tensor sum_gx_;   // (1, dim)
   bool last_training_ = false;
 };
 

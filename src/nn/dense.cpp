@@ -32,48 +32,35 @@ void Dense::InitParams(Rng& rng) {
   bias_.value.Fill(0.0f);
 }
 
-Tensor Dense::Forward(const Tensor& x, bool /*training*/) {
+void Dense::Forward(const Tensor& x, Tensor& y, bool /*training*/) {
   if (x.cols() != in_dim_) throw std::invalid_argument("Dense: bad input dim");
-  cached_input_ = x;
-  Tensor y;
-  Gemm(x, weight_.value, y);
-  for (std::size_t r = 0; r < y.rows(); ++r) {
-    float* row = y.data() + r * out_dim_;
-    const float* b = bias_.value.data();
-    for (std::size_t c = 0; c < out_dim_; ++c) row[c] += b[c];
-  }
-  return y;
+  Gemm(x, weight_.value, y, bias_.value.data());
 }
 
-void Dense::Infer(const Tensor& x, Tensor& y) const {
-  if (x.cols() != in_dim_) throw std::invalid_argument("Dense: bad input dim");
-  Gemm(x, weight_.value, y);
-  for (std::size_t r = 0; r < y.rows(); ++r) {
-    float* row = y.data() + r * out_dim_;
-    const float* b = bias_.value.data();
-    for (std::size_t c = 0; c < out_dim_; ++c) row[c] += b[c];
-  }
+void Dense::Infer(MatSpan x, Tensor& y) const {
+  if (x.cols != in_dim_) throw std::invalid_argument("Dense: bad input dim");
+  Gemm(x, weight_.value, y, bias_.value.data());
 }
 
-Tensor Dense::Backward(const Tensor& grad_output) {
-  if (grad_output.cols() != out_dim_ ||
-      grad_output.rows() != cached_input_.rows()) {
+void Dense::Backward(const Tensor& x, const Tensor& /*y*/, const Tensor& g,
+                     Tensor& dx, bool need_dx) {
+  if (g.cols() != out_dim_ || g.rows() != x.rows()) {
     throw std::invalid_argument("Dense::Backward: bad grad shape");
   }
   // dW += x^T g ; db += sum_rows g ; dx = g W^T.
-  Tensor dw;
-  GemmTransA(cached_input_, grad_output, dw);
-  for (std::size_t i = 0; i < dw.size(); ++i) {
-    weight_.grad.data()[i] += dw.data()[i];
+  // The GEMM overwrites its output, so dW lands in a reusable staging
+  // buffer and is folded into the accumulator, keeping the add order of
+  // grad += contribution per call.
+  GemmTransA(x, g, dw_);
+  for (std::size_t i = 0; i < dw_.size(); ++i) {
+    weight_.grad.data()[i] += dw_.data()[i];
   }
-  for (std::size_t r = 0; r < grad_output.rows(); ++r) {
-    const float* row = grad_output.data() + r * out_dim_;
+  for (std::size_t r = 0; r < g.rows(); ++r) {
+    const float* row = g.data() + r * out_dim_;
     float* db = bias_.grad.data();
     for (std::size_t c = 0; c < out_dim_; ++c) db[c] += row[c];
   }
-  Tensor dx;
-  GemmTransB(grad_output, weight_.value, dx);
-  return dx;
+  if (need_dx) GemmTransB(g, weight_.value, dx);
 }
 
 }  // namespace acobe::nn

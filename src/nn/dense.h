@@ -10,9 +10,10 @@ class Dense : public Layer {
  public:
   Dense(std::size_t in_dim, std::size_t out_dim);
 
-  Tensor Forward(const Tensor& x, bool training) override;
-  Tensor Backward(const Tensor& grad_output) override;
-  void Infer(const Tensor& x, Tensor& y) const override;
+  void Forward(const Tensor& x, Tensor& y, bool training) override;
+  void Backward(const Tensor& x, const Tensor& y, const Tensor& g, Tensor& dx,
+                bool need_dx) override;
+  void Infer(MatSpan x, Tensor& y) const override;
   std::vector<Param*> Params() override { return {&weight_, &bias_}; }
   void InitParams(Rng& rng) override;
   std::string TypeName() const override { return "dense"; }
@@ -26,7 +27,7 @@ class Dense : public Layer {
   std::size_t out_dim_;
   Param weight_;
   Param bias_;
-  Tensor cached_input_;
+  Tensor dw_;  // reused x^T g buffer; GEMM output must not alias weight_.grad
 };
 
 }  // namespace acobe::nn

@@ -2,20 +2,52 @@
 
 // General matrix multiplication kernels used by the dense layers.
 // C = A(op) * B(op), with A (m x k), B (k x n), C (m x n) after ops.
-// Implemented as cache-friendly ikj loops that GCC auto-vectorizes;
-// adequate single-core throughput for the model sizes in this repo.
+//
+// The production kernels are cache-blocked and register-tiled: Gemm and
+// GemmTransA drive a 4x16 micro-kernel over contiguous n-panels of B
+// (an AVX2 variant is selected at runtime where the CPU supports it,
+// with a portable auto-vectorized fallback), and GemmTransB is a
+// dot-product kernel with a 2-wide i / 4-wide j unroll.
+//
+// Determinism contract: every output element accumulates its k terms in
+// ascending-l order into a single accumulator chain, exactly like the
+// original scalar kernels (kept below under reference::), and the AVX2
+// path uses separate multiply and add (never FMA). Results are
+// therefore bit-identical to the scalar reference on every shape --
+// pinned by tests/gemm_test.cpp -- which is what keeps trained models
+// and score grids reproducible across kernel generations and thread
+// counts.
+//
+// The output tensor is resized with ResizeUninit and fully written
+// (write-then-accumulate): kernels do not depend on Tensor::Resize's
+// zero-fill. When `bias` (length n) is non-null, Gemm adds it to every
+// output row in the write-back epilogue, fusing Dense's bias add into
+// the GEMM at identical arithmetic (one add per element, after the
+// k-chain).
 
 #include "nn/tensor.h"
 
 namespace acobe::nn {
 
-/// C = A * B. Shapes: A (m,k), B (k,n), C resized to (m,n).
-void Gemm(const Tensor& a, const Tensor& b, Tensor& c);
+/// C = A * B (+ bias per row). Shapes: A (m,k), B (k,n), C resized to
+/// (m,n); bias, when given, has n elements.
+void Gemm(MatSpan a, MatSpan b, Tensor& c, const float* bias = nullptr);
 
 /// C = A^T * B. Shapes: A (k,m), B (k,n), C resized to (m,n).
-void GemmTransA(const Tensor& a, const Tensor& b, Tensor& c);
+void GemmTransA(MatSpan a, MatSpan b, Tensor& c);
 
 /// C = A * B^T. Shapes: A (m,k), B (n,k), C resized to (m,n).
-void GemmTransB(const Tensor& a, const Tensor& b, Tensor& c);
+void GemmTransB(MatSpan a, MatSpan b, Tensor& c);
+
+namespace reference {
+
+// The original scalar triple-loop kernels, kept as the parity baseline
+// for tests/gemm_test.cpp and the BM_GemmRef benchmarks. Same
+// signatures and accumulation order as the blocked kernels above.
+void Gemm(MatSpan a, MatSpan b, Tensor& c, const float* bias = nullptr);
+void GemmTransA(MatSpan a, MatSpan b, Tensor& c);
+void GemmTransB(MatSpan a, MatSpan b, Tensor& c);
+
+}  // namespace reference
 
 }  // namespace acobe::nn

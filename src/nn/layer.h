@@ -2,9 +2,16 @@
 
 // Layer abstraction for the dense autoencoder stack.
 //
-// Layers process batches (batch x features). Forward caches whatever it
-// needs for Backward; Backward receives dL/d(output) and returns
-// dL/d(input), accumulating dL/d(param) into each Param's grad tensor.
+// Layers process batches (batch x features) through an in-place,
+// buffer-reusing API: Forward writes into a caller-owned output tensor
+// and Backward receives the same input/output tensors plus dL/d(output),
+// writing dL/d(input) into a caller-owned buffer and accumulating
+// dL/d(param) into each Param's grad tensor. Sequential owns the
+// activation tape (see TrainScratch in sequential.h), so layers never
+// deep-copy their inputs; whatever a layer must remember beyond (x, y)
+// -- batch-norm's normalized batch, dropout's mask -- lives in member
+// buffers that are resized in place and reused across batches. After
+// warm-up, a train step performs no heap allocation.
 
 #include <cstdint>
 #include <string>
@@ -26,21 +33,30 @@ class Layer {
  public:
   virtual ~Layer() = default;
 
-  /// Computes the layer output for input batch `x`. `training` switches
-  /// batch-norm between batch statistics and running statistics.
-  virtual Tensor Forward(const Tensor& x, bool training) = 0;
+  /// Computes the layer output for input batch `x` into `y` (resized by
+  /// the layer; callers reuse `y` across batches). `training` switches
+  /// batch-norm between batch statistics and running statistics. `x`
+  /// and `y` must be distinct tensors and stay alive (and unmodified)
+  /// until Backward if a backward pass follows.
+  virtual void Forward(const Tensor& x, Tensor& y, bool training) = 0;
 
-  /// Given dL/d(output of Forward), returns dL/d(input) and accumulates
-  /// parameter gradients. Must be called after Forward on the same batch.
-  virtual Tensor Backward(const Tensor& grad_output) = 0;
+  /// Given the `x`/`y` pair of the preceding Forward call and
+  /// dL/d(output) in `g`, accumulates parameter gradients and -- when
+  /// `need_dx` -- writes dL/d(input) into `dx` (resized by the layer).
+  /// Callers pass need_dx = false for the first layer of a network,
+  /// skipping its input-gradient computation entirely.
+  virtual void Backward(const Tensor& x, const Tensor& y, const Tensor& g,
+                        Tensor& dx, bool need_dx) = 0;
 
   /// Inference-only forward pass writing into caller-owned `y`. Unlike
   /// Forward, this mutates no layer state (no activation caches, no
   /// running-statistics updates), so it is safe to call concurrently on
-  /// a shared trained model — one output tensor per thread. Must produce
-  /// bit-identical values to Forward(x, /*training=*/false). BatchNorm
-  /// uses running statistics; Dropout is the identity.
-  virtual void Infer(const Tensor& x, Tensor& y) const = 0;
+  /// a shared trained model -- one output tensor per thread. Must
+  /// produce bit-identical values to Forward(x, y, /*training=*/false).
+  /// BatchNorm uses running statistics; Dropout is the identity. Takes
+  /// a MatSpan so scoring can stream row blocks of a dataset without
+  /// copying them into a batch tensor.
+  virtual void Infer(MatSpan x, Tensor& y) const = 0;
 
   /// Trainable parameters (empty for activations).
   virtual std::vector<Param*> Params() { return {}; }

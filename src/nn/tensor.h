@@ -3,7 +3,14 @@
 // A minimal dense 2-D float tensor (row-major), the numeric workhorse of
 // the from-scratch neural-network substrate. Shapes are (rows, cols);
 // a batch of samples is (batch, features).
+//
+// Resize/ResizeUninit keep the backing buffer when the new shape fits
+// in what was already allocated, so a tensor that is resized to the
+// same-or-smaller shape every batch allocates exactly once. The backing
+// buffer may therefore be larger than rows*cols; size() is always the
+// logical element count.
 
+#include <algorithm>
 #include <cstddef>
 #include <span>
 #include <stdexcept>
@@ -32,8 +39,8 @@ class Tensor {
 
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
-  std::size_t size() const { return data_.size(); }
-  bool empty() const { return data_.empty(); }
+  std::size_t size() const { return rows_ * cols_; }
+  bool empty() const { return size() == 0; }
 
   float& operator()(std::size_t r, std::size_t c) {
     return data_[r * cols_ + c];
@@ -63,25 +70,32 @@ class Tensor {
     return {data_.data() + r * cols_, cols_};
   }
 
-  void Fill(float value) { data_.assign(data_.size(), value); }
+  void Fill(float value) { std::fill_n(data_.data(), size(), value); }
 
   /// Reshapes without moving data; new shape must preserve size.
   void Reshape(std::size_t rows, std::size_t cols) {
-    if (rows * cols != data_.size()) {
+    if (rows * cols != size()) {
       throw std::invalid_argument("Tensor::Reshape: size mismatch");
     }
     rows_ = rows;
     cols_ = cols;
   }
 
-  /// Resizes, discarding contents. Contract: the result is zero-filled.
-  /// Gemm/GemmTransA accumulate into a freshly Resized output and depend
-  /// on this (asserted in gemm.cpp) — a future non-zeroing Resize
-  /// optimization must give them an explicit zeroing step.
+  /// Resizes, discarding contents; the result is zero-filled. Reuses the
+  /// existing buffer when it is large enough (no allocation, no shrink).
   void Resize(std::size_t rows, std::size_t cols) {
+    ResizeUninit(rows, cols);
+    std::fill_n(data_.data(), size(), 0.0f);
+  }
+
+  /// Resizes without initializing: every element's value is unspecified
+  /// until written. For buffers the caller fully overwrites (GEMM
+  /// outputs, activation scratch) this skips the zero-fill and, once the
+  /// buffer has reached steady-state capacity, costs nothing per call.
+  void ResizeUninit(std::size_t rows, std::size_t cols) {
     rows_ = rows;
     cols_ = cols;
-    data_.assign(rows * cols, 0.0f);
+    if (data_.size() < rows * cols) data_.resize(rows * cols);
   }
 
   bool SameShape(const Tensor& other) const {
@@ -97,7 +111,36 @@ class Tensor {
 
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<float> data_;
+  std::vector<float> data_;  // invariant: data_.size() >= rows_ * cols_
 };
+
+/// Non-owning read-only view of a row-major matrix: either a whole
+/// Tensor (implicit conversion) or a contiguous block of its rows via
+/// RowBlock. Lets the inference/scoring path feed row ranges of a large
+/// dataset through the network without copying them into a batch
+/// tensor. The viewed storage must outlive the span.
+struct MatSpan {
+  const float* data = nullptr;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+
+  MatSpan() = default;
+  MatSpan(const float* d, std::size_t r, std::size_t c)
+      : data(d), rows(r), cols(c) {}
+  MatSpan(const Tensor& t)  // NOLINT: implicit by design
+      : data(t.data()), rows(t.rows()), cols(t.cols()) {}
+
+  std::size_t size() const { return rows * cols; }
+  const float* RowPtr(std::size_t r) const { return data + r * cols; }
+};
+
+/// View of rows [row_begin, row_begin + row_count) of `t`.
+inline MatSpan RowBlock(const Tensor& t, std::size_t row_begin,
+                        std::size_t row_count) {
+  if (row_begin + row_count > t.rows()) {
+    throw std::out_of_range("RowBlock: row range out of bounds");
+  }
+  return {t.data() + row_begin * t.cols(), row_count, t.cols()};
+}
 
 }  // namespace acobe::nn

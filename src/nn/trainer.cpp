@@ -27,11 +27,16 @@ std::vector<EpochStats> TrainReconstruction(
   std::iota(order.begin(), order.end(), 0);
 
   std::vector<EpochStats> history;
+  history.reserve(static_cast<std::size_t>(config.epochs));
   float best_loss = std::numeric_limits<float>::infinity();
   int stall = 0;
 
+  // All per-batch buffers live outside the loops and are resized in
+  // place (ResizeUninit never shrinks capacity), so after the first
+  // full-size batch the epoch loop performs no heap allocation.
   Tensor x;
   Tensor grad;
+  Sequential::TrainScratch scratch;
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     acobe::telemetry::TraceSpan epoch_span("nn.train_epoch");
     rng.Shuffle(order);
@@ -41,15 +46,15 @@ std::vector<EpochStats> TrainReconstruction(
     double epoch_loss = 0.0;
     for (std::size_t start = 0; start < n; start += batch) {
       const std::size_t count = std::min(batch, n - start);
-      x.Resize(count, dim);
+      x.ResizeUninit(count, dim);
       for (std::size_t i = 0; i < count; ++i) {
         const float* src = data.data() + order[start + i] * dim;
         std::copy(src, src + dim, x.data() + i * dim);
       }
       net.ZeroGrad();
-      Tensor pred = net.Forward(x, /*training=*/true);
+      const Tensor& pred = net.Forward(x, scratch, /*training=*/true);
       epoch_loss += static_cast<double>(MseLoss(pred, x, grad)) * count;
-      net.Backward(grad);
+      net.Backward(grad, scratch, /*need_input_grad=*/false);
       optimizer.Step();
     }
     EpochStats stats{epoch, static_cast<float>(epoch_loss / n)};
@@ -74,19 +79,16 @@ std::vector<float> ReconstructionErrors(const Sequential& net,
                                         const Tensor& data,
                                         std::size_t batch_size) {
   const std::size_t n = data.rows();
-  const std::size_t dim = data.cols();
   const std::size_t batch = std::max<std::size_t>(1, batch_size);
-  std::vector<float> errors;
-  errors.reserve(n);
-  Tensor x;
+  std::vector<float> errors(n);
   Sequential::InferScratch scratch;
   for (std::size_t start = 0; start < n; start += batch) {
     const std::size_t count = std::min(batch, n - start);
-    x.Resize(count, dim);
-    std::copy(data.data() + start * dim, data.data() + (start + count) * dim,
-              x.data());
-    const Tensor& pred = net.Infer(x, scratch);
-    for (float e : PerSampleMse(pred, x)) errors.push_back(e);
+    // Score the row block in place: no batch copy, and the per-sample
+    // errors are written straight into the result vector.
+    const MatSpan block = RowBlock(data, start, count);
+    const Tensor& pred = net.Infer(block, scratch);
+    PerSampleMse(pred, block, errors.data() + start);
   }
   return errors;
 }

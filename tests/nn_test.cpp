@@ -143,20 +143,31 @@ TEST(GemmTest, ShapeMismatchThrows) {
 
 // --- Gradient checking -------------------------------------------------------
 
+// Runs a single layer through the out-parameter API, returning the
+// output by value for test convenience.
+Tensor LForward(Layer& layer, const Tensor& x, bool training) {
+  Tensor y;
+  layer.Forward(x, y, training);
+  return y;
+}
+
 // Numerically verifies dL/dx and dL/dparam for a layer under L = sum(y*g)
 // with fixed random g (so dL/dy = g).
 void CheckGradients(Layer& layer, Tensor x, bool training, float tol = 2e-2f) {
   Rng rng(77);
-  Tensor y = layer.Forward(x, training);
+  Tensor y;
+  layer.Forward(x, y, training);
   Tensor g(y.rows(), y.cols());
   for (std::size_t i = 0; i < g.size(); ++i) {
     g.data()[i] = static_cast<float>(rng.NextGaussian());
   }
   for (Param* p : layer.Params()) p->grad.Fill(0.0f);
-  const Tensor dx = layer.Backward(g);
+  Tensor dx;
+  layer.Backward(x, y, g, dx, /*need_dx=*/true);
 
   auto loss_at = [&]() {
-    Tensor out = layer.Forward(x, training);
+    Tensor out;
+    layer.Forward(x, out, training);
     double acc = 0;
     for (std::size_t i = 0; i < out.size(); ++i) {
       acc += static_cast<double>(out.data()[i]) * g.data()[i];
@@ -180,8 +191,8 @@ void CheckGradients(Layer& layer, Tensor x, bool training, float tol = 2e-2f) {
   // Parameter gradients at a few positions.
   // Re-run forward/backward to get fresh parameter grads for unperturbed x.
   for (Param* p : layer.Params()) p->grad.Fill(0.0f);
-  layer.Forward(x, training);
-  layer.Backward(g);
+  layer.Forward(x, y, training);
+  layer.Backward(x, y, g, dx, /*need_dx=*/true);
   for (Param* p : layer.Params()) {
     for (std::size_t i = 0; i < std::min<std::size_t>(p->value.size(), 6);
          ++i) {
@@ -204,7 +215,7 @@ TEST(DenseTest, ForwardComputesAffine) {
   dense.Params()[0]->value = Tensor::FromVector(2, 2, {1, 2, 3, 4});  // W
   dense.Params()[1]->value = Tensor::FromVector(1, 2, {0.5f, -0.5f});  // b
   Tensor x = Tensor::FromVector(1, 2, {1, 1});
-  Tensor y = dense.Forward(x, true);
+  Tensor y = LForward(dense, x, true);
   EXPECT_FLOAT_EQ(y(0, 0), 1 + 3 + 0.5f);
   EXPECT_FLOAT_EQ(y(0, 1), 2 + 4 - 0.5f);
 }
@@ -219,14 +230,15 @@ TEST(DenseTest, GradientsMatchNumeric) {
 TEST(DenseTest, BadShapesThrow) {
   Dense dense(4, 3);
   Tensor x(2, 5);
-  EXPECT_THROW(dense.Forward(x, true), std::invalid_argument);
+  Tensor y;
+  EXPECT_THROW(dense.Forward(x, y, true), std::invalid_argument);
   EXPECT_THROW(Dense(0, 3), std::invalid_argument);
 }
 
 TEST(ReluTest, ForwardZeroesNegatives) {
   ReLU relu;
   Tensor x = Tensor::FromVector(1, 4, {-1, 0, 2, -3});
-  Tensor y = relu.Forward(x, true);
+  Tensor y = LForward(relu, x, true);
   EXPECT_FLOAT_EQ(y(0, 0), 0);
   EXPECT_FLOAT_EQ(y(0, 1), 0);
   EXPECT_FLOAT_EQ(y(0, 2), 2);
@@ -247,7 +259,7 @@ TEST(ReluTest, GradientsMatchNumeric) {
 TEST(SigmoidTest, ForwardRange) {
   Sigmoid sigmoid;
   Tensor x = Tensor::FromVector(1, 3, {-10, 0, 10});
-  Tensor y = sigmoid.Forward(x, true);
+  Tensor y = LForward(sigmoid, x, true);
   EXPECT_NEAR(y(0, 0), 0.0f, 1e-4);
   EXPECT_FLOAT_EQ(y(0, 1), 0.5f);
   EXPECT_NEAR(y(0, 2), 1.0f, 1e-4);
@@ -264,7 +276,7 @@ TEST(BatchNormTest, TrainingNormalizesBatch) {
   Rng rng(14);
   Tensor x = RandomTensor(64, 3, rng);
   for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = x.data()[i] * 3 + 5;
-  Tensor y = bn.Forward(x, true);
+  Tensor y = LForward(bn, x, true);
   for (std::size_t c = 0; c < 3; ++c) {
     double mean = 0, var = 0;
     for (std::size_t r = 0; r < 64; ++r) mean += y(r, c);
@@ -282,10 +294,10 @@ TEST(BatchNormTest, InferenceUsesRunningStats) {
   BatchNorm bn(2, /*momentum=*/0.0f);  // running stats = last batch stats
   Rng rng(15);
   Tensor x = RandomTensor(128, 2, rng);
-  bn.Forward(x, true);
+  LForward(bn, x, true);
   // A single-row inference must not explode (it uses running stats).
   Tensor one = RandomTensor(1, 2, rng);
-  Tensor y = bn.Forward(one, false);
+  Tensor y = LForward(bn, one, false);
   EXPECT_TRUE(std::isfinite(y(0, 0)));
   EXPECT_TRUE(std::isfinite(y(0, 1)));
 }
@@ -360,7 +372,7 @@ TEST(DropoutTest, InferenceIsIdentity) {
   Dropout dropout(0.5f, 3);
   Rng rng(61);
   Tensor x = RandomTensor(4, 6, rng);
-  Tensor y = dropout.Forward(x, /*training=*/false);
+  Tensor y = LForward(dropout, x, /*training=*/false);
   for (std::size_t i = 0; i < x.size(); ++i) {
     EXPECT_FLOAT_EQ(y.data()[i], x.data()[i]);
   }
@@ -369,7 +381,7 @@ TEST(DropoutTest, InferenceIsIdentity) {
 TEST(DropoutTest, TrainingDropsAndScales) {
   Dropout dropout(0.5f, 3);
   Tensor x(1, 1000, 1.0f);
-  Tensor y = dropout.Forward(x, /*training=*/true);
+  Tensor y = LForward(dropout, x, /*training=*/true);
   int zeros = 0;
   double sum = 0;
   for (std::size_t i = 0; i < y.size(); ++i) {
@@ -388,9 +400,10 @@ TEST(DropoutTest, BackwardUsesSameMask) {
   Dropout dropout(0.3f, 4);
   Rng rng(62);
   Tensor x = RandomTensor(2, 50, rng);
-  Tensor y = dropout.Forward(x, true);
+  Tensor y = LForward(dropout, x, true);
   Tensor g(2, 50, 1.0f);
-  Tensor dx = dropout.Backward(g);
+  Tensor dx;
+  dropout.Backward(x, y, g, dx, /*need_dx=*/true);
   for (std::size_t i = 0; i < y.size(); ++i) {
     if (y.data()[i] == 0.0f) {
       EXPECT_FLOAT_EQ(dx.data()[i], 0.0f);

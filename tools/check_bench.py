@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""CI gate for the blocked GEMM kernels.
+
+Compares a fresh `micro_nn --metrics-out=...` run against the checked-in
+baseline (bench/BENCH_nn.json). Absolute GFLOP/s numbers do not transfer
+between machines, so the gate is expressed in terms of the in-run speedup
+of the blocked kernel over the scalar reference kernel:
+
+    speedup(N) = BM_Gemm/N.items_per_second / BM_GemmRef/N.items_per_second
+
+Both benchmarks run in the same process on the same machine, so the ratio
+cancels out clock speed, turbo state, and container noise. The gate fails
+if any size's current speedup drops below `tolerance` times the baseline
+speedup (default 0.8, i.e. a >20% relative regression of BM_Gemm).
+
+Usage:
+    tools/check_bench.py BASELINE.json CURRENT.json [--tolerance 0.8]
+
+Exit status 0 on pass, 1 on regression or malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+SIZES = (64, 128, 256)
+
+
+def load_gauges(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != "acobe.metrics.v1":
+        raise ValueError(f"{path}: not an acobe.metrics.v1 file")
+    return doc.get("gauges", {})
+
+
+def speedup(gauges, size, path):
+    blocked_key = f"bench.BM_Gemm/{size}.items_per_second"
+    ref_key = f"bench.BM_GemmRef/{size}.items_per_second"
+    try:
+        blocked = float(gauges[blocked_key])
+        ref = float(gauges[ref_key])
+    except KeyError as e:
+        raise ValueError(f"{path}: missing gauge {e}") from e
+    if ref <= 0.0:
+        raise ValueError(f"{path}: {ref_key} is non-positive")
+    return blocked / ref
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=0.8,
+                    help="fail if current speedup < baseline speedup * "
+                         "TOLERANCE (default 0.8)")
+    args = ap.parse_args()
+
+    try:
+        base = load_gauges(args.baseline)
+        cur = load_gauges(args.current)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"check_bench: {e}", file=sys.stderr)
+        return 1
+
+    failed = False
+    for n in SIZES:
+        try:
+            base_s = speedup(base, n, args.baseline)
+            cur_s = speedup(cur, n, args.current)
+        except ValueError as e:
+            print(f"check_bench: {e}", file=sys.stderr)
+            return 1
+        floor = base_s * args.tolerance
+        status = "ok" if cur_s >= floor else "REGRESSION"
+        print(f"BM_Gemm/{n}: blocked/ref speedup {cur_s:.2f}x "
+              f"(baseline {base_s:.2f}x, floor {floor:.2f}x) {status}")
+        if cur_s < floor:
+            failed = True
+
+    if failed:
+        print("check_bench: blocked GEMM regressed >"
+              f"{(1 - args.tolerance) * 100:.0f}% vs baseline",
+              file=sys.stderr)
+        return 1
+    print("check_bench: all GEMM speedups within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
