@@ -28,15 +28,22 @@ void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
   out_ << '\n';
 }
 
-std::vector<std::string> SplitCsvLine(const std::string& line) {
-  std::vector<std::string> fields;
+CsvRowStatus SplitCsvLineChecked(const std::string& line,
+                                 std::vector<std::string>& fields) {
+  fields.clear();
+  // CRLF line ending: exactly one trailing '\r' is part of the line
+  // terminator, not of the last field. Interior CRs are content (a
+  // well-formed writer quotes them).
+  std::size_t end = line.size();
+  if (end > 0 && line[end - 1] == '\r') --end;
+
   std::string current;
   bool in_quotes = false;
-  for (std::size_t i = 0; i < line.size(); ++i) {
+  for (std::size_t i = 0; i < end; ++i) {
     const char c = line[i];
     if (in_quotes) {
       if (c == '"') {
-        if (i + 1 < line.size() && line[i + 1] == '"') {
+        if (i + 1 < end && line[i + 1] == '"') {
           current.push_back('"');
           ++i;
         } else {
@@ -50,18 +57,43 @@ std::vector<std::string> SplitCsvLine(const std::string& line) {
     } else if (c == ',') {
       fields.push_back(std::move(current));
       current.clear();
-    } else if (c != '\r') {
+    } else {
       current.push_back(c);
     }
   }
   fields.push_back(std::move(current));
+  return in_quotes ? CsvRowStatus::kUnterminatedQuote : CsvRowStatus::kOk;
+}
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  SplitCsvLineChecked(line, fields);
   return fields;
 }
 
 bool CsvReader::ReadRow(std::vector<std::string>& fields) {
-  std::string line;
-  if (!std::getline(in_, line)) return false;
-  fields = SplitCsvLine(line);
+  raw_.clear();
+  if (!std::getline(in_, raw_)) return false;
+  row_line_ = next_line_++;
+  if (!raw_.empty() && raw_.back() == '\r') raw_.pop_back();
+  status_ = SplitCsvLineChecked(raw_, fields);
+  // A still-open quote means the field legitimately contains the
+  // newline getline consumed: keep appending physical lines until the
+  // quote closes, input ends (truncated row), or the size cap trips.
+  // In line mode the row is simply reported damaged instead.
+  while (multiline_ && status_ == CsvRowStatus::kUnterminatedQuote) {
+    if (raw_.size() > kMaxCsvRowBytes) {
+      status_ = CsvRowStatus::kOversizedRow;
+      break;
+    }
+    std::string more;
+    if (!std::getline(in_, more)) break;  // unterminated at EOF
+    ++next_line_;
+    if (!more.empty() && more.back() == '\r') more.pop_back();
+    raw_ += '\n';
+    raw_ += more;
+    status_ = SplitCsvLineChecked(raw_, fields);
+  }
   return true;
 }
 

@@ -1,0 +1,134 @@
+#include "common/faults.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+
+namespace acobe {
+
+const char* ToString(IngestPolicy policy) {
+  switch (policy) {
+    case IngestPolicy::kStrict:
+      return "strict";
+    case IngestPolicy::kPermissive:
+      return "permissive";
+    case IngestPolicy::kQuarantine:
+      return "quarantine";
+  }
+  return "?";
+}
+
+IngestPolicy IngestPolicyFromString(const std::string& s) {
+  if (s == "strict") return IngestPolicy::kStrict;
+  if (s == "permissive") return IngestPolicy::kPermissive;
+  if (s == "quarantine") return IngestPolicy::kQuarantine;
+  throw std::invalid_argument("unknown ingest policy '" + s +
+                              "' (strict|permissive|quarantine)");
+}
+
+void IngestStats::Merge(const IngestStats& other) {
+  rows_read += other.rows_read;
+  rows_rejected += other.rows_rejected;
+  rows_quarantined += other.rows_quarantined;
+  rows_deduped += other.rows_deduped;
+  if (first_error.empty()) first_error = other.first_error;
+}
+
+namespace {
+
+std::array<std::uint32_t, 256> MakeCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = MakeCrcTable();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t Crc32(const std::string& data, std::uint32_t seed) {
+  return Crc32(data.data(), data.size(), seed);
+}
+
+namespace {
+
+[[noreturn]] void FailAtomicWrite(const std::string& tmp,
+                                  const std::string& what) {
+  const int saved_errno = errno;
+  std::remove(tmp.c_str());
+  throw std::runtime_error("WriteFileAtomic: " + what +
+                           (saved_errno ? std::string(": ") +
+                                              std::strerror(saved_errno)
+                                        : std::string()));
+}
+
+void FsyncPath(const std::string& path, int open_flags,
+               const std::string& tmp_to_cleanup, const char* what) {
+  const int fd = ::open(path.c_str(), open_flags);
+  if (fd < 0) FailAtomicWrite(tmp_to_cleanup, std::string("open ") + what);
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    FailAtomicWrite(tmp_to_cleanup, std::string("fsync ") + what);
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+void WriteFileAtomic(const std::string& path,
+                     const std::function<void(std::ostream&)>& writer) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      errno = 0;
+      throw std::runtime_error("WriteFileAtomic: cannot open " + tmp);
+    }
+    try {
+      writer(out);
+    } catch (...) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw;
+    }
+    out.flush();
+    if (!out) FailAtomicWrite(tmp, "write payload");
+  }
+  FsyncPath(tmp, O_WRONLY, tmp, "temporary");
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    FailAtomicWrite(tmp, "rename into place");
+  }
+  // Make the rename itself durable: sync the containing directory.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {  // best-effort: some filesystems refuse directory fsync
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+}  // namespace acobe

@@ -9,6 +9,8 @@
 #include <memory>
 #include <ostream>
 
+#include "common/faults.h"
+
 namespace acobe::telemetry {
 namespace {
 
@@ -386,17 +388,23 @@ void WriteTraceJson(std::ostream& out) {
 }
 
 bool WriteMetricsJsonFile(const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return false;
-  WriteMetricsJson(out);
-  return static_cast<bool>(out);
+  // Atomic so a crash mid-dump can't leave a half-written JSON file
+  // where a previous run's valid export used to be.
+  try {
+    WriteFileAtomic(path, [](std::ostream& out) { WriteMetricsJson(out); });
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
 }
 
 bool WriteTraceJsonFile(const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return false;
-  WriteTraceJson(out);
-  return static_cast<bool>(out);
+  try {
+    WriteFileAtomic(path, [](std::ostream& out) { WriteTraceJson(out); });
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
 }
 
 }  // namespace acobe::telemetry

@@ -1,6 +1,8 @@
 #include "core/critic.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 
@@ -10,7 +12,7 @@ namespace acobe {
 
 namespace {
 
-std::vector<int> RanksFromScores(const std::vector<float>& scores);
+std::vector<int> RanksFromScores(std::vector<float> scores);
 
 }  // namespace
 
@@ -34,8 +36,15 @@ std::vector<int> AspectRanksOnDay(const ScoreGrid& grid, int aspect, int day) {
 
 namespace {
 
-std::vector<int> RanksFromScores(const std::vector<float>& scores) {
+std::vector<int> RanksFromScores(std::vector<float> scores) {
   const int n = static_cast<int>(scores.size());
+  // A NaN score (diverged model, poisoned sample) would break the
+  // strict weak ordering `a > b` requires — stable_sort on such a
+  // comparator is undefined behavior. Demote NaNs to -inf: an
+  // unscorable user ranks last instead of scrambling everyone's ranks.
+  for (float& s : scores) {
+    if (std::isnan(s)) s = -std::numeric_limits<float>::infinity();
+  }
   std::vector<int> order(n);
   std::iota(order.begin(), order.end(), 0);
   std::stable_sort(order.begin(), order.end(), [&](int a, int b) {

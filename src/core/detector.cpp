@@ -96,6 +96,13 @@ DetectionOutput Detector::Run(const MeasurementCube& cube,
   }
 
   DetectionOutput out;
+  out.degraded_aspects = ensemble.failed_aspects();
+  if (!out.degraded_aspects.empty() && log) {
+    (*log) << "[" << spec_.name << "] WARNING: scoring without "
+           << out.degraded_aspects.size() << " diverged aspect(s):";
+    for (const std::string& name : out.degraded_aspects) (*log) << " " << name;
+    (*log) << "\n";
+  }
   {
     telemetry::TraceSpan score_span("detector.score");
     out.grid = ensemble.Score(builder, n_members, score_begin, score_end);

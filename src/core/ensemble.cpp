@@ -1,16 +1,43 @@
 #include "core/ensemble.h"
 
 #include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
 
+#include "common/faults.h"
 #include "common/parallel.h"
 #include "common/telemetry.h"
 #include "common/trace.h"
 #include "nn/optimizer.h"
+#include "nn/serialize.h"
 
 namespace acobe {
+namespace {
+
+/// Checkpoint file for one aspect, named after the aspect with
+/// filesystem-hostile characters mapped to '_'.
+std::string CheckpointPath(const std::string& dir,
+                           const std::string& aspect_name) {
+  std::string stem;
+  stem.reserve(aspect_name.size());
+  for (char c : aspect_name) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '.';
+    stem.push_back(safe ? c : '_');
+  }
+  return dir + "/aspect_" + stem + ".ae";
+}
+
+bool SpecsMatch(const nn::AutoencoderSpec& a, const nn::AutoencoderSpec& b) {
+  return a.input_dim == b.input_dim && a.encoder_dims == b.encoder_dims &&
+         a.batch_norm == b.batch_norm && a.sigmoid_output == b.sigmoid_output;
+}
+
+}  // namespace
 
 AspectEnsemble::AspectEnsemble(std::vector<AspectGroup> aspects,
                                EnsembleConfig config)
@@ -37,8 +64,27 @@ AspectEnsemble AspectEnsemble::FromTrainedModels(
   AspectEnsemble ensemble(std::move(aspects), std::move(config));
   ensemble.models_ = std::move(models);
   ensemble.specs_ = std::move(specs);
+  ensemble.aspect_ok_.assign(ensemble.aspects_.size(), 1);
   ensemble.trained_ = true;
   return ensemble;
+}
+
+bool AspectEnsemble::degraded() const {
+  return trained_ && healthy_aspect_count() != aspect_count();
+}
+
+int AspectEnsemble::healthy_aspect_count() const {
+  int n = 0;
+  for (std::uint8_t ok : aspect_ok_) n += ok != 0;
+  return n;
+}
+
+std::vector<std::string> AspectEnsemble::failed_aspects() const {
+  std::vector<std::string> names;
+  for (std::size_t a = 0; a < aspect_ok_.size(); ++a) {
+    if (!aspect_ok_[a]) names.push_back(aspects_[a].name);
+  }
+  return names;
 }
 
 nn::Tensor AspectEnsemble::AssembleBatchForDays(const SampleBuilder& builder,
@@ -79,6 +125,12 @@ void AspectEnsemble::Train(
   specs_.clear();
   models_.resize(aspects_.size());
   specs_.resize(aspects_.size());
+  aspect_ok_.assign(aspects_.size(), 0);
+  trained_ = false;
+
+  if (!config_.checkpoint_dir.empty()) {
+    std::filesystem::create_directories(config_.checkpoint_dir);
+  }
 
   // Epoch callbacks arrive from worker threads; serialize them. Their
   // interleaving across aspects depends on scheduling, but each model
@@ -92,55 +144,117 @@ void AspectEnsemble::Train(
         const std::size_t a = static_cast<std::size_t>(ai);
         const AspectGroup& aspect = aspects_[a];
         telemetry::TraceSpan aspect_span("ensemble.train_aspect", aspect.name);
+        nn::AutoencoderSpec spec;
+        spec.input_dim = builder.SampleSize(aspect.feature_indices.size());
+        spec.encoder_dims = config_.encoder_dims;
+        spec.batch_norm = config_.batch_norm;
+        spec.sigmoid_output = true;
+        specs_[a] = spec;
+
+        const std::string ckpt =
+            config_.checkpoint_dir.empty()
+                ? std::string()
+                : CheckpointPath(config_.checkpoint_dir, aspect.name);
+        if (config_.resume && !ckpt.empty()) {
+          std::ifstream in(ckpt, std::ios::binary);
+          if (in) {
+            try {
+              nn::AutoencoderSpec loaded_spec;
+              nn::Sequential net = nn::LoadAutoencoder(in, loaded_spec);
+              if (!SpecsMatch(loaded_spec, spec)) {
+                throw CheckpointMismatch(
+                    "checkpoint " + ckpt +
+                    " was trained under a different architecture");
+              }
+              models_[a] = std::move(net);
+              aspect_ok_[a] = 1;
+              ACOBE_COUNT("ensemble.aspects_resumed", 1);
+              return;
+            } catch (const CheckpointMismatch&) {
+              throw;
+            } catch (const std::exception&) {
+              // Corrupt or truncated checkpoint (detected by its CRC):
+              // discard it and retrain this aspect from scratch.
+              ACOBE_COUNT("ensemble.checkpoints_corrupt", 1);
+            }
+          }
+        }
+
         // Per-aspect per-epoch loss trajectory ("train.loss.<aspect>");
         // each aspect owns its Series, so worker appends never contend.
         telemetry::Series* loss_series =
             telemetry::MetricsEnabled()
                 ? &telemetry::GetSeries("train.loss." + aspect.name)
                 : nullptr;
-        nn::AutoencoderSpec spec;
-        spec.input_dim = builder.SampleSize(aspect.feature_indices.size());
-        spec.encoder_dims = config_.encoder_dims;
-        spec.batch_norm = config_.batch_norm;
-        spec.sigmoid_output = true;
-        nn::Sequential net = nn::BuildAutoencoder(spec);
-        Rng rng(config_.seed + a * 7919);
-        net.InitParams(rng);
-
         const nn::Tensor data =
             AssembleBatchForDays(builder, aspect, n_users, day_begin, day_end,
                                  std::max(1, config_.train_stride));
-        std::unique_ptr<nn::Optimizer> optimizer_ptr;
-        switch (config_.optimizer) {
-          case OptimizerKind::kAdadelta:
-            optimizer_ptr =
-                std::make_unique<nn::Adadelta>(config_.learning_rate);
-            break;
-          case OptimizerKind::kAdam:
-            optimizer_ptr = std::make_unique<nn::Adam>(config_.learning_rate);
-            break;
-          case OptimizerKind::kSgd:
-            optimizer_ptr =
-                std::make_unique<nn::Sgd>(config_.learning_rate, 0.9f);
-            break;
+
+        const int attempts = std::max(1, config_.max_train_attempts);
+        for (int attempt = 0; attempt < attempts; ++attempt) {
+          nn::Sequential net = nn::BuildAutoencoder(spec);
+          // Attempt 0 reproduces the single-attempt seed derivations
+          // bit-exactly; retries fork deterministic fresh streams.
+          const std::uint64_t attempt_key =
+              static_cast<std::uint64_t>(attempt);
+          Rng rng(config_.seed + a * 7919 +
+                  attempt_key * 0x9E3779B97F4A7C15ULL);
+          net.InitParams(rng);
+          const float lr =
+              config_.learning_rate *
+              std::pow(config_.retry_lr_decay, static_cast<float>(attempt));
+          std::unique_ptr<nn::Optimizer> optimizer_ptr;
+          switch (config_.optimizer) {
+            case OptimizerKind::kAdadelta:
+              optimizer_ptr = std::make_unique<nn::Adadelta>(lr);
+              break;
+            case OptimizerKind::kAdam:
+              optimizer_ptr = std::make_unique<nn::Adam>(lr);
+              break;
+            case OptimizerKind::kSgd:
+              optimizer_ptr = std::make_unique<nn::Sgd>(lr, 0.9f);
+              break;
+          }
+          nn::Optimizer& optimizer = *optimizer_ptr;
+          nn::TrainConfig train = config_.train;
+          train.seed = config_.seed + a * 104729 +
+                       attempt_key * 0xC2B2AE3D27D4EB4FULL;
+          try {
+            nn::TrainReconstruction(
+                net, optimizer, data, train,
+                (on_epoch || loss_series) ? [&](const nn::EpochStats& s) {
+                  if (loss_series) loss_series->Append(s.loss);
+                  if (on_epoch) {
+                    std::lock_guard<std::mutex> lock(epoch_mutex);
+                    on_epoch(aspect.name, s);
+                  }
+                } : std::function<void(const nn::EpochStats&)>());
+          } catch (const nn::TrainingDiverged&) {
+            ACOBE_COUNT("ensemble.train_retries", 1);
+            if (attempt + 1 < attempts) continue;
+            if (!config_.allow_degraded) throw;
+            // Irrecoverable: leave aspect_ok_[a] == 0; Score() ranks
+            // from the healthy remainder and reports flag the gap.
+            ACOBE_COUNT("ensemble.aspects_failed", 1);
+            return;
+          }
+          models_[a] = std::move(net);
+          aspect_ok_[a] = 1;
+          if (!ckpt.empty()) {
+            WriteFileAtomic(ckpt, [&](std::ostream& out) {
+              nn::SaveAutoencoder(specs_[a], models_[a], out);
+            });
+          }
+          return;
         }
-        nn::Optimizer& optimizer = *optimizer_ptr;
-        nn::TrainConfig train = config_.train;
-        train.seed = config_.seed + a * 104729;
-        nn::TrainReconstruction(
-            net, optimizer, data, train,
-            (on_epoch || loss_series) ? [&](const nn::EpochStats& s) {
-              if (loss_series) loss_series->Append(s.loss);
-              if (on_epoch) {
-                std::lock_guard<std::mutex> lock(epoch_mutex);
-                on_epoch(aspect.name, s);
-              }
-            } : std::function<void(const nn::EpochStats&)>());
-        models_[a] = std::move(net);
-        specs_[a] = spec;
       });
-  ACOBE_COUNT("ensemble.aspects_trained", aspects_.size());
+  ACOBE_COUNT("ensemble.aspects_trained", healthy_aspect_count());
   trained_ = true;
+  if (healthy_aspect_count() == 0) {
+    trained_ = false;
+    throw std::runtime_error(
+        "AspectEnsemble::Train: every aspect diverged on every attempt");
+  }
 }
 
 ScoreGrid AspectEnsemble::Score(const SampleBuilder& builder, int n_users,
@@ -152,24 +266,35 @@ ScoreGrid AspectEnsemble::Score(const SampleBuilder& builder, int n_users,
   if (first >= last) {
     throw std::invalid_argument("AspectEnsemble::Score: empty day range");
   }
+  // Graceful degradation: rank only over aspects whose training
+  // converged. Grid aspect h maps to ensemble aspect healthy[h]; with
+  // no failures this is the identity and results are unchanged.
+  std::vector<int> healthy;
+  for (int a = 0; a < aspect_count(); ++a) {
+    if (aspect_ok_[static_cast<std::size_t>(a)]) healthy.push_back(a);
+  }
+  if (healthy.empty()) {
+    throw std::runtime_error("AspectEnsemble::Score: every aspect failed");
+  }
   std::vector<std::string> names;
-  names.reserve(aspects_.size());
-  for (const AspectGroup& a : aspects_) names.push_back(a.name);
+  names.reserve(healthy.size());
+  for (int a : healthy) names.push_back(aspects_[a].name);
   ScoreGrid grid(std::move(names), n_users, first, last);
 
   // One work item per (aspect, user): each scores all of the user's days
   // in one batch through the aspect's model via the const Infer path
   // (models are shared read-only across workers; every item writes a
   // disjoint set of grid cells).
-  const int n_aspects = static_cast<int>(aspects_.size());
+  const int n_aspects = static_cast<int>(healthy.size());
   const int n_days = last - first;
   ParallelFor(0, n_aspects * n_users, config_.threads, [&](int item) {
     telemetry::TraceSpan item_span("ensemble.score_user");
-    const int a = item / n_users;
+    const int h = item / n_users;
+    const int a = healthy[static_cast<std::size_t>(h)];
     const int u = item % n_users;
-    const AspectGroup& aspect = aspects_[a];
+    const AspectGroup& aspect = aspects_[static_cast<std::size_t>(a)];
     const std::size_t dim = builder.SampleSize(aspect.feature_indices.size());
-    const nn::Sequential& net = models_[a];
+    const nn::Sequential& net = models_[static_cast<std::size_t>(a)];
     thread_local nn::Tensor batch;
     thread_local nn::Sequential::InferScratch scratch;
     thread_local std::vector<float> errors;
@@ -186,7 +311,7 @@ ScoreGrid AspectEnsemble::Score(const SampleBuilder& builder, int n_users,
     }
     nn::PerSampleMse(pred, batch, errors.data());
     for (int d = first; d < last; ++d) {
-      grid.At(a, u, d) = errors[d - first];
+      grid.At(h, u, d) = errors[d - first];
     }
   });
   ACOBE_COUNT("ensemble.samples_scored",

@@ -6,7 +6,9 @@
 // users over the training day range; anomaly scores are per-sample
 // reconstruction errors.
 
+#include <cstdint>
 #include <functional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -42,6 +44,35 @@ struct EnsembleConfig {
   /// bit-identical for every thread count: per-aspect RNG streams are
   /// seed-derived and scoring writes disjoint grid cells.
   int threads = 0;
+  /// Total training attempts per aspect. A TrainingDiverged (NaN/Inf
+  /// epoch loss) retries deterministically: attempt k re-derives fresh
+  /// init/shuffle seeds from the base seed and scales the learning rate
+  /// by retry_lr_decay^k. Attempt 0 reproduces the single-attempt seeds
+  /// bit-exactly, so converging runs are unchanged.
+  int max_train_attempts = 3;
+  float retry_lr_decay = 0.5f;
+  /// When an aspect diverges on every attempt: mark it failed and score
+  /// from the remaining aspects (true), or rethrow (false). Failed
+  /// aspects are reported via failed_aspects() and excluded from the
+  /// ScoreGrid.
+  bool allow_degraded = true;
+  /// When non-empty, each aspect's trained autoencoder is checkpointed
+  /// here (crash-safe: atomic rename + CRC) as soon as it finishes, and
+  /// with `resume` set, Train() loads matching checkpoints instead of
+  /// retraining — a killed run restarts from the last completed aspect
+  /// and reproduces the uninterrupted result bit-exactly. A corrupt or
+  /// truncated checkpoint is discarded and retrained; a checkpoint
+  /// whose architecture mismatches the config throws CheckpointMismatch
+  /// (the directory belongs to a different run configuration).
+  std::string checkpoint_dir;
+  bool resume = false;
+};
+
+/// A resume checkpoint was valid but trained under a different
+/// architecture than the current run (see EnsembleConfig::checkpoint_dir).
+struct CheckpointMismatch : std::runtime_error {
+  explicit CheckpointMismatch(const std::string& what)
+      : std::runtime_error(what) {}
 };
 
 class AspectEnsemble {
@@ -68,6 +99,14 @@ class AspectEnsemble {
   const EnsembleConfig& config() const { return config_; }
   bool trained() const { return trained_; }
 
+  /// Health after Train(): an aspect whose training diverged on every
+  /// attempt is unusable; Score() ranks from the healthy remainder.
+  bool aspect_ok(int i) const { return trained_ && aspect_ok_.at(i) != 0; }
+  bool degraded() const;
+  int healthy_aspect_count() const;
+  /// Names of irrecoverable aspects, in aspect order (for report flags).
+  std::vector<std::string> failed_aspects() const;
+
   /// Reassembles a trained ensemble from persisted parts (used by
   /// LoadEnsemble); models must match `aspects` pairwise.
   static AspectEnsemble FromTrainedModels(
@@ -85,6 +124,7 @@ class AspectEnsemble {
   EnsembleConfig config_;
   std::vector<nn::Sequential> models_;
   std::vector<nn::AutoencoderSpec> specs_;
+  std::vector<std::uint8_t> aspect_ok_;
   bool trained_ = false;
 };
 

@@ -4,14 +4,27 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 
+#include "common/faults.h"
 #include "nn/serialize.h"
 
 namespace acobe {
 namespace {
 
-constexpr std::uint32_t kMagic = 0xAC0BE002;
+// v1: magic + raw payload. v2 adds a byte count and CRC32 over the
+// whole payload so a truncated or bit-rotted ensemble file fails fast
+// with "corrupt artifact" instead of deserializing garbage weights.
+// v1 files remain loadable.
+constexpr std::uint32_t kMagicV1 = 0xAC0BE002;
+constexpr std::uint32_t kMagicV2 = 0xAC0BE003;
+
+// Hostile-input ceilings, checked before any allocation sized from the
+// header (same spirit as the string-length guard below).
+constexpr std::uint32_t kMaxAspects = 4096;
+constexpr std::uint32_t kMaxFeaturesPerAspect = 1u << 20;
+constexpr std::uint32_t kMaxPayloadBytes = 1u << 30;
 
 void WriteU32(std::ostream& out, std::uint32_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -38,13 +51,7 @@ std::string ReadString(std::istream& in) {
   return s;
 }
 
-}  // namespace
-
-void SaveEnsemble(AspectEnsemble& ensemble, std::ostream& out) {
-  if (!ensemble.trained()) {
-    throw std::logic_error("SaveEnsemble: ensemble is not trained");
-  }
-  WriteU32(out, kMagic);
+void WritePayload(AspectEnsemble& ensemble, std::ostream& out) {
   WriteU32(out, static_cast<std::uint32_t>(ensemble.aspect_count()));
   for (int a = 0; a < ensemble.aspect_count(); ++a) {
     const AspectGroup& aspect = ensemble.aspect(a);
@@ -57,11 +64,11 @@ void SaveEnsemble(AspectEnsemble& ensemble, std::ostream& out) {
   }
 }
 
-AspectEnsemble LoadEnsemble(std::istream& in) {
-  if (ReadU32(in) != kMagic) {
-    throw std::runtime_error("LoadEnsemble: bad magic");
-  }
+AspectEnsemble ReadPayload(std::istream& in) {
   const std::uint32_t aspects = ReadU32(in);
+  if (aspects == 0 || aspects > kMaxAspects) {
+    throw std::runtime_error("LoadEnsemble: implausible aspect count");
+  }
   std::vector<AspectGroup> groups;
   std::vector<nn::Sequential> models;
   std::vector<nn::AutoencoderSpec> specs;
@@ -69,8 +76,15 @@ AspectEnsemble LoadEnsemble(std::istream& in) {
     AspectGroup group;
     group.name = ReadString(in);
     const std::uint32_t n = ReadU32(in);
+    if (n > kMaxFeaturesPerAspect) {
+      throw std::runtime_error("LoadEnsemble: implausible feature count");
+    }
     for (std::uint32_t i = 0; i < n; ++i) {
-      group.feature_indices.push_back(static_cast<int>(ReadU32(in)));
+      const std::uint32_t f = ReadU32(in);
+      if (f > kMaxFeaturesPerAspect) {
+        throw std::runtime_error("LoadEnsemble: implausible feature index");
+      }
+      group.feature_indices.push_back(static_cast<int>(f));
     }
     groups.push_back(std::move(group));
     nn::AutoencoderSpec spec;
@@ -84,10 +98,53 @@ AspectEnsemble LoadEnsemble(std::istream& in) {
                                            std::move(models), std::move(specs));
 }
 
+}  // namespace
+
+void SaveEnsemble(AspectEnsemble& ensemble, std::ostream& out) {
+  if (!ensemble.trained()) {
+    throw std::logic_error("SaveEnsemble: ensemble is not trained");
+  }
+  if (ensemble.degraded()) {
+    // The on-disk format has no notion of a failed aspect; persisting a
+    // partial ensemble would silently load as a "complete" one later.
+    throw std::logic_error(
+        "SaveEnsemble: ensemble is degraded (aspects failed training); "
+        "refusing to persist a partial model");
+  }
+  std::ostringstream payload_stream;
+  WritePayload(ensemble, payload_stream);
+  const std::string payload = payload_stream.str();
+  WriteU32(out, kMagicV2);
+  WriteU32(out, static_cast<std::uint32_t>(payload.size()));
+  WriteU32(out, Crc32(payload));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+}
+
+AspectEnsemble LoadEnsemble(std::istream& in) {
+  const std::uint32_t magic = ReadU32(in);
+  if (magic == kMagicV1) return ReadPayload(in);  // legacy format
+  if (magic != kMagicV2) {
+    throw std::runtime_error("LoadEnsemble: bad magic");
+  }
+  const std::uint32_t size = ReadU32(in);
+  if (size > kMaxPayloadBytes) {
+    throw std::runtime_error("LoadEnsemble: implausible payload size");
+  }
+  const std::uint32_t expected_crc = ReadU32(in);
+  std::string payload(size, '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(size));
+  if (!in) throw std::runtime_error("LoadEnsemble: truncated payload");
+  if (Crc32(payload) != expected_crc) {
+    throw std::runtime_error(
+        "LoadEnsemble: checksum mismatch (corrupt artifact)");
+  }
+  std::istringstream payload_stream(payload);
+  return ReadPayload(payload_stream);
+}
+
 void SaveEnsembleFile(AspectEnsemble& ensemble, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("SaveEnsembleFile: cannot open " + path);
-  SaveEnsemble(ensemble, out);
+  WriteFileAtomic(path,
+                  [&](std::ostream& out) { SaveEnsemble(ensemble, out); });
 }
 
 AspectEnsemble LoadEnsembleFile(const std::string& path) {

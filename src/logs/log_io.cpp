@@ -1,6 +1,8 @@
 #include "logs/log_io.h"
 
+#include <charconv>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <stdexcept>
 #include <string>
@@ -14,27 +16,139 @@ namespace {
 
 std::string TsToString(Timestamp ts) { return std::to_string(ts); }
 
-Timestamp TsFromString(const std::string& s) { return std::stoll(s); }
-
-void RequireFields(const std::vector<std::string>& row, std::size_t n,
-                   const char* what) {
-  if (row.size() != n) {
-    ACOBE_COUNT("logs.parse_errors", 1);
-    throw std::invalid_argument(std::string(what) +
-                                ": wrong field count in row");
+/// Strict integer parse: the whole field must be a decimal integer
+/// (optional leading minus), no whitespace, no trailing junk —
+/// std::stoll's tolerance for both is how garbage timestamps slip in.
+std::int64_t ParseI64(const std::string& s, const char* what) {
+  std::int64_t v = 0;
+  const char* begin = s.data();
+  const char* end = begin + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, v);
+  if (ec != std::errc() || ptr != end || s.empty()) {
+    throw std::invalid_argument(std::string(what) + ": bad integer '" + s +
+                                "'");
   }
+  return v;
 }
 
-bool ReadHeaderOrRow(CsvReader& reader, std::vector<std::string>& row,
-                     bool& saw_header) {
-  if (!saw_header) {
-    saw_header = true;
-    if (!reader.ReadRow(row)) return false;  // empty stream: no header at all
-    // Header consumed; fall through to the first data row.
+Timestamp ParseTs(const std::string& s, const IngestOptions& opts) {
+  const std::int64_t ts = ParseI64(s, "ts");
+  if (ts < opts.ts_min || ts > opts.ts_max) {
+    throw std::invalid_argument("ts: timestamp " + s +
+                                " outside plausibility window");
   }
-  if (!reader.ReadRow(row)) return false;
-  ACOBE_COUNT("logs.rows_read", 1);
-  return true;
+  return ts;
+}
+
+std::uint32_t ParseU32(const std::string& s, const char* what) {
+  const std::int64_t v = ParseI64(s, what);
+  if (v < 0 || v > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument(std::string(what) + ": out of range '" + s +
+                                "'");
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+std::uint16_t ParseU16(const std::string& s, const char* what) {
+  const std::int64_t v = ParseI64(s, what);
+  if (v < 0 || v > std::numeric_limits<std::uint16_t>::max()) {
+    throw std::invalid_argument(std::string(what) + ": out of range '" + s +
+                                "'");
+  }
+  return static_cast<std::uint16_t>(v);
+}
+
+bool ParseBool01(const std::string& s, const char* what) {
+  if (s == "1") return true;
+  if (s == "0") return false;
+  throw std::invalid_argument(std::string(what) + ": expected 0 or 1, got '" +
+                              s + "'");
+}
+
+/// The shared policy-driven row loop: header, structural checks, field
+/// count, per-row parse with recovery, duplicate dropping, quarantine,
+/// and the bounded error budget. `parse` consumes one well-formed row.
+template <typename ParseRow>
+IngestStats IngestCsv(std::istream& in, const std::string& source,
+                      std::size_t n_fields, const IngestOptions& opts,
+                      ParseRow&& parse) {
+  // Line mode: CERT-layout logs are one record per physical line, so a
+  // corrupted byte that happens to be a quote damages one row instead
+  // of slurping the rest of the file into it.
+  CsvReader reader(in, /*multiline=*/false);
+  std::vector<std::string> row;
+  IngestStats stats;
+  bool saw_header = false;
+  std::string prev_raw;
+
+  auto reject = [&](std::size_t line, const std::string& raw,
+                    const std::string& reason) {
+    ++stats.rows_rejected;
+    ACOBE_COUNT("logs.rows_rejected", 1);
+    ACOBE_COUNT("logs.parse_errors", 1);
+    if (stats.first_error.empty()) {
+      stats.first_error =
+          source + ":" + std::to_string(line) + ": " + reason;
+    }
+    if (opts.policy == IngestPolicy::kStrict) {
+      throw IngestError(source, line, reason);
+    }
+    if (opts.policy == IngestPolicy::kQuarantine && opts.quarantine) {
+      (*opts.quarantine) << raw << '\n';
+      ++stats.rows_quarantined;
+      ACOBE_COUNT("logs.rows_quarantined", 1);
+    }
+    if (stats.rows_read >= opts.budget_min_rows &&
+        static_cast<double>(stats.rows_rejected) >
+            opts.error_budget * static_cast<double>(stats.rows_read)) {
+      throw IngestError(
+          source, line,
+          "error budget exceeded: " + std::to_string(stats.rows_rejected) +
+              " of " + std::to_string(stats.rows_read) +
+              " rows rejected (budget " + std::to_string(opts.error_budget) +
+              ")");
+    }
+  };
+
+  while (reader.ReadRow(row)) {
+    if (!saw_header) {
+      saw_header = true;
+      continue;
+    }
+    if (reader.raw_row().empty()) continue;  // trailing/blank line
+    ++stats.rows_read;
+    ACOBE_COUNT("logs.rows_read", 1);
+    // Duplicate suppression compares against the last *accepted* row,
+    // not the last row seen: a redelivered pair may be separated by the
+    // garbled first transmission, and a rejected row must not shield
+    // the retransmission that follows it from dedup.
+    if (opts.drop_consecutive_duplicates && !prev_raw.empty() &&
+        reader.raw_row() == prev_raw) {
+      ++stats.rows_deduped;
+      ACOBE_COUNT("logs.rows_deduped", 1);
+      continue;
+    }
+    if (reader.status() != CsvRowStatus::kOk) {
+      reject(reader.row_line(), reader.raw_row(),
+             reader.status() == CsvRowStatus::kUnterminatedQuote
+                 ? "unterminated quoted field (truncated row?)"
+                 : "row exceeds size cap");
+      continue;
+    }
+    if (row.size() != n_fields) {
+      reject(reader.row_line(), reader.raw_row(),
+             "expected " + std::to_string(n_fields) + " fields, got " +
+                 std::to_string(row.size()));
+      continue;
+    }
+    try {
+      parse(row);
+      prev_raw = reader.raw_row();
+    } catch (const std::exception& e) {
+      reject(reader.row_line(), reader.raw_row(), e.what());
+    }
+  }
+  return stats;
 }
 
 }  // namespace
@@ -49,20 +163,19 @@ void WriteDeviceCsv(const LogStore& store, std::ostream& out) {
   }
 }
 
-void ReadDeviceCsv(std::istream& in, LogStore& store) {
+IngestStats ReadDeviceCsv(std::istream& in, LogStore& store,
+                          const IngestOptions& opts,
+                          const std::string& source) {
   ACOBE_SPAN2("logs.read", "device");
-  CsvReader reader(in);
-  std::vector<std::string> row;
-  bool saw_header = false;
-  while (ReadHeaderOrRow(reader, row, saw_header)) {
-    RequireFields(row, 4, "device.csv");
-    DeviceEvent e;
-    e.ts = TsFromString(row[0]);
-    e.user = store.users().Intern(row[1]);
-    e.pc = store.pcs().Intern(row[2]);
-    e.activity = DeviceActivityFromString(row[3]);
-    store.Add(e);
-  }
+  return IngestCsv(in, source, 4, opts,
+                   [&](const std::vector<std::string>& row) {
+                     DeviceEvent e;
+                     e.ts = ParseTs(row[0], opts);
+                     e.activity = DeviceActivityFromString(row[3]);
+                     e.user = store.users().Intern(row[1]);
+                     e.pc = store.pcs().Intern(row[2]);
+                     store.Add(e);
+                   });
 }
 
 void WriteFileCsv(const LogStore& store, std::ostream& out) {
@@ -77,23 +190,21 @@ void WriteFileCsv(const LogStore& store, std::ostream& out) {
   }
 }
 
-void ReadFileCsv(std::istream& in, LogStore& store) {
+IngestStats ReadFileCsv(std::istream& in, LogStore& store,
+                        const IngestOptions& opts, const std::string& source) {
   ACOBE_SPAN2("logs.read", "file");
-  CsvReader reader(in);
-  std::vector<std::string> row;
-  bool saw_header = false;
-  while (ReadHeaderOrRow(reader, row, saw_header)) {
-    RequireFields(row, 7, "file.csv");
-    FileEvent e;
-    e.ts = TsFromString(row[0]);
-    e.user = store.users().Intern(row[1]);
-    e.pc = store.pcs().Intern(row[2]);
-    e.activity = FileActivityFromString(row[3]);
-    e.file = store.files().Intern(row[4]);
-    e.from = FileLocationFromString(row[5]);
-    e.to = FileLocationFromString(row[6]);
-    store.Add(e);
-  }
+  return IngestCsv(in, source, 7, opts,
+                   [&](const std::vector<std::string>& row) {
+                     FileEvent e;
+                     e.ts = ParseTs(row[0], opts);
+                     e.activity = FileActivityFromString(row[3]);
+                     e.from = FileLocationFromString(row[5]);
+                     e.to = FileLocationFromString(row[6]);
+                     e.user = store.users().Intern(row[1]);
+                     e.pc = store.pcs().Intern(row[2]);
+                     e.file = store.files().Intern(row[4]);
+                     store.Add(e);
+                   });
 }
 
 void WriteHttpCsv(const LogStore& store, std::ostream& out) {
@@ -107,22 +218,20 @@ void WriteHttpCsv(const LogStore& store, std::ostream& out) {
   }
 }
 
-void ReadHttpCsv(std::istream& in, LogStore& store) {
+IngestStats ReadHttpCsv(std::istream& in, LogStore& store,
+                        const IngestOptions& opts, const std::string& source) {
   ACOBE_SPAN2("logs.read", "http");
-  CsvReader reader(in);
-  std::vector<std::string> row;
-  bool saw_header = false;
-  while (ReadHeaderOrRow(reader, row, saw_header)) {
-    RequireFields(row, 6, "http.csv");
-    HttpEvent e;
-    e.ts = TsFromString(row[0]);
-    e.user = store.users().Intern(row[1]);
-    e.pc = store.pcs().Intern(row[2]);
-    e.activity = HttpActivityFromString(row[3]);
-    e.domain = store.domains().Intern(row[4]);
-    e.filetype = HttpFileTypeFromString(row[5]);
-    store.Add(e);
-  }
+  return IngestCsv(in, source, 6, opts,
+                   [&](const std::vector<std::string>& row) {
+                     HttpEvent e;
+                     e.ts = ParseTs(row[0], opts);
+                     e.activity = HttpActivityFromString(row[3]);
+                     e.filetype = HttpFileTypeFromString(row[5]);
+                     e.user = store.users().Intern(row[1]);
+                     e.pc = store.pcs().Intern(row[2]);
+                     e.domain = store.domains().Intern(row[4]);
+                     store.Add(e);
+                   });
 }
 
 void WriteLogonCsv(const LogStore& store, std::ostream& out) {
@@ -135,20 +244,19 @@ void WriteLogonCsv(const LogStore& store, std::ostream& out) {
   }
 }
 
-void ReadLogonCsv(std::istream& in, LogStore& store) {
+IngestStats ReadLogonCsv(std::istream& in, LogStore& store,
+                         const IngestOptions& opts,
+                         const std::string& source) {
   ACOBE_SPAN2("logs.read", "logon");
-  CsvReader reader(in);
-  std::vector<std::string> row;
-  bool saw_header = false;
-  while (ReadHeaderOrRow(reader, row, saw_header)) {
-    RequireFields(row, 4, "logon.csv");
-    LogonEvent e;
-    e.ts = TsFromString(row[0]);
-    e.user = store.users().Intern(row[1]);
-    e.pc = store.pcs().Intern(row[2]);
-    e.activity = LogonActivityFromString(row[3]);
-    store.Add(e);
-  }
+  return IngestCsv(in, source, 4, opts,
+                   [&](const std::vector<std::string>& row) {
+                     LogonEvent e;
+                     e.ts = ParseTs(row[0], opts);
+                     e.activity = LogonActivityFromString(row[3]);
+                     e.user = store.users().Intern(row[1]);
+                     e.pc = store.pcs().Intern(row[2]);
+                     store.Add(e);
+                   });
 }
 
 void WriteEnterpriseCsv(const LogStore& store, std::ostream& out) {
@@ -162,21 +270,20 @@ void WriteEnterpriseCsv(const LogStore& store, std::ostream& out) {
   }
 }
 
-void ReadEnterpriseCsv(std::istream& in, LogStore& store) {
+IngestStats ReadEnterpriseCsv(std::istream& in, LogStore& store,
+                              const IngestOptions& opts,
+                              const std::string& source) {
   ACOBE_SPAN2("logs.read", "enterprise");
-  CsvReader reader(in);
-  std::vector<std::string> row;
-  bool saw_header = false;
-  while (ReadHeaderOrRow(reader, row, saw_header)) {
-    RequireFields(row, 5, "enterprise.csv");
-    EnterpriseEvent e;
-    e.ts = TsFromString(row[0]);
-    e.user = store.users().Intern(row[1]);
-    e.aspect = EnterpriseAspectFromString(row[2]);
-    e.event_id = static_cast<std::uint16_t>(std::stoul(row[3]));
-    e.object = store.objects().Intern(row[4]);
-    store.Add(e);
-  }
+  return IngestCsv(in, source, 5, opts,
+                   [&](const std::vector<std::string>& row) {
+                     EnterpriseEvent e;
+                     e.ts = ParseTs(row[0], opts);
+                     e.aspect = EnterpriseAspectFromString(row[2]);
+                     e.event_id = ParseU16(row[3], "event_id");
+                     e.user = store.users().Intern(row[1]);
+                     e.object = store.objects().Intern(row[4]);
+                     store.Add(e);
+                   });
 }
 
 void WriteProxyCsv(const LogStore& store, std::ostream& out) {
@@ -190,21 +297,20 @@ void WriteProxyCsv(const LogStore& store, std::ostream& out) {
   }
 }
 
-void ReadProxyCsv(std::istream& in, LogStore& store) {
+IngestStats ReadProxyCsv(std::istream& in, LogStore& store,
+                         const IngestOptions& opts,
+                         const std::string& source) {
   ACOBE_SPAN2("logs.read", "proxy");
-  CsvReader reader(in);
-  std::vector<std::string> row;
-  bool saw_header = false;
-  while (ReadHeaderOrRow(reader, row, saw_header)) {
-    RequireFields(row, 5, "proxy.csv");
-    ProxyEvent e;
-    e.ts = TsFromString(row[0]);
-    e.user = store.users().Intern(row[1]);
-    e.domain = store.domains().Intern(row[2]);
-    e.success = row[3] == "1";
-    e.bytes = static_cast<std::uint32_t>(std::stoul(row[4]));
-    store.Add(e);
-  }
+  return IngestCsv(in, source, 5, opts,
+                   [&](const std::vector<std::string>& row) {
+                     ProxyEvent e;
+                     e.ts = ParseTs(row[0], opts);
+                     e.success = ParseBool01(row[3], "success");
+                     e.bytes = ParseU32(row[4], "bytes");
+                     e.user = store.users().Intern(row[1]);
+                     e.domain = store.domains().Intern(row[2]);
+                     store.Add(e);
+                   });
 }
 
 void WriteLdapCsv(const LogStore& store, std::ostream& out) {
@@ -216,21 +322,41 @@ void WriteLdapCsv(const LogStore& store, std::ostream& out) {
   }
 }
 
-void ReadLdapCsv(std::istream& in, LogStore& store) {
+IngestStats ReadLdapCsv(std::istream& in, LogStore& store,
+                        const IngestOptions& opts, const std::string& source) {
   ACOBE_SPAN2("logs.read", "ldap");
-  CsvReader reader(in);
-  std::vector<std::string> row;
-  bool saw_header = false;
-  while (ReadHeaderOrRow(reader, row, saw_header)) {
-    RequireFields(row, 4, "ldap.csv");
-    LdapRecord r;
-    r.user_name = row[0];
-    r.user = store.users().Intern(row[0]);
-    r.department = row[1];
-    r.team = row[2];
-    r.role = row[3];
-    store.AddLdap(std::move(r));
-  }
+  return IngestCsv(in, source, 4, opts,
+                   [&](const std::vector<std::string>& row) {
+                     LdapRecord r;
+                     r.user_name = row[0];
+                     r.user = store.users().Intern(row[0]);
+                     r.department = row[1];
+                     r.team = row[2];
+                     r.role = row[3];
+                     store.AddLdap(std::move(r));
+                   });
+}
+
+void ReadDeviceCsv(std::istream& in, LogStore& store) {
+  ReadDeviceCsv(in, store, IngestOptions{});
+}
+void ReadFileCsv(std::istream& in, LogStore& store) {
+  ReadFileCsv(in, store, IngestOptions{});
+}
+void ReadHttpCsv(std::istream& in, LogStore& store) {
+  ReadHttpCsv(in, store, IngestOptions{});
+}
+void ReadLogonCsv(std::istream& in, LogStore& store) {
+  ReadLogonCsv(in, store, IngestOptions{});
+}
+void ReadLdapCsv(std::istream& in, LogStore& store) {
+  ReadLdapCsv(in, store, IngestOptions{});
+}
+void ReadEnterpriseCsv(std::istream& in, LogStore& store) {
+  ReadEnterpriseCsv(in, store, IngestOptions{});
+}
+void ReadProxyCsv(std::istream& in, LogStore& store) {
+  ReadProxyCsv(in, store, IngestOptions{});
 }
 
 }  // namespace acobe

@@ -2,9 +2,17 @@
 
 // CSV round-trips for log streams, mirroring the CERT dataset's
 // one-file-per-log-type layout (device.csv, file.csv, http.csv, ...).
+//
+// Reading is policy-driven (common/faults.h): strict mode throws on the
+// first malformed row (with file:line context), permissive mode skips
+// bad rows under a bounded error budget, quarantine mode additionally
+// copies every rejected raw row to a sink. Telemetry:
+// logs.rows_read / rows_rejected / rows_quarantined / rows_deduped.
 
 #include <iosfwd>
+#include <string>
 
+#include "common/faults.h"
 #include "logs/log_store.h"
 
 namespace acobe {
@@ -22,8 +30,36 @@ void WriteEnterpriseCsv(const LogStore& store, std::ostream& out);
 void WriteProxyCsv(const LogStore& store, std::ostream& out);
 
 /// Reads a stream previously written by the corresponding writer,
-/// interning names into `store`'s tables. Throws std::invalid_argument
-/// on malformed rows.
+/// interning names into `store`'s tables, under `options`' recovery
+/// policy. `source` labels the stream in diagnostics ("file:line:
+/// reason"). Fully-empty rows (e.g. a trailing blank line) are skipped
+/// in every policy. Throws IngestError (a std::invalid_argument) on a
+/// malformed row in strict mode, or in any mode once rejected rows
+/// exceed the error budget.
+IngestStats ReadDeviceCsv(std::istream& in, LogStore& store,
+                          const IngestOptions& options,
+                          const std::string& source = "device.csv");
+IngestStats ReadFileCsv(std::istream& in, LogStore& store,
+                        const IngestOptions& options,
+                        const std::string& source = "file.csv");
+IngestStats ReadHttpCsv(std::istream& in, LogStore& store,
+                        const IngestOptions& options,
+                        const std::string& source = "http.csv");
+IngestStats ReadLogonCsv(std::istream& in, LogStore& store,
+                         const IngestOptions& options,
+                         const std::string& source = "logon.csv");
+IngestStats ReadLdapCsv(std::istream& in, LogStore& store,
+                        const IngestOptions& options,
+                        const std::string& source = "ldap.csv");
+IngestStats ReadEnterpriseCsv(std::istream& in, LogStore& store,
+                              const IngestOptions& options,
+                              const std::string& source = "enterprise.csv");
+IngestStats ReadProxyCsv(std::istream& in, LogStore& store,
+                         const IngestOptions& options,
+                         const std::string& source = "proxy.csv");
+
+/// Strict-mode conveniences (legacy signatures). Throw
+/// std::invalid_argument on the first malformed row.
 void ReadDeviceCsv(std::istream& in, LogStore& store);
 void ReadFileCsv(std::istream& in, LogStore& store);
 void ReadHttpCsv(std::istream& in, LogStore& store);

@@ -4,14 +4,28 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 
+#include "common/faults.h"
 #include "nn/batchnorm.h"
 
 namespace acobe::nn {
 namespace {
 
-constexpr std::uint32_t kMagic = 0xAC0BE001;
+// v1: magic + raw payload. v2 wraps the same payload with a byte count
+// and a CRC32, so truncation and bit rot are detected up front instead
+// of crashing mid-parse or silently loading garbage weights. v1 files
+// remain loadable.
+constexpr std::uint32_t kMagicV1 = 0xAC0BE001;
+constexpr std::uint32_t kMagicV2 = 0xAC0BE101;
+
+// Hostile-input ceilings: reject absurd header values before they turn
+// into multi-gigabyte allocations (mirrors the string-length guard in
+// ensemble_io).
+constexpr std::uint32_t kMaxDim = 1u << 20;
+constexpr std::uint32_t kMaxDepth = 64;
+constexpr std::uint32_t kMaxPayloadBytes = 1u << 30;
 
 void WriteU32(std::ostream& out, std::uint32_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -54,11 +68,8 @@ void ForEachStateTensor(Sequential& net, Fn&& fn) {
   }
 }
 
-}  // namespace
-
-void SaveAutoencoder(const AutoencoderSpec& spec, Sequential& net,
-                     std::ostream& out) {
-  WriteU32(out, kMagic);
+void WritePayload(const AutoencoderSpec& spec, Sequential& net,
+                  std::ostream& out) {
   WriteU32(out, static_cast<std::uint32_t>(spec.input_dim));
   WriteU32(out, static_cast<std::uint32_t>(spec.encoder_dims.size()));
   for (std::size_t d : spec.encoder_dims) {
@@ -69,16 +80,24 @@ void SaveAutoencoder(const AutoencoderSpec& spec, Sequential& net,
   ForEachStateTensor(net, [&](Tensor& t) { WriteTensor(out, t); });
 }
 
-Sequential LoadAutoencoder(std::istream& in, AutoencoderSpec& spec_out) {
-  if (ReadU32(in) != kMagic) {
-    throw std::runtime_error("LoadAutoencoder: bad magic");
-  }
+Sequential ReadPayload(std::istream& in, AutoencoderSpec& spec_out) {
   AutoencoderSpec spec;
-  spec.input_dim = ReadU32(in);
+  const std::uint32_t input_dim = ReadU32(in);
+  if (input_dim == 0 || input_dim > kMaxDim) {
+    throw std::runtime_error("LoadAutoencoder: implausible input dim");
+  }
+  spec.input_dim = input_dim;
   const std::uint32_t depth = ReadU32(in);
+  if (depth == 0 || depth > kMaxDepth) {
+    throw std::runtime_error("LoadAutoencoder: implausible encoder depth");
+  }
   spec.encoder_dims.clear();
   for (std::uint32_t i = 0; i < depth; ++i) {
-    spec.encoder_dims.push_back(ReadU32(in));
+    const std::uint32_t dim = ReadU32(in);
+    if (dim == 0 || dim > kMaxDim) {
+      throw std::runtime_error("LoadAutoencoder: implausible layer dim");
+    }
+    spec.encoder_dims.push_back(dim);
   }
   spec.batch_norm = ReadU32(in) != 0;
   spec.sigmoid_output = ReadU32(in) != 0;
@@ -89,11 +108,45 @@ Sequential LoadAutoencoder(std::istream& in, AutoencoderSpec& spec_out) {
   return net;
 }
 
+}  // namespace
+
+void SaveAutoencoder(const AutoencoderSpec& spec, Sequential& net,
+                     std::ostream& out) {
+  std::ostringstream payload_stream;
+  WritePayload(spec, net, payload_stream);
+  const std::string payload = payload_stream.str();
+  WriteU32(out, kMagicV2);
+  WriteU32(out, static_cast<std::uint32_t>(payload.size()));
+  WriteU32(out, Crc32(payload));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+}
+
+Sequential LoadAutoencoder(std::istream& in, AutoencoderSpec& spec_out) {
+  const std::uint32_t magic = ReadU32(in);
+  if (magic == kMagicV1) return ReadPayload(in, spec_out);  // legacy format
+  if (magic != kMagicV2) {
+    throw std::runtime_error("LoadAutoencoder: bad magic");
+  }
+  const std::uint32_t size = ReadU32(in);
+  if (size > kMaxPayloadBytes) {
+    throw std::runtime_error("LoadAutoencoder: implausible payload size");
+  }
+  const std::uint32_t expected_crc = ReadU32(in);
+  std::string payload(size, '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(size));
+  if (!in) throw std::runtime_error("LoadAutoencoder: truncated payload");
+  if (Crc32(payload) != expected_crc) {
+    throw std::runtime_error(
+        "LoadAutoencoder: checksum mismatch (corrupt artifact)");
+  }
+  std::istringstream payload_stream(payload);
+  return ReadPayload(payload_stream, spec_out);
+}
+
 void SaveAutoencoderFile(const AutoencoderSpec& spec, Sequential& net,
                          const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("SaveAutoencoderFile: cannot open " + path);
-  SaveAutoencoder(spec, net, out);
+  WriteFileAtomic(path,
+                  [&](std::ostream& out) { SaveAutoencoder(spec, net, out); });
 }
 
 Sequential LoadAutoencoderFile(const std::string& path,

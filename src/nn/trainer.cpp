@@ -1,6 +1,7 @@
 #include "nn/trainer.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <stdexcept>
 
@@ -58,6 +59,11 @@ std::vector<EpochStats> TrainReconstruction(
       optimizer.Step();
     }
     EpochStats stats{epoch, static_cast<float>(epoch_loss / n)};
+    if (config.abort_on_nonfinite && !std::isfinite(stats.loss)) {
+      ACOBE_COUNT("nn.train_diverged", 1);
+      throw TrainingDiverged("TrainReconstruction: non-finite loss at epoch " +
+                             std::to_string(epoch));
+    }
     history.push_back(stats);
     ACOBE_COUNT("nn.epochs", 1);
     ACOBE_COUNT("nn.samples_trained", n);

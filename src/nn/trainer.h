@@ -3,6 +3,8 @@
 // Deterministic mini-batch trainer for reconstruction models.
 
 #include <functional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -19,11 +21,23 @@ struct TrainConfig {
   /// `patience` consecutive epochs (0 disables early stopping).
   int patience = 0;
   float min_delta = 1e-5f;
+  /// Throw TrainingDiverged as soon as an epoch loss is NaN/Inf. A
+  /// diverged model would otherwise score every sample NaN and silently
+  /// poison the critic's rankings; callers (AspectEnsemble) catch the
+  /// throw and retry deterministically with a reduced learning rate.
+  bool abort_on_nonfinite = true;
 };
 
 struct EpochStats {
   int epoch = 0;
   float loss = 0.0f;
+};
+
+/// Epoch loss went NaN/Inf (exploding gradients, poisoned input, too
+/// hot a learning rate). The model's parameters are unusable.
+struct TrainingDiverged : std::runtime_error {
+  explicit TrainingDiverged(const std::string& what)
+      : std::runtime_error(what) {}
 };
 
 /// Trains `net` to reconstruct `data` (each row one sample) with MSE.

@@ -2,11 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <set>
 #include <sstream>
+#include <stdexcept>
+#include <string>
 
 #include "common/csv.h"
 #include "common/date.h"
+#include "common/faults.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/timeframe.h"
@@ -272,6 +277,148 @@ TEST_P(CsvRoundTrip, Holds) {
 INSTANTIATE_TEST_SUITE_P(Cases, CsvRoundTrip,
                          ::testing::Values("", "plain", "a,b", "\"", "\"\"",
                                            "a\"b,c\"d", ",,,", "trailing,"));
+
+// Table-driven structural cases: line ending and damage handling.
+struct SplitCase {
+  const char* name;
+  const char* line;
+  std::vector<std::string> fields;
+  CsvRowStatus status;
+};
+
+class CsvSplitChecked : public ::testing::TestWithParam<SplitCase> {};
+
+TEST_P(CsvSplitChecked, Holds) {
+  const SplitCase& c = GetParam();
+  std::vector<std::string> fields;
+  EXPECT_EQ(SplitCsvLineChecked(c.line, fields), c.status) << c.name;
+  EXPECT_EQ(fields, c.fields) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, CsvSplitChecked,
+    ::testing::Values(
+        SplitCase{"crlf", "a,b\r", {"a", "b"}, CsvRowStatus::kOk},
+        SplitCase{"crlf_empty_last", "a,\r", {"a", ""}, CsvRowStatus::kOk},
+        SplitCase{"bare_cr_is_terminator", "\r", {""}, CsvRowStatus::kOk},
+        SplitCase{"interior_cr_is_content", "a\rb,c", {"a\rb", "c"},
+                  CsvRowStatus::kOk},
+        SplitCase{"quoted_cr_kept", "\"a\r\",b\r", {"a\r", "b"},
+                  CsvRowStatus::kOk},
+        SplitCase{"trailing_empty_field", "a,b,", {"a", "b", ""},
+                  CsvRowStatus::kOk},
+        SplitCase{"only_commas", ",,", {"", "", ""}, CsvRowStatus::kOk},
+        SplitCase{"quote_at_eof", "a,\"b", {"a", "b"},
+                  CsvRowStatus::kUnterminatedQuote},
+        SplitCase{"lone_quote", "\"", {""}, CsvRowStatus::kUnterminatedQuote},
+        SplitCase{"quote_reopened", "\"a\"b\"", {"ab"},
+                  CsvRowStatus::kUnterminatedQuote},
+        SplitCase{"escaped_quote_ok", "\"a\"\"b\"", {"a\"b"},
+                  CsvRowStatus::kOk}),
+    [](const ::testing::TestParamInfo<SplitCase>& info) {
+      return info.param.name;
+    });
+
+TEST(CsvTest, ReaderMultilineQuotedField) {
+  std::stringstream ss("\"line1\nline2\",x\nnext,row\n");
+  CsvReader reader(ss);  // multiline (default)
+  std::vector<std::string> row;
+  ASSERT_TRUE(reader.ReadRow(row));
+  EXPECT_EQ(reader.status(), CsvRowStatus::kOk);
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[0], "line1\nline2");
+  EXPECT_EQ(reader.row_line(), 1u);
+  ASSERT_TRUE(reader.ReadRow(row));
+  EXPECT_EQ(row[0], "next");
+  EXPECT_EQ(reader.row_line(), 3u);
+}
+
+TEST(CsvTest, ReaderLineModeResyncsAfterStrayQuote) {
+  // One corrupted quote must damage one row, not swallow the rest of
+  // the file (which is what multiline accumulation would do).
+  std::stringstream ss("a,\"broken\nok1,x\nok2,y\n");
+  CsvReader reader(ss, /*multiline=*/false);
+  std::vector<std::string> row;
+  ASSERT_TRUE(reader.ReadRow(row));
+  EXPECT_EQ(reader.status(), CsvRowStatus::kUnterminatedQuote);
+  ASSERT_TRUE(reader.ReadRow(row));
+  EXPECT_EQ(reader.status(), CsvRowStatus::kOk);
+  EXPECT_EQ(row[0], "ok1");
+  ASSERT_TRUE(reader.ReadRow(row));
+  EXPECT_EQ(row[0], "ok2");
+  EXPECT_FALSE(reader.ReadRow(row));
+}
+
+TEST(CsvTest, ReaderCrlfAcrossRows) {
+  std::stringstream ss("h1,h2\r\nv1,v2\r\n");
+  CsvReader reader(ss);
+  std::vector<std::string> row;
+  ASSERT_TRUE(reader.ReadRow(row));
+  EXPECT_EQ(row, (std::vector<std::string>{"h1", "h2"}));
+  ASSERT_TRUE(reader.ReadRow(row));
+  EXPECT_EQ(row, (std::vector<std::string>{"v1", "v2"}));
+  EXPECT_FALSE(reader.ReadRow(row));
+}
+
+// --- Crc32 ------------------------------------------------------------------
+
+TEST(Crc32Test, KnownAnswers) {
+  // The canonical CRC-32/ISO-HDLC check value.
+  EXPECT_EQ(Crc32(std::string("123456789")), 0xCBF43926u);
+  EXPECT_EQ(Crc32(std::string("")), 0x00000000u);
+  EXPECT_EQ(Crc32(std::string("a")), 0xE8B7BE43u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string a = "hello, ";
+  const std::string b = "world";
+  EXPECT_EQ(Crc32(b, Crc32(a)), Crc32(a + b));
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::string data(256, '\0');
+  Rng rng(7);
+  for (char& c : data) c = static_cast<char>(rng.NextBounded(256));
+  const std::uint32_t clean = Crc32(data);
+  data[100] = static_cast<char>(data[100] ^ 0x10);
+  EXPECT_NE(Crc32(data), clean);
+}
+
+// --- WriteFileAtomic --------------------------------------------------------
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(WriteFileAtomicTest, WritesPayload) {
+  const std::string path = ::testing::TempDir() + "wfa_payload.txt";
+  WriteFileAtomic(path, [](std::ostream& out) { out << "payload\n"; });
+  EXPECT_EQ(ReadAll(path), "payload\n");
+  std::remove(path.c_str());
+}
+
+TEST(WriteFileAtomicTest, FailedWriteLeavesOldContent) {
+  const std::string path = ::testing::TempDir() + "wfa_keep.txt";
+  WriteFileAtomic(path, [](std::ostream& out) { out << "original"; });
+  EXPECT_THROW(WriteFileAtomic(path,
+                               [](std::ostream& out) {
+                                 out << "partial garbage";
+                                 throw std::runtime_error("writer died");
+                               }),
+               std::runtime_error);
+  EXPECT_EQ(ReadAll(path), "original");
+  std::remove(path.c_str());
+}
+
+TEST(WriteFileAtomicTest, UnwritableDirectoryThrows) {
+  EXPECT_THROW(
+      WriteFileAtomic("/nonexistent-dir-xyz/file",
+                      [](std::ostream& out) { out << "x"; }),
+      std::runtime_error);
+}
 
 // --- stats -------------------------------------------------------------------
 

@@ -1,0 +1,486 @@
+// Robustness tests: the deterministic fault injector, fuzz-style
+// round-trips of corrupted CSVs through every log reader, redelivery
+// recovery (the property the end-to-end smoke leans on), ensemble
+// checkpoint/resume crash-safety, and graceful degradation when an
+// aspect's training diverges irrecoverably.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <limits>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "behavior/normalized_day.h"
+#include "common/rng.h"
+#include "core/ensemble.h"
+#include "core/ensemble_io.h"
+#include "logs/log_io.h"
+#include "simdata/fault_injector.h"
+
+namespace acobe {
+namespace {
+
+using sim::FaultInjector;
+using sim::FaultInjectorConfig;
+using sim::FaultReport;
+
+// --- Shared fixtures -----------------------------------------------------
+
+/// A store exercising every stream with unique rows (strictly increasing
+/// timestamps), so consecutive-duplicate suppression never touches
+/// legitimate data and redelivery recovery can demand exact equality.
+LogStore MakeRichStore() {
+  LogStore store;
+  std::vector<UserId> users;
+  for (int i = 0; i < 6; ++i) {
+    users.push_back(store.users().Intern("user" + std::to_string(i)));
+  }
+  std::vector<PcId> pcs;
+  for (int i = 0; i < 4; ++i) {
+    pcs.push_back(store.pcs().Intern("PC-" + std::to_string(i)));
+  }
+  const FileId plain = store.files().Intern("report.doc");
+  const FileId tricky = store.files().Intern("doc,with comma");
+  const DomainId dom = store.domains().Intern("example.org");
+  const DomainId dom2 = store.domains().Intern("files.example.net");
+  const auto obj = store.objects().Intern("registry/HKCU-Run");
+
+  for (int k = 0; k < 60; ++k) {
+    const Timestamp ts = 100000 + 37 * k;
+    const UserId u = users[k % users.size()];
+    const PcId pc = pcs[k % pcs.size()];
+    store.Add(DeviceEvent{ts, u, pc,
+                          k % 2 ? DeviceActivity::kConnect
+                                : DeviceActivity::kDisconnect});
+    store.Add(FileEvent{ts + 1, u, pc,
+                        static_cast<FileActivity>(k % 4),
+                        k % 3 ? plain : tricky, FileLocation::kLocal,
+                        k % 5 ? FileLocation::kLocal : FileLocation::kRemote});
+    store.Add(HttpEvent{ts + 2, u, pc, static_cast<HttpActivity>(k % 3),
+                        k % 2 ? dom : dom2, static_cast<HttpFileType>(k % 4)});
+    store.Add(LogonEvent{ts + 3, u, pc,
+                         k % 2 ? LogonActivity::kLogon
+                               : LogonActivity::kLogoff});
+    store.Add(EnterpriseEvent{ts + 4, u, static_cast<EnterpriseAspect>(k % 4),
+                              static_cast<std::uint16_t>(4600 + k % 100),
+                              obj});
+    store.Add(ProxyEvent{ts + 5, u, k % 2 ? dom : dom2, k % 7 != 0,
+                         static_cast<std::uint32_t>(512 + 13 * k)});
+  }
+  for (int i = 0; i < 6; ++i) {
+    LdapRecord rec;
+    rec.user = users[static_cast<std::size_t>(i)];
+    rec.user_name = "user" + std::to_string(i);
+    rec.department = i < 3 ? "Dept-A" : "Dept-B";
+    rec.team = "T" + std::to_string(i % 2);
+    rec.role = "Employee";
+    store.AddLdap(std::move(rec));
+  }
+  return store;
+}
+
+struct Stream {
+  const char* name;
+  std::function<void(const LogStore&, std::ostream&)> write;
+  std::function<IngestStats(std::istream&, LogStore&, const IngestOptions&)>
+      read;
+};
+
+std::vector<Stream> AllStreams() {
+  return {
+      {"device.csv", WriteDeviceCsv,
+       [](std::istream& in, LogStore& s, const IngestOptions& o) {
+         return ReadDeviceCsv(in, s, o, "device.csv");
+       }},
+      {"file.csv", WriteFileCsv,
+       [](std::istream& in, LogStore& s, const IngestOptions& o) {
+         return ReadFileCsv(in, s, o, "file.csv");
+       }},
+      {"http.csv", WriteHttpCsv,
+       [](std::istream& in, LogStore& s, const IngestOptions& o) {
+         return ReadHttpCsv(in, s, o, "http.csv");
+       }},
+      {"logon.csv", WriteLogonCsv,
+       [](std::istream& in, LogStore& s, const IngestOptions& o) {
+         return ReadLogonCsv(in, s, o, "logon.csv");
+       }},
+      {"ldap.csv", WriteLdapCsv,
+       [](std::istream& in, LogStore& s, const IngestOptions& o) {
+         return ReadLdapCsv(in, s, o, "ldap.csv");
+       }},
+      {"enterprise.csv", WriteEnterpriseCsv,
+       [](std::istream& in, LogStore& s, const IngestOptions& o) {
+         return ReadEnterpriseCsv(in, s, o, "enterprise.csv");
+       }},
+      {"proxy.csv", WriteProxyCsv,
+       [](std::istream& in, LogStore& s, const IngestOptions& o) {
+         return ReadProxyCsv(in, s, o, "proxy.csv");
+       }},
+  };
+}
+
+std::string Render(const Stream& stream, const LogStore& store) {
+  std::ostringstream out;
+  stream.write(store, out);
+  return out.str();
+}
+
+// --- Fault injector ------------------------------------------------------
+
+TEST(FaultInjectorTest, DeterministicAcrossRuns) {
+  const LogStore store = MakeRichStore();
+  const std::string clean = Render(AllStreams()[0], store);
+  FaultInjectorConfig cfg;
+  cfg.rate = 0.5;
+  cfg.seed = 7;
+  const FaultInjector inj(cfg);
+
+  std::string a = clean;
+  std::string b = clean;
+  const FaultReport ra = inj.Corrupt(a, /*key=*/11);
+  const FaultReport rb = inj.Corrupt(b, /*key=*/11);
+  EXPECT_GT(ra.rows_corrupted, 0u);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(ra.rows_corrupted, rb.rows_corrupted);
+  EXPECT_EQ(ra.bytes_flipped, rb.bytes_flipped);
+
+  // A different file key draws an independent fault stream.
+  std::string c = clean;
+  inj.Corrupt(c, /*key=*/12);
+  EXPECT_NE(a, c);
+}
+
+TEST(FaultInjectorTest, HeaderLineIsNeverTouched) {
+  const LogStore store = MakeRichStore();
+  const std::string clean = Render(AllStreams()[0], store);
+  const std::string header = clean.substr(0, clean.find('\n'));
+  FaultInjectorConfig cfg;
+  cfg.rate = 1.0;
+  const std::string corrupted = FaultInjector(cfg).Corrupted(clean, 1);
+  EXPECT_EQ(corrupted.substr(0, corrupted.find('\n')), header);
+}
+
+TEST(FaultInjectorTest, RedeliverKeepsEveryOriginalRow) {
+  const LogStore store = MakeRichStore();
+  const std::string clean = Render(AllStreams()[1], store);
+  FaultInjectorConfig cfg;
+  cfg.rate = 0.6;
+  cfg.redeliver = true;
+  const std::string corrupted = FaultInjector(cfg).Corrupted(clean, 3);
+
+  // Every clean line must survive somewhere in the corrupted text: a
+  // garbled emission is always followed by a retransmission.
+  std::istringstream corrupt_lines(corrupted);
+  std::multiset<std::string> have;
+  for (std::string line; std::getline(corrupt_lines, line);) {
+    have.insert(line);
+  }
+  std::istringstream clean_lines(clean);
+  for (std::string line; std::getline(clean_lines, line);) {
+    const auto it = have.find(line);
+    ASSERT_NE(it, have.end()) << "lost row: " << line;
+    have.erase(it);
+  }
+}
+
+// --- Fuzz-style round-trips ----------------------------------------------
+
+IngestOptions PermissiveOptions() {
+  IngestOptions options;
+  options.policy = IngestPolicy::kPermissive;
+  options.error_budget = 1.0;
+  options.drop_consecutive_duplicates = true;
+  return options;
+}
+
+/// Corrupted input must never crash a permissive reader, and both the
+/// ingest counters and the accepted dataset must be reproducible.
+TEST(FuzzRoundTripTest, CorruptedStreamsParseDeterministically) {
+  const LogStore store = MakeRichStore();
+  struct Variant {
+    double rate;
+    std::uint64_t seed;
+    bool truncate_file;
+  };
+  const Variant variants[] = {
+      {0.05, 1, false}, {0.35, 7, true}, {0.9, 13, false}};
+
+  for (const Stream& stream : AllStreams()) {
+    const std::string clean = Render(stream, store);
+    for (const Variant& v : variants) {
+      FaultInjectorConfig cfg;
+      cfg.rate = v.rate;
+      cfg.seed = v.seed;
+      cfg.truncate_file = v.truncate_file;
+      const std::string corrupted =
+          FaultInjector(cfg).Corrupted(clean, /*key=*/5);
+
+      auto ingest = [&](IngestStats& stats) {
+        LogStore fresh;
+        std::istringstream in(corrupted);
+        stats = stream.read(in, fresh, PermissiveOptions());
+        return Render(stream, fresh);
+      };
+      IngestStats s1, s2;
+      const std::string out1 = ingest(s1);
+      const std::string out2 = ingest(s2);
+      SCOPED_TRACE(std::string(stream.name) + " rate=" +
+                   std::to_string(v.rate));
+      EXPECT_EQ(out1, out2);
+      EXPECT_EQ(s1.rows_read, s2.rows_read);
+      EXPECT_EQ(s1.rows_rejected, s2.rows_rejected);
+      EXPECT_EQ(s1.rows_deduped, s2.rows_deduped);
+      EXPECT_EQ(s1.first_error, s2.first_error);
+    }
+  }
+}
+
+/// The property the end-to-end corruption test stands on: with
+/// redelivery (an at-least-once shipper), permissive ingestion plus
+/// consecutive-duplicate suppression recovers the clean stream exactly.
+TEST(FuzzRoundTripTest, RedeliveryRecoversCleanStreamExactly) {
+  const LogStore store = MakeRichStore();
+  FaultInjectorConfig cfg;
+  cfg.rate = 0.4;
+  cfg.seed = 21;
+  cfg.redeliver = true;
+  const FaultInjector inj(cfg);
+
+  for (const Stream& stream : AllStreams()) {
+    const std::string clean = Render(stream, store);
+    const std::string corrupted = inj.Corrupted(clean, /*key=*/9);
+    LogStore fresh;
+    std::istringstream in(corrupted);
+    const IngestStats stats = stream.read(in, fresh, PermissiveOptions());
+    SCOPED_TRACE(stream.name);
+    EXPECT_GT(stats.rows_rejected + stats.rows_deduped, 0u);
+    EXPECT_EQ(Render(stream, fresh), clean);
+  }
+}
+
+// --- Ensemble checkpoint / resume ----------------------------------------
+
+const Date kStart(2010, 1, 4);
+
+MeasurementCube ToyCube(int users, int days) {
+  MeasurementCube cube(kStart, days, 2, 1);
+  Rng rng(51);
+  for (int u = 0; u < users; ++u) {
+    cube.RegisterUser(100 + u);
+    for (int d = 0; d < days; ++d) {
+      cube.At(u, 0, d, 0) = static_cast<float>(rng.NextPoisson(5.0));
+      cube.At(u, 1, d, 0) = static_cast<float>(rng.NextPoisson(2.0));
+    }
+  }
+  return cube;
+}
+
+EnsembleConfig SmallConfig() {
+  EnsembleConfig cfg;
+  cfg.encoder_dims = {8, 4};
+  cfg.train.epochs = 4;
+  cfg.seed = 3;
+  cfg.threads = 1;
+  return cfg;
+}
+
+void ExpectGridsBitIdentical(const ScoreGrid& a, const ScoreGrid& b) {
+  ASSERT_EQ(a.aspects(), b.aspects());
+  ASSERT_EQ(a.users(), b.users());
+  ASSERT_EQ(a.day_begin(), b.day_begin());
+  ASSERT_EQ(a.day_end(), b.day_end());
+  for (int s = 0; s < a.aspects(); ++s) {
+    for (int u = 0; u < a.users(); ++u) {
+      for (int d = a.day_begin(); d < a.day_end(); ++d) {
+        // EXPECT_EQ, not FLOAT_EQ: resume promises bit-identical output.
+        EXPECT_EQ(a.At(s, u, d), b.At(s, u, d));
+      }
+    }
+  }
+}
+
+class CheckpointResumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::path(::testing::TempDir()) /
+           ("acobe_ckpt_" + std::string(::testing::UnitTest::GetInstance()
+                                            ->current_test_info()
+                                            ->name()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  ScoreGrid TrainAndScore(const EnsembleConfig& cfg) {
+    const MeasurementCube cube = ToyCube(5, 30);
+    const NormalizedDayBuilder builder(&cube, 0, 20);
+    const FeatureCatalog catalog({{"f0", "x", 1.0}, {"f1", "y", 1.0}});
+    AspectEnsemble ensemble(catalog.aspects(), cfg);
+    ensemble.Train(builder, 5, 0, 20);
+    return ensemble.Score(builder, 5, 20, 30);
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(CheckpointResumeTest, ResumeReproducesUninterruptedRunBitExactly) {
+  EnsembleConfig cfg = SmallConfig();
+  cfg.checkpoint_dir = dir_.string();
+  const ScoreGrid first = TrainAndScore(cfg);
+  ASSERT_TRUE(std::filesystem::exists(dir_ / "aspect_x.ae"));
+  ASSERT_TRUE(std::filesystem::exists(dir_ / "aspect_y.ae"));
+
+  cfg.resume = true;
+  const ScoreGrid resumed = TrainAndScore(cfg);
+  ExpectGridsBitIdentical(first, resumed);
+}
+
+TEST_F(CheckpointResumeTest, MissingCheckpointRetrainsToSameResult) {
+  EnsembleConfig cfg = SmallConfig();
+  cfg.checkpoint_dir = dir_.string();
+  const ScoreGrid first = TrainAndScore(cfg);
+
+  // A run killed before aspect "y" finished leaves only aspect "x".
+  std::filesystem::remove(dir_ / "aspect_y.ae");
+  cfg.resume = true;
+  ExpectGridsBitIdentical(first, TrainAndScore(cfg));
+}
+
+TEST_F(CheckpointResumeTest, CorruptCheckpointIsDiscardedAndRetrained) {
+  EnsembleConfig cfg = SmallConfig();
+  cfg.checkpoint_dir = dir_.string();
+  const ScoreGrid first = TrainAndScore(cfg);
+
+  // Flip one payload byte; the CRC rejects the file and the aspect is
+  // retrained from scratch instead of scoring with silently-wrong
+  // weights.
+  const std::filesystem::path victim = dir_ / "aspect_x.ae";
+  std::string bytes;
+  {
+    std::ifstream in(victim, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    bytes = buf.str();
+  }
+  ASSERT_GT(bytes.size(), 40u);
+  bytes[20] ^= 0x20;
+  {
+    std::ofstream out(victim, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  cfg.resume = true;
+  ExpectGridsBitIdentical(first, TrainAndScore(cfg));
+}
+
+TEST_F(CheckpointResumeTest, ArchitectureMismatchThrows) {
+  EnsembleConfig cfg = SmallConfig();
+  cfg.checkpoint_dir = dir_.string();
+  TrainAndScore(cfg);
+
+  // The directory belongs to an {8,4} run; resuming a {6,3} run must
+  // refuse loudly instead of mixing architectures.
+  cfg.encoder_dims = {6, 3};
+  cfg.resume = true;
+  EXPECT_THROW(TrainAndScore(cfg), CheckpointMismatch);
+}
+
+// --- Graceful degradation -------------------------------------------------
+
+/// Feeds NaN for one feature's samples so that aspect's training loss is
+/// non-finite on every attempt, while other aspects stay healthy.
+class PoisonFeatureBuilder : public SampleBuilder {
+ public:
+  PoisonFeatureBuilder(const SampleBuilder* inner, int poisoned_feature)
+      : inner_(inner), poisoned_feature_(poisoned_feature) {}
+
+  std::vector<float> BuildSample(int user_idx, std::span<const int> features,
+                                 int day) const override {
+    std::vector<float> sample = inner_->BuildSample(user_idx, features, day);
+    for (int f : features) {
+      if (f == poisoned_feature_) {
+        sample.assign(sample.size(),
+                      std::numeric_limits<float>::quiet_NaN());
+      }
+    }
+    return sample;
+  }
+  std::size_t SampleSize(std::size_t n_features) const override {
+    return inner_->SampleSize(n_features);
+  }
+  int FirstValidDay() const override { return inner_->FirstValidDay(); }
+  int EndDay() const override { return inner_->EndDay(); }
+
+ private:
+  const SampleBuilder* inner_;
+  int poisoned_feature_;
+};
+
+TEST(DegradationTest, PoisonedAspectIsDroppedAndRestStillScore) {
+  const MeasurementCube cube = ToyCube(5, 30);
+  const NormalizedDayBuilder inner(&cube, 0, 20);
+  const PoisonFeatureBuilder builder(&inner, /*poisoned_feature=*/1);
+  const FeatureCatalog catalog({{"f0", "x", 1.0}, {"f1", "y", 1.0}});
+
+  EnsembleConfig cfg = SmallConfig();
+  AspectEnsemble ensemble(catalog.aspects(), cfg);
+  ensemble.Train(builder, 5, 0, 20);
+
+  EXPECT_TRUE(ensemble.trained());
+  EXPECT_TRUE(ensemble.degraded());
+  EXPECT_TRUE(ensemble.aspect_ok(0));
+  EXPECT_FALSE(ensemble.aspect_ok(1));
+  EXPECT_EQ(ensemble.healthy_aspect_count(), 1);
+  EXPECT_EQ(ensemble.failed_aspects(), std::vector<std::string>{"y"});
+
+  const ScoreGrid grid = ensemble.Score(builder, 5, 20, 30);
+  ASSERT_EQ(grid.aspects(), 1);
+  EXPECT_EQ(grid.aspect_name(0), "x");
+  for (int u = 0; u < 5; ++u) {
+    for (int d = 20; d < 30; ++d) {
+      EXPECT_TRUE(std::isfinite(grid.At(0, u, d)));
+    }
+  }
+
+  // A partial model must not be persisted as if it were whole.
+  std::stringstream ss;
+  EXPECT_THROW(SaveEnsemble(ensemble, ss), std::logic_error);
+}
+
+TEST(DegradationTest, StrictModeRethrowsDivergence) {
+  const MeasurementCube cube = ToyCube(5, 30);
+  const NormalizedDayBuilder inner(&cube, 0, 20);
+  const PoisonFeatureBuilder builder(&inner, /*poisoned_feature=*/0);
+  const FeatureCatalog catalog({{"f0", "x", 1.0}, {"f1", "y", 1.0}});
+
+  EnsembleConfig cfg = SmallConfig();
+  cfg.allow_degraded = false;
+  AspectEnsemble ensemble(catalog.aspects(), cfg);
+  EXPECT_THROW(ensemble.Train(builder, 5, 0, 20), nn::TrainingDiverged);
+}
+
+TEST(DegradationTest, DegradedScoringIsThreadCountInvariant) {
+  const MeasurementCube cube = ToyCube(5, 30);
+  const NormalizedDayBuilder inner(&cube, 0, 20);
+  const PoisonFeatureBuilder builder(&inner, /*poisoned_feature=*/1);
+  const FeatureCatalog catalog({{"f0", "x", 1.0}, {"f1", "y", 1.0}});
+
+  auto run = [&](int threads) {
+    EnsembleConfig cfg = SmallConfig();
+    cfg.threads = threads;
+    AspectEnsemble ensemble(catalog.aspects(), cfg);
+    ensemble.Train(builder, 5, 0, 20);
+    return ensemble.Score(builder, 5, 20, 30);
+  };
+  ExpectGridsBitIdentical(run(1), run(4));
+}
+
+}  // namespace
+}  // namespace acobe

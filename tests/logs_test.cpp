@@ -160,6 +160,136 @@ TEST(LogIoTest, EmptyStreamYieldsNothing) {
   EXPECT_TRUE(store.devices().empty());
 }
 
+// --- Ingestion policies ------------------------------------------------
+
+// Six data rows: three malformed (bad timestamp, missing field, unknown
+// enum), one exact consecutive duplicate, two more good rows.
+constexpr const char* kMixedDeviceCsv =
+    "ts,user,pc,activity\n"
+    "100,alice,pc1,connect\n"
+    "bad!ts,bob,pc1,connect\n"
+    "200,alice,pc1\n"
+    "300,bob,pc2,disconnect\n"
+    "300,bob,pc2,disconnect\n"
+    "400,carol,pc3,teleport\n"
+    "500,dave,pc1,connect\n";
+
+TEST(IngestPolicyTest, StrictThrowsWithFileLineContext) {
+  std::stringstream ss(kMixedDeviceCsv);
+  LogStore store;
+  IngestOptions opts;  // strict by default
+  try {
+    ReadDeviceCsv(ss, store, opts, "device.csv");
+    FAIL() << "expected IngestError";
+  } catch (const IngestError& e) {
+    EXPECT_EQ(e.file(), "device.csv");
+    EXPECT_EQ(e.line(), 3u);  // header is line 1
+    EXPECT_NE(std::string(e.what()).find("device.csv:3:"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(IngestPolicyTest, PermissiveSkipsBadRowsAndCounts) {
+  std::stringstream ss(kMixedDeviceCsv);
+  LogStore store;
+  IngestOptions opts;
+  opts.policy = IngestPolicy::kPermissive;
+  opts.error_budget = 1.0;
+  const IngestStats stats = ReadDeviceCsv(ss, store, opts, "device.csv");
+  EXPECT_EQ(stats.rows_read, 7u);
+  EXPECT_EQ(stats.rows_rejected, 3u);
+  EXPECT_EQ(stats.rows_quarantined, 0u);
+  EXPECT_EQ(stats.rows_deduped, 0u);  // dedupe off: duplicate accepted
+  EXPECT_EQ(store.devices().size(), 4u);
+  EXPECT_NE(stats.first_error.find("device.csv:3:"), std::string::npos);
+  // Entity tables hold only users from accepted rows: validation runs
+  // before interning, so a rejected row pollutes nothing.
+  EXPECT_EQ(store.users().Lookup("carol"), kInvalidId);
+  EXPECT_NE(store.users().Lookup("dave"), kInvalidId);
+}
+
+TEST(IngestPolicyTest, DedupeDropsConsecutiveDuplicates) {
+  std::stringstream ss(kMixedDeviceCsv);
+  LogStore store;
+  IngestOptions opts;
+  opts.policy = IngestPolicy::kPermissive;
+  opts.error_budget = 1.0;
+  opts.drop_consecutive_duplicates = true;
+  const IngestStats stats = ReadDeviceCsv(ss, store, opts, "device.csv");
+  EXPECT_EQ(stats.rows_deduped, 1u);
+  EXPECT_EQ(store.devices().size(), 3u);
+}
+
+TEST(IngestPolicyTest, QuarantineCapturesRawRows) {
+  std::stringstream ss(kMixedDeviceCsv);
+  std::ostringstream sink;
+  LogStore store;
+  IngestOptions opts;
+  opts.policy = IngestPolicy::kQuarantine;
+  opts.error_budget = 1.0;
+  opts.quarantine = &sink;
+  const IngestStats stats = ReadDeviceCsv(ss, store, opts, "device.csv");
+  EXPECT_EQ(stats.rows_rejected, 3u);
+  EXPECT_EQ(stats.rows_quarantined, 3u);
+  EXPECT_EQ(sink.str(),
+            "bad!ts,bob,pc1,connect\n"
+            "200,alice,pc1\n"
+            "400,carol,pc3,teleport\n");
+}
+
+TEST(IngestPolicyTest, ErrorBudgetAborts) {
+  std::stringstream ss(kMixedDeviceCsv);
+  LogStore store;
+  IngestOptions opts;
+  opts.policy = IngestPolicy::kPermissive;
+  opts.error_budget = 0.1;
+  opts.budget_min_rows = 1;
+  try {
+    ReadDeviceCsv(ss, store, opts, "device.csv");
+    FAIL() << "expected budget abort";
+  } catch (const IngestError& e) {
+    EXPECT_NE(std::string(e.what()).find("error budget exceeded"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(IngestPolicyTest, TimestampPlausibilityWindow) {
+  std::stringstream ss(
+      "ts,user,pc,activity\n"
+      "100,alice,pc1,connect\n"
+      "99999999999,alice,pc1,connect\n");
+  LogStore store;
+  IngestOptions opts;
+  opts.policy = IngestPolicy::kPermissive;
+  opts.error_budget = 1.0;
+  opts.ts_min = 0;
+  opts.ts_max = 1000;
+  const IngestStats stats = ReadDeviceCsv(ss, store, opts, "device.csv");
+  EXPECT_EQ(stats.rows_rejected, 1u);
+  ASSERT_EQ(store.devices().size(), 1u);
+  EXPECT_EQ(store.devices()[0].ts, 100);
+  EXPECT_NE(stats.first_error.find("plausibility"), std::string::npos);
+}
+
+TEST(IngestPolicyTest, StrayQuoteDamagesOneRowOnly) {
+  // A corrupted byte that happens to be '"' must not swallow the rest
+  // of the file into one unterminated "row".
+  std::stringstream ss(
+      "ts,user,pc,activity\n"
+      "100,al\"ice,pc1,connect\n"
+      "200,bob,pc1,connect\n"
+      "300,carol,pc1,disconnect\n");
+  LogStore store;
+  IngestOptions opts;
+  opts.policy = IngestPolicy::kPermissive;
+  opts.error_budget = 1.0;
+  const IngestStats stats = ReadDeviceCsv(ss, store, opts, "device.csv");
+  EXPECT_EQ(stats.rows_read, 3u);
+  EXPECT_EQ(stats.rows_rejected, 1u);
+  EXPECT_EQ(store.devices().size(), 2u);
+}
+
 TEST(LogIoTest, EnterpriseAndProxyCsvRoundTrips) {
   LogStore store;
   const UserId u = store.users().Intern("emp1");

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <sstream>
 
 #include "nn/activations.h"
@@ -706,6 +708,100 @@ TEST(SerializeTest, TruncatedStreamThrows) {
   std::stringstream cut(full.substr(0, full.size() / 2));
   AutoencoderSpec out;
   EXPECT_THROW(LoadAutoencoder(cut, out), std::runtime_error);
+}
+
+TEST(SerializeTest, ChecksumDetectsEveryByteFlip) {
+  Rng rng(25);
+  AutoencoderSpec spec;
+  spec.input_dim = 3;
+  spec.encoder_dims = {4, 2};
+  spec.batch_norm = false;
+  Sequential net = BuildAutoencoder(spec);
+  net.InitParams(rng);
+  std::stringstream ss;
+  SaveAutoencoder(spec, net, ss);
+  const std::string clean = ss.str();
+  // Flip one bit at a spread of positions across the file; every one
+  // must be caught (bad magic, bad size, or checksum mismatch) — never
+  // silently loaded.
+  for (std::size_t pos = 0; pos < clean.size(); pos += 7) {
+    std::string corrupt = clean;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x20);
+    std::stringstream in(corrupt);
+    AutoencoderSpec out;
+    EXPECT_THROW(LoadAutoencoder(in, out), std::runtime_error)
+        << "byte " << pos;
+  }
+}
+
+TEST(SerializeTest, LegacyV1PayloadStillLoads) {
+  // A v1 file is the v1 magic followed by the raw payload; synthesize
+  // one from a v2 save (v2 = magic + size + crc + same payload).
+  Rng rng(26);
+  AutoencoderSpec spec;
+  spec.input_dim = 5;
+  spec.encoder_dims = {6, 3};
+  Sequential net = BuildAutoencoder(spec);
+  net.InitParams(rng);
+  std::stringstream ss;
+  SaveAutoencoder(spec, net, ss);
+  const std::string v2 = ss.str();
+  const std::uint32_t v1_magic = 0xAC0BE001;
+  std::string v1(reinterpret_cast<const char*>(&v1_magic), 4);
+  v1 += v2.substr(12);  // skip v2 magic + size + crc
+  std::stringstream in(v1);
+  AutoencoderSpec out;
+  Sequential loaded = LoadAutoencoder(in, out);
+  EXPECT_EQ(out.input_dim, spec.input_dim);
+  EXPECT_EQ(out.encoder_dims, spec.encoder_dims);
+}
+
+TEST(SerializeTest, HostileHeaderRejectedBeforeAllocation) {
+  // input_dim = 0xFFFFFFFF must throw "implausible", not attempt a
+  // multi-gigabyte BuildAutoencoder.
+  const std::uint32_t v1_magic = 0xAC0BE001;
+  const std::uint32_t huge = 0xFFFFFFFFu;
+  std::string bytes(reinterpret_cast<const char*>(&v1_magic), 4);
+  bytes.append(reinterpret_cast<const char*>(&huge), 4);
+  bytes.append(64, '\0');
+  std::stringstream in(bytes);
+  AutoencoderSpec out;
+  EXPECT_THROW(LoadAutoencoder(in, out), std::runtime_error);
+}
+
+TEST(TrainerTest, NonFiniteLossThrowsTrainingDiverged) {
+  Rng rng(27);
+  AutoencoderSpec spec;
+  spec.input_dim = 4;
+  spec.encoder_dims = {4, 2};
+  spec.batch_norm = false;
+  Sequential net = BuildAutoencoder(spec);
+  net.InitParams(rng);
+  Tensor data = RandomTensor(16, 4, rng);
+  data.data()[5] = std::numeric_limits<float>::quiet_NaN();
+  Adam opt(0.01f);
+  TrainConfig cfg;
+  cfg.epochs = 3;
+  EXPECT_THROW(TrainReconstruction(net, opt, data, cfg), TrainingDiverged);
+}
+
+TEST(TrainerTest, NonFiniteGuardCanBeDisabled) {
+  Rng rng(27);
+  AutoencoderSpec spec;
+  spec.input_dim = 4;
+  spec.encoder_dims = {4, 2};
+  spec.batch_norm = false;
+  Sequential net = BuildAutoencoder(spec);
+  net.InitParams(rng);
+  Tensor data = RandomTensor(16, 4, rng);
+  data.data()[5] = std::numeric_limits<float>::quiet_NaN();
+  Adam opt(0.01f);
+  TrainConfig cfg;
+  cfg.epochs = 3;
+  cfg.abort_on_nonfinite = false;
+  const auto history = TrainReconstruction(net, opt, data, cfg);
+  EXPECT_EQ(history.size(), 3u);
+  EXPECT_TRUE(std::isnan(history.back().loss));
 }
 
 }  // namespace

@@ -4,12 +4,28 @@
 //
 //   acobe-detect --in=DIR --train-end=YYYY-MM-DD [--test-end=YYYY-MM-DD]
 //                [--omega=N] [--epochs=N] [--votes=N] [--top=N]
-//                [--threads=N] [--metrics-out=FILE] [--trace-out=FILE]
+//                [--threads=N] [--ingest=strict|permissive|quarantine]
+//                [--error-budget=R] [--quarantine-dir=DIR]
+//                [--checkpoint-dir=DIR] [--resume]
+//                [--metrics-out=FILE] [--trace-out=FILE]
 //
 // --threads: worker threads for training/scoring/deviation (0 = the
 // ACOBE_THREADS environment variable, else hardware concurrency).
 // Results are identical for any thread count, and identical with
 // telemetry on or off.
+//
+// Fault tolerance: --ingest=permissive skips malformed CSV rows under a
+// bounded error budget (--error-budget, default 5%) instead of aborting
+// on the first one; quarantine additionally copies each rejected raw
+// row to <quarantine-dir>/<log>.rejected. Both imply
+// consecutive-duplicate suppression (redelivered log rows).
+// --checkpoint-dir saves each aspect's trained autoencoder as it
+// completes; with --resume, a re-run after an interruption skips the
+// already-trained aspects and reproduces the uninterrupted output
+// bit-exactly.
+//
+// Exit codes: 0 ok, 1 runtime failure, 2 usage, 3 malformed input,
+// 4 corrupt/mismatched artifact.
 //
 // Telemetry: a run report always lands on stderr; --metrics-out writes
 // the metrics registry as JSON (counters, per-phase span timings,
@@ -19,11 +35,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <limits>
 #include <string>
 
+#include "cli_util.h"
+#include "common/faults.h"
 #include "common/telemetry.h"
 #include "common/trace.h"
 #include "core/detector.h"
@@ -34,55 +53,77 @@ using namespace acobe;
 
 namespace {
 
+// Event-timestamp plausibility window: 1980-01-01 .. 2100-01-01. One
+// corrupted-but-numeric timestamp outside this range would otherwise
+// stretch the detected day span (and the measurement-cube allocation)
+// by decades.
+constexpr std::int64_t kTsMin = 315532800;
+constexpr std::int64_t kTsMax = 4102444800;
+// And a belt-and-braces cap on the resulting day span (the window above
+// is ~43.8k days).
+constexpr int kMaxDaySpan = 44000;
+
 void Usage() {
   std::printf(
       "acobe-detect --in=DIR --train-end=YYYY-MM-DD\n"
       "             [--test-end=YYYY-MM-DD] [--omega=N] [--epochs=N]\n"
       "             [--votes=N] [--top=N] [--threads=N]\n"
+      "             [--ingest=strict|permissive|quarantine]\n"
+      "             [--error-budget=R] [--quarantine-dir=DIR]\n"
+      "             [--checkpoint-dir=DIR] [--resume]\n"
       "             [--metrics-out=FILE] [--trace-out=FILE]\n"
-      "  --omega=N        deviation window, days (>= 2; default 14)\n"
-      "  --epochs=N       training epochs per aspect (>= 1; default 25)\n"
-      "  --votes=N        critic votes (>= 1; default 2)\n"
-      "  --top=N          list entries printed per department (>= 1)\n"
-      "  --threads=N      worker threads (0 = ACOBE_THREADS/hardware)\n"
-      "  --metrics-out=F  write telemetry metrics JSON to F\n"
-      "  --trace-out=F    write chrome://tracing trace JSON to F\n");
+      "  --omega=N           deviation window, days (>= 2; default 14)\n"
+      "  --epochs=N          training epochs per aspect (>= 1; default 25)\n"
+      "  --votes=N           critic votes (>= 1; default 2)\n"
+      "  --top=N             list entries printed per department (>= 1)\n"
+      "  --threads=N         worker threads (0 = ACOBE_THREADS/hardware)\n"
+      "  --ingest=POLICY     malformed-row policy (default strict)\n"
+      "  --error-budget=R    abort past this rejected-row fraction (def 0.05)\n"
+      "  --quarantine-dir=D  write rejected raw rows under D\n"
+      "  --checkpoint-dir=D  save per-aspect models under D as they train\n"
+      "  --resume            reuse matching checkpoints from a killed run\n"
+      "  --metrics-out=F     write telemetry metrics JSON to F\n"
+      "  --trace-out=F       write chrome://tracing trace JSON to F\n"
+      "exit codes: 0 ok, 1 failure, 2 usage, 3 bad input, 4 corrupt "
+      "artifact\n");
 }
 
-[[noreturn]] void DieBadFlag(const char* arg, const std::string& why) {
-  std::fprintf(stderr, "acobe-detect: bad argument '%s': %s\n", arg,
-               why.c_str());
-  Usage();
-  std::exit(2);
-}
+using CsvReader = IngestStats (*)(std::istream&, LogStore&,
+                                  const IngestOptions&, const std::string&);
 
-/// Strict integer flag value: the whole value must be digits (optional
-/// leading minus), parse without overflow, and land in [min, max].
-/// std::atoi's silent garbage-to-0 / negative acceptance is exactly
-/// what this replaces.
-int ParseIntValue(const char* arg, const char* value, int min, int max) {
-  if (*value == '\0') DieBadFlag(arg, "empty value");
-  char* end = nullptr;
-  errno = 0;
-  const long parsed = std::strtol(value, &end, 10);
-  if (*end != '\0') DieBadFlag(arg, "not an integer");
-  if (errno == ERANGE || parsed < std::numeric_limits<int>::min() ||
-      parsed > std::numeric_limits<int>::max()) {
-    DieBadFlag(arg, "out of range");
-  }
-  if (parsed < min || parsed > max) {
-    DieBadFlag(arg, "must be in [" + std::to_string(min) + ", " +
-                        std::to_string(max) + "]");
-  }
-  return static_cast<int>(parsed);
-}
-
-bool ReadInto(const std::string& path, LogStore& store,
-              void (*reader)(std::istream&, LogStore&)) {
-  std::ifstream in(path);
+/// Reads one log CSV under the run's ingest policy, wiring up the
+/// per-file quarantine sink. Returns false when the file is absent.
+bool ReadInto(const std::string& dir, const std::string& name, LogStore& store,
+              CsvReader reader, IngestOptions options,
+              const std::string& quarantine_dir, IngestStats& total) {
+  std::ifstream in(dir + "/" + name);
   if (!in) return false;
-  reader(in, store);
+  std::ofstream sink;
+  if (options.policy == IngestPolicy::kQuarantine && !quarantine_dir.empty()) {
+    sink.open(quarantine_dir + "/" + name + ".rejected");
+    options.quarantine = &sink;
+  }
+  const IngestStats stats = reader(in, store, options, name);
+  if (stats.rows_rejected > 0) {
+    std::fprintf(stderr,
+                 "acobe-detect: %s: rejected %zu/%zu rows (first: %s)\n",
+                 name.c_str(), stats.rows_rejected, stats.rows_read,
+                 stats.first_error.c_str());
+  }
+  total.Merge(stats);
   return true;
+}
+
+/// Checkpoint directories are per department; department names come
+/// from the data, so squash anything path-hostile.
+std::string SanitizePathComponent(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_';
+    out += ok ? c : '_';
+  }
+  return out.empty() ? "_" : out;
 }
 
 }  // namespace
@@ -91,62 +132,129 @@ int main(int argc, char** argv) {
   std::string in_dir;
   std::string train_end_text, test_end_text;
   std::string metrics_out, trace_out;
+  std::string quarantine_dir, checkpoint_dir;
   int omega = 14, epochs = 25, votes = 2, top = 10, threads = 0;
+  bool resume = false;
+  IngestOptions ingest;
+  ingest.ts_min = kTsMin;
+  ingest.ts_max = kTsMax;
 
   const int kMaxInt = std::numeric_limits<int>::max();
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    if (std::strncmp(arg, "--in=", 5) == 0) {
-      in_dir = arg + 5;
-    } else if (std::strncmp(arg, "--train-end=", 12) == 0) {
-      train_end_text = arg + 12;
-    } else if (std::strncmp(arg, "--test-end=", 11) == 0) {
-      test_end_text = arg + 11;
-    } else if (std::strncmp(arg, "--omega=", 8) == 0) {
-      omega = ParseIntValue(arg, arg + 8, 2, kMaxInt);
-    } else if (std::strncmp(arg, "--epochs=", 9) == 0) {
-      epochs = ParseIntValue(arg, arg + 9, 1, kMaxInt);
-    } else if (std::strncmp(arg, "--votes=", 8) == 0) {
-      votes = ParseIntValue(arg, arg + 8, 1, kMaxInt);
-    } else if (std::strncmp(arg, "--top=", 6) == 0) {
-      top = ParseIntValue(arg, arg + 6, 1, kMaxInt);
-    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
-      threads = ParseIntValue(arg, arg + 10, 0, kMaxInt);
-    } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
-      metrics_out = arg + 14;
-    } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
-      trace_out = arg + 12;
-    } else if (std::strcmp(arg, "--help") == 0) {
-      Usage();
-      return 0;
-    } else {
-      std::fprintf(stderr, "acobe-detect: unknown argument '%s'\n", arg);
-      Usage();
-      return 2;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--in=", 5) == 0) {
+        in_dir = arg + 5;
+      } else if (std::strncmp(arg, "--train-end=", 12) == 0) {
+        train_end_text = arg + 12;
+      } else if (std::strncmp(arg, "--test-end=", 11) == 0) {
+        test_end_text = arg + 11;
+      } else if (std::strncmp(arg, "--omega=", 8) == 0) {
+        omega = static_cast<int>(cli::ParseInt(arg, arg + 8, 2, kMaxInt));
+      } else if (std::strncmp(arg, "--epochs=", 9) == 0) {
+        epochs = static_cast<int>(cli::ParseInt(arg, arg + 9, 1, kMaxInt));
+      } else if (std::strncmp(arg, "--votes=", 8) == 0) {
+        votes = static_cast<int>(cli::ParseInt(arg, arg + 8, 1, kMaxInt));
+      } else if (std::strncmp(arg, "--top=", 6) == 0) {
+        top = static_cast<int>(cli::ParseInt(arg, arg + 6, 1, kMaxInt));
+      } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+        threads = static_cast<int>(cli::ParseInt(arg, arg + 10, 0, kMaxInt));
+      } else if (std::strncmp(arg, "--ingest=", 9) == 0) {
+        ingest.policy = IngestPolicyFromString(arg + 9);
+      } else if (std::strncmp(arg, "--error-budget=", 15) == 0) {
+        ingest.error_budget = cli::ParseDouble(arg, arg + 15, 0.0, 1.0);
+      } else if (std::strncmp(arg, "--quarantine-dir=", 17) == 0) {
+        quarantine_dir = arg + 17;
+      } else if (std::strncmp(arg, "--checkpoint-dir=", 17) == 0) {
+        checkpoint_dir = arg + 17;
+      } else if (std::strcmp(arg, "--resume") == 0) {
+        resume = true;
+      } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
+        metrics_out = arg + 14;
+      } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+        trace_out = arg + 12;
+      } else if (std::strcmp(arg, "--help") == 0) {
+        Usage();
+        return 0;
+      } else {
+        std::fprintf(stderr, "acobe-detect: unknown argument '%s'\n", arg);
+        Usage();
+        return kExitUsage;
+      }
     }
+  } catch (const cli::FlagError& e) {
+    std::fprintf(stderr, "acobe-detect: %s\n", e.what());
+    Usage();
+    return kExitUsage;
+  } catch (const std::invalid_argument& e) {  // IngestPolicyFromString
+    std::fprintf(stderr, "acobe-detect: %s\n", e.what());
+    Usage();
+    return kExitUsage;
   }
   if (in_dir.empty() || train_end_text.empty()) {
     std::fprintf(stderr, "acobe-detect: --in and --train-end are required\n");
     Usage();
-    return 2;
+    return kExitUsage;
+  }
+  if (resume && checkpoint_dir.empty()) {
+    std::fprintf(stderr, "acobe-detect: --resume requires --checkpoint-dir\n");
+    Usage();
+    return kExitUsage;
+  }
+  // Redelivered (duplicated) rows are a fault the permissive policies
+  // recover from, so they imply consecutive-duplicate suppression.
+  if (ingest.policy != IngestPolicy::kStrict) {
+    ingest.drop_consecutive_duplicates = true;
+  }
+  if (ingest.policy == IngestPolicy::kQuarantine && !quarantine_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(quarantine_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "acobe-detect: cannot create %s: %s\n",
+                   quarantine_dir.c_str(), ec.message().c_str());
+      return kExitFailure;
+    }
   }
 
   telemetry::EnableMetrics(true);
   telemetry::EnableTracing(!trace_out.empty());
 
   LogStore store;
+  IngestStats ingest_stats;
   bool any = false;
-  any |= ReadInto(in_dir + "/device.csv", store, ReadDeviceCsv);
-  any |= ReadInto(in_dir + "/file.csv", store, ReadFileCsv);
-  any |= ReadInto(in_dir + "/http.csv", store, ReadHttpCsv);
-  any |= ReadInto(in_dir + "/logon.csv", store, ReadLogonCsv);
-  if (!ReadInto(in_dir + "/ldap.csv", store, ReadLdapCsv) || !any) {
-    std::fprintf(stderr, "no readable logs under %s\n", in_dir.c_str());
-    return 1;
+  try {
+    any |= ReadInto(in_dir, "device.csv", store, ReadDeviceCsv, ingest,
+                    quarantine_dir, ingest_stats);
+    any |= ReadInto(in_dir, "file.csv", store, ReadFileCsv, ingest,
+                    quarantine_dir, ingest_stats);
+    any |= ReadInto(in_dir, "http.csv", store, ReadHttpCsv, ingest,
+                    quarantine_dir, ingest_stats);
+    any |= ReadInto(in_dir, "logon.csv", store, ReadLogonCsv, ingest,
+                    quarantine_dir, ingest_stats);
+    // The population roster must be intact in every policy: a dropped
+    // ldap row silently deletes a user from the study.
+    IngestOptions roster = ingest;
+    roster.policy = IngestPolicy::kStrict;
+    if (!ReadInto(in_dir, "ldap.csv", store, ReadLdapCsv, roster,
+                  quarantine_dir, ingest_stats) ||
+        !any) {
+      std::fprintf(stderr, "no readable logs under %s\n", in_dir.c_str());
+      return kExitBadInput;
+    }
+  } catch (const IngestError& e) {
+    std::fprintf(stderr, "acobe-detect: malformed input: %s\n", e.what());
+    return kExitBadInput;
   }
   store.SortChronologically();
   std::fprintf(stderr, "loaded %zu events, %zu users\n", store.TotalEvents(),
                store.users().size());
+  if (ingest_stats.rows_rejected > 0 || ingest_stats.rows_deduped > 0) {
+    std::fprintf(stderr,
+                 "ingest: %zu rows read, %zu rejected, %zu quarantined, "
+                 "%zu duplicates dropped\n",
+                 ingest_stats.rows_read, ingest_stats.rows_rejected,
+                 ingest_stats.rows_quarantined, ingest_stats.rows_deduped);
+  }
 
   // Day range from the data itself.
   Timestamp lo = std::numeric_limits<Timestamp>::max();
@@ -163,11 +271,18 @@ int main(int argc, char** argv) {
   scan(store.logons());
   if (lo > hi) {
     std::fprintf(stderr, "no events\n");
-    return 1;
+    return kExitBadInput;
   }
   const Date start = DateOf(lo);
   const Date last = DateOf(hi);
   const int days = static_cast<int>(DaysBetween(start, last)) + 1;
+  if (days > kMaxDaySpan) {
+    std::fprintf(stderr,
+                 "acobe-detect: event timestamps span %d days (%s..%s); "
+                 "refusing to allocate a cube that large\n",
+                 days, start.ToString().c_str(), last.ToString().c_str());
+    return kExitBadInput;
+  }
 
   CertAcobeExtractor extractor(start, days);
   {
@@ -194,13 +309,13 @@ int main(int argc, char** argv) {
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "acobe-detect: %s\n", e.what());
     Usage();
-    return 2;
+    return kExitUsage;
   }
   if (train_end <= 0 || train_end >= test_end) {
     std::fprintf(stderr,
                  "acobe-detect: bad train/test split (train-end must fall "
                  "after the first event and before test-end)\n");
-    return 2;
+    return kExitUsage;
   }
 
   DetectorSpec spec;
@@ -213,16 +328,33 @@ int main(int argc, char** argv) {
   spec.ensemble.learning_rate = 1e-3f;
   spec.critic_votes = votes;
   spec.ensemble.threads = threads;  // deviation inherits via Detector::Run
-  const Detector detector(spec);
+  spec.ensemble.resume = resume;
 
   for (const std::string& department : store.Departments()) {
     const auto members = store.UsersInDepartment(department);
     if (members.size() < 3) continue;
     std::printf("\n=== %s (%zu users) ===\n", department.c_str(),
                 members.size());
-    const DetectionOutput out =
-        detector.Run(extractor.cube(), extractor.catalog(), members, 0,
-                     train_end, train_end, test_end);
+    DetectorSpec dept_spec = spec;
+    if (!checkpoint_dir.empty()) {
+      dept_spec.ensemble.checkpoint_dir =
+          checkpoint_dir + "/" + SanitizePathComponent(department);
+    }
+    const Detector detector(std::move(dept_spec));
+    DetectionOutput out;
+    try {
+      out = detector.Run(extractor.cube(), extractor.catalog(), members, 0,
+                         train_end, train_end, test_end);
+    } catch (const CheckpointMismatch& e) {
+      std::fprintf(stderr, "acobe-detect: corrupt artifact: %s\n", e.what());
+      return kExitCorruptArtifact;
+    }
+    for (const std::string& aspect : out.degraded_aspects) {
+      std::fprintf(stderr,
+                   "acobe-detect: WARNING: %s: aspect '%s' diverged on every "
+                   "attempt; ranking without it\n",
+                   department.c_str(), aspect.c_str());
+    }
     for (std::size_t i = 0;
          i < out.list.size() && i < static_cast<std::size_t>(top); ++i) {
       const UserId user = out.members[out.list[i].user_idx];
@@ -235,11 +367,11 @@ int main(int argc, char** argv) {
   if (!metrics_out.empty() && !telemetry::WriteMetricsJsonFile(metrics_out)) {
     std::fprintf(stderr, "acobe-detect: cannot write %s\n",
                  metrics_out.c_str());
-    return 1;
+    return kExitFailure;
   }
   if (!trace_out.empty() && !telemetry::WriteTraceJsonFile(trace_out)) {
     std::fprintf(stderr, "acobe-detect: cannot write %s\n", trace_out.c_str());
-    return 1;
+    return kExitFailure;
   }
   return 0;
 }

@@ -7,19 +7,31 @@
 //             [--start=YYYY-MM-DD] [--end=YYYY-MM-DD] [--rate=R]
 //             [--scenario1=DEPT:YYYY-MM-DD:DAYS]...
 //             [--scenario2=DEPT:YYYY-MM-DD:DAYS]...
+//             [--corrupt-rate=R] [--corrupt-seed=S]
 //             [--metrics-out=FILE] [--trace-out=FILE]
+//
+// --corrupt-rate: after simulation, deterministically corrupt that
+// fraction of data rows in the four event CSVs (byte flips, truncated
+// rows, duplicated rows — see simdata/fault_injector.h) to exercise
+// ingestion fault tolerance. ldap.csv and truth.csv are never
+// corrupted: they define the population and the answer key, not the
+// event feed under test.
 
 #include <cstdio>
 #include <cstring>
-#include <fstream>
+#include <functional>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "cli_util.h"
+#include "common/faults.h"
 #include "common/telemetry.h"
 #include "common/trace.h"
 #include "logs/log_io.h"
 #include "simdata/cert_simulator.h"
+#include "simdata/fault_injector.h"
 
 using namespace acobe;
 
@@ -48,7 +60,10 @@ void Usage() {
       "acobe-gen --out=DIR [--users=N] [--departments=N] [--seed=S]\n"
       "          [--start=YYYY-MM-DD] [--end=YYYY-MM-DD] [--rate=R]\n"
       "          [--scenario1=DEPT:DATE:DAYS] [--scenario2=DEPT:DATE:DAYS]\n"
-      "          [--metrics-out=FILE] [--trace-out=FILE]\n");
+      "          [--corrupt-rate=R] [--corrupt-seed=S]\n"
+      "          [--metrics-out=FILE] [--trace-out=FILE]\n"
+      "  --corrupt-rate=R  corrupt fraction R of event-CSV rows (0..1)\n"
+      "  --corrupt-seed=S  fault-injection seed (default 99)\n");
 }
 
 }  // namespace
@@ -62,47 +77,65 @@ int main(int argc, char** argv) {
   config.org.extra_users = 0;
   config.profiles.rate_scale = 0.5;
   std::vector<ScenarioArg> scenarios;
+  double corrupt_rate = 0.0;
+  std::uint64_t corrupt_seed = 99;
 
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    if (std::strncmp(arg, "--out=", 6) == 0) {
-      out_dir = arg + 6;
-    } else if (std::strncmp(arg, "--users=", 8) == 0) {
-      config.org.users_per_department = std::atoi(arg + 8);
-    } else if (std::strncmp(arg, "--departments=", 14) == 0) {
-      config.org.departments = std::atoi(arg + 14);
-    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
-      config.seed = std::strtoull(arg + 7, nullptr, 10);
-    } else if (std::strncmp(arg, "--start=", 8) == 0) {
-      config.start = Date::FromString(arg + 8);
-    } else if (std::strncmp(arg, "--end=", 6) == 0) {
-      config.end = Date::FromString(arg + 6);
-    } else if (std::strncmp(arg, "--rate=", 7) == 0) {
-      config.profiles.rate_scale = std::atof(arg + 7);
-    } else if (std::strncmp(arg, "--scenario1=", 12) == 0) {
-      if (!ParseScenario(arg + 12, sim::InsiderScenarioKind::kScenario1,
-                         scenarios)) {
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--out=", 6) == 0) {
+        out_dir = arg + 6;
+      } else if (std::strncmp(arg, "--users=", 8) == 0) {
+        config.org.users_per_department =
+            static_cast<int>(cli::ParseInt(arg, arg + 8, 1, 1000000));
+      } else if (std::strncmp(arg, "--departments=", 14) == 0) {
+        config.org.departments =
+            static_cast<int>(cli::ParseInt(arg, arg + 14, 1, 10000));
+      } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+        config.seed = cli::ParseU64(arg, arg + 7);
+      } else if (std::strncmp(arg, "--start=", 8) == 0) {
+        config.start = Date::FromString(arg + 8);
+      } else if (std::strncmp(arg, "--end=", 6) == 0) {
+        config.end = Date::FromString(arg + 6);
+      } else if (std::strncmp(arg, "--rate=", 7) == 0) {
+        config.profiles.rate_scale = cli::ParseDouble(arg, arg + 7, 0.0, 1e6);
+      } else if (std::strncmp(arg, "--corrupt-rate=", 15) == 0) {
+        corrupt_rate = cli::ParseDouble(arg, arg + 15, 0.0, 1.0);
+      } else if (std::strncmp(arg, "--corrupt-seed=", 15) == 0) {
+        corrupt_seed = cli::ParseU64(arg, arg + 15);
+      } else if (std::strncmp(arg, "--scenario1=", 12) == 0) {
+        if (!ParseScenario(arg + 12, sim::InsiderScenarioKind::kScenario1,
+                           scenarios)) {
+          Usage();
+          return kExitUsage;
+        }
+      } else if (std::strncmp(arg, "--scenario2=", 12) == 0) {
+        if (!ParseScenario(arg + 12, sim::InsiderScenarioKind::kScenario2,
+                           scenarios)) {
+          Usage();
+          return kExitUsage;
+        }
+      } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
+        metrics_out = arg + 14;
+      } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+        trace_out = arg + 12;
+      } else {
         Usage();
-        return 2;
+        return std::strcmp(arg, "--help") == 0 ? 0 : kExitUsage;
       }
-    } else if (std::strncmp(arg, "--scenario2=", 12) == 0) {
-      if (!ParseScenario(arg + 12, sim::InsiderScenarioKind::kScenario2,
-                         scenarios)) {
-        Usage();
-        return 2;
-      }
-    } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
-      metrics_out = arg + 14;
-    } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
-      trace_out = arg + 12;
-    } else {
-      Usage();
-      return std::strcmp(arg, "--help") == 0 ? 0 : 2;
     }
+  } catch (const cli::FlagError& e) {
+    std::fprintf(stderr, "acobe-gen: %s\n", e.what());
+    Usage();
+    return kExitUsage;
+  } catch (const std::invalid_argument& e) {  // Date::FromString
+    std::fprintf(stderr, "acobe-gen: %s\n", e.what());
+    Usage();
+    return kExitUsage;
   }
   if (out_dir.empty()) {
     Usage();
-    return 2;
+    return kExitUsage;
   }
 
   telemetry::EnableMetrics(true);
@@ -127,30 +160,61 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "simulated %zu events for %zu users\n",
                store.TotalEvents(), store.users().size());
 
-  auto write = [&](const char* name, auto writer) {
+  sim::FaultInjectorConfig fault_config;
+  fault_config.rate = corrupt_rate;
+  fault_config.seed = corrupt_seed;
+  // At-least-once delivery model: the garbled bytes are followed by a
+  // clean retransmission, so permissive ingestion can recover the full
+  // event stream (strict mode still aborts on the garble).
+  fault_config.redeliver = true;
+  const sim::FaultInjector injector(fault_config);
+
+  // Render in memory, optionally corrupt, then land on disk atomically
+  // so an interrupted acobe-gen never leaves a half-written CSV behind.
+  auto write = [&](const char* name,
+                   void (*writer)(const LogStore&, std::ostream&),
+                   bool corruptible) {
     const std::string path = out_dir + "/" + name;
-    std::ofstream out(path);
-    if (!out) {
-      std::fprintf(stderr, "cannot open %s\n", path.c_str());
-      std::exit(1);
+    std::ostringstream rendered;
+    writer(store, rendered);
+    std::string text = rendered.str();
+    if (corruptible && corrupt_rate > 0.0) {
+      // Per-file key: each CSV draws an independent fault stream.
+      const sim::FaultReport report = injector.Corrupt(text, Crc32(name));
+      ACOBE_COUNT("gen.rows_corrupted", report.rows_corrupted);
+      std::fprintf(stderr, "corrupted %zu/%zu rows in %s\n",
+                   report.rows_corrupted, report.rows_seen, name);
     }
-    writer(store, out);
+    try {
+      WriteFileAtomic(path, [&](std::ostream& out) { out << text; });
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "acobe-gen: cannot write %s: %s\n", path.c_str(),
+                   e.what());
+      std::exit(kExitFailure);
+    }
     std::fprintf(stderr, "wrote %s\n", path.c_str());
   };
-  write("device.csv", WriteDeviceCsv);
-  write("file.csv", WriteFileCsv);
-  write("http.csv", WriteHttpCsv);
-  write("logon.csv", WriteLogonCsv);
-  write("ldap.csv", WriteLdapCsv);
+  write("device.csv", WriteDeviceCsv, /*corruptible=*/true);
+  write("file.csv", WriteFileCsv, /*corruptible=*/true);
+  write("http.csv", WriteHttpCsv, /*corruptible=*/true);
+  write("logon.csv", WriteLogonCsv, /*corruptible=*/true);
+  write("ldap.csv", WriteLdapCsv, /*corruptible=*/false);
 
-  // Ground truth for evaluation.
+  // Ground truth for evaluation (never corrupted: it is the answer key).
   {
     const std::string path = out_dir + "/truth.csv";
-    std::ofstream out(path);
-    out << "user,anomaly_start,anomaly_end\n";
-    for (const auto& scenario : simulator.scenarios()) {
-      out << scenario.user_name << ',' << scenario.anomaly_start.ToString()
-          << ',' << scenario.anomaly_end.ToString() << '\n';
+    try {
+      WriteFileAtomic(path, [&](std::ostream& out) {
+        out << "user,anomaly_start,anomaly_end\n";
+        for (const auto& scenario : simulator.scenarios()) {
+          out << scenario.user_name << ',' << scenario.anomaly_start.ToString()
+              << ',' << scenario.anomaly_end.ToString() << '\n';
+        }
+      });
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "acobe-gen: cannot write %s: %s\n", path.c_str(),
+                   e.what());
+      return kExitFailure;
     }
     std::fprintf(stderr, "wrote %s\n", path.c_str());
   }
@@ -158,11 +222,11 @@ int main(int argc, char** argv) {
   telemetry::WriteReport(std::cerr);
   if (!metrics_out.empty() && !telemetry::WriteMetricsJsonFile(metrics_out)) {
     std::fprintf(stderr, "acobe-gen: cannot write %s\n", metrics_out.c_str());
-    return 1;
+    return kExitFailure;
   }
   if (!trace_out.empty() && !telemetry::WriteTraceJsonFile(trace_out)) {
     std::fprintf(stderr, "acobe-gen: cannot write %s\n", trace_out.c_str());
-    return 1;
+    return kExitFailure;
   }
   return 0;
 }
