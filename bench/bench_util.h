@@ -56,15 +56,9 @@ struct BenchArgs {
 
   /// End-of-run telemetry flush: report on stderr, plus the same JSON
   /// exports the tools emit (schema acobe.metrics.v1 / trace-event).
+  /// One shared implementation with the tools (common/telemetry.h).
   void FinishTelemetry() const {
-    telemetry::WriteReport(std::cerr);
-    if (!metrics_out.empty() &&
-        !telemetry::WriteMetricsJsonFile(metrics_out)) {
-      std::fprintf(stderr, "bench: cannot write %s\n", metrics_out.c_str());
-    }
-    if (!trace_out.empty() && !telemetry::WriteTraceJsonFile(trace_out)) {
-      std::fprintf(stderr, "bench: cannot write %s\n", trace_out.c_str());
-    }
+    telemetry::FlushTelemetry("bench", metrics_out, trace_out, std::cerr);
   }
 
   baselines::ScaleProfile Scale() const {

@@ -15,6 +15,7 @@
 #include "behavior/normalized_day.h"
 #include "common/parallel.h"
 #include "common/telemetry.h"
+#include "core/attribution.h"
 #include "core/critic.h"
 #include "core/ensemble.h"
 #include "features/cert_features.h"
@@ -217,6 +218,50 @@ void BM_TelemetryOverhead(benchmark::State& state) {
 BENCHMARK(BM_TelemetryOverhead)->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+/// One detection pass (train + score + rank), optionally followed by
+/// the per-detection attribution pass (core/attribution.h).
+double DetectSeconds(const MeasurementCube& cube, int users, bool attribute) {
+  NormalizedDayBuilder builder(&cube, 0, 60);
+  const auto start = std::chrono::steady_clock::now();
+  AspectEnsemble ensemble(MakeAspects(4, 4), SmallEnsembleConfig(2));
+  ensemble.Train(builder, users, 0, 60);
+  const ScoreGrid grid = ensemble.Score(builder, users, 60, 90);
+  const auto list = RankUsers(grid, 3);
+  benchmark::DoNotOptimize(list.size());
+  if (attribute) {
+    AttributionConfig cfg;
+    cfg.enabled = true;
+    cfg.top_users = 10;
+    cfg.top_cells = 5;
+    const auto attributions =
+        AttributeDetections(ensemble, builder, grid, list, cfg);
+    benchmark::DoNotOptimize(attributions.size());
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// The <5% attribution-overhead contract: detection with attribution
+/// off is the unchanged pipeline (attribution never touches the
+/// scoring path); with it on, the added cost is one inference batch
+/// per attributed (user, aspect). Reported as attribution_pct.
+void BM_AttributionOverhead(benchmark::State& state) {
+  const int users = 24;
+  const MeasurementCube cube = MakeCube(users, 90);
+  double off_s = 0.0, on_s = 0.0;
+  for (auto _ : state) {
+    off_s += DetectSeconds(cube, users, /*attribute=*/false);
+    on_s += DetectSeconds(cube, users, /*attribute=*/true);
+  }
+  state.counters["off_ms"] = 1e3 * off_s / state.iterations();
+  state.counters["on_ms"] = 1e3 * on_s / state.iterations();
+  state.counters["attribution_pct"] =
+      off_s > 0.0 ? 100.0 * (on_s - off_s) / off_s : 0.0;
+}
+BENCHMARK(BM_AttributionOverhead)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 void BM_Critic(benchmark::State& state) {
   const int users = state.range(0);
   ScoreGrid grid({"a", "b", "c"}, users, 0, 30);
@@ -266,15 +311,8 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
-  telemetry::WriteReport(std::cerr);
-  if (!metrics_out.empty() && !telemetry::WriteMetricsJsonFile(metrics_out)) {
-    std::fprintf(stderr, "micro_pipeline: cannot write %s\n",
-                 metrics_out.c_str());
-    return 1;
-  }
-  if (!trace_out.empty() && !telemetry::WriteTraceJsonFile(trace_out)) {
-    std::fprintf(stderr, "micro_pipeline: cannot write %s\n",
-                 trace_out.c_str());
+  if (!telemetry::FlushTelemetry("micro_pipeline", metrics_out, trace_out,
+                                 std::cerr)) {
     return 1;
   }
   return 0;

@@ -38,6 +38,11 @@ int main() {
   const ScenarioWindows w = data.WindowsFor(insider, 30, 30);
   DetectorSpec spec = MakeVariantSpec(VariantKind::kAcobe,
                                       ScaleProfile::Bench());
+  // Provenance: attribute flagged users to compound-matrix cells and
+  // watch for score drift between the training and scoring windows.
+  spec.attribution.enabled = true;
+  spec.attribution.top_users = 3;
+  spec.drift.enabled = true;
   const Detector detector(spec);
 
   std::printf("training on days [%d, %d) and scoring [%d, %d)...\n",
@@ -82,11 +87,44 @@ int main() {
       if (f.peak_z > best.peak_z) best = f;
     }
     std::printf("  user %-8s days %d..%d (%d firing days)  waveform: %s "
-                "(peak z %.1f)%s\n",
+                "(peak z %.1f)  peak: %s day %d score %.2f%s\n",
                 data.store.users().NameOf(user).c_str(),
                 alert.first_day, alert.last_day, alert.firing_days,
                 ToString(best.kind), best.peak_z,
+                alert.peak_aspect_name.c_str(), alert.peak_day,
+                alert.peak_score,
                 user == insider.user ? "   <-- the insider" : "");
+  }
+
+  // Per-user attribution: which compound-matrix cells drove the score.
+  std::printf("\nattribution (top reconstruction-error cells):\n");
+  for (const UserAttribution& ua : out.attributions) {
+    const UserId user = out.members[ua.user_idx];
+    std::printf("  %s (priority %.0f)%s\n",
+                data.store.users().NameOf(user).c_str(), ua.priority,
+                user == insider.user ? "   <-- the insider" : "");
+    for (const AspectAttribution& aa : ua.aspects) {
+      std::printf("    %-8s peak day %d score %.3f (group share %.0f%%)\n",
+                  aa.aspect_name.c_str(), aa.peak_day, aa.peak_score,
+                  100.0f * aa.group_error_fraction);
+      for (const AttributedCell& cell : aa.cells) {
+        std::printf("      feature %2d %s day %d err %.4f (%2.0f%%)%s\n",
+                    cell.feature_pos, cell.group ? "[group]" : "[indiv]",
+                    cell.day, cell.error, 100.0f * cell.share,
+                    cell.has_group_input ? " (see group)" : "");
+      }
+    }
+  }
+
+  // Drift gauges: scoring-window score distribution vs training window.
+  std::printf("\nscore drift vs training window:\n");
+  for (const AspectDrift& drift : out.drift) {
+    std::printf("  %-8s %s", drift.aspect_name.c_str(),
+                drift.alert ? "ALERT" : "ok   ");
+    for (const QuantileShift& shift : drift.shifts) {
+      std::printf("  q%g %+.1f%%", 100.0 * shift.q, 100.0 * shift.rel_shift);
+    }
+    std::printf("\n");
   }
   return 0;
 }

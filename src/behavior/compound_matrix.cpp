@@ -32,6 +32,25 @@ std::size_t CompoundMatrixBuilder::FlatSize(std::size_t n_features) const {
          users_->frames();
 }
 
+SampleCellRef CompoundMatrixBuilder::DescribeCell(
+    std::size_t flat_index, std::size_t n_features) const {
+  const auto& cfg = users_->config();
+  const std::size_t window = static_cast<std::size_t>(cfg.EffectiveMatrixDays());
+  const std::size_t frames = static_cast<std::size_t>(users_->frames());
+  if (flat_index >= FlatSize(n_features)) {
+    throw std::out_of_range("CompoundMatrixBuilder::DescribeCell: bad index");
+  }
+  const std::size_t per_component = n_features * window * frames;
+  SampleCellRef ref;
+  ref.component = static_cast<int>(flat_index / per_component);
+  std::size_t rest = flat_index % per_component;
+  ref.feature_pos = static_cast<int>(rest / (window * frames));
+  rest %= window * frames;
+  ref.day_offset = static_cast<int>(rest / frames);
+  ref.frame = static_cast<int>(rest % frames);
+  return ref;
+}
+
 std::vector<float> CompoundMatrixBuilder::Build(int user_idx,
                                                 std::span<const int> features,
                                                 int anchor_day) const {

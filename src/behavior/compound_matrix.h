@@ -52,6 +52,12 @@ class CompoundMatrixBuilder : public SampleBuilder {
   }
   int FirstValidDay() const override { return FirstAnchorDay(); }
   int EndDay() const override { return days(); }
+  /// Inverts Build's [component][feature][day][frame] flattening.
+  SampleCellRef DescribeCell(std::size_t flat_index,
+                             std::size_t n_features) const override;
+  int SampleWindowDays() const override {
+    return users_->config().EffectiveMatrixDays();
+  }
 
  private:
   const DeviationSeries* users_;

@@ -39,6 +39,16 @@ class NormalizedDayBuilder : public SampleBuilder {
   }
   int FirstValidDay() const override { return 0; }
   int EndDay() const override { return cube_->days(); }
+  /// Inverts Build's [feature][frame] flattening (single component,
+  /// single day).
+  SampleCellRef DescribeCell(std::size_t flat_index,
+                             std::size_t) const override {
+    const std::size_t frames = static_cast<std::size_t>(cube_->frames());
+    SampleCellRef ref;
+    ref.feature_pos = static_cast<int>(flat_index / frames);
+    ref.frame = static_cast<int>(flat_index % frames);
+    return ref;
+  }
 
  private:
   const MeasurementCube* cube_;

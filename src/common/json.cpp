@@ -1,0 +1,329 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+namespace acobe::json {
+namespace {
+
+// Nesting cap: the artifacts this parser targets are ~4 levels deep;
+// a hostile or corrupted file must not be able to overflow the stack.
+constexpr int kMaxDepth = 64;
+
+}  // namespace
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value ParseDocument() {
+    Value v = ParseValue(0);
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      throw ParseError("trailing characters after JSON value", pos_);
+    }
+    return v;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& what) const {
+    throw ParseError(what, pos_);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    if (pos_ >= text_.size()) Fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void Expect(char c) {
+    if (Peek() != c) Fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void ExpectLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      Fail("invalid literal");
+    }
+    pos_ += literal.size();
+  }
+
+  Value ParseValue(int depth) {
+    if (depth > kMaxDepth) Fail("nesting too deep");
+    SkipWhitespace();
+    Value v;
+    switch (Peek()) {
+      case 'n':
+        ExpectLiteral("null");
+        v.type_ = Value::Type::kNull;
+        return v;
+      case 't':
+        ExpectLiteral("true");
+        v.type_ = Value::Type::kBool;
+        v.bool_ = true;
+        return v;
+      case 'f':
+        ExpectLiteral("false");
+        v.type_ = Value::Type::kBool;
+        v.bool_ = false;
+        return v;
+      case '"':
+        v.type_ = Value::Type::kString;
+        v.string_ = ParseString();
+        return v;
+      case '[':
+        return ParseArray(depth);
+      case '{':
+        return ParseObject(depth);
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Value ParseArray(int depth) {
+    Expect('[');
+    Value v;
+    v.type_ = Value::Type::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return v;
+    while (true) {
+      v.array_.push_back(ParseValue(depth + 1));
+      SkipWhitespace();
+      if (Consume(']')) return v;
+      Expect(',');
+    }
+  }
+
+  Value ParseObject(int depth) {
+    Expect('{');
+    Value v;
+    v.type_ = Value::Type::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return v;
+    while (true) {
+      SkipWhitespace();
+      std::string key = ParseString();
+      SkipWhitespace();
+      Expect(':');
+      v.object_[std::move(key)] = ParseValue(depth + 1);
+      SkipWhitespace();
+      if (Consume('}')) return v;
+      Expect(',');
+    }
+  }
+
+  Value ParseNumber() {
+    const std::size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) Fail("expected a value");
+    // strtod over from_chars: libstdc++ floating-point from_chars
+    // availability varies (see cli_util.h's same choice).
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      pos_ = start;
+      Fail("malformed number");
+    }
+    Value v;
+    v.type_ = Value::Type::kNumber;
+    v.number_ = parsed;
+    return v;
+  }
+
+  void AppendUtf8(std::string& out, unsigned int cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  unsigned int ParseHex4() {
+    if (pos_ + 4 > text_.size()) Fail("truncated \\u escape");
+    unsigned int cp = 0;
+    const auto [end, ec] =
+        std::from_chars(text_.data() + pos_, text_.data() + pos_ + 4, cp, 16);
+    if (ec != std::errc() || end != text_.data() + pos_ + 4) {
+      Fail("bad \\u escape");
+    }
+    pos_ += 4;
+    return cp;
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) Fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        Fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) Fail("truncated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned int cp = ParseHex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: pair it with the following \uXXXX.
+            if (pos_ + 2 <= text_.size() && text_[pos_] == '\\' &&
+                text_[pos_ + 1] == 'u') {
+              pos_ += 2;
+              const unsigned int lo = ParseHex4();
+              if (lo < 0xDC00 || lo > 0xDFFF) Fail("unpaired surrogate");
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            } else {
+              Fail("unpaired surrogate");
+            }
+          }
+          AppendUtf8(out, cp);
+          break;
+        }
+        default:
+          --pos_;
+          Fail("unknown escape");
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+Value Value::Parse(std::string_view text) {
+  return Parser(text).ParseDocument();
+}
+
+bool Value::AsBool() const {
+  if (type_ != Type::kBool) throw std::logic_error("json: not a bool");
+  return bool_;
+}
+
+double Value::AsNumber() const {
+  if (type_ != Type::kNumber) throw std::logic_error("json: not a number");
+  return number_;
+}
+
+const std::string& Value::AsString() const {
+  if (type_ != Type::kString) throw std::logic_error("json: not a string");
+  return string_;
+}
+
+const std::vector<Value>& Value::AsArray() const {
+  if (type_ != Type::kArray) throw std::logic_error("json: not an array");
+  return array_;
+}
+
+const std::map<std::string, Value, std::less<>>& Value::AsObject() const {
+  if (type_ != Type::kObject) throw std::logic_error("json: not an object");
+  return object_;
+}
+
+const Value* Value::Get(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  const auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+double Value::GetNumber(std::string_view key, double fallback) const {
+  const Value* v = Get(key);
+  return v && v->is_number() ? v->number_ : fallback;
+}
+
+std::string Value::GetString(std::string_view key,
+                             const std::string& fallback) const {
+  const Value* v = Get(key);
+  return v && v->is_string() ? v->string_ : fallback;
+}
+
+bool Value::GetBool(std::string_view key, bool fallback) const {
+  const Value* v = Get(key);
+  return v && v->is_bool() ? v->bool_ : fallback;
+}
+
+std::size_t Value::size() const {
+  if (type_ == Type::kArray) return array_.size();
+  if (type_ == Type::kObject) return object_.size();
+  return 0;
+}
+
+const Value& Value::operator[](std::size_t i) const {
+  if (type_ != Type::kArray) throw std::logic_error("json: not an array");
+  return array_.at(i);
+}
+
+std::vector<Value> ParseLines(std::string_view text) {
+  std::vector<Value> values;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, eol == std::string_view::npos ? std::string_view::npos
+                                                       : eol - pos);
+    ++line_no;
+    const bool blank =
+        line.find_first_not_of(" \t\r") == std::string_view::npos;
+    if (!blank) {
+      try {
+        values.push_back(Value::Parse(line));
+      } catch (const ParseError& e) {
+        throw ParseError("line " + std::to_string(line_no) + ": " + e.what(),
+                         e.offset());
+      }
+    }
+    if (eol == std::string_view::npos) break;
+    pos = eol + 1;
+  }
+  return values;
+}
+
+}  // namespace acobe::json

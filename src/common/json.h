@@ -1,0 +1,91 @@
+#pragma once
+
+// Minimal JSON reader for the observability artifacts this repo writes
+// itself: run-ledger JSONL lines (common/ledger.h), explain reports and
+// telemetry metric dumps. acobe-explain renders saved provenance
+// without recomputation, so it must *parse* JSON; the container bakes
+// in no JSON library, hence this ~200-line recursive-descent parser.
+//
+// Scope: full RFC 8259 value grammar (null/bool/number/string/array/
+// object) with \uXXXX escapes decoded to UTF-8. Numbers are doubles.
+// Duplicate object keys keep the last value. Not a validator of
+// anything beyond syntax; schema checks live in the callers (and in
+// tools/check_ledger.py on CI).
+
+#include <cstddef>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace acobe::json {
+
+/// Malformed JSON, with a character offset into the parsed text.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& what, std::size_t offset)
+      : std::runtime_error(what + " at offset " + std::to_string(offset)),
+        offset_(offset) {}
+  std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// One parsed JSON value (a tagged union over the six JSON types).
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses exactly one JSON document; trailing non-whitespace throws.
+  static Value Parse(std::string_view text);
+
+  Value() = default;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw std::logic_error on a type mismatch.
+  bool AsBool() const;
+  double AsNumber() const;
+  const std::string& AsString() const;
+  const std::vector<Value>& AsArray() const;
+
+  /// Object member by key, or nullptr when absent (or not an object).
+  const Value* Get(std::string_view key) const;
+
+  /// Convenience lookups with defaults for optional schema fields.
+  double GetNumber(std::string_view key, double fallback) const;
+  std::string GetString(std::string_view key,
+                        const std::string& fallback) const;
+  bool GetBool(std::string_view key, bool fallback) const;
+
+  /// Object members in insertion-independent (sorted) order.
+  const std::map<std::string, Value, std::less<>>& AsObject() const;
+
+  std::size_t size() const;
+  const Value& operator[](std::size_t i) const;
+
+ private:
+  friend class Parser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::map<std::string, Value, std::less<>> object_;
+};
+
+/// Parses line-delimited JSON (one value per non-blank line) — the run
+/// ledger's on-disk form. Throws ParseError with the failing line
+/// prefixed, so a truncated tail line is reported precisely.
+std::vector<Value> ParseLines(std::string_view text);
+
+}  // namespace acobe::json

@@ -1,0 +1,87 @@
+#pragma once
+
+// Run ledger: an append-only JSONL event stream recording the
+// provenance of one detection run — what configuration and data went
+// in, how each aspect trained (attempts, resume, per-epoch loss), what
+// came out (score digests, quality metrics, drift) — so "what changed
+// between yesterday's run and today's" is answerable from two small
+// files without rerunning anything.
+//
+// Shape: one JSON object per line ("schema": "acobe.ledger.v1" on the
+// manifest event). Events are buffered in memory in append order and
+// landed with WriteFileAtomic, so a crash leaves the previous complete
+// ledger, never a torn one. Appends are thread-safe (aspect summaries
+// arrive from pool workers); event order is whatever append order the
+// callers produce.
+//
+// Event vocabulary (validated by tools/check_ledger.py):
+//   manifest      first event: tool, build info, config, dataset digest
+//   aspect_trained  one per (department, aspect): attempts, losses
+//   detection     one per department: members, digest, top users
+//   quality       AUC / AP / precision@k vs ground truth (when present)
+//   drift         per-aspect score-distribution shift vs reference
+//   run_complete  last event: ledger is whole iff present
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/version.h"
+
+namespace acobe {
+
+/// Builder for one ledger line. Keys are appended in call order; values
+/// are JSON-escaped / finite-clamped by the same helpers the telemetry
+/// exporter uses.
+class LedgerEvent {
+ public:
+  explicit LedgerEvent(std::string_view type);
+
+  LedgerEvent& Str(std::string_view key, std::string_view value);
+  LedgerEvent& Num(std::string_view key, double value);
+  LedgerEvent& Int(std::string_view key, std::int64_t value);
+  LedgerEvent& Bool(std::string_view key, bool value);
+  LedgerEvent& StrList(std::string_view key, std::span<const std::string> v);
+  LedgerEvent& NumList(std::string_view key, std::span<const float> v);
+  LedgerEvent& NumList(std::string_view key, std::span<const double> v);
+  /// Pre-rendered JSON (an object or array built elsewhere). The caller
+  /// guarantees `json` is valid; nothing re-validates it here.
+  LedgerEvent& Raw(std::string_view key, std::string_view json);
+
+  /// The finished line, without a trailing newline.
+  std::string Finish() const;
+
+ private:
+  LedgerEvent& Key(std::string_view key);
+  std::string buf_;
+};
+
+/// The buffered event stream for one tool invocation.
+class RunLedger {
+ public:
+  void Append(const LedgerEvent& event);
+  std::size_t event_count() const;
+
+  /// One event per line, append order.
+  void WriteTo(std::ostream& out) const;
+
+  /// Atomic whole-file replacement (WriteFileAtomic); false when the
+  /// ledger cannot be written durably.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::string> lines_;
+};
+
+/// The standard manifest skeleton: schema tag, tool name, and the
+/// build-identity block every --version flag prints (version,
+/// build_type, simd, telemetry). Callers append run-specific fields
+/// (config, seed, dataset digest) before Finish().
+LedgerEvent MakeManifestEvent(std::string_view tool, const BuildInfo& build);
+
+}  // namespace acobe

@@ -72,6 +72,8 @@ double NearestRank(const std::vector<double>& sorted, double percentile) {
   return sorted[std::min(rank, sorted.size()) - 1];
 }
 
+}  // namespace
+
 void JsonEscape(std::ostream& out, std::string_view s) {
   for (char c : s) {
     switch (c) {
@@ -99,8 +101,6 @@ void JsonNumber(std::ostream& out, double v) {
   std::snprintf(buf, sizeof buf, "%.6g", v);
   out << buf;
 }
-
-}  // namespace
 
 #ifndef ACOBE_TELEMETRY_DISABLED
 bool MetricsEnabled() {
@@ -405,6 +405,23 @@ bool WriteTraceJsonFile(const std::string& path) {
     return false;
   }
   return true;
+}
+
+bool FlushTelemetry(const std::string& tool, const std::string& metrics_out,
+                    const std::string& trace_out, std::ostream& report) {
+  WriteReport(report);
+  bool ok = true;
+  if (!metrics_out.empty() && !WriteMetricsJsonFile(metrics_out)) {
+    std::fprintf(stderr, "%s: cannot write %s\n", tool.c_str(),
+                 metrics_out.c_str());
+    ok = false;
+  }
+  if (!trace_out.empty() && !WriteTraceJsonFile(trace_out)) {
+    std::fprintf(stderr, "%s: cannot write %s\n", tool.c_str(),
+                 trace_out.c_str());
+    ok = false;
+  }
+  return ok;
 }
 
 }  // namespace acobe::telemetry

@@ -148,6 +148,21 @@ void WriteTraceJson(std::ostream& out);
 bool WriteMetricsJsonFile(const std::string& path);
 bool WriteTraceJsonFile(const std::string& path);
 
+/// The shared end-of-run flush every telemetry producer (tools, bench
+/// binaries) performs: human report to `report`, then the metrics/trace
+/// JSON files for whichever of the two paths is non-empty. A failed
+/// file write logs "<tool>: cannot write <path>" on stderr and makes
+/// the result false; the report and the other file are still attempted.
+bool FlushTelemetry(const std::string& tool, const std::string& metrics_out,
+                    const std::string& trace_out, std::ostream& report);
+
+/// JSON string-escape / finite-number formatting used by every JSON
+/// artifact this repo writes (metrics, traces, ledger, explain
+/// reports). Escapes the two JSON metacharacters plus control bytes;
+/// NaN/Inf are clamped to 0 so output always parses.
+void JsonEscape(std::ostream& out, std::string_view s);
+void JsonNumber(std::ostream& out, double v);
+
 // --- Plumbing shared with trace.h (stable public API, rarely called
 // --- directly by instrumentation sites).
 

@@ -1,0 +1,153 @@
+#include "core/attribution.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/telemetry.h"
+#include "common/trace.h"
+#include "nn/sequential.h"
+
+namespace acobe {
+namespace {
+
+/// Key for matching an individual-half cell to its group counterpart:
+/// same (feature, day_offset, frame), opposite component.
+std::uint64_t CellKey(const SampleCellRef& ref) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(ref.feature_pos))
+          << 32) |
+         (static_cast<std::uint32_t>(ref.day_offset) << 16) |
+         static_cast<std::uint32_t>(ref.frame);
+}
+
+}  // namespace
+
+std::vector<UserAttribution> AttributeDetections(
+    const AspectEnsemble& ensemble, const SampleBuilder& builder,
+    const ScoreGrid& grid, const std::vector<InvestigationEntry>& list,
+    const AttributionConfig& config) {
+  std::vector<UserAttribution> out;
+  if (!config.enabled || list.empty() || grid.users() == 0) {
+    return out;
+  }
+  ACOBE_SPAN("detector.attribute");
+
+  // The grid's aspect axis covers healthy aspects only; map each grid
+  // aspect back to its ensemble aspect (for features and the model).
+  std::vector<int> ensemble_aspect(grid.aspects(), -1);
+  for (int a = 0; a < grid.aspects(); ++a) {
+    for (int e = 0; e < ensemble.aspect_count(); ++e) {
+      if (ensemble.aspect(e).name == grid.aspect_name(a)) {
+        ensemble_aspect[a] = e;
+        break;
+      }
+    }
+  }
+
+  const int window = builder.SampleWindowDays();
+  const int n_users = std::min<int>(config.top_users,
+                                    static_cast<int>(list.size()));
+  nn::Sequential::InferScratch scratch;
+
+  for (int li = 0; li < n_users; ++li) {
+    const InvestigationEntry& entry = list[li];
+    UserAttribution ua;
+    ua.user_idx = entry.user_idx;
+    ua.priority = entry.priority;
+
+    for (int a = 0; a < grid.aspects(); ++a) {
+      const int e = ensemble_aspect[a];
+      if (e < 0 || !ensemble.aspect_ok(e)) continue;
+
+      // Peak scored day. Per-user calibration divides every day of the
+      // (aspect, user) row by one constant, so this argmax is the same
+      // on raw and calibrated grids; ties resolve to the earliest day.
+      int peak_day = grid.day_begin();
+      float peak = grid.At(a, entry.user_idx, peak_day);
+      for (int d = grid.day_begin() + 1; d < grid.day_end(); ++d) {
+        const float s = grid.At(a, entry.user_idx, d);
+        if (s > peak) {
+          peak = s;
+          peak_day = d;
+        }
+      }
+
+      const AspectGroup& aspect = ensemble.aspect(e);
+      const std::vector<float> sample =
+          builder.BuildSample(entry.user_idx, aspect.feature_indices,
+                              peak_day);
+      const nn::Tensor& pred = ensemble.model(e).Infer(
+          nn::MatSpan(sample.data(), 1, sample.size()), scratch);
+
+      AspectAttribution aa;
+      aa.aspect = a;
+      aa.aspect_name = grid.aspect_name(a);
+      aa.peak_day = peak_day;
+      aa.peak_score = peak;
+
+      // Per-cell squared error + group-half input index for the
+      // group-correlation annotation, in one pass.
+      std::vector<float> err(sample.size());
+      std::unordered_map<std::uint64_t, float> group_input;
+      double total = 0.0;
+      double group_total = 0.0;
+      for (std::size_t i = 0; i < sample.size(); ++i) {
+        const float d = pred.data()[i] - sample[i];
+        err[i] = d * d;
+        total += err[i];
+        const SampleCellRef ref =
+            builder.DescribeCell(i, aspect.feature_indices.size());
+        if (ref.component == 1) {
+          group_total += err[i];
+          group_input.emplace(CellKey(ref), sample[i]);
+        }
+      }
+      aa.total_error = static_cast<float>(total);
+      aa.group_error_fraction =
+          total > 0.0 ? static_cast<float>(group_total / total) : 0.0f;
+
+      std::vector<std::size_t> order(sample.size());
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      const std::size_t keep = std::min<std::size_t>(
+          static_cast<std::size_t>(std::max(config.top_cells, 0)),
+          order.size());
+      std::partial_sort(order.begin(), order.begin() + keep, order.end(),
+                        [&](std::size_t x, std::size_t y) {
+                          if (err[x] != err[y]) return err[x] > err[y];
+                          return x < y;  // deterministic tie-break
+                        });
+
+      for (std::size_t c = 0; c < keep; ++c) {
+        const std::size_t i = order[c];
+        const SampleCellRef ref =
+            builder.DescribeCell(i, aspect.feature_indices.size());
+        AttributedCell cell;
+        cell.feature_pos = ref.feature_pos;
+        cell.day_offset = ref.day_offset;
+        cell.day = peak_day - window + 1 + ref.day_offset;
+        cell.frame = ref.frame;
+        cell.group = ref.component == 1;
+        cell.error = err[i];
+        cell.share =
+            total > 0.0 ? static_cast<float>(err[i] / total) : 0.0f;
+        cell.input = sample[i];
+        cell.reconstruction = pred.data()[i];
+        if (!cell.group) {
+          const auto it = group_input.find(CellKey(ref));
+          if (it != group_input.end()) {
+            cell.group_input = it->second;
+            cell.has_group_input = true;
+          }
+        }
+        aa.cells.push_back(cell);
+      }
+      ua.aspects.push_back(std::move(aa));
+    }
+    out.push_back(std::move(ua));
+  }
+  ACOBE_COUNT("attribution.users", out.size());
+  return out;
+}
+
+}  // namespace acobe

@@ -1,0 +1,93 @@
+#pragma once
+
+// Per-detection attribution (the provenance behind an investigation
+// list entry). The paper's case study (Fig. 7) argues a ranked user is
+// only actionable when the analyst can see *why* they ranked: which
+// behavioral aspect, which measurement, which time-frame, and which
+// enclosed days of the compound deviation matrix drove the
+// reconstruction error — and whether the deviation is the individual's
+// own or shared with the group.
+//
+// Mechanism: for each flagged user, take the aspect's peak scored day
+// (the per-user calibration in Detector::Run divides all of a user's
+// days by one constant, so the raw grid's argmax day is the calibrated
+// argmax too), rebuild that day's sample, run one inference pass, and
+// decompose the per-element squared error. Top-k cells are mapped back
+// through SampleBuilder::DescribeCell into (component, feature, day,
+// frame); individual-half cells additionally carry the matching
+// group-half input so the analyst can tell an individual deviation
+// from a group-correlated one at a glance.
+//
+// Cost: recomputation only, for top_users users — the scoring path is
+// untouched, so scores are bit-identical with attribution on or off
+// (pinned by tests/provenance_test.cpp) and the overhead is a handful
+// of extra inference batches (pinned <5% by BM_AttributionOverhead).
+
+#include <string>
+#include <vector>
+
+#include "behavior/sample_builder.h"
+#include "core/critic.h"
+#include "core/ensemble.h"
+#include "core/score_grid.h"
+
+namespace acobe {
+
+struct AttributionConfig {
+  /// Master switch; Detector::Run skips the whole pass when false.
+  bool enabled = false;
+  /// Attribute the first N entries of the investigation list.
+  int top_users = 10;
+  /// Contributing cells kept per (user, aspect), highest error first.
+  int top_cells = 5;
+};
+
+/// One contributing cell of a flagged user's peak-day sample.
+struct AttributedCell {
+  int feature_pos = 0;   // within the aspect's feature list
+  int day = 0;           // absolute cube day index of the cell
+  int day_offset = 0;    // position within the enclosed window
+  int frame = 0;         // time-frame index
+  bool group = false;    // true: cell lives in the group half
+  float error = 0.0f;    // squared reconstruction error of the cell
+  float share = 0.0f;    // error / sample total error
+  float input = 0.0f;    // the [0,1] matrix value fed to the model
+  float reconstruction = 0.0f;
+  /// For individual-half cells when a group half exists: the matching
+  /// group cell's input. A cell whose |group_input - 0.5| is comparable
+  /// to |input - 0.5| flags a group-correlated deviation (the whole
+  /// department moved), not an individual anomaly. 0.5 = "no deviation"
+  /// after the [-Delta, Delta] -> [0, 1] rescale.
+  float group_input = 0.5f;
+  bool has_group_input = false;
+};
+
+/// Attribution of one (user, aspect): the peak day and its dominant
+/// cells.
+struct AspectAttribution {
+  int aspect = 0;  // grid aspect index
+  std::string aspect_name;
+  int peak_day = 0;        // scored day with the aspect's highest score
+  float peak_score = 0.0f; // grid score at peak_day (as ranked, i.e.
+                           // after any per-user calibration)
+  float total_error = 0.0f;        // sum of per-cell errors on the peak day
+  float group_error_fraction = 0.0f;  // share of total in the group half
+  std::vector<AttributedCell> cells;  // top_cells cells, descending error
+};
+
+struct UserAttribution {
+  int user_idx = -1;   // dense member index (DetectionOutput.members)
+  double priority = 0.0;
+  std::vector<AspectAttribution> aspects;  // grid-aspect order
+};
+
+/// Attributes the first `config.top_users` entries of `list`. `grid`
+/// must be the raw (or per-user-calibrated) grid the list was ranked
+/// from; `builder` and `ensemble` must be the ones that produced it.
+/// Never touches the ensemble's training state or the grid.
+std::vector<UserAttribution> AttributeDetections(
+    const AspectEnsemble& ensemble, const SampleBuilder& builder,
+    const ScoreGrid& grid, const std::vector<InvestigationEntry>& list,
+    const AttributionConfig& config);
+
+}  // namespace acobe

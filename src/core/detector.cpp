@@ -97,6 +97,7 @@ DetectionOutput Detector::Run(const MeasurementCube& cube,
 
   DetectionOutput out;
   out.degraded_aspects = ensemble.failed_aspects();
+  out.train_summaries = ensemble.train_summaries();
   if (!out.degraded_aspects.empty() && log) {
     (*log) << "[" << spec_.name << "] WARNING: scoring without "
            << out.degraded_aspects.size() << " diverged aspect(s):";
@@ -107,14 +108,37 @@ DetectionOutput Detector::Run(const MeasurementCube& cube,
     telemetry::TraceSpan score_span("detector.score");
     out.grid = ensemble.Score(builder, n_members, score_begin, score_end);
   }
+  // The training-window grid serves double duty: the calibration
+  // baseline and the drift reference. Computed once, and only when one
+  // of the two consumers needs it.
+  ScoreGrid train_grid;
+  if (spec_.per_user_calibration || spec_.drift.enabled) {
+    train_grid = ensemble.Score(builder, n_members, train_begin, train_end);
+  }
+  if (spec_.drift.enabled) {
+    // Drift compares raw reconstruction-error distributions, so it runs
+    // before calibration rescales out.grid.
+    out.drift = ComputeScoreDrift(train_grid, out.grid, spec_.drift);
+    if (log) {
+      for (const AspectDrift& drift : out.drift) {
+        if (!drift.alert) continue;
+        (*log) << "[" << spec_.name << "] WARNING: score drift on aspect "
+               << drift.aspect_name << " (";
+        for (std::size_t i = 0; i < drift.shifts.size(); ++i) {
+          if (i) (*log) << ", ";
+          (*log) << "q" << drift.shifts[i].q * 100.0 << " "
+                 << drift.shifts[i].rel_shift * 100.0 << "%";
+        }
+        (*log) << ")\n";
+      }
+    }
+  }
   if (spec_.per_user_calibration) {
     telemetry::TraceSpan calibrate_span("detector.calibrate");
     // Baseline each user against their own training-window error,
     // shrunk towards the population mean so users with near-zero
     // training error cannot explode a stray test-day blip into a
     // top-of-list ratio.
-    const ScoreGrid train_grid =
-        ensemble.Score(builder, n_members, train_begin, train_end);
     const int threads = spec_.ensemble.threads;
     for (int a = 0; a < out.grid.aspects(); ++a) {
       // Per-user means in parallel (disjoint writes), then a serial
@@ -143,6 +167,13 @@ DetectionOutput Detector::Run(const MeasurementCube& cube,
     telemetry::TraceSpan rank_span("detector.rank");
     out.list =
         RankUsers(out.grid, spec_.critic_votes, spec_.score_top_k_days);
+  }
+  if (spec_.attribution.enabled) {
+    // After ranking: attribution explains the list that was actually
+    // produced. Read-only over the ensemble/grid, so scores stay
+    // bit-identical with attribution on or off.
+    out.attributions = AttributeDetections(ensemble, builder, out.grid,
+                                           out.list, spec_.attribution);
   }
   ACOBE_COUNT("detector.runs", 1);
   out.members = std::move(member_ids);

@@ -12,7 +12,9 @@
 
 #include "behavior/compound_matrix.h"
 #include "behavior/normalized_day.h"
+#include "core/attribution.h"
 #include "core/critic.h"
+#include "core/drift.h"
 #include "core/ensemble.h"
 #include "features/feature_catalog.h"
 #include "features/measurement_cube.h"
@@ -45,6 +47,11 @@ struct DetectorSpec {
   /// otherwise dominates at small population sizes; the paper's 929-user
   /// population averages this out instead.
   bool per_user_calibration = true;
+  /// Detection provenance, both default-off. Neither touches the
+  /// train/score path, so enabling them leaves scores bit-identical
+  /// (pinned by tests/provenance_test.cpp).
+  AttributionConfig attribution;
+  DriftConfig drift;
 };
 
 /// Exposes a user subset of a builder as dense indices [0, n).
@@ -62,6 +69,11 @@ class SubsetBuilder : public SampleBuilder {
   }
   int FirstValidDay() const override { return inner_->FirstValidDay(); }
   int EndDay() const override { return inner_->EndDay(); }
+  SampleCellRef DescribeCell(std::size_t flat_index,
+                             std::size_t n_features) const override {
+    return inner_->DescribeCell(flat_index, n_features);
+  }
+  int SampleWindowDays() const override { return inner_->SampleWindowDays(); }
 
  private:
   const SampleBuilder* inner_;
@@ -77,6 +89,16 @@ struct DetectionOutput {
   /// were produced from the remaining aspects only and the report must
   /// say so. The grid's aspect axis covers healthy aspects only.
   std::vector<std::string> degraded_aspects;
+  // --- Provenance (filled per DetectorSpec's attribution/drift
+  // --- settings; train_summaries always).
+  /// Per-flagged-user cell attribution (empty unless
+  /// spec.attribution.enabled).
+  std::vector<UserAttribution> attributions;
+  /// Raw-score drift, test window vs training window (empty unless
+  /// spec.drift.enabled).
+  std::vector<AspectDrift> drift;
+  /// How each aspect's model came to be (attempts, resume, loss).
+  std::vector<AspectTrainSummary> train_summaries;
 };
 
 class Detector {

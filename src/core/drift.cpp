@@ -1,0 +1,101 @@
+#include "core/drift.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "common/telemetry.h"
+#include "common/trace.h"
+
+namespace acobe {
+namespace {
+
+std::vector<double> AspectScores(const ScoreGrid& grid, int aspect) {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(grid.users()) * grid.day_count());
+  for (int u = 0; u < grid.users(); ++u) {
+    for (int d = grid.day_begin(); d < grid.day_end(); ++d) {
+      const float s = grid.At(aspect, u, d);
+      if (std::isfinite(s)) out.push_back(s);
+    }
+  }
+  return out;
+}
+
+int FindAspect(const ScoreGrid& grid, const std::string& name) {
+  for (int a = 0; a < grid.aspects(); ++a) {
+    if (grid.aspect_name(a) == name) return a;
+  }
+  return -1;
+}
+
+/// "drift.<aspect>.q99" — percent with up to one decimal kept compact
+/// (q=0.5 -> "q50", q=0.995 -> "q99.5").
+std::string GaugeName(const std::string& aspect, double q) {
+  char buf[32];
+  const double pct = q * 100.0;
+  if (pct == std::floor(pct)) {
+    std::snprintf(buf, sizeof(buf), "q%d", static_cast<int>(pct));
+  } else {
+    std::snprintf(buf, sizeof(buf), "q%.1f", pct);
+  }
+  return "drift." + aspect + "." + buf;
+}
+
+}  // namespace
+
+double NearestRankQuantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double clamped = std::min(1.0, std::max(0.0, q));
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(clamped * static_cast<double>(values.size())));
+  if (rank == 0) rank = 1;
+  return values[rank - 1];
+}
+
+std::vector<AspectDrift> ComputeScoreDrift(const ScoreGrid& reference,
+                                           const ScoreGrid& current,
+                                           const DriftConfig& config) {
+  std::vector<AspectDrift> out;
+  if (!config.enabled || current.users() == 0 || reference.users() == 0) {
+    return out;
+  }
+  ACOBE_SPAN("detector.drift");
+  constexpr double kEps = 1e-12;
+
+  for (int a = 0; a < current.aspects(); ++a) {
+    const int ra = FindAspect(reference, current.aspect_name(a));
+    if (ra < 0) continue;
+    const std::vector<double> ref_scores = AspectScores(reference, ra);
+    const std::vector<double> cur_scores = AspectScores(current, a);
+    if (ref_scores.empty() || cur_scores.empty()) continue;
+
+    AspectDrift drift;
+    drift.aspect = a;
+    drift.aspect_name = current.aspect_name(a);
+    for (double q : config.quantiles) {
+      QuantileShift shift;
+      shift.q = q;
+      shift.reference = NearestRankQuantile(ref_scores, q);
+      shift.current = NearestRankQuantile(cur_scores, q);
+      shift.rel_shift = (shift.current - shift.reference) /
+                        std::max(std::abs(shift.reference), kEps);
+      shift.alert = std::abs(shift.rel_shift) >= config.alert_threshold;
+      drift.alert = drift.alert || shift.alert;
+      if (telemetry::MetricsEnabled()) {
+        telemetry::GetGauge(GaugeName(drift.aspect_name, q))
+            .Set(shift.rel_shift);
+      }
+      drift.shifts.push_back(shift);
+    }
+    if (drift.alert) {
+      ACOBE_COUNT("drift.alerts", 1);
+    }
+    out.push_back(std::move(drift));
+  }
+  return out;
+}
+
+}  // namespace acobe

@@ -65,6 +65,12 @@ AspectEnsemble AspectEnsemble::FromTrainedModels(
   ensemble.models_ = std::move(models);
   ensemble.specs_ = std::move(specs);
   ensemble.aspect_ok_.assign(ensemble.aspects_.size(), 1);
+  ensemble.summaries_.assign(ensemble.aspects_.size(), AspectTrainSummary{});
+  for (std::size_t a = 0; a < ensemble.aspects_.size(); ++a) {
+    ensemble.summaries_[a].name = ensemble.aspects_[a].name;
+    ensemble.summaries_[a].resumed = true;  // loaded, not trained here
+    ensemble.summaries_[a].ok = true;
+  }
   ensemble.trained_ = true;
   return ensemble;
 }
@@ -126,6 +132,7 @@ void AspectEnsemble::Train(
   models_.resize(aspects_.size());
   specs_.resize(aspects_.size());
   aspect_ok_.assign(aspects_.size(), 0);
+  summaries_.assign(aspects_.size(), AspectTrainSummary{});
   trained_ = false;
 
   if (!config_.checkpoint_dir.empty()) {
@@ -144,6 +151,8 @@ void AspectEnsemble::Train(
         const std::size_t a = static_cast<std::size_t>(ai);
         const AspectGroup& aspect = aspects_[a];
         telemetry::TraceSpan aspect_span("ensemble.train_aspect", aspect.name);
+        AspectTrainSummary& summary = summaries_[a];
+        summary.name = aspect.name;
         nn::AutoencoderSpec spec;
         spec.input_dim = builder.SampleSize(aspect.feature_indices.size());
         spec.encoder_dims = config_.encoder_dims;
@@ -156,6 +165,8 @@ void AspectEnsemble::Train(
                 ? std::string()
                 : CheckpointPath(config_.checkpoint_dir, aspect.name);
         if (config_.resume && !ckpt.empty()) {
+          telemetry::TraceSpan load_span("ensemble.checkpoint_load",
+                                         aspect.name);
           std::ifstream in(ckpt, std::ios::binary);
           if (in) {
             try {
@@ -168,6 +179,8 @@ void AspectEnsemble::Train(
               }
               models_[a] = std::move(net);
               aspect_ok_[a] = 1;
+              summary.resumed = true;
+              summary.ok = true;
               ACOBE_COUNT("ensemble.aspects_resumed", 1);
               return;
             } catch (const CheckpointMismatch&) {
@@ -192,6 +205,10 @@ void AspectEnsemble::Train(
 
         const int attempts = std::max(1, config_.max_train_attempts);
         for (int attempt = 0; attempt < attempts; ++attempt) {
+          telemetry::TraceSpan attempt_span("ensemble.train_attempt",
+                                            aspect.name);
+          summary.attempts = attempt + 1;
+          summary.epoch_losses.clear();
           nn::Sequential net = nn::BuildAutoencoder(spec);
           // Attempt 0 reproduces the single-attempt seed derivations
           // bit-exactly; retries fork deterministic fresh streams.
@@ -221,14 +238,14 @@ void AspectEnsemble::Train(
                        attempt_key * 0xC2B2AE3D27D4EB4FULL;
           try {
             nn::TrainReconstruction(
-                net, optimizer, data, train,
-                (on_epoch || loss_series) ? [&](const nn::EpochStats& s) {
+                net, optimizer, data, train, [&](const nn::EpochStats& s) {
+                  summary.epoch_losses.push_back(s.loss);
                   if (loss_series) loss_series->Append(s.loss);
                   if (on_epoch) {
                     std::lock_guard<std::mutex> lock(epoch_mutex);
                     on_epoch(aspect.name, s);
                   }
-                } : std::function<void(const nn::EpochStats&)>());
+                });
           } catch (const nn::TrainingDiverged&) {
             ACOBE_COUNT("ensemble.train_retries", 1);
             if (attempt + 1 < attempts) continue;
@@ -240,7 +257,13 @@ void AspectEnsemble::Train(
           }
           models_[a] = std::move(net);
           aspect_ok_[a] = 1;
+          summary.ok = true;
+          summary.epochs = static_cast<int>(summary.epoch_losses.size());
+          summary.final_loss =
+              summary.epoch_losses.empty() ? 0.0f : summary.epoch_losses.back();
           if (!ckpt.empty()) {
+            telemetry::TraceSpan save_span("ensemble.checkpoint_save",
+                                           aspect.name);
             WriteFileAtomic(ckpt, [&](std::ostream& out) {
               nn::SaveAutoencoder(specs_[a], models_[a], out);
             });

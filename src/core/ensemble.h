@@ -75,6 +75,23 @@ struct CheckpointMismatch : std::runtime_error {
       : std::runtime_error(what) {}
 };
 
+/// How one aspect's model came to be — provenance for the run ledger's
+/// "aspect_trained" events. Filled by Train() (one entry per aspect,
+/// aspect order) and by FromTrainedModels (marked resumed).
+struct AspectTrainSummary {
+  std::string name;
+  /// Training attempts consumed (divergence retries included); 0 when
+  /// the model was resumed from a checkpoint instead of trained.
+  int attempts = 0;
+  bool resumed = false;
+  bool ok = false;  // false = diverged on every attempt (degraded)
+  int epochs = 0;   // epochs of the final (successful) attempt
+  float final_loss = 0.0f;
+  /// Per-epoch loss of the final attempt (earlier diverged attempts are
+  /// dropped — their trajectories end in NaN/Inf by definition).
+  std::vector<float> epoch_losses;
+};
+
 class AspectEnsemble {
  public:
   /// One autoencoder per entry of `aspects` (feature index groups).
@@ -95,6 +112,7 @@ class AspectEnsemble {
   int aspect_count() const { return static_cast<int>(aspects_.size()); }
   const AspectGroup& aspect(int i) const { return aspects_.at(i); }
   nn::Sequential& model(int i) { return models_.at(i); }
+  const nn::Sequential& model(int i) const { return models_.at(i); }
   const nn::AutoencoderSpec& model_spec(int i) const { return specs_.at(i); }
   const EnsembleConfig& config() const { return config_; }
   bool trained() const { return trained_; }
@@ -106,6 +124,12 @@ class AspectEnsemble {
   int healthy_aspect_count() const;
   /// Names of irrecoverable aspects, in aspect order (for report flags).
   std::vector<std::string> failed_aspects() const;
+
+  /// Per-aspect training provenance from the last Train() (aspect
+  /// order); empty before training.
+  const std::vector<AspectTrainSummary>& train_summaries() const {
+    return summaries_;
+  }
 
   /// Reassembles a trained ensemble from persisted parts (used by
   /// LoadEnsemble); models must match `aspects` pairwise.
@@ -125,6 +149,7 @@ class AspectEnsemble {
   std::vector<nn::Sequential> models_;
   std::vector<nn::AutoencoderSpec> specs_;
   std::vector<std::uint8_t> aspect_ok_;
+  std::vector<AspectTrainSummary> summaries_;
   bool trained_ = false;
 };
 

@@ -35,7 +35,11 @@ std::vector<Alert> FindPersistentAlerts(const ScoreGrid& grid,
         if (!t.open && t.streak >= config.persistence_days) {
           t.open = true;
           ACOBE_COUNT("monitor.alerts_opened", 1);
-          t.alert = Alert{u, d - t.streak + 1, d, t.streak};
+          t.alert = Alert{};
+          t.alert.user_idx = u;
+          t.alert.first_day = d - t.streak + 1;
+          t.alert.last_day = d;
+          t.alert.firing_days = t.streak;
         } else if (t.open) {
           t.alert.last_day = d;
           ++t.alert.firing_days;
@@ -56,6 +60,23 @@ std::vector<Alert> FindPersistentAlerts(const ScoreGrid& grid,
             [](const Alert& a, const Alert& b) {
               return a.first_day < b.first_day;
             });
+  // Peak provenance over each alert's span; ties resolve to the
+  // earliest day then lowest aspect index, deterministically.
+  for (Alert& alert : alerts) {
+    alert.peak_day = alert.first_day;
+    alert.peak_score = -1.0f;
+    for (int a = 0; a < grid.aspects(); ++a) {
+      for (int d = alert.first_day; d <= alert.last_day; ++d) {
+        const float s = grid.At(a, alert.user_idx, d);
+        if (s > alert.peak_score) {
+          alert.peak_score = s;
+          alert.peak_day = d;
+          alert.peak_aspect = a;
+        }
+      }
+    }
+    alert.peak_aspect_name = grid.aspect_name(alert.peak_aspect);
+  }
   ACOBE_COUNT("monitor.daily_lists", grid.day_end() - grid.day_begin());
   ACOBE_COUNT("monitor.alerts_emitted", alerts.size());
   return alerts;

@@ -6,6 +6,7 @@
 // daily list for several consecutive days becomes one deduplicated
 // alert with a span, rather than one alert per day.
 
+#include <string>
 #include <vector>
 
 #include "core/critic.h"
@@ -29,6 +30,12 @@ struct Alert {
   int first_day = 0;   // grid day index when the alert opened
   int last_day = 0;    // last firing day
   int firing_days = 0; // total days in the top positions
+  // Provenance: where in (aspect, day) space the alert's span scored
+  // highest — the first thing an analyst opens.
+  int peak_day = 0;
+  int peak_aspect = 0;
+  std::string peak_aspect_name;
+  float peak_score = 0.0f;
 };
 
 /// Scans the grid's day range, builds the daily lists, and merges

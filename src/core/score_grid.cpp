@@ -1,8 +1,11 @@
 #include "core/score_grid.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <stdexcept>
 #include <vector>
+
+#include "common/faults.h"
 
 namespace acobe {
 
@@ -27,6 +30,15 @@ float ScoreGrid::TopKMean(int aspect, int user, int k) const {
   double sum = 0.0;
   for (int i = 0; i < k; ++i) sum += scores[i];
   return static_cast<float>(sum / k);
+}
+
+std::uint32_t ScoreGrid::Digest() const {
+  const std::int32_t dims[3] = {users_, day_begin_, day_end_};
+  std::uint32_t crc = Crc32(dims, sizeof(dims));
+  for (const std::string& name : aspect_names_) {
+    crc = Crc32(name.data(), name.size(), crc);
+  }
+  return Crc32(data_.data(), data_.size() * sizeof(float), crc);
 }
 
 }  // namespace acobe

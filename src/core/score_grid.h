@@ -3,6 +3,7 @@
 // Anomaly scores produced by the ensemble: one reconstruction error per
 // (aspect, user, day) over a contiguous day range.
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -47,6 +48,11 @@ class ScoreGrid {
   /// while still rewarding sustained elevation (k=1 reduces to max,
   /// k=day_count to the plain mean).
   float TopKMean(int aspect, int user, int k) const;
+
+  /// CRC-32 over dimensions, aspect names, and the raw score bytes: a
+  /// cheap fingerprint for the run ledger. Two runs that should be
+  /// bit-identical (the determinism contract) have equal digests.
+  std::uint32_t Digest() const;
 
  private:
   std::size_t Offset(int aspect, int user, int day) const {

@@ -34,6 +34,14 @@ ConfusionCounts AtCutoff(const std::vector<bool>& flags, std::size_t cutoff) {
   return c;
 }
 
+double PrecisionAtK(const std::vector<bool>& flags, std::size_t k) {
+  const std::size_t n = std::min(k, flags.size());
+  if (n == 0) return 0.0;
+  std::size_t tp = 0;
+  for (std::size_t i = 0; i < n; ++i) tp += flags[i] ? 1 : 0;
+  return static_cast<double>(tp) / static_cast<double>(n);
+}
+
 std::vector<RocPoint> RocCurve(const std::vector<bool>& flags) {
   int total_pos = 0, total_neg = 0;
   for (bool f : flags) f ? ++total_pos : ++total_neg;

@@ -55,6 +55,11 @@ std::vector<bool> PositiveFlags(const std::vector<RankedUser>& sorted);
 /// Confusion counts when investigating the first `cutoff` users.
 ConfusionCounts AtCutoff(const std::vector<bool>& flags, std::size_t cutoff);
 
+/// Precision over the first min(k, list) entries — the analyst-budget
+/// view ("if I investigate k users, what fraction are insiders?").
+/// 0 for an empty list or k == 0.
+double PrecisionAtK(const std::vector<bool>& flags, std::size_t k);
+
 /// Full ROC curve: one point per list prefix (plus the origin).
 std::vector<RocPoint> RocCurve(const std::vector<bool>& flags);
 

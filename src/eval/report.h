@@ -4,9 +4,11 @@
 // paper's figures with external tools) and as fixed-width text tables.
 
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "common/ledger.h"
 #include "eval/metrics.h"
 
 namespace acobe::eval {
@@ -42,5 +44,13 @@ void WriteComparisonTable(const std::vector<ModelSummary>& models,
 void WriteCutoffSweepCsv(const std::vector<bool>& flags,
                          const std::vector<std::size_t>& cutoffs,
                          std::ostream& out);
+
+/// Builds the run ledger's "quality" event from a ranked list with
+/// ground truth: ROC AUC, average precision, and precision@k for each
+/// requested cutoff (object key = the cutoff). `ranked` is re-sorted
+/// worst-case internally; the caller's copy is untouched.
+LedgerEvent MakeQualityEvent(const std::string& model,
+                             std::vector<RankedUser> ranked,
+                             std::span<const std::size_t> ks);
 
 }  // namespace acobe::eval

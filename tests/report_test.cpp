@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "behavior/render.h"
+#include "common/json.h"
 #include "eval/report.h"
 
 namespace acobe {
@@ -64,6 +65,34 @@ TEST(ReportTest, SummaryAndComparisonTable) {
   EXPECT_NE(text.find("ACOBE"), std::string::npos);
   EXPECT_NE(text.find("75.0000"), std::string::npos);
   EXPECT_NE(text.find("0,1"), std::string::npos);
+}
+
+TEST(ReportTest, PrecisionAtK) {
+  const auto flags = Flags({1, 0, 1, 0});
+  EXPECT_DOUBLE_EQ(eval::PrecisionAtK(flags, 1), 1.0);
+  EXPECT_DOUBLE_EQ(eval::PrecisionAtK(flags, 2), 0.5);
+  EXPECT_DOUBLE_EQ(eval::PrecisionAtK(flags, 4), 0.5);
+  EXPECT_DOUBLE_EQ(eval::PrecisionAtK(flags, 10), 0.5);  // clamped to list
+  EXPECT_DOUBLE_EQ(eval::PrecisionAtK(flags, 0), 0.0);
+  EXPECT_DOUBLE_EQ(eval::PrecisionAtK({}, 3), 0.0);
+}
+
+TEST(ReportTest, QualityEventCarriesMetrics) {
+  const std::vector<eval::RankedUser> ranked = {
+      {1, 1.0, true}, {2, 2.0, false}, {3, 3.0, true}, {4, 4.0, false}};
+  const std::vector<std::size_t> ks = {1, 2};
+  const std::string line =
+      eval::MakeQualityEvent("ACOBE", ranked, ks).Finish();
+  const auto event = json::Value::Parse(line);
+  EXPECT_EQ(event.GetString("event", ""), "quality");
+  EXPECT_EQ(event.GetString("model", ""), "ACOBE");
+  EXPECT_DOUBLE_EQ(event.GetNumber("list_size", 0), 4.0);
+  EXPECT_DOUBLE_EQ(event.GetNumber("positives", 0), 2.0);
+  EXPECT_DOUBLE_EQ(event.GetNumber("auc", 0), 0.75);
+  const json::Value* p_at = event.Get("precision_at");
+  ASSERT_NE(p_at, nullptr);
+  EXPECT_DOUBLE_EQ(p_at->GetNumber("1", 0), 1.0);
+  EXPECT_DOUBLE_EQ(p_at->GetNumber("2", 0), 0.5);
 }
 
 TEST(ReportTest, CutoffSweepCsv) {

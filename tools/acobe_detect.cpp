@@ -7,7 +7,8 @@
 //                [--threads=N] [--ingest=strict|permissive|quarantine]
 //                [--error-budget=R] [--quarantine-dir=DIR]
 //                [--checkpoint-dir=DIR] [--resume]
-//                [--metrics-out=FILE] [--trace-out=FILE]
+//                [--explain-out=FILE] [--ledger-out=FILE]
+//                [--metrics-out=FILE] [--trace-out=FILE] [--version]
 //
 // --threads: worker threads for training/scoring/deviation (0 = the
 // ACOBE_THREADS environment variable, else hardware concurrency).
@@ -24,6 +25,18 @@
 // already-trained aspects and reproduces the uninterrupted output
 // bit-exactly.
 //
+// Provenance: --explain-out writes per-detection attribution as JSON
+// ("acobe.explain.v1": for every listed user, the matrix cells —
+// aspect, measurement, time-frame, enclosed day, individual vs group —
+// that drove their reconstruction error) and prints the same as
+// indented text under each department's list; --ledger-out writes the
+// run ledger ("acobe.ledger.v1" JSONL: manifest with config/dataset
+// digest/build identity, per-aspect training summaries, per-department
+// detections with score digests, quality metrics when DIR/truth.csv
+// exists, score drift vs the training window). Either flag enables
+// attribution + drift; both off costs nothing and the scores are
+// bit-identical either way. Render saved artifacts with acobe-explain.
+//
 // Exit codes: 0 ok, 1 runtime failure, 2 usage, 3 malformed input,
 // 4 corrupt/mismatched artifact.
 //
@@ -39,13 +52,20 @@
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <map>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "cli_util.h"
 #include "common/faults.h"
+#include "common/ledger.h"
 #include "common/telemetry.h"
 #include "common/trace.h"
+#include "common/version.h"
 #include "core/detector.h"
+#include "eval/report.h"
 #include "features/cert_features.h"
 #include "logs/log_io.h"
 
@@ -71,7 +91,8 @@ void Usage() {
       "             [--ingest=strict|permissive|quarantine]\n"
       "             [--error-budget=R] [--quarantine-dir=DIR]\n"
       "             [--checkpoint-dir=DIR] [--resume]\n"
-      "             [--metrics-out=FILE] [--trace-out=FILE]\n"
+      "             [--explain-out=FILE] [--ledger-out=FILE]\n"
+      "             [--metrics-out=FILE] [--trace-out=FILE] [--version]\n"
       "  --omega=N           deviation window, days (>= 2; default 14)\n"
       "  --epochs=N          training epochs per aspect (>= 1; default 25)\n"
       "  --votes=N           critic votes (>= 1; default 2)\n"
@@ -82,8 +103,11 @@ void Usage() {
       "  --quarantine-dir=D  write rejected raw rows under D\n"
       "  --checkpoint-dir=D  save per-aspect models under D as they train\n"
       "  --resume            reuse matching checkpoints from a killed run\n"
+      "  --explain-out=F     write per-detection attribution JSON to F\n"
+      "  --ledger-out=F      write the run-ledger JSONL to F\n"
       "  --metrics-out=F     write telemetry metrics JSON to F\n"
       "  --trace-out=F       write chrome://tracing trace JSON to F\n"
+      "  --version           print build identity and exit\n"
       "exit codes: 0 ok, 1 failure, 2 usage, 3 bad input, 4 corrupt "
       "artifact\n");
 }
@@ -126,12 +150,259 @@ std::string SanitizePathComponent(const std::string& name) {
   return out.empty() ? "_" : out;
 }
 
+/// Rolls the raw bytes of the input CSVs (fixed order) into one CRC-32:
+/// the ledger's dataset digest. Absent files contribute nothing.
+std::uint32_t DigestDataset(const std::string& dir) {
+  static const char* kFiles[] = {"device.csv", "file.csv", "http.csv",
+                                 "logon.csv", "ldap.csv"};
+  std::uint32_t crc = 0;
+  char buf[1 << 16];
+  for (const char* name : kFiles) {
+    std::ifstream in(dir + "/" + std::string(name), std::ios::binary);
+    while (in) {
+      in.read(buf, sizeof(buf));
+      crc = Crc32(buf, static_cast<std::size_t>(in.gcount()), crc);
+    }
+  }
+  return crc;
+}
+
+/// DIR/truth.csv ("user,anomaly_start,anomaly_end", acobe-gen's answer
+/// key) as name -> anomaly window. Empty map when the file is absent;
+/// malformed rows are skipped (truth is optional metadata, not input).
+std::map<std::string, std::pair<Date, Date>> LoadTruth(
+    const std::string& dir) {
+  std::map<std::string, std::pair<Date, Date>> truth;
+  std::ifstream in(dir + "/truth.csv");
+  if (!in) return truth;
+  std::string line;
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    const std::size_t c1 = line.find(',');
+    const std::size_t c2 = c1 == std::string::npos ? c1 : line.find(',', c1 + 1);
+    if (c2 == std::string::npos) continue;
+    try {
+      truth.emplace(line.substr(0, c1),
+                    std::make_pair(Date::FromString(
+                                       line.substr(c1 + 1, c2 - c1 - 1)),
+                                   Date::FromString(line.substr(c2 + 1))));
+    } catch (const std::invalid_argument&) {
+      continue;
+    }
+  }
+  return truth;
+}
+
+/// Writes a quoted, escaped JSON string literal (JsonEscape itself
+/// emits only the escaped content, not the quotes).
+void JsonStr(std::ostream& out, std::string_view s) {
+  out << '"';
+  telemetry::JsonEscape(out, s);
+  out << '"';
+}
+
+/// One department's full output, retained for the explain report and
+/// the ledger (written once all departments have run).
+struct DeptResult {
+  std::string name;
+  DetectionOutput out;
+};
+
+/// Feature name for an attributed cell (the cell's feature_pos indexes
+/// the aspect's feature list, not the catalog).
+std::string CellFeatureName(const FeatureCatalog& catalog,
+                            const std::string& aspect_name, int feature_pos) {
+  const int ai = catalog.AspectIndex(aspect_name);
+  if (ai >= 0) {
+    const std::vector<int>& indices = catalog.aspects()[ai].feature_indices;
+    if (feature_pos >= 0 && feature_pos < static_cast<int>(indices.size())) {
+      return catalog.feature(indices[feature_pos]).name;
+    }
+  }
+  return "feature" + std::to_string(feature_pos);
+}
+
+void WriteAttributionJson(std::ostream& out, const UserAttribution& ua,
+                          const std::string& user_name,
+                          const FeatureCatalog& catalog,
+                          const TimeFramePartition& partition, Date start) {
+  out << "{\"user\":";
+  JsonStr(out, user_name);
+  out << ",\"priority\":";
+  telemetry::JsonNumber(out, ua.priority);
+  out << ",\"aspects\":[";
+  for (std::size_t a = 0; a < ua.aspects.size(); ++a) {
+    const AspectAttribution& aa = ua.aspects[a];
+    if (a) out << ',';
+    out << "{\"aspect\":";
+    JsonStr(out, aa.aspect_name);
+    out << ",\"peak_day\":";
+    JsonStr(out, start.AddDays(aa.peak_day).ToString());
+    out << ",\"peak_score\":";
+    telemetry::JsonNumber(out, aa.peak_score);
+    out << ",\"total_error\":";
+    telemetry::JsonNumber(out, aa.total_error);
+    out << ",\"group_error_fraction\":";
+    telemetry::JsonNumber(out, aa.group_error_fraction);
+    out << ",\"cells\":[";
+    for (std::size_t c = 0; c < aa.cells.size(); ++c) {
+      const AttributedCell& cell = aa.cells[c];
+      if (c) out << ',';
+      out << "{\"feature\":";
+      JsonStr(
+          out, CellFeatureName(catalog, aa.aspect_name, cell.feature_pos));
+      out << ",\"frame\":";
+      JsonStr(out, partition.FrameLabel(cell.frame));
+      out << ",\"day\":";
+      JsonStr(out, start.AddDays(cell.day).ToString());
+      out << ",\"component\":\"" << (cell.group ? "group" : "individual")
+          << "\",\"error\":";
+      telemetry::JsonNumber(out, cell.error);
+      out << ",\"share\":";
+      telemetry::JsonNumber(out, cell.share);
+      out << ",\"input\":";
+      telemetry::JsonNumber(out, cell.input);
+      out << ",\"reconstruction\":";
+      telemetry::JsonNumber(out, cell.reconstruction);
+      if (cell.has_group_input) {
+        out << ",\"group_input\":";
+        telemetry::JsonNumber(out, cell.group_input);
+      }
+      out << '}';
+    }
+    out << "]}";
+  }
+  out << "]}";
+}
+
+void WriteDriftJson(std::ostream& out, const std::vector<AspectDrift>& drift) {
+  out << '[';
+  for (std::size_t i = 0; i < drift.size(); ++i) {
+    if (i) out << ',';
+    out << "{\"aspect\":";
+    JsonStr(out, drift[i].aspect_name);
+    out << ",\"alert\":" << (drift[i].alert ? "true" : "false")
+        << ",\"shifts\":[";
+    for (std::size_t s = 0; s < drift[i].shifts.size(); ++s) {
+      const QuantileShift& shift = drift[i].shifts[s];
+      if (s) out << ',';
+      out << "{\"q\":";
+      telemetry::JsonNumber(out, shift.q);
+      out << ",\"reference\":";
+      telemetry::JsonNumber(out, shift.reference);
+      out << ",\"current\":";
+      telemetry::JsonNumber(out, shift.current);
+      out << ",\"rel_shift\":";
+      telemetry::JsonNumber(out, shift.rel_shift);
+      out << ",\"alert\":" << (shift.alert ? "true" : "false") << '}';
+    }
+    out << "]}";
+  }
+  out << ']';
+}
+
+/// The whole explain report ("acobe.explain.v1"): build identity, the
+/// dataset/split, and per department the printed list plus every
+/// attribution and the drift table. acobe-explain renders this without
+/// recomputing anything.
+void WriteExplainJson(std::ostream& out, const std::vector<DeptResult>& results,
+                      const LogStore& store, const FeatureCatalog& catalog,
+                      const TimeFramePartition& partition, Date start,
+                      const std::string& in_dir, std::uint32_t dataset_digest,
+                      int train_end, int test_end, int top) {
+  const BuildInfo build = GetBuildInfo();
+  out << "{\"schema\":\"acobe.explain.v1\",\"build\":{\"version\":";
+  JsonStr(out, build.version);
+  out << ",\"build_type\":";
+  JsonStr(out, build.build_type);
+  out << ",\"simd\":";
+  JsonStr(out, build.simd);
+  out << ",\"telemetry\":" << (build.telemetry ? "true" : "false")
+      << "},\"dataset\":{\"dir\":";
+  JsonStr(out, in_dir);
+  out << ",\"digest\":" << dataset_digest << ",\"start\":";
+  JsonStr(out, start.ToString());
+  out << ",\"train_end\":";
+  JsonStr(out, start.AddDays(train_end).ToString());
+  out << ",\"test_end\":";
+  JsonStr(out, start.AddDays(test_end).ToString());
+  out << "},\"departments\":[";
+  for (std::size_t r = 0; r < results.size(); ++r) {
+    const DeptResult& result = results[r];
+    if (r) out << ',';
+    out << "{\"name\":";
+    JsonStr(out, result.name);
+    out << ",\"members\":" << result.out.members.size()
+        << ",\"score_digest\":" << result.out.grid.Digest()
+        << ",\"degraded_aspects\":[";
+    for (std::size_t i = 0; i < result.out.degraded_aspects.size(); ++i) {
+      if (i) out << ',';
+      JsonStr(out, result.out.degraded_aspects[i]);
+    }
+    out << "],\"list\":[";
+    const std::size_t shown = std::min<std::size_t>(
+        result.out.list.size(), static_cast<std::size_t>(top));
+    for (std::size_t i = 0; i < shown; ++i) {
+      const UserId user = result.out.members[result.out.list[i].user_idx];
+      if (i) out << ',';
+      out << "{\"rank\":" << i + 1 << ",\"user\":";
+      JsonStr(out, store.users().NameOf(user));
+      out << ",\"priority\":";
+      telemetry::JsonNumber(out, result.out.list[i].priority);
+      out << '}';
+    }
+    out << "],\"attributions\":[";
+    for (std::size_t i = 0; i < result.out.attributions.size(); ++i) {
+      const UserAttribution& ua = result.out.attributions[i];
+      if (i) out << ',';
+      WriteAttributionJson(out, ua,
+                           store.users().NameOf(result.out.members[ua.user_idx]),
+                           catalog, partition, start);
+    }
+    out << "],\"drift\":";
+    WriteDriftJson(out, result.out.drift);
+    out << '}';
+  }
+  out << "]}\n";
+}
+
+/// The same attribution, human-readable, indented under the printed
+/// list: per aspect the peak day and its top cells.
+void PrintAttribution(const UserAttribution& ua, const std::string& user_name,
+                      const FeatureCatalog& catalog,
+                      const TimeFramePartition& partition, Date start) {
+  std::printf("     %s:\n", user_name.c_str());
+  for (const AspectAttribution& aa : ua.aspects) {
+    std::printf("       %-8s peak %s score %.3f (group share %.0f%%)\n",
+                aa.aspect_name.c_str(),
+                start.AddDays(aa.peak_day).ToString().c_str(), aa.peak_score,
+                100.0 * aa.group_error_fraction);
+    for (const AttributedCell& cell : aa.cells) {
+      std::string note;
+      if (cell.group) {
+        note = " [group]";
+      } else if (cell.has_group_input) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), " (group at %.2f)", cell.group_input);
+        note = buf;
+      }
+      std::printf("         %-18s %s %s err %.4f (%2.0f%%) val %.2f%s\n",
+                  CellFeatureName(catalog, aa.aspect_name, cell.feature_pos)
+                      .c_str(),
+                  partition.FrameLabel(cell.frame).c_str(),
+                  start.AddDays(cell.day).ToString().c_str(), cell.error,
+                  100.0 * cell.share, cell.input, note.c_str());
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string in_dir;
   std::string train_end_text, test_end_text;
   std::string metrics_out, trace_out;
+  std::string explain_out, ledger_out;
   std::string quarantine_dir, checkpoint_dir;
   int omega = 14, epochs = 25, votes = 2, top = 10, threads = 0;
   bool resume = false;
@@ -169,10 +440,17 @@ int main(int argc, char** argv) {
         checkpoint_dir = arg + 17;
       } else if (std::strcmp(arg, "--resume") == 0) {
         resume = true;
+      } else if (std::strncmp(arg, "--explain-out=", 14) == 0) {
+        explain_out = arg + 14;
+      } else if (std::strncmp(arg, "--ledger-out=", 13) == 0) {
+        ledger_out = arg + 13;
       } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
         metrics_out = arg + 14;
       } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
         trace_out = arg + 12;
+      } else if (std::strcmp(arg, "--version") == 0) {
+        cli::PrintVersion("acobe-detect");
+        return 0;
       } else if (std::strcmp(arg, "--help") == 0) {
         Usage();
         return 0;
@@ -215,6 +493,10 @@ int main(int argc, char** argv) {
       return kExitFailure;
     }
   }
+  // Provenance is driven by the output flags: asking for an explain
+  // report or a ledger turns attribution + drift on; neither flag, and
+  // the detection path runs exactly as before (bit-identical scores).
+  const bool provenance = !explain_out.empty() || !ledger_out.empty();
 
   telemetry::EnableMetrics(true);
   telemetry::EnableTracing(!trace_out.empty());
@@ -329,7 +611,38 @@ int main(int argc, char** argv) {
   spec.critic_votes = votes;
   spec.ensemble.threads = threads;  // deviation inherits via Detector::Run
   spec.ensemble.resume = resume;
+  if (provenance) {
+    spec.attribution.enabled = true;
+    spec.attribution.top_users = top;
+    spec.drift.enabled = true;
+  }
 
+  // Ledger groundwork: answer key + dataset digest (both provenance-only
+  // work, skipped entirely without --explain-out/--ledger-out).
+  const std::map<std::string, std::pair<Date, Date>> truth =
+      provenance ? LoadTruth(in_dir)
+                 : std::map<std::string, std::pair<Date, Date>>{};
+  const std::uint32_t dataset_digest = provenance ? DigestDataset(in_dir) : 0;
+
+  RunLedger ledger;
+  if (!ledger_out.empty()) {
+    LedgerEvent manifest = MakeManifestEvent("acobe-detect", GetBuildInfo());
+    manifest.Str("in", in_dir)
+        .Int("dataset_digest", dataset_digest)
+        .Str("start", start.ToString())
+        .Str("train_end", start.AddDays(train_end).ToString())
+        .Str("test_end", start.AddDays(test_end).ToString())
+        .Int("omega", omega)
+        .Int("epochs", epochs)
+        .Int("votes", votes)
+        .Int("threads", threads)
+        .Int("seed", static_cast<std::int64_t>(spec.ensemble.seed))
+        .Bool("resume", resume)
+        .Bool("truth_present", !truth.empty());
+    ledger.Append(manifest);
+  }
+
+  std::vector<DeptResult> results;
   for (const std::string& department : store.Departments()) {
     const auto members = store.UsersInDepartment(department);
     if (members.size() < 3) continue;
@@ -361,17 +674,108 @@ int main(int argc, char** argv) {
       std::printf("%3zu. %-10s priority %.0f\n", i + 1,
                   store.users().NameOf(user).c_str(), out.list[i].priority);
     }
+    if (!out.attributions.empty()) {
+      std::printf("\n  why (top reconstruction-error cells):\n");
+      for (const UserAttribution& ua : out.attributions) {
+        PrintAttribution(ua, store.users().NameOf(out.members[ua.user_idx]),
+                         extractor.catalog(), extractor.partition(), start);
+      }
+    }
+
+    if (!ledger_out.empty()) {
+      for (const AspectTrainSummary& summary : out.train_summaries) {
+        LedgerEvent event("aspect_trained");
+        event.Str("department", department)
+            .Str("aspect", summary.name)
+            .Int("attempts", summary.attempts)
+            .Bool("resumed", summary.resumed)
+            .Bool("ok", summary.ok)
+            .Int("epochs", summary.epochs)
+            .Num("final_loss", summary.final_loss)
+            .NumList("epoch_losses", summary.epoch_losses);
+        ledger.Append(event);
+      }
+      LedgerEvent detection("detection");
+      detection.Str("department", department)
+          .Int("members", static_cast<std::int64_t>(out.members.size()))
+          .Int("score_digest", out.grid.Digest())
+          .StrList("degraded_aspects", out.degraded_aspects);
+      std::ostringstream listed;
+      listed << '[';
+      const std::size_t shown =
+          std::min<std::size_t>(out.list.size(), static_cast<std::size_t>(top));
+      for (std::size_t i = 0; i < shown; ++i) {
+        if (i) listed << ',';
+        listed << "{\"user\":";
+        JsonStr(
+            listed, store.users().NameOf(out.members[out.list[i].user_idx]));
+        listed << ",\"priority\":";
+        telemetry::JsonNumber(listed, out.list[i].priority);
+        listed << '}';
+      }
+      listed << ']';
+      detection.Raw("list", listed.str());
+      ledger.Append(detection);
+
+      if (!out.drift.empty()) {
+        std::ostringstream drift_json;
+        WriteDriftJson(drift_json, out.drift);
+        LedgerEvent drift("drift");
+        drift.Str("department", department).Raw("aspects", drift_json.str());
+        ledger.Append(drift);
+      }
+      if (!truth.empty()) {
+        std::vector<eval::RankedUser> ranked;
+        ranked.reserve(out.list.size());
+        for (const InvestigationEntry& entry : out.list) {
+          const UserId user = out.members[entry.user_idx];
+          eval::RankedUser r;
+          r.user = user;
+          r.priority = entry.priority;
+          r.positive = truth.count(store.users().NameOf(user)) > 0;
+          ranked.push_back(r);
+        }
+        static const std::size_t kCutoffs[] = {1, 3, 5, 10};
+        LedgerEvent quality =
+            eval::MakeQualityEvent(department, std::move(ranked), kCutoffs);
+        ledger.Append(quality);
+      }
+    }
+    results.push_back(DeptResult{department, std::move(out)});
   }
 
-  telemetry::WriteReport(std::cerr);
-  if (!metrics_out.empty() && !telemetry::WriteMetricsJsonFile(metrics_out)) {
-    std::fprintf(stderr, "acobe-detect: cannot write %s\n",
-                 metrics_out.c_str());
-    return kExitFailure;
+  int exit_code = 0;
+  if (!explain_out.empty()) {
+    try {
+      WriteFileAtomic(explain_out, [&](std::ostream& out) {
+        WriteExplainJson(out, results, store, extractor.catalog(),
+                         extractor.partition(), start, in_dir, dataset_digest,
+                         train_end, test_end, top);
+      });
+      std::fprintf(stderr, "wrote %s\n", explain_out.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "acobe-detect: cannot write %s: %s\n",
+                   explain_out.c_str(), e.what());
+      exit_code = kExitFailure;
+    }
   }
-  if (!trace_out.empty() && !telemetry::WriteTraceJsonFile(trace_out)) {
-    std::fprintf(stderr, "acobe-detect: cannot write %s\n", trace_out.c_str());
-    return kExitFailure;
+  if (!ledger_out.empty()) {
+    LedgerEvent done("run_complete");
+    done.Int("departments", static_cast<std::int64_t>(results.size()))
+        .Int("events", static_cast<std::int64_t>(ledger.event_count() + 1));
+    ledger.Append(done);
+    if (!ledger.WriteFile(ledger_out)) {
+      std::fprintf(stderr, "acobe-detect: cannot write %s\n",
+                   ledger_out.c_str());
+      exit_code = kExitFailure;
+    } else {
+      std::fprintf(stderr, "wrote %s\n", ledger_out.c_str());
+    }
   }
-  return 0;
+
+  if (!telemetry::FlushTelemetry("acobe-detect", metrics_out, trace_out,
+                                 std::cerr)) {
+    exit_code = kExitFailure;
+  }
+  return exit_code;
 }

@@ -61,9 +61,10 @@ void Usage() {
       "          [--start=YYYY-MM-DD] [--end=YYYY-MM-DD] [--rate=R]\n"
       "          [--scenario1=DEPT:DATE:DAYS] [--scenario2=DEPT:DATE:DAYS]\n"
       "          [--corrupt-rate=R] [--corrupt-seed=S]\n"
-      "          [--metrics-out=FILE] [--trace-out=FILE]\n"
+      "          [--metrics-out=FILE] [--trace-out=FILE] [--version]\n"
       "  --corrupt-rate=R  corrupt fraction R of event-CSV rows (0..1)\n"
-      "  --corrupt-seed=S  fault-injection seed (default 99)\n");
+      "  --corrupt-seed=S  fault-injection seed (default 99)\n"
+      "  --version         print build identity and exit\n");
 }
 
 }  // namespace
@@ -119,6 +120,9 @@ int main(int argc, char** argv) {
         metrics_out = arg + 14;
       } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
         trace_out = arg + 12;
+      } else if (std::strcmp(arg, "--version") == 0) {
+        cli::PrintVersion("acobe-gen");
+        return 0;
       } else {
         Usage();
         return std::strcmp(arg, "--help") == 0 ? 0 : kExitUsage;
@@ -219,13 +223,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "wrote %s\n", path.c_str());
   }
 
-  telemetry::WriteReport(std::cerr);
-  if (!metrics_out.empty() && !telemetry::WriteMetricsJsonFile(metrics_out)) {
-    std::fprintf(stderr, "acobe-gen: cannot write %s\n", metrics_out.c_str());
-    return kExitFailure;
-  }
-  if (!trace_out.empty() && !telemetry::WriteTraceJsonFile(trace_out)) {
-    std::fprintf(stderr, "acobe-gen: cannot write %s\n", trace_out.c_str());
+  if (!telemetry::FlushTelemetry("acobe-gen", metrics_out, trace_out,
+                                 std::cerr)) {
     return kExitFailure;
   }
   return 0;

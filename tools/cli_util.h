@@ -13,13 +13,25 @@
 
 #include <cerrno>
 #include <charconv>
+#include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
 
 #include "common/faults.h"
+#include "common/version.h"
 
 namespace acobe::cli {
+
+/// `--version` output, identical across tools and identical in content
+/// to the build block in every run-ledger manifest: repo version, build
+/// type, active SIMD dispatch, telemetry compile state.
+inline void PrintVersion(const char* tool) {
+  const BuildInfo info = GetBuildInfo();
+  std::printf("%s %s (build: %s, simd: %s, telemetry: %s)\n", tool,
+              info.version.c_str(), info.build_type.c_str(), info.simd.c_str(),
+              info.telemetry ? "on" : "off");
+}
 
 struct FlagError : std::runtime_error {
   explicit FlagError(const std::string& what) : std::runtime_error(what) {}
