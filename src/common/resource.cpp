@@ -1,0 +1,59 @@
+#include "common/resource.h"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
+
+namespace acobe {
+
+std::uint64_t PeakRssBytes() {
+  // VmHWM is the kernel's high-water mark for resident pages; it
+  // survives frees, which is exactly what a peak-memory gate needs.
+  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    unsigned long kb = 0;
+    while (std::fgets(line, sizeof(line), f)) {
+      if (std::strncmp(line, "VmHWM:", 6) == 0 &&
+          std::sscanf(line + 6, "%lu", &kb) == 1) {
+        std::fclose(f);
+        return static_cast<std::uint64_t>(kb) * 1024;
+      }
+    }
+    std::fclose(f);
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+#if defined(__APPLE__)
+    return static_cast<std::uint64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+    return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+#endif
+  }
+#endif
+  return 0;
+}
+
+std::uint64_t CurrentRssBytes() {
+  if (std::FILE* f = std::fopen("/proc/self/statm", "r")) {
+    unsigned long size = 0, resident = 0;
+    const int n = std::fscanf(f, "%lu %lu", &size, &resident);
+    std::fclose(f);
+    if (n == 2) {
+#if defined(__unix__)
+      const long page = sysconf(_SC_PAGESIZE);
+      return static_cast<std::uint64_t>(resident) *
+             static_cast<std::uint64_t>(page > 0 ? page : 4096);
+#else
+      return static_cast<std::uint64_t>(resident) * 4096;
+#endif
+    }
+  }
+  return 0;
+}
+
+}  // namespace acobe

@@ -1,0 +1,21 @@
+#pragma once
+
+// Process resource probes for the scale benchmarks and telemetry.
+
+#include <cstdint>
+
+namespace acobe {
+
+/// Peak resident set size of this process in bytes, from
+/// /proc/self/status VmHWM (falling back to getrusage ru_maxrss).
+/// Returns 0 when neither source is available. This is the number the
+/// streaming pipeline's memory claims are gated on: a high-water mark,
+/// so it can only be trusted downward — a bounded reading proves the
+/// whole run stayed bounded.
+std::uint64_t PeakRssBytes();
+
+/// Current resident set size in bytes (/proc/self/statm), 0 if
+/// unavailable. Informational; the gate uses the peak.
+std::uint64_t CurrentRssBytes();
+
+}  // namespace acobe

@@ -10,6 +10,7 @@
 #include <ostream>
 
 #include "common/faults.h"
+#include "common/resource.h"
 
 namespace acobe::telemetry {
 namespace {
@@ -409,6 +410,12 @@ bool WriteTraceJsonFile(const std::string& path) {
 
 bool FlushTelemetry(const std::string& tool, const std::string& metrics_out,
                     const std::string& trace_out, std::ostream& report) {
+  // Stamp the process high-water mark last, so it covers the whole run.
+  if (MetricsEnabled()) {
+    if (const std::uint64_t peak = PeakRssBytes(); peak > 0) {
+      GetGauge("process.peak_rss_bytes").Set(static_cast<double>(peak));
+    }
+  }
   WriteReport(report);
   bool ok = true;
   if (!metrics_out.empty() && !WriteMetricsJsonFile(metrics_out)) {

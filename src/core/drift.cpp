@@ -30,11 +30,13 @@ int FindAspect(const ScoreGrid& grid, const std::string& name) {
   return -1;
 }
 
-/// "drift.<aspect>.q99" — percent with up to one decimal kept compact
-/// (q=0.5 -> "q50", q=0.995 -> "q99.5").
-std::string GaugeName(const std::string& aspect, double q) {
+}  // namespace
+
+std::string DriftGaugeName(const std::string& aspect, double q) {
   char buf[32];
-  const double pct = q * 100.0;
+  // Round to one decimal of a percent before the integrality test:
+  // q=0.29 stored as 0.28999... must still print "q29", not "q29.0".
+  const double pct = std::round(q * 1000.0) / 10.0;
   if (pct == std::floor(pct)) {
     std::snprintf(buf, sizeof(buf), "q%d", static_cast<int>(pct));
   } else {
@@ -43,16 +45,18 @@ std::string GaugeName(const std::string& aspect, double q) {
   return "drift." + aspect + "." + buf;
 }
 
-}  // namespace
-
-double NearestRankQuantile(std::vector<double> values, double q) {
-  if (values.empty()) return 0.0;
-  std::sort(values.begin(), values.end());
+double NearestRankQuantileSorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
   const double clamped = std::min(1.0, std::max(0.0, q));
   std::size_t rank = static_cast<std::size_t>(
-      std::ceil(clamped * static_cast<double>(values.size())));
+      std::ceil(clamped * static_cast<double>(sorted.size())));
   if (rank == 0) rank = 1;
-  return values[rank - 1];
+  return sorted[rank - 1];
+}
+
+double NearestRankQuantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  return NearestRankQuantileSorted(values, q);
 }
 
 std::vector<AspectDrift> ComputeScoreDrift(const ScoreGrid& reference,
@@ -68,9 +72,14 @@ std::vector<AspectDrift> ComputeScoreDrift(const ScoreGrid& reference,
   for (int a = 0; a < current.aspects(); ++a) {
     const int ra = FindAspect(reference, current.aspect_name(a));
     if (ra < 0) continue;
-    const std::vector<double> ref_scores = AspectScores(reference, ra);
-    const std::vector<double> cur_scores = AspectScores(current, a);
+    // One sort per aspect and window; every configured quantile reads
+    // the same sorted vector (NearestRankQuantile used to copy + sort
+    // per quantile).
+    std::vector<double> ref_scores = AspectScores(reference, ra);
+    std::vector<double> cur_scores = AspectScores(current, a);
     if (ref_scores.empty() || cur_scores.empty()) continue;
+    std::sort(ref_scores.begin(), ref_scores.end());
+    std::sort(cur_scores.begin(), cur_scores.end());
 
     AspectDrift drift;
     drift.aspect = a;
@@ -78,14 +87,20 @@ std::vector<AspectDrift> ComputeScoreDrift(const ScoreGrid& reference,
     for (double q : config.quantiles) {
       QuantileShift shift;
       shift.q = q;
-      shift.reference = NearestRankQuantile(ref_scores, q);
-      shift.current = NearestRankQuantile(cur_scores, q);
+      shift.reference = NearestRankQuantileSorted(ref_scores, q);
+      shift.current = NearestRankQuantileSorted(cur_scores, q);
       shift.rel_shift = (shift.current - shift.reference) /
                         std::max(std::abs(shift.reference), kEps);
-      shift.alert = std::abs(shift.rel_shift) >= config.alert_threshold;
+      // Alerting needs both a relative shift and a material absolute
+      // move: with a near-zero reference quantile the relative shift is
+      // numerically unbounded, and without the floor every tiny wiggle
+      // of a sparse aspect becomes an alert storm.
+      shift.alert = std::abs(shift.rel_shift) >= config.alert_threshold &&
+                    std::abs(shift.current - shift.reference) >=
+                        config.min_abs_shift;
       drift.alert = drift.alert || shift.alert;
       if (telemetry::MetricsEnabled()) {
-        telemetry::GetGauge(GaugeName(drift.aspect_name, q))
+        telemetry::GetGauge(DriftGaugeName(drift.aspect_name, q))
             .Set(shift.rel_shift);
       }
       drift.shifts.push_back(shift);

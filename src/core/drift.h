@@ -16,6 +16,7 @@
 // and mirrored as telemetry gauges `drift.<aspect>.q<pct>` plus an
 // aggregate `drift.alerts` counter.
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,11 @@ struct DriftConfig {
   /// |relative shift| at or above this raises the alert flag on the
   /// quantile (and the aspect, and the run).
   double alert_threshold = 0.25;
+  /// Absolute-shift floor for the alert: |current - reference| must also
+  /// reach this. A reference quantile near zero (common for the median
+  /// of sparse aspects) makes the relative shift explode on any tiny
+  /// move; a sub-floor absolute move is never worth an alert.
+  double min_abs_shift = 1e-6;
 };
 
 struct QuantileShift {
@@ -52,6 +58,16 @@ struct AspectDrift {
 /// Nearest-rank quantile of `values` (q in [0,1]); 0 for empty input.
 /// Exposed for tests; `values` is copied, not mutated.
 double NearestRankQuantile(std::vector<double> values, double q);
+
+/// Same, over values already sorted ascending (no copy, no re-sort).
+/// ComputeScoreDrift sorts each aspect's scores once and evaluates all
+/// configured quantiles against that one sorted vector.
+double NearestRankQuantileSorted(std::span<const double> sorted, double q);
+
+/// Gauge name for one (aspect, quantile): "drift.<aspect>.q<pct>" with
+/// the percent compact ("q50", "q99.5" — never "q29.0"). Exposed for
+/// golden tests.
+std::string DriftGaugeName(const std::string& aspect, double q);
 
 /// Compares every aspect of `current` against the same-named aspect of
 /// `reference` (aspects missing from the reference are skipped). Sets

@@ -35,11 +35,14 @@ ConfusionCounts AtCutoff(const std::vector<bool>& flags, std::size_t cutoff) {
 }
 
 double PrecisionAtK(const std::vector<bool>& flags, std::size_t k) {
+  if (k == 0) return 0.0;
   const std::size_t n = std::min(k, flags.size());
-  if (n == 0) return 0.0;
   std::size_t tp = 0;
   for (std::size_t i = 0; i < n; ++i) tp += flags[i] ? 1 : 0;
-  return static_cast<double>(tp) / static_cast<double>(n);
+  // The denominator is k itself, not min(k, n): an investigation budget
+  // of k slots that can only be filled with n < k candidates did not
+  // suddenly get more precise — the empty slots count against it.
+  return static_cast<double>(tp) / static_cast<double>(k);
 }
 
 std::vector<RocPoint> RocCurve(const std::vector<bool>& flags) {

@@ -55,9 +55,12 @@ std::vector<bool> PositiveFlags(const std::vector<RankedUser>& sorted);
 /// Confusion counts when investigating the first `cutoff` users.
 ConfusionCounts AtCutoff(const std::vector<bool>& flags, std::size_t cutoff);
 
-/// Precision over the first min(k, list) entries — the analyst-budget
-/// view ("if I investigate k users, what fraction are insiders?").
-/// 0 for an empty list or k == 0.
+/// Precision at an investigation budget of k slots: true positives in
+/// the first min(k, list) entries divided by k itself ("if I budget k
+/// investigations, what fraction pay off?"). A list shorter than k
+/// leaves budget slots empty — they count against precision, so a
+/// department with 3 flagged users can never report precision@10 above
+/// 0.3. 0 for k == 0.
 double PrecisionAtK(const std::vector<bool>& flags, std::size_t k);
 
 /// Full ROC curve: one point per list prefix (plus the origin).

@@ -64,6 +64,13 @@ void MeasurementCube::Accumulate(UserId user, int feature, const Date& date,
                                  int frame, float amount) {
   const int day = DayIndex(date);
   if (day < 0) return;
+  // Validate the frame before any mutation: registering the user (and
+  // growing the cube) first would leave a phantom user behind when the
+  // out_of_range below fires, so a single malformed row could not be
+  // rejected cleanly under the permissive-ingest error budget.
+  if (feature < 0 || feature >= features_ || frame < 0 || frame >= frames_) {
+    throw std::out_of_range("MeasurementCube::Accumulate: index out of range");
+  }
   const int idx = RegisterUser(user);
   At(idx, feature, day, frame) += amount;
 }

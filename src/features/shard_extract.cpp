@@ -1,0 +1,33 @@
+#include "features/shard_extract.h"
+
+#include "common/telemetry.h"
+
+namespace acobe {
+
+DepartmentDemux::DepartmentDemux(Date start, int days,
+                                 TimeFramePartition partition)
+    : start_(start), days_(days), partition_(std::move(partition)) {}
+
+int DepartmentDemux::AddDepartment(const std::string& name,
+                                   const std::vector<UserId>& members) {
+  const int dept = static_cast<int>(extractors_.size());
+  names_.push_back(name);
+  extractors_.push_back(
+      std::make_unique<CertAcobeExtractor>(start_, days_, partition_));
+  CertAcobeExtractor& ex = *extractors_.back();
+  for (UserId user : members) {
+    ex.cube().RegisterUser(user);
+    if (user >= routes_.size()) {
+      routes_.resize(static_cast<std::size_t>(user) + 1, -1);
+    }
+    if (routes_[user] < 0) {
+      routes_[user] = dept;
+    } else if (routes_[user] != dept) {
+      extra_routes_.emplace_back(user, dept);
+    }
+  }
+  ACOBE_COUNT("features.departments_sharded", 1);
+  return dept;
+}
+
+}  // namespace acobe

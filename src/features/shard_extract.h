@@ -1,0 +1,85 @@
+#pragma once
+
+// Per-department sharded feature extraction.
+//
+// DepartmentDemux fans one day-ordered event stream (a ShardSpooler
+// replay, or any LogSink feed) out to one CertAcobeExtractor per
+// department, routing each event by its user. Every department gets
+// its own MeasurementCube holding only its members, which is what
+// bounds peak memory when an organization is processed shard by shard.
+//
+// Per-department cubes are bit-identical to the corresponding rows of
+// the monolithic cube: measurements are exact per-event adds of 1.0f
+// (order-free within a day), first-seen state is keyed per user, and
+// the detector consumes cubes only through per-member lookups, trimmed
+// group means over the member list, and member-population calibration —
+// none of which see non-member rows.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "features/cert_features.h"
+#include "logs/log_sink.h"
+
+namespace acobe {
+
+class DepartmentDemux : public LogSink {
+ public:
+  DepartmentDemux(Date start, int days,
+                  TimeFramePartition partition = TimeFramePartition::WorkOff());
+
+  /// Adds a department and routes its members' events to a dedicated
+  /// extractor. Members are registered into the cube up front so
+  /// zero-event users still get (all-zero) rows, as the monolithic path
+  /// guarantees by registering the LDAP roster. Returns the department
+  /// index. A user may belong to several departments; their events
+  /// reach each one.
+  int AddDepartment(const std::string& name,
+                    const std::vector<UserId>& members);
+
+  int departments() const { return static_cast<int>(extractors_.size()); }
+  const std::string& name(int dept) const { return names_[dept]; }
+  CertAcobeExtractor& extractor(int dept) { return *extractors_[dept]; }
+  const CertAcobeExtractor& extractor(int dept) const {
+    return *extractors_[dept];
+  }
+
+  void Consume(const LogonEvent& e) override { Route(e); }
+  void Consume(const DeviceEvent& e) override { Route(e); }
+  void Consume(const FileEvent& e) override { Route(e); }
+  void Consume(const HttpEvent& e) override { Route(e); }
+  void Consume(const EmailEvent& e) override { Route(e); }
+  void Consume(const EnterpriseEvent& e) override { Route(e); }
+  void Consume(const ProxyEvent& e) override { Route(e); }
+
+  /// Events that reached at least one extractor.
+  std::size_t events_routed() const { return events_routed_; }
+
+ private:
+  template <typename Event>
+  void Route(const Event& e) {
+    if (e.user >= routes_.size()) return;
+    const int first = routes_[e.user];
+    if (first < 0) return;
+    extractors_[static_cast<std::size_t>(first)]->Consume(e);
+    ++events_routed_;
+    // A second (or later) membership is rare; scan the overflow list.
+    for (const auto& [user, dept] : extra_routes_) {
+      if (user == e.user) {
+        extractors_[static_cast<std::size_t>(dept)]->Consume(e);
+      }
+    }
+  }
+
+  Date start_;
+  int days_;
+  TimeFramePartition partition_;
+  std::vector<std::string> names_;
+  std::vector<std::unique_ptr<CertAcobeExtractor>> extractors_;
+  std::vector<int> routes_;  // UserId -> first department, -1 none
+  std::vector<std::pair<UserId, int>> extra_routes_;
+  std::size_t events_routed_ = 0;
+};
+
+}  // namespace acobe

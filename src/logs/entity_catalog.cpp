@@ -1,0 +1,26 @@
+#include "logs/entity_catalog.h"
+
+#include <algorithm>
+
+namespace acobe {
+
+std::vector<UserId> EntityCatalog::UsersInDepartment(
+    const std::string& department) const {
+  std::vector<UserId> out;
+  for (const LdapRecord& r : ldap_) {
+    if (r.department == department) out.push_back(r.user);
+  }
+  return out;
+}
+
+std::vector<std::string> EntityCatalog::Departments() const {
+  std::vector<std::string> out;
+  for (const LdapRecord& r : ldap_) {
+    if (std::find(out.begin(), out.end(), r.department) == out.end()) {
+      out.push_back(r.department);
+    }
+  }
+  return out;
+}
+
+}  // namespace acobe

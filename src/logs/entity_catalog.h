@@ -1,0 +1,55 @@
+#pragma once
+
+// Entity tables + directory, separated from event storage.
+//
+// EntityCatalog is the part of a dataset that must stay resident for
+// the whole run: the interned name tables (users, pcs, files, domains,
+// objects) and the LDAP directory that defines departments. It is
+// deliberately event-free so the streaming data plane can keep the
+// catalog in memory while events flow through a LogSink and spill to
+// disk. LogStore derives from it and adds the buffered record streams.
+
+#include <string>
+#include <vector>
+
+#include "logs/entity_table.h"
+#include "logs/records.h"
+
+namespace acobe {
+
+class EntityCatalog {
+ public:
+  // --- entity tables -------------------------------------------------------
+  EntityTable& users() { return users_; }
+  const EntityTable& users() const { return users_; }
+  EntityTable& pcs() { return pcs_; }
+  const EntityTable& pcs() const { return pcs_; }
+  EntityTable& files() { return files_; }
+  const EntityTable& files() const { return files_; }
+  EntityTable& domains() { return domains_; }
+  const EntityTable& domains() const { return domains_; }
+  EntityTable& objects() { return objects_; }
+  const EntityTable& objects() const { return objects_; }
+
+  // --- directory -----------------------------------------------------------
+  void AddLdap(LdapRecord record) { ldap_.push_back(std::move(record)); }
+  const std::vector<LdapRecord>& ldap() const { return ldap_; }
+
+  /// User ids belonging to `department`.
+  std::vector<UserId> UsersInDepartment(const std::string& department) const;
+
+  /// All distinct department names, in first-seen order. This order is
+  /// the canonical department order of every report: both the buffered
+  /// and the streaming detection paths emit results in it.
+  std::vector<std::string> Departments() const;
+
+ protected:
+  EntityTable users_;
+  EntityTable pcs_;
+  EntityTable files_;
+  EntityTable domains_;
+  EntityTable objects_;
+  std::vector<LdapRecord> ldap_;
+};
+
+}  // namespace acobe

@@ -163,8 +163,8 @@ void WriteDeviceCsv(const LogStore& store, std::ostream& out) {
   }
 }
 
-IngestStats ReadDeviceCsv(std::istream& in, LogStore& store,
-                          const IngestOptions& opts,
+IngestStats ReadDeviceCsv(std::istream& in, EntityCatalog& tables,
+                          LogSink& sink, const IngestOptions& opts,
                           const std::string& source) {
   ACOBE_SPAN2("logs.read", "device");
   return IngestCsv(in, source, 4, opts,
@@ -172,10 +172,16 @@ IngestStats ReadDeviceCsv(std::istream& in, LogStore& store,
                      DeviceEvent e;
                      e.ts = ParseTs(row[0], opts);
                      e.activity = DeviceActivityFromString(row[3]);
-                     e.user = store.users().Intern(row[1]);
-                     e.pc = store.pcs().Intern(row[2]);
-                     store.Add(e);
+                     e.user = tables.users().Intern(row[1]);
+                     e.pc = tables.pcs().Intern(row[2]);
+                     sink.Consume(e);
                    });
+}
+
+IngestStats ReadDeviceCsv(std::istream& in, LogStore& store,
+                          const IngestOptions& opts,
+                          const std::string& source) {
+  return ReadDeviceCsv(in, store, static_cast<LogSink&>(store), opts, source);
 }
 
 void WriteFileCsv(const LogStore& store, std::ostream& out) {
@@ -190,7 +196,7 @@ void WriteFileCsv(const LogStore& store, std::ostream& out) {
   }
 }
 
-IngestStats ReadFileCsv(std::istream& in, LogStore& store,
+IngestStats ReadFileCsv(std::istream& in, EntityCatalog& tables, LogSink& sink,
                         const IngestOptions& opts, const std::string& source) {
   ACOBE_SPAN2("logs.read", "file");
   return IngestCsv(in, source, 7, opts,
@@ -200,11 +206,16 @@ IngestStats ReadFileCsv(std::istream& in, LogStore& store,
                      e.activity = FileActivityFromString(row[3]);
                      e.from = FileLocationFromString(row[5]);
                      e.to = FileLocationFromString(row[6]);
-                     e.user = store.users().Intern(row[1]);
-                     e.pc = store.pcs().Intern(row[2]);
-                     e.file = store.files().Intern(row[4]);
-                     store.Add(e);
+                     e.user = tables.users().Intern(row[1]);
+                     e.pc = tables.pcs().Intern(row[2]);
+                     e.file = tables.files().Intern(row[4]);
+                     sink.Consume(e);
                    });
+}
+
+IngestStats ReadFileCsv(std::istream& in, LogStore& store,
+                        const IngestOptions& opts, const std::string& source) {
+  return ReadFileCsv(in, store, static_cast<LogSink&>(store), opts, source);
 }
 
 void WriteHttpCsv(const LogStore& store, std::ostream& out) {
@@ -218,7 +229,7 @@ void WriteHttpCsv(const LogStore& store, std::ostream& out) {
   }
 }
 
-IngestStats ReadHttpCsv(std::istream& in, LogStore& store,
+IngestStats ReadHttpCsv(std::istream& in, EntityCatalog& tables, LogSink& sink,
                         const IngestOptions& opts, const std::string& source) {
   ACOBE_SPAN2("logs.read", "http");
   return IngestCsv(in, source, 6, opts,
@@ -227,11 +238,16 @@ IngestStats ReadHttpCsv(std::istream& in, LogStore& store,
                      e.ts = ParseTs(row[0], opts);
                      e.activity = HttpActivityFromString(row[3]);
                      e.filetype = HttpFileTypeFromString(row[5]);
-                     e.user = store.users().Intern(row[1]);
-                     e.pc = store.pcs().Intern(row[2]);
-                     e.domain = store.domains().Intern(row[4]);
-                     store.Add(e);
+                     e.user = tables.users().Intern(row[1]);
+                     e.pc = tables.pcs().Intern(row[2]);
+                     e.domain = tables.domains().Intern(row[4]);
+                     sink.Consume(e);
                    });
+}
+
+IngestStats ReadHttpCsv(std::istream& in, LogStore& store,
+                        const IngestOptions& opts, const std::string& source) {
+  return ReadHttpCsv(in, store, static_cast<LogSink&>(store), opts, source);
 }
 
 void WriteLogonCsv(const LogStore& store, std::ostream& out) {
@@ -244,8 +260,8 @@ void WriteLogonCsv(const LogStore& store, std::ostream& out) {
   }
 }
 
-IngestStats ReadLogonCsv(std::istream& in, LogStore& store,
-                         const IngestOptions& opts,
+IngestStats ReadLogonCsv(std::istream& in, EntityCatalog& tables,
+                         LogSink& sink, const IngestOptions& opts,
                          const std::string& source) {
   ACOBE_SPAN2("logs.read", "logon");
   return IngestCsv(in, source, 4, opts,
@@ -253,10 +269,16 @@ IngestStats ReadLogonCsv(std::istream& in, LogStore& store,
                      LogonEvent e;
                      e.ts = ParseTs(row[0], opts);
                      e.activity = LogonActivityFromString(row[3]);
-                     e.user = store.users().Intern(row[1]);
-                     e.pc = store.pcs().Intern(row[2]);
-                     store.Add(e);
+                     e.user = tables.users().Intern(row[1]);
+                     e.pc = tables.pcs().Intern(row[2]);
+                     sink.Consume(e);
                    });
+}
+
+IngestStats ReadLogonCsv(std::istream& in, LogStore& store,
+                         const IngestOptions& opts,
+                         const std::string& source) {
+  return ReadLogonCsv(in, store, static_cast<LogSink&>(store), opts, source);
 }
 
 void WriteEnterpriseCsv(const LogStore& store, std::ostream& out) {
@@ -270,8 +292,8 @@ void WriteEnterpriseCsv(const LogStore& store, std::ostream& out) {
   }
 }
 
-IngestStats ReadEnterpriseCsv(std::istream& in, LogStore& store,
-                              const IngestOptions& opts,
+IngestStats ReadEnterpriseCsv(std::istream& in, EntityCatalog& tables,
+                              LogSink& sink, const IngestOptions& opts,
                               const std::string& source) {
   ACOBE_SPAN2("logs.read", "enterprise");
   return IngestCsv(in, source, 5, opts,
@@ -280,10 +302,17 @@ IngestStats ReadEnterpriseCsv(std::istream& in, LogStore& store,
                      e.ts = ParseTs(row[0], opts);
                      e.aspect = EnterpriseAspectFromString(row[2]);
                      e.event_id = ParseU16(row[3], "event_id");
-                     e.user = store.users().Intern(row[1]);
-                     e.object = store.objects().Intern(row[4]);
-                     store.Add(e);
+                     e.user = tables.users().Intern(row[1]);
+                     e.object = tables.objects().Intern(row[4]);
+                     sink.Consume(e);
                    });
+}
+
+IngestStats ReadEnterpriseCsv(std::istream& in, LogStore& store,
+                              const IngestOptions& opts,
+                              const std::string& source) {
+  return ReadEnterpriseCsv(in, store, static_cast<LogSink&>(store), opts,
+                           source);
 }
 
 void WriteProxyCsv(const LogStore& store, std::ostream& out) {
@@ -297,8 +326,8 @@ void WriteProxyCsv(const LogStore& store, std::ostream& out) {
   }
 }
 
-IngestStats ReadProxyCsv(std::istream& in, LogStore& store,
-                         const IngestOptions& opts,
+IngestStats ReadProxyCsv(std::istream& in, EntityCatalog& tables,
+                         LogSink& sink, const IngestOptions& opts,
                          const std::string& source) {
   ACOBE_SPAN2("logs.read", "proxy");
   return IngestCsv(in, source, 5, opts,
@@ -307,10 +336,16 @@ IngestStats ReadProxyCsv(std::istream& in, LogStore& store,
                      e.ts = ParseTs(row[0], opts);
                      e.success = ParseBool01(row[3], "success");
                      e.bytes = ParseU32(row[4], "bytes");
-                     e.user = store.users().Intern(row[1]);
-                     e.domain = store.domains().Intern(row[2]);
-                     store.Add(e);
+                     e.user = tables.users().Intern(row[1]);
+                     e.domain = tables.domains().Intern(row[2]);
+                     sink.Consume(e);
                    });
+}
+
+IngestStats ReadProxyCsv(std::istream& in, LogStore& store,
+                         const IngestOptions& opts,
+                         const std::string& source) {
+  return ReadProxyCsv(in, store, static_cast<LogSink&>(store), opts, source);
 }
 
 void WriteLdapCsv(const LogStore& store, std::ostream& out) {
@@ -322,19 +357,76 @@ void WriteLdapCsv(const LogStore& store, std::ostream& out) {
   }
 }
 
-IngestStats ReadLdapCsv(std::istream& in, LogStore& store,
+IngestStats ReadLdapCsv(std::istream& in, EntityCatalog& tables,
                         const IngestOptions& opts, const std::string& source) {
   ACOBE_SPAN2("logs.read", "ldap");
   return IngestCsv(in, source, 4, opts,
                    [&](const std::vector<std::string>& row) {
                      LdapRecord r;
                      r.user_name = row[0];
-                     r.user = store.users().Intern(row[0]);
+                     r.user = tables.users().Intern(row[0]);
                      r.department = row[1];
                      r.team = row[2];
                      r.role = row[3];
-                     store.AddLdap(std::move(r));
+                     tables.AddLdap(std::move(r));
                    });
+}
+
+IngestStats ReadLdapCsv(std::istream& in, LogStore& store,
+                        const IngestOptions& opts, const std::string& source) {
+  return ReadLdapCsv(in, static_cast<EntityCatalog&>(store), opts, source);
+}
+
+CsvEventSink::CsvEventSink(const EntityCatalog& tables, std::ostream* logon,
+                           std::ostream* device, std::ostream* file,
+                           std::ostream* http, bool write_headers)
+    : tables_(tables) {
+  logon_.out = logon;
+  device_.out = device;
+  file_.out = file;
+  http_.out = http;
+  if (!write_headers) {
+    logon_.header_written = device_.header_written = file_.header_written =
+        http_.header_written = true;
+  }
+}
+
+void CsvEventSink::WriteRow(Stream& s, const std::vector<std::string>& header,
+                            const std::vector<std::string>& row) {
+  if (!s.out) return;
+  CsvWriter w(*s.out);
+  if (!s.header_written) {
+    s.header_written = true;
+    w.WriteRow(header);
+  }
+  w.WriteRow(row);
+  ++rows_written_;
+}
+
+void CsvEventSink::Consume(const LogonEvent& e) {
+  WriteRow(logon_, {"ts", "user", "pc", "activity"},
+           {TsToString(e.ts), tables_.users().NameOf(e.user),
+            tables_.pcs().NameOf(e.pc), ToString(e.activity)});
+}
+
+void CsvEventSink::Consume(const DeviceEvent& e) {
+  WriteRow(device_, {"ts", "user", "pc", "activity"},
+           {TsToString(e.ts), tables_.users().NameOf(e.user),
+            tables_.pcs().NameOf(e.pc), ToString(e.activity)});
+}
+
+void CsvEventSink::Consume(const FileEvent& e) {
+  WriteRow(file_, {"ts", "user", "pc", "activity", "file", "from", "to"},
+           {TsToString(e.ts), tables_.users().NameOf(e.user),
+            tables_.pcs().NameOf(e.pc), ToString(e.activity),
+            tables_.files().NameOf(e.file), ToString(e.from), ToString(e.to)});
+}
+
+void CsvEventSink::Consume(const HttpEvent& e) {
+  WriteRow(http_, {"ts", "user", "pc", "activity", "domain", "filetype"},
+           {TsToString(e.ts), tables_.users().NameOf(e.user),
+            tables_.pcs().NameOf(e.pc), ToString(e.activity),
+            tables_.domains().NameOf(e.domain), ToString(e.filetype)});
 }
 
 void ReadDeviceCsv(std::istream& in, LogStore& store) {

@@ -10,8 +10,10 @@
 // logs.rows_read / rows_rejected / rows_quarantined / rows_deduped.
 
 #include <iosfwd>
+#include <ostream>
 #include <string>
 
+#include "common/csv.h"
 #include "common/faults.h"
 #include "logs/log_store.h"
 
@@ -67,5 +69,78 @@ void ReadLogonCsv(std::istream& in, LogStore& store);
 void ReadLdapCsv(std::istream& in, LogStore& store);
 void ReadEnterpriseCsv(std::istream& in, LogStore& store);
 void ReadProxyCsv(std::istream& in, LogStore& store);
+
+// --- streaming (out-of-core) ingestion --------------------------------------
+//
+// The same readers, decoupled from LogStore: names intern into `tables`
+// and each parsed event goes straight to `sink` instead of a buffering
+// vector. The LogStore overloads above delegate here with the store as
+// both catalog and sink — parsing, recovery policy and interning order
+// are byte-for-byte shared between the buffered and streaming paths,
+// which is what makes the two pipelines bit-identical.
+IngestStats ReadDeviceCsv(std::istream& in, EntityCatalog& tables,
+                          LogSink& sink, const IngestOptions& options,
+                          const std::string& source = "device.csv");
+IngestStats ReadFileCsv(std::istream& in, EntityCatalog& tables, LogSink& sink,
+                        const IngestOptions& options,
+                        const std::string& source = "file.csv");
+IngestStats ReadHttpCsv(std::istream& in, EntityCatalog& tables, LogSink& sink,
+                        const IngestOptions& options,
+                        const std::string& source = "http.csv");
+IngestStats ReadLogonCsv(std::istream& in, EntityCatalog& tables,
+                         LogSink& sink, const IngestOptions& options,
+                         const std::string& source = "logon.csv");
+IngestStats ReadEnterpriseCsv(std::istream& in, EntityCatalog& tables,
+                              LogSink& sink, const IngestOptions& options,
+                              const std::string& source = "enterprise.csv");
+IngestStats ReadProxyCsv(std::istream& in, EntityCatalog& tables,
+                         LogSink& sink, const IngestOptions& options,
+                         const std::string& source = "proxy.csv");
+/// LDAP rows populate only the catalog (roster + directory), no sink.
+IngestStats ReadLdapCsv(std::istream& in, EntityCatalog& tables,
+                        const IngestOptions& options,
+                        const std::string& source = "ldap.csv");
+
+/// A LogSink that renders events as CERT-layout CSV rows the moment
+/// they are consumed — the write-side dual of the streaming readers.
+/// Lets a generator emit arbitrarily large logs without buffering them:
+/// rows land in file order (day order for a day-by-day simulator), and
+/// both detection paths re-group by day on read, so file order need not
+/// be globally timestamp-sorted. Pass nullptr for streams you do not
+/// want; headers are written on first use of each stream. Email,
+/// enterprise and proxy events are dropped (no CERT-layout file).
+class CsvEventSink : public LogSink {
+ public:
+  /// `write_headers` false appends rows to streams whose header was
+  /// already emitted (sharded generation: shard 0 writes headers, the
+  /// rest append).
+  CsvEventSink(const EntityCatalog& tables, std::ostream* logon,
+               std::ostream* device, std::ostream* file, std::ostream* http,
+               bool write_headers = true);
+
+  void Consume(const LogonEvent& e) override;
+  void Consume(const DeviceEvent& e) override;
+  void Consume(const FileEvent& e) override;
+  void Consume(const HttpEvent& e) override;
+  void Consume(const EmailEvent&) override {}
+  void Consume(const EnterpriseEvent&) override {}
+  void Consume(const ProxyEvent&) override {}
+
+  /// Events written so far, by stream.
+  std::size_t rows_written() const { return rows_written_; }
+
+ private:
+  struct Stream {
+    std::ostream* out = nullptr;
+    bool header_written = false;
+  };
+  /// Emits the header once, then the row. No-op for absent streams.
+  void WriteRow(Stream& s, const std::vector<std::string>& header,
+                const std::vector<std::string>& row);
+
+  const EntityCatalog& tables_;
+  Stream logon_, device_, file_, http_;
+  std::size_t rows_written_ = 0;
+};
 
 }  // namespace acobe

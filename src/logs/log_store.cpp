@@ -13,25 +13,6 @@ void SortByTs(std::vector<T>& v) {
 
 }  // namespace
 
-std::vector<UserId> LogStore::UsersInDepartment(
-    const std::string& department) const {
-  std::vector<UserId> out;
-  for (const LdapRecord& r : ldap_) {
-    if (r.department == department) out.push_back(r.user);
-  }
-  return out;
-}
-
-std::vector<std::string> LogStore::Departments() const {
-  std::vector<std::string> out;
-  for (const LdapRecord& r : ldap_) {
-    if (std::find(out.begin(), out.end(), r.department) == out.end()) {
-      out.push_back(r.department);
-    }
-  }
-  return out;
-}
-
 std::size_t LogStore::TotalEvents() const {
   return logons_.size() + devices_.size() + file_events_.size() +
          http_events_.size() + emails_.size() + enterprise_events_.size() +

@@ -3,44 +3,26 @@
 // In-memory organizational log store.
 //
 // Holds all record streams of one dataset plus the entity tables that
-// give ids meaning, and the LDAP directory that defines groups. The
-// simulators in src/simdata fill a LogStore; the extractors in
-// src/features consume one. Streams are kept in per-type vectors and
-// can be sorted chronologically in place.
+// give ids meaning, and the LDAP directory that defines groups (both
+// inherited from EntityCatalog). The simulators in src/simdata fill a
+// LogStore; the extractors in src/features consume one. Streams are
+// kept in per-type vectors and can be sorted chronologically in place.
+//
+// This is the determinism anchor of the pipeline: the out-of-core
+// streaming path (logs/spool.h) must reproduce its measurement cubes
+// and detection scores bit-for-bit.
 
 #include <string>
 #include <vector>
 
-#include "logs/entity_table.h"
+#include "logs/entity_catalog.h"
 #include "logs/log_sink.h"
 #include "logs/records.h"
 
 namespace acobe {
 
-class LogStore : public LogSink {
+class LogStore : public EntityCatalog, public LogSink {
  public:
-  // --- entity tables -------------------------------------------------------
-  EntityTable& users() { return users_; }
-  const EntityTable& users() const { return users_; }
-  EntityTable& pcs() { return pcs_; }
-  const EntityTable& pcs() const { return pcs_; }
-  EntityTable& files() { return files_; }
-  const EntityTable& files() const { return files_; }
-  EntityTable& domains() { return domains_; }
-  const EntityTable& domains() const { return domains_; }
-  EntityTable& objects() { return objects_; }
-  const EntityTable& objects() const { return objects_; }
-
-  // --- directory -----------------------------------------------------------
-  void AddLdap(LdapRecord record) { ldap_.push_back(std::move(record)); }
-  const std::vector<LdapRecord>& ldap() const { return ldap_; }
-
-  /// User ids belonging to `department`.
-  std::vector<UserId> UsersInDepartment(const std::string& department) const;
-
-  /// All distinct department names, in first-seen order.
-  std::vector<std::string> Departments() const;
-
   // --- record streams ------------------------------------------------------
   void Add(const LogonEvent& e) { logons_.push_back(e); }
   void Add(const DeviceEvent& e) { devices_.push_back(e); }
@@ -77,13 +59,6 @@ class LogStore : public LogSink {
   void SortChronologically();
 
  private:
-  EntityTable users_;
-  EntityTable pcs_;
-  EntityTable files_;
-  EntityTable domains_;
-  EntityTable objects_;
-  std::vector<LdapRecord> ldap_;
-
   std::vector<LogonEvent> logons_;
   std::vector<DeviceEvent> devices_;
   std::vector<FileEvent> file_events_;

@@ -1,0 +1,373 @@
+#include "logs/spool.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+#include "common/telemetry.h"
+#include "common/trace.h"
+
+namespace acobe {
+namespace {
+
+// Packed-record type tags.
+enum PackedType : std::uint8_t {
+  kPackedLogon = 0,
+  kPackedDevice = 1,
+  kPackedFile = 2,
+  kPackedHttp = 3,
+  kPackedEmail = 4,
+  kPackedEnterprise = 5,
+  kPackedProxy = 6,
+};
+
+std::int64_t DayOf(Timestamp ts) { return ts / kSecondsPerDay; }
+
+/// Read cursor over one day-sorted run, with a bounded refill buffer.
+class RunCursor {
+ public:
+  RunCursor(std::ifstream& in, std::uint64_t offset, std::uint64_t count,
+            std::size_t buffer_events)
+      : in_(in),
+        next_offset_(offset),
+        remaining_(count),
+        buffer_events_(std::max<std::size_t>(buffer_events, 256)) {
+    Refill();
+  }
+
+  bool empty() const { return pos_ >= buffer_.size() && remaining_ == 0; }
+  const PackedEvent& head() const { return buffer_[pos_]; }
+  std::int64_t head_day() const { return DayOf(buffer_[pos_].ts); }
+
+  void Advance() {
+    if (++pos_ >= buffer_.size()) Refill();
+  }
+
+ private:
+  void Refill() {
+    pos_ = 0;
+    buffer_.clear();
+    if (remaining_ == 0) return;
+    const std::size_t n =
+        static_cast<std::size_t>(std::min<std::uint64_t>(remaining_, buffer_events_));
+    buffer_.resize(n);
+    in_.seekg(static_cast<std::streamoff>(next_offset_));
+    in_.read(reinterpret_cast<char*>(buffer_.data()),
+             static_cast<std::streamsize>(n * sizeof(PackedEvent)));
+    if (!in_) {
+      throw std::runtime_error("spool: short read (truncated spool file?)");
+    }
+    next_offset_ += n * sizeof(PackedEvent);
+    remaining_ -= n;
+  }
+
+  std::ifstream& in_;
+  std::uint64_t next_offset_;
+  std::uint64_t remaining_;
+  std::size_t buffer_events_;
+  std::vector<PackedEvent> buffer_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+ShardSpooler::ShardSpooler(std::string dir, int shards,
+                           std::size_t buffer_bytes)
+    : dir_(std::move(dir)),
+      ts_lo_(std::numeric_limits<Timestamp>::max()),
+      ts_hi_(std::numeric_limits<Timestamp>::min()) {
+  if (shards <= 0) {
+    throw std::invalid_argument("ShardSpooler: shards must be positive");
+  }
+  std::filesystem::create_directories(dir_);
+  files_.resize(static_cast<std::size_t>(shards));
+  buffer_events_per_shard_ = std::max<std::size_t>(
+      buffer_bytes / sizeof(PackedEvent) / static_cast<std::size_t>(shards),
+      1024);
+  for (int s = 0; s < shards; ++s) {
+    Shard& shard = files_[static_cast<std::size_t>(s)];
+    shard.path = dir_ + "/shard-" + std::to_string(s) + ".spool";
+    shard.out.open(shard.path, std::ios::binary | std::ios::trunc);
+    if (!shard.out) {
+      throw std::runtime_error("ShardSpooler: cannot create " + shard.path);
+    }
+    shard.buffer.reserve(buffer_events_per_shard_);
+  }
+}
+
+ShardSpooler::~ShardSpooler() { Remove(); }
+
+void ShardSpooler::AssignUser(UserId user, int shard) {
+  if (shard < 0 || shard >= shards()) {
+    throw std::out_of_range("ShardSpooler::AssignUser: bad shard");
+  }
+  if (user >= user_shard_.size()) {
+    user_shard_.resize(static_cast<std::size_t>(user) + 1, -1);
+  }
+  user_shard_[user] = shard;
+}
+
+void ShardSpooler::Offer(const PackedEvent& p) {
+  ts_lo_ = std::min(ts_lo_, p.ts);
+  ts_hi_ = std::max(ts_hi_, p.ts);
+  const int shard =
+      p.user < user_shard_.size() ? user_shard_[p.user] : -1;
+  if (shard < 0) {
+    ++events_dropped_;
+    return;
+  }
+  Shard& dst = files_[static_cast<std::size_t>(shard)];
+  dst.buffer.push_back(p);
+  ++events_spooled_;
+  if (dst.buffer.size() >= buffer_events_per_shard_) Spill(dst);
+}
+
+void ShardSpooler::Spill(Shard& shard) {
+  if (shard.buffer.empty()) return;
+  ACOBE_SPAN("spool.spill");
+  // Stable by day: within a run, same-day events keep arrival order.
+  std::stable_sort(shard.buffer.begin(), shard.buffer.end(),
+                   [](const PackedEvent& a, const PackedEvent& b) {
+                     return DayOf(a.ts) < DayOf(b.ts);
+                   });
+  const std::uint64_t bytes =
+      static_cast<std::uint64_t>(shard.buffer.size()) * sizeof(PackedEvent);
+  shard.out.write(reinterpret_cast<const char*>(shard.buffer.data()),
+                  static_cast<std::streamsize>(bytes));
+  if (!shard.out) {
+    throw std::runtime_error("ShardSpooler: write failed on " + shard.path);
+  }
+  shard.runs.push_back(SpoolRun{shard.bytes_written,
+                                static_cast<std::uint64_t>(shard.buffer.size())});
+  shard.bytes_written += bytes;
+  shard.buffer.clear();
+  ACOBE_COUNT("spool.runs", 1);
+}
+
+void ShardSpooler::Finish() {
+  for (Shard& shard : files_) {
+    Spill(shard);
+    shard.out.flush();
+    shard.out.close();
+  }
+  finished_ = true;
+  ACOBE_GAUGE_SET("spool.events", events_spooled_);
+  ACOBE_GAUGE_SET("spool.bytes", bytes_spooled());
+}
+
+void ShardSpooler::Remove() {
+  for (Shard& shard : files_) {
+    if (shard.out.is_open()) shard.out.close();
+    std::error_code ec;
+    std::filesystem::remove(shard.path, ec);
+  }
+  // remove() deletes a directory only when empty, which is the right
+  // call here: take the spool dir with us if we created the only
+  // contents, leave a user-provided dir with other files alone.
+  std::error_code ec;
+  std::filesystem::remove(dir_, ec);
+}
+
+void ShardSpooler::Replay(int shard_idx, LogSink& sink) const {
+  if (!finished_) {
+    throw std::logic_error("ShardSpooler::Replay: call Finish() first");
+  }
+  if (shard_idx < 0 || shard_idx >= shards()) {
+    throw std::out_of_range("ShardSpooler::Replay: bad shard");
+  }
+  const Shard& shard = files_[static_cast<std::size_t>(shard_idx)];
+  if (shard.runs.empty()) return;
+  ACOBE_SPAN("spool.replay");
+
+  std::ifstream in(shard.path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("ShardSpooler::Replay: cannot open " +
+                             shard.path);
+  }
+  // Split the shard's buffer budget across its runs so replay memory
+  // stays bounded no matter how many runs spilled.
+  const std::size_t per_run = buffer_events_per_shard_ / shard.runs.size();
+  std::vector<RunCursor> cursors;
+  cursors.reserve(shard.runs.size());
+  for (const SpoolRun& run : shard.runs) {
+    cursors.emplace_back(in, run.offset, run.count, per_run);
+  }
+
+  // K-way merge keyed (day, run index): day order is what correctness
+  // needs; the run-index tiebreak makes replay deterministic.
+  using Key = std::pair<std::int64_t, std::size_t>;
+  std::priority_queue<Key, std::vector<Key>, std::greater<Key>> heap;
+  for (std::size_t i = 0; i < cursors.size(); ++i) {
+    if (!cursors[i].empty()) heap.push({cursors[i].head_day(), i});
+  }
+  std::size_t replayed = 0;
+  while (!heap.empty()) {
+    const auto [day, i] = heap.top();
+    heap.pop();
+    RunCursor& cur = cursors[i];
+    const PackedEvent& p = cur.head();
+    switch (p.type) {
+      case kPackedLogon: {
+        LogonEvent e;
+        e.ts = p.ts;
+        e.user = p.user;
+        e.pc = p.e1;
+        e.activity = static_cast<LogonActivity>(p.f1);
+        sink.Consume(e);
+        break;
+      }
+      case kPackedDevice: {
+        DeviceEvent e;
+        e.ts = p.ts;
+        e.user = p.user;
+        e.pc = p.e1;
+        e.activity = static_cast<DeviceActivity>(p.f1);
+        sink.Consume(e);
+        break;
+      }
+      case kPackedFile: {
+        FileEvent e;
+        e.ts = p.ts;
+        e.user = p.user;
+        e.pc = p.e1;
+        e.file = p.e2;
+        e.activity = static_cast<FileActivity>(p.f1);
+        e.from = static_cast<FileLocation>(p.f2 & 1);
+        e.to = static_cast<FileLocation>((p.f2 >> 1) & 1);
+        sink.Consume(e);
+        break;
+      }
+      case kPackedHttp: {
+        HttpEvent e;
+        e.ts = p.ts;
+        e.user = p.user;
+        e.pc = p.e1;
+        e.domain = p.e2;
+        e.activity = static_cast<HttpActivity>(p.f1);
+        e.filetype = static_cast<HttpFileType>(p.f2);
+        sink.Consume(e);
+        break;
+      }
+      case kPackedEmail: {
+        EmailEvent e;
+        e.ts = p.ts;
+        e.user = p.user;
+        e.size_bytes = p.e1;
+        e.recipient_count = static_cast<std::uint16_t>(p.e2 >> 16);
+        e.attachment_count = static_cast<std::uint16_t>(p.e2 & 0xffff);
+        e.external = p.f1 != 0;
+        sink.Consume(e);
+        break;
+      }
+      case kPackedEnterprise: {
+        EnterpriseEvent e;
+        e.ts = p.ts;
+        e.user = p.user;
+        e.object = p.e1;
+        e.aspect = static_cast<EnterpriseAspect>(p.f1);
+        e.event_id = p.f2;
+        sink.Consume(e);
+        break;
+      }
+      case kPackedProxy: {
+        ProxyEvent e;
+        e.ts = p.ts;
+        e.user = p.user;
+        e.domain = p.e1;
+        e.bytes = p.e2;
+        e.success = p.f1 != 0;
+        sink.Consume(e);
+        break;
+      }
+      default:
+        throw std::runtime_error("spool: unknown record type (corrupt spool?)");
+    }
+    ++replayed;
+    cur.Advance();
+    if (!cur.empty()) heap.push({cur.head_day(), i});
+  }
+  ACOBE_COUNT("spool.events_replayed", replayed);
+}
+
+void ShardSpooler::Consume(const LogonEvent& e) {
+  PackedEvent p;
+  p.ts = e.ts;
+  p.user = e.user;
+  p.e1 = e.pc;
+  p.type = kPackedLogon;
+  p.f1 = static_cast<std::uint8_t>(e.activity);
+  Offer(p);
+}
+
+void ShardSpooler::Consume(const DeviceEvent& e) {
+  PackedEvent p;
+  p.ts = e.ts;
+  p.user = e.user;
+  p.e1 = e.pc;
+  p.type = kPackedDevice;
+  p.f1 = static_cast<std::uint8_t>(e.activity);
+  Offer(p);
+}
+
+void ShardSpooler::Consume(const FileEvent& e) {
+  PackedEvent p;
+  p.ts = e.ts;
+  p.user = e.user;
+  p.e1 = e.pc;
+  p.e2 = e.file;
+  p.type = kPackedFile;
+  p.f1 = static_cast<std::uint8_t>(e.activity);
+  p.f2 = static_cast<std::uint16_t>(static_cast<int>(e.from) |
+                                    (static_cast<int>(e.to) << 1));
+  Offer(p);
+}
+
+void ShardSpooler::Consume(const HttpEvent& e) {
+  PackedEvent p;
+  p.ts = e.ts;
+  p.user = e.user;
+  p.e1 = e.pc;
+  p.e2 = e.domain;
+  p.type = kPackedHttp;
+  p.f1 = static_cast<std::uint8_t>(e.activity);
+  p.f2 = static_cast<std::uint16_t>(e.filetype);
+  Offer(p);
+}
+
+void ShardSpooler::Consume(const EmailEvent& e) {
+  PackedEvent p;
+  p.ts = e.ts;
+  p.user = e.user;
+  p.e1 = e.size_bytes;
+  p.e2 = (static_cast<std::uint32_t>(e.recipient_count) << 16) |
+         e.attachment_count;
+  p.type = kPackedEmail;
+  p.f1 = e.external ? 1 : 0;
+  Offer(p);
+}
+
+void ShardSpooler::Consume(const EnterpriseEvent& e) {
+  PackedEvent p;
+  p.ts = e.ts;
+  p.user = e.user;
+  p.e1 = e.object;
+  p.type = kPackedEnterprise;
+  p.f1 = static_cast<std::uint8_t>(e.aspect);
+  p.f2 = e.event_id;
+  Offer(p);
+}
+
+void ShardSpooler::Consume(const ProxyEvent& e) {
+  PackedEvent p;
+  p.ts = e.ts;
+  p.user = e.user;
+  p.e1 = e.domain;
+  p.e2 = e.bytes;
+  p.type = kPackedProxy;
+  p.f1 = e.success ? 1 : 0;
+  Offer(p);
+}
+
+}  // namespace acobe

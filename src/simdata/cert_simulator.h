@@ -63,6 +63,11 @@ class CertSimulator {
   void Run(LogSink& sink);
 
   const OrgModel& org() const { return *org_; }
+  /// The resolved environmental-change schedule (config-supplied or the
+  /// defaults sampled from the seed). Sharded generation probes this
+  /// once from a minimal simulator and passes it to every shard via
+  /// CertSimConfig::env_changes, so org-wide bursts stay org-wide.
+  const std::vector<EnvChange>& env_changes() const { return env_changes_; }
   const GroundTruth& truth() const { return truth_; }
   const OrgCalendar& calendar() const { return calendar_; }
   const std::vector<InsiderScenario>& scenarios() const { return scenarios_; }

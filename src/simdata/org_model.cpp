@@ -6,13 +6,15 @@
 namespace acobe::sim {
 
 std::string MakeUserName(Rng& rng, int ordinal) {
-  char buf[16];
+  char buf[20];
   const char a = static_cast<char>('A' + rng.NextInt(0, 25));
   const char b = static_cast<char>('A' + rng.NextInt(0, 25));
   const char c = static_cast<char>('A' + rng.NextInt(0, 25));
-  // Ordinal in the digits guarantees uniqueness regardless of the
-  // random letters.
-  std::snprintf(buf, sizeof(buf), "%c%c%c%04d", a, b, c, ordinal % 10000);
+  // The full ordinal in the digits guarantees uniqueness regardless of
+  // the random letters. It must not be taken modulo anything: wrapping
+  // at 10000 merged distinct users into one name at 100k scale, which
+  // silently fused their event streams.
+  std::snprintf(buf, sizeof(buf), "%c%c%c%04d", a, b, c, ordinal);
   return buf;
 }
 
@@ -22,17 +24,19 @@ OrgModel::OrgModel(const OrgConfig& config, LogStore& store) {
   }
   Rng rng(config.seed);
   for (int d = 0; d < config.departments; ++d) {
-    departments_.push_back("Department-" + std::to_string(d + 1));
+    departments_.push_back(
+        "Department-" + std::to_string(config.first_department + d + 1));
   }
-  int ordinal = 0;
+  int ordinal = config.first_ordinal;
   for (int d = 0; d < config.departments; ++d) {
+    const int global_dept = config.first_department + d;
     const int count = config.users_per_department +
-                      (d == 0 ? config.extra_users : 0);
+                      (global_dept == 0 ? config.extra_users : 0);
     for (int i = 0; i < count; ++i, ++ordinal) {
       OrgUser user;
       user.name = MakeUserName(rng, ordinal);
       user.id = store.users().Intern(user.name);
-      user.department = d;
+      user.department = global_dept;
       user.own_pc = store.pcs().Intern("PC-" + std::to_string(ordinal));
       users_.push_back(user);
 

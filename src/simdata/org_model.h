@@ -18,12 +18,19 @@ struct OrgConfig {
   /// Extra users appended to the first department to hit odd totals.
   int extra_users = 1;
   std::uint64_t seed = 0xACBE;
+  /// Global offsets for sharded generation: this model covers
+  /// departments [first_department, first_department + departments)
+  /// of a larger organization, numbering users from first_ordinal so
+  /// names and PCs stay globally unique. `extra_users` applies to
+  /// global department 0 only. Both 0 for a whole-org model.
+  int first_department = 0;
+  int first_ordinal = 0;
 };
 
 struct OrgUser {
   UserId id = kInvalidId;
   std::string name;       // CERT-style, e.g. "JPH1910"
-  int department = 0;     // index into department names
+  int department = 0;     // global department index
   PcId own_pc = kInvalidId;
 };
 
@@ -37,7 +44,7 @@ class OrgModel {
     return departments_;
   }
 
-  /// Users belonging to department index `dept`.
+  /// Users belonging to global department index `dept`.
   std::vector<UserId> DepartmentMembers(int dept) const;
 
   const OrgUser& UserById(UserId id) const;
@@ -49,8 +56,10 @@ class OrgModel {
   std::vector<std::string> departments_;
 };
 
-/// Generates a CERT-style user name: three uppercase letters + four
-/// digits, unique for the given ordinal.
+/// Generates a CERT-style user name: three uppercase letters + the
+/// ordinal zero-padded to at least four digits, unique for the given
+/// ordinal (the digits widen past 9999 instead of wrapping, so a
+/// 100k-user org cannot mint colliding names).
 std::string MakeUserName(Rng& rng, int ordinal);
 
 }  // namespace acobe::sim

@@ -51,6 +51,19 @@ TEST(MeasurementCubeTest, RegisterAndAccumulate) {
   EXPECT_FLOAT_EQ(cube.At(idx, 1, 2, 0), 0.0f);
 }
 
+TEST(MeasurementCubeTest, RejectedAccumulateDoesNotRegisterUser) {
+  // The bounds check must fire before the user is registered: a single
+  // malformed row rejected under the permissive-ingest error budget
+  // must not leave a phantom all-zero user behind in the cube.
+  MeasurementCube cube(kStart, 5, 2, 2);
+  EXPECT_THROW(cube.Accumulate(7, 2, kStart, 0), std::out_of_range);
+  EXPECT_THROW(cube.Accumulate(7, -1, kStart, 0), std::out_of_range);
+  EXPECT_THROW(cube.Accumulate(7, 0, kStart, 2), std::out_of_range);
+  EXPECT_THROW(cube.Accumulate(7, 0, kStart, -1), std::out_of_range);
+  EXPECT_EQ(cube.users(), 0);
+  EXPECT_EQ(cube.UserIndex(7), -1);
+}
+
 TEST(MeasurementCubeTest, OutOfRangeDaysIgnored) {
   MeasurementCube cube(kStart, 5, 1, 1);
   cube.Accumulate(1, 0, kStart.AddDays(-1), 0);

@@ -273,6 +273,44 @@ TEST(DriftTest, NearestRankQuantile) {
   EXPECT_DOUBLE_EQ(NearestRankQuantile({3.5}, 0.25), 3.5);
 }
 
+TEST(DriftTest, NearZeroReferenceNeedsAbsoluteShiftToAlert) {
+  // Sparse aspects commonly have a reference median of ~0; any tiny
+  // numeric wobble then explodes the *relative* shift. The absolute
+  // floor keeps those from becoming a false-alert storm.
+  ScoreGrid reference({"sparse"}, 4, 0, 10);
+  ScoreGrid current({"sparse"}, 4, 10, 20);
+  for (int u = 0; u < 4; ++u) {
+    for (int d = 0; d < 10; ++d) {
+      reference.At(0, u, d) = 1e-9f;
+      current.At(0, u, 10 + d) = 5e-8f;  // 50x relative, ~5e-8 absolute
+    }
+  }
+  DriftConfig cfg;
+  cfg.enabled = true;
+  const auto drift = ComputeScoreDrift(reference, current, cfg);
+  ASSERT_EQ(drift.size(), 1u);
+  EXPECT_FALSE(drift[0].alert);
+  for (const QuantileShift& s : drift[0].shifts) EXPECT_FALSE(s.alert);
+
+  // Dropping the floor restores the storm, proving the floor is what
+  // suppressed it.
+  cfg.min_abs_shift = 0.0;
+  const auto noisy = ComputeScoreDrift(reference, current, cfg);
+  ASSERT_EQ(noisy.size(), 1u);
+  EXPECT_TRUE(noisy[0].alert);
+}
+
+TEST(DriftTest, GaugeNamesAreCompact) {
+  EXPECT_EQ(DriftGaugeName("device", 0.5), "drift.device.q50");
+  EXPECT_EQ(DriftGaugeName("device", 0.9), "drift.device.q90");
+  EXPECT_EQ(DriftGaugeName("device", 0.99), "drift.device.q99");
+  EXPECT_EQ(DriftGaugeName("device", 0.995), "drift.device.q99.5");
+  // 0.29 * 100 is 28.999... in binary floating point; the name must
+  // round to the integer, not trail a spurious ".0".
+  EXPECT_EQ(DriftGaugeName("device", 0.29), "drift.device.q29");
+  EXPECT_EQ(DriftGaugeName("http", 0.999), "drift.http.q99.9");
+}
+
 TEST(DriftTest, ShiftedDistributionRaisesAlert) {
   // Reference scores ~1.0; current scores doubled: every quantile
   // shifts by +100%, far past the 25% threshold.

@@ -72,9 +72,23 @@ TEST(ReportTest, PrecisionAtK) {
   EXPECT_DOUBLE_EQ(eval::PrecisionAtK(flags, 1), 1.0);
   EXPECT_DOUBLE_EQ(eval::PrecisionAtK(flags, 2), 0.5);
   EXPECT_DOUBLE_EQ(eval::PrecisionAtK(flags, 4), 0.5);
-  EXPECT_DOUBLE_EQ(eval::PrecisionAtK(flags, 10), 0.5);  // clamped to list
+  // k beyond the list: the denominator stays k. Both insiders found,
+  // but 6 of 10 budgeted investigation slots go unfilled.
+  EXPECT_DOUBLE_EQ(eval::PrecisionAtK(flags, 10), 0.2);
   EXPECT_DOUBLE_EQ(eval::PrecisionAtK(flags, 0), 0.0);
   EXPECT_DOUBLE_EQ(eval::PrecisionAtK({}, 3), 0.0);
+}
+
+// Regression for the precision@k inflation bug: a department with fewer
+// flagged users than the cutoff used to divide by the list length,
+// reporting a 1-insider-in-1-entry list as precision@10 == 1.0.
+TEST(ReportTest, PrecisionAtKBeyondListIsNotInflated) {
+  const auto one_hit = Flags({1});
+  EXPECT_DOUBLE_EQ(eval::PrecisionAtK(one_hit, 10), 0.1);
+  const auto all_hits = Flags({1, 1, 1});
+  EXPECT_DOUBLE_EQ(eval::PrecisionAtK(all_hits, 5), 0.6);
+  // k within the list is unaffected.
+  EXPECT_DOUBLE_EQ(eval::PrecisionAtK(all_hits, 3), 1.0);
 }
 
 TEST(ReportTest, QualityEventCarriesMetrics) {

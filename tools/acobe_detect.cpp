@@ -6,6 +6,7 @@
 //                [--omega=N] [--epochs=N] [--votes=N] [--top=N]
 //                [--threads=N] [--ingest=strict|permissive|quarantine]
 //                [--error-budget=R] [--quarantine-dir=DIR]
+//                [--stream] [--shards=N] [--spool-dir=DIR]
 //                [--checkpoint-dir=DIR] [--resume]
 //                [--explain-out=FILE] [--ledger-out=FILE]
 //                [--metrics-out=FILE] [--trace-out=FILE] [--version]
@@ -14,6 +15,20 @@
 // ACOBE_THREADS environment variable, else hardware concurrency).
 // Results are identical for any thread count, and identical with
 // telemetry on or off.
+//
+// Out-of-core mode: --stream replaces the in-memory LogStore with the
+// streaming data plane (logs/spool.h). Pass A reads each CSV once and
+// spools packed events into per-shard files (departments hash to
+// shards); pass B replays one shard at a time into per-department
+// measurement cubes, so peak memory is bounded by the largest shard
+// instead of the whole organization. Output — stdout, --explain-out,
+// --ledger-out — is byte-identical to the in-memory path on the same
+// dataset: both paths share the CSV parsers (same interning, same
+// recovery policy), cubes are order-free within a day, and results are
+// emitted in the canonical LDAP department order either way.
+// --shards (default 8) tunes the memory/seek tradeoff; --spool-dir
+// (default DIR/.acobe-spool) places the spool files, which are removed
+// on exit.
 //
 // Fault tolerance: --ingest=permissive skips malformed CSV rows under a
 // bounded error budget (--error-budget, default 5%) instead of aborting
@@ -42,9 +57,11 @@
 //
 // Telemetry: a run report always lands on stderr; --metrics-out writes
 // the metrics registry as JSON (counters, per-phase span timings,
-// per-aspect per-epoch losses), --trace-out writes a chrome://tracing /
-// Perfetto trace with spans attributed to worker threads.
+// per-aspect per-epoch losses, the process peak RSS), --trace-out
+// writes a chrome://tracing / Perfetto trace with spans attributed to
+// worker threads.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -53,6 +70,7 @@
 #include <iostream>
 #include <limits>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -67,7 +85,9 @@
 #include "core/detector.h"
 #include "eval/report.h"
 #include "features/cert_features.h"
+#include "features/shard_extract.h"
 #include "logs/log_io.h"
+#include "logs/spool.h"
 
 using namespace acobe;
 
@@ -83,6 +103,10 @@ constexpr std::int64_t kTsMax = 4102444800;
 // is ~43.8k days).
 constexpr int kMaxDaySpan = 44000;
 
+// Packed-event buffer budget for the spooler (pass A) and its replay
+// cursors (pass B).
+constexpr std::size_t kSpoolBufferBytes = 256u << 20;
+
 void Usage() {
   std::printf(
       "acobe-detect --in=DIR --train-end=YYYY-MM-DD\n"
@@ -90,6 +114,7 @@ void Usage() {
       "             [--votes=N] [--top=N] [--threads=N]\n"
       "             [--ingest=strict|permissive|quarantine]\n"
       "             [--error-budget=R] [--quarantine-dir=DIR]\n"
+      "             [--stream] [--shards=N] [--spool-dir=DIR]\n"
       "             [--checkpoint-dir=DIR] [--resume]\n"
       "             [--explain-out=FILE] [--ledger-out=FILE]\n"
       "             [--metrics-out=FILE] [--trace-out=FILE] [--version]\n"
@@ -101,6 +126,10 @@ void Usage() {
       "  --ingest=POLICY     malformed-row policy (default strict)\n"
       "  --error-budget=R    abort past this rejected-row fraction (def 0.05)\n"
       "  --quarantine-dir=D  write rejected raw rows under D\n"
+      "  --stream            out-of-core mode: spool events to disk and\n"
+      "                      process one department shard at a time\n"
+      "  --shards=N          department shards in --stream mode (def 8)\n"
+      "  --spool-dir=D       spool-file directory (def DIR/.acobe-spool)\n"
       "  --checkpoint-dir=D  save per-aspect models under D as they train\n"
       "  --resume            reuse matching checkpoints from a killed run\n"
       "  --explain-out=F     write per-detection attribution JSON to F\n"
@@ -112,14 +141,19 @@ void Usage() {
       "artifact\n");
 }
 
-using CsvReader = IngestStats (*)(std::istream&, LogStore&,
-                                  const IngestOptions&, const std::string&);
+using BufferedReader = IngestStats (*)(std::istream&, LogStore&,
+                                       const IngestOptions&,
+                                       const std::string&);
+using StreamingReader = IngestStats (*)(std::istream&, EntityCatalog&,
+                                        LogSink&, const IngestOptions&,
+                                        const std::string&);
 
-/// Reads one log CSV under the run's ingest policy, wiring up the
-/// per-file quarantine sink. Returns false when the file is absent.
-bool ReadInto(const std::string& dir, const std::string& name, LogStore& store,
-              CsvReader reader, IngestOptions options,
-              const std::string& quarantine_dir, IngestStats& total) {
+/// Wires the per-file quarantine sink into one read. Returns false when
+/// the file is absent; runs `read` with the final options otherwise.
+template <typename ReadFn>
+bool ReadOneCsv(const std::string& dir, const std::string& name,
+                IngestOptions options, const std::string& quarantine_dir,
+                IngestStats& total, ReadFn&& read) {
   std::ifstream in(dir + "/" + name);
   if (!in) return false;
   std::ofstream sink;
@@ -127,7 +161,7 @@ bool ReadInto(const std::string& dir, const std::string& name, LogStore& store,
     sink.open(quarantine_dir + "/" + name + ".rejected");
     options.quarantine = &sink;
   }
-  const IngestStats stats = reader(in, store, options, name);
+  const IngestStats stats = read(in, options);
   if (stats.rows_rejected > 0) {
     std::fprintf(stderr,
                  "acobe-detect: %s: rejected %zu/%zu rows (first: %s)\n",
@@ -201,8 +235,10 @@ void JsonStr(std::ostream& out, std::string_view s) {
   out << '"';
 }
 
-/// One department's full output, retained for the explain report and
-/// the ledger (written once all departments have run).
+/// One department's full output, retained for the emit stage, the
+/// explain report and the ledger. Both detection paths buffer these and
+/// emit in canonical LDAP department order, which is what makes their
+/// stdout and artifacts byte-identical.
 struct DeptResult {
   std::string name;
   DetectionOutput out;
@@ -306,7 +342,8 @@ void WriteDriftJson(std::ostream& out, const std::vector<AspectDrift>& drift) {
 /// attribution and the drift table. acobe-explain renders this without
 /// recomputing anything.
 void WriteExplainJson(std::ostream& out, const std::vector<DeptResult>& results,
-                      const LogStore& store, const FeatureCatalog& catalog,
+                      const EntityCatalog& tables,
+                      const FeatureCatalog& catalog,
                       const TimeFramePartition& partition, Date start,
                       const std::string& in_dir, std::uint32_t dataset_digest,
                       int train_end, int test_end, int top) {
@@ -346,7 +383,7 @@ void WriteExplainJson(std::ostream& out, const std::vector<DeptResult>& results,
       const UserId user = result.out.members[result.out.list[i].user_idx];
       if (i) out << ',';
       out << "{\"rank\":" << i + 1 << ",\"user\":";
-      JsonStr(out, store.users().NameOf(user));
+      JsonStr(out, tables.users().NameOf(user));
       out << ",\"priority\":";
       telemetry::JsonNumber(out, result.out.list[i].priority);
       out << '}';
@@ -355,9 +392,9 @@ void WriteExplainJson(std::ostream& out, const std::vector<DeptResult>& results,
     for (std::size_t i = 0; i < result.out.attributions.size(); ++i) {
       const UserAttribution& ua = result.out.attributions[i];
       if (i) out << ',';
-      WriteAttributionJson(out, ua,
-                           store.users().NameOf(result.out.members[ua.user_idx]),
-                           catalog, partition, start);
+      WriteAttributionJson(
+          out, ua, tables.users().NameOf(result.out.members[ua.user_idx]),
+          catalog, partition, start);
     }
     out << "],\"drift\":";
     WriteDriftJson(out, result.out.drift);
@@ -396,6 +433,95 @@ void PrintAttribution(const UserAttribution& ua, const std::string& user_name,
   }
 }
 
+/// Emit stage, shared by both detection paths: the printed list and
+/// attributions for one department.
+void PrintDeptResult(const DeptResult& result, const EntityCatalog& tables,
+                     const FeatureCatalog& catalog,
+                     const TimeFramePartition& partition, Date start,
+                     int top) {
+  const DetectionOutput& out = result.out;
+  std::printf("\n=== %s (%zu users) ===\n", result.name.c_str(),
+              out.members.size());
+  for (std::size_t i = 0;
+       i < out.list.size() && i < static_cast<std::size_t>(top); ++i) {
+    const UserId user = out.members[out.list[i].user_idx];
+    std::printf("%3zu. %-10s priority %.0f\n", i + 1,
+                tables.users().NameOf(user).c_str(), out.list[i].priority);
+  }
+  if (!out.attributions.empty()) {
+    std::printf("\n  why (top reconstruction-error cells):\n");
+    for (const UserAttribution& ua : out.attributions) {
+      PrintAttribution(ua, tables.users().NameOf(out.members[ua.user_idx]),
+                       catalog, partition, start);
+    }
+  }
+}
+
+/// Emit stage: one department's ledger events (training summaries,
+/// detection, drift, quality vs truth).
+void AppendDeptLedger(RunLedger& ledger, const DeptResult& result,
+                      const EntityCatalog& tables, int top,
+                      const std::map<std::string, std::pair<Date, Date>>&
+                          truth) {
+  const DetectionOutput& out = result.out;
+  for (const AspectTrainSummary& summary : out.train_summaries) {
+    LedgerEvent event("aspect_trained");
+    event.Str("department", result.name)
+        .Str("aspect", summary.name)
+        .Int("attempts", summary.attempts)
+        .Bool("resumed", summary.resumed)
+        .Bool("ok", summary.ok)
+        .Int("epochs", summary.epochs)
+        .Num("final_loss", summary.final_loss)
+        .NumList("epoch_losses", summary.epoch_losses);
+    ledger.Append(event);
+  }
+  LedgerEvent detection("detection");
+  detection.Str("department", result.name)
+      .Int("members", static_cast<std::int64_t>(out.members.size()))
+      .Int("score_digest", out.grid.Digest())
+      .StrList("degraded_aspects", out.degraded_aspects);
+  std::ostringstream listed;
+  listed << '[';
+  const std::size_t shown =
+      std::min<std::size_t>(out.list.size(), static_cast<std::size_t>(top));
+  for (std::size_t i = 0; i < shown; ++i) {
+    if (i) listed << ',';
+    listed << "{\"user\":";
+    JsonStr(listed, tables.users().NameOf(out.members[out.list[i].user_idx]));
+    listed << ",\"priority\":";
+    telemetry::JsonNumber(listed, out.list[i].priority);
+    listed << '}';
+  }
+  listed << ']';
+  detection.Raw("list", listed.str());
+  ledger.Append(detection);
+
+  if (!out.drift.empty()) {
+    std::ostringstream drift_json;
+    WriteDriftJson(drift_json, out.drift);
+    LedgerEvent drift("drift");
+    drift.Str("department", result.name).Raw("aspects", drift_json.str());
+    ledger.Append(drift);
+  }
+  if (!truth.empty()) {
+    std::vector<eval::RankedUser> ranked;
+    ranked.reserve(out.list.size());
+    for (const InvestigationEntry& entry : out.list) {
+      const UserId user = out.members[entry.user_idx];
+      eval::RankedUser r;
+      r.user = user;
+      r.priority = entry.priority;
+      r.positive = truth.count(tables.users().NameOf(user)) > 0;
+      ranked.push_back(r);
+    }
+    static const std::size_t kCutoffs[] = {1, 3, 5, 10};
+    LedgerEvent quality =
+        eval::MakeQualityEvent(result.name, std::move(ranked), kCutoffs);
+    ledger.Append(quality);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -403,9 +529,10 @@ int main(int argc, char** argv) {
   std::string train_end_text, test_end_text;
   std::string metrics_out, trace_out;
   std::string explain_out, ledger_out;
-  std::string quarantine_dir, checkpoint_dir;
+  std::string quarantine_dir, checkpoint_dir, spool_dir;
   int omega = 14, epochs = 25, votes = 2, top = 10, threads = 0;
-  bool resume = false;
+  int shards = 8;
+  bool resume = false, stream = false;
   IngestOptions ingest;
   ingest.ts_min = kTsMin;
   ingest.ts_max = kTsMax;
@@ -436,6 +563,12 @@ int main(int argc, char** argv) {
         ingest.error_budget = cli::ParseDouble(arg, arg + 15, 0.0, 1.0);
       } else if (std::strncmp(arg, "--quarantine-dir=", 17) == 0) {
         quarantine_dir = arg + 17;
+      } else if (std::strcmp(arg, "--stream") == 0) {
+        stream = true;
+      } else if (std::strncmp(arg, "--shards=", 9) == 0) {
+        shards = static_cast<int>(cli::ParseInt(arg, arg + 9, 1, 65536));
+      } else if (std::strncmp(arg, "--spool-dir=", 12) == 0) {
+        spool_dir = arg + 12;
       } else if (std::strncmp(arg, "--checkpoint-dir=", 17) == 0) {
         checkpoint_dir = arg + 17;
       } else if (std::strcmp(arg, "--resume") == 0) {
@@ -493,6 +626,7 @@ int main(int argc, char** argv) {
       return kExitFailure;
     }
   }
+  if (spool_dir.empty()) spool_dir = in_dir + "/.acobe-spool";
   // Provenance is driven by the output flags: asking for an explain
   // report or a ledger turns attribution + drift on; neither flag, and
   // the detection path runs exactly as before (bit-identical scores).
@@ -501,35 +635,109 @@ int main(int argc, char** argv) {
   telemetry::EnableMetrics(true);
   telemetry::EnableTracing(!trace_out.empty());
 
-  LogStore store;
+  // --- ingest (pass A) -----------------------------------------------------
+  // In-memory mode buffers every stream in a LogStore; streaming mode
+  // keeps only the entity catalog resident and spools packed events to
+  // per-shard files. Both leave the same catalog and the same event-day
+  // range behind.
+  LogStore store;                       // in-memory mode (unused otherwise)
+  EntityCatalog streaming_tables;       // streaming mode
+  EntityCatalog& tables =
+      stream ? streaming_tables : static_cast<EntityCatalog&>(store);
+  std::unique_ptr<ShardSpooler> spooler;
   IngestStats ingest_stats;
-  bool any = false;
+  Timestamp lo = std::numeric_limits<Timestamp>::max();
+  Timestamp hi = std::numeric_limits<Timestamp>::min();
+
   try {
-    any |= ReadInto(in_dir, "device.csv", store, ReadDeviceCsv, ingest,
-                    quarantine_dir, ingest_stats);
-    any |= ReadInto(in_dir, "file.csv", store, ReadFileCsv, ingest,
-                    quarantine_dir, ingest_stats);
-    any |= ReadInto(in_dir, "http.csv", store, ReadHttpCsv, ingest,
-                    quarantine_dir, ingest_stats);
-    any |= ReadInto(in_dir, "logon.csv", store, ReadLogonCsv, ingest,
-                    quarantine_dir, ingest_stats);
-    // The population roster must be intact in every policy: a dropped
-    // ldap row silently deletes a user from the study.
-    IngestOptions roster = ingest;
-    roster.policy = IngestPolicy::kStrict;
-    if (!ReadInto(in_dir, "ldap.csv", store, ReadLdapCsv, roster,
-                  quarantine_dir, ingest_stats) ||
-        !any) {
-      std::fprintf(stderr, "no readable logs under %s\n", in_dir.c_str());
-      return kExitBadInput;
+    if (stream) {
+      // The roster first: departments define the shard routing. Always
+      // strict — a dropped ldap row silently deletes a user.
+      IngestOptions roster = ingest;
+      roster.policy = IngestPolicy::kStrict;
+      const bool have_roster = ReadOneCsv(
+          in_dir, "ldap.csv", roster, quarantine_dir, ingest_stats,
+          [&](std::istream& in, const IngestOptions& opts) {
+            return ReadLdapCsv(in, tables, opts, "ldap.csv");
+          });
+      if (!have_roster || tables.ldap().empty()) {
+        std::fprintf(stderr, "no readable logs under %s\n", in_dir.c_str());
+        return kExitBadInput;
+      }
+      const std::vector<std::string> departments = tables.Departments();
+      const int n_shards =
+          std::max(1, std::min(shards, static_cast<int>(departments.size())));
+      spooler = std::make_unique<ShardSpooler>(spool_dir, n_shards,
+                                               kSpoolBufferBytes);
+      std::map<std::string, int> dept_shard;
+      for (std::size_t d = 0; d < departments.size(); ++d) {
+        dept_shard[departments[d]] = static_cast<int>(d) % n_shards;
+      }
+      for (const LdapRecord& r : tables.ldap()) {
+        spooler->AssignUser(r.user, dept_shard[r.department]);
+      }
+      auto read_stream = [&](const char* name, StreamingReader reader) {
+        return ReadOneCsv(in_dir, name, ingest, quarantine_dir, ingest_stats,
+                          [&](std::istream& in, const IngestOptions& opts) {
+                            return reader(in, tables, *spooler, opts, name);
+                          });
+      };
+      bool any = false;
+      any |= read_stream("device.csv", ReadDeviceCsv);
+      any |= read_stream("file.csv", ReadFileCsv);
+      any |= read_stream("http.csv", ReadHttpCsv);
+      any |= read_stream("logon.csv", ReadLogonCsv);
+      if (!any) {
+        std::fprintf(stderr, "no readable logs under %s\n", in_dir.c_str());
+        return kExitBadInput;
+      }
+      spooler->Finish();
+      lo = spooler->ts_lo();
+      hi = spooler->ts_hi();
+      std::fprintf(stderr,
+                   "spooled %zu events into %d shards (%zu dropped: users "
+                   "outside the roster), %zu users\n",
+                   spooler->events_spooled(), spooler->shards(),
+                   spooler->events_dropped(), tables.users().size());
+    } else {
+      auto read_buffered = [&](const char* name, BufferedReader reader,
+                               const IngestOptions& opts) {
+        return ReadOneCsv(in_dir, name, opts, quarantine_dir, ingest_stats,
+                          [&](std::istream& in, const IngestOptions& o) {
+                            return reader(in, store, o, name);
+                          });
+      };
+      bool any = false;
+      any |= read_buffered("device.csv", ReadDeviceCsv, ingest);
+      any |= read_buffered("file.csv", ReadFileCsv, ingest);
+      any |= read_buffered("http.csv", ReadHttpCsv, ingest);
+      any |= read_buffered("logon.csv", ReadLogonCsv, ingest);
+      // The population roster must be intact in every policy: a dropped
+      // ldap row silently deletes a user from the study.
+      IngestOptions roster = ingest;
+      roster.policy = IngestPolicy::kStrict;
+      if (!read_buffered("ldap.csv", ReadLdapCsv, roster) || !any) {
+        std::fprintf(stderr, "no readable logs under %s\n", in_dir.c_str());
+        return kExitBadInput;
+      }
+      store.SortChronologically();
+      std::fprintf(stderr, "loaded %zu events, %zu users\n",
+                   store.TotalEvents(), store.users().size());
+      auto scan = [&](auto const& events) {
+        for (const auto& e : events) {
+          lo = std::min(lo, e.ts);
+          hi = std::max(hi, e.ts);
+        }
+      };
+      scan(store.devices());
+      scan(store.file_events());
+      scan(store.http_events());
+      scan(store.logons());
     }
   } catch (const IngestError& e) {
     std::fprintf(stderr, "acobe-detect: malformed input: %s\n", e.what());
     return kExitBadInput;
   }
-  store.SortChronologically();
-  std::fprintf(stderr, "loaded %zu events, %zu users\n", store.TotalEvents(),
-               store.users().size());
   if (ingest_stats.rows_rejected > 0 || ingest_stats.rows_deduped > 0) {
     std::fprintf(stderr,
                  "ingest: %zu rows read, %zu rejected, %zu quarantined, "
@@ -539,18 +747,6 @@ int main(int argc, char** argv) {
   }
 
   // Day range from the data itself.
-  Timestamp lo = std::numeric_limits<Timestamp>::max();
-  Timestamp hi = std::numeric_limits<Timestamp>::min();
-  auto scan = [&](auto const& events) {
-    for (const auto& e : events) {
-      lo = std::min(lo, e.ts);
-      hi = std::max(hi, e.ts);
-    }
-  };
-  scan(store.devices());
-  scan(store.file_events());
-  scan(store.http_events());
-  scan(store.logons());
   if (lo > hi) {
     std::fprintf(stderr, "no events\n");
     return kExitBadInput;
@@ -565,19 +761,6 @@ int main(int argc, char** argv) {
                  days, start.ToString().c_str(), last.ToString().c_str());
     return kExitBadInput;
   }
-
-  CertAcobeExtractor extractor(start, days);
-  {
-    telemetry::TraceSpan extract_span("detect.extract_features");
-    ReplayStore(store, extractor);
-    for (const LdapRecord& r : store.ldap()) {
-      extractor.cube().RegisterUser(r.user);
-    }
-  }
-  ACOBE_GAUGE_SET("features.days", extractor.cube().days());
-  ACOBE_GAUGE_SET("features.features", extractor.cube().features());
-  ACOBE_GAUGE_SET("features.frames", extractor.cube().frames());
-  ACOBE_GAUGE_SET("features.aspects", extractor.catalog().aspects().size());
 
   int train_end = 0, test_end = 0;
   try {
@@ -642,114 +825,117 @@ int main(int argc, char** argv) {
     ledger.Append(manifest);
   }
 
-  std::vector<DeptResult> results;
-  for (const std::string& department : store.Departments()) {
-    const auto members = store.UsersInDepartment(department);
-    if (members.size() < 3) continue;
-    std::printf("\n=== %s (%zu users) ===\n", department.c_str(),
-                members.size());
+  // A catalog-and-partition anchor for the emit stage. The in-memory
+  // path keeps its full extractor; the streaming path frees each
+  // shard's extractors as it goes, so the metadata lives here.
+  const CertAcobeExtractor meta(start, 1);
+
+  auto make_dept_spec = [&](const std::string& department) {
     DetectorSpec dept_spec = spec;
     if (!checkpoint_dir.empty()) {
       dept_spec.ensemble.checkpoint_dir =
           checkpoint_dir + "/" + SanitizePathComponent(department);
     }
-    const Detector detector(std::move(dept_spec));
-    DetectionOutput out;
-    try {
-      out = detector.Run(extractor.cube(), extractor.catalog(), members, 0,
-                         train_end, train_end, test_end);
-    } catch (const CheckpointMismatch& e) {
-      std::fprintf(stderr, "acobe-detect: corrupt artifact: %s\n", e.what());
-      return kExitCorruptArtifact;
-    }
+    return dept_spec;
+  };
+  auto warn_degraded = [](const std::string& department,
+                          const DetectionOutput& out) {
     for (const std::string& aspect : out.degraded_aspects) {
       std::fprintf(stderr,
                    "acobe-detect: WARNING: %s: aspect '%s' diverged on every "
                    "attempt; ranking without it\n",
                    department.c_str(), aspect.c_str());
     }
-    for (std::size_t i = 0;
-         i < out.list.size() && i < static_cast<std::size_t>(top); ++i) {
-      const UserId user = out.members[out.list[i].user_idx];
-      std::printf("%3zu. %-10s priority %.0f\n", i + 1,
-                  store.users().NameOf(user).c_str(), out.list[i].priority);
-    }
-    if (!out.attributions.empty()) {
-      std::printf("\n  why (top reconstruction-error cells):\n");
-      for (const UserAttribution& ua : out.attributions) {
-        PrintAttribution(ua, store.users().NameOf(out.members[ua.user_idx]),
-                         extractor.catalog(), extractor.partition(), start);
-      }
-    }
+  };
 
-    if (!ledger_out.empty()) {
-      for (const AspectTrainSummary& summary : out.train_summaries) {
-        LedgerEvent event("aspect_trained");
-        event.Str("department", department)
-            .Str("aspect", summary.name)
-            .Int("attempts", summary.attempts)
-            .Bool("resumed", summary.resumed)
-            .Bool("ok", summary.ok)
-            .Int("epochs", summary.epochs)
-            .Num("final_loss", summary.final_loss)
-            .NumList("epoch_losses", summary.epoch_losses);
-        ledger.Append(event);
-      }
-      LedgerEvent detection("detection");
-      detection.Str("department", department)
-          .Int("members", static_cast<std::int64_t>(out.members.size()))
-          .Int("score_digest", out.grid.Digest())
-          .StrList("degraded_aspects", out.degraded_aspects);
-      std::ostringstream listed;
-      listed << '[';
-      const std::size_t shown =
-          std::min<std::size_t>(out.list.size(), static_cast<std::size_t>(top));
-      for (std::size_t i = 0; i < shown; ++i) {
-        if (i) listed << ',';
-        listed << "{\"user\":";
-        JsonStr(
-            listed, store.users().NameOf(out.members[out.list[i].user_idx]));
-        listed << ",\"priority\":";
-        telemetry::JsonNumber(listed, out.list[i].priority);
-        listed << '}';
-      }
-      listed << ']';
-      detection.Raw("list", listed.str());
-      ledger.Append(detection);
-
-      if (!out.drift.empty()) {
-        std::ostringstream drift_json;
-        WriteDriftJson(drift_json, out.drift);
-        LedgerEvent drift("drift");
-        drift.Str("department", department).Raw("aspects", drift_json.str());
-        ledger.Append(drift);
-      }
-      if (!truth.empty()) {
-        std::vector<eval::RankedUser> ranked;
-        ranked.reserve(out.list.size());
-        for (const InvestigationEntry& entry : out.list) {
-          const UserId user = out.members[entry.user_idx];
-          eval::RankedUser r;
-          r.user = user;
-          r.priority = entry.priority;
-          r.positive = truth.count(store.users().NameOf(user)) > 0;
-          ranked.push_back(r);
+  // --- compute (pass B) ----------------------------------------------------
+  // Both paths leave `results` in the canonical department order.
+  std::vector<DeptResult> results;
+  try {
+    if (stream) {
+      const std::vector<std::string> departments = tables.Departments();
+      const int n_shards = spooler->shards();
+      for (int s = 0; s < n_shards; ++s) {
+        DepartmentDemux demux(start, days);
+        std::vector<std::pair<std::string, std::vector<UserId>>> shard_depts;
+        for (std::size_t d = 0; d < departments.size(); ++d) {
+          if (static_cast<int>(d) % n_shards != s) continue;
+          auto members = tables.UsersInDepartment(departments[d]);
+          if (members.size() < 3) continue;
+          demux.AddDepartment(departments[d], members);
+          shard_depts.emplace_back(departments[d], std::move(members));
         }
-        static const std::size_t kCutoffs[] = {1, 3, 5, 10};
-        LedgerEvent quality =
-            eval::MakeQualityEvent(department, std::move(ranked), kCutoffs);
-        ledger.Append(quality);
+        if (shard_depts.empty()) continue;
+        {
+          telemetry::TraceSpan extract_span("detect.extract_features");
+          spooler->Replay(s, demux);
+        }
+        for (int d = 0; d < demux.departments(); ++d) {
+          const auto& [department, members] = shard_depts[d];
+          const Detector detector(make_dept_spec(department));
+          DetectionOutput out =
+              detector.Run(demux.extractor(d).cube(), meta.catalog(), members,
+                           0, train_end, train_end, test_end);
+          warn_degraded(department, out);
+          results.push_back(DeptResult{department, std::move(out)});
+        }
+      }
+      // Shard order is not report order: restore the canonical LDAP
+      // department order before emitting anything.
+      std::map<std::string, std::size_t> order;
+      for (std::size_t d = 0; d < departments.size(); ++d) {
+        order[departments[d]] = d;
+      }
+      std::sort(results.begin(), results.end(),
+                [&](const DeptResult& a, const DeptResult& b) {
+                  return order[a.name] < order[b.name];
+                });
+      spooler->Remove();
+    } else {
+      CertAcobeExtractor extractor(start, days);
+      {
+        telemetry::TraceSpan extract_span("detect.extract_features");
+        ReplayStore(store, extractor);
+        for (const LdapRecord& r : store.ldap()) {
+          extractor.cube().RegisterUser(r.user);
+        }
+      }
+      for (const std::string& department : store.Departments()) {
+        const auto members = store.UsersInDepartment(department);
+        if (members.size() < 3) continue;
+        const Detector detector(make_dept_spec(department));
+        DetectionOutput out =
+            detector.Run(extractor.cube(), extractor.catalog(), members, 0,
+                         train_end, train_end, test_end);
+        warn_degraded(department, out);
+        results.push_back(DeptResult{department, std::move(out)});
       }
     }
-    results.push_back(DeptResult{department, std::move(out)});
+  } catch (const CheckpointMismatch& e) {
+    std::fprintf(stderr, "acobe-detect: corrupt artifact: %s\n", e.what());
+    return kExitCorruptArtifact;
+  }
+  ACOBE_GAUGE_SET("features.days", days);
+  ACOBE_GAUGE_SET("features.features",
+                  static_cast<int>(CertAcobeExtractor::kFeatureCount));
+  ACOBE_GAUGE_SET("features.frames", meta.partition().frame_count());
+  ACOBE_GAUGE_SET("features.aspects", meta.catalog().aspects().size());
+
+  // --- emit ----------------------------------------------------------------
+  for (const DeptResult& result : results) {
+    PrintDeptResult(result, tables, meta.catalog(), meta.partition(), start,
+                    top);
+    if (!ledger_out.empty()) {
+      AppendDeptLedger(ledger, result, tables, top, truth);
+    }
   }
 
   int exit_code = 0;
   if (!explain_out.empty()) {
     try {
       WriteFileAtomic(explain_out, [&](std::ostream& out) {
-        WriteExplainJson(out, results, store, extractor.catalog(),
-                         extractor.partition(), start, in_dir, dataset_digest,
+        WriteExplainJson(out, results, tables, meta.catalog(),
+                         meta.partition(), start, in_dir, dataset_digest,
                          train_end, test_end, top);
       });
       std::fprintf(stderr, "wrote %s\n", explain_out.c_str());

@@ -7,6 +7,7 @@
 //             [--start=YYYY-MM-DD] [--end=YYYY-MM-DD] [--rate=R]
 //             [--scenario1=DEPT:YYYY-MM-DD:DAYS]...
 //             [--scenario2=DEPT:YYYY-MM-DD:DAYS]...
+//             [--stream] [--shards=N]
 //             [--corrupt-rate=R] [--corrupt-seed=S]
 //             [--metrics-out=FILE] [--trace-out=FILE]
 //
@@ -16,14 +17,32 @@
 // ingestion fault tolerance. ldap.csv and truth.csv are never
 // corrupted: they define the population and the answer key, not the
 // event feed under test.
+//
+// Out-of-core mode: --stream simulates the organization in department
+// shards (--shards, default 16), appending each shard's rows straight
+// to the output CSVs instead of materializing every event in memory
+// first, so a 100k-user or 1M-user org generates in bounded RSS. The
+// org-wide environmental-change schedule is resolved once by a probe
+// simulator and shared by every shard, so group-correlated bursts stay
+// org-wide; user names, PCs and the ground truth are identical in
+// structure to the in-memory path. The sampled events themselves are
+// NOT byte-identical to a non-streamed run (each shard draws from its
+// own seeded stream, and rows land ordered by day within shard rather
+// than globally by timestamp) — both detectors re-order by day on
+// ingest, so either layout is valid input. --stream excludes
+// --corrupt-rate, which needs the rendered file in memory.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 #include "cli_util.h"
 #include "common/faults.h"
@@ -60,11 +79,180 @@ void Usage() {
       "acobe-gen --out=DIR [--users=N] [--departments=N] [--seed=S]\n"
       "          [--start=YYYY-MM-DD] [--end=YYYY-MM-DD] [--rate=R]\n"
       "          [--scenario1=DEPT:DATE:DAYS] [--scenario2=DEPT:DATE:DAYS]\n"
+      "          [--stream] [--shards=N]\n"
       "          [--corrupt-rate=R] [--corrupt-seed=S]\n"
       "          [--metrics-out=FILE] [--trace-out=FILE] [--version]\n"
+      "  --stream          generate in department shards, appending to the\n"
+      "                    CSVs as each shard completes (bounded memory)\n"
+      "  --shards=N        department shards in --stream mode (default 16)\n"
       "  --corrupt-rate=R  corrupt fraction R of event-CSV rows (0..1)\n"
       "  --corrupt-seed=S  fault-injection seed (default 99)\n"
       "  --version         print build identity and exit\n");
+}
+
+/// One output CSV landed with the same tmp-then-rename discipline as
+/// WriteFileAtomic, but held open across the shard loop so rows stream
+/// straight to disk instead of being rendered in memory first. An
+/// interrupted run leaves only .tmp files behind, never a torn CSV.
+class StreamedCsv {
+ public:
+  explicit StreamedCsv(std::string path)
+      : path_(std::move(path)),
+        tmp_(path_ + ".tmp." + std::to_string(static_cast<long>(::getpid()))),
+        out_(tmp_, std::ios::binary | std::ios::trunc) {}
+
+  ~StreamedCsv() {
+    if (!committed_) {
+      out_.close();
+      std::remove(tmp_.c_str());
+    }
+  }
+
+  std::ostream& stream() { return out_; }
+  bool ok() const { return static_cast<bool>(out_); }
+  const std::string& path() const { return path_; }
+
+  /// Flush and rename into place. False on any I/O error.
+  bool Commit() {
+    out_.flush();
+    if (!out_) return false;
+    out_.close();
+    if (std::rename(tmp_.c_str(), path_.c_str()) != 0) return false;
+    committed_ = true;
+    return true;
+  }
+
+ private:
+  std::string path_;
+  std::string tmp_;
+  std::ofstream out_;
+  bool committed_ = false;
+};
+
+/// The --stream path: per-shard simulation appended to shared CSVs.
+int GenerateStreamed(sim::CertSimConfig base,
+                     const std::vector<ScenarioArg>& scenarios,
+                     const std::string& out_dir, int shards) {
+  const int total_depts = base.org.departments;
+  const int n_shards = std::max(1, std::min(shards, total_depts));
+  for (const ScenarioArg& s : scenarios) {
+    if (s.department < 0 || s.department >= total_depts) {
+      std::fprintf(stderr, "acobe-gen: scenario department %d out of range\n",
+                   s.department);
+      return kExitUsage;
+    }
+  }
+
+  // Probe: resolve the org-wide environmental-change schedule once,
+  // from the base seed, and hand the result to every shard. Without
+  // this each shard's mixed seed would sample its own schedule and the
+  // "org-wide" bursts would stop being org-wide.
+  {
+    sim::CertSimConfig probe_cfg = base;
+    probe_cfg.org.departments = 1;
+    probe_cfg.org.users_per_department = 1;
+    probe_cfg.org.extra_users = 0;
+    LogStore probe_store;
+    const sim::CertSimulator probe(probe_cfg, probe_store);
+    base.env_changes = probe.env_changes();
+    base.default_env_changes = false;
+  }
+
+  StreamedCsv device(out_dir + "/device.csv");
+  StreamedCsv file(out_dir + "/file.csv");
+  StreamedCsv http(out_dir + "/http.csv");
+  StreamedCsv logon(out_dir + "/logon.csv");
+  StreamedCsv ldap(out_dir + "/ldap.csv");
+  for (StreamedCsv* csv : {&device, &file, &http, &logon, &ldap}) {
+    if (!csv->ok()) {
+      std::fprintf(stderr, "acobe-gen: cannot open %s for writing\n",
+                   csv->path().c_str());
+      return kExitFailure;
+    }
+  }
+
+  std::vector<sim::InsiderScenario> all_scenarios;
+  std::size_t total_events = 0, total_users = 0;
+  for (int s = 0; s < n_shards; ++s) {
+    const int lo = static_cast<int>(
+        static_cast<std::int64_t>(total_depts) * s / n_shards);
+    const int hi = static_cast<int>(
+        static_cast<std::int64_t>(total_depts) * (s + 1) / n_shards);
+    sim::CertSimConfig cfg = base;
+    cfg.org.first_department = lo;
+    cfg.org.departments = hi - lo;
+    // Users are numbered globally; department 0 carries the extras.
+    cfg.org.first_ordinal = lo * base.org.users_per_department +
+                            (lo > 0 ? base.org.extra_users : 0);
+    // Mix the shard index into the seed: reusing the base seed would
+    // restart every shard's per-user RNG forks at user.id 0 and clone
+    // the same behavior profiles across shards.
+    cfg.seed = base.seed ^ (0x9E3779B97F4A7C15ull * (s + 1));
+
+    LogStore shard_store;
+    sim::CertSimulator simulator(cfg, shard_store);
+    for (const ScenarioArg& sc : scenarios) {
+      if (sc.department < lo || sc.department >= hi) continue;
+      const auto& planted =
+          simulator.InjectScenario(sc.kind, sc.department, sc.start, sc.days);
+      std::fprintf(stderr, "planted scenario %d insider %s in department %d\n",
+                   static_cast<int>(sc.kind), planted.user_name.c_str(),
+                   sc.department);
+    }
+
+    CsvEventSink sink(shard_store, &logon.stream(), &device.stream(),
+                      &file.stream(), &http.stream(),
+                      /*write_headers=*/s == 0);
+    {
+      telemetry::TraceSpan sim_span("gen.simulate");
+      simulator.Run(sink);
+    }
+    {
+      CsvWriter w(ldap.stream());
+      if (s == 0) w.WriteRow({"user", "department", "team", "role"});
+      for (const LdapRecord& r : shard_store.ldap()) {
+        w.WriteRow({r.user_name, r.department, r.team, r.role});
+      }
+    }
+    for (const sim::InsiderScenario& sc : simulator.scenarios()) {
+      all_scenarios.push_back(sc);
+    }
+    total_events += sink.rows_written();
+    total_users += shard_store.users().size();
+    std::fprintf(stderr,
+                 "shard %d/%d: departments %d..%d, %zu users, %zu events\n",
+                 s + 1, n_shards, lo, hi - 1, shard_store.users().size(),
+                 sink.rows_written());
+  }
+  ACOBE_COUNT("gen.events_simulated", total_events);
+  ACOBE_GAUGE_SET("gen.users", total_users);
+  std::fprintf(stderr, "simulated %zu events for %zu users\n", total_events,
+               total_users);
+
+  for (StreamedCsv* csv : {&device, &file, &http, &logon, &ldap}) {
+    if (!csv->Commit()) {
+      std::fprintf(stderr, "acobe-gen: cannot write %s\n",
+                   csv->path().c_str());
+      return kExitFailure;
+    }
+    std::fprintf(stderr, "wrote %s\n", csv->path().c_str());
+  }
+  const std::string truth_path = out_dir + "/truth.csv";
+  try {
+    WriteFileAtomic(truth_path, [&](std::ostream& out) {
+      out << "user,anomaly_start,anomaly_end\n";
+      for (const sim::InsiderScenario& sc : all_scenarios) {
+        out << sc.user_name << ',' << sc.anomaly_start.ToString() << ','
+            << sc.anomaly_end.ToString() << '\n';
+      }
+    });
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "acobe-gen: cannot write %s: %s\n",
+                 truth_path.c_str(), e.what());
+    return kExitFailure;
+  }
+  std::fprintf(stderr, "wrote %s\n", truth_path.c_str());
+  return 0;
 }
 
 }  // namespace
@@ -80,6 +268,8 @@ int main(int argc, char** argv) {
   std::vector<ScenarioArg> scenarios;
   double corrupt_rate = 0.0;
   std::uint64_t corrupt_seed = 99;
+  bool stream = false;
+  int shards = 16;
 
   try {
     for (int i = 1; i < argc; ++i) {
@@ -100,6 +290,10 @@ int main(int argc, char** argv) {
         config.end = Date::FromString(arg + 6);
       } else if (std::strncmp(arg, "--rate=", 7) == 0) {
         config.profiles.rate_scale = cli::ParseDouble(arg, arg + 7, 0.0, 1e6);
+      } else if (std::strcmp(arg, "--stream") == 0) {
+        stream = true;
+      } else if (std::strncmp(arg, "--shards=", 9) == 0) {
+        shards = static_cast<int>(cli::ParseInt(arg, arg + 9, 1, 65536));
       } else if (std::strncmp(arg, "--corrupt-rate=", 15) == 0) {
         corrupt_rate = cli::ParseDouble(arg, arg + 15, 0.0, 1.0);
       } else if (std::strncmp(arg, "--corrupt-seed=", 15) == 0) {
@@ -141,9 +335,25 @@ int main(int argc, char** argv) {
     Usage();
     return kExitUsage;
   }
+  if (stream && corrupt_rate > 0.0) {
+    std::fprintf(stderr,
+                 "acobe-gen: --corrupt-rate is not supported with --stream "
+                 "(fault injection needs the rendered file in memory)\n");
+    return kExitUsage;
+  }
 
   telemetry::EnableMetrics(true);
   telemetry::EnableTracing(!trace_out.empty());
+
+  if (stream) {
+    const int code = GenerateStreamed(config, scenarios, out_dir, shards);
+    if (code != 0) return code;
+    if (!telemetry::FlushTelemetry("acobe-gen", metrics_out, trace_out,
+                                   std::cerr)) {
+      return kExitFailure;
+    }
+    return 0;
+  }
 
   LogStore store;
   sim::CertSimulator simulator(config, store);

@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
-"""CI gate for the blocked GEMM kernels.
+"""CI gate for the blocked GEMM kernels and the streaming pipeline.
 
-Compares a fresh `micro_nn --metrics-out=...` run against the checked-in
-baseline (bench/BENCH_nn.json). Absolute GFLOP/s numbers do not transfer
+Default mode compares a fresh `micro_nn --metrics-out=...` run against
+the checked-in baseline (bench/BENCH_nn.json). Absolute GFLOP/s numbers do not transfer
 between machines, so the gate is expressed in terms of the in-run speedup
 of the blocked kernel over the scalar reference kernel:
 
@@ -15,6 +15,17 @@ speedup (default 0.8, i.e. a >20% relative regression of BM_Gemm).
 
 Usage:
     tools/check_bench.py BASELINE.json CURRENT.json [--tolerance 0.8]
+    tools/check_bench.py --pipeline BASELINE.json CURRENT.json \
+        [--rss-tolerance 1.25]
+
+--pipeline gates a `tools/bench_pipeline.py` run (bench/BENCH_pipeline.json
+is the checked-in baseline) the same way: on the in-run ratio that
+transfers across machines. Here that is
+`pipeline.detect.stream_vs_memory_rss_ratio` — streaming peak RSS over
+in-memory peak RSS on the same dataset. The gate fails if the current
+ratio exceeds the baseline ratio times --rss-tolerance (default 1.25,
+i.e. a >25% relative RSS regression of the out-of-core path), or if any
+required pipeline gauge is missing or non-positive.
 
 Exit status 0 on pass, 1 on regression or malformed input.
 """
@@ -47,6 +58,62 @@ def speedup(gauges, size, path):
     return blocked / ref
 
 
+# Gauges a healthy pipeline-bench run must always publish, with positive
+# values. Structural half of the --pipeline gate.
+PIPELINE_REQUIRED = (
+    "pipeline.users",
+    "pipeline.departments",
+    "pipeline.events",
+    "pipeline.gen.users_per_second",
+    "pipeline.gen.events_per_second",
+    "pipeline.gen.peak_rss_bytes",
+    "pipeline.detect_stream.users_per_second",
+    "pipeline.detect_stream.events_per_second",
+    "pipeline.detect_stream.matrices_per_second",
+    "pipeline.detect_stream.peak_rss_bytes",
+)
+
+PIPELINE_RATIO = "pipeline.detect.stream_vs_memory_rss_ratio"
+
+
+def check_pipeline(base, cur, rss_tolerance):
+    """The --pipeline gate: structure of the current run, plus the
+    stream/memory RSS ratio against the baseline's."""
+    failed = False
+    for key in PIPELINE_REQUIRED:
+        value = cur.get(key)
+        if value is None:
+            print(f"check_bench: missing pipeline gauge {key}",
+                  file=sys.stderr)
+            failed = True
+        elif float(value) <= 0.0:
+            print(f"check_bench: non-positive pipeline gauge {key} = {value}",
+                  file=sys.stderr)
+            failed = True
+    base_ratio = base.get(PIPELINE_RATIO)
+    cur_ratio = cur.get(PIPELINE_RATIO)
+    if base_ratio is None:
+        print(f"check_bench: baseline lacks {PIPELINE_RATIO}; "
+              "structural checks only")
+    elif cur_ratio is None:
+        print(f"check_bench: current run lacks {PIPELINE_RATIO} "
+              "(--skip-memory?); structural checks only")
+    else:
+        ceiling = float(base_ratio) * rss_tolerance
+        status = "ok" if float(cur_ratio) <= ceiling else "REGRESSION"
+        print(f"stream/memory peak-RSS ratio {float(cur_ratio):.3f} "
+              f"(baseline {float(base_ratio):.3f}, ceiling {ceiling:.3f}) "
+              f"{status}")
+        if float(cur_ratio) > ceiling:
+            failed = True
+    if failed:
+        print("check_bench: streaming pipeline regressed vs baseline",
+              file=sys.stderr)
+        return 1
+    print("check_bench: streaming pipeline within tolerance")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("baseline")
@@ -54,6 +121,11 @@ def main():
     ap.add_argument("--tolerance", type=float, default=0.8,
                     help="fail if current speedup < baseline speedup * "
                          "TOLERANCE (default 0.8)")
+    ap.add_argument("--pipeline", action="store_true",
+                    help="gate a bench_pipeline.py run instead of GEMM")
+    ap.add_argument("--rss-tolerance", type=float, default=1.25,
+                    help="--pipeline: fail if the stream/memory RSS ratio "
+                         "> baseline ratio * RSS_TOLERANCE (default 1.25)")
     args = ap.parse_args()
 
     try:
@@ -62,6 +134,9 @@ def main():
     except (OSError, ValueError, json.JSONDecodeError) as e:
         print(f"check_bench: {e}", file=sys.stderr)
         return 1
+
+    if args.pipeline:
+        return check_pipeline(base, cur, args.rss_tolerance)
 
     failed = False
     for n in SIZES:
