@@ -5,14 +5,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "behavior/compound_matrix.h"
 #include "behavior/normalized_day.h"
+#include "common/health.h"
 #include "common/parallel.h"
 #include "common/telemetry.h"
 #include "core/attribution.h"
@@ -216,6 +220,47 @@ void BM_TelemetryOverhead(benchmark::State& state) {
       off_s > 0.0 ? 100.0 * (trace_s - off_s) / off_s : 0.0;
 }
 BENCHMARK(BM_TelemetryOverhead)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// The health plane's own <2% contract: the same metrics-on train+score
+/// pipeline with and without the background heartbeat sampler running
+/// (stage tracking, span-stack bookkeeping and the crash snapshot
+/// double-buffer are always on; the sampler at a 50ms interval is the
+/// only part this toggles). Reported as health_pct.
+void BM_HealthOverhead(benchmark::State& state) {
+  const int users = 24;
+  const MeasurementCube cube = MakeCube(users, 90);
+  const bool metrics_was = telemetry::MetricsEnabled();
+  telemetry::EnableMetrics(true);
+  const std::string heartbeat_path =
+      std::filesystem::temp_directory_path() /
+      ("acobe-bench-health-" + std::to_string(::getpid()) + ".jsonl");
+  double off_s = 0.0, on_s = 0.0;
+  for (auto _ : state) {
+    off_s += TrainScoreSeconds(cube, users, /*threads=*/2);
+    health::HealthOptions opts;
+    opts.path = heartbeat_path;
+    opts.interval_ms = 50;
+    opts.tool = "micro-pipeline";
+    opts.crash_recorder = false;  // don't hook the bench's signals
+    if (!health::StartHealth(opts)) {
+      state.SkipWithError("StartHealth failed");
+      break;
+    }
+    health::SetStage("bench", 1);
+    on_s += TrainScoreSeconds(cube, users, /*threads=*/2);
+    health::StageAdvance();
+    health::StopHealth();
+  }
+  telemetry::EnableMetrics(metrics_was);
+  std::error_code ec;
+  std::filesystem::remove(heartbeat_path, ec);
+  state.counters["off_ms"] = 1e3 * off_s / state.iterations();
+  state.counters["on_ms"] = 1e3 * on_s / state.iterations();
+  state.counters["health_pct"] =
+      off_s > 0.0 ? 100.0 * (on_s - off_s) / off_s : 0.0;
+}
+BENCHMARK(BM_HealthOverhead)->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 /// One detection pass (train + score + rank), optionally followed by

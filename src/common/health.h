@@ -1,0 +1,164 @@
+#pragma once
+
+// Live runtime health plane over the telemetry registry.
+//
+// PR 2's registry answers "what happened" after a run exits; this layer
+// answers "what is happening right now" while a multi-hour streamed
+// detection run is still in flight, and "what was happening" when one
+// dies. Four pieces:
+//
+//   Stage/progress API  SetStage()/StageAdvance() mark the pipeline's
+//                       coarse phases (ingest, spool, replay, detect,
+//                       write) with units-done/units-total, so every
+//                       heartbeat carries progress and an ETA, and the
+//                       per-stage wall times land in the run ledger.
+//
+//   Heartbeat sampler   StartHealth() spawns one background thread
+//                       that every interval appends a self-describing
+//                       "acobe.health.v1" JSON line to the health file:
+//                       sequence number, uptime, stage + ETA, RSS
+//                       (current/peak), CPU utilization, every counter
+//                       with its delta and per-second rate since the
+//                       previous beat, gauges, and the span
+//                       self-profile. Lines are written atomically
+//                       (one write + flush per beat), so a reader —
+//                       tools/acobe_top, tools/check_health.py — only
+//                       ever sees whole heartbeats plus at most one
+//                       torn tail after a crash.
+//
+//   Span self-profile   TraceSpan (common/trace.h) pushes its name on
+//                       a per-thread span stack and, on scope exit,
+//                       records a (parent, name) -> {count, wall}
+//                       edge. SpanProfile() merges those edges into a
+//                       hierarchical wall/self-time breakdown without
+//                       touching the span histograms' sample buffers.
+//
+//   Crash flight recorder  InstallCrashRecorder() hooks the fatal
+//                       signals (SEGV/ABRT/BUS/FPE/ILL) and
+//                       std::terminate. The handler is async-signal-
+//                       safe: it formats with its own integer printer
+//                       into a fixed buffer (no malloc, no stdio) and
+//                       write()s a JSON dump — signal number, each
+//                       live thread's active span stack, and the last
+//                       pre-rendered heartbeat — then re-raises.
+//
+// Contract (same as the rest of the telemetry layer, pinned by
+// tests/health_test.cpp and the health_identity ctest): everything here
+// is purely observational. Detection output — stdout, explain JSON,
+// ledger — is byte-identical with the health plane on or off, and the
+// enabled overhead stays inside the existing <2% telemetry budget
+// (bench/micro_pipeline BM_HealthOverhead).
+//
+// The stage/progress calls are not gated on MetricsEnabled(): they are
+// a handful of relaxed atomics per pipeline phase (not per event), and
+// the ledger's per-stage wall times must exist even when no heartbeat
+// file was requested.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace acobe::health {
+
+// --- Stage / progress ------------------------------------------------
+
+/// Declares `stage` as the pipeline's current phase. `name` must have
+/// static storage duration (the tracker keeps the pointer). `add_total`
+/// grows the stage's unit target; re-entering a stage (the streaming
+/// shard loop alternates replay/detect) resumes its accumulated wall
+/// time and progress instead of resetting them.
+void SetStage(const char* name, std::uint64_t add_total = 0);
+
+/// Advances the current stage by `n` units. No-op before the first
+/// SetStage, so library code (ensemble training) can advance blindly.
+void StageAdvance(std::uint64_t n = 1);
+
+/// Free-form context for the heartbeat only ("dept Sales", "shard 3").
+/// Unlike stage names this may be dynamic; a small mutex guards it.
+void SetStageDetail(const std::string& detail);
+
+struct StageSnapshot {
+  const char* name = "idle";
+  std::string detail;
+  std::uint64_t done = 0;
+  std::uint64_t total = 0;  // 0 = indeterminate (no ETA)
+  double elapsed_s = 0.0;   // wall accumulated across this stage's episodes
+  double eta_s = -1.0;      // -1 = unknown
+};
+StageSnapshot CurrentStage();
+
+struct StageTime {
+  const char* name;
+  double seconds;       // cumulative wall across episodes
+  std::uint64_t done;
+  std::uint64_t total;
+};
+/// Every stage seen so far, in first-use order, with cumulative wall
+/// times (the current stage includes its open episode).
+std::vector<StageTime> StageTimes();
+
+/// Renders StageTimes() as a JSON array ([{"stage":...,"seconds":...,
+/// "done":...,"total":...}]) — the run ledger's run_complete payload.
+std::string StageTimesJson();
+
+/// Forgets all stages and progress (tests).
+void ResetStages();
+
+// --- Span self-profile -----------------------------------------------
+
+struct SpanEdge {
+  std::string parent;   // "" for root spans
+  std::string name;
+  std::uint64_t count = 0;
+  double total_ms = 0.0;  // wall summed over instances of this edge
+  double self_ms = 0.0;   // total minus time attributed to child spans
+};
+/// Merged (parent, name) profile, sorted by total_ms descending.
+/// self_ms apportions a span name's child time across its parent edges
+/// proportionally to each edge's share of the name's total wall.
+std::vector<SpanEdge> SpanProfile();
+
+/// Clears the accumulated span edges (tests).
+void ResetSpanProfile();
+
+// Hooks for TraceSpan (common/trace.h); not for direct use. Push
+// returns the parent span's name (nullptr at stack root). Pop records
+// the (parent, name) edge with the measured duration.
+const char* SpanStackPush(const char* name);
+void SpanStackPop(const char* name, const char* parent,
+                  std::uint64_t duration_ns);
+
+// --- Heartbeat sampler -----------------------------------------------
+
+struct HealthOptions {
+  std::string path;            // heartbeat JSONL file (truncated on start)
+  int interval_ms = 1000;      // clamped to >= 10
+  std::string tool;            // stamped into every heartbeat
+  /// Also install the crash flight recorder, dumping to
+  /// `path + ".crash.json"`.
+  bool crash_recorder = true;
+};
+
+/// Starts the background sampler. False (with a line on stderr) when a
+/// monitor is already running or the file cannot be opened. Registers
+/// an atexit stop as a safety net; well-behaved tools still call
+/// StopHealth() explicitly so the final heartbeat lands before their
+/// own end-of-run output.
+bool StartHealth(const HealthOptions& options);
+
+/// Emits one final heartbeat ("final":true, full span profile), joins
+/// the sampler thread and closes the file. Safe to call twice.
+void StopHealth();
+
+bool HealthRunning();
+
+// --- Crash flight recorder -------------------------------------------
+
+/// Installs fatal-signal + std::terminate handlers dumping to `path`.
+/// Installing twice replaces the path. Normally reached through
+/// StartHealth(); exposed separately for tests and for tools that want
+/// the recorder without heartbeats.
+void InstallCrashRecorder(const std::string& path);
+
+}  // namespace acobe::health

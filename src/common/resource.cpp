@@ -10,20 +10,40 @@
 
 namespace acobe {
 
-std::uint64_t PeakRssBytes() {
+std::uint64_t ParsePeakRssFromStatus(const char* status_text) {
   // VmHWM is the kernel's high-water mark for resident pages; it
   // survives frees, which is exactly what a peak-memory gate needs.
-  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
-    char line[256];
-    unsigned long kb = 0;
-    while (std::fgets(line, sizeof(line), f)) {
-      if (std::strncmp(line, "VmHWM:", 6) == 0 &&
-          std::sscanf(line + 6, "%lu", &kb) == 1) {
-        std::fclose(f);
+  const char* line = status_text;
+  while (line && *line) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      unsigned long kb = 0;
+      if (std::sscanf(line + 6, "%lu", &kb) == 1) {
         return static_cast<std::uint64_t>(kb) * 1024;
       }
+      return 0;
     }
+    line = std::strchr(line, '\n');
+    if (line) ++line;
+  }
+  return 0;
+}
+
+std::uint64_t ParseCurrentRssFromStatm(const char* statm_text,
+                                       std::uint64_t page_size_bytes) {
+  unsigned long size = 0, resident = 0;
+  if (std::sscanf(statm_text, "%lu %lu", &size, &resident) != 2) return 0;
+  return static_cast<std::uint64_t>(resident) * page_size_bytes;
+}
+
+std::uint64_t PeakRssBytes() {
+  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
+    char buf[4096];
+    const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
     std::fclose(f);
+    buf[n] = '\0';
+    if (const std::uint64_t bytes = ParsePeakRssFromStatus(buf); bytes > 0) {
+      return bytes;
+    }
   }
 #if defined(__unix__) || defined(__APPLE__)
   struct rusage usage;
@@ -40,20 +60,33 @@ std::uint64_t PeakRssBytes() {
 
 std::uint64_t CurrentRssBytes() {
   if (std::FILE* f = std::fopen("/proc/self/statm", "r")) {
-    unsigned long size = 0, resident = 0;
-    const int n = std::fscanf(f, "%lu %lu", &size, &resident);
+    char buf[256];
+    const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
     std::fclose(f);
-    if (n == 2) {
+    buf[n] = '\0';
 #if defined(__unix__)
-      const long page = sysconf(_SC_PAGESIZE);
-      return static_cast<std::uint64_t>(resident) *
-             static_cast<std::uint64_t>(page > 0 ? page : 4096);
+    const long page = sysconf(_SC_PAGESIZE);
+    return ParseCurrentRssFromStatm(
+        buf, static_cast<std::uint64_t>(page > 0 ? page : 4096));
 #else
-      return static_cast<std::uint64_t>(resident) * 4096;
+    return ParseCurrentRssFromStatm(buf, 4096);
 #endif
-    }
   }
   return 0;
+}
+
+double CpuSeconds() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    auto seconds = [](const struct timeval& tv) {
+      return static_cast<double>(tv.tv_sec) +
+             static_cast<double>(tv.tv_usec) / 1e6;
+    };
+    return seconds(usage.ru_utime) + seconds(usage.ru_stime);
+  }
+#endif
+  return 0.0;
 }
 
 }  // namespace acobe

@@ -1,6 +1,7 @@
 #pragma once
 
-// Process resource probes for the scale benchmarks and telemetry.
+// Process resource probes for the scale benchmarks, telemetry and the
+// runtime health plane (common/health.h).
 
 #include <cstdint>
 
@@ -17,5 +18,24 @@ std::uint64_t PeakRssBytes();
 /// Current resident set size in bytes (/proc/self/statm), 0 if
 /// unavailable. Informational; the gate uses the peak.
 std::uint64_t CurrentRssBytes();
+
+/// Total CPU seconds (user + system) consumed by this process so far,
+/// from getrusage. 0.0 when unavailable. Sampled by the health plane
+/// each heartbeat to derive utilization (CPU-seconds per wall-second).
+double CpuSeconds();
+
+// --- Parsing internals, exposed for tests -----------------------------
+// The probes above read live /proc files; these pure helpers do the
+// actual text parsing so the formats can be pinned by unit tests
+// without a kernel.
+
+/// "VmHWM:   1234 kB" line extraction from a /proc/self/status body.
+/// Returns the value in bytes, or 0 when no VmHWM line parses.
+std::uint64_t ParsePeakRssFromStatus(const char* status_text);
+
+/// First two fields of a /proc/self/statm body ("size resident ...").
+/// Returns resident * page_size_bytes, or 0 on a malformed body.
+std::uint64_t ParseCurrentRssFromStatm(const char* statm_text,
+                                       std::uint64_t page_size_bytes);
 
 }  // namespace acobe

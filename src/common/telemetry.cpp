@@ -234,16 +234,40 @@ void RecordTraceEvent(std::string name, std::uint64_t start_ns,
       TraceEvent{std::move(name), tid, start_ns, duration_ns});
 }
 
+MetricsSnapshot SnapshotCountersAndGauges() {
+  Registry& r = R();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  MetricsSnapshot snap;
+  snap.counters.reserve(r.counters.size());
+  for (const auto& [name, c] : r.counters) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(r.gauges.size());
+  for (const auto& [name, g] : r.gauges) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  return snap;
+}
+
 void WriteReport(std::ostream& out) {
   Registry& r = R();
   std::lock_guard<std::mutex> lock(r.mutex);
+  // Rates are over the telemetry clock's anchor — effectively the run
+  // wall time, since the anchor is set by the first instrumented event.
+  const double wall_s = static_cast<double>(NowNs()) / 1e9;
   out << "--- telemetry report ------------------------------------------\n";
   if (!r.counters.empty()) {
-    out << "counters:\n";
+    char head[160];
+    std::snprintf(head, sizeof head, "%-42s %20s %14s\n",
+                  "counters:", "total", "per-second");
+    out << head;
     for (const auto& [name, c] : r.counters) {
-      char line[160];
-      std::snprintf(line, sizeof line, "  %-40s %20llu\n", name.c_str(),
-                    static_cast<unsigned long long>(c->value()));
+      const double rate =
+          wall_s > 0.0 ? static_cast<double>(c->value()) / wall_s : 0.0;
+      char line[200];
+      std::snprintf(line, sizeof line, "  %-40s %20llu %12.4g/s\n",
+                    name.c_str(), static_cast<unsigned long long>(c->value()),
+                    rate);
       out << line;
     }
   }
@@ -388,6 +412,60 @@ void WriteTraceJson(std::ostream& out) {
   out << "\n]}\n";
 }
 
+namespace {
+
+/// Prometheus metric-name charset: [a-zA-Z_:][a-zA-Z0-9_:]*. Dots and
+/// anything else exotic in our registry names map to '_'.
+std::string PromName(std::string_view name) {
+  std::string out = "acobe_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void PromHelpType(std::ostream& out, const std::string& prom_name,
+                  const std::string& source_name, const char* type) {
+  out << "# HELP " << prom_name << " acobe metric " << source_name << "\n"
+      << "# TYPE " << prom_name << " " << type << "\n";
+}
+
+}  // namespace
+
+void WriteMetricsProm(std::ostream& out) {
+  Registry& r = R();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (const auto& [name, c] : r.counters) {
+    const std::string prom = PromName(name);
+    PromHelpType(out, prom, name, "counter");
+    out << prom << " " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : r.gauges) {
+    const std::string prom = PromName(name);
+    PromHelpType(out, prom, name, "gauge");
+    out << prom << " ";
+    JsonNumber(out, g->value());
+    out << "\n";
+  }
+  for (const auto& [name, h] : r.histograms) {
+    const Histogram::Stats s = h->Snapshot();
+    const std::string prom = PromName(name);
+    PromHelpType(out, prom, name, "summary");
+    const struct { const char* q; double v; } quantiles[] = {
+        {"0.5", s.p50}, {"0.95", s.p95}, {"0.99", s.p99}};
+    for (const auto& [q, v] : quantiles) {
+      out << prom << "{quantile=\"" << q << "\"} ";
+      JsonNumber(out, v);
+      out << "\n";
+    }
+    out << prom << "_sum ";
+    JsonNumber(out, s.sum);
+    out << "\n" << prom << "_count " << s.count << "\n";
+  }
+}
+
 bool WriteMetricsJsonFile(const std::string& path) {
   // Atomic so a crash mid-dump can't leave a half-written JSON file
   // where a previous run's valid export used to be.
@@ -402,6 +480,15 @@ bool WriteMetricsJsonFile(const std::string& path) {
 bool WriteTraceJsonFile(const std::string& path) {
   try {
     WriteFileAtomic(path, [](std::ostream& out) { WriteTraceJson(out); });
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+bool WriteMetricsPromFile(const std::string& path) {
+  try {
+    WriteFileAtomic(path, [](std::ostream& out) { WriteMetricsProm(out); });
   } catch (const std::exception&) {
     return false;
   }

@@ -130,8 +130,20 @@ Series& GetSeries(std::string_view name);
 /// getters remain valid.
 void ResetTelemetry();
 
-/// Human-readable end-of-run report (sections: counters, gauges,
-/// histograms incl. span timings, series).
+/// Point-in-time copy of every registered counter and gauge, sorted by
+/// name. This is the programmatic export the health plane's heartbeat
+/// sampler diffs between ticks; histograms are deliberately excluded
+/// (merging every sample buffer per tick would not be cheap — the span
+/// self-profile in common/health.h covers them incrementally).
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+};
+MetricsSnapshot SnapshotCountersAndGauges();
+
+/// Human-readable end-of-run report (sections: counters with
+/// per-second rates over the run wall time, gauges, histograms incl.
+/// span timings, series).
 void WriteReport(std::ostream& out);
 
 /// {"schema":"acobe.metrics.v1","counters":{...},"gauges":{...},
@@ -143,10 +155,19 @@ void WriteMetricsJson(std::ostream& out);
 /// with complete ("ph":"X") events plus thread-name metadata records.
 void WriteTraceJson(std::ostream& out);
 
+/// Prometheus text exposition (version 0.0.4) of the registry: counters
+/// and gauges as single samples, histograms as summaries (quantile
+/// labels + _sum/_count). Metric names are prefixed "acobe_" and
+/// sanitized to [a-zA-Z0-9_]; the original dotted name is kept in a
+/// HELP line. This is the scrape surface the future resident daemon
+/// serves; today the tools land it as a file for file-based scraping.
+void WriteMetricsProm(std::ostream& out);
+
 /// File variants; return false (and leave no partial guarantee) when
 /// the file cannot be opened.
 bool WriteMetricsJsonFile(const std::string& path);
 bool WriteTraceJsonFile(const std::string& path);
+bool WriteMetricsPromFile(const std::string& path);
 
 /// The shared end-of-run flush every telemetry producer (tools, bench
 /// binaries) performs: human report to `report`, then the metrics/trace

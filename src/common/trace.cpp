@@ -5,6 +5,7 @@ namespace acobe::telemetry {
 void TraceSpan::End() {
   if (!active_) return;
   const std::uint64_t duration_ns = NowNs() - start_ns_;
+  health::SpanStackPop(name_, parent_, duration_ns);
   if (MetricsEnabled()) {
     GetHistogram(std::string("span.") + name_)
         .Record(static_cast<double>(duration_ns) / 1e6);

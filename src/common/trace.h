@@ -12,6 +12,12 @@
 // the destructor a branch; in ACOBE_TELEMETRY_DISABLED builds the whole
 // class folds away.
 //
+// Active spans additionally maintain the health plane's per-thread span
+// stack (common/health.h): Begin pushes the name (learning the parent
+// span), End pops and records the (parent, name) edge into the span
+// self-profile. The stack is what the crash flight recorder dumps, so a
+// fatal signal shows each thread's position in the pipeline.
+//
 // `name` must be a string with static storage duration (the span keeps
 // only the pointer). `detail` carries run-dependent context (an aspect
 // name, a file stem) into the trace only — histogram names stay at
@@ -20,6 +26,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/health.h"
 #include "common/telemetry.h"
 
 namespace acobe::telemetry {
@@ -39,12 +46,16 @@ class TraceSpan {
  private:
   void Begin() {
     active_ = MetricsEnabled() || TracingEnabled();
-    if (active_) start_ns_ = NowNs();
+    if (active_) {
+      parent_ = health::SpanStackPush(name_);
+      start_ns_ = NowNs();
+    }
   }
   void End();
 
   const char* name_;
   std::string detail_;
+  const char* parent_ = nullptr;
   std::uint64_t start_ns_ = 0;
   bool active_ = false;
 };

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "common/health.h"
 #include "common/parallel.h"
 #include "common/telemetry.h"
 #include "common/trace.h"
@@ -108,6 +109,7 @@ DetectionOutput Detector::Run(const MeasurementCube& cube,
     telemetry::TraceSpan score_span("detector.score");
     out.grid = ensemble.Score(builder, n_members, score_begin, score_end);
   }
+  health::StageAdvance();  // the department's scoring unit
   // The training-window grid serves double duty: the calibration
   // baseline and the drift reference. Computed once, and only when one
   // of the two consumers needs it.

@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "common/faults.h"
+#include "common/health.h"
 #include "common/parallel.h"
 #include "common/telemetry.h"
 #include "common/trace.h"
@@ -151,6 +152,12 @@ void AspectEnsemble::Train(
         const std::size_t a = static_cast<std::size_t>(ai);
         const AspectGroup& aspect = aspects_[a];
         telemetry::TraceSpan aspect_span("ensemble.train_aspect", aspect.name);
+        // One progress unit per aspect on every exit path (resumed,
+        // trained, degraded) — the lambda has several returns.
+        struct StageTick {
+          ~StageTick() { health::StageAdvance(); }
+        } stage_tick;
+        (void)stage_tick;
         AspectTrainSummary& summary = summaries_[a];
         summary.name = aspect.name;
         nn::AutoencoderSpec spec;

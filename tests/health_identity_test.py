@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""End-to-end check that the health plane is purely observational.
+
+Generates a small dataset, then runs acobe_detect twice on it — once
+with --health-out/--prom-out, once without — and asserts:
+
+  - stdout is byte-identical between the two runs,
+  - the --explain-out reports are byte-identical,
+  - the --ledger-out ledgers are byte-identical after stripping the
+    run_complete fields that are wall-clock-dependent by design
+    (peak_rss_bytes, stages) — those differ between ANY two runs, with
+    or without the health plane, so they are normalized, not ignored
+    silently: the script still checks both ledgers carry them,
+  - the heartbeat file validates under tools/check_health.py
+    (--require-final), and acobe_top --once renders it,
+  - the Prometheus exposition contains acobe_-prefixed samples.
+
+Usage:
+    health_identity_test.py --gen GEN --detect DETECT --top TOP \
+        --check-health CHECK_HEALTH_PY
+
+Exit status 0 on pass, 1 on any mismatch or tool failure.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+import os
+
+
+def run(cmd, stdout_path=None):
+    if stdout_path is None:
+        proc = subprocess.run(cmd, capture_output=True)
+    else:
+        with open(stdout_path, "wb") as out:
+            proc = subprocess.run(cmd, stdout=out, stderr=subprocess.PIPE)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr.decode(errors="replace"))
+        raise RuntimeError(f"{' '.join(cmd)} exited {proc.returncode}")
+    return proc
+
+
+def read_bytes(path):
+    with open(path, "rb") as f:
+        return f.read()
+
+
+def normalized_ledger(path):
+    """Ledger lines with the run_complete wall-clock fields stripped.
+
+    Returns (normalized_text, had_health_fields)."""
+    lines = []
+    had_fields = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            event = json.loads(line)
+            if event.get("event") == "run_complete":
+                had_fields = ("peak_rss_bytes" in event and "stages" in event)
+                event.pop("peak_rss_bytes", None)
+                event.pop("stages", None)
+            lines.append(json.dumps(event, sort_keys=True))
+    return "\n".join(lines), had_fields
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--gen", required=True)
+    ap.add_argument("--detect", required=True)
+    ap.add_argument("--top", required=True)
+    ap.add_argument("--check-health", required=True)
+    args = ap.parse_args()
+
+    with tempfile.TemporaryDirectory(prefix="acobe-health-id-") as tmp:
+        data = os.path.join(tmp, "data")
+        os.makedirs(data)
+        run([args.gen, f"--out={data}", "--users=12", "--departments=2",
+             "--seed=11", "--rate=0.3", "--start=2010-01-02",
+             "--end=2010-03-17"])
+
+        def detect(tag, extra):
+            out = os.path.join(tmp, f"{tag}.out")
+            run([args.detect, f"--in={data}", "--train-end=2010-02-16",
+                 "--epochs=2", "--threads=2",
+                 f"--explain-out={os.path.join(tmp, tag + '.explain.json')}",
+                 f"--ledger-out={os.path.join(tmp, tag + '.ledger.jsonl')}"]
+                + extra, stdout_path=out)
+            return out
+
+        health = os.path.join(tmp, "health.jsonl")
+        prom = os.path.join(tmp, "metrics.prom")
+        plain_out = detect("plain", [])
+        health_out = detect("health", [f"--health-out={health}",
+                                       "--health-interval-ms=50",
+                                       f"--prom-out={prom}"])
+
+        if read_bytes(plain_out) != read_bytes(health_out):
+            print("FAIL: stdout differs with the health plane on",
+                  file=sys.stderr)
+            return 1
+
+        # The streaming path exercises the stage-re-entry logic (the
+        # shard loop alternates replay <-> detect); check it too.
+        stream_health = os.path.join(tmp, "stream.health.jsonl")
+        stream_plain = detect("stream_plain", ["--stream", "--shards=3"])
+        stream_on = detect("stream_health",
+                           ["--stream", "--shards=3",
+                            f"--health-out={stream_health}",
+                            "--health-interval-ms=50"])
+        if read_bytes(stream_plain) != read_bytes(stream_on):
+            print("FAIL: streamed stdout differs with the health plane on",
+                  file=sys.stderr)
+            return 1
+        run([sys.executable, args.check_health, stream_health,
+             "--require-final"])
+        if read_bytes(os.path.join(tmp, "plain.explain.json")) != \
+                read_bytes(os.path.join(tmp, "health.explain.json")):
+            print("FAIL: explain report differs with the health plane on",
+                  file=sys.stderr)
+            return 1
+        plain_ledger, plain_has = normalized_ledger(
+            os.path.join(tmp, "plain.ledger.jsonl"))
+        health_ledger, health_has = normalized_ledger(
+            os.path.join(tmp, "health.ledger.jsonl"))
+        if not plain_has or not health_has:
+            print("FAIL: run_complete lacks peak_rss_bytes/stages",
+                  file=sys.stderr)
+            return 1
+        if plain_ledger != health_ledger:
+            print("FAIL: normalized ledger differs with the health plane on",
+                  file=sys.stderr)
+            return 1
+
+        run([sys.executable, args.check_health, health, "--require-final"])
+        top = run([args.top, health, "--once"])
+        rendered = top.stdout.decode(errors="replace")
+        if "acobe-detect" not in rendered or "stage" not in rendered:
+            print(f"FAIL: acobe_top render looks wrong:\n{rendered}",
+                  file=sys.stderr)
+            return 1
+        prom_text = read_bytes(prom).decode(errors="replace")
+        if "# TYPE acobe_" not in prom_text:
+            print("FAIL: Prometheus exposition has no acobe_ samples",
+                  file=sys.stderr)
+            return 1
+
+    print("health_identity_test: OK — output byte-identical with the "
+          "health plane on; heartbeats, top render and prom export valid")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except RuntimeError as e:
+        print(f"health_identity_test: {e}", file=sys.stderr)
+        sys.exit(1)

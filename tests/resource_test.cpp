@@ -1,0 +1,78 @@
+// Tests for common/resource.h: the pure /proc parsers (exercised with
+// synthetic text) and the live probes (sanity-checked against the
+// running test process).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/resource.h"
+
+using namespace acobe;
+
+namespace {
+
+TEST(ResourceParseTest, PeakRssFromStatusFindsVmHwm) {
+  const char* status =
+      "Name:\tacobe_test\n"
+      "Umask:\t0022\n"
+      "VmPeak:\t  123456 kB\n"
+      "VmSize:\t  100000 kB\n"
+      "VmHWM:\t    2048 kB\n"
+      "VmRSS:\t    1024 kB\n";
+  EXPECT_EQ(ParsePeakRssFromStatus(status), 2048ull * 1024);
+}
+
+TEST(ResourceParseTest, PeakRssFromStatusWithoutVmHwmIsZero) {
+  EXPECT_EQ(ParsePeakRssFromStatus("Name:\tx\nVmRSS:\t 1 kB\n"), 0u);
+  EXPECT_EQ(ParsePeakRssFromStatus(""), 0u);
+  // A VmHWM line with no number parses to nothing, not garbage.
+  EXPECT_EQ(ParsePeakRssFromStatus("VmHWM:\t kB\n"), 0u);
+}
+
+TEST(ResourceParseTest, PeakRssIgnoresLookalikePrefixMidLine) {
+  // Only a line that *starts* with VmHWM: counts.
+  const char* status = "NotVmHWM: 7 kB\nVmHWM:\t 3 kB\n";
+  EXPECT_EQ(ParsePeakRssFromStatus(status), 3ull * 1024);
+}
+
+TEST(ResourceParseTest, CurrentRssFromStatmUsesResidentPages) {
+  // statm: size resident shared text lib data dt (pages).
+  EXPECT_EQ(ParseCurrentRssFromStatm("5000 300 120 50 0 900 0\n", 4096),
+            300ull * 4096);
+  EXPECT_EQ(ParseCurrentRssFromStatm("5000 300", 16384), 300ull * 16384);
+  EXPECT_EQ(ParseCurrentRssFromStatm("garbage", 4096), 0u);
+  EXPECT_EQ(ParseCurrentRssFromStatm("", 4096), 0u);
+}
+
+TEST(ResourceLiveTest, ProbesReturnPlausibleValues) {
+  const std::uint64_t current = CurrentRssBytes();
+  const std::uint64_t peak = PeakRssBytes();
+  // A running gtest binary is comfortably over 1 MiB resident, and the
+  // kernel's high-water mark can never trail the current value.
+  EXPECT_GT(current, 1u << 20);
+  EXPECT_GE(peak, current);
+}
+
+TEST(ResourceLiveTest, PeakRssTracksGrowth) {
+  const std::uint64_t before = PeakRssBytes();
+  // Touch ~32 MiB so the high-water mark must move above any plausible
+  // pre-test baseline of this small binary.
+  std::vector<char> block(32u << 20, 1);
+  for (std::size_t i = 0; i < block.size(); i += 4096) block[i] = 2;
+  const std::uint64_t after = PeakRssBytes();
+  EXPECT_GE(after, before);
+  EXPECT_GT(after, block.size() / 2);
+}
+
+TEST(ResourceLiveTest, CpuSecondsIsMonotonic) {
+  const double before = CpuSeconds();
+  EXPECT_GE(before, 0.0);
+  // Burn a little CPU; rusage must not go backwards.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 2000000; ++i) sink = sink + i * 0.5;
+  const double after = CpuSeconds();
+  EXPECT_GE(after, before);
+}
+
+}  // namespace

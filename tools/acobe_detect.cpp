@@ -9,7 +9,9 @@
 //                [--stream] [--shards=N] [--spool-dir=DIR]
 //                [--checkpoint-dir=DIR] [--resume]
 //                [--explain-out=FILE] [--ledger-out=FILE]
-//                [--metrics-out=FILE] [--trace-out=FILE] [--version]
+//                [--metrics-out=FILE] [--trace-out=FILE]
+//                [--health-out=FILE] [--health-interval-ms=N]
+//                [--prom-out=FILE] [--version]
 //
 // --threads: worker threads for training/scoring/deviation (0 = the
 // ACOBE_THREADS environment variable, else hardware concurrency).
@@ -60,6 +62,16 @@
 // per-aspect per-epoch losses, the process peak RSS), --trace-out
 // writes a chrome://tracing / Perfetto trace with spans attributed to
 // worker threads.
+//
+// Live health: --health-out appends an "acobe.health.v1" JSON line
+// every --health-interval-ms (default 1000) — pipeline stage with
+// progress and ETA, RSS, CPU, counter rates, span self-profile — and
+// installs the crash flight recorder (fatal signals dump the active
+// span stacks and last heartbeat to <health-out>.crash.json). Watch
+// live with `acobe-top <health-out>`. --prom-out writes the final
+// metrics in Prometheus text format. All of it is observational:
+// stdout, --explain-out and --ledger-out are byte-identical with the
+// health plane on or off.
 
 #include <algorithm>
 #include <cstdio>
@@ -78,7 +90,9 @@
 
 #include "cli_util.h"
 #include "common/faults.h"
+#include "common/health.h"
 #include "common/ledger.h"
+#include "common/resource.h"
 #include "common/telemetry.h"
 #include "common/trace.h"
 #include "common/version.h"
@@ -117,7 +131,9 @@ void Usage() {
       "             [--stream] [--shards=N] [--spool-dir=DIR]\n"
       "             [--checkpoint-dir=DIR] [--resume]\n"
       "             [--explain-out=FILE] [--ledger-out=FILE]\n"
-      "             [--metrics-out=FILE] [--trace-out=FILE] [--version]\n"
+      "             [--metrics-out=FILE] [--trace-out=FILE]\n"
+      "             [--health-out=FILE] [--health-interval-ms=N]\n"
+      "             [--prom-out=FILE] [--version]\n"
       "  --omega=N           deviation window, days (>= 2; default 14)\n"
       "  --epochs=N          training epochs per aspect (>= 1; default 25)\n"
       "  --votes=N           critic votes (>= 1; default 2)\n"
@@ -136,6 +152,10 @@ void Usage() {
       "  --ledger-out=F      write the run-ledger JSONL to F\n"
       "  --metrics-out=F     write telemetry metrics JSON to F\n"
       "  --trace-out=F       write chrome://tracing trace JSON to F\n"
+      "  --health-out=F      append live heartbeat JSONL to F; a crash\n"
+      "                      dumps flight data to F.crash.json\n"
+      "  --health-interval-ms=N  heartbeat period (default 1000)\n"
+      "  --prom-out=F        write final metrics as Prometheus text to F\n"
       "  --version           print build identity and exit\n"
       "exit codes: 0 ok, 1 failure, 2 usage, 3 bad input, 4 corrupt "
       "artifact\n");
@@ -154,8 +174,12 @@ template <typename ReadFn>
 bool ReadOneCsv(const std::string& dir, const std::string& name,
                 IngestOptions options, const std::string& quarantine_dir,
                 IngestStats& total, ReadFn&& read) {
+  health::SetStageDetail(name);
   std::ifstream in(dir + "/" + name);
-  if (!in) return false;
+  if (!in) {
+    health::StageAdvance();  // an absent file is trivially done
+    return false;
+  }
   std::ofstream sink;
   if (options.policy == IngestPolicy::kQuarantine && !quarantine_dir.empty()) {
     sink.open(quarantine_dir + "/" + name + ".rejected");
@@ -169,6 +193,7 @@ bool ReadOneCsv(const std::string& dir, const std::string& name,
                  stats.first_error.c_str());
   }
   total.Merge(stats);
+  health::StageAdvance();
   return true;
 }
 
@@ -529,9 +554,10 @@ int main(int argc, char** argv) {
   std::string train_end_text, test_end_text;
   std::string metrics_out, trace_out;
   std::string explain_out, ledger_out;
+  std::string health_out, prom_out;
   std::string quarantine_dir, checkpoint_dir, spool_dir;
   int omega = 14, epochs = 25, votes = 2, top = 10, threads = 0;
-  int shards = 8;
+  int shards = 8, health_interval_ms = 1000;
   bool resume = false, stream = false;
   IngestOptions ingest;
   ingest.ts_min = kTsMin;
@@ -581,6 +607,13 @@ int main(int argc, char** argv) {
         metrics_out = arg + 14;
       } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
         trace_out = arg + 12;
+      } else if (std::strncmp(arg, "--health-out=", 13) == 0) {
+        health_out = arg + 13;
+      } else if (std::strncmp(arg, "--health-interval-ms=", 21) == 0) {
+        health_interval_ms =
+            static_cast<int>(cli::ParseInt(arg, arg + 21, 10, 3600000));
+      } else if (std::strncmp(arg, "--prom-out=", 11) == 0) {
+        prom_out = arg + 11;
       } else if (std::strcmp(arg, "--version") == 0) {
         cli::PrintVersion("acobe-detect");
         return 0;
@@ -634,6 +667,14 @@ int main(int argc, char** argv) {
 
   telemetry::EnableMetrics(true);
   telemetry::EnableTracing(!trace_out.empty());
+  if (!health_out.empty()) {
+    health::HealthOptions health_opts;
+    health_opts.path = health_out;
+    health_opts.interval_ms = health_interval_ms;
+    health_opts.tool = "acobe-detect";
+    if (!health::StartHealth(health_opts)) return kExitFailure;
+  }
+  health::SetStage("ingest", 5);  // the five CERT CSVs
 
   // --- ingest (pass A) -----------------------------------------------------
   // In-memory mode buffers every stream in a LogStore; streaming mode
@@ -691,6 +732,7 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "no readable logs under %s\n", in_dir.c_str());
         return kExitBadInput;
       }
+      health::SetStage("spool");
       spooler->Finish();
       lo = spooler->ts_lo();
       hi = spooler->ts_hi();
@@ -851,11 +893,17 @@ int main(int argc, char** argv) {
   // --- compute (pass B) ----------------------------------------------------
   // Both paths leave `results` in the canonical department order.
   std::vector<DeptResult> results;
+  // One "detect" unit per trained aspect plus one for scoring, per
+  // department: ensemble training and Detector::Run advance the stage.
+  const std::uint64_t dept_units = meta.catalog().aspects().size() + 1;
   try {
     if (stream) {
       const std::vector<std::string> departments = tables.Departments();
       const int n_shards = spooler->shards();
+      health::SetStage("replay", static_cast<std::uint64_t>(n_shards));
       for (int s = 0; s < n_shards; ++s) {
+        health::SetStage("replay");
+        health::SetStageDetail("shard " + std::to_string(s));
         DepartmentDemux demux(start, days);
         std::vector<std::pair<std::string, std::vector<UserId>>> shard_depts;
         for (std::size_t d = 0; d < departments.size(); ++d) {
@@ -865,13 +913,19 @@ int main(int argc, char** argv) {
           demux.AddDepartment(departments[d], members);
           shard_depts.emplace_back(departments[d], std::move(members));
         }
-        if (shard_depts.empty()) continue;
+        if (shard_depts.empty()) {
+          health::StageAdvance();
+          continue;
+        }
         {
           telemetry::TraceSpan extract_span("detect.extract_features");
           spooler->Replay(s, demux);
         }
+        health::StageAdvance();
+        health::SetStage("detect", shard_depts.size() * dept_units);
         for (int d = 0; d < demux.departments(); ++d) {
           const auto& [department, members] = shard_depts[d];
+          health::SetStageDetail(department);
           const Detector detector(make_dept_spec(department));
           DetectionOutput out =
               detector.Run(demux.extractor(d).cube(), meta.catalog(), members,
@@ -894,15 +948,19 @@ int main(int argc, char** argv) {
     } else {
       CertAcobeExtractor extractor(start, days);
       {
+        health::SetStage("replay", 1);
         telemetry::TraceSpan extract_span("detect.extract_features");
         ReplayStore(store, extractor);
         for (const LdapRecord& r : store.ldap()) {
           extractor.cube().RegisterUser(r.user);
         }
+        health::StageAdvance();
       }
       for (const std::string& department : store.Departments()) {
         const auto members = store.UsersInDepartment(department);
         if (members.size() < 3) continue;
+        health::SetStage("detect", dept_units);
+        health::SetStageDetail(department);
         const Detector detector(make_dept_spec(department));
         DetectionOutput out =
             detector.Run(extractor.cube(), extractor.catalog(), members, 0,
@@ -922,6 +980,7 @@ int main(int argc, char** argv) {
   ACOBE_GAUGE_SET("features.aspects", meta.catalog().aspects().size());
 
   // --- emit ----------------------------------------------------------------
+  health::SetStage("write");
   for (const DeptResult& result : results) {
     PrintDeptResult(result, tables, meta.catalog(), meta.partition(), start,
                     top);
@@ -948,7 +1007,9 @@ int main(int argc, char** argv) {
   if (!ledger_out.empty()) {
     LedgerEvent done("run_complete");
     done.Int("departments", static_cast<std::int64_t>(results.size()))
-        .Int("events", static_cast<std::int64_t>(ledger.event_count() + 1));
+        .Int("events", static_cast<std::int64_t>(ledger.event_count() + 1))
+        .Int("peak_rss_bytes", static_cast<std::int64_t>(PeakRssBytes()))
+        .Raw("stages", health::StageTimesJson());
     ledger.Append(done);
     if (!ledger.WriteFile(ledger_out)) {
       std::fprintf(stderr, "acobe-detect: cannot write %s\n",
@@ -959,9 +1020,21 @@ int main(int argc, char** argv) {
     }
   }
 
+  health::SetStage("done");
+  health::StopHealth();  // final heartbeat carries the full span profile
+
   if (!telemetry::FlushTelemetry("acobe-detect", metrics_out, trace_out,
                                  std::cerr)) {
     exit_code = kExitFailure;
+  }
+  if (!prom_out.empty()) {
+    if (telemetry::WriteMetricsPromFile(prom_out)) {
+      std::fprintf(stderr, "wrote %s\n", prom_out.c_str());
+    } else {
+      std::fprintf(stderr, "acobe-detect: cannot write %s\n",
+                   prom_out.c_str());
+      exit_code = kExitFailure;
+    }
   }
   return exit_code;
 }

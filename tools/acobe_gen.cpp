@@ -10,6 +10,7 @@
 //             [--stream] [--shards=N]
 //             [--corrupt-rate=R] [--corrupt-seed=S]
 //             [--metrics-out=FILE] [--trace-out=FILE]
+//             [--health-out=FILE] [--health-interval-ms=N]
 //
 // --corrupt-rate: after simulation, deterministically corrupt that
 // fraction of data rows in the four event CSVs (byte flips, truncated
@@ -46,6 +47,7 @@
 
 #include "cli_util.h"
 #include "common/faults.h"
+#include "common/health.h"
 #include "common/telemetry.h"
 #include "common/trace.h"
 #include "logs/log_io.h"
@@ -81,12 +83,16 @@ void Usage() {
       "          [--scenario1=DEPT:DATE:DAYS] [--scenario2=DEPT:DATE:DAYS]\n"
       "          [--stream] [--shards=N]\n"
       "          [--corrupt-rate=R] [--corrupt-seed=S]\n"
-      "          [--metrics-out=FILE] [--trace-out=FILE] [--version]\n"
+      "          [--metrics-out=FILE] [--trace-out=FILE]\n"
+      "          [--health-out=FILE] [--health-interval-ms=N] [--version]\n"
       "  --stream          generate in department shards, appending to the\n"
       "                    CSVs as each shard completes (bounded memory)\n"
       "  --shards=N        department shards in --stream mode (default 16)\n"
       "  --corrupt-rate=R  corrupt fraction R of event-CSV rows (0..1)\n"
       "  --corrupt-seed=S  fault-injection seed (default 99)\n"
+      "  --health-out=F    append live heartbeat JSONL to F (watch with\n"
+      "                    acobe-top); crashes dump to F.crash.json\n"
+      "  --health-interval-ms=N  heartbeat period (default 1000)\n"
       "  --version         print build identity and exit\n");
 }
 
@@ -173,7 +179,10 @@ int GenerateStreamed(sim::CertSimConfig base,
 
   std::vector<sim::InsiderScenario> all_scenarios;
   std::size_t total_events = 0, total_users = 0;
+  health::SetStage("simulate", static_cast<std::uint64_t>(n_shards));
   for (int s = 0; s < n_shards; ++s) {
+    health::SetStageDetail("shard " + std::to_string(s + 1) + "/" +
+                           std::to_string(n_shards));
     const int lo = static_cast<int>(
         static_cast<std::int64_t>(total_depts) * s / n_shards);
     const int hi = static_cast<int>(
@@ -219,6 +228,7 @@ int GenerateStreamed(sim::CertSimConfig base,
     }
     total_events += sink.rows_written();
     total_users += shard_store.users().size();
+    health::StageAdvance();
     std::fprintf(stderr,
                  "shard %d/%d: departments %d..%d, %zu users, %zu events\n",
                  s + 1, n_shards, lo, hi - 1, shard_store.users().size(),
@@ -229,6 +239,7 @@ int GenerateStreamed(sim::CertSimConfig base,
   std::fprintf(stderr, "simulated %zu events for %zu users\n", total_events,
                total_users);
 
+  health::SetStage("write");
   for (StreamedCsv* csv : {&device, &file, &http, &logon, &ldap}) {
     if (!csv->Commit()) {
       std::fprintf(stderr, "acobe-gen: cannot write %s\n",
@@ -260,6 +271,8 @@ int GenerateStreamed(sim::CertSimConfig base,
 int main(int argc, char** argv) {
   std::string out_dir;
   std::string metrics_out, trace_out;
+  std::string health_out;
+  int health_interval_ms = 1000;
   sim::CertSimConfig config;
   config.org.departments = 2;
   config.org.users_per_department = 20;
@@ -314,6 +327,11 @@ int main(int argc, char** argv) {
         metrics_out = arg + 14;
       } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
         trace_out = arg + 12;
+      } else if (std::strncmp(arg, "--health-out=", 13) == 0) {
+        health_out = arg + 13;
+      } else if (std::strncmp(arg, "--health-interval-ms=", 21) == 0) {
+        health_interval_ms =
+            static_cast<int>(cli::ParseInt(arg, arg + 21, 10, 3600000));
       } else if (std::strcmp(arg, "--version") == 0) {
         cli::PrintVersion("acobe-gen");
         return 0;
@@ -344,10 +362,19 @@ int main(int argc, char** argv) {
 
   telemetry::EnableMetrics(true);
   telemetry::EnableTracing(!trace_out.empty());
+  if (!health_out.empty()) {
+    health::HealthOptions health_opts;
+    health_opts.path = health_out;
+    health_opts.interval_ms = health_interval_ms;
+    health_opts.tool = "acobe-gen";
+    if (!health::StartHealth(health_opts)) return kExitFailure;
+  }
 
   if (stream) {
     const int code = GenerateStreamed(config, scenarios, out_dir, shards);
     if (code != 0) return code;
+    health::SetStage("done");
+    health::StopHealth();
     if (!telemetry::FlushTelemetry("acobe-gen", metrics_out, trace_out,
                                    std::cerr)) {
       return kExitFailure;
@@ -364,11 +391,13 @@ int main(int argc, char** argv) {
                  static_cast<int>(s.kind), planted.user_name.c_str(),
                  s.department);
   }
+  health::SetStage("simulate", 1);
   {
     telemetry::TraceSpan sim_span("gen.simulate");
     simulator.Run(store);
     store.SortChronologically();
   }
+  health::StageAdvance();
   ACOBE_COUNT("gen.events_simulated", store.TotalEvents());
   ACOBE_GAUGE_SET("gen.users", store.users().size());
   std::fprintf(stderr, "simulated %zu events for %zu users\n",
@@ -385,6 +414,7 @@ int main(int argc, char** argv) {
 
   // Render in memory, optionally corrupt, then land on disk atomically
   // so an interrupted acobe-gen never leaves a half-written CSV behind.
+  health::SetStage("write", 6);  // five CSVs + truth.csv
   auto write = [&](const char* name,
                    void (*writer)(const LogStore&, std::ostream&),
                    bool corruptible) {
@@ -407,6 +437,7 @@ int main(int argc, char** argv) {
       std::exit(kExitFailure);
     }
     std::fprintf(stderr, "wrote %s\n", path.c_str());
+    health::StageAdvance();
   };
   write("device.csv", WriteDeviceCsv, /*corruptible=*/true);
   write("file.csv", WriteFileCsv, /*corruptible=*/true);
@@ -431,8 +462,11 @@ int main(int argc, char** argv) {
       return kExitFailure;
     }
     std::fprintf(stderr, "wrote %s\n", path.c_str());
+    health::StageAdvance();
   }
 
+  health::SetStage("done");
+  health::StopHealth();
   if (!telemetry::FlushTelemetry("acobe-gen", metrics_out, trace_out,
                                  std::cerr)) {
     return kExitFailure;

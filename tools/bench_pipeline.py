@@ -8,6 +8,10 @@ Runs the full pipeline at a configurable scale:
 
 and writes an acobe.metrics.v1 JSON with throughput (users/sec,
 events/sec, deviation matrices/sec) and peak-RSS gauges for each stage.
+The streaming detect runs with --health-out, and the final heartbeat's
+per-stage wall times land as `<prefix>.detect_stream.stage.<name>_seconds`
+gauges, so the benchmark log shows where the pipeline spent its time
+(ingest vs spool vs replay vs detect vs write).
 Unless --skip-memory is given, the in-memory detector runs on the same
 dataset and the two stdouts are compared byte-for-byte: the benchmark
 FAILS if the streaming path is not bit-identical, so every perf run is
@@ -55,6 +59,23 @@ def load_metrics(path):
     if doc.get("schema") != "acobe.metrics.v1":
         raise ValueError(f"{path}: not an acobe.metrics.v1 file")
     return doc
+
+
+def final_heartbeat(path):
+    """Last acobe.health.v1 line of a heartbeat file, or None."""
+    last = None
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                beat = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail
+            if beat.get("schema") == "acobe.health.v1":
+                last = beat
+    return last
 
 
 def main():
@@ -130,11 +151,13 @@ def main():
 
         # --- detect (streaming) --------------------------------------
         det_metrics = os.path.join(scratch, "detect_stream.json")
+        det_health = os.path.join(scratch, "detect_stream.health.jsonl")
         stream_out = os.path.join(scratch, "detect_stream.out")
         det_secs = run_timed(
             [detect, f"--in={data_dir}", f"--train-end={train_end}",
              f"--epochs={args.epochs}", "--stream",
-             f"--shards={args.shards}", f"--metrics-out={det_metrics}"],
+             f"--shards={args.shards}", f"--metrics-out={det_metrics}",
+             f"--health-out={det_health}", "--health-interval-ms=250"],
             stream_out)
         ddoc = load_metrics(det_metrics)
         aspects = int(ddoc["gauges"].get("features.aspects", 0))
@@ -150,6 +173,15 @@ def main():
                 round(total_users * aspects / det_secs, 2)
         stream_rss = ddoc["gauges"]["process.peak_rss_bytes"]
         gauges[f"{p}.detect_stream.peak_rss_bytes"] = stream_rss
+        # Per-stage wall-time breakdown from the final heartbeat.
+        beat = final_heartbeat(det_health)
+        if beat is not None:
+            for stage in beat.get("stages", []):
+                name = str(stage.get("stage", "")).replace(".", "_")
+                if not name:
+                    continue
+                gauges[f"{p}.detect_stream.stage.{name}_seconds"] = \
+                    round(float(stage.get("seconds", 0.0)), 3)
 
         # --- detect (in-memory reference) + identity check -----------
         if not args.skip_memory:

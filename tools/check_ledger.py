@@ -9,7 +9,9 @@ acobe.ledger.v1) structurally:
   - the first event is a `manifest` carrying the schema tag and the
     build-identity block;
   - a `run_complete` event is present (an interrupted run never writes
-    one — the ledger lands atomically at the end);
+    one — the ledger lands atomically at the end); when it carries the
+    health plane's `peak_rss_bytes`/`stages` fields, they are sane
+    (positive peak RSS, nonnegative per-stage wall seconds);
   - every department seen in `aspect_trained` events also has a
     `detection` event, and every detection carries a score digest.
 
@@ -70,8 +72,26 @@ def check_ledger(path):
     if not isinstance(build, dict) or "version" not in build:
         return fail(f"{path}: manifest has no build-identity block")
 
-    if not any(e["event"] == "run_complete" for e in events):
+    completes = [e for e in events if e["event"] == "run_complete"]
+    if not completes:
         return fail(f"{path}: no run_complete event (interrupted run?)")
+    done = completes[-1]
+    if "peak_rss_bytes" in done and not (
+            isinstance(done["peak_rss_bytes"], int)
+            and done["peak_rss_bytes"] > 0):
+        return fail(f"{path}: run_complete peak_rss_bytes is not a "
+                    f"positive integer: {done['peak_rss_bytes']!r}")
+    if "stages" in done:
+        stages = done["stages"]
+        if not isinstance(stages, list):
+            return fail(f"{path}: run_complete stages is not a list")
+        for s in stages:
+            if not isinstance(s, dict) or "stage" not in s:
+                return fail(f"{path}: run_complete stages entry without "
+                            f"a stage name: {s!r}")
+            if s.get("seconds", 0) < 0 or s.get("done", 0) < 0:
+                return fail(f"{path}: run_complete stage {s['stage']!r} "
+                            "has a negative field")
 
     trained_depts = {e.get("department") for e in events
                      if e["event"] == "aspect_trained"}
