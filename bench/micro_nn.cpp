@@ -13,11 +13,13 @@
 
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/telemetry.h"
 #include "nn/autoencoder.h"
+#include "nn/backend.h"
 #include "nn/gemm.h"
 #include "nn/optimizer.h"
 #include "nn/trainer.h"
@@ -64,6 +66,37 @@ void BM_GemmRef(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
 BENCHMARK(BM_GemmRef)->Arg(64)->Arg(128)->Arg(256);
+
+// --- Panel-parallel GEMM ----------------------------------------------------
+//
+// Same square shapes at explicit GEMM thread counts. The in-run ratio
+// BM_GemmMT/N/4 over BM_GemmMT/N/1 is the multi-thread speedup
+// check_bench.py gates (only on machines with >= 4 hardware threads —
+// the ratio is meaningless when the pool is oversubscribed on one core).
+
+void BM_GemmMT(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  const int threads = static_cast<int>(state.range(1));
+  Rng rng(9);
+  const Tensor a = RandomTensor(n, n, rng);
+  const Tensor b = RandomTensor(n, n, rng);
+  Tensor c;
+  SetNnThreads(threads);
+  for (auto _ : state) {
+    Gemm(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  SetNnThreads(1);
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+// Real time, not main-thread CPU time: the work happens on pool
+// workers, which per-thread CPU clocks don't see.
+BENCHMARK(BM_GemmMT)
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4})
+    ->Args({384, 4})
+    ->UseRealTime();
 
 // --- Layer-shaped sweeps ----------------------------------------------------
 //
@@ -198,6 +231,76 @@ void BM_TrainEpoch(benchmark::State& state) {
 }
 BENCHMARK(BM_TrainEpoch)->Arg(112)->Arg(392);
 
+// --- Ensemble training stream -----------------------------------------------
+//
+// The ensemble's training pattern: kStreamJobs independent autoencoders
+// over their own data. BM_TrainStreamSolo is the pre-stream shape — N
+// cold TrainReconstruction calls, each with its own workspace.
+// BM_TrainStreamFused is the fused TrainStream path (shared workspace,
+// warm pool; /4 fans the jobs over four workers). The in-run fused/solo
+// ratio is what check_bench.py gates on multi-core machines.
+
+constexpr int kStreamJobs = 4;
+
+struct StreamFixture {
+  std::vector<Sequential> nets;
+  std::vector<Adadelta> opts;
+  std::vector<Tensor> datas;
+  TrainConfig cfg;
+
+  explicit StreamFixture(std::size_t input_dim) {
+    Rng rng(10);
+    AutoencoderSpec spec;
+    spec.input_dim = input_dim;
+    spec.encoder_dims = ScaledEncoderDims(8);
+    nets.reserve(kStreamJobs);
+    opts.reserve(kStreamJobs);
+    datas.reserve(kStreamJobs);
+    for (int j = 0; j < kStreamJobs; ++j) {
+      nets.push_back(BuildAutoencoder(spec));
+      nets.back().InitParams(rng);
+      opts.emplace_back();
+      datas.push_back(RandomTensor(512, input_dim, rng));
+    }
+    cfg.epochs = 1;
+    cfg.batch_size = 64;
+  }
+};
+
+void BM_TrainStreamSolo(benchmark::State& state) {
+  StreamFixture fx(state.range(0));
+  for (auto _ : state) {
+    for (int j = 0; j < kStreamJobs; ++j) {
+      const auto history =
+          TrainReconstruction(fx.nets[j], fx.opts[j], fx.datas[j], fx.cfg);
+      benchmark::DoNotOptimize(history.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kStreamJobs * 512);
+}
+BENCHMARK(BM_TrainStreamSolo)->Arg(112)->UseRealTime();
+
+void BM_TrainStreamFused(benchmark::State& state) {
+  StreamFixture fx(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    std::vector<TrainJob> jobs(kStreamJobs);
+    for (int j = 0; j < kStreamJobs; ++j) {
+      jobs[j].net = &fx.nets[j];
+      jobs[j].optimizer = &fx.opts[j];
+      jobs[j].data = &fx.datas[j];
+      jobs[j].config = fx.cfg;
+    }
+    TrainStream(jobs, threads);
+    benchmark::DoNotOptimize(jobs.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kStreamJobs * 512);
+}
+BENCHMARK(BM_TrainStreamFused)
+    ->Args({112, 1})
+    ->Args({112, 4})
+    ->UseRealTime();
+
 void BM_OptimizerStep(benchmark::State& state) {
   Rng rng(5);
   Param p;
@@ -250,6 +353,12 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&bench_argc, passthrough.data());
   GaugeReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
+  // Machine context the gate needs: multi-thread speedup ratios are
+  // only meaningful when the hardware can actually run the workers
+  // concurrently, so check_bench.py reads bench.hw_threads to decide
+  // whether to apply or skip the threaded floors.
+  telemetry::GetGauge("bench.hw_threads")
+      .Set(static_cast<double>(std::thread::hardware_concurrency()));
   if (!metrics_out.empty() && !telemetry::WriteMetricsJsonFile(metrics_out)) {
     std::fprintf(stderr, "micro_nn: cannot write %s\n", metrics_out.c_str());
     return 1;

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdlib>
 #include <exception>
+#include <map>
 #include <memory>
 #include <string>
 #include <utility>
@@ -12,6 +13,22 @@
 #include "common/trace.h"
 
 namespace acobe {
+
+namespace {
+
+thread_local bool t_on_worker_thread = false;
+
+/// RAII worker marker: nested parallel sections check OnWorkerThread()
+/// and run inline instead of re-entering the runtime.
+struct WorkerScope {
+  bool previous;
+  WorkerScope() : previous(t_on_worker_thread) { t_on_worker_thread = true; }
+  ~WorkerScope() { t_on_worker_thread = previous; }
+};
+
+}  // namespace
+
+bool OnWorkerThread() { return t_on_worker_thread; }
 
 int DefaultThreadCount() {
   if (const char* env = std::getenv("ACOBE_THREADS")) {
@@ -114,6 +131,7 @@ void ThreadPool::WorkerLoop() {
     // Span "pool.task" is how utilization shows up: the fraction of a
     // worker's trace row covered by pool.task events is its busy share.
     telemetry::TraceSpan span("pool.task");
+    WorkerScope worker_scope;
     task();  // exceptions land in the packaged_task's future
     ACOBE_COUNT("pool.tasks_executed", 1);
   }
@@ -137,6 +155,7 @@ void ParallelFor(int begin, int end, int threads,
   std::exception_ptr error;
   std::mutex error_mutex;
   auto worker = [&] {
+    WorkerScope worker_scope;
     for (;;) {
       const int i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= end || failed.load(std::memory_order_relaxed)) return;
@@ -165,6 +184,29 @@ void ParallelFor(int begin, int end, int threads,
   worker();  // the calling thread participates
   for (std::thread& t : extra) t.join();
   if (error) std::rethrow_exception(error);
+}
+
+ThreadPool& SharedPool(int threads) {
+  const int n = ResolveThreadCount(threads);
+  static std::mutex mutex;
+  static std::map<int, std::unique_ptr<ThreadPool>> pools;
+  std::lock_guard<std::mutex> lock(mutex);
+  std::unique_ptr<ThreadPool>& slot = pools[n];
+  if (!slot) slot = std::make_unique<ThreadPool>(n);
+  return *slot;
+}
+
+void PooledParallelFor(int begin, int end, int threads,
+                       const std::function<void(int)>& fn) {
+  if (begin >= end) return;
+  const int span = end - begin;
+  const int n = std::min(ResolveThreadCount(threads), span);
+  ACOBE_COUNT("parallel.pooled_for_calls", 1);
+  if (n <= 1 || OnWorkerThread()) {
+    for (int i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  SharedPool(n).ParallelFor(begin, end, fn);
 }
 
 }  // namespace acobe

@@ -75,7 +75,34 @@ class ThreadPool {
 /// every iteration finished; the first exception thrown by any
 /// iteration is rethrown on the calling thread after the join. With a
 /// resolved count of 1 (or end - begin <= 1) runs inline, in order.
+/// Spawns fresh worker threads per call; phases that run many times
+/// should prefer PooledParallelFor for warm workers.
 void ParallelFor(int begin, int end, int threads,
                  const std::function<void(int)>& fn);
+
+/// True while the calling thread is executing inside a ThreadPool
+/// worker or a ParallelFor worker (including the calling thread's own
+/// participation in ParallelFor). Nested parallel sections use this to
+/// degrade to inline execution instead of deadlocking on their own
+/// pool or oversubscribing the machine.
+bool OnWorkerThread();
+
+/// Process-wide cache of persistent pools, keyed by resolved worker
+/// count: the first request for a given count spawns the pool, later
+/// requests reuse its warm workers. Pools live for the process (their
+/// destructors join at exit). `threads` is resolved via
+/// ResolveThreadCount and must resolve to >= 2 (a count of 1 means
+/// "run inline" and never needs a pool).
+ThreadPool& SharedPool(int threads);
+
+/// Pool-backed ParallelFor with the same iteration contract as
+/// ParallelFor, but running on SharedPool(threads) so repeated phases
+/// reuse warm workers instead of respawning threads every call. Runs
+/// inline (serial, in order) when the resolved count is 1, the range
+/// has at most one element, or the caller is already on a worker
+/// thread (nested parallelism degrades to serial rather than blocking
+/// a worker on its own pool).
+void PooledParallelFor(int begin, int end, int threads,
+                       const std::function<void(int)>& fn);
 
 }  // namespace acobe

@@ -11,13 +11,18 @@ namespace acobe {
 
 /// Repository version; bump on externally visible format changes
 /// (ledger/explain schemas carry their own version strings on top).
-inline constexpr const char kAcobeVersion[] = "0.5.0";
+inline constexpr const char kAcobeVersion[] = "0.6.0";
 
 struct BuildInfo {
   std::string version;     // kAcobeVersion
   std::string build_type;  // CMAKE_BUILD_TYPE baked in at compile time
   std::string simd;        // "avx2" or "scalar" (runtime dispatch)
   bool telemetry = false;  // instrumentation compiled in
+  // NN-core identity, stamped by nn::AnnotateBuildInfo. Left at the
+  // defaults below by tools with no neural-net dependency (acobe_gen),
+  // whose manifests simply omit the fields.
+  std::string nn_backend;  // active kernel family ("default", "fma", ...)
+  int nn_threads = 0;      // resolved GEMM thread count (0 = n/a)
 };
 
 /// The active GEMM dispatch decision. Mirrors the runtime check in

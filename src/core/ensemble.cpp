@@ -140,24 +140,25 @@ void AspectEnsemble::Train(
     std::filesystem::create_directories(config_.checkpoint_dir);
   }
 
-  // Epoch callbacks arrive from worker threads; serialize them. Their
-  // interleaving across aspects depends on scheduling, but each model
-  // only consumes its own seed-derived RNG streams, so the trained
-  // parameters are bit-identical to a serial run.
+  // Epoch callbacks can arrive from worker threads; serialize them.
+  // Their interleaving across aspects depends on scheduling (and, in
+  // the fused serial stream, on the round-robin), but each model only
+  // consumes its own seed-derived RNG streams, so the trained
+  // parameters are bit-identical however the epochs interleave.
   std::mutex epoch_mutex;
 
-  ParallelFor(
+  // Phase 1 — per-aspect setup: spec, checkpoint resume, and batch
+  // assembly for the aspects that still need training. Runs on the
+  // shared pool so its warm workers carry straight into the training
+  // stream below.
+  std::vector<nn::Tensor> datas(aspects_.size());
+  std::vector<std::uint8_t> needs_train(aspects_.size(), 0);
+  PooledParallelFor(
       0, static_cast<int>(aspects_.size()), config_.threads,
       [&](int ai) {
         const std::size_t a = static_cast<std::size_t>(ai);
         const AspectGroup& aspect = aspects_[a];
         telemetry::TraceSpan aspect_span("ensemble.train_aspect", aspect.name);
-        // One progress unit per aspect on every exit path (resumed,
-        // trained, degraded) — the lambda has several returns.
-        struct StageTick {
-          ~StageTick() { health::StageAdvance(); }
-        } stage_tick;
-        (void)stage_tick;
         AspectTrainSummary& summary = summaries_[a];
         summary.name = aspect.name;
         nn::AutoencoderSpec spec;
@@ -167,11 +168,9 @@ void AspectEnsemble::Train(
         spec.sigmoid_output = true;
         specs_[a] = spec;
 
-        const std::string ckpt =
-            config_.checkpoint_dir.empty()
-                ? std::string()
-                : CheckpointPath(config_.checkpoint_dir, aspect.name);
-        if (config_.resume && !ckpt.empty()) {
+        if (config_.resume && !config_.checkpoint_dir.empty()) {
+          const std::string ckpt =
+              CheckpointPath(config_.checkpoint_dir, aspect.name);
           telemetry::TraceSpan load_span("ensemble.checkpoint_load",
                                          aspect.name);
           std::ifstream in(ckpt, std::ios::binary);
@@ -189,6 +188,7 @@ void AspectEnsemble::Train(
               summary.resumed = true;
               summary.ok = true;
               ACOBE_COUNT("ensemble.aspects_resumed", 1);
+              health::StageAdvance();  // this aspect is done
               return;
             } catch (const CheckpointMismatch&) {
               throw;
@@ -199,85 +199,127 @@ void AspectEnsemble::Train(
             }
           }
         }
-
-        // Per-aspect per-epoch loss trajectory ("train.loss.<aspect>");
-        // each aspect owns its Series, so worker appends never contend.
-        telemetry::Series* loss_series =
-            telemetry::MetricsEnabled()
-                ? &telemetry::GetSeries("train.loss." + aspect.name)
-                : nullptr;
-        const nn::Tensor data =
+        datas[a] =
             AssembleBatchForDays(builder, aspect, n_users, day_begin, day_end,
                                  std::max(1, config_.train_stride));
-
-        const int attempts = std::max(1, config_.max_train_attempts);
-        for (int attempt = 0; attempt < attempts; ++attempt) {
-          telemetry::TraceSpan attempt_span("ensemble.train_attempt",
-                                            aspect.name);
-          summary.attempts = attempt + 1;
-          summary.epoch_losses.clear();
-          nn::Sequential net = nn::BuildAutoencoder(spec);
-          // Attempt 0 reproduces the single-attempt seed derivations
-          // bit-exactly; retries fork deterministic fresh streams.
-          const std::uint64_t attempt_key =
-              static_cast<std::uint64_t>(attempt);
-          Rng rng(config_.seed + a * 7919 +
-                  attempt_key * 0x9E3779B97F4A7C15ULL);
-          net.InitParams(rng);
-          const float lr =
-              config_.learning_rate *
-              std::pow(config_.retry_lr_decay, static_cast<float>(attempt));
-          std::unique_ptr<nn::Optimizer> optimizer_ptr;
-          switch (config_.optimizer) {
-            case OptimizerKind::kAdadelta:
-              optimizer_ptr = std::make_unique<nn::Adadelta>(lr);
-              break;
-            case OptimizerKind::kAdam:
-              optimizer_ptr = std::make_unique<nn::Adam>(lr);
-              break;
-            case OptimizerKind::kSgd:
-              optimizer_ptr = std::make_unique<nn::Sgd>(lr, 0.9f);
-              break;
-          }
-          nn::Optimizer& optimizer = *optimizer_ptr;
-          nn::TrainConfig train = config_.train;
-          train.seed = config_.seed + a * 104729 +
-                       attempt_key * 0xC2B2AE3D27D4EB4FULL;
-          try {
-            nn::TrainReconstruction(
-                net, optimizer, data, train, [&](const nn::EpochStats& s) {
-                  summary.epoch_losses.push_back(s.loss);
-                  if (loss_series) loss_series->Append(s.loss);
-                  if (on_epoch) {
-                    std::lock_guard<std::mutex> lock(epoch_mutex);
-                    on_epoch(aspect.name, s);
-                  }
-                });
-          } catch (const nn::TrainingDiverged&) {
-            ACOBE_COUNT("ensemble.train_retries", 1);
-            if (attempt + 1 < attempts) continue;
-            if (!config_.allow_degraded) throw;
-            // Irrecoverable: leave aspect_ok_[a] == 0; Score() ranks
-            // from the healthy remainder and reports flag the gap.
-            ACOBE_COUNT("ensemble.aspects_failed", 1);
-            return;
-          }
-          models_[a] = std::move(net);
-          aspect_ok_[a] = 1;
-          summary.ok = true;
-          summary.epochs = static_cast<int>(summary.epoch_losses.size());
-          summary.final_loss =
-              summary.epoch_losses.empty() ? 0.0f : summary.epoch_losses.back();
-          if (!ckpt.empty()) {
-            telemetry::TraceSpan save_span("ensemble.checkpoint_save",
-                                           aspect.name);
-            WriteFileAtomic(ckpt, [&](std::ostream& out) {
-              nn::SaveAutoencoder(specs_[a], models_[a], out);
-            });
-          }
-          return;
-        }
+        needs_train[a] = 1;
       });
+
+  // Phase 2 — the fused training stream: every still-untrained aspect
+  // becomes one TrainJob and the whole batch goes through
+  // nn::TrainStream sharing one backend context (warm shared pool,
+  // per-worker reused workspaces and pack arenas; with a serial thread
+  // budget, round-robin interleaved per-model epochs on one workspace)
+  // instead of N cold independent trainers. Divergence is handled at
+  // stream granularity: diverged aspects re-enter the next round with
+  // the retry seed/learning-rate derivations until the attempt budget
+  // runs out.
+  struct Pending {
+    std::size_t a;
+    int attempt;
+  };
+  std::vector<Pending> pending;
+  for (std::size_t a = 0; a < aspects_.size(); ++a) {
+    if (needs_train[a]) pending.push_back({a, 0});
+  }
+  const int attempts = std::max(1, config_.max_train_attempts);
+  while (!pending.empty()) {
+    telemetry::TraceSpan stream_span("ensemble.train_stream");
+    std::vector<nn::Sequential> nets(pending.size());
+    std::vector<std::unique_ptr<nn::Optimizer>> optimizers(pending.size());
+    std::vector<nn::TrainJob> jobs(pending.size());
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      const std::size_t a = pending[i].a;
+      const AspectGroup& aspect = aspects_[a];
+      AspectTrainSummary& summary = summaries_[a];
+      summary.attempts = pending[i].attempt + 1;
+      summary.epoch_losses.clear();
+      nets[i] = nn::BuildAutoencoder(specs_[a]);
+      // Attempt 0 reproduces the single-attempt seed derivations
+      // bit-exactly; retries fork deterministic fresh streams.
+      const std::uint64_t attempt_key =
+          static_cast<std::uint64_t>(pending[i].attempt);
+      Rng rng(config_.seed + a * 7919 + attempt_key * 0x9E3779B97F4A7C15ULL);
+      nets[i].InitParams(rng);
+      const float lr = config_.learning_rate *
+                       std::pow(config_.retry_lr_decay,
+                                static_cast<float>(pending[i].attempt));
+      switch (config_.optimizer) {
+        case OptimizerKind::kAdadelta:
+          optimizers[i] = std::make_unique<nn::Adadelta>(lr);
+          break;
+        case OptimizerKind::kAdam:
+          optimizers[i] = std::make_unique<nn::Adam>(lr);
+          break;
+        case OptimizerKind::kSgd:
+          optimizers[i] = std::make_unique<nn::Sgd>(lr, 0.9f);
+          break;
+      }
+      nn::TrainJob& job = jobs[i];
+      job.net = &nets[i];
+      job.optimizer = optimizers[i].get();
+      job.data = &datas[a];
+      job.config = config_.train;
+      job.config.seed =
+          config_.seed + a * 104729 + attempt_key * 0xC2B2AE3D27D4EB4FULL;
+      // Per-aspect per-epoch loss trajectory ("train.loss.<aspect>");
+      // each aspect owns its Series, so concurrent appends never
+      // contend.
+      telemetry::Series* loss_series =
+          telemetry::MetricsEnabled()
+              ? &telemetry::GetSeries("train.loss." + aspect.name)
+              : nullptr;
+      job.on_epoch = [&summary, loss_series, &epoch_mutex, &on_epoch,
+                      &aspect](const nn::EpochStats& s) {
+        summary.epoch_losses.push_back(s.loss);
+        if (loss_series) loss_series->Append(s.loss);
+        if (on_epoch) {
+          std::lock_guard<std::mutex> lock(epoch_mutex);
+          on_epoch(aspect.name, s);
+        }
+      };
+    }
+
+    nn::TrainStream(jobs, config_.threads);
+
+    std::vector<Pending> retry;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      const std::size_t a = pending[i].a;
+      AspectTrainSummary& summary = summaries_[a];
+      if (jobs[i].diverged) {
+        ACOBE_COUNT("ensemble.train_retries", 1);
+        if (pending[i].attempt + 1 < attempts) {
+          retry.push_back({a, pending[i].attempt + 1});
+          continue;
+        }
+        if (!config_.allow_degraded) {
+          throw nn::TrainingDiverged(jobs[i].error);
+        }
+        // Irrecoverable: leave aspect_ok_[a] == 0; Score() ranks from
+        // the healthy remainder and reports flag the gap.
+        ACOBE_COUNT("ensemble.aspects_failed", 1);
+        health::StageAdvance();
+        continue;
+      }
+      models_[a] = std::move(nets[i]);
+      aspect_ok_[a] = 1;
+      summary.ok = true;
+      summary.epochs = static_cast<int>(summary.epoch_losses.size());
+      summary.final_loss =
+          summary.epoch_losses.empty() ? 0.0f : summary.epoch_losses.back();
+      if (!config_.checkpoint_dir.empty()) {
+        const std::string ckpt =
+            CheckpointPath(config_.checkpoint_dir, aspects_[a].name);
+        telemetry::TraceSpan save_span("ensemble.checkpoint_save",
+                                       aspects_[a].name);
+        WriteFileAtomic(ckpt, [&](std::ostream& out) {
+          nn::SaveAutoencoder(specs_[a], models_[a], out);
+        });
+      }
+      health::StageAdvance();
+    }
+    pending = std::move(retry);
+  }
   ACOBE_COUNT("ensemble.aspects_trained", healthy_aspect_count());
   trained_ = true;
   if (healthy_aspect_count() == 0) {
@@ -317,7 +359,9 @@ ScoreGrid AspectEnsemble::Score(const SampleBuilder& builder, int n_users,
   // disjoint set of grid cells).
   const int n_aspects = static_cast<int>(healthy.size());
   const int n_days = last - first;
-  ParallelFor(0, n_aspects * n_users, config_.threads, [&](int item) {
+  // Pool-backed so scoring reuses the workers (and their thread-local
+  // batch/scratch buffers) the training stream already warmed up.
+  PooledParallelFor(0, n_aspects * n_users, config_.threads, [&](int item) {
     telemetry::TraceSpan item_span("ensemble.score_user");
     const int h = item / n_users;
     const int a = healthy[static_cast<std::size_t>(h)];

@@ -4,25 +4,40 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "nn/backend.h"
+#include "nn/gemm_internal.h"
+
 namespace acobe::nn {
 
-void ReLU::Forward(const Tensor& x, Tensor& y, bool /*training*/) {
-  y.ResizeUninit(x.rows(), x.cols());
-  const float* in = x.data();
-  float* out = y.data();
-  for (std::size_t i = 0; i < x.size(); ++i) {
+namespace detail {
+
+// The shared scalar activation kernels every built-in backend registers
+// in its KernelSet (see backend.h): keeping one definition makes
+// activation arithmetic bit-identical across backends by construction,
+// so backend parity tests only ever chase GEMM differences.
+void ScalarRelu(const float* in, float* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
     const float v = in[i];
     out[i] = v > 0.0f ? v : 0.0f;
   }
 }
 
+void ScalarSigmoid(const float* in, float* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = 1.0f / (1.0f + std::exp(-in[i]));
+  }
+}
+
+}  // namespace detail
+
+void ReLU::Forward(const Tensor& x, Tensor& y, bool /*training*/) {
+  y.ResizeUninit(x.rows(), x.cols());
+  ActiveBackend().kernels().relu(x.data(), y.data(), x.size());
+}
+
 void ReLU::Infer(MatSpan x, Tensor& y) const {
   y.ResizeUninit(x.rows, x.cols);
-  float* out = y.data();
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    const float v = x.data[i];
-    out[i] = v > 0.0f ? v : 0.0f;
-  }
+  ActiveBackend().kernels().relu(x.data, y.data(), x.size());
 }
 
 void ReLU::Backward(const Tensor& /*x*/, const Tensor& y, const Tensor& g,
@@ -43,19 +58,12 @@ void ReLU::Backward(const Tensor& /*x*/, const Tensor& y, const Tensor& g,
 
 void Sigmoid::Forward(const Tensor& x, Tensor& y, bool /*training*/) {
   y.ResizeUninit(x.rows(), x.cols());
-  const float* in = x.data();
-  float* out = y.data();
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    out[i] = 1.0f / (1.0f + std::exp(-in[i]));
-  }
+  ActiveBackend().kernels().sigmoid(x.data(), y.data(), x.size());
 }
 
 void Sigmoid::Infer(MatSpan x, Tensor& y) const {
   y.ResizeUninit(x.rows, x.cols);
-  float* out = y.data();
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    out[i] = 1.0f / (1.0f + std::exp(-x.data[i]));
-  }
+  ActiveBackend().kernels().sigmoid(x.data, y.data(), x.size());
 }
 
 void Sigmoid::Backward(const Tensor& /*x*/, const Tensor& y, const Tensor& g,

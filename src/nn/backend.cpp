@@ -1,0 +1,275 @@
+#include "nn/backend.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdlib>
+#include <mutex>
+#include <utility>
+
+#include "common/telemetry.h"
+#include "nn/gemm.h"
+#include "nn/gemm_internal.h"
+
+namespace acobe::nn {
+
+namespace {
+
+inline void AssertNoAlias(const Tensor& c, MatSpan a, MatSpan b) {
+#ifndef NDEBUG
+  assert(c.data() != a.data && c.data() != b.data);
+#else
+  (void)c;
+  (void)a;
+  (void)b;
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Built-in backends.
+// ---------------------------------------------------------------------------
+
+// The blocked backends ("default", "fma", "avx512") differ only in
+// which full-tile micro-kernel they register and in exactness class /
+// availability; the tile driver, pack arena, and threading policy are
+// shared (detail::BlockedGemm).
+class BlockedBackend : public Backend {
+ public:
+  BlockedBackend(std::string name, bool bit_exact, MicroKernelFn full_tile,
+                 bool available)
+      : name_(std::move(name)), bit_exact_(bit_exact), available_(available) {
+    kernels_.gemm_tile = full_tile;
+    kernels_.relu = detail::ScalarRelu;
+    kernels_.sigmoid = detail::ScalarSigmoid;
+  }
+
+  const std::string& name() const override { return name_; }
+  bool bit_exact() const override { return bit_exact_; }
+  bool available() const override { return available_; }
+  const KernelSet& kernels() const override { return kernels_; }
+
+  void Gemm(MatSpan a, MatSpan b, Tensor& c,
+            const float* bias) const override {
+    const std::size_t m = a.rows, k = a.cols, n = b.cols;
+    c.ResizeUninit(m, n);
+    AssertNoAlias(c, a, b);
+    detail::BlockedGemm(m, k, n, a.data, /*ars=*/k, /*als=*/1, b.data,
+                        c.data(), bias, kernels_.gemm_tile);
+  }
+
+  void GemmTransA(MatSpan a, MatSpan b, Tensor& c) const override {
+    const std::size_t k = a.rows, m = a.cols, n = b.cols;
+    c.ResizeUninit(m, n);
+    AssertNoAlias(c, a, b);
+    // C[i][j] = sum_l A[l][i] * B[l][j]: row stride through A is 1,
+    // term stride is the A row length m.
+    detail::BlockedGemm(m, k, n, a.data, /*ars=*/1, /*als=*/m, b.data,
+                        c.data(), nullptr, kernels_.gemm_tile);
+  }
+
+  void GemmTransB(MatSpan a, MatSpan b, Tensor& c) const override {
+    const std::size_t m = a.rows, k = a.cols, n = b.rows;
+    c.ResizeUninit(m, n);
+    AssertNoAlias(c, a, b);
+    // C = A B^T has the same per-element accumulation chains as
+    // C = A Bt with Bt the explicit transpose, so transposing B once
+    // (pure data movement, no arithmetic) lets the blocked driver --
+    // and its vectorize-across-j micro-kernels -- run at full Gemm
+    // speed instead of being stuck with scalar dot-product chains. The
+    // O(k*n) pack amortizes over the O(m*k*n) math; the arena reuses
+    // the buffer across calls, so it allocates during warm-up only,
+    // preserving the zero-allocation train loop.
+    float* bt = detail::AcquirePackBuffer(k * n);
+    const float* pb = b.data;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      for (std::size_t l = 0; l < k; ++l) bt[l * n + j] = brow[l];
+    }
+    detail::BlockedGemm(m, k, n, a.data, /*ars=*/k, /*als=*/1, bt, c.data(),
+                        nullptr, kernels_.gemm_tile);
+  }
+
+ private:
+  std::string name_;
+  bool bit_exact_;
+  bool available_;
+  KernelSet kernels_;
+};
+
+// The scalar triple-loop kernels behind the backend interface: the
+// parity baseline, and the floor every other backend is measured
+// against (bit-identity for "default", tolerance for the FMA family).
+class ReferenceBackend : public Backend {
+ public:
+  ReferenceBackend() {
+    kernels_.gemm_tile = nullptr;  // scalar loops, no tile kernel
+    kernels_.relu = detail::ScalarRelu;
+    kernels_.sigmoid = detail::ScalarSigmoid;
+  }
+
+  const std::string& name() const override { return name_; }
+  bool bit_exact() const override { return true; }
+  bool available() const override { return true; }
+  const KernelSet& kernels() const override { return kernels_; }
+
+  void Gemm(MatSpan a, MatSpan b, Tensor& c,
+            const float* bias) const override {
+    reference::Gemm(a, b, c, bias);
+  }
+  void GemmTransA(MatSpan a, MatSpan b, Tensor& c) const override {
+    reference::GemmTransA(a, b, c);
+  }
+  void GemmTransB(MatSpan a, MatSpan b, Tensor& c) const override {
+    reference::GemmTransB(a, b, c);
+  }
+
+ private:
+  std::string name_ = "reference";
+  KernelSet kernels_;
+};
+
+// ---------------------------------------------------------------------------
+// Registry + selection.
+// ---------------------------------------------------------------------------
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<Backend>> backends;
+  std::atomic<const Backend*> active{nullptr};
+
+  Registry() {
+    backends.push_back(std::make_unique<BlockedBackend>(
+        kDefaultBackendName, /*bit_exact=*/true, detail::DefaultKernel(),
+        /*available=*/true));
+    backends.push_back(std::make_unique<ReferenceBackend>());
+    if (MicroKernelFn fma = detail::FmaKernel()) {
+      backends.push_back(std::make_unique<BlockedBackend>(
+          "fma", /*bit_exact=*/false, fma, detail::CpuHasFma()));
+    }
+    if (MicroKernelFn avx512 = detail::Avx512Kernel()) {
+      backends.push_back(std::make_unique<BlockedBackend>(
+          "avx512", /*bit_exact=*/false, avx512, detail::CpuHasAvx512()));
+    }
+    const char* env = std::getenv("ACOBE_NN_BACKEND");
+    active.store(Resolve(env == nullptr ? "" : env),
+                 std::memory_order_release);
+  }
+
+  const Backend* Find(const std::string& name) {
+    for (const std::unique_ptr<Backend>& b : backends) {
+      if (b->name() == name) return b.get();
+    }
+    return nullptr;
+  }
+
+  // Maps a requested name to the backend that will actually run:
+  // unknown or CPU-unsupported requests fall back to "default" (which
+  // always exists and always runs — its kernel choice already degrades
+  // to the portable path on non-AVX2 CPUs).
+  const Backend* Resolve(const std::string& requested) {
+    const std::string name =
+        requested.empty() ? kDefaultBackendName : requested;
+    const Backend* found = Find(name);
+    if (found != nullptr && found->available()) return found;
+    if (found == nullptr) {
+      ACOBE_COUNT("nn.backend.unknown_requests", 1);
+    }
+    ACOBE_COUNT("nn.backend.fallbacks", 1);
+    return Find(kDefaultBackendName);
+  }
+};
+
+Registry& GetRegistry() {
+  static Registry registry;
+  return registry;
+}
+
+// GEMM worker threads. 0 = "not yet resolved"; resolution consults
+// ACOBE_NN_THREADS once, defaulting to 1 (serial) — the outer
+// per-aspect/per-user parallelism owns the cores unless the user hands
+// them to the math core explicitly.
+std::atomic<int> g_nn_threads{0};
+
+int ResolveNnThreadsFromEnv() {
+  if (const char* env = std::getenv("ACOBE_NN_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 1;
+}
+
+}  // namespace
+
+void RegisterBackend(std::unique_ptr<Backend> backend) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  for (std::unique_ptr<Backend>& slot : registry.backends) {
+    if (slot->name() == backend->name()) {
+      // Replacing the active backend re-points the active pointer at
+      // the new instance (the old one is about to be destroyed).
+      const bool was_active =
+          registry.active.load(std::memory_order_acquire) == slot.get();
+      slot = std::move(backend);
+      if (was_active) {
+        registry.active.store(slot.get(), std::memory_order_release);
+      }
+      return;
+    }
+  }
+  registry.backends.push_back(std::move(backend));
+}
+
+std::vector<std::string> BackendNames() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  std::vector<std::string> names;
+  names.reserve(registry.backends.size());
+  for (const std::unique_ptr<Backend>& b : registry.backends) {
+    names.push_back(b->name());
+  }
+  return names;
+}
+
+const Backend* FindBackend(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  return registry.Find(name);
+}
+
+std::string SelectBackend(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  const Backend* chosen = registry.Resolve(name);
+  registry.active.store(chosen, std::memory_order_release);
+  return chosen->name();
+}
+
+const Backend& ActiveBackend() {
+  return *GetRegistry().active.load(std::memory_order_acquire);
+}
+
+const std::string& ActiveBackendName() { return ActiveBackend().name(); }
+
+void SetNnThreads(int threads) {
+  g_nn_threads.store(threads > 0 ? threads : ResolveNnThreadsFromEnv(),
+                     std::memory_order_relaxed);
+}
+
+int NnThreads() {
+  int n = g_nn_threads.load(std::memory_order_relaxed);
+  if (n <= 0) {
+    n = ResolveNnThreadsFromEnv();
+    g_nn_threads.store(n, std::memory_order_relaxed);
+  }
+  return n;
+}
+
+std::size_t PackBytesInUse() { return detail::PackBytes(); }
+
+void ReleaseThreadScratch() { detail::ReleasePackBuffer(); }
+
+void AnnotateBuildInfo(BuildInfo& info) {
+  info.nn_backend = ActiveBackendName();
+  info.nn_threads = NnThreads();
+}
+
+}  // namespace acobe::nn

@@ -1,0 +1,161 @@
+#pragma once
+
+// Pluggable compute backend for the NN math core.
+//
+// A Backend owns the kernel registration for every hot primitive the
+// layers call — the three GEMM forms (with the fused bias epilogue)
+// and the element-wise activation kernels — plus the policy knobs that
+// go with them (bit-exactness class, CPU availability). The free
+// functions Gemm/GemmTransA/GemmTransB in gemm.h and the activation
+// layers route through the process-wide *active* backend, so swapping
+// backends changes every call site at once without touching them.
+//
+// Built-in backends:
+//   "default"    the determinism anchor: the cache-blocked kernels with
+//                runtime AVX2-or-portable dispatch and separate
+//                multiply/add roundings. Bit-identical to
+//                nn::reference at every thread count; this is the only
+//                backend the golden tests and the score-reproducibility
+//                contract run against, and the one selected unless the
+//                user opts out.
+//   "reference"  the scalar triple-loop kernels (nn::reference) behind
+//                the same interface; the parity baseline.
+//   "fma"        AVX2+FMA micro-kernel (fused multiply-add rounds once
+//                where the contract kernels round twice). Opt-in only,
+//                tolerance-tested (<= 1e-5 relative vs reference),
+//                internally deterministic run-to-run.
+//   "avx512"     AVX-512F micro-kernel with FMA and a 2-way k-unroll
+//                (two accumulator chains per element, combined at the
+//                end). Opt-in only, tolerance-tested, internally
+//                deterministic run-to-run.
+//
+// Selection: SelectBackend(name), the ACOBE_NN_BACKEND environment
+// variable (read once at first use), or a tool's --nn-backend flag.
+// Requesting an unknown backend or one the CPU cannot run falls back
+// to "default" (counted under nn.backend.fallbacks); the return value
+// is always the name actually active, so callers can report it.
+//
+// Threading: the blocked backends parallelize one GEMM across
+// panel-disjoint regions of C when the shape is heavy enough and
+// NnThreads() > 1 (default 1 — the outer per-aspect/per-user
+// parallelism owns the cores unless the user hands them to the math
+// core explicitly via SetNnThreads / ACOBE_NN_THREADS / --nn-threads).
+// Every tile of C is computed start-to-finish by exactly one worker,
+// so results are bit-identical to the serial run at every thread
+// count — threading never weakens a backend's exactness class.
+//
+// Scratch: pack buffers (GemmTransB's B-transpose staging) live in
+// per-thread arenas owned by the backend layer, accounted in the
+// nn.pack_bytes gauge and bounded by a shrink-on-oversize policy (see
+// PackArena in gemm.cpp). ReleaseThreadScratch() frees the calling
+// thread's arena outright.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/version.h"
+#include "nn/tensor.h"
+
+namespace acobe::nn {
+
+/// Element-wise activation kernel: out[i] = f(in[i]) for i in [0, n).
+/// in == out (in-place) is allowed.
+using ActKernelFn = void (*)(const float* in, float* out, std::size_t n);
+
+/// Full-tile GEMM micro-kernel: computes a kMR x kNR tile of C with
+/// per-element accumulator chains in ascending-k order (see gemm.cpp
+/// for the exact contract). `ars`/`als` are A's row/term strides, so
+/// one kernel serves both the plain and the A-transposed layouts.
+using MicroKernelFn = void (*)(std::size_t k, const float* a,
+                               std::size_t ars, std::size_t als,
+                               const float* b, std::size_t ldb, float* c,
+                               std::size_t ldc, const float* bias);
+
+/// The kernels a backend registers. A null gemm_tile means "route the
+/// GEMM forms through the scalar reference kernels" (the "reference"
+/// backend). Activation slots always hold a callable kernel; today
+/// every built-in backend registers the shared scalar implementations
+/// (bit-identical by construction), but the slot is where a vectorized
+/// exp/relu would plug in.
+struct KernelSet {
+  MicroKernelFn gemm_tile = nullptr;
+  ActKernelFn relu = nullptr;
+  ActKernelFn sigmoid = nullptr;
+};
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Registry key and the name reported in ledgers / --version.
+  virtual const std::string& name() const = 0;
+
+  /// True when this backend's results are bit-identical to
+  /// nn::reference on every shape and thread count. Non-bit-exact
+  /// backends are never selected by default and are held to a relative
+  /// tolerance instead.
+  virtual bool bit_exact() const = 0;
+
+  /// True when the running CPU can execute the backend's kernels.
+  virtual bool available() const = 0;
+
+  virtual const KernelSet& kernels() const = 0;
+
+  /// The GEMM forms. Shapes are validated by the public wrappers in
+  /// gemm.h before dispatch; implementations may assume they are
+  /// consistent. `c` is resized (uninitialized) and fully written.
+  virtual void Gemm(MatSpan a, MatSpan b, Tensor& c,
+                    const float* bias) const = 0;
+  virtual void GemmTransA(MatSpan a, MatSpan b, Tensor& c) const = 0;
+  virtual void GemmTransB(MatSpan a, MatSpan b, Tensor& c) const = 0;
+};
+
+inline constexpr const char kDefaultBackendName[] = "default";
+
+/// Registers `backend` under backend->name(), replacing any previous
+/// registration of that name. The built-in backends self-register on
+/// first use of any lookup below. The registry owns the pointer.
+void RegisterBackend(std::unique_ptr<Backend> backend);
+
+/// Registered backend names, registration order.
+std::vector<std::string> BackendNames();
+
+/// Lookup by name; nullptr when unknown.
+const Backend* FindBackend(const std::string& name);
+
+/// Makes `name` the active backend for every subsequent nn:: call.
+/// Empty string means "default". Unknown or CPU-unsupported requests
+/// fall back to "default" (and bump nn.backend.fallbacks). Returns the
+/// name actually active. Not safe to call concurrently with in-flight
+/// GEMMs; select once at startup (tools) or between phases (tests).
+std::string SelectBackend(const std::string& name);
+
+const Backend& ActiveBackend();
+const std::string& ActiveBackendName();
+
+/// Worker threads for panel-parallel GEMM. 0 = the ACOBE_NN_THREADS
+/// environment variable if set and positive, else 1 (serial). The
+/// resolved count caps at the panel supply per call; callers already
+/// inside a worker thread always run serial GEMMs (no nested pools).
+void SetNnThreads(int threads);
+
+/// The resolved GEMM thread count (>= 1).
+int NnThreads();
+
+/// Bytes currently held by all per-thread pack arenas (process-wide;
+/// mirrored in the nn.pack_bytes gauge when metrics are enabled).
+std::size_t PackBytesInUse();
+
+/// Frees the calling thread's pack arena immediately (it re-grows on
+/// demand). Worker threads release automatically at thread exit.
+void ReleaseThreadScratch();
+
+/// Stamps the NN-core identity onto a BuildInfo: the active backend
+/// name and resolved GEMM thread count. Tools that link the NN library
+/// call this so their --version output and ledger manifests attribute
+/// every score to the kernel family that produced it.
+void AnnotateBuildInfo(BuildInfo& info);
+
+}  // namespace acobe::nn

@@ -1,22 +1,27 @@
 #pragma once
 
-// General matrix multiplication kernels used by the dense layers.
+// General matrix multiplication entry points used by the dense layers.
 // C = A(op) * B(op), with A (m x k), B (k x n), C (m x n) after ops.
 //
-// The production kernels are cache-blocked and register-tiled: Gemm and
-// GemmTransA drive a 4x16 micro-kernel over contiguous n-panels of B
-// (an AVX2 variant is selected at runtime where the CPU supports it,
-// with a portable auto-vectorized fallback), and GemmTransB is a
-// dot-product kernel with a 2-wide i / 4-wide j unroll.
+// These free functions validate shapes, account telemetry, and route to
+// the process-wide active compute backend (nn/backend.h). The default
+// backend's kernels are cache-blocked and register-tiled: a 4x16
+// micro-kernel driven over contiguous n-panels of B (a no-FMA AVX2
+// variant is selected at runtime where the CPU supports it, with a
+// portable auto-vectorized fallback), optionally panel-parallel over
+// the shared thread pool when nn::SetNnThreads grants workers.
 //
-// Determinism contract: every output element accumulates its k terms in
-// ascending-l order into a single accumulator chain, exactly like the
-// original scalar kernels (kept below under reference::), and the AVX2
-// path uses separate multiply and add (never FMA). Results are
-// therefore bit-identical to the scalar reference on every shape --
-// pinned by tests/gemm_test.cpp -- which is what keeps trained models
-// and score grids reproducible across kernel generations and thread
-// counts.
+// Determinism contract (default backend): every output element
+// accumulates its k terms in ascending-l order into a single
+// accumulator chain, exactly like the original scalar kernels (kept
+// below under reference::), and the AVX2 path uses separate multiply
+// and add (never FMA). Threaded runs assign every output tile
+// start-to-finish to one worker, so results are bit-identical to the
+// scalar reference on every shape at every thread count -- pinned by
+// tests/gemm_test.cpp and tests/backend_test.cpp -- which is what
+// keeps trained models and score grids reproducible across kernel
+// generations and thread counts. The opt-in "fma"/"avx512" backends
+// trade that bit-identity for speed and are tolerance-tested instead.
 //
 // The output tensor is resized with ResizeUninit and fully written
 // (write-then-accumulate): kernels do not depend on Tensor::Resize's

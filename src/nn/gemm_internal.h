@@ -1,0 +1,70 @@
+#pragma once
+
+// Private seam between the kernel families (gemm.cpp, compiled with
+// -ffp-contract=off) and the backend registry (backend.cpp). Nothing
+// outside src/nn includes this.
+
+#include <cstddef>
+
+#include "nn/backend.h"
+
+namespace acobe::nn::detail {
+
+// Micro-tile geometry shared by every blocked kernel: kMR C-rows by
+// kNR C-columns per full tile (one j-panel is kNR wide).
+inline constexpr std::size_t kMR = 4;
+inline constexpr std::size_t kNR = 16;
+
+// Runtime CPU feature probes (false on non-x86 builds).
+bool CpuHasAvx2();
+bool CpuHasFma();
+bool CpuHasAvx512();
+
+/// The portable auto-vectorized full-tile kernel (always available).
+MicroKernelFn PortableKernel();
+
+/// The determinism anchor: no-FMA AVX2 where the CPU supports it,
+/// portable otherwise. Both candidates are bit-identical.
+MicroKernelFn DefaultKernel();
+
+/// AVX2+FMA full-tile kernel; nullptr on non-x86 builds. Callers must
+/// also check CpuHasFma() before executing it.
+MicroKernelFn FmaKernel();
+
+/// AVX-512F full-tile kernel (FMA, 2-way k-unroll); nullptr on non-x86
+/// builds. Callers must also check CpuHasAvx512().
+MicroKernelFn Avx512Kernel();
+
+/// The blocked tile driver: C (m x n, row-major, fully overwritten) =
+/// A * B (+ bias per row), with A addressed as a[r * ars + l * als].
+/// Full kMR x kNR tiles run `full`; edge tiles run the portable
+/// edge kernel (same accumulation order as PortableKernel). When
+/// NnThreads() > 1, the caller is not already a pool worker, and the
+/// shape is heavy enough, the (j-panel x i-chunk) grid is spread over
+/// the shared thread pool; each tile of C is still computed
+/// start-to-finish by exactly one worker, so the result is
+/// bit-identical to the serial run.
+void BlockedGemm(std::size_t m, std::size_t k, std::size_t n, const float* pa,
+                 std::size_t ars, std::size_t als, const float* pb, float* pc,
+                 const float* bias, MicroKernelFn full);
+
+/// Per-thread pack arena: returns a buffer of at least `floats` floats,
+/// reused across calls, accounted in nn.pack_bytes, shrunk when a
+/// request is much smaller than the retained capacity. The pointer is
+/// valid until the next Acquire/Release on the same thread.
+float* AcquirePackBuffer(std::size_t floats);
+
+/// Frees the calling thread's pack buffer (backend.h
+/// ReleaseThreadScratch forwards here).
+void ReleasePackBuffer();
+
+/// Process-wide bytes currently held by pack arenas.
+std::size_t PackBytes();
+
+// Shared scalar activation kernels (activations.cpp); every built-in
+// backend registers these, so activation arithmetic is bit-identical
+// across backends.
+void ScalarRelu(const float* in, float* out, std::size_t n);
+void ScalarSigmoid(const float* in, float* out, std::size_t n);
+
+}  // namespace acobe::nn::detail

@@ -1,6 +1,20 @@
 #pragma once
 
 // Deterministic mini-batch trainer for reconstruction models.
+//
+// Three entry tiers, all producing bit-identical parameters for a given
+// (net, data, config) because every model consumes only its own
+// seed-derived RNG streams and its own accumulation order:
+//   TrainReconstruction   — one model, start to finish (the original API).
+//   ReconstructionTrainer — one model as a resumable epoch stepper, so a
+//                           caller can interleave epochs across models.
+//   TrainStream           — a batch of models through one shared training
+//                           context: serial callers get round-robin
+//                           interleaved epochs over a single reused
+//                           workspace (warm caches, zero per-model buffer
+//                           re-allocation); parallel callers get job-level
+//                           fan-out over the shared thread pool with
+//                           per-worker workspaces.
 
 #include <functional>
 #include <stdexcept>
@@ -40,12 +54,103 @@ struct TrainingDiverged : std::runtime_error {
       : std::runtime_error(what) {}
 };
 
+/// The per-batch buffers of a training loop: batch staging, loss
+/// gradient, and the layer activation tape. All fully (re)written every
+/// batch, so one workspace is safely reused across models of different
+/// shapes — ResizeUninit never shrinks capacity, meaning a workspace
+/// that has seen its largest model allocates nothing afterwards.
+struct TrainWorkspace {
+  Tensor x;
+  Tensor grad;
+  Sequential::TrainScratch scratch;
+};
+
+/// The calling thread's lazily-created workspace, reused across every
+/// model this thread trains (TrainStream's workers and AspectEnsemble's
+/// pool workers route through this).
+TrainWorkspace& ThreadTrainWorkspace();
+
+/// One model's training loop as a resumable stepper: construct, then
+/// call RunEpoch() until done(). Exists so TrainStream can interleave
+/// epochs across models; TrainReconstruction is the run-to-completion
+/// wrapper. The trainer borrows net/optimizer/data/workspace — all must
+/// outlive it. Passing a null workspace uses an internal one.
+class ReconstructionTrainer {
+ public:
+  ReconstructionTrainer(Sequential& net, Optimizer& optimizer,
+                        const Tensor& data, const TrainConfig& config,
+                        TrainWorkspace* workspace = nullptr);
+
+  /// True once the epoch budget is spent or early stopping tripped.
+  bool done() const { return stopped_ || next_epoch_ >= config_.epochs; }
+
+  /// Runs one epoch (must not be called when done()). Appends to
+  /// history(), updates the early-stopping state, and throws
+  /// TrainingDiverged on a non-finite loss when the config asks for it.
+  EpochStats RunEpoch();
+
+  const std::vector<EpochStats>& history() const { return history_; }
+  std::vector<EpochStats> TakeHistory() { return std::move(history_); }
+
+ private:
+  Sequential& net_;
+  Optimizer& optimizer_;
+  const Tensor& data_;
+  TrainConfig config_;
+  TrainWorkspace owned_workspace_;
+  TrainWorkspace* workspace_;
+  Rng rng_;
+  std::vector<std::size_t> order_;
+  std::vector<EpochStats> history_;
+  std::size_t batch_;
+  int next_epoch_ = 0;
+  bool stopped_ = false;
+  float best_loss_;
+  int stall_ = 0;
+};
+
+/// One model's slot in a TrainStream batch. The caller owns net,
+/// optimizer, and data (all borrowed for the duration of the stream);
+/// the stream fills in the outcome fields.
+struct TrainJob {
+  Sequential* net = nullptr;
+  Optimizer* optimizer = nullptr;
+  const Tensor* data = nullptr;
+  TrainConfig config;
+  /// Observes this job's epochs. Called from whichever thread runs the
+  /// job — callers that share state across jobs must synchronize.
+  std::function<void(const EpochStats&)> on_epoch;
+
+  // Outcome (written by TrainStream):
+  std::vector<EpochStats> history;
+  bool diverged = false;    // TrainingDiverged was caught for this job
+  std::string error;        // its message, when diverged
+};
+
+/// Trains every job in `jobs` through one shared context. With a
+/// resolved thread count of 1 (or when called from a pool worker) the
+/// jobs advance in deterministic round-robin: one epoch per live job
+/// per pass, all through the calling thread's shared workspace — the
+/// fused stream that keeps pool, caches, and scratch warm across the
+/// whole ensemble instead of N cold independent trainers. With more
+/// threads, jobs fan out job-per-worker over the shared pool, each
+/// worker reusing its thread-local workspace across the jobs it claims.
+/// Either way each model's parameters are bit-identical to training it
+/// alone: a job only ever consumes its own seed-derived streams.
+/// Divergence is per-job: a TrainingDiverged job is recorded
+/// (diverged/error) and the stream continues; no exception escapes for
+/// it. `threads` follows the ResolveThreadCount rule.
+void TrainStream(std::vector<TrainJob>& jobs, int threads);
+
 /// Trains `net` to reconstruct `data` (each row one sample) with MSE.
 /// Returns per-epoch losses. `on_epoch` (optional) observes progress.
+/// `workspace` (optional) supplies the batch buffers — pass
+/// ThreadTrainWorkspace() to reuse them across models on this thread.
 std::vector<EpochStats> TrainReconstruction(
     Sequential& net, Optimizer& optimizer, const Tensor& data,
     const TrainConfig& config,
-    const std::function<void(const EpochStats&)>& on_epoch = nullptr);
+    const std::function<void(const EpochStats&)>& on_epoch = nullptr,
+    TrainWorkspace* workspace = nullptr);
 
 /// Per-sample reconstruction error of `data` under `net` (inference
 /// mode), evaluated in batches to bound memory. Const and thread-safe

@@ -1,0 +1,458 @@
+// Contract tests for the pluggable NN compute backend (src/nn/backend.h):
+//   - registry contents, selection semantics, and fallback behavior for
+//     unknown backends;
+//   - the determinism anchor: the "default" backend must be bit-identical
+//     to "reference" at 1/2/4/8 GEMM threads, across re-selection, for
+//     every GEMM form — including shapes heavy enough to take the
+//     panel-parallel path;
+//   - the opt-in fma/avx512 families: within 1e-5 relative tolerance of
+//     reference, and bit-identical run-to-run (internally deterministic);
+//   - pack-arena accounting: PackBytesInUse grows with GemmTransB
+//     staging, ReleaseThreadScratch returns it, oversized retained
+//     capacity shrinks back on the next small request;
+//   - TrainStream: serial (fused round-robin) and parallel job fan-out
+//     both produce histories bit-identical to TrainReconstruction, and
+//     a diverging job is captured per-job without poisoning the rest.
+//
+// These tests run under any ACOBE_NN_BACKEND (the CI matrix sets =fma):
+// every case selects the backend it needs explicitly and restores the
+// entry state afterwards.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/telemetry.h"
+#include "nn/autoencoder.h"
+#include "nn/backend.h"
+#include "nn/gemm.h"
+#include "nn/optimizer.h"
+#include "nn/sequential.h"
+#include "nn/tensor.h"
+#include "nn/trainer.h"
+
+namespace acobe::nn {
+namespace {
+
+std::uint32_t Bits(float f) {
+  std::uint32_t u;
+  std::memcpy(&u, &f, sizeof(u));
+  return u;
+}
+
+Tensor RandomTensor(std::size_t r, std::size_t c, Rng& rng) {
+  Tensor t(r, c);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t.data()[i] = static_cast<float>(rng.NextGaussian());
+  }
+  return t;
+}
+
+void ExpectBitIdentical(const Tensor& got, const Tensor& want,
+                        const std::string& what) {
+  ASSERT_EQ(got.rows(), want.rows()) << what;
+  ASSERT_EQ(got.cols(), want.cols()) << what;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(Bits(got.data()[i]), Bits(want.data()[i]))
+        << what << " elem " << i;
+  }
+}
+
+void ExpectClose(const Tensor& got, const Tensor& want,
+                 const std::string& what, double rel_tol) {
+  ASSERT_EQ(got.rows(), want.rows()) << what;
+  ASSERT_EQ(got.cols(), want.cols()) << what;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const double g = got.data()[i], w = want.data()[i];
+    const double scale = std::max({std::abs(g), std::abs(w), 1.0});
+    ASSERT_LE(std::abs(g - w), rel_tol * scale) << what << " elem " << i;
+  }
+}
+
+/// Restores the active backend and thread count on scope exit, so tests
+/// compose regardless of the ACOBE_NN_BACKEND the binary started under.
+struct BackendGuard {
+  std::string saved_backend = ActiveBackendName();
+  int saved_threads = NnThreads();
+  ~BackendGuard() {
+    SelectBackend(saved_backend);
+    SetNnThreads(saved_threads);
+  }
+};
+
+// The shape set: small edge-heavy shapes plus one heavy shape
+// (2*128*64*256 = 4 Mi flops, 16 j-panels) that crosses the
+// panel-parallel floor, so multi-thread runs actually take the threaded
+// path.
+struct Shape {
+  std::size_t m, k, n;
+};
+const Shape kShapes[] = {{1, 1, 1},    {3, 5, 7},    {9, 17, 33},
+                         {33, 31, 47}, {64, 48, 80}, {128, 64, 256}};
+
+/// All three GEMM forms of the active backend vs nn::reference, bitwise.
+void ExpectActiveMatchesReferenceBitwise(const std::string& label) {
+  for (const Shape& s : kShapes) {
+    Rng rng(s.m * 131071 + s.k * 8191 + s.n);
+    const Tensor a = RandomTensor(s.m, s.k, rng);
+    const Tensor b = RandomTensor(s.k, s.n, rng);
+    const Tensor bias = RandomTensor(1, s.n, rng);
+    Tensor c, cref;
+    Gemm(a, b, c, bias.data());
+    reference::Gemm(a, b, cref, bias.data());
+    ExpectBitIdentical(c, cref, label + "/Gemm+bias");
+
+    const Tensor at = RandomTensor(s.k, s.m, rng);
+    GemmTransA(at, b, c);
+    reference::GemmTransA(at, b, cref);
+    ExpectBitIdentical(c, cref, label + "/GemmTransA");
+
+    const Tensor bt = RandomTensor(s.n, s.k, rng);
+    GemmTransB(a, bt, c);
+    reference::GemmTransB(a, bt, cref);
+    ExpectBitIdentical(c, cref, label + "/GemmTransB");
+  }
+}
+
+// --- Registry and selection --------------------------------------------------
+
+TEST(BackendRegistryTest, BuiltinsRegisteredAndClassified) {
+  const std::vector<std::string> names = BackendNames();
+  auto has = [&](const char* n) {
+    return std::find(names.begin(), names.end(), n) != names.end();
+  };
+  EXPECT_TRUE(has("default"));
+  EXPECT_TRUE(has("reference"));
+
+  const Backend* def = FindBackend("default");
+  ASSERT_NE(def, nullptr);
+  EXPECT_TRUE(def->bit_exact());
+  EXPECT_TRUE(def->available());
+  EXPECT_NE(def->kernels().relu, nullptr);
+  EXPECT_NE(def->kernels().sigmoid, nullptr);
+
+  const Backend* ref = FindBackend("reference");
+  ASSERT_NE(ref, nullptr);
+  EXPECT_TRUE(ref->bit_exact());
+  EXPECT_TRUE(ref->available());
+
+  // The throughput families are never bit-exact: they fuse (and avx512
+  // splits) the accumulator chain the contract pins down.
+  for (const char* name : {"fma", "avx512"}) {
+    if (const Backend* b = FindBackend(name)) {
+      EXPECT_FALSE(b->bit_exact()) << name;
+    }
+  }
+  EXPECT_EQ(FindBackend("bogus"), nullptr);
+}
+
+TEST(BackendRegistryTest, SelectionRoundTripsAndEmptyMeansDefault) {
+  BackendGuard guard;
+  EXPECT_EQ(SelectBackend("reference"), "reference");
+  EXPECT_EQ(ActiveBackendName(), "reference");
+  EXPECT_EQ(ActiveBackend().name(), "reference");
+  EXPECT_EQ(SelectBackend(""), "default");
+  EXPECT_EQ(ActiveBackendName(), "default");
+}
+
+TEST(BackendRegistryTest, UnknownBackendFallsBackToDefaultAndCounts) {
+  BackendGuard guard;
+  telemetry::EnableMetrics(true);
+  telemetry::ResetTelemetry();
+  EXPECT_EQ(SelectBackend("no-such-backend"), "default");
+  EXPECT_EQ(ActiveBackendName(), "default");
+  const std::uint64_t fallbacks =
+      telemetry::GetCounter("nn.backend.fallbacks").value();
+  telemetry::EnableMetrics(false);
+  telemetry::ResetTelemetry();
+  EXPECT_GE(fallbacks, 1u);
+}
+
+TEST(BackendThreadsTest, SetAndResolve) {
+  BackendGuard guard;
+  SetNnThreads(4);
+  EXPECT_EQ(NnThreads(), 4);
+  SetNnThreads(1);
+  EXPECT_EQ(NnThreads(), 1);
+}
+
+// --- Determinism anchor: default == reference at every thread count ----------
+
+TEST(BackendParityTest, DefaultMatchesReferenceAcrossThreadCounts) {
+  BackendGuard guard;
+  SelectBackend("default");
+  for (int threads : {1, 2, 4, 8}) {
+    SetNnThreads(threads);
+    ExpectActiveMatchesReferenceBitwise("default@t" +
+                                        std::to_string(threads));
+  }
+}
+
+TEST(BackendParityTest, ReselectionPreservesBitExactness) {
+  BackendGuard guard;
+  // default -> reference -> default: both ends of each hop agree.
+  SetNnThreads(2);
+  SelectBackend("default");
+  ExpectActiveMatchesReferenceBitwise("default/pre");
+  SelectBackend("reference");
+  ExpectActiveMatchesReferenceBitwise("reference");
+  SelectBackend("default");
+  ExpectActiveMatchesReferenceBitwise("default/post");
+}
+
+// --- Opt-in throughput families ---------------------------------------------
+
+void RunToleranceFamily(const char* name) {
+  const Backend* backend = FindBackend(name);
+  if (backend == nullptr || !backend->available()) {
+    GTEST_SKIP() << "backend '" << name
+                 << "' not supported by this build/CPU";
+  }
+  BackendGuard guard;
+  ASSERT_EQ(SelectBackend(name), name);
+  for (int threads : {1, 4}) {
+    SetNnThreads(threads);
+    const std::string label =
+        std::string(name) + "@t" + std::to_string(threads);
+    for (const Shape& s : kShapes) {
+      Rng rng(s.m * 977 + s.k * 53 + s.n * 7);
+      const Tensor a = RandomTensor(s.m, s.k, rng);
+      const Tensor b = RandomTensor(s.k, s.n, rng);
+      const Tensor bias = RandomTensor(1, s.n, rng);
+      Tensor c1, c2, cref;
+      Gemm(a, b, c1, bias.data());
+      reference::Gemm(a, b, cref, bias.data());
+      ExpectClose(c1, cref, label + "/Gemm+bias", 1e-5);
+      // Run-to-run determinism: same inputs, same bits, even threaded.
+      Gemm(a, b, c2, bias.data());
+      ExpectBitIdentical(c2, c1, label + "/Gemm rerun");
+
+      const Tensor bt = RandomTensor(s.n, s.k, rng);
+      GemmTransB(a, bt, c1);
+      reference::GemmTransB(a, bt, cref);
+      ExpectClose(c1, cref, label + "/GemmTransB", 1e-5);
+      GemmTransB(a, bt, c2);
+      ExpectBitIdentical(c2, c1, label + "/GemmTransB rerun");
+    }
+  }
+}
+
+TEST(BackendToleranceTest, FmaWithinToleranceAndRunToRunDeterministic) {
+  RunToleranceFamily("fma");
+}
+
+TEST(BackendToleranceTest, Avx512WithinToleranceAndRunToRunDeterministic) {
+  RunToleranceFamily("avx512");
+}
+
+// --- Pack-arena accounting ---------------------------------------------------
+
+TEST(PackArenaTest, GemmTransBStagingIsAccountedAndReleasable) {
+  BackendGuard guard;
+  SelectBackend("default");
+  SetNnThreads(1);
+  ReleaseThreadScratch();
+  const std::size_t base = PackBytesInUse();
+
+  Rng rng(11);
+  const std::size_t k = 96, n = 128;  // 48 KiB of B^T staging
+  const Tensor a = RandomTensor(8, k, rng);
+  const Tensor bt = RandomTensor(n, k, rng);
+  Tensor c;
+  GemmTransB(a, bt, c);
+  EXPECT_GE(PackBytesInUse(), base + k * n * sizeof(float));
+
+  ReleaseThreadScratch();
+  EXPECT_EQ(PackBytesInUse(), base);
+}
+
+TEST(PackArenaTest, OversizedArenaShrinksOnSmallRequest) {
+  BackendGuard guard;
+  SelectBackend("default");
+  SetNnThreads(1);
+  ReleaseThreadScratch();
+  const std::size_t base = PackBytesInUse();
+
+  Rng rng(13);
+  // Grow the arena past the shrink floor (> 1 MiB retained)...
+  const std::size_t big_k = 600, big_n = 600;
+  const Tensor a_big = RandomTensor(4, big_k, rng);
+  const Tensor bt_big = RandomTensor(big_n, big_k, rng);
+  Tensor c;
+  GemmTransB(a_big, bt_big, c);
+  EXPECT_GE(PackBytesInUse(), base + big_k * big_n * sizeof(float));
+
+  // ...then a tiny request must shed the retained capacity rather than
+  // pinning ~1.4 MiB for the rest of the thread's life.
+  const Tensor a_small = RandomTensor(2, 8, rng);
+  const Tensor bt_small = RandomTensor(8, 8, rng);
+  GemmTransB(a_small, bt_small, c);
+  EXPECT_LT(PackBytesInUse(), base + (1u << 20));
+
+  ReleaseThreadScratch();
+  EXPECT_EQ(PackBytesInUse(), base);
+}
+
+// --- TrainStream -------------------------------------------------------------
+
+Tensor TrainingData(std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor data(40, 12);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data.data()[i] = 0.5f + 0.25f * static_cast<float>(rng.NextGaussian());
+  }
+  return data;
+}
+
+Sequential MakeNet(std::uint64_t init_seed) {
+  AutoencoderSpec spec;
+  spec.input_dim = 12;
+  spec.encoder_dims = {16, 8};
+  spec.batch_norm = true;
+  spec.sigmoid_output = true;
+  Sequential net = BuildAutoencoder(spec);
+  Rng init_rng(init_seed);
+  net.InitParams(init_rng);
+  return net;
+}
+
+TrainConfig StreamConfig(std::uint64_t seed) {
+  TrainConfig cfg;
+  cfg.epochs = 5;
+  cfg.batch_size = 16;
+  cfg.seed = seed;
+  return cfg;
+}
+
+void RunStreamParityAt(int threads) {
+  BackendGuard guard;
+  SelectBackend("default");
+  SetNnThreads(1);
+  const int kJobs = 3;
+
+  // Baseline: each model trained alone through the original API.
+  std::vector<std::vector<EpochStats>> solo(kJobs);
+  std::vector<std::vector<float>> solo_params(kJobs);
+  for (int j = 0; j < kJobs; ++j) {
+    Sequential net = MakeNet(100 + j);
+    Adadelta opt(1.0f);
+    const Tensor data = TrainingData(200 + j);
+    solo[j] = TrainReconstruction(net, opt, data, StreamConfig(300 + j));
+    for (const Param* p : net.Params()) {
+      solo_params[j].insert(solo_params[j].end(), p->value.data(),
+                            p->value.data() + p->value.size());
+    }
+  }
+
+  // The same three models as one stream.
+  std::vector<Sequential> nets;
+  std::vector<Adadelta> opts;
+  std::vector<Tensor> datas;
+  nets.reserve(kJobs);
+  opts.reserve(kJobs);
+  datas.reserve(kJobs);
+  for (int j = 0; j < kJobs; ++j) {
+    nets.push_back(MakeNet(100 + j));
+    opts.emplace_back(1.0f);
+    datas.push_back(TrainingData(200 + j));
+  }
+  std::vector<TrainJob> jobs(kJobs);
+  for (int j = 0; j < kJobs; ++j) {
+    jobs[j].net = &nets[j];
+    jobs[j].optimizer = &opts[j];
+    jobs[j].data = &datas[j];
+    jobs[j].config = StreamConfig(300 + j);
+  }
+  TrainStream(jobs, threads);
+
+  for (int j = 0; j < kJobs; ++j) {
+    EXPECT_FALSE(jobs[j].diverged) << "job " << j;
+    ASSERT_EQ(jobs[j].history.size(), solo[j].size()) << "job " << j;
+    for (std::size_t e = 0; e < solo[j].size(); ++e) {
+      EXPECT_EQ(Bits(jobs[j].history[e].loss), Bits(solo[j][e].loss))
+          << "threads=" << threads << " job " << j << " epoch " << e;
+    }
+    std::vector<float> params;
+    for (const Param* p : nets[j].Params()) {
+      params.insert(params.end(), p->value.data(),
+                    p->value.data() + p->value.size());
+    }
+    ASSERT_EQ(params.size(), solo_params[j].size()) << "job " << j;
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      ASSERT_EQ(Bits(params[i]), Bits(solo_params[j][i]))
+          << "threads=" << threads << " job " << j << " param " << i;
+    }
+  }
+}
+
+TEST(TrainStreamTest, SerialRoundRobinMatchesSoloTrainingBitwise) {
+  RunStreamParityAt(1);
+}
+
+TEST(TrainStreamTest, ParallelFanOutMatchesSoloTrainingBitwise) {
+  RunStreamParityAt(4);
+}
+
+TEST(TrainStreamTest, DivergedJobIsCapturedWithoutPoisoningTheStream) {
+  BackendGuard guard;
+  SelectBackend("default");
+  SetNnThreads(1);
+
+  Sequential good_net = MakeNet(100);
+  Sequential bad_net = MakeNet(101);
+  Adadelta good_opt(1.0f), bad_opt(1.0f);
+  const Tensor good_data = TrainingData(200);
+  Tensor bad_data = TrainingData(201);
+  bad_data.data()[0] = std::nanf("");  // poisons the first epoch's loss
+
+  std::vector<TrainJob> jobs(2);
+  jobs[0].net = &bad_net;
+  jobs[0].optimizer = &bad_opt;
+  jobs[0].data = &bad_data;
+  jobs[0].config = StreamConfig(300);
+  jobs[1].net = &good_net;
+  jobs[1].optimizer = &good_opt;
+  jobs[1].data = &good_data;
+  jobs[1].config = StreamConfig(301);
+  TrainStream(jobs, 1);
+
+  EXPECT_TRUE(jobs[0].diverged);
+  EXPECT_FALSE(jobs[0].error.empty());
+  EXPECT_FALSE(jobs[1].diverged);
+  ASSERT_EQ(jobs[1].history.size(), 5u);
+  for (const EpochStats& s : jobs[1].history) {
+    EXPECT_TRUE(std::isfinite(s.loss));
+  }
+}
+
+// --- Activations route through the backend -----------------------------------
+
+TEST(BackendActivationTest, ActivationKernelsAgreeAcrossBackends) {
+  BackendGuard guard;
+  Rng rng(7);
+  Tensor x = RandomTensor(4, 33, rng);
+  Tensor relu_ref(x.rows(), x.cols()), sig_ref(x.rows(), x.cols());
+  {
+    const Backend* ref = FindBackend("reference");
+    ASSERT_NE(ref, nullptr);
+    ref->kernels().relu(x.data(), relu_ref.data(), x.size());
+    ref->kernels().sigmoid(x.data(), sig_ref.data(), x.size());
+  }
+  for (const std::string& name : BackendNames()) {
+    const Backend* b = FindBackend(name);
+    ASSERT_NE(b, nullptr) << name;
+    Tensor relu_got(x.rows(), x.cols()), sig_got(x.rows(), x.cols());
+    b->kernels().relu(x.data(), relu_got.data(), x.size());
+    b->kernels().sigmoid(x.data(), sig_got.data(), x.size());
+    ExpectBitIdentical(relu_got, relu_ref, name + "/relu");
+    ExpectBitIdentical(sig_got, sig_ref, name + "/sigmoid");
+  }
+}
+
+}  // namespace
+}  // namespace acobe::nn

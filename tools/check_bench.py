@@ -13,8 +13,21 @@ cancels out clock speed, turbo state, and container noise. The gate fails
 if any size's current speedup drops below `tolerance` times the baseline
 speedup (default 0.8, i.e. a >20% relative regression of BM_Gemm).
 
+Default mode also gates the threaded compute paths on their own in-run
+ratios, which equally transfer across machines:
+
+  - panel-parallel GEMM: BM_GemmMT/256/4 over BM_GemmMT/256/1 must be
+    >= --mt-floor (default 3.0). Applied only when the current run's
+    bench.hw_threads gauge is >= 4 — on smaller machines four workers
+    time-slice one core and the ratio measures the scheduler, not the
+    kernels — and skipped (loudly) otherwise.
+  - fused ensemble training: BM_TrainStreamFused/112/4 over
+    BM_TrainStreamSolo/112 must be >= --fused-floor (default 1.5),
+    applied when bench.hw_threads >= 2, skipped otherwise.
+
 Usage:
     tools/check_bench.py BASELINE.json CURRENT.json [--tolerance 0.8]
+        [--mt-floor 3.0] [--fused-floor 1.5]
     tools/check_bench.py --pipeline BASELINE.json CURRENT.json \
         [--rss-tolerance 1.25]
 
@@ -114,6 +127,51 @@ def check_pipeline(base, cur, rss_tolerance):
     return 0
 
 
+# In-run ratio gates for the threaded compute paths. Each is (label,
+# numerator gauge, denominator gauge, floor-argument name, minimum
+# bench.hw_threads for the ratio to be meaningful).
+THREADED_GATES = (
+    ("GEMM 4-thread speedup",
+     "bench.BM_GemmMT/256/4/real_time.items_per_second",
+     "bench.BM_GemmMT/256/1/real_time.items_per_second",
+     "mt_floor", 4),
+    ("fused train-stream speedup",
+     "bench.BM_TrainStreamFused/112/4/real_time.items_per_second",
+     "bench.BM_TrainStreamSolo/112/real_time.items_per_second",
+     "fused_floor", 2),
+)
+
+
+def check_threaded(cur, args):
+    """Absolute in-run floors for the threaded paths, hardware-gated by
+    the run's own bench.hw_threads gauge."""
+    hw = float(cur.get("bench.hw_threads", 0.0))
+    failed = False
+    for label, num_key, den_key, floor_arg, min_hw in THREADED_GATES:
+        floor = getattr(args, floor_arg)
+        num, den = cur.get(num_key), cur.get(den_key)
+        if num is None or den is None:
+            print(f"check_bench: missing gauge for {label} "
+                  f"({num_key if num is None else den_key})",
+                  file=sys.stderr)
+            failed = True
+            continue
+        if float(den) <= 0.0:
+            print(f"check_bench: non-positive {den_key}", file=sys.stderr)
+            failed = True
+            continue
+        ratio = float(num) / float(den)
+        if hw < min_hw:
+            print(f"{label}: {ratio:.2f}x — SKIPPED "
+                  f"(hw_threads {hw:.0f} < {min_hw}, floor not applied)")
+            continue
+        status = "ok" if ratio >= floor else "REGRESSION"
+        print(f"{label}: {ratio:.2f}x (floor {floor:.2f}x) {status}")
+        if ratio < floor:
+            failed = True
+    return failed
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("baseline")
@@ -121,6 +179,12 @@ def main():
     ap.add_argument("--tolerance", type=float, default=0.8,
                     help="fail if current speedup < baseline speedup * "
                          "TOLERANCE (default 0.8)")
+    ap.add_argument("--mt-floor", type=float, default=3.0,
+                    help="minimum BM_GemmMT 4-thread/1-thread speedup on "
+                         "machines with >= 4 hardware threads (default 3.0)")
+    ap.add_argument("--fused-floor", type=float, default=1.5,
+                    help="minimum fused/solo train-stream speedup on "
+                         "machines with >= 2 hardware threads (default 1.5)")
     ap.add_argument("--pipeline", action="store_true",
                     help="gate a bench_pipeline.py run instead of GEMM")
     ap.add_argument("--rss-tolerance", type=float, default=1.25,
@@ -152,6 +216,9 @@ def main():
               f"(baseline {base_s:.2f}x, floor {floor:.2f}x) {status}")
         if cur_s < floor:
             failed = True
+
+    if check_threaded(cur, args):
+        failed = True
 
     if failed:
         print("check_bench: blocked GEMM regressed >"
