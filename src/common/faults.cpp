@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <array>
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -93,7 +94,13 @@ void FsyncPath(const std::string& path, int open_flags,
   ::close(fd);
 }
 
+std::atomic<std::uint64_t> g_dir_fsyncs{0};
+
 }  // namespace
+
+std::uint64_t DirFsyncCount() {
+  return g_dir_fsyncs.load(std::memory_order_relaxed);
+}
 
 void WriteFileAtomic(const std::string& path,
                      const std::function<void(std::ostream&)>& writer) {
@@ -126,7 +133,9 @@ void WriteFileAtomic(const std::string& path,
                               : path.substr(0, slash == 0 ? 1 : slash);
   const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
   if (dfd >= 0) {  // best-effort: some filesystems refuse directory fsync
-    ::fsync(dfd);
+    if (::fsync(dfd) == 0) {
+      g_dir_fsyncs.fetch_add(1, std::memory_order_relaxed);
+    }
     ::close(dfd);
   }
 }

@@ -24,11 +24,12 @@
 
 namespace acobe {
 
-// Standard tool exit codes (acobe-detect / acobe-gen).
+// Standard tool exit codes (acobe-detect / acobe-gen / acobe-serve).
 constexpr int kExitFailure = 1;          // misc runtime failure
 constexpr int kExitUsage = 2;            // bad flags / usage error
 constexpr int kExitBadInput = 3;         // malformed input data
 constexpr int kExitCorruptArtifact = 4;  // unusable model/checkpoint artifact
+constexpr int kExitAborted = 5;          // SIGINT/SIGTERM before completion
 
 /// How the CSV readers react to a malformed row.
 enum class IngestPolicy {
@@ -115,5 +116,12 @@ std::uint32_t Crc32(const std::string& data, std::uint32_t seed = 0);
 /// cannot be written durably.
 void WriteFileAtomic(const std::string& path,
                      const std::function<void(std::ostream&)>& writer);
+
+/// Process-wide count of successful parent-directory fsyncs performed
+/// by WriteFileAtomic after its rename. The directory sync is what
+/// makes the *rename* durable across power loss (the file fsync alone
+/// only makes the payload durable); this counter exists so tests can
+/// assert the path is actually exercised rather than silently skipped.
+std::uint64_t DirFsyncCount();
 
 }  // namespace acobe

@@ -1,0 +1,42 @@
+#include "common/shutdown.h"
+
+#include <csignal>
+
+#include <atomic>
+
+namespace acobe {
+namespace {
+
+std::atomic<int> g_signal{0};
+
+void OnSignal(int sig) {
+  // Only the store: everything else happens at the next poll point.
+  g_signal.store(sig, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void InstallShutdownHandler() {
+  struct sigaction sa = {};
+  sa.sa_handler = OnSignal;
+  sigemptyset(&sa.sa_mask);
+  // No SA_RESTART: a daemon parked in a blocking read should see EINTR
+  // and reach its poll point instead of blocking through the signal.
+  sa.sa_flags = 0;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+bool ShutdownRequested() {
+  return g_signal.load(std::memory_order_relaxed) != 0;
+}
+
+int ShutdownSignal() { return g_signal.load(std::memory_order_relaxed); }
+
+void RequestShutdown(int signal) {
+  g_signal.store(signal, std::memory_order_relaxed);
+}
+
+void ResetShutdownForTest() { g_signal.store(0, std::memory_order_relaxed); }
+
+}  // namespace acobe

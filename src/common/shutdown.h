@@ -1,0 +1,31 @@
+#pragma once
+
+// Cooperative shutdown for long-running tools.
+//
+// A SIGINT/SIGTERM handler that only sets a flag: the tools poll
+// ShutdownRequested() at their loop boundaries (per CSV file, per
+// shard, per service cycle) and unwind normally — destructors run, so
+// spool/StreamedCsv temporaries are removed, the ledger lands its
+// run_complete/run_aborted event, and the health plane flushes a final
+// heartbeat. Contrast with the crash flight recorder (common/health.h),
+// which handles the *fatal* signals and cannot unwind.
+
+namespace acobe {
+
+/// Installs the SIGINT/SIGTERM handlers (idempotent). The handlers are
+/// async-signal-safe: they store the signal number and return.
+void InstallShutdownHandler();
+
+/// True once a shutdown signal has been delivered (or injected).
+bool ShutdownRequested();
+
+/// The delivered signal number, 0 when none yet.
+int ShutdownSignal();
+
+/// Injects a shutdown request without a signal (tests, supervisors).
+void RequestShutdown(int signal);
+
+/// Clears the flag (tests).
+void ResetShutdownForTest();
+
+}  // namespace acobe

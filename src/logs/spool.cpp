@@ -207,83 +207,7 @@ void ShardSpooler::Replay(int shard_idx, LogSink& sink) const {
     const auto [day, i] = heap.top();
     heap.pop();
     RunCursor& cur = cursors[i];
-    const PackedEvent& p = cur.head();
-    switch (p.type) {
-      case kPackedLogon: {
-        LogonEvent e;
-        e.ts = p.ts;
-        e.user = p.user;
-        e.pc = p.e1;
-        e.activity = static_cast<LogonActivity>(p.f1);
-        sink.Consume(e);
-        break;
-      }
-      case kPackedDevice: {
-        DeviceEvent e;
-        e.ts = p.ts;
-        e.user = p.user;
-        e.pc = p.e1;
-        e.activity = static_cast<DeviceActivity>(p.f1);
-        sink.Consume(e);
-        break;
-      }
-      case kPackedFile: {
-        FileEvent e;
-        e.ts = p.ts;
-        e.user = p.user;
-        e.pc = p.e1;
-        e.file = p.e2;
-        e.activity = static_cast<FileActivity>(p.f1);
-        e.from = static_cast<FileLocation>(p.f2 & 1);
-        e.to = static_cast<FileLocation>((p.f2 >> 1) & 1);
-        sink.Consume(e);
-        break;
-      }
-      case kPackedHttp: {
-        HttpEvent e;
-        e.ts = p.ts;
-        e.user = p.user;
-        e.pc = p.e1;
-        e.domain = p.e2;
-        e.activity = static_cast<HttpActivity>(p.f1);
-        e.filetype = static_cast<HttpFileType>(p.f2);
-        sink.Consume(e);
-        break;
-      }
-      case kPackedEmail: {
-        EmailEvent e;
-        e.ts = p.ts;
-        e.user = p.user;
-        e.size_bytes = p.e1;
-        e.recipient_count = static_cast<std::uint16_t>(p.e2 >> 16);
-        e.attachment_count = static_cast<std::uint16_t>(p.e2 & 0xffff);
-        e.external = p.f1 != 0;
-        sink.Consume(e);
-        break;
-      }
-      case kPackedEnterprise: {
-        EnterpriseEvent e;
-        e.ts = p.ts;
-        e.user = p.user;
-        e.object = p.e1;
-        e.aspect = static_cast<EnterpriseAspect>(p.f1);
-        e.event_id = p.f2;
-        sink.Consume(e);
-        break;
-      }
-      case kPackedProxy: {
-        ProxyEvent e;
-        e.ts = p.ts;
-        e.user = p.user;
-        e.domain = p.e1;
-        e.bytes = p.e2;
-        e.success = p.f1 != 0;
-        sink.Consume(e);
-        break;
-      }
-      default:
-        throw std::runtime_error("spool: unknown record type (corrupt spool?)");
-    }
+    DeliverPacked(cur.head(), sink);
     ++replayed;
     cur.Advance();
     if (!cur.empty()) heap.push({cur.head_day(), i});
@@ -291,27 +215,35 @@ void ShardSpooler::Replay(int shard_idx, LogSink& sink) const {
   ACOBE_COUNT("spool.events_replayed", replayed);
 }
 
-void ShardSpooler::Consume(const LogonEvent& e) {
+void ShardSpooler::Consume(const LogonEvent& e) { Offer(PackEvent(e)); }
+void ShardSpooler::Consume(const DeviceEvent& e) { Offer(PackEvent(e)); }
+void ShardSpooler::Consume(const FileEvent& e) { Offer(PackEvent(e)); }
+void ShardSpooler::Consume(const HttpEvent& e) { Offer(PackEvent(e)); }
+void ShardSpooler::Consume(const EmailEvent& e) { Offer(PackEvent(e)); }
+void ShardSpooler::Consume(const EnterpriseEvent& e) { Offer(PackEvent(e)); }
+void ShardSpooler::Consume(const ProxyEvent& e) { Offer(PackEvent(e)); }
+
+PackedEvent PackEvent(const LogonEvent& e) {
   PackedEvent p;
   p.ts = e.ts;
   p.user = e.user;
   p.e1 = e.pc;
   p.type = kPackedLogon;
   p.f1 = static_cast<std::uint8_t>(e.activity);
-  Offer(p);
+  return p;
 }
 
-void ShardSpooler::Consume(const DeviceEvent& e) {
+PackedEvent PackEvent(const DeviceEvent& e) {
   PackedEvent p;
   p.ts = e.ts;
   p.user = e.user;
   p.e1 = e.pc;
   p.type = kPackedDevice;
   p.f1 = static_cast<std::uint8_t>(e.activity);
-  Offer(p);
+  return p;
 }
 
-void ShardSpooler::Consume(const FileEvent& e) {
+PackedEvent PackEvent(const FileEvent& e) {
   PackedEvent p;
   p.ts = e.ts;
   p.user = e.user;
@@ -321,10 +253,10 @@ void ShardSpooler::Consume(const FileEvent& e) {
   p.f1 = static_cast<std::uint8_t>(e.activity);
   p.f2 = static_cast<std::uint16_t>(static_cast<int>(e.from) |
                                     (static_cast<int>(e.to) << 1));
-  Offer(p);
+  return p;
 }
 
-void ShardSpooler::Consume(const HttpEvent& e) {
+PackedEvent PackEvent(const HttpEvent& e) {
   PackedEvent p;
   p.ts = e.ts;
   p.user = e.user;
@@ -333,10 +265,10 @@ void ShardSpooler::Consume(const HttpEvent& e) {
   p.type = kPackedHttp;
   p.f1 = static_cast<std::uint8_t>(e.activity);
   p.f2 = static_cast<std::uint16_t>(e.filetype);
-  Offer(p);
+  return p;
 }
 
-void ShardSpooler::Consume(const EmailEvent& e) {
+PackedEvent PackEvent(const EmailEvent& e) {
   PackedEvent p;
   p.ts = e.ts;
   p.user = e.user;
@@ -345,10 +277,10 @@ void ShardSpooler::Consume(const EmailEvent& e) {
          e.attachment_count;
   p.type = kPackedEmail;
   p.f1 = e.external ? 1 : 0;
-  Offer(p);
+  return p;
 }
 
-void ShardSpooler::Consume(const EnterpriseEvent& e) {
+PackedEvent PackEvent(const EnterpriseEvent& e) {
   PackedEvent p;
   p.ts = e.ts;
   p.user = e.user;
@@ -356,18 +288,97 @@ void ShardSpooler::Consume(const EnterpriseEvent& e) {
   p.type = kPackedEnterprise;
   p.f1 = static_cast<std::uint8_t>(e.aspect);
   p.f2 = e.event_id;
-  Offer(p);
+  return p;
 }
 
-void ShardSpooler::Consume(const ProxyEvent& e) {
+PackedEvent PackEvent(const ProxyEvent& e) {
   PackedEvent p;
   p.ts = e.ts;
   p.user = e.user;
   p.e1 = e.domain;
   p.e2 = e.bytes;
-  p.type = kPackedProxy;
   p.f1 = e.success ? 1 : 0;
-  Offer(p);
+  p.type = kPackedProxy;
+  return p;
+}
+
+void DeliverPacked(const PackedEvent& p, LogSink& sink) {
+  switch (p.type) {
+    case kPackedLogon: {
+      LogonEvent e;
+      e.ts = p.ts;
+      e.user = p.user;
+      e.pc = p.e1;
+      e.activity = static_cast<LogonActivity>(p.f1);
+      sink.Consume(e);
+      break;
+    }
+    case kPackedDevice: {
+      DeviceEvent e;
+      e.ts = p.ts;
+      e.user = p.user;
+      e.pc = p.e1;
+      e.activity = static_cast<DeviceActivity>(p.f1);
+      sink.Consume(e);
+      break;
+    }
+    case kPackedFile: {
+      FileEvent e;
+      e.ts = p.ts;
+      e.user = p.user;
+      e.pc = p.e1;
+      e.file = p.e2;
+      e.activity = static_cast<FileActivity>(p.f1);
+      e.from = static_cast<FileLocation>(p.f2 & 1);
+      e.to = static_cast<FileLocation>((p.f2 >> 1) & 1);
+      sink.Consume(e);
+      break;
+    }
+    case kPackedHttp: {
+      HttpEvent e;
+      e.ts = p.ts;
+      e.user = p.user;
+      e.pc = p.e1;
+      e.domain = p.e2;
+      e.activity = static_cast<HttpActivity>(p.f1);
+      e.filetype = static_cast<HttpFileType>(p.f2);
+      sink.Consume(e);
+      break;
+    }
+    case kPackedEmail: {
+      EmailEvent e;
+      e.ts = p.ts;
+      e.user = p.user;
+      e.size_bytes = p.e1;
+      e.recipient_count = static_cast<std::uint16_t>(p.e2 >> 16);
+      e.attachment_count = static_cast<std::uint16_t>(p.e2 & 0xffff);
+      e.external = p.f1 != 0;
+      sink.Consume(e);
+      break;
+    }
+    case kPackedEnterprise: {
+      EnterpriseEvent e;
+      e.ts = p.ts;
+      e.user = p.user;
+      e.object = p.e1;
+      e.aspect = static_cast<EnterpriseAspect>(p.f1);
+      e.event_id = p.f2;
+      sink.Consume(e);
+      break;
+    }
+    case kPackedProxy: {
+      ProxyEvent e;
+      e.ts = p.ts;
+      e.user = p.user;
+      e.domain = p.e1;
+      e.bytes = p.e2;
+      e.success = p.f1 != 0;
+      sink.Consume(e);
+      break;
+    }
+    default:
+      throw std::runtime_error("spool: unknown record type (corrupt spool?)");
+  }
 }
 
 }  // namespace acobe

@@ -45,6 +45,21 @@ struct PackedEvent {
 };
 static_assert(sizeof(PackedEvent) == 24, "spool record layout");
 
+/// Packs one typed event into the spool wire format. The service
+/// admission queues (src/service/queue.h) carry the same records the
+/// spool files do, so both planes share one encoder.
+PackedEvent PackEvent(const LogonEvent& e);
+PackedEvent PackEvent(const DeviceEvent& e);
+PackedEvent PackEvent(const FileEvent& e);
+PackedEvent PackEvent(const HttpEvent& e);
+PackedEvent PackEvent(const EmailEvent& e);
+PackedEvent PackEvent(const EnterpriseEvent& e);
+PackedEvent PackEvent(const ProxyEvent& e);
+
+/// Decodes `p` and delivers the typed event to `sink`. Throws
+/// std::runtime_error on an unknown record type (corrupt spool).
+void DeliverPacked(const PackedEvent& p, LogSink& sink);
+
 class ShardSpooler : public LogSink {
  public:
   /// Spools under `dir` (created if missing) into `shards` files,

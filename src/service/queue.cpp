@@ -1,0 +1,109 @@
+#include "service/queue.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/telemetry.h"
+
+namespace acobe {
+
+const char* ToString(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::kBlock:
+      return "block";
+    case AdmissionPolicy::kShed:
+      return "shed";
+  }
+  return "?";
+}
+
+AdmissionPolicy AdmissionPolicyFromString(const std::string& s) {
+  if (s == "block") return AdmissionPolicy::kBlock;
+  if (s == "shed") return AdmissionPolicy::kShed;
+  throw std::invalid_argument("unknown admission policy '" + s +
+                              "' (block|shed)");
+}
+
+BoundedEventQueue::BoundedEventQueue(std::size_t max_rows,
+                                     std::size_t max_bytes,
+                                     AdmissionPolicy policy)
+    : max_rows_(std::max<std::size_t>(
+          1, std::min(max_rows, max_bytes / sizeof(PackedEvent)))),
+      policy_(policy) {}
+
+bool BoundedEventQueue::Push(const PackedEvent& event) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (closed_) throw std::logic_error("BoundedEventQueue: push after close");
+  if (events_.size() >= max_rows_) {
+    if (policy_ == AdmissionPolicy::kShed) {
+      ++shed_;
+      ACOBE_COUNT("service.events_shed", 1);
+      return false;
+    }
+    ACOBE_COUNT("service.admission_stalls", 1);
+    space_.wait(lock, [&] { return events_.size() < max_rows_; });
+  }
+  events_.push_back(event);
+  ++pushed_;
+  ACOBE_GAUGE_MAX("service.queue_peak_rows", events_.size());
+  data_.notify_one();
+  return true;
+}
+
+void BoundedEventQueue::CloseBatch() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  boundaries_.push_back(pushed_);
+  data_.notify_all();
+}
+
+void BoundedEventQueue::CloseAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  closed_ = true;
+  data_.notify_all();
+}
+
+BoundedEventQueue::PopResult BoundedEventQueue::Pop(
+    std::vector<PackedEvent>& out, std::size_t max_events) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    // A boundary at the current consumption point fires before any
+    // later-admitted events are handed out.
+    if (!boundaries_.empty() && boundaries_.front() == popped_) {
+      boundaries_.pop_front();
+      return PopResult::kBatchEnd;
+    }
+    if (!events_.empty()) {
+      std::size_t n = std::min(max_events, events_.size());
+      // Never hand out events past the next batch boundary.
+      if (!boundaries_.empty()) {
+        n = std::min(n, boundaries_.front() - popped_);
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        out.push_back(events_.front());
+        events_.pop_front();
+      }
+      popped_ += n;
+      space_.notify_all();
+      return PopResult::kEvents;
+    }
+    if (closed_) return PopResult::kClosed;
+    data_.wait(lock);
+  }
+}
+
+std::size_t BoundedEventQueue::rows() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::size_t BoundedEventQueue::shed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shed_;
+}
+
+std::size_t BoundedEventQueue::admitted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pushed_;
+}
+
+}  // namespace acobe

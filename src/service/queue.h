@@ -1,0 +1,93 @@
+#pragma once
+
+// Bounded admission queues for the resident service.
+//
+// One queue sits between the watcher thread (which parses a dropped
+// batch's CSVs and packs events) and each shard worker (which drains
+// into its sliding window). The queue is capped in both rows and
+// bytes; what happens at the cap is the admission policy:
+//
+//   kBlock  the producer waits for space. Nothing is lost, ingestion
+//           slows to the speed of the slowest shard — the default,
+//           and the only policy under which the crash-restart
+//           bit-identity contract holds, because admission never
+//           depends on timing.
+//   kShed   the producer drops the incoming event and counts it
+//           ("service.events_shed"). Keeps the watcher responsive
+//           under overload at the cost of data loss; results then
+//           depend on scheduling, so shedding runs are explicitly
+//           outside the bit-identity contract (DESIGN.md).
+//
+// Batch framing: the producer calls CloseBatch() after the last event
+// of a drop-directory batch; consumers see every event of the batch,
+// then one kBatchEnd. CloseAll() ends the stream for shutdown.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "logs/spool.h"
+
+namespace acobe {
+
+enum class AdmissionPolicy {
+  kBlock,
+  kShed,
+};
+
+const char* ToString(AdmissionPolicy policy);
+/// Parses "block" / "shed"; throws std::invalid_argument otherwise.
+AdmissionPolicy AdmissionPolicyFromString(const std::string& s);
+
+class BoundedEventQueue {
+ public:
+  /// Caps are rows and bytes (rows * sizeof(PackedEvent)); the tighter
+  /// one binds. Both are clamped to at least one event.
+  BoundedEventQueue(std::size_t max_rows, std::size_t max_bytes,
+                    AdmissionPolicy policy);
+
+  /// Producer. Returns false when the event was shed (kShed at cap);
+  /// under kBlock it waits for space and always returns true.
+  bool Push(const PackedEvent& event);
+
+  /// Producer: marks the end of the current batch.
+  void CloseBatch();
+
+  /// Producer: ends the stream; consumers drain and then see kClosed.
+  void CloseAll();
+
+  enum class PopResult {
+    kEvents,    // appended >= 1 event to `out`
+    kBatchEnd,  // the current batch is fully delivered
+    kClosed,    // stream over: no further events will arrive
+  };
+
+  /// Consumer: blocks until events, a batch boundary, or close. Appends
+  /// at most `max_events` to `out` (which is not cleared).
+  PopResult Pop(std::vector<PackedEvent>& out, std::size_t max_events);
+
+  std::size_t rows() const;
+  std::size_t shed() const;
+  std::size_t admitted() const;
+  std::size_t max_rows() const { return max_rows_; }
+
+ private:
+  const std::size_t max_rows_;
+  const AdmissionPolicy policy_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable space_;  // producer waits (kBlock)
+  std::condition_variable data_;   // consumer waits
+  std::deque<PackedEvent> events_;
+  // Batch boundaries as absolute admitted-event counts: a boundary at
+  // N means the batch ends after the N-th admitted event is consumed.
+  std::deque<std::size_t> boundaries_;
+  std::size_t pushed_ = 0;   // admitted events, ever
+  std::size_t popped_ = 0;   // consumed events, ever
+  std::size_t shed_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace acobe

@@ -1,0 +1,30 @@
+#include "service/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace acobe {
+
+BackoffPolicy::BackoffPolicy(BackoffConfig config)
+    : config_(config), rng_(config.seed) {}
+
+std::optional<double> BackoffPolicy::OnFailure() {
+  ++failures_;
+  if (failures_ > config_.max_retries) return std::nullopt;
+  double delay =
+      config_.base_ms * std::pow(config_.multiplier, failures_ - 1);
+  delay = std::min(delay, config_.cap_ms);
+  if (config_.jitter > 0.0) {
+    const double lo = delay * (1.0 - config_.jitter);
+    const double hi = delay * (1.0 + config_.jitter);
+    delay = lo + (hi - lo) * rng_.NextDouble();
+  }
+  return std::max(delay, 0.0);
+}
+
+void BackoffPolicy::OnSuccess() {
+  failures_ = 0;
+  rng_.Seed(config_.seed);
+}
+
+}  // namespace acobe

@@ -1,0 +1,951 @@
+#include "service/supervisor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "common/date.h"
+#include "common/health.h"
+#include "common/ledger.h"
+#include "common/shutdown.h"
+#include "common/telemetry.h"
+#include "common/timeframe.h"
+#include "common/version.h"
+#include "core/critic.h"
+#include "core/detector.h"
+#include "core/monitor.h"
+#include "features/shard_extract.h"
+#include "logs/entity_catalog.h"
+#include "logs/log_io.h"
+
+namespace acobe {
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kReadyMarker = "READY";
+// Batch CSVs, parsed in this fixed order: the order is part of the
+// determinism contract (it fixes entity-interning order and the
+// within-day event order fed to the extractors).
+constexpr const char* kBatchCsvs[] = {"device.csv", "file.csv", "http.csv",
+                                      "logon.csv"};
+
+std::int64_t DayOfTs(std::int64_t ts) {
+  // Floor division: pre-epoch timestamps land on the correct day.
+  std::int64_t d = ts / kSecondsPerDay;
+  if (ts % kSecondsPerDay < 0) --d;
+  return d;
+}
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+std::string DayString(std::int64_t day) {
+  return Date::FromDayNumber(day).ToString();
+}
+
+}  // namespace
+
+// Roster-derived immutable directory: the interning tables, the kept
+// departments in canonical (first-seen) order, and the user -> shard
+// route map. Read-only once Start() has built it; workers read entity
+// names from it during cycles.
+class ServiceDirectory {
+ public:
+  EntityCatalog tables;
+  struct Dept {
+    std::string name;
+    std::size_t order = 0;  // canonical index among *kept* departments
+    std::vector<UserId> members;
+  };
+  std::vector<Dept> depts;         // canonical order
+  std::vector<int> user_shard;     // UserId -> shard, -1 unrouted
+  std::uint32_t roster_crc = 0;
+};
+
+struct ServiceSupervisor::CycleTask {
+  std::int64_t win_start = 0;
+  std::int64_t win_end = -1;   // win_end < win_start: nothing ingested yet
+  std::int64_t scored_from = 0;
+  std::int64_t scored_to = -1;  // scored_to < scored_from: ingest-only
+};
+
+struct ServiceSupervisor::DeptCycleResult {
+  std::size_t order = 0;
+  std::string name;
+  std::size_t members = 0;
+  std::uint32_t score_digest = 0;
+  std::vector<std::string> degraded;
+  // Investigation list (top config.top), "user" / priority.
+  std::vector<std::pair<std::string, double>> top;
+  struct AlertRow {
+    std::string user;
+    std::int64_t first_day = 0;
+    std::int64_t last_day = 0;
+    std::int64_t peak_day = 0;
+    int firing_days = 0;
+    std::string peak_aspect;
+    float peak_score = 0.0f;
+  };
+  std::vector<AlertRow> alerts;  // closed this cycle, close order
+};
+
+struct ServiceSupervisor::ShardOutcome {
+  bool quarantined = false;      // state after this cycle
+  bool quarantined_now = false;  // transitioned during this cycle
+  std::uint32_t failures = 0;    // cumulative absorbed failures
+  std::string error;
+  std::vector<DeptCycleResult> depts;
+  // Updated monitor blobs for this shard's departments (only present
+  // on scored cycles; monitors are untouched otherwise).
+  std::vector<std::pair<std::string, std::string>> monitors;
+};
+
+struct ServiceSupervisor::ShardRuntime {
+  ShardRuntime(std::size_t rows, std::size_t bytes, AdmissionPolicy policy,
+               BackoffConfig backoff_cfg)
+      : queue(rows, bytes, policy), backoff(backoff_cfg) {}
+
+  BoundedEventQueue queue;
+
+  // Worker-owned between Dispatch() and the result handoff.
+  BackoffPolicy backoff;
+  struct DeptRuntime {
+    const ServiceDirectory::Dept* dept = nullptr;
+    MonitorState monitor;
+  };
+  std::vector<DeptRuntime> depts;
+  std::vector<PackedEvent> window;  // sliding event window, day-sorted lazily
+  bool quarantined = false;
+  std::uint32_t failures = 0;
+
+  // Main <-> worker handoff. Main writes `task` then calls
+  // queue.CloseBatch(); the worker reads `task` after it sees the
+  // batch boundary, and posts `result` when the cycle is done.
+  std::mutex m;
+  std::condition_variable cv;
+  CycleTask task;
+  ShardOutcome result;
+  bool result_ready = false;
+
+  std::thread thread;
+};
+
+namespace {
+
+// LogSink that packs each event and routes it to its user's shard
+// queue; tracks the batch's day range and admission counts.
+class ShardRouter : public LogSink {
+ public:
+  ShardRouter(const std::vector<int>& user_shard,
+              std::vector<BoundedEventQueue*> queues)
+      : user_shard_(user_shard), queues_(std::move(queues)) {}
+
+  void Consume(const LogonEvent& e) override { Route(e); }
+  void Consume(const DeviceEvent& e) override { Route(e); }
+  void Consume(const FileEvent& e) override { Route(e); }
+  void Consume(const HttpEvent& e) override { Route(e); }
+  void Consume(const EmailEvent& e) override { Route(e); }
+  void Consume(const EnterpriseEvent& e) override { Route(e); }
+  void Consume(const ProxyEvent& e) override { Route(e); }
+
+  std::size_t admitted() const { return admitted_; }
+  std::size_t dropped() const { return dropped_; }
+  std::int64_t day_lo() const { return day_lo_; }
+  std::int64_t day_hi() const { return day_hi_; }
+
+ private:
+  template <typename Event>
+  void Route(const Event& e) {
+    const int shard =
+        e.user < user_shard_.size() ? user_shard_[e.user] : -1;
+    if (shard < 0) {
+      ++dropped_;
+      return;
+    }
+    const PackedEvent p = PackEvent(e);
+    const std::int64_t day = DayOfTs(p.ts);
+    day_lo_ = std::min(day_lo_, day);
+    day_hi_ = std::max(day_hi_, day);
+    if (queues_[static_cast<std::size_t>(shard)]->Push(p)) {
+      ++admitted_;
+    }
+  }
+
+  const std::vector<int>& user_shard_;
+  std::vector<BoundedEventQueue*> queues_;
+  std::size_t admitted_ = 0;
+  std::size_t dropped_ = 0;
+  std::int64_t day_lo_ = std::numeric_limits<std::int64_t>::max();
+  std::int64_t day_hi_ = std::numeric_limits<std::int64_t>::min();
+};
+
+}  // namespace
+
+ServiceSupervisor::ServiceSupervisor(ServiceConfig config)
+    : config_(std::move(config)) {
+  if (config_.window_days <= config_.train_days ||
+      config_.train_days <= config_.omega || config_.omega < 2) {
+    throw std::invalid_argument(
+        "service config requires window_days > train_days > omega >= 2");
+  }
+  if (config_.shards < 1) config_.shards = 1;
+}
+
+ServiceSupervisor::~ServiceSupervisor() { StopWorkers(); }
+
+std::string ServiceSupervisor::JournalPath() const {
+  return (fs::path(config_.out_dir) / "service.journal").string();
+}
+
+int ServiceSupervisor::quarantined_shards() const {
+  int n = 0;
+  for (const ShardRecord& s : state_.shards) n += s.quarantined ? 1 : 0;
+  return n;
+}
+
+std::size_t ServiceSupervisor::departments() const {
+  return dir_ ? dir_->depts.size() : 0;
+}
+
+void ServiceSupervisor::LoadRoster() {
+  auto d = std::make_unique<ServiceDirectory>();
+  const std::string bytes = ReadWholeFile(config_.roster_path);
+  d->roster_crc = Crc32(bytes);
+  {
+    std::istringstream in(bytes);
+    IngestOptions strict = config_.ingest;
+    strict.policy = IngestPolicy::kStrict;  // a bad roster is fatal
+    ReadLdapCsv(in, d->tables, strict, config_.roster_path);
+  }
+
+  for (const std::string& name : d->tables.Departments()) {
+    std::vector<UserId> members = d->tables.UsersInDepartment(name);
+    if (members.size() < config_.min_dept_users) continue;
+    ServiceDirectory::Dept dept;
+    dept.name = name;
+    dept.order = d->depts.size();
+    dept.members = std::move(members);
+    d->depts.push_back(std::move(dept));
+  }
+  if (d->depts.empty()) {
+    throw std::runtime_error("roster " + config_.roster_path +
+                             " yields no department with >= " +
+                             std::to_string(config_.min_dept_users) +
+                             " members");
+  }
+  config_.shards = std::min<int>(config_.shards,
+                                 static_cast<int>(d->depts.size()));
+
+  // Route users to the shard of their department (a user with several
+  // memberships follows the roster's last record, matching the batch
+  // tool's streaming path; demux replication covers multi-membership
+  // within one shard).
+  d->user_shard.assign(d->tables.users().size(), -1);
+  std::vector<int> dept_shard;  // canonical dept order -> shard
+  dept_shard.reserve(d->depts.size());
+  for (const auto& dept : d->depts) {
+    dept_shard.push_back(static_cast<int>(dept.order) % config_.shards);
+  }
+  for (const LdapRecord& r : d->tables.ldap()) {
+    for (const auto& dept : d->depts) {
+      if (dept.name == r.department) {
+        d->user_shard[r.user] = dept_shard[dept.order];
+        break;
+      }
+    }
+  }
+  dir_ = std::move(d);
+
+  // Shard runtimes + department assignment.
+  shards_.clear();
+  for (int i = 0; i < config_.shards; ++i) {
+    shards_.push_back(std::make_unique<ShardRuntime>(
+        config_.queue_rows, config_.queue_bytes, config_.admission,
+        config_.backoff));
+  }
+  MonitorConfig mc;
+  mc.n_votes = config_.votes;
+  mc.top_positions = config_.top_positions;
+  mc.persistence_days = config_.persistence_days;
+  mc.cooloff_days = config_.cooloff_days;
+  for (const auto& dept : dir_->depts) {
+    ShardRuntime::DeptRuntime rt;
+    rt.dept = &dept;
+    rt.monitor = MonitorState(mc);
+    shards_[static_cast<std::size_t>(dept_shard[dept.order])]
+        ->depts.push_back(std::move(rt));
+  }
+
+  // Config fingerprint: every knob that shapes the output stream.
+  std::ostringstream fp;
+  fp << "acobe-serve.v1;w=" << config_.window_days
+     << ";t=" << config_.train_days << ";omega=" << config_.omega
+     << ";epochs=" << config_.epochs << ";votes=" << config_.votes
+     << ";top=" << config_.top << ";pos=" << config_.top_positions
+     << ";persist=" << config_.persistence_days
+     << ";cooloff=" << config_.cooloff_days
+     << ";min=" << config_.min_dept_users << ";seed=" << config_.seed
+     << ";shards=" << config_.shards
+     << ";admission=" << ToString(config_.admission)
+     << ";roster=" << dir_->roster_crc;
+  fingerprint_ = Crc32(fp.str());
+}
+
+void ServiceSupervisor::RecoverOrInit() {
+  const std::string jpath = JournalPath();
+  std::optional<JournalState> j = LoadJournal(jpath);
+  recovered_ = j.has_value();
+
+  if (j) {
+    if (j->config_fingerprint != fingerprint_) {
+      throw JournalError(
+          "journal " + jpath +
+          " was written under different detection settings (fingerprint " +
+          std::to_string(j->config_fingerprint) + " vs " +
+          std::to_string(fingerprint_) +
+          "); refusing to resume non-identically. Point --out at a fresh "
+          "directory or restore the original flags.");
+    }
+    if (j->shards.size() != static_cast<std::size_t>(config_.shards)) {
+      throw JournalError("journal shard count mismatch");
+    }
+    state_ = *j;
+    first_day_seen_ = 0;
+    latest_day_ = -1;
+    for (const BatchRecord& b : state_.batches) {
+      consumed_.push_back(b.name);
+      if (b.day_hi < b.day_lo) continue;
+      if (latest_day_ < first_day_seen_) {
+        first_day_seen_ = b.day_lo;
+        latest_day_ = b.day_hi;
+      } else {
+        first_day_seen_ = std::min(first_day_seen_, b.day_lo);
+        latest_day_ = std::max(latest_day_, b.day_hi);
+      }
+    }
+    // Restore monitors + shard supervision state.
+    monitor_blobs_ = state_.monitors;
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      shards_[i]->quarantined = state_.shards[i].quarantined;
+      shards_[i]->failures = state_.shards[i].failures;
+      for (auto& rt : shards_[i]->depts) {
+        for (const auto& [name, blob] : monitor_blobs_) {
+          if (name == rt.dept->name) {
+            std::istringstream in(blob);
+            rt.monitor = MonitorState::Load(in);
+            break;
+          }
+        }
+      }
+    }
+  } else {
+    state_ = JournalState{};
+    state_.config_fingerprint = fingerprint_;
+    state_.shards.resize(static_cast<std::size_t>(config_.shards));
+  }
+
+  // Remove stale WriteFileAtomic temporaries from a crash mid-replace.
+  for (const auto& entry : fs::directory_iterator(config_.out_dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.find(".tmp.") != std::string::npos) {
+      std::error_code ec;
+      fs::remove(entry.path(), ec);
+    }
+  }
+
+  // Open the output streams at their durable prefixes (truncating any
+  // torn tail from a crash mid-append).
+  const std::string alerts_path =
+      (fs::path(config_.out_dir) / "alerts.jsonl").string();
+  const std::string ledger_path =
+      (fs::path(config_.out_dir) / "ledger.jsonl").string();
+  alerts_log_ = std::make_unique<AppendLog>(alerts_path, state_.alerts_bytes);
+  ledger_log_ = std::make_unique<AppendLog>(ledger_path, state_.ledger_bytes);
+
+  if (!recovered_) {
+    // Fresh start: the manifest is the first committed ledger line.
+    LedgerEvent manifest = MakeManifestEvent("acobe-serve", GetBuildInfo());
+    manifest.Int("shards", config_.shards)
+        .Int("window_days", config_.window_days)
+        .Int("train_days", config_.train_days)
+        .Str("admission", ToString(config_.admission));
+    ledger_log_->Append(manifest.Finish());
+    ledger_log_->Sync();
+    state_.ledger_bytes = ledger_log_->bytes();
+    SaveJournal(JournalPath(), state_);
+  }
+}
+
+void ServiceSupervisor::Start() {
+  if (started_) throw std::logic_error("ServiceSupervisor::Start called twice");
+  fs::create_directories(config_.out_dir);
+  if (!fs::is_directory(config_.watch_dir)) {
+    throw std::runtime_error("watch directory " + config_.watch_dir +
+                             " does not exist");
+  }
+  LoadRoster();
+  RecoverOrInit();
+
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->thread =
+        std::thread(&ServiceSupervisor::WorkerMain, this, i);
+  }
+  started_ = true;
+
+  if (recovered_ && latest_day_ >= first_day_seen_) {
+    ReplayWindow(state_.batches);
+  }
+}
+
+void ServiceSupervisor::ReplayWindow(const std::vector<BatchRecord>& batches) {
+  // Rebuild the in-memory sliding window by re-parsing every consumed
+  // batch that still overlaps it. Entity ids re-intern in a different
+  // global order than the original run, but features depend only on
+  // id *equality* within one window rebuild, so the cubes — and with
+  // them the resumed output bytes — are unaffected.
+  health::SetStage("replay");
+  CycleTask task;
+  task.win_end = latest_day_;
+  task.win_start =
+      std::max(first_day_seen_, latest_day_ - config_.window_days + 1);
+
+  for (const BatchRecord& b : batches) {
+    if (b.day_hi < b.day_lo || b.day_hi < task.win_start) continue;
+    health::SetStageDetail(b.name);
+    std::size_t admitted = 0, dropped = 0;
+    BatchRecord reread = ParseBatch(b.name, &admitted, &dropped);
+    if (reread.digest != b.digest) {
+      throw JournalError(
+          "batch " + b.name + " changed since it was consumed (digest " +
+          std::to_string(reread.digest) + " vs journaled " +
+          std::to_string(b.digest) +
+          "); batches must stay immutable for bit-identical resume");
+    }
+    ACOBE_COUNT("service.replayed_batches", 1);
+  }
+  Dispatch(task);  // ingest-only: scored_to < scored_from
+  Collect();
+}
+
+std::vector<std::string> ServiceSupervisor::PendingBatches() const {
+  std::set<std::string> done(consumed_.begin(), consumed_.end());
+  std::vector<std::string> out;
+  for (const auto& entry : fs::directory_iterator(config_.watch_dir)) {
+    if (!entry.is_directory()) continue;
+    const std::string name = entry.path().filename().string();
+    if (done.count(name)) continue;
+    if (!fs::exists(entry.path() / kReadyMarker)) continue;
+    out.push_back(name);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<CycleReport> ServiceSupervisor::ProcessAvailableBatches() {
+  std::vector<CycleReport> reports;
+  for (const std::string& name : PendingBatches()) {
+    if (ShutdownRequested()) break;
+    reports.push_back(RunCycle(name));
+  }
+  return reports;
+}
+
+BatchRecord ServiceSupervisor::ParseBatch(const std::string& batch_name,
+                                          std::size_t* admitted,
+                                          std::size_t* dropped) {
+  const fs::path dir = fs::path(config_.watch_dir) / batch_name;
+  std::vector<BoundedEventQueue*> queues;
+  queues.reserve(shards_.size());
+  for (auto& s : shards_) queues.push_back(&s->queue);
+  ShardRouter router(dir_->user_shard, std::move(queues));
+  std::uint32_t crc = 0;
+  for (const char* csv : kBatchCsvs) {
+    const fs::path p = dir / csv;
+    if (!fs::exists(p)) continue;
+    const std::string bytes = ReadWholeFile(p.string());
+    crc = Crc32(bytes.data(), bytes.size(), crc);
+    std::istringstream in(bytes);
+    const std::string source = batch_name + "/" + csv;
+    if (csv == kBatchCsvs[0]) {
+      ReadDeviceCsv(in, dir_->tables, router, config_.ingest, source);
+    } else if (csv == kBatchCsvs[1]) {
+      ReadFileCsv(in, dir_->tables, router, config_.ingest, source);
+    } else if (csv == kBatchCsvs[2]) {
+      ReadHttpCsv(in, dir_->tables, router, config_.ingest, source);
+    } else {
+      ReadLogonCsv(in, dir_->tables, router, config_.ingest, source);
+    }
+  }
+  BatchRecord rec;
+  rec.name = batch_name;
+  rec.digest = crc;
+  if (router.day_hi() >= router.day_lo()) {
+    rec.day_lo = router.day_lo();
+    rec.day_hi = router.day_hi();
+  } else {
+    rec.day_lo = 0;
+    rec.day_hi = -1;
+  }
+  *admitted = router.admitted();
+  *dropped = router.dropped();
+  return rec;
+}
+
+void ServiceSupervisor::Dispatch(const CycleTask& task) {
+  for (auto& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> lk(shard->m);
+      shard->task = task;
+    }
+    shard->queue.CloseBatch();
+  }
+}
+
+std::vector<ServiceSupervisor::ShardOutcome> ServiceSupervisor::Collect() {
+  std::vector<ShardOutcome> outs;
+  outs.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    std::unique_lock<std::mutex> lk(shard->m);
+    shard->cv.wait(lk, [&] { return shard->result_ready; });
+    outs.push_back(std::move(shard->result));
+    shard->result_ready = false;
+  }
+  return outs;
+}
+
+CycleReport ServiceSupervisor::RunCycle(const std::string& batch_name) {
+  health::SetStage("ingest");
+  health::SetStageDetail(batch_name);
+
+  CycleReport rep;
+  rep.batch = batch_name;
+  BatchRecord rec = ParseBatch(batch_name, &rep.events_admitted,
+                               &rep.events_dropped);
+  ACOBE_COUNT("service.batches", 1);
+  ACOBE_COUNT("service.events_admitted",
+              static_cast<std::uint64_t>(rep.events_admitted));
+
+  if (rec.day_hi >= rec.day_lo) {
+    if (latest_day_ < first_day_seen_) {
+      first_day_seen_ = rec.day_lo;
+      latest_day_ = rec.day_hi;
+    } else {
+      first_day_seen_ = std::min(first_day_seen_, rec.day_lo);
+      latest_day_ = std::max(latest_day_, rec.day_hi);
+    }
+  }
+
+  CycleTask task;
+  if (latest_day_ >= first_day_seen_) {
+    task.win_end = latest_day_;
+    task.win_start =
+        std::max(first_day_seen_, latest_day_ - config_.window_days + 1);
+    const std::int64_t scorable_from = task.win_start + config_.train_days;
+    task.scored_from = std::max(state_.last_scored_day + 1, scorable_from);
+    task.scored_to = task.win_end;
+  }
+  rep.window_start = task.win_start;
+  rep.window_end = task.win_end;
+  rep.scored_from = task.scored_from;
+  rep.scored_to = task.scored_to;
+
+  Dispatch(task);
+  health::SetStage("detect");
+  std::vector<ShardOutcome> outs = Collect();
+
+  health::SetStage("commit");
+  state_.cycle += 1;
+  rep.cycle = state_.cycle;
+
+  // Merge per-shard results into canonical department order.
+  std::vector<const DeptCycleResult*> scored;
+  for (const ShardOutcome& o : outs) {
+    for (const DeptCycleResult& d : o.depts) scored.push_back(&d);
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const DeptCycleResult* a, const DeptCycleResult* b) {
+              return a->order < b->order;
+            });
+  rep.departments_scored = scored.size();
+
+  // Alerts first: their global sequence numbers are journaled.
+  for (const DeptCycleResult* d : scored) {
+    for (const auto& row : d->alerts) {
+      state_.alerts_count += 1;
+      LedgerEvent ev("alert");
+      ev.Int("seq", static_cast<std::int64_t>(state_.alerts_count))
+          .Int("cycle", static_cast<std::int64_t>(state_.cycle))
+          .Str("department", d->name)
+          .Str("user", row.user)
+          .Str("first_day", DayString(row.first_day))
+          .Str("last_day", DayString(row.last_day))
+          .Int("firing_days", row.firing_days)
+          .Str("peak_day", DayString(row.peak_day))
+          .Str("peak_aspect", row.peak_aspect)
+          .Num("peak_score", row.peak_score);
+      alerts_log_->Append(ev.Finish());
+      rep.alerts += 1;
+      ACOBE_COUNT("service.alerts_emitted", 1);
+    }
+  }
+
+  // Ledger: one cycle event, then detection events in canonical order,
+  // then any quarantine transitions.
+  {
+    LedgerEvent ev("cycle");
+    ev.Int("cycle", static_cast<std::int64_t>(state_.cycle))
+        .Str("batch", batch_name)
+        .Int("batch_digest", rec.digest)
+        .Int("events_admitted", static_cast<std::int64_t>(rep.events_admitted))
+        .Int("events_dropped", static_cast<std::int64_t>(rep.events_dropped));
+    if (task.win_end >= task.win_start) {
+      ev.Str("window_start", DayString(task.win_start))
+          .Str("window_end", DayString(task.win_end));
+    }
+    if (task.scored_to >= task.scored_from) {
+      ev.Str("scored_from", DayString(task.scored_from))
+          .Str("scored_to", DayString(task.scored_to));
+    }
+    ev.Int("departments_scored",
+           static_cast<std::int64_t>(rep.departments_scored))
+        .Int("alerts", static_cast<std::int64_t>(rep.alerts));
+    ledger_log_->Append(ev.Finish());
+  }
+  for (const DeptCycleResult* d : scored) {
+    LedgerEvent ev("detection");
+    ev.Int("cycle", static_cast<std::int64_t>(state_.cycle))
+        .Str("department", d->name)
+        .Int("members", static_cast<std::int64_t>(d->members))
+        .Int("score_digest", d->score_digest);
+    if (!d->degraded.empty()) {
+      ev.StrList("degraded_aspects", d->degraded);
+    }
+    std::vector<std::string> users;
+    std::vector<double> priorities;
+    users.reserve(d->top.size());
+    priorities.reserve(d->top.size());
+    for (const auto& [user, priority] : d->top) {
+      users.push_back(user);
+      priorities.push_back(priority);
+    }
+    ev.StrList("list", users).NumList("priority", priorities);
+    ledger_log_->Append(ev.Finish());
+  }
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    if (!outs[i].quarantined_now) continue;
+    LedgerEvent ev("shard_quarantined");
+    ev.Int("cycle", static_cast<std::int64_t>(state_.cycle))
+        .Int("shard", static_cast<std::int64_t>(i))
+        .Int("failures", outs[i].failures)
+        .Str("error", outs[i].error);
+    ledger_log_->Append(ev.Finish());
+    ACOBE_COUNT("service.shards_quarantined", 1);
+  }
+
+  // Fold updated monitor state + supervision records into the journal.
+  for (const ShardOutcome& o : outs) {
+    for (const auto& [name, blob] : o.monitors) {
+      bool found = false;
+      for (auto& [have, slot] : monitor_blobs_) {
+        if (have == name) {
+          slot = blob;
+          found = true;
+          break;
+        }
+      }
+      if (!found) monitor_blobs_.emplace_back(name, blob);
+    }
+  }
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    state_.shards[i].quarantined = outs[i].quarantined;
+    state_.shards[i].failures = outs[i].failures;
+  }
+  if (task.scored_to >= task.scored_from) {
+    state_.last_scored_day = std::max(state_.last_scored_day, task.scored_to);
+  }
+  state_.batches.push_back(rec);
+  consumed_.push_back(batch_name);
+  state_.monitors = monitor_blobs_;
+
+  // Commit point: outputs durable first, then the journal names them.
+  alerts_log_->Sync();
+  ledger_log_->Sync();
+  state_.alerts_bytes = alerts_log_->bytes();
+  state_.ledger_bytes = ledger_log_->bytes();
+  SaveJournal(JournalPath(), state_);
+  ACOBE_COUNT("service.cycles", 1);
+  return rep;
+}
+
+void ServiceSupervisor::Finish(const std::string& reason) {
+  if (!ledger_log_) return;
+  LedgerEvent ev("run_complete");
+  ev.Str("tool", "acobe-serve")
+      .Str("reason", reason)
+      .Int("cycles", static_cast<std::int64_t>(state_.cycle))
+      .Int("alerts", static_cast<std::int64_t>(state_.alerts_count))
+      .Int("departments", static_cast<std::int64_t>(departments()));
+  ledger_log_->Append(ev.Finish());
+  ledger_log_->Sync();
+  // Deliberately not journaled: a subsequent resume truncates this
+  // line away, so the stream ends with exactly one completion event.
+}
+
+void ServiceSupervisor::WorkerMain(std::size_t shard_idx) {
+  ShardRuntime& shard = *shards_[shard_idx];
+  for (;;) {
+    bool closed = false;
+    for (;;) {
+      const auto r = shard.queue.Pop(shard.window, 8192);
+      if (r == BoundedEventQueue::PopResult::kBatchEnd) break;
+      if (r == BoundedEventQueue::PopResult::kClosed) {
+        closed = true;
+        break;
+      }
+    }
+    if (closed) return;
+    CycleTask task;
+    {
+      std::lock_guard<std::mutex> lk(shard.m);
+      task = shard.task;
+    }
+    ShardOutcome out;
+    try {
+      out = RunShardCycle(shard, task);
+    } catch (const std::exception& e) {
+      // A failure outside the retried compute phase (ingest/commit
+      // bookkeeping) is not survivable for this shard: quarantine it
+      // rather than killing the process.
+      shard.quarantined = true;
+      out = ShardOutcome{};
+      out.quarantined = true;
+      out.quarantined_now = true;
+      out.failures = ++shard.failures;
+      out.error = e.what();
+    }
+    {
+      std::lock_guard<std::mutex> lk(shard.m);
+      shard.result = std::move(out);
+      shard.result_ready = true;
+    }
+    shard.cv.notify_all();
+  }
+}
+
+ServiceSupervisor::ShardOutcome ServiceSupervisor::RunShardCycle(
+    ShardRuntime& shard, const CycleTask& task) {
+  ShardOutcome out;
+  out.quarantined = shard.quarantined;
+  out.failures = shard.failures;
+
+  if (shard.quarantined) {
+    // Keep draining (the producer must never block on a dead shard)
+    // but compute nothing.
+    shard.window.clear();
+    return out;
+  }
+
+  // Ingest: the queue already drained into the window; drop what slid
+  // out of it.
+  if (task.win_end >= task.win_start) {
+    shard.window.erase(
+        std::remove_if(shard.window.begin(), shard.window.end(),
+                       [&](const PackedEvent& e) {
+                         return DayOfTs(e.ts) < task.win_start;
+                       }),
+        shard.window.end());
+  }
+  ACOBE_GAUGE_MAX("service.window_events", shard.window.size());
+
+  if (task.scored_to < task.scored_from) return out;  // ingest-only
+
+  // Compute phase, retried under the shard's backoff policy. Monitors
+  // are untouched until the whole phase succeeds, so a retry never
+  // double-feeds a day.
+  struct DeptCompute {
+    ShardRuntime::DeptRuntime* rt = nullptr;
+    DeptCycleResult res;
+    std::vector<std::vector<bool>> fired;     // [day - scored_from][member]
+    std::vector<std::vector<DayPeak>> peaks;  // same shape
+  };
+  std::vector<DeptCompute> computed;
+
+  const int win_len = static_cast<int>(task.win_end - task.win_start + 1);
+  const int score_begin = static_cast<int>(task.scored_from - task.win_start);
+  const int n_scored = static_cast<int>(task.scored_to - task.scored_from + 1);
+
+  for (;;) {
+    try {
+      computed.clear();
+      std::stable_sort(shard.window.begin(), shard.window.end(),
+                       [](const PackedEvent& a, const PackedEvent& b) {
+                         return DayOfTs(a.ts) < DayOfTs(b.ts);
+                       });
+      DepartmentDemux demux(Date::FromDayNumber(task.win_start), win_len);
+      for (auto& rt : shard.depts) {
+        demux.AddDepartment(rt.dept->name, rt.dept->members);
+      }
+      for (const PackedEvent& e : shard.window) DeliverPacked(e, demux);
+
+      DetectorSpec spec;
+      spec.name = "acobe-serve";
+      spec.deviation.omega = config_.omega;
+      spec.deviation.matrix_days = config_.omega;
+      spec.ensemble.encoder_dims = {64, 32, 16, 8};
+      spec.ensemble.train.epochs = config_.epochs;
+      spec.ensemble.train_stride = 2;
+      spec.ensemble.optimizer = OptimizerKind::kAdam;
+      spec.ensemble.learning_rate = 1e-3f;
+      spec.ensemble.seed = config_.seed;
+      spec.ensemble.threads = 1;  // per-shard determinism
+      spec.ensemble.allow_degraded = true;
+      spec.critic_votes = config_.votes;
+
+      for (int d = 0; d < demux.departments(); ++d) {
+        ShardRuntime::DeptRuntime& rt = shard.depts[static_cast<std::size_t>(d)];
+        const std::vector<UserId>& members = rt.dept->members;
+        DetectionOutput det = Detector(spec).Run(
+            demux.extractor(d).cube(), demux.extractor(d).catalog(), members,
+            /*train_begin=*/0, /*train_end=*/config_.train_days,
+            /*score_begin=*/score_begin, /*score_end=*/win_len);
+
+        DeptCompute dc;
+        dc.rt = &rt;
+        dc.res.order = rt.dept->order;
+        dc.res.name = rt.dept->name;
+        dc.res.members = members.size();
+        dc.res.degraded = det.degraded_aspects;
+
+        // Score digest over the freshly scored region, in a fixed
+        // (aspect, member, day) order.
+        std::string raw;
+        raw.reserve(static_cast<std::size_t>(det.grid.aspects()) *
+                    members.size() * static_cast<std::size_t>(n_scored) * 4);
+        for (int a = 0; a < det.grid.aspects(); ++a) {
+          for (std::size_t u = 0; u < members.size(); ++u) {
+            for (int rel = score_begin; rel < score_begin + n_scored; ++rel) {
+              const float s = det.grid.At(a, static_cast<int>(u), rel);
+              raw.append(reinterpret_cast<const char*>(&s), sizeof(s));
+            }
+          }
+        }
+        dc.res.score_digest = Crc32(raw);
+
+        const std::size_t top_n =
+            std::min<std::size_t>(det.list.size(),
+                                  static_cast<std::size_t>(config_.top));
+        for (std::size_t i = 0; i < top_n; ++i) {
+          const InvestigationEntry& e = det.list[i];
+          dc.res.top.emplace_back(
+              dir_->tables.users().NameOf(
+                  members[static_cast<std::size_t>(e.user_idx)]),
+              e.priority);
+        }
+
+        dc.fired.resize(static_cast<std::size_t>(n_scored));
+        dc.peaks.resize(static_cast<std::size_t>(n_scored));
+        for (int i = 0; i < n_scored; ++i) {
+          const int rel = score_begin + i;
+          std::vector<InvestigationEntry> daily =
+              RankUsersOnDay(det.grid, config_.votes, rel);
+          auto& fired = dc.fired[static_cast<std::size_t>(i)];
+          fired.assign(members.size(), false);
+          const std::size_t firing =
+              std::min<std::size_t>(daily.size(),
+                                    static_cast<std::size_t>(
+                                        config_.top_positions));
+          for (std::size_t p = 0; p < firing; ++p) {
+            fired[static_cast<std::size_t>(daily[p].user_idx)] = true;
+          }
+          auto& peaks = dc.peaks[static_cast<std::size_t>(i)];
+          peaks.assign(members.size(), DayPeak{});
+          for (std::size_t u = 0; u < members.size(); ++u) {
+            DayPeak best;
+            for (int a = 0; a < det.grid.aspects(); ++a) {
+              const float s = det.grid.At(a, static_cast<int>(u), rel);
+              if (s > best.score) {
+                best.score = s;
+                best.aspect = det.grid.aspect_name(a);
+              }
+            }
+            peaks[u] = best;
+          }
+        }
+        computed.push_back(std::move(dc));
+      }
+      shard.backoff.OnSuccess();
+      break;
+    } catch (const std::exception& e) {
+      shard.failures += 1;
+      out.failures = shard.failures;
+      const std::optional<double> delay = shard.backoff.OnFailure();
+      if (!delay) {
+        shard.quarantined = true;
+        out.quarantined = true;
+        out.quarantined_now = true;
+        out.error = e.what();
+        return out;
+      }
+      ACOBE_COUNT("service.cycle_retries", 1);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(*delay));
+    }
+  }
+
+  // Commit phase: feed the monitors day by day and collect closures.
+  for (DeptCompute& dc : computed) {
+    std::vector<Alert> closed;
+    for (int i = 0; i < n_scored; ++i) {
+      dc.rt->monitor.AdvanceDay(
+          static_cast<int>(task.scored_from + i),
+          dc.fired[static_cast<std::size_t>(i)],
+          &dc.peaks[static_cast<std::size_t>(i)], &closed);
+    }
+    for (const Alert& a : closed) {
+      DeptCycleResult::AlertRow row;
+      row.user = dir_->tables.users().NameOf(
+          dc.rt->dept->members[static_cast<std::size_t>(a.user_idx)]);
+      row.first_day = a.first_day;
+      row.last_day = a.last_day;
+      row.peak_day = a.peak_day;
+      row.firing_days = a.firing_days;
+      row.peak_aspect = a.peak_aspect_name;
+      row.peak_score = a.peak_score;
+      dc.res.alerts.push_back(std::move(row));
+    }
+    out.depts.push_back(std::move(dc.res));
+  }
+  // Serialize every monitor this shard owns (cheap; keeps the journal
+  // complete even for departments that closed nothing today).
+  for (auto& rt : shard.depts) {
+    std::ostringstream os;
+    rt.monitor.Save(os);
+    out.monitors.emplace_back(rt.dept->name, std::move(os).str());
+  }
+  return out;
+}
+
+void ServiceSupervisor::StopWorkers() {
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->queue.CloseAll();
+  }
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+}
+
+}  // namespace acobe

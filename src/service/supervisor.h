@@ -1,0 +1,184 @@
+#pragma once
+
+// The resident detection service.
+//
+// ServiceSupervisor turns the batch ACOBE pipeline into a 24/7 daemon:
+// feeders drop batch directories (CERT-layout CSVs plus a READY
+// marker, written last) into a watch directory; each READY batch
+// becomes one *cycle*. The watcher thread parses the batch's CSVs in a
+// fixed order and routes packed events through bounded admission
+// queues (service/queue.h) to per-shard workers; each worker maintains
+// a sliding multi-day event window, and when the batch advances the
+// window far enough to expose new scorable days, runs the full
+// ACOBE detection (representation -> ensemble -> critic) per
+// department, feeds the daily top lists into a persistent-alert
+// MonitorState, and reports closed alerts.
+//
+// Robustness properties, in the order they matter:
+//
+//   crash-restart bit-identity  Every cycle commits through the
+//       journal protocol (service/journal.h): outputs are appended and
+//       fsynced, then the journal (batch list, output offsets, monitor
+//       blobs) is atomically replaced. kill -9 at any instant and the
+//       restarted daemon truncates torn output tails, rebuilds the
+//       event window by re-parsing journaled batches, restores the
+//       monitors, and re-runs the interrupted cycle — producing the
+//       same bytes it would have produced uninterrupted. Holds under
+//       AdmissionPolicy::kBlock (the default); kShed trades identity
+//       for liveness under overload.
+//
+//   supervision  A shard worker whose cycle computation throws is
+//       retried under a seeded BackoffPolicy; when retries exhaust,
+//       the shard is quarantined — its departments drop out of the
+//       report stream (a "shard_quarantined" ledger event says so) and
+//       the remaining shards keep serving.
+//
+//   backpressure  Queues are capped in rows and bytes; under kBlock the
+//       watcher slows to the slowest shard rather than growing without
+//       bound. Queue depth, stalls and shed counts land in the
+//       telemetry registry ("service.*").
+//
+// Threading: the caller's thread parses and commits; one worker thread
+// per shard computes. Workers only touch their own shard state, and
+// every main<->worker handoff goes through a mutex (the queue's, or
+// the shard's task/result mutex), so the whole plane is
+// ThreadSanitizer-clean by construction.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/faults.h"
+#include "service/journal.h"
+#include "service/queue.h"
+#include "service/retry.h"
+
+namespace acobe {
+
+struct ServiceConfig {
+  std::string watch_dir;   // drop directory to scan for READY batches
+  std::string out_dir;     // journal + alerts.jsonl + ledger.jsonl
+  std::string roster_path; // ldap.csv defining users and departments
+
+  // Window geometry, absolute-day based. Must satisfy
+  // window_days > train_days > deviation omega.
+  int window_days = 28;
+  int train_days = 14;
+  int omega = 7;
+
+  // Detection knobs (mirror acobe-detect's streaming path).
+  int epochs = 6;
+  int votes = 2;
+  int top = 10;            // investigation-list length in ledger events
+  std::uint64_t seed = 1234;
+
+  // Persistent-alert monitor (core/monitor.h).
+  int top_positions = 3;
+  int persistence_days = 2;
+  int cooloff_days = 2;
+
+  std::size_t min_dept_users = 3;  // departments below this are skipped
+
+  // Admission plane.
+  int shards = 2;
+  std::size_t queue_rows = 1u << 16;
+  std::size_t queue_bytes = 64u << 20;
+  AdmissionPolicy admission = AdmissionPolicy::kBlock;
+
+  // Shard-cycle retry / quarantine.
+  BackoffConfig backoff;
+
+  IngestOptions ingest;  // CSV policy for batch files (roster is strict)
+};
+
+/// What one consumed batch did; returned so the tool can narrate.
+struct CycleReport {
+  std::uint64_t cycle = 0;
+  std::string batch;
+  std::int64_t window_start = 0;  // absolute day numbers
+  std::int64_t window_end = -1;   // window_end < window_start: no events yet
+  std::int64_t scored_from = 0;
+  std::int64_t scored_to = -1;    // scored_to < scored_from: ingest-only
+  std::size_t departments_scored = 0;
+  std::size_t alerts = 0;          // closed alerts emitted this cycle
+  std::size_t events_admitted = 0;
+  std::size_t events_dropped = 0;  // users outside the roster's departments
+};
+
+class ServiceSupervisor {
+ public:
+  explicit ServiceSupervisor(ServiceConfig config);
+  ~ServiceSupervisor();
+  ServiceSupervisor(const ServiceSupervisor&) = delete;
+  ServiceSupervisor& operator=(const ServiceSupervisor&) = delete;
+
+  /// Loads the roster, recovers the journal (truncating torn output
+  /// tails, restoring monitors, rebuilding the event window from
+  /// already-consumed batches) and spawns the shard workers. Throws
+  /// JournalError when the on-disk state cannot be resumed
+  /// bit-identically (config fingerprint mismatch, mutated batch,
+  /// corrupt journal) and IngestError/std::runtime_error for input
+  /// problems.
+  void Start();
+
+  /// READY batches not yet consumed, in processing (lexicographic)
+  /// order.
+  std::vector<std::string> PendingBatches() const;
+
+  /// Consumes every pending batch as one cycle each; stops early when
+  /// ShutdownRequested(). Returns one report per cycle run.
+  std::vector<CycleReport> ProcessAvailableBatches();
+
+  /// Appends a run_complete event (reason: "drained" | "signal").
+  /// Deliberately not journaled: a later resume truncates it away, so
+  /// the final ledger carries exactly one completion event.
+  void Finish(const std::string& reason);
+
+  std::uint64_t cycles() const { return state_.cycle; }
+  std::uint64_t alerts_emitted() const { return state_.alerts_count; }
+  int quarantined_shards() const;
+  bool recovered() const { return recovered_; }
+  std::size_t departments() const;
+
+ private:
+  struct ShardRuntime;
+  struct CycleTask;
+  struct ShardOutcome;
+  struct DeptCycleResult;
+
+  void LoadRoster();
+  void RecoverOrInit();
+  void ReplayWindow(const std::vector<BatchRecord>& batches);
+  CycleReport RunCycle(const std::string& batch_name);
+  BatchRecord ParseBatch(const std::string& batch_name, std::size_t* admitted,
+                         std::size_t* dropped);
+  void Dispatch(const CycleTask& task);
+  std::vector<ShardOutcome> Collect();
+  void WorkerMain(std::size_t shard_idx);
+  ShardOutcome RunShardCycle(ShardRuntime& shard, const CycleTask& task);
+  void StopWorkers();
+  std::string JournalPath() const;
+
+  ServiceConfig config_;
+  std::uint64_t fingerprint_ = 0;
+  bool recovered_ = false;
+  bool started_ = false;
+
+  // Roster-derived, immutable after Start().
+  std::unique_ptr<class ServiceDirectory> dir_;
+  std::vector<std::unique_ptr<ShardRuntime>> shards_;
+
+  JournalState state_;
+  std::vector<std::string> consumed_;  // batch names, consumption order
+  std::int64_t first_day_seen_ = 0;    // valid when latest_day_ >= first
+  std::int64_t latest_day_ = -1;
+  // department name -> latest serialized MonitorState, canonical order.
+  std::vector<std::pair<std::string, std::string>> monitor_blobs_;
+
+  std::unique_ptr<AppendLog> alerts_log_;
+  std::unique_ptr<AppendLog> ledger_log_;
+};
+
+}  // namespace acobe

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "behavior/normalized_day.h"
+#include "common/faults.h"
 #include "common/rng.h"
 #include "core/ensemble.h"
 #include "core/ensemble_io.h"
@@ -263,6 +264,28 @@ TEST(FuzzRoundTripTest, RedeliveryRecoversCleanStreamExactly) {
     EXPECT_GT(stats.rows_rejected + stats.rows_deduped, 0u);
     EXPECT_EQ(Render(stream, fresh), clean);
   }
+}
+
+// --- WriteFileAtomic durability -------------------------------------------
+
+TEST(WriteFileAtomicTest, SyncsParentDirectoryAfterRename) {
+  // The rename itself is only durable once the parent directory's entry
+  // is fsync'd; assert the directory sync actually runs (per write)
+  // rather than being silently skipped.
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "acobe_dirsync";
+  std::filesystem::create_directories(dir);
+  const std::uint64_t before = DirFsyncCount();
+  WriteFileAtomic((dir / "artifact.bin").string(),
+                  [](std::ostream& out) { out << "payload"; });
+  WriteFileAtomic((dir / "artifact.bin").string(),
+                  [](std::ostream& out) { out << "payload2"; });
+  EXPECT_GE(DirFsyncCount(), before + 2);
+  // And no temporary litter survives a successful replace.
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    EXPECT_EQ(entry.path().filename().string(), "artifact.bin");
+  }
+  std::filesystem::remove_all(dir);
 }
 
 // --- Ensemble checkpoint / resume ----------------------------------------

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <vector>
 
 #include "core/monitor.h"
@@ -96,6 +97,51 @@ TEST(MonitorTest, QuietGapShorterThanCooloffKeepsAlertOpen) {
   EXPECT_EQ(mine[0].first_day, 3);
   EXPECT_EQ(mine[0].last_day, 8);
   EXPECT_EQ(mine[0].firing_days, 5);
+}
+
+TEST(MonitorTest, CooloffSpanningSaveLoadClosesIdentically) {
+  // Regression for the resident service's restart path: an alert whose
+  // cooloff straddles a Save/Load boundary must close on the same day
+  // with the same span as an uninterrupted tracker. User 0 fires days
+  // 2..4; the process "restarts" after day 5 (one quiet day into a
+  // 2-day cooloff); day 6 is quiet and completes the cooloff.
+  MonitorConfig cfg;
+  cfg.top_positions = 1;
+  cfg.persistence_days = 2;
+  cfg.cooloff_days = 2;
+  auto fired_on = [](int day) {
+    return std::vector<bool>{day >= 2 && day <= 4, false};
+  };
+
+  MonitorState uninterrupted(cfg);
+  std::vector<Alert> expect;
+  for (int d = 0; d <= 6; ++d) {
+    uninterrupted.AdvanceDay(d, fired_on(d), nullptr, &expect);
+  }
+
+  MonitorState before(cfg);
+  std::vector<Alert> got;
+  for (int d = 0; d <= 5; ++d) before.AdvanceDay(d, fired_on(d), nullptr, &got);
+  EXPECT_TRUE(got.empty());  // still cooling off at the save point
+  ASSERT_EQ(before.OpenAlerts().size(), 1u);
+
+  std::stringstream snapshot;
+  before.Save(snapshot);
+  MonitorState after = MonitorState::Load(snapshot);
+  EXPECT_EQ(after.last_day(), 5);
+  ASSERT_EQ(after.OpenAlerts().size(), 1u);
+  after.AdvanceDay(6, fired_on(6), nullptr, &got);
+
+  ASSERT_EQ(expect.size(), 1u);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].user_idx, expect[0].user_idx);
+  EXPECT_EQ(got[0].first_day, expect[0].first_day);
+  EXPECT_EQ(got[0].last_day, expect[0].last_day);
+  EXPECT_EQ(got[0].firing_days, expect[0].firing_days);
+  EXPECT_EQ(got[0].first_day, 2);
+  EXPECT_EQ(got[0].last_day, 4);
+  EXPECT_EQ(got[0].firing_days, 3);
+  EXPECT_TRUE(after.OpenAlerts().empty());
 }
 
 }  // namespace

@@ -1,0 +1,507 @@
+// The resident service's building blocks: seeded backoff, bounded
+// admission queues (incl. producer/consumer threading), the CRC'd
+// cycle journal with its truncate-to-committed append logs, and the
+// incremental MonitorState drive matching the batch monitor.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/critic.h"
+#include "core/monitor.h"
+#include "core/score_grid.h"
+#include "service/journal.h"
+#include "service/queue.h"
+#include "service/retry.h"
+
+using namespace acobe;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = fs::temp_directory_path() /
+            ("acobe_service_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  std::string file(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  fs::path path_;
+  static int counter_;
+};
+int TempDir::counter_ = 0;
+
+PackedEvent Ev(std::int64_t ts, std::uint32_t user) {
+  PackedEvent p;
+  p.ts = ts;
+  p.user = user;
+  return p;
+}
+
+// --- BackoffPolicy ---------------------------------------------------------
+
+TEST(BackoffPolicyTest, DelaysAreDeterministicFromSeed) {
+  BackoffConfig cfg;
+  cfg.max_retries = 5;
+  cfg.seed = 42;
+  BackoffPolicy a(cfg), b(cfg);
+  for (int i = 0; i < 5; ++i) {
+    const auto da = a.OnFailure();
+    const auto db = b.OnFailure();
+    ASSERT_TRUE(da.has_value());
+    ASSERT_TRUE(db.has_value());
+    EXPECT_DOUBLE_EQ(*da, *db) << "attempt " << i;
+  }
+  // A different seed jitters differently (same exponential skeleton).
+  BackoffConfig other = cfg;
+  other.seed = 43;
+  BackoffPolicy c(other), e(cfg);
+  bool any_differ = false;
+  for (int i = 0; i < 5; ++i) {
+    if (*c.OnFailure() != *e.OnFailure()) any_differ = true;
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(BackoffPolicyTest, GrowsExponentiallyUpToCap) {
+  BackoffConfig cfg;
+  cfg.max_retries = 10;
+  cfg.base_ms = 100.0;
+  cfg.multiplier = 2.0;
+  cfg.cap_ms = 400.0;
+  cfg.jitter = 0.0;  // exact delays
+  BackoffPolicy p(cfg);
+  EXPECT_DOUBLE_EQ(*p.OnFailure(), 100.0);
+  EXPECT_DOUBLE_EQ(*p.OnFailure(), 200.0);
+  EXPECT_DOUBLE_EQ(*p.OnFailure(), 400.0);
+  EXPECT_DOUBLE_EQ(*p.OnFailure(), 400.0);  // capped from here on
+  EXPECT_DOUBLE_EQ(*p.OnFailure(), 400.0);
+}
+
+TEST(BackoffPolicyTest, JitterStaysWithinBand) {
+  BackoffConfig cfg;
+  cfg.max_retries = 1;
+  cfg.base_ms = 1000.0;
+  cfg.jitter = 0.25;
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    cfg.seed = seed;
+    BackoffPolicy p(cfg);
+    const auto d = p.OnFailure();
+    ASSERT_TRUE(d.has_value());
+    EXPECT_GE(*d, 750.0);
+    EXPECT_LE(*d, 1250.0);
+  }
+}
+
+TEST(BackoffPolicyTest, SuccessResetsBothCounterAndJitterStream) {
+  BackoffConfig cfg;
+  cfg.max_retries = 3;
+  cfg.seed = 7;
+  BackoffPolicy p(cfg);
+  std::vector<double> first;
+  for (int i = 0; i < 3; ++i) first.push_back(*p.OnFailure());
+  EXPECT_EQ(p.failures(), 3);
+  p.OnSuccess();
+  EXPECT_EQ(p.failures(), 0);
+  // The post-success sequence replays the fresh-policy sequence
+  // exactly: retry behavior is a pure function of failures since the
+  // last success.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(*p.OnFailure(), first[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_FALSE(p.OnFailure().has_value());  // retries exhausted
+}
+
+TEST(BackoffPolicyTest, ZeroRetriesQuarantinesImmediately) {
+  BackoffConfig cfg;
+  cfg.max_retries = 0;
+  BackoffPolicy p(cfg);
+  EXPECT_FALSE(p.OnFailure().has_value());
+  EXPECT_EQ(p.failures(), 1);
+}
+
+// --- BoundedEventQueue -----------------------------------------------------
+
+TEST(BoundedEventQueueTest, ByteCapTightensRowCap) {
+  // 10 rows but only 4 events' worth of bytes: bytes bind.
+  BoundedEventQueue q(10, 4 * sizeof(PackedEvent), AdmissionPolicy::kShed);
+  EXPECT_EQ(q.max_rows(), 4u);
+  // Degenerate caps clamp to one event rather than zero.
+  BoundedEventQueue tiny(10, 1, AdmissionPolicy::kShed);
+  EXPECT_EQ(tiny.max_rows(), 1u);
+}
+
+TEST(BoundedEventQueueTest, ShedPolicyDropsAtCapAndCounts) {
+  BoundedEventQueue q(2, 1 << 20, AdmissionPolicy::kShed);
+  EXPECT_TRUE(q.Push(Ev(1, 0)));
+  EXPECT_TRUE(q.Push(Ev(2, 0)));
+  EXPECT_FALSE(q.Push(Ev(3, 0)));  // at cap: shed
+  EXPECT_EQ(q.shed(), 1u);
+  EXPECT_EQ(q.admitted(), 2u);
+  EXPECT_EQ(q.rows(), 2u);
+}
+
+TEST(BoundedEventQueueTest, BatchBoundariesArriveInOrder) {
+  BoundedEventQueue q(100, 1 << 20, AdmissionPolicy::kBlock);
+  q.Push(Ev(1, 0));
+  q.Push(Ev(2, 0));
+  q.CloseBatch();
+  q.Push(Ev(3, 0));
+  q.CloseBatch();
+  q.CloseBatch();  // empty batch
+  q.CloseAll();
+
+  std::vector<PackedEvent> out;
+  EXPECT_EQ(q.Pop(out, 100), BoundedEventQueue::PopResult::kEvents);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1].ts, 2);
+  EXPECT_EQ(q.Pop(out, 100), BoundedEventQueue::PopResult::kBatchEnd);
+  EXPECT_EQ(q.Pop(out, 100), BoundedEventQueue::PopResult::kEvents);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[2].ts, 3);
+  EXPECT_EQ(q.Pop(out, 100), BoundedEventQueue::PopResult::kBatchEnd);
+  EXPECT_EQ(q.Pop(out, 100), BoundedEventQueue::PopResult::kBatchEnd);
+  EXPECT_EQ(q.Pop(out, 100), BoundedEventQueue::PopResult::kClosed);
+}
+
+TEST(BoundedEventQueueTest, NeverHandsEventsPastABoundary) {
+  BoundedEventQueue q(100, 1 << 20, AdmissionPolicy::kBlock);
+  q.Push(Ev(1, 0));
+  q.CloseBatch();
+  q.Push(Ev(2, 0));  // next batch, already admitted
+  std::vector<PackedEvent> out;
+  EXPECT_EQ(q.Pop(out, 100), BoundedEventQueue::PopResult::kEvents);
+  EXPECT_EQ(out.size(), 1u);  // stopped at the boundary
+  EXPECT_EQ(q.Pop(out, 100), BoundedEventQueue::PopResult::kBatchEnd);
+}
+
+TEST(BoundedEventQueueTest, PushAfterCloseAllThrows) {
+  BoundedEventQueue q(4, 1 << 20, AdmissionPolicy::kBlock);
+  q.CloseAll();
+  EXPECT_THROW(q.Push(Ev(1, 0)), std::logic_error);
+}
+
+TEST(BoundedEventQueueTest, BlockingProducerDrainsInFifoOrderAcrossThreads) {
+  // A tiny cap forces the producer to block repeatedly; the consumer
+  // must still observe every event exactly once, in admission order.
+  // (This test is part of the ThreadSanitizer CI job.)
+  constexpr int kEvents = 20000;
+  BoundedEventQueue q(8, 1 << 20, AdmissionPolicy::kBlock);
+  std::thread producer([&] {
+    for (int i = 0; i < kEvents; ++i) {
+      ASSERT_TRUE(q.Push(Ev(i, static_cast<std::uint32_t>(i % 7))));
+    }
+    q.CloseBatch();
+    q.CloseAll();
+  });
+  std::vector<PackedEvent> got;
+  bool saw_boundary = false;
+  for (;;) {
+    const auto r = q.Pop(got, 64);
+    if (r == BoundedEventQueue::PopResult::kBatchEnd) {
+      saw_boundary = true;
+      continue;
+    }
+    if (r == BoundedEventQueue::PopResult::kClosed) break;
+  }
+  producer.join();
+  EXPECT_TRUE(saw_boundary);
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kEvents));
+  for (int i = 0; i < kEvents; ++i) {
+    ASSERT_EQ(got[static_cast<std::size_t>(i)].ts, i) << "out of order";
+  }
+  EXPECT_EQ(q.admitted(), static_cast<std::size_t>(kEvents));
+  EXPECT_EQ(q.shed(), 0u);
+}
+
+// --- Journal ---------------------------------------------------------------
+
+JournalState SampleState() {
+  JournalState s;
+  s.config_fingerprint = 0xfeedface;
+  s.cycle = 7;
+  s.alerts_bytes = 123;
+  s.alerts_count = 3;
+  s.ledger_bytes = 4567;
+  s.last_scored_day = 14975;
+  s.batches.push_back(BatchRecord{"b001", 0xabcd, 14950, 14960});
+  s.batches.push_back(BatchRecord{"b002-empty", 0x1234, 0, -1});
+  s.shards.push_back(ShardRecord{false, 0});
+  s.shards.push_back(ShardRecord{true, 4});
+  s.monitors.emplace_back("Engineering", std::string("\x00\x01monitor", 9));
+  s.monitors.emplace_back("Sales", "");
+  return s;
+}
+
+TEST(JournalTest, RoundTripsEveryField) {
+  TempDir dir;
+  const std::string path = dir.file("service.journal");
+  const JournalState in = SampleState();
+  SaveJournal(path, in);
+  const auto out = LoadJournal(path);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->config_fingerprint, in.config_fingerprint);
+  EXPECT_EQ(out->cycle, in.cycle);
+  EXPECT_EQ(out->alerts_bytes, in.alerts_bytes);
+  EXPECT_EQ(out->alerts_count, in.alerts_count);
+  EXPECT_EQ(out->ledger_bytes, in.ledger_bytes);
+  EXPECT_EQ(out->last_scored_day, in.last_scored_day);
+  ASSERT_EQ(out->batches.size(), 2u);
+  EXPECT_EQ(out->batches[0].name, "b001");
+  EXPECT_EQ(out->batches[0].digest, 0xabcdu);
+  EXPECT_EQ(out->batches[0].day_lo, 14950);
+  EXPECT_EQ(out->batches[0].day_hi, 14960);
+  EXPECT_EQ(out->batches[1].day_hi, -1);
+  ASSERT_EQ(out->shards.size(), 2u);
+  EXPECT_FALSE(out->shards[0].quarantined);
+  EXPECT_TRUE(out->shards[1].quarantined);
+  EXPECT_EQ(out->shards[1].failures, 4u);
+  ASSERT_EQ(out->monitors.size(), 2u);
+  EXPECT_EQ(out->monitors[0].first, "Engineering");
+  EXPECT_EQ(out->monitors[0].second.size(), 9u);  // embedded NULs survive
+  EXPECT_EQ(out->monitors[1].second, "");
+}
+
+TEST(JournalTest, MissingFileIsAFreshStart) {
+  TempDir dir;
+  EXPECT_FALSE(LoadJournal(dir.file("nope.journal")).has_value());
+}
+
+TEST(JournalTest, CorruptionIsDetectedNotTrusted) {
+  TempDir dir;
+  const std::string path = dir.file("service.journal");
+  SaveJournal(path, SampleState());
+
+  // Flip one payload byte: CRC mismatch.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(20);
+    char c;
+    f.seekg(20);
+    f.get(c);
+    f.seekp(20);
+    f.put(static_cast<char>(c ^ 0x40));
+  }
+  EXPECT_THROW(LoadJournal(path), JournalError);
+
+  // Truncation.
+  SaveJournal(path, SampleState());
+  fs::resize_file(path, fs::file_size(path) / 2);
+  EXPECT_THROW(LoadJournal(path), JournalError);
+
+  // Bad magic.
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f << "not a journal at all";
+  }
+  EXPECT_THROW(LoadJournal(path), JournalError);
+}
+
+// --- AppendLog -------------------------------------------------------------
+
+TEST(AppendLogTest, TruncatesTornTailBackToCommittedPrefix) {
+  TempDir dir;
+  const std::string path = dir.file("alerts.jsonl");
+  std::uint64_t committed = 0;
+  {
+    AppendLog log(path, 0);
+    log.Append("{\"seq\":1}");
+    log.Sync();
+    committed = log.bytes();
+    // Torn tail: appended but the "journal" (us) never recorded it.
+    log.Append("{\"seq\":2,\"torn\":true}");
+  }
+  ASSERT_GT(fs::file_size(path), committed);
+
+  // Reopen at the committed prefix: the tail is gone, appends resume.
+  AppendLog log(path, committed);
+  EXPECT_EQ(log.bytes(), committed);
+  EXPECT_EQ(fs::file_size(path), committed);
+  log.Append("{\"seq\":2}");
+  log.Sync();
+  std::ifstream in(path);
+  std::string l1, l2, l3;
+  std::getline(in, l1);
+  std::getline(in, l2);
+  EXPECT_EQ(l1, "{\"seq\":1}");
+  EXPECT_EQ(l2, "{\"seq\":2}");
+  EXPECT_FALSE(std::getline(in, l3));
+}
+
+TEST(AppendLogTest, FileShorterThanCommittedIsCorruption) {
+  TempDir dir;
+  const std::string path = dir.file("ledger.jsonl");
+  {
+    std::ofstream f(path);
+    f << "short\n";
+  }
+  EXPECT_THROW(AppendLog(path, 1000), JournalError);
+}
+
+// --- MonitorState driven incrementally vs the batch scan -------------------
+
+// A small grid with distinct scores everywhere (no rank or peak ties),
+// so the incremental peak tracking must agree with the batch
+// aspect-major scan exactly.
+ScoreGrid DistinctGrid(int users, int days) {
+  ScoreGrid grid({"logon", "device"}, users, 0, days);
+  float v = 0.0f;
+  for (int a = 0; a < 2; ++a) {
+    for (int u = 0; u < users; ++u) {
+      for (int d = 0; d < days; ++d) {
+        grid.At(a, u, d) = v;
+        v += 0.0017f;
+      }
+    }
+  }
+  // Make user 1 clearly hot on days 3..6 and user 3 on days 10..12.
+  for (int d = 3; d <= 6; ++d) grid.At(0, 1, d) = 10.0f + d;
+  for (int d = 10; d <= 12; ++d) grid.At(1, 3, d) = 20.0f + d;
+  return grid;
+}
+
+std::vector<bool> FiredOnDay(const ScoreGrid& grid, const MonitorConfig& cfg,
+                             int day) {
+  const auto daily = RankUsersOnDay(grid, cfg.n_votes, day);
+  std::vector<bool> fired(static_cast<std::size_t>(grid.users()), false);
+  const std::size_t top = std::min<std::size_t>(
+      daily.size(), static_cast<std::size_t>(cfg.top_positions));
+  for (std::size_t i = 0; i < top; ++i) {
+    fired[static_cast<std::size_t>(daily[i].user_idx)] = true;
+  }
+  return fired;
+}
+
+std::vector<DayPeak> PeaksOnDay(const ScoreGrid& grid, int day) {
+  std::vector<DayPeak> peaks(static_cast<std::size_t>(grid.users()));
+  for (int u = 0; u < grid.users(); ++u) {
+    DayPeak best;
+    for (int a = 0; a < grid.aspects(); ++a) {
+      const float s = grid.At(a, u, day);
+      if (s > best.score) {
+        best.score = s;
+        best.aspect = grid.aspect_name(a);
+      }
+    }
+    peaks[static_cast<std::size_t>(u)] = best;
+  }
+  return peaks;
+}
+
+TEST(MonitorStateTest, IncrementalDriveMatchesBatchScan) {
+  const ScoreGrid grid = DistinctGrid(5, 16);
+  MonitorConfig cfg;
+  cfg.top_positions = 1;
+  cfg.persistence_days = 2;
+  cfg.cooloff_days = 2;
+  const std::vector<Alert> batch = FindPersistentAlerts(grid, cfg);
+  ASSERT_FALSE(batch.empty());
+
+  MonitorState state(cfg);
+  std::vector<Alert> mine;
+  for (int d = 0; d < 16; ++d) {
+    const auto peaks = PeaksOnDay(grid, d);
+    state.AdvanceDay(d, FiredOnDay(grid, cfg, d), &peaks, &mine);
+  }
+  for (const Alert& a : state.OpenAlerts()) mine.push_back(a);
+  std::sort(mine.begin(), mine.end(),
+            [](const Alert& a, const Alert& b) {
+              return a.first_day < b.first_day;
+            });
+
+  ASSERT_EQ(mine.size(), batch.size());
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    EXPECT_EQ(mine[i].user_idx, batch[i].user_idx);
+    EXPECT_EQ(mine[i].first_day, batch[i].first_day);
+    EXPECT_EQ(mine[i].last_day, batch[i].last_day);
+    EXPECT_EQ(mine[i].firing_days, batch[i].firing_days);
+    EXPECT_EQ(mine[i].peak_day, batch[i].peak_day);
+    EXPECT_EQ(mine[i].peak_aspect_name, batch[i].peak_aspect_name);
+    EXPECT_FLOAT_EQ(mine[i].peak_score, batch[i].peak_score);
+  }
+}
+
+TEST(MonitorStateTest, ChunkedFeedWithSaveLoadMatchesOneShot) {
+  const ScoreGrid grid = DistinctGrid(5, 16);
+  MonitorConfig cfg;
+  cfg.top_positions = 1;
+  cfg.persistence_days = 2;
+  cfg.cooloff_days = 2;
+
+  auto drive = [&](MonitorState& st, int from, int to,
+                   std::vector<Alert>* closed) {
+    for (int d = from; d < to; ++d) {
+      const auto peaks = PeaksOnDay(grid, d);
+      st.AdvanceDay(d, FiredOnDay(grid, cfg, d), &peaks, closed);
+    }
+  };
+
+  MonitorState oneshot(cfg);
+  std::vector<Alert> expect;
+  drive(oneshot, 0, 16, &expect);
+
+  // Same observations in three chunks, serialized between chunks (the
+  // daemon's restart path).
+  MonitorState st(cfg);
+  std::vector<Alert> got;
+  drive(st, 0, 5, &got);
+  std::stringstream s1;
+  st.Save(s1);
+  MonitorState st2 = MonitorState::Load(s1);
+  EXPECT_EQ(st2.last_day(), 4);
+  drive(st2, 5, 11, &got);
+  std::stringstream s2;
+  st2.Save(s2);
+  MonitorState st3 = MonitorState::Load(s2);
+  drive(st3, 11, 16, &got);
+
+  ASSERT_EQ(got.size(), expect.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].user_idx, expect[i].user_idx);
+    EXPECT_EQ(got[i].first_day, expect[i].first_day);
+    EXPECT_EQ(got[i].last_day, expect[i].last_day);
+    EXPECT_EQ(got[i].firing_days, expect[i].firing_days);
+    EXPECT_EQ(got[i].peak_day, expect[i].peak_day);
+    EXPECT_FLOAT_EQ(got[i].peak_score, expect[i].peak_score);
+  }
+  const auto open1 = oneshot.OpenAlerts();
+  const auto open2 = st3.OpenAlerts();
+  ASSERT_EQ(open1.size(), open2.size());
+}
+
+TEST(MonitorStateTest, CorruptSnapshotThrows) {
+  MonitorState st;
+  std::vector<Alert> closed;
+  st.AdvanceDay(3, {true, false}, nullptr, &closed);
+  std::stringstream s;
+  st.Save(s);
+  std::string bytes = s.str();
+  bytes[bytes.size() / 2] ^= 0x10;
+  std::istringstream in(bytes);
+  EXPECT_THROW(MonitorState::Load(in), std::runtime_error);
+  std::istringstream empty("");
+  EXPECT_THROW(MonitorState::Load(empty), std::runtime_error);
+}
+
+}  // namespace

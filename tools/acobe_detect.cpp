@@ -91,6 +91,7 @@
 #include "cli_util.h"
 #include "common/faults.h"
 #include "common/health.h"
+#include "common/shutdown.h"
 #include "common/ledger.h"
 #include "common/resource.h"
 #include "common/telemetry.h"
@@ -705,6 +706,7 @@ int main(int argc, char** argv) {
   // the detection path runs exactly as before (bit-identical scores).
   const bool provenance = !explain_out.empty() || !ledger_out.empty();
 
+  InstallShutdownHandler();
   telemetry::EnableMetrics(true);
   telemetry::EnableTracing(!trace_out.empty());
   if (!health_out.empty()) {
@@ -729,6 +731,42 @@ int main(int argc, char** argv) {
   IngestStats ingest_stats;
   Timestamp lo = std::numeric_limits<Timestamp>::max();
   Timestamp hi = std::numeric_limits<Timestamp>::min();
+
+  // Cooperative SIGINT/SIGTERM unwind, polled at loop boundaries: drop
+  // the spool shard files, land a run_aborted ledger event (with a
+  // manifest, so the aborted artifact still identifies its build), let
+  // the final heartbeat record where the run stopped, and exit with
+  // the dedicated abort code.
+  auto abort_run = [&](const char* where) -> int {
+    std::fprintf(stderr,
+                 "acobe-detect: shutdown requested during %s; aborting "
+                 "cleanly\n",
+                 where);
+    if (spooler) spooler->Remove();
+    if (!ledger_out.empty()) {
+      RunLedger aborted;
+      BuildInfo build_info = GetBuildInfo();
+      nn::AnnotateBuildInfo(build_info);
+      aborted.Append(MakeManifestEvent("acobe-detect", build_info));
+      LedgerEvent ev("run_aborted");
+      ev.Str("reason", "signal")
+          .Int("signal", ShutdownSignal())
+          .Str("stage", where)
+          .Raw("stages", health::StageTimesJson());
+      aborted.Append(ev);
+      if (aborted.WriteFile(ledger_out)) {
+        std::fprintf(stderr, "wrote %s (aborted)\n", ledger_out.c_str());
+      } else {
+        std::fprintf(stderr, "acobe-detect: cannot write %s\n",
+                     ledger_out.c_str());
+      }
+    }
+    health::SetStage("aborted");
+    health::StopHealth();
+    telemetry::FlushTelemetry("acobe-detect", metrics_out, trace_out,
+                              std::cerr);
+    return kExitAborted;
+  };
 
   try {
     if (stream) {
@@ -772,6 +810,7 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "no readable logs under %s\n", in_dir.c_str());
         return kExitBadInput;
       }
+      if (ShutdownRequested()) return abort_run("ingest");
       health::SetStage("spool");
       spooler->Finish();
       lo = spooler->ts_lo();
@@ -820,6 +859,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "acobe-detect: malformed input: %s\n", e.what());
     return kExitBadInput;
   }
+  if (ShutdownRequested()) return abort_run("ingest");
   if (ingest_stats.rows_rejected > 0 || ingest_stats.rows_deduped > 0) {
     std::fprintf(stderr,
                  "ingest: %zu rows read, %zu rejected, %zu quarantined, "
@@ -944,6 +984,7 @@ int main(int argc, char** argv) {
       const int n_shards = spooler->shards();
       health::SetStage("replay", static_cast<std::uint64_t>(n_shards));
       for (int s = 0; s < n_shards; ++s) {
+        if (ShutdownRequested()) return abort_run("replay");
         health::SetStage("replay");
         health::SetStageDetail("shard " + std::to_string(s));
         DepartmentDemux demux(start, days);
@@ -966,6 +1007,7 @@ int main(int argc, char** argv) {
         health::StageAdvance();
         health::SetStage("detect", shard_depts.size() * dept_units);
         for (int d = 0; d < demux.departments(); ++d) {
+          if (ShutdownRequested()) return abort_run("detect");
           const auto& [department, members] = shard_depts[d];
           health::SetStageDetail(department);
           const Detector detector(make_dept_spec(department));
@@ -999,6 +1041,7 @@ int main(int argc, char** argv) {
         health::StageAdvance();
       }
       for (const std::string& department : store.Departments()) {
+        if (ShutdownRequested()) return abort_run("detect");
         const auto members = store.UsersInDepartment(department);
         if (members.size() < 3) continue;
         health::SetStage("detect", dept_units);

@@ -48,6 +48,7 @@
 #include "cli_util.h"
 #include "common/faults.h"
 #include "common/health.h"
+#include "common/shutdown.h"
 #include "common/telemetry.h"
 #include "common/trace.h"
 #include "logs/log_io.h"
@@ -181,6 +182,14 @@ int GenerateStreamed(sim::CertSimConfig base,
   std::size_t total_events = 0, total_users = 0;
   health::SetStage("simulate", static_cast<std::uint64_t>(n_shards));
   for (int s = 0; s < n_shards; ++s) {
+    if (ShutdownRequested()) {
+      // The StreamedCsv destructors remove the .tmp files; nothing
+      // half-written ever carries the real CSV names.
+      std::fprintf(stderr,
+                   "acobe-gen: shutdown requested during simulate; aborting "
+                   "cleanly\n");
+      return kExitAborted;
+    }
     health::SetStageDetail("shard " + std::to_string(s + 1) + "/" +
                            std::to_string(n_shards));
     const int lo = static_cast<int>(
@@ -360,6 +369,7 @@ int main(int argc, char** argv) {
     return kExitUsage;
   }
 
+  InstallShutdownHandler();
   telemetry::EnableMetrics(true);
   telemetry::EnableTracing(!trace_out.empty());
   if (!health_out.empty()) {
@@ -372,14 +382,16 @@ int main(int argc, char** argv) {
 
   if (stream) {
     const int code = GenerateStreamed(config, scenarios, out_dir, shards);
-    if (code != 0) return code;
-    health::SetStage("done");
+    // The final heartbeat lands in every outcome, so a supervisor
+    // watching the health file sees how the run ended.
+    health::SetStage(code == 0 ? "done"
+                               : code == kExitAborted ? "aborted" : "failed");
     health::StopHealth();
     if (!telemetry::FlushTelemetry("acobe-gen", metrics_out, trace_out,
                                    std::cerr)) {
-      return kExitFailure;
+      return code != 0 ? code : kExitFailure;
     }
-    return 0;
+    return code;
   }
 
   LogStore store;
