@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <set>
 #include <memory>
 #include <ostream>
 
@@ -426,10 +427,40 @@ std::string PromName(std::string_view name) {
   return out;
 }
 
+/// HELP-text escaping per the exposition format: backslash and newline
+/// only (HELP text is otherwise free-form UTF-8).
+void PromHelpEscape(std::ostream& out, std::string_view s) {
+  for (char c : s) {
+    if (c == '\\') {
+      out << "\\\\";
+    } else if (c == '\n') {
+      out << "\\n";
+    } else {
+      out << c;
+    }
+  }
+}
+
+/// Label-value escaping: backslash, double quote, newline.
+void PromLabelEscape(std::ostream& out, std::string_view s) {
+  for (char c : s) {
+    if (c == '\\') {
+      out << "\\\\";
+    } else if (c == '"') {
+      out << "\\\"";
+    } else if (c == '\n') {
+      out << "\\n";
+    } else {
+      out << c;
+    }
+  }
+}
+
 void PromHelpType(std::ostream& out, const std::string& prom_name,
                   const std::string& source_name, const char* type) {
-  out << "# HELP " << prom_name << " acobe metric " << source_name << "\n"
-      << "# TYPE " << prom_name << " " << type << "\n";
+  out << "# HELP " << prom_name << " acobe metric ";
+  PromHelpEscape(out, source_name);
+  out << "\n# TYPE " << prom_name << " " << type << "\n";
 }
 
 }  // namespace
@@ -437,13 +468,35 @@ void PromHelpType(std::ostream& out, const std::string& prom_name,
 void WriteMetricsProm(std::ostream& out) {
   Registry& r = R();
   std::lock_guard<std::mutex> lock(r.mutex);
+  // Sanitization can collide distinct registry names ("a.b" and "a_b"
+  // both map to acobe_a_b); a duplicate exposition name is invalid, so
+  // later claimants get a numeric suffix. Summary names also reserve
+  // their derived _sum/_count sample names.
+  std::set<std::string> used;
+  const auto claim = [&used](std::string base, bool summary) {
+    std::string name = base;
+    for (int n = 2;; ++n) {
+      const bool free =
+          !used.count(name) &&
+          (!summary || (!used.count(name + "_sum") &&
+                        !used.count(name + "_count")));
+      if (free) break;
+      name = base + "_" + std::to_string(n);
+    }
+    used.insert(name);
+    if (summary) {
+      used.insert(name + "_sum");
+      used.insert(name + "_count");
+    }
+    return name;
+  };
   for (const auto& [name, c] : r.counters) {
-    const std::string prom = PromName(name);
+    const std::string prom = claim(PromName(name), false);
     PromHelpType(out, prom, name, "counter");
     out << prom << " " << c->value() << "\n";
   }
   for (const auto& [name, g] : r.gauges) {
-    const std::string prom = PromName(name);
+    const std::string prom = claim(PromName(name), false);
     PromHelpType(out, prom, name, "gauge");
     out << prom << " ";
     JsonNumber(out, g->value());
@@ -451,12 +504,14 @@ void WriteMetricsProm(std::ostream& out) {
   }
   for (const auto& [name, h] : r.histograms) {
     const Histogram::Stats s = h->Snapshot();
-    const std::string prom = PromName(name);
+    const std::string prom = claim(PromName(name), true);
     PromHelpType(out, prom, name, "summary");
     const struct { const char* q; double v; } quantiles[] = {
         {"0.5", s.p50}, {"0.95", s.p95}, {"0.99", s.p99}};
     for (const auto& [q, v] : quantiles) {
-      out << prom << "{quantile=\"" << q << "\"} ";
+      out << prom << "{quantile=\"";
+      PromLabelEscape(out, q);
+      out << "\"} ";
       JsonNumber(out, v);
       out << "\n";
     }

@@ -11,7 +11,7 @@ namespace acobe {
 
 /// Repository version; bump on externally visible format changes
 /// (ledger/explain schemas carry their own version strings on top).
-inline constexpr const char kAcobeVersion[] = "0.7.0";
+inline constexpr const char kAcobeVersion[] = "0.8.0";
 
 struct BuildInfo {
   std::string version;     // kAcobeVersion

@@ -1,0 +1,177 @@
+#include "net/http_client.h"
+
+#include <netdb.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace acobe::net {
+
+namespace {
+
+std::string ToLower(std::string s) {
+  for (char& c : s) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return s;
+}
+
+[[noreturn]] void Fail(const std::string& what) {
+  throw std::runtime_error(what);
+}
+
+/// recv with a poll timeout; returns bytes read, 0 on EOF. Throws on
+/// error or timeout.
+std::size_t RecvSome(int fd, char* buf, std::size_t cap, int timeout_ms) {
+  for (;;) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      Fail(std::string("poll: ") + std::strerror(errno));
+    }
+    if (ready == 0) Fail("HTTP read timed out");
+    const ssize_t n = ::recv(fd, buf, cap, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Fail(std::string("recv: ") + std::strerror(errno));
+    }
+    return static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+ParsedUrl ParseHttpUrl(const std::string& url) {
+  const std::string scheme = "http://";
+  if (url.compare(0, scheme.size(), scheme) != 0) {
+    throw std::invalid_argument("URL must start with http:// : " + url);
+  }
+  std::string rest = url.substr(scheme.size());
+  ParsedUrl out;
+  const std::size_t slash = rest.find('/');
+  if (slash != std::string::npos) {
+    out.path = rest.substr(slash);
+    rest = rest.substr(0, slash);
+  }
+  const std::size_t colon = rest.rfind(':');
+  if (colon != std::string::npos) {
+    long port = 0;
+    const std::string digits = rest.substr(colon + 1);
+    if (digits.empty()) throw std::invalid_argument("empty port in " + url);
+    for (char c : digits) {
+      if (c < '0' || c > '9') {
+        throw std::invalid_argument("bad port in " + url);
+      }
+      port = port * 10 + (c - '0');
+      if (port > 65535) throw std::invalid_argument("port out of range");
+    }
+    out.port = static_cast<std::uint16_t>(port);
+    rest = rest.substr(0, colon);
+  }
+  if (rest.empty()) throw std::invalid_argument("missing host in " + url);
+  out.host = rest;
+  return out;
+}
+
+HttpResult HttpGet(const std::string& host, std::uint16_t port,
+                   const std::string& path, int timeout_ms) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(),
+                               &hints, &res);
+  if (rc != 0) Fail("cannot resolve " + host + ": " + gai_strerror(rc));
+
+  int fd = -1;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) {
+    Fail("cannot connect to " + host + ":" + std::to_string(port));
+  }
+
+  const std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      Fail("send: " + err);
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  std::string data;
+  char chunk[8192];
+  try {
+    for (;;) {
+      const std::size_t n = RecvSome(fd, chunk, sizeof(chunk), timeout_ms);
+      if (n == 0) break;
+      data.append(chunk, n);
+      if (data.size() > (64u << 20)) Fail("HTTP response too large");
+    }
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+
+  const std::size_t head_end = data.find("\r\n\r\n");
+  if (head_end == std::string::npos) Fail("malformed HTTP response");
+  const std::string head = data.substr(0, head_end);
+  const std::size_t line_end = head.find("\r\n");
+  const std::string status_line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+  // "HTTP/1.1 200 OK"
+  const std::size_t sp = status_line.find(' ');
+  if (status_line.compare(0, 5, "HTTP/") != 0 || sp == std::string::npos) {
+    Fail("malformed status line: " + status_line);
+  }
+  HttpResult out;
+  out.status = std::atoi(status_line.c_str() + sp + 1);
+  if (out.status < 100 || out.status > 599) {
+    Fail("malformed status line: " + status_line);
+  }
+
+  long long content_length = -1;
+  std::size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos) eol = head.size();
+    const std::string h = head.substr(pos, eol - pos);
+    const std::size_t colon = h.find(':');
+    if (colon != std::string::npos) {
+      const std::string name = ToLower(h.substr(0, colon));
+      std::string value = h.substr(colon + 1);
+      const std::size_t first = value.find_first_not_of(" \t");
+      if (first != std::string::npos) value = value.substr(first);
+      if (name == "content-length") content_length = std::atoll(value.c_str());
+      if (name == "content-type") out.content_type = value;
+    }
+    pos = eol + 2;
+  }
+
+  out.body = data.substr(head_end + 4);
+  if (content_length >= 0 &&
+      out.body.size() > static_cast<std::size_t>(content_length)) {
+    out.body.resize(static_cast<std::size_t>(content_length));
+  }
+  return out;
+}
+
+}  // namespace acobe::net

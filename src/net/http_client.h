@@ -1,0 +1,37 @@
+#pragma once
+
+// Minimal blocking HTTP/1.1 GET client — just enough for acobe-top's
+// remote mode (polling a daemon's /statusz and /cycles) and for tests
+// to exercise the embedded server; the container bakes in no HTTP
+// library. Sends "Connection: close" and reads to EOF (honoring
+// Content-Length when present), so one call is one connection.
+
+#include <cstdint>
+#include <string>
+
+namespace acobe::net {
+
+struct HttpResult {
+  int status = 0;         // e.g. 200
+  std::string body;
+  std::string content_type;
+};
+
+/// Blocking GET of `path` (must start with '/') from host:port.
+/// Resolves `host` with getaddrinfo (names and dotted quads). Throws
+/// std::runtime_error on connect/IO failure, timeout, or a response
+/// that does not parse as HTTP.
+HttpResult HttpGet(const std::string& host, std::uint16_t port,
+                   const std::string& path, int timeout_ms = 5000);
+
+struct ParsedUrl {
+  std::string host;
+  std::uint16_t port = 80;
+  std::string path = "/";  // always non-empty, '/'-prefixed
+};
+
+/// Parses "http://HOST[:PORT][/PATH]". Throws std::invalid_argument on
+/// anything else (https is deliberately unsupported).
+ParsedUrl ParseHttpUrl(const std::string& url);
+
+}  // namespace acobe::net

@@ -1,0 +1,458 @@
+#include "net/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include "common/telemetry.h"
+
+namespace acobe::net {
+
+namespace {
+
+constexpr int kPollSliceMs = 100;  // stop-flag check cadence
+
+std::string ToLower(std::string s) {
+  for (char& c : s) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string HttpRequest::Header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return value;
+  }
+  return "";
+}
+
+std::string HttpRequest::QueryParam(std::string_view key,
+                                    const std::string& fallback) const {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t end = query.find('&', pos);
+    if (end == std::string::npos) end = query.size();
+    const std::string_view pair(query.data() + pos, end - pos);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key) {
+      return std::string(pair.substr(eq + 1));
+    }
+    if (eq == std::string_view::npos && pair == key) return "";
+    pos = end + 1;
+  }
+  return fallback;
+}
+
+const char* StatusReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+  }
+  return "Unknown";
+}
+
+void ParseListenSpec(const std::string& spec, std::string* address,
+                     std::uint16_t* port) {
+  std::string addr = "127.0.0.1";
+  std::string port_text = spec;
+  const std::size_t colon = spec.rfind(':');
+  if (colon != std::string::npos) {
+    if (colon > 0) addr = spec.substr(0, colon);
+    port_text = spec.substr(colon + 1);
+  }
+  if (port_text.empty()) {
+    throw std::invalid_argument("--listen: missing port in '" + spec + "'");
+  }
+  long value = 0;
+  for (char c : port_text) {
+    if (c < '0' || c > '9') {
+      throw std::invalid_argument("--listen: bad port '" + port_text + "'");
+    }
+    value = value * 10 + (c - '0');
+    if (value > 65535) {
+      throw std::invalid_argument("--listen: port out of range");
+    }
+  }
+  in_addr probe{};
+  if (inet_pton(AF_INET, addr.c_str(), &probe) != 1) {
+    throw std::invalid_argument("--listen: '" + addr +
+                                "' is not an IPv4 address");
+  }
+  *address = addr;
+  *port = static_cast<std::uint16_t>(value);
+}
+
+struct HttpServer::Impl {
+  HttpServerConfig config;
+  std::map<std::string, HttpHandler> handlers;
+
+  std::atomic<bool> running{false};
+  std::atomic<bool> stopping{false};
+  std::atomic<std::uint64_t> served{0};
+  int listen_fd = -1;
+  std::uint16_t bound_port = 0;
+
+  std::thread accept_thread;
+  std::vector<std::thread> workers;
+
+  // Accepted-but-unhandled connections.
+  std::mutex queue_mutex;
+  std::condition_variable queue_cv;
+  std::deque<int> pending;
+
+  // Connections currently inside a handler thread's serve loop;
+  // Stop() shutdown()s them so blocked reads return.
+  std::mutex active_mutex;
+  std::set<int> active;
+
+  void AcceptMain();
+  void WorkerMain();
+  void ServeConnection(int fd);
+  bool ReadMore(int fd, std::string& buffer);
+  bool SendAll(int fd, std::string_view bytes);
+  void WriteResponse(int fd, const HttpRequest& req, const HttpResponse& res,
+                     bool keep_alive);
+};
+
+HttpServer::HttpServer() : impl_(new Impl) {}
+
+HttpServer::~HttpServer() {
+  Stop();
+  delete impl_;
+}
+
+bool HttpServer::running() const { return impl_->running.load(); }
+std::uint16_t HttpServer::port() const { return impl_->bound_port; }
+std::uint64_t HttpServer::requests_served() const {
+  return impl_->served.load();
+}
+
+std::string HttpServer::bound_address() const {
+  if (!impl_->running.load()) return "";
+  return impl_->config.address + ":" + std::to_string(impl_->bound_port);
+}
+
+void HttpServer::Handle(std::string path, HttpHandler handler) {
+  if (impl_->running.load()) {
+    throw std::logic_error("HttpServer::Handle after Start");
+  }
+  impl_->handlers[std::move(path)] = std::move(handler);
+}
+
+void HttpServer::Start(const HttpServerConfig& config) {
+  if (impl_->running.load()) {
+    throw std::logic_error("HttpServer::Start called twice");
+  }
+  impl_->config = config;
+  impl_->config.handler_threads = std::max(1, config.handler_threads);
+  impl_->stopping.store(false);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(impl_->config.port);
+  if (inet_pton(AF_INET, impl_->config.address.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("bad listen address " + impl_->config.address);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("cannot bind " + impl_->config.address + ":" +
+                             std::to_string(impl_->config.port) + ": " +
+                             std::strerror(err));
+  }
+  if (::listen(fd, 64) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error(std::string("listen: ") + std::strerror(err));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    impl_->bound_port = ntohs(bound.sin_port);
+  }
+  impl_->listen_fd = fd;
+  impl_->running.store(true);
+
+  impl_->accept_thread = std::thread(&Impl::AcceptMain, impl_);
+  for (int i = 0; i < impl_->config.handler_threads; ++i) {
+    impl_->workers.emplace_back(&Impl::WorkerMain, impl_);
+  }
+}
+
+void HttpServer::Stop() {
+  if (!impl_->running.load()) return;
+  impl_->stopping.store(true);
+
+  // Unblock the accept loop.
+  ::shutdown(impl_->listen_fd, SHUT_RDWR);
+  if (impl_->accept_thread.joinable()) impl_->accept_thread.join();
+  ::close(impl_->listen_fd);
+  impl_->listen_fd = -1;
+
+  // Wake handler threads waiting for work, and any blocked mid-read on
+  // a half-sent request.
+  impl_->queue_cv.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(impl_->active_mutex);
+    for (int fd : impl_->active) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& t : impl_->workers) {
+    if (t.joinable()) t.join();
+  }
+  impl_->workers.clear();
+
+  // Close connections accepted but never picked up.
+  {
+    std::lock_guard<std::mutex> lock(impl_->queue_mutex);
+    for (int fd : impl_->pending) ::close(fd);
+    impl_->pending.clear();
+  }
+  impl_->running.store(false);
+}
+
+void HttpServer::Impl::AcceptMain() {
+  telemetry::SetCurrentThreadName("http-accept");
+  while (!stopping.load()) {
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollSliceMs);
+    if (stopping.load()) break;
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (stopping.load()) break;
+      continue;
+    }
+    ACOBE_COUNT("net.http.connections", 1);
+    std::lock_guard<std::mutex> lock(queue_mutex);
+    if (pending.size() >= config.max_pending) {
+      ::close(fd);
+      ACOBE_COUNT("net.http.connections_refused", 1);
+      continue;
+    }
+    pending.push_back(fd);
+    queue_cv.notify_one();
+  }
+}
+
+void HttpServer::Impl::WorkerMain() {
+  telemetry::SetCurrentThreadName("http-worker");
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex);
+      queue_cv.wait(lock, [&] { return stopping.load() || !pending.empty(); });
+      if (pending.empty()) return;  // stopping and drained
+      fd = pending.front();
+      pending.pop_front();
+    }
+    {
+      std::lock_guard<std::mutex> lock(active_mutex);
+      active.insert(fd);
+    }
+    ServeConnection(fd);
+    {
+      std::lock_guard<std::mutex> lock(active_mutex);
+      active.erase(fd);
+    }
+    ::close(fd);
+    if (stopping.load()) {
+      // Drain any remaining queued fds on the way out (Stop() closes
+      // what is left, but racing workers may still pop — fine).
+    }
+  }
+}
+
+bool HttpServer::Impl::ReadMore(int fd, std::string& buffer) {
+  char chunk[4096];
+  for (;;) {
+    if (stopping.load()) return false;
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollSliceMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (ready == 0) continue;  // slice elapsed; re-check stop flag
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // peer closed (possibly mid-request)
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    return true;
+  }
+}
+
+bool HttpServer::Impl::SendAll(int fd, std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void HttpServer::Impl::WriteResponse(int fd, const HttpRequest& req,
+                                     const HttpResponse& res,
+                                     bool keep_alive) {
+  (void)req;
+  std::string head = "HTTP/1.1 " + std::to_string(res.status) + " " +
+                     StatusReason(res.status) + "\r\n";
+  head += "Content-Type: " + res.content_type + "\r\n";
+  head += "Content-Length: " + std::to_string(res.body.size()) + "\r\n";
+  if (res.status == 405) head += "Allow: GET\r\n";
+  head += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  head += "\r\n";
+  if (SendAll(fd, head)) SendAll(fd, res.body);
+  served.fetch_add(1);
+  ACOBE_COUNT("net.http.requests", 1);
+  if (res.status >= 400) ACOBE_COUNT("net.http.errors", 1);
+}
+
+void HttpServer::Impl::ServeConnection(int fd) {
+  std::string buffer;
+  for (;;) {
+    // Find the end of the header block, reading as needed.
+    std::size_t head_end;
+    for (;;) {
+      head_end = buffer.find("\r\n\r\n");
+      if (head_end != std::string::npos) break;
+      // Police limits against the partial data: a request line (or a
+      // header block) that exceeds its cap can never become valid.
+      const std::size_t line_end = buffer.find("\r\n");
+      if ((line_end == std::string::npos &&
+           buffer.size() > config.max_request_line) ||
+          (line_end != std::string::npos &&
+           line_end > config.max_request_line) ||
+          buffer.size() > config.max_request_bytes) {
+        WriteResponse(fd, HttpRequest{},
+                      HttpResponse{431, "text/plain; charset=utf-8",
+                                   "request header fields too large\n"},
+                      /*keep_alive=*/false);
+        return;
+      }
+      if (!ReadMore(fd, buffer)) {
+        if (!buffer.empty()) ACOBE_COUNT("net.http.torn_requests", 1);
+        return;  // closed, half-sent, or server stopping
+      }
+    }
+
+    // Parse the request line.
+    HttpRequest req;
+    const std::string_view head(buffer.data(), head_end);
+    const std::size_t line_end = head.find("\r\n");
+    const std::string_view line = head.substr(0, line_end);
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+    bool bad = sp1 == std::string_view::npos ||
+               sp2 == std::string_view::npos || sp2 == sp1 + 1;
+    std::string_view target;
+    if (!bad) {
+      req.method = std::string(line.substr(0, sp1));
+      target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      req.version = std::string(line.substr(sp2 + 1));
+      bad = req.method.empty() || target.empty() ||
+            req.version.compare(0, 5, "HTTP/") != 0;
+    }
+    // Parse headers: "name: value" per line.
+    std::size_t pos = line_end == std::string_view::npos
+                          ? head.size()
+                          : line_end + 2;
+    while (!bad && pos < head.size()) {
+      std::size_t eol = head.find("\r\n", pos);
+      if (eol == std::string_view::npos) eol = head.size();
+      const std::string_view h = head.substr(pos, eol - pos);
+      const std::size_t colon = h.find(':');
+      if (colon == std::string_view::npos || colon == 0) {
+        bad = true;
+        break;
+      }
+      std::string value(h.substr(colon + 1));
+      const std::size_t first = value.find_first_not_of(" \t");
+      const std::size_t last = value.find_last_not_of(" \t");
+      value = first == std::string::npos
+                  ? ""
+                  : value.substr(first, last - first + 1);
+      req.headers.emplace_back(ToLower(std::string(h.substr(0, colon))),
+                               std::move(value));
+      pos = eol + 2;
+    }
+
+    if (bad) {
+      ACOBE_COUNT("net.http.bad_requests", 1);
+      WriteResponse(fd, req,
+                    HttpResponse{400, "text/plain; charset=utf-8",
+                                 "bad request\n"},
+                    /*keep_alive=*/false);
+      return;
+    }
+
+    const std::size_t q = target.find('?');
+    req.path = std::string(target.substr(0, q));
+    req.query =
+        q == std::string_view::npos ? "" : std::string(target.substr(q + 1));
+
+    const std::string connection = ToLower(req.Header("connection"));
+    bool keep_alive = req.version == "HTTP/1.1"
+                          ? connection != "close"
+                          : connection == "keep-alive";
+    if (stopping.load()) keep_alive = false;
+
+    HttpResponse res;
+    if (req.method != "GET") {
+      res = HttpResponse{405, "text/plain; charset=utf-8",
+                         "method not allowed\n"};
+    } else if (auto it = handlers.find(req.path); it == handlers.end()) {
+      res = HttpResponse{404, "text/plain; charset=utf-8", "not found\n"};
+    } else {
+      try {
+        res = it->second(req);
+      } catch (const std::exception& e) {
+        res = HttpResponse{500, "text/plain; charset=utf-8",
+                           std::string("internal error: ") + e.what() + "\n"};
+      }
+    }
+    WriteResponse(fd, req, res, keep_alive);
+    if (!keep_alive) return;
+    buffer.erase(0, head_end + 4);  // pipelining: next request may follow
+  }
+}
+
+}  // namespace acobe::net

@@ -1,0 +1,127 @@
+#pragma once
+
+// Embedded, dependency-free HTTP/1.1 server for the resident daemon's
+// observability surface (/metrics, /healthz, /readyz, /statusz,
+// /cycles) — and the network layer a future ingestion front-end can
+// reuse.
+//
+// Design: one blocking accept thread plus a small pool of handler
+// threads draining a bounded connection queue. Handlers are registered
+// per exact path before Start() and run on the handler threads; they
+// must be thread-safe and must only read snapshot state (the service
+// supervisor publishes snapshots under a mutex — the detection path
+// never blocks on a scrape). Binds IPv4 loopback by default; port 0
+// asks the kernel for an ephemeral port (port() reports the choice).
+//
+// Protocol surface (deliberately small — this is a scrape/probe
+// endpoint, not a general web server):
+//   - GET only; anything else is 405 with an Allow: GET header.
+//   - Unknown path: 404. Handler threw: 500.
+//   - Request line longer than max_request_line: 431, connection
+//     closed (431 Request Header Fields Too Large is the probe-safe
+//     "your line is absurd" answer that proxies understand).
+//   - Header block larger than max_request_bytes: 431 likewise.
+//   - Malformed request line or headers: 400, connection closed.
+//   - HTTP/1.1 keep-alive and pipelining are honored: leftover bytes
+//     after one request are parsed as the next. "Connection: close"
+//     (or HTTP/1.0 without "keep-alive") closes after the response.
+//
+// Shutdown contract: Stop() closes the listener, wakes every handler
+// (including one blocked mid-read on a half-sent request — active
+// sockets are shutdown()), lets in-flight responses finish, and joins
+// all threads. Stop() is idempotent and also runs from the destructor,
+// so the server can never outlive state its handlers capture.
+//
+// Everything is observational: requests land in the telemetry registry
+// ("net.http.*") but the server never touches detection state, so the
+// service's crash-restart bit-identity contract holds with the server
+// enabled (pinned by tools/service_soak.py --with-http).
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace acobe::net {
+
+struct HttpRequest {
+  std::string method;   // "GET"
+  std::string path;     // target up to '?', e.g. "/cycles"
+  std::string query;    // after '?', without it; "" when absent
+  std::string version;  // "HTTP/1.1"
+  /// Header (name, value) pairs in arrival order, names lowercased.
+  std::vector<std::pair<std::string, std::string>> headers;
+
+  /// First header with that (lowercase) name, or "" when absent.
+  std::string Header(std::string_view name) const;
+  /// Value of `key` in the query string ("k=v&k2=v2"), or `fallback`.
+  std::string QueryParam(std::string_view key,
+                         const std::string& fallback) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Runs on a handler thread; must be thread-safe. A thrown exception
+/// becomes a 500 with the exception's message as the body.
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+struct HttpServerConfig {
+  std::string address = "127.0.0.1";  // IPv4 dotted quad to bind
+  std::uint16_t port = 0;             // 0 = kernel-chosen ephemeral port
+  int handler_threads = 2;            // clamped to >= 1
+  std::size_t max_request_line = 4096;    // longer request line -> 431
+  std::size_t max_request_bytes = 16384;  // larger header block -> 431
+  /// Pending accepted connections beyond this are closed immediately
+  /// (the probe will retry; better than unbounded fd growth).
+  std::size_t max_pending = 64;
+};
+
+class HttpServer {
+ public:
+  HttpServer();
+  ~HttpServer();  // calls Stop()
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers `handler` for exact-match `path`. Must be called before
+  /// Start(); throws std::logic_error afterwards.
+  void Handle(std::string path, HttpHandler handler);
+
+  /// Binds, listens and spawns the accept + handler threads. Throws
+  /// std::runtime_error when the address cannot be bound.
+  void Start(const HttpServerConfig& config);
+
+  /// Clean shutdown: stops accepting, wakes blocked reads, finishes
+  /// in-flight responses, joins every thread. Idempotent.
+  void Stop();
+
+  bool running() const;
+  /// Bound port (the kernel's pick under port 0); 0 before Start().
+  std::uint16_t port() const;
+  /// "ADDR:PORT" as bound; "" before Start().
+  std::string bound_address() const;
+  /// Requests answered so far (any status).
+  std::uint64_t requests_served() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Parses a --listen spec: "ADDR:PORT", ":PORT" or "PORT" (the latter
+/// two bind loopback). Throws std::invalid_argument on anything else.
+void ParseListenSpec(const std::string& spec, std::string* address,
+                     std::uint16_t* port);
+
+/// Standard reason phrase for the handful of statuses this server
+/// emits; "Unknown" otherwise.
+const char* StatusReason(int status);
+
+}  // namespace acobe::net

@@ -45,6 +45,7 @@ bool BoundedEventQueue::Push(const PackedEvent& event) {
   }
   events_.push_back(event);
   ++pushed_;
+  peak_rows_ = std::max(peak_rows_, events_.size());
   ACOBE_GAUGE_MAX("service.queue_peak_rows", events_.size());
   data_.notify_one();
   return true;
@@ -94,6 +95,16 @@ BoundedEventQueue::PopResult BoundedEventQueue::Pop(
 std::size_t BoundedEventQueue::rows() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return events_.size();
+}
+
+std::size_t BoundedEventQueue::bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size() * sizeof(PackedEvent);
+}
+
+std::size_t BoundedEventQueue::peak_rows() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return peak_rows_;
 }
 
 std::size_t BoundedEventQueue::shed() const {

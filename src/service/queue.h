@@ -69,6 +69,11 @@ class BoundedEventQueue {
   PopResult Pop(std::vector<PackedEvent>& out, std::size_t max_events);
 
   std::size_t rows() const;
+  /// rows() * sizeof(PackedEvent) — the byte occupancy the byte cap
+  /// binds against.
+  std::size_t bytes() const;
+  /// Process-lifetime high-water mark of rows() (never resets).
+  std::size_t peak_rows() const;
   std::size_t shed() const;
   std::size_t admitted() const;
   std::size_t max_rows() const { return max_rows_; }
@@ -87,6 +92,7 @@ class BoundedEventQueue {
   std::size_t pushed_ = 0;   // admitted events, ever
   std::size_t popped_ = 0;   // consumed events, ever
   std::size_t shed_ = 0;
+  std::size_t peak_rows_ = 0;
   bool closed_ = false;
 };
 

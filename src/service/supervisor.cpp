@@ -57,6 +57,20 @@ std::string DayString(std::int64_t day) {
   return Date::FromDayNumber(day).ToString();
 }
 
+double SpanTotalMs(const std::vector<health::SpanEdge>& edges,
+                   std::string_view name) {
+  double ms = 0.0;
+  for (const health::SpanEdge& e : edges) {
+    if (e.name == name) ms += e.total_ms;
+  }
+  return ms;
+}
+
+double SecondsBetween(std::chrono::steady_clock::time_point a,
+                      std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
 }  // namespace
 
 // Roster-derived immutable directory: the interning tables, the kept
@@ -109,6 +123,9 @@ struct ServiceSupervisor::ShardOutcome {
   std::uint32_t failures = 0;    // cumulative absorbed failures
   std::string error;
   std::vector<DeptCycleResult> depts;
+  // (canonical dept order, monitor open-alert count) for every
+  // department this shard owns; feeds the /statusz snapshot.
+  std::vector<std::pair<std::size_t, std::size_t>> open_alerts;
   // Updated monitor blobs for this shard's departments (only present
   // on scored cycles; monitors are untouched otherwise).
   std::vector<std::pair<std::string, std::string>> monitors;
@@ -400,6 +417,15 @@ void ServiceSupervisor::Start() {
   LoadRoster();
   RecoverOrInit();
 
+  // Seed the open-alert counts from the (possibly restored) monitors
+  // while the main thread still owns them — workers spawn next.
+  dept_open_alerts_.assign(dir_->depts.size(), 0);
+  for (const auto& shard : shards_) {
+    for (const auto& rt : shard->depts) {
+      dept_open_alerts_[rt.dept->order] = rt.monitor.OpenAlerts().size();
+    }
+  }
+
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     shards_[i]->thread =
         std::thread(&ServiceSupervisor::WorkerMain, this, i);
@@ -409,6 +435,14 @@ void ServiceSupervisor::Start() {
   if (recovered_ && latest_day_ >= first_day_seen_) {
     ReplayWindow(state_.batches);
   }
+
+  // Readiness flips only now: journal recovered, window replayed,
+  // workers running. /readyz turns 200 at this instant.
+  shed_seen_ = 0;
+  for (const auto& shard : shards_) shed_seen_ += shard->queue.shed();
+  ExportQueueGauges();
+  PublishStatus();
+  ready_.store(true, std::memory_order_release);
 }
 
 void ServiceSupervisor::ReplayWindow(const std::vector<BatchRecord>& batches) {
@@ -502,6 +536,7 @@ BatchRecord ServiceSupervisor::ParseBatch(const std::string& batch_name,
   }
   *admitted = router.admitted();
   *dropped = router.dropped();
+  ExportQueueGauges();  // heartbeat sees occupancy as ingested
   return rec;
 }
 
@@ -530,6 +565,25 @@ std::vector<ServiceSupervisor::ShardOutcome> ServiceSupervisor::Collect() {
 CycleReport ServiceSupervisor::RunCycle(const std::string& batch_name) {
   health::SetStage("ingest");
   health::SetStageDetail(batch_name);
+
+  const auto cycle_t0 = std::chrono::steady_clock::now();
+  // READY-marker mtime anchors the batch-to-alert latency SLO: the
+  // marker is written last by the feeder, so its age is how long the
+  // batch sat in the drop directory plus everything we do with it.
+  bool have_ready_mtime = false;
+  fs::file_time_type ready_mtime{};
+  double batch_age_s = -1.0;
+  {
+    std::error_code ec;
+    ready_mtime = fs::last_write_time(
+        fs::path(config_.watch_dir) / batch_name / kReadyMarker, ec);
+    if (!ec) {
+      have_ready_mtime = true;
+      batch_age_s = std::chrono::duration<double>(
+                        fs::file_time_type::clock::now() - ready_mtime)
+                        .count();
+    }
+  }
 
   CycleReport rep;
   rep.batch = batch_name;
@@ -563,9 +617,17 @@ CycleReport ServiceSupervisor::RunCycle(const std::string& batch_name) {
   rep.scored_from = task.scored_from;
   rep.scored_to = task.scored_to;
 
+  const auto t_ingest_done = std::chrono::steady_clock::now();
+  // train/score wall comes from span-profile deltas around the detect
+  // phase (zero when metrics are off — spans don't record then).
+  const std::vector<health::SpanEdge> spans_before = health::SpanProfile();
+
   Dispatch(task);
   health::SetStage("detect");
   std::vector<ShardOutcome> outs = Collect();
+
+  const auto t_detect_done = std::chrono::steady_clock::now();
+  const std::vector<health::SpanEdge> spans_after = health::SpanProfile();
 
   health::SetStage("commit");
   state_.cycle += 1;
@@ -688,6 +750,52 @@ CycleReport ServiceSupervisor::RunCycle(const std::string& batch_name) {
   state_.ledger_bytes = ledger_log_->bytes();
   SaveJournal(JournalPath(), state_);
   ACOBE_COUNT("service.cycles", 1);
+
+  // --- Observability plane: record the cycle, refresh snapshots. None
+  // --- of this feeds back into detection state.
+  for (const ShardOutcome& o : outs) {
+    for (const auto& [order, count] : o.open_alerts) {
+      if (order < dept_open_alerts_.size()) dept_open_alerts_[order] = count;
+    }
+  }
+  const auto t_end = std::chrono::steady_clock::now();
+  service::CycleStat cs;
+  cs.cycle = state_.cycle;
+  cs.batch = batch_name;
+  cs.window_start = rep.window_start;
+  cs.window_end = rep.window_end;
+  cs.scored_from = rep.scored_from;
+  cs.scored_to = rep.scored_to;
+  cs.events_admitted = rep.events_admitted;
+  cs.departments_scored = rep.departments_scored;
+  cs.alerts = rep.alerts;
+  std::uint64_t shed_total = 0;
+  for (const auto& shard : shards_) {
+    shed_total += shard->queue.shed();
+    cs.queue_peak_rows = std::max(cs.queue_peak_rows,
+                                  shard->queue.peak_rows());
+  }
+  cs.events_shed = shed_total - std::min(shed_seen_, shed_total);
+  shed_seen_ = shed_total;
+  cs.ingest_s = SecondsBetween(cycle_t0, t_ingest_done);
+  cs.train_s = (SpanTotalMs(spans_after, "detector.train") -
+                SpanTotalMs(spans_before, "detector.train")) /
+               1000.0;
+  cs.score_s = (SpanTotalMs(spans_after, "detector.score") -
+                SpanTotalMs(spans_before, "detector.score")) /
+               1000.0;
+  cs.commit_s = SecondsBetween(t_detect_done, t_end);
+  cs.total_s = SecondsBetween(cycle_t0, t_end);
+  cs.batch_age_s = batch_age_s;
+  if (rep.alerts > 0 && have_ready_mtime) {
+    cs.alert_latency_s = std::chrono::duration<double>(
+                             fs::file_time_type::clock::now() - ready_mtime)
+                             .count();
+  }
+  stats_.Record(cs);
+  stats_.ExportSloGauges();
+  ExportQueueGauges();
+  PublishStatus();
   return rep;
 }
 
@@ -751,11 +859,21 @@ ServiceSupervisor::ShardOutcome ServiceSupervisor::RunShardCycle(
   ShardOutcome out;
   out.quarantined = shard.quarantined;
   out.failures = shard.failures;
+  // The worker owns its monitors between Dispatch and the result
+  // handoff, so reporting open-alert counts here is race-free.
+  const auto report_open_alerts = [&] {
+    out.open_alerts.clear();
+    for (const auto& rt : shard.depts) {
+      out.open_alerts.emplace_back(rt.dept->order,
+                                   rt.monitor.OpenAlerts().size());
+    }
+  };
 
   if (shard.quarantined) {
     // Keep draining (the producer must never block on a dead shard)
     // but compute nothing.
     shard.window.clear();
+    report_open_alerts();
     return out;
   }
 
@@ -771,7 +889,10 @@ ServiceSupervisor::ShardOutcome ServiceSupervisor::RunShardCycle(
   }
   ACOBE_GAUGE_MAX("service.window_events", shard.window.size());
 
-  if (task.scored_to < task.scored_from) return out;  // ingest-only
+  if (task.scored_to < task.scored_from) {  // ingest-only
+    report_open_alerts();
+    return out;
+  }
 
   // Compute phase, retried under the shard's backoff policy. Monitors
   // are untouched until the whole phase succeeds, so a retry never
@@ -898,6 +1019,7 @@ ServiceSupervisor::ShardOutcome ServiceSupervisor::RunShardCycle(
         out.quarantined = true;
         out.quarantined_now = true;
         out.error = e.what();
+        report_open_alerts();
         return out;
       }
       ACOBE_COUNT("service.cycle_retries", 1);
@@ -936,7 +1058,76 @@ ServiceSupervisor::ShardOutcome ServiceSupervisor::RunShardCycle(
     rt.monitor.Save(os);
     out.monitors.emplace_back(rt.dept->name, std::move(os).str());
   }
+  report_open_alerts();
   return out;
+}
+
+ServiceStatus ServiceSupervisor::Status() const {
+  std::lock_guard<std::mutex> lock(status_mutex_);
+  ServiceStatus st = status_;
+  st.ready = Ready();
+  return st;
+}
+
+void ServiceSupervisor::PublishStatus() {
+  ServiceStatus st;
+  st.ready = true;  // Status() overrides from the ready_ flag
+  st.cycle = state_.cycle;
+  st.alerts_total = state_.alerts_count;
+  st.last_scored_day = state_.last_scored_day;
+  st.recovered = recovered_;
+  st.last_batch = consumed_.empty() ? "" : consumed_.back();
+  if (latest_day_ >= first_day_seen_) {
+    st.window_end = latest_day_;
+    st.window_start =
+        std::max(first_day_seen_, latest_day_ - config_.window_days + 1);
+  }
+  st.shards.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    ShardStatus s;
+    // bytes derives from the same rows read so the pair always agrees
+    // (the queue moves between two separate accessor calls).
+    s.queue_rows = shards_[i]->queue.rows();
+    s.queue_bytes = s.queue_rows * sizeof(PackedEvent);
+    s.queue_peak_rows = shards_[i]->queue.peak_rows();
+    s.queue_shed = shards_[i]->queue.shed();
+    s.quarantined = state_.shards[i].quarantined;
+    s.failures = state_.shards[i].failures;
+    st.shards.push_back(s);
+  }
+  st.departments.reserve(dir_->depts.size());
+  for (const auto& dept : dir_->depts) {
+    DepartmentStatus d;
+    d.name = dept.name;
+    d.members = dept.members.size();
+    d.open_alerts =
+        dept.order < dept_open_alerts_.size() ? dept_open_alerts_[dept.order]
+                                              : 0;
+    st.departments.push_back(std::move(d));
+  }
+  std::lock_guard<std::mutex> lock(status_mutex_);
+  status_ = std::move(st);
+}
+
+void ServiceSupervisor::ExportQueueGauges() const {
+  if (!telemetry::MetricsEnabled()) return;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const std::string suffix = ".shard" + std::to_string(i);
+    // bytes is derived from one rows read (not the queue's own bytes()
+    // accessor) so the two gauges can never disagree about emptiness.
+    const std::size_t rows = shards_[i]->queue.rows();
+    telemetry::GetGauge("service.queue.rows" + suffix)
+        .Set(static_cast<double>(rows));
+    telemetry::GetGauge("service.queue.bytes" + suffix)
+        .Set(static_cast<double>(rows * sizeof(PackedEvent)));
+    telemetry::GetGauge("service.queue.shed_total" + suffix)
+        .Set(static_cast<double>(shards_[i]->queue.shed()));
+  }
+}
+
+void ServiceSupervisor::RefreshQueueGauges() const {
+  if (!Ready()) return;
+  ExportQueueGauges();
 }
 
 void ServiceSupervisor::StopWorkers() {

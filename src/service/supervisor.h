@@ -44,13 +44,16 @@
 // the shard's task/result mutex), so the whole plane is
 // ThreadSanitizer-clean by construction.
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/faults.h"
+#include "service/cycle_stats.h"
 #include "service/journal.h"
 #include "service/queue.h"
 #include "service/retry.h"
@@ -107,6 +110,38 @@ struct CycleReport {
   std::size_t events_dropped = 0;  // users outside the roster's departments
 };
 
+// Point-in-time snapshots for the observability plane (/statusz).
+// Built by the supervisor under a status mutex after Start() and after
+// every committed cycle; readers (HTTP handlers, acobe-top) copy the
+// whole struct, so a scrape never holds the detection path up.
+struct ShardStatus {
+  std::size_t queue_rows = 0;       // live occupancy
+  std::size_t queue_bytes = 0;      // rows * sizeof(PackedEvent)
+  std::size_t queue_peak_rows = 0;  // process-lifetime high-water
+  std::size_t queue_shed = 0;       // events dropped by backpressure
+  bool quarantined = false;
+  std::uint32_t failures = 0;       // cumulative absorbed failures
+};
+
+struct DepartmentStatus {
+  std::string name;
+  std::size_t members = 0;
+  std::size_t open_alerts = 0;  // persistent-alert monitor open count
+};
+
+struct ServiceStatus {
+  bool ready = false;           // journal replayed, shards running
+  std::uint64_t cycle = 0;
+  std::uint64_t alerts_total = 0;
+  std::int64_t window_start = 0;  // window_end < window_start: no events
+  std::int64_t window_end = -1;
+  std::int64_t last_scored_day = -1;
+  std::string last_batch;       // "" before the first cycle
+  bool recovered = false;       // this process resumed a journal
+  std::vector<ShardStatus> shards;
+  std::vector<DepartmentStatus> departments;
+};
+
 class ServiceSupervisor {
  public:
   explicit ServiceSupervisor(ServiceConfig config);
@@ -142,6 +177,27 @@ class ServiceSupervisor {
   bool recovered() const { return recovered_; }
   std::size_t departments() const;
 
+  // --- Observability surface (thread-safe; serves /readyz, /statusz,
+  // --- /cycles and the queue gauges). ---
+
+  /// True once Start() has finished: journal replayed (window rebuilt)
+  /// and shard workers running. /readyz is 503 until then.
+  bool Ready() const { return ready_.load(std::memory_order_acquire); }
+
+  /// Copy of the latest published snapshot. Before Ready() this is a
+  /// default struct with ready=false — callable from any thread at any
+  /// time.
+  ServiceStatus Status() const;
+
+  /// Per-cycle time-series backing /cycles and the service.slo.*
+  /// gauges. The ring is itself thread-safe.
+  const service::CycleStatsRing& cycle_stats() const { return stats_; }
+
+  /// Re-publishes the live service.queue.{rows,bytes,shed_total} gauges
+  /// from the shard queues so a scrape sees current occupancy, not the
+  /// last cycle's. No-op before Ready() or with metrics disabled.
+  void RefreshQueueGauges() const;
+
  private:
   struct ShardRuntime;
   struct CycleTask;
@@ -160,6 +216,8 @@ class ServiceSupervisor {
   ShardOutcome RunShardCycle(ShardRuntime& shard, const CycleTask& task);
   void StopWorkers();
   std::string JournalPath() const;
+  void PublishStatus();
+  void ExportQueueGauges() const;  // unguarded; main thread only pre-ready
 
   ServiceConfig config_;
   std::uint64_t fingerprint_ = 0;
@@ -179,6 +237,15 @@ class ServiceSupervisor {
 
   std::unique_ptr<AppendLog> alerts_log_;
   std::unique_ptr<AppendLog> ledger_log_;
+
+  // Observability plane. dept_open_alerts_ is indexed by canonical
+  // department order, refreshed from worker outcomes each cycle.
+  std::atomic<bool> ready_{false};
+  mutable std::mutex status_mutex_;
+  ServiceStatus status_;
+  std::vector<std::size_t> dept_open_alerts_;
+  std::uint64_t shed_seen_ = 0;  // cumulative shed at last cycle end
+  service::CycleStatsRing stats_;
 };
 
 }  // namespace acobe

@@ -13,11 +13,13 @@ with --health-out/--prom-out, once without — and asserts:
     silently: the script still checks both ledgers carry them,
   - the heartbeat file validates under tools/check_health.py
     (--require-final), and acobe_top --once renders it,
-  - the Prometheus exposition contains acobe_-prefixed samples.
+  - the Prometheus exposition contains acobe_-prefixed samples and,
+    when --check-prom is given, passes the full format 0.0.4 validator
+    (tools/check_prom.py).
 
 Usage:
     health_identity_test.py --gen GEN --detect DETECT --top TOP \
-        --check-health CHECK_HEALTH_PY
+        --check-health CHECK_HEALTH_PY [--check-prom CHECK_PROM_PY]
 
 Exit status 0 on pass, 1 on any mismatch or tool failure.
 """
@@ -73,6 +75,7 @@ def main():
     ap.add_argument("--detect", required=True)
     ap.add_argument("--top", required=True)
     ap.add_argument("--check-health", required=True)
+    ap.add_argument("--check-prom", default=None)
     args = ap.parse_args()
 
     with tempfile.TemporaryDirectory(prefix="acobe-health-id-") as tmp:
@@ -147,6 +150,9 @@ def main():
             print("FAIL: Prometheus exposition has no acobe_ samples",
                   file=sys.stderr)
             return 1
+        if args.check_prom:
+            run([sys.executable, args.check_prom, prom,
+                 "--require-prefix=acobe_", "--min-samples=10"])
 
     print("health_identity_test: OK — output byte-identical with the "
           "health plane on; heartbeats, top render and prom export valid")

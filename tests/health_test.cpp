@@ -231,6 +231,32 @@ TEST_F(HealthTest, PrometheusExpositionShape) {
   EXPECT_NE(text.find("test.prom_gauge"), std::string::npos);
 }
 
+TEST_F(HealthTest, PrometheusEscapesHelpAndDedupesCollidingNames) {
+  telemetry::EnableMetrics(true);
+  if (!telemetry::MetricsEnabled()) GTEST_SKIP() << "telemetry compiled out";
+  // Both sanitize to acobe_test_collide_x: the second must not emit a
+  // duplicate family (scrapers reject those) but a suffixed one.
+  ACOBE_COUNT("test.collide-x", 1);
+  ACOBE_COUNT("test.collide.x", 2);
+  // A backslash in the source name must be escaped in the HELP text
+  // (it is only legal there as \\ or \n).
+  ACOBE_GAUGE_SET("test.weird\\name", 1.0);
+  std::ostringstream out;
+  telemetry::WriteMetricsProm(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# TYPE acobe_test_collide_x counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE acobe_test_collide_x_2 counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("acobe_test_collide_x_2 "), std::string::npos);
+  EXPECT_NE(text.find("\\\\"), std::string::npos)
+      << "backslash in HELP not escaped";
+  // No bare duplicate sample of the base name.
+  const std::size_t first = text.find("\nacobe_test_collide_x 1");
+  EXPECT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("\nacobe_test_collide_x 2"), std::string::npos);
+}
+
 TEST_F(HealthTest, SnapshotCountersAndGaugesIsSortedAndCurrent) {
   telemetry::EnableMetrics(true);
   if (!telemetry::MetricsEnabled()) GTEST_SKIP() << "telemetry compiled out";

@@ -1,0 +1,369 @@
+// Embedded HTTP server + client tests: the protocol surface the
+// observability endpoints rely on (status codes, keep-alive,
+// pipelining, oversized-request rejection), robustness against torn
+// and concurrent clients, the clean-shutdown contract, and the
+// --listen / --url spec parsers.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/http_client.h"
+#include "net/http_server.h"
+
+using namespace acobe;
+
+namespace {
+
+/// Blocking raw TCP client for wire-level tests the high-level client
+/// cannot express (non-GET methods, torn requests, pipelining).
+class RawClient {
+ public:
+  explicit RawClient(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) throw std::runtime_error("socket() failed");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd_);
+      throw std::runtime_error("connect() failed");
+    }
+  }
+  ~RawClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void Send(const std::string& bytes) {
+    const char* p = bytes.data();
+    std::size_t left = bytes.size();
+    while (left > 0) {
+      const ssize_t n = ::send(fd_, p, left, MSG_NOSIGNAL);
+      ASSERT_GT(n, 0) << "send() failed";
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+  }
+
+  /// Reads until EOF (server closed) and returns everything.
+  std::string ReadAll() {
+    std::string out;
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      out.append(buf, static_cast<std::size_t>(n));
+    }
+    return out;
+  }
+
+  /// Reads until `marker` is seen (for keep-alive connections where
+  /// EOF never comes) or 5s pass.
+  std::string ReadUntil(const std::string& marker) {
+    std::string out;
+    char buf[4096];
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (out.find(marker) == std::string::npos &&
+           std::chrono::steady_clock::now() < deadline) {
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), MSG_DONTWAIT);
+      if (n > 0) {
+        out.append(buf, static_cast<std::size_t>(n));
+      } else if (n == 0) {
+        break;  // closed
+      } else {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    }
+    return out;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+int CountOccurrences(const std::string& hay, const std::string& needle) {
+  int n = 0;
+  for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+/// A server with a small known handler set on an ephemeral port.
+class HttpServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_.Handle("/hello", [](const net::HttpRequest&) {
+      net::HttpResponse res;
+      res.body = "hi\n";
+      return res;
+    });
+    server_.Handle("/echo", [](const net::HttpRequest& req) {
+      net::HttpResponse res;
+      res.content_type = "application/json";
+      res.body = "n=" + req.QueryParam("n", "<unset>") +
+                 " agent=" + req.Header("user-agent");
+      return res;
+    });
+    server_.Handle("/boom", [](const net::HttpRequest&) -> net::HttpResponse {
+      throw std::runtime_error("handler exploded");
+    });
+    server_.Handle("/slow", [this](const net::HttpRequest&) {
+      ++slow_entered_;
+      std::this_thread::sleep_for(std::chrono::milliseconds(150));
+      net::HttpResponse res;
+      res.body = "eventually\n";
+      return res;
+    });
+    net::HttpServerConfig cfg;
+    cfg.port = 0;  // kernel-assigned
+    server_.Start(cfg);
+    ASSERT_TRUE(server_.running());
+    ASSERT_GT(server_.port(), 0);
+  }
+
+  net::HttpServer server_;
+  std::atomic<int> slow_entered_{0};
+};
+
+TEST_F(HttpServerTest, GetRoundtripThroughClient) {
+  const net::HttpResult res =
+      net::HttpGet("127.0.0.1", server_.port(), "/hello");
+  EXPECT_EQ(res.status, 200);
+  EXPECT_EQ(res.body, "hi\n");
+  EXPECT_EQ(res.content_type, "text/plain; charset=utf-8");
+  EXPECT_GE(server_.requests_served(), 1u);
+}
+
+TEST_F(HttpServerTest, QueryParamsAndHeadersReachTheHandler) {
+  const net::HttpResult res =
+      net::HttpGet("127.0.0.1", server_.port(), "/echo?n=12&m=4");
+  EXPECT_EQ(res.status, 200);
+  EXPECT_EQ(res.content_type, "application/json");
+  // The client sends a user-agent; the handler sees lowercased names.
+  EXPECT_EQ(res.body.find("n=12 agent="), 0u) << res.body;
+}
+
+TEST_F(HttpServerTest, UnknownPathIs404) {
+  const net::HttpResult res =
+      net::HttpGet("127.0.0.1", server_.port(), "/nope");
+  EXPECT_EQ(res.status, 404);
+}
+
+TEST_F(HttpServerTest, NonGetIs405WithAllowHeader) {
+  RawClient c(server_.port());
+  c.Send(
+      "POST /hello HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n"
+      "Connection: close\r\n\r\n");
+  const std::string res = c.ReadAll();
+  EXPECT_NE(res.find("HTTP/1.1 405 "), std::string::npos) << res;
+  EXPECT_NE(res.find("Allow: GET"), std::string::npos) << res;
+}
+
+TEST_F(HttpServerTest, OversizedRequestLineIs431) {
+  RawClient c(server_.port());
+  c.Send("GET /" + std::string(8192, 'a') + " HTTP/1.1\r\n\r\n");
+  const std::string res = c.ReadAll();
+  EXPECT_NE(res.find("HTTP/1.1 431 "), std::string::npos) << res;
+}
+
+TEST_F(HttpServerTest, MalformedRequestLineIs400) {
+  RawClient c(server_.port());
+  c.Send("BANANAS\r\n\r\n");
+  const std::string res = c.ReadAll();
+  EXPECT_NE(res.find("HTTP/1.1 400 "), std::string::npos) << res;
+}
+
+TEST_F(HttpServerTest, ThrowingHandlerIs500) {
+  const net::HttpResult res =
+      net::HttpGet("127.0.0.1", server_.port(), "/boom");
+  EXPECT_EQ(res.status, 500);
+  EXPECT_NE(res.body.find("handler exploded"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, TornRequestCompletesWhenTheRestArrives) {
+  RawClient c(server_.port());
+  // A request torn across three sends with pauses: the server must
+  // keep reading, not 400 on the first fragment.
+  c.Send("GET /hel");
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  c.Send("lo HTTP/1.1\r\nHost: ");
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  c.Send("x\r\nConnection: close\r\n\r\n");
+  const std::string res = c.ReadAll();
+  EXPECT_NE(res.find("HTTP/1.1 200 "), std::string::npos) << res;
+  EXPECT_NE(res.find("hi\n"), std::string::npos) << res;
+}
+
+TEST_F(HttpServerTest, PipelinedRequestsAnswerInOrder) {
+  RawClient c(server_.port());
+  c.Send(
+      "GET /hello HTTP/1.1\r\nHost: x\r\n\r\n"
+      "GET /echo?n=2 HTTP/1.1\r\nHost: x\r\n\r\n"
+      "GET /hello HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n");
+  const std::string res = c.ReadAll();
+  EXPECT_EQ(CountOccurrences(res, "HTTP/1.1 200 "), 3) << res;
+  // In-order: the /echo body sits between the two /hello bodies.
+  const std::size_t first = res.find("hi\n");
+  const std::size_t echo = res.find("n=2");
+  const std::size_t last = res.rfind("hi\n");
+  ASSERT_NE(first, std::string::npos);
+  ASSERT_NE(echo, std::string::npos);
+  ASSERT_NE(last, std::string::npos);
+  EXPECT_LT(first, echo);
+  EXPECT_LT(echo, last);
+}
+
+TEST_F(HttpServerTest, KeepAliveServesSequentialRequests) {
+  RawClient c(server_.port());
+  c.Send("GET /hello HTTP/1.1\r\nHost: x\r\n\r\n");
+  const std::string first = c.ReadUntil("hi\n");
+  EXPECT_NE(first.find("HTTP/1.1 200 "), std::string::npos);
+  // Same connection, second request after the first completed.
+  c.Send("GET /echo?n=7 HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n");
+  const std::string second = c.ReadAll();
+  EXPECT_NE(second.find("n=7"), std::string::npos) << second;
+}
+
+TEST_F(HttpServerTest, ConcurrentClientsAllAnswered) {
+  constexpr int kClients = 8;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([this, i, &ok] {
+      const std::string path = i % 2 == 0 ? "/hello" : "/slow";
+      try {
+        const net::HttpResult res =
+            net::HttpGet("127.0.0.1", server_.port(), path);
+        if (res.status == 200) ++ok;
+      } catch (const std::exception&) {
+        // counted as failure below
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok.load(), kClients);
+  EXPECT_GT(slow_entered_.load(), 0);
+}
+
+TEST_F(HttpServerTest, StopUnblocksAHalfSentRequest) {
+  // A client that sends half a request and then stalls would pin a
+  // handler thread forever without the shutdown() wakeup.
+  RawClient c(server_.port());
+  c.Send("GET /hello HTTP/1.1\r\nHost: ");
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const auto t0 = std::chrono::steady_clock::now();
+  server_.Stop();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_FALSE(server_.running());
+  EXPECT_LT(elapsed, std::chrono::seconds(3));
+  server_.Stop();  // idempotent
+}
+
+TEST_F(HttpServerTest, HandleAfterStartThrows) {
+  EXPECT_THROW(
+      server_.Handle("/late", [](const net::HttpRequest&) {
+        return net::HttpResponse{};
+      }),
+      std::logic_error);
+}
+
+TEST(HttpServerLifecycle, PortReusedAcrossRestart) {
+  net::HttpServer a;
+  a.Handle("/x", [](const net::HttpRequest&) {
+    return net::HttpResponse{};
+  });
+  net::HttpServerConfig cfg;
+  a.Start(cfg);
+  const std::uint16_t port = a.port();
+  EXPECT_FALSE(a.bound_address().empty());
+  a.Stop();
+  // The listener really closed: a second server can take the port.
+  net::HttpServer b;
+  b.Handle("/x", [](const net::HttpRequest&) {
+    return net::HttpResponse{};
+  });
+  cfg.port = port;
+  ASSERT_NO_THROW(b.Start(cfg));
+  EXPECT_EQ(b.port(), port);
+}
+
+TEST(HttpClient, ConnectFailureThrows) {
+  // Port 1 on loopback: nothing listens there in the test container.
+  EXPECT_THROW(net::HttpGet("127.0.0.1", 1, "/"), std::runtime_error);
+}
+
+TEST(ParseListenSpec, AcceptsTheThreeShapes) {
+  std::string addr;
+  std::uint16_t port = 0;
+  net::ParseListenSpec("0.0.0.0:9090", &addr, &port);
+  EXPECT_EQ(addr, "0.0.0.0");
+  EXPECT_EQ(port, 9090);
+  net::ParseListenSpec(":8080", &addr, &port);
+  EXPECT_EQ(addr, "127.0.0.1");
+  EXPECT_EQ(port, 8080);
+  net::ParseListenSpec("7070", &addr, &port);
+  EXPECT_EQ(addr, "127.0.0.1");
+  EXPECT_EQ(port, 7070);
+  net::ParseListenSpec("127.0.0.1:0", &addr, &port);
+  EXPECT_EQ(port, 0);  // ephemeral is legal
+}
+
+TEST(ParseListenSpec, RejectsGarbage) {
+  std::string addr;
+  std::uint16_t port = 0;
+  for (const char* bad :
+       {"", ":", "abc", "1.2.3.4:", "1.2.3.4:x", "1.2.3.4:70000",
+        "1.2.3.4:-1", "9 9"}) {
+    EXPECT_THROW(net::ParseListenSpec(bad, &addr, &port),
+                 std::invalid_argument)
+        << "accepted: " << bad;
+  }
+}
+
+TEST(ParseHttpUrl, AcceptsHostPortPath) {
+  net::ParsedUrl u = net::ParseHttpUrl("http://example.com:8080/statusz");
+  EXPECT_EQ(u.host, "example.com");
+  EXPECT_EQ(u.port, 8080);
+  EXPECT_EQ(u.path, "/statusz");
+  u = net::ParseHttpUrl("http://10.0.0.1");
+  EXPECT_EQ(u.host, "10.0.0.1");
+  EXPECT_EQ(u.port, 80);
+  EXPECT_EQ(u.path, "/");
+}
+
+TEST(ParseHttpUrl, RejectsNonHttp) {
+  for (const char* bad :
+       {"", "https://x", "ftp://x", "example.com", "http://",
+        "http://h:notaport"}) {
+    EXPECT_THROW(net::ParseHttpUrl(bad), std::invalid_argument)
+        << "accepted: " << bad;
+  }
+}
+
+TEST(StatusReason, KnownAndUnknown) {
+  EXPECT_STREQ(net::StatusReason(200), "OK");
+  EXPECT_STREQ(net::StatusReason(404), "Not Found");
+  EXPECT_STREQ(net::StatusReason(405), "Method Not Allowed");
+  EXPECT_STREQ(net::StatusReason(431), "Request Header Fields Too Large");
+  EXPECT_STREQ(net::StatusReason(503), "Service Unavailable");
+  EXPECT_STREQ(net::StatusReason(299), "Unknown");
+}
+
+}  // namespace

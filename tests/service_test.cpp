@@ -17,9 +17,11 @@
 #include <thread>
 #include <vector>
 
+#include "common/telemetry.h"
 #include "core/critic.h"
 #include "core/monitor.h"
 #include "core/score_grid.h"
+#include "service/cycle_stats.h"
 #include "service/journal.h"
 #include "service/queue.h"
 #include "service/retry.h"
@@ -488,6 +490,126 @@ TEST(MonitorStateTest, ChunkedFeedWithSaveLoadMatchesOneShot) {
   const auto open1 = oneshot.OpenAlerts();
   const auto open2 = st3.OpenAlerts();
   ASSERT_EQ(open1.size(), open2.size());
+}
+
+// --- CycleStatsRing ---------------------------------------------------
+
+service::CycleStat MakeStat(std::uint64_t cycle, double total_s,
+                            double latency_s) {
+  service::CycleStat s;
+  s.cycle = cycle;
+  s.batch = "batch-" + std::to_string(cycle);
+  s.total_s = total_s;
+  s.alert_latency_s = latency_s;
+  return s;
+}
+
+TEST(CycleStatsTest, NearestRankMatchesDefinition) {
+  // rank = ceil(q * N) over the sorted samples, 1-based.
+  std::vector<double> v = {5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(service::NearestRank(v, 0.50), 3.0);
+  EXPECT_DOUBLE_EQ(service::NearestRank(v, 0.95), 5.0);
+  EXPECT_DOUBLE_EQ(service::NearestRank(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(service::NearestRank(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(service::NearestRank({7.0}, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(service::NearestRank({}, 0.5), 0.0);
+}
+
+TEST(CycleStatsTest, EmptyRingRollsUpToZero) {
+  service::CycleStatsRing ring;
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.total_recorded(), 0u);
+  EXPECT_TRUE(ring.Recent(10).empty());
+  const auto lat = ring.AlertLatency();
+  EXPECT_EQ(lat.count, 0u);
+  EXPECT_DOUBLE_EQ(lat.p50, 0.0);
+  EXPECT_DOUBLE_EQ(lat.max, 0.0);
+  const auto wall = ring.CycleWall();
+  EXPECT_EQ(wall.count, 0u);
+}
+
+TEST(CycleStatsTest, WraparoundKeepsTheMostRecentInOrder) {
+  service::CycleStatsRing ring(4);
+  for (std::uint64_t c = 1; c <= 10; ++c) {
+    ring.Record(MakeStat(c, 0.1 * static_cast<double>(c), -1.0));
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_EQ(ring.total_recorded(), 10u);
+  // Oldest-first: cycles 7,8,9,10 survive.
+  const auto recent = ring.Recent(100);
+  ASSERT_EQ(recent.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(recent[i].cycle, 7 + i);
+    EXPECT_EQ(recent[i].batch, "batch-" + std::to_string(7 + i));
+  }
+  // Recent(n < size) returns the newest n, still oldest-first.
+  const auto tail = ring.Recent(2);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].cycle, 9u);
+  EXPECT_EQ(tail[1].cycle, 10u);
+}
+
+TEST(CycleStatsTest, RollupsExcludeCyclesWithoutAlerts) {
+  service::CycleStatsRing ring;
+  // Latencies 10..50 on alerting cycles; -1 marks alertless cycles
+  // that must not drag the percentiles toward zero.
+  for (int i = 1; i <= 5; ++i) {
+    ring.Record(MakeStat(static_cast<std::uint64_t>(i),
+                         /*total_s=*/static_cast<double>(i),
+                         /*latency_s=*/10.0 * i));
+    ring.Record(MakeStat(static_cast<std::uint64_t>(100 + i),
+                         /*total_s=*/100.0, /*latency_s=*/-1.0));
+  }
+  const auto lat = ring.AlertLatency();
+  EXPECT_EQ(lat.count, 5u);
+  EXPECT_DOUBLE_EQ(lat.p50, 30.0);
+  EXPECT_DOUBLE_EQ(lat.p95, 50.0);
+  EXPECT_DOUBLE_EQ(lat.max, 50.0);
+  // CycleWall covers every retained record, alertless ones included.
+  const auto wall = ring.CycleWall();
+  EXPECT_EQ(wall.count, 10u);
+  EXPECT_DOUBLE_EQ(wall.max, 100.0);
+}
+
+TEST(CycleStatsTest, ExportSloGaugesPublishesWhenMetricsOn) {
+  telemetry::ResetTelemetry();
+  telemetry::EnableMetrics(true);
+  service::CycleStatsRing ring;
+  ring.Record(MakeStat(1, 2.0, 40.0));
+  ring.Record(MakeStat(2, 4.0, 20.0));
+  ring.ExportSloGauges();
+  EXPECT_DOUBLE_EQ(
+      telemetry::GetGauge("service.slo.alert_latency_p50_s").value(), 20.0);
+  EXPECT_DOUBLE_EQ(
+      telemetry::GetGauge("service.slo.alert_latency_p95_s").value(), 40.0);
+  EXPECT_DOUBLE_EQ(
+      telemetry::GetGauge("service.slo.cycle_wall_p50_s").value(), 2.0);
+  EXPECT_DOUBLE_EQ(
+      telemetry::GetGauge("service.slo.cycle_wall_p95_s").value(), 4.0);
+  EXPECT_DOUBLE_EQ(
+      telemetry::GetGauge("service.slo.cycles_observed").value(), 2.0);
+  telemetry::EnableMetrics(false);
+  telemetry::ResetTelemetry();
+}
+
+TEST(CycleStatsTest, ConcurrentRecordAndSnapshotStayConsistent) {
+  service::CycleStatsRing ring(64);
+  std::thread writer([&ring] {
+    for (std::uint64_t c = 1; c <= 2000; ++c) {
+      ring.Record(MakeStat(c, 0.001, -1.0));
+    }
+  });
+  // Readers must always see a contiguous, ordered suffix of cycles.
+  for (int r = 0; r < 200; ++r) {
+    const auto snap = ring.Recent(64);
+    for (std::size_t i = 1; i < snap.size(); ++i) {
+      ASSERT_EQ(snap[i].cycle, snap[i - 1].cycle + 1);
+    }
+  }
+  writer.join();
+  EXPECT_EQ(ring.total_recorded(), 2000u);
+  EXPECT_EQ(ring.size(), 64u);
 }
 
 TEST(MonitorStateTest, CorruptSnapshotThrows) {

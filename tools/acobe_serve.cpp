@@ -35,9 +35,12 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <cstring>
 #include <limits>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -48,6 +51,7 @@
 #include "common/shutdown.h"
 #include "common/telemetry.h"
 #include "common/version.h"
+#include "net/http_server.h"
 #include "service/supervisor.h"
 
 using namespace acobe;
@@ -71,7 +75,7 @@ void Usage() {
       "             [--backoff-seed=N] [--ingest=strict|permissive]\n"
       "             [--error-budget=X] [--poll-ms=N] [--drain]\n"
       "             [--max-cycles=N] [--health-out=F] [--health-interval-ms=N]\n"
-      "             [--metrics-out=F] [--version]\n"
+      "             [--metrics-out=F] [--listen=ADDR:PORT] [--version]\n"
       "\n"
       "  --watch=DIR         drop directory scanned for READY batches\n"
       "  --out=DIR           journal + alerts.jsonl + ledger.jsonl\n"
@@ -102,7 +106,187 @@ void Usage() {
       "  --drain             process pending batches, then exit\n"
       "  --max-cycles=N      stop after N cycles this process (testing)\n"
       "  --health-out=F      heartbeat JSONL (tools/check_health.py)\n"
-      "  --metrics-out=F     write telemetry metrics JSON to F\n");
+      "  --metrics-out=F     write telemetry metrics JSON to F\n"
+      "  --listen=[A:]P      serve GET /metrics /healthz /readyz /statusz\n"
+      "                      /cycles on address A (default 127.0.0.1) port P\n"
+      "                      (0 = ephemeral; the pick lands in OUT/http.addr)\n");
+}
+
+// --- Observability endpoint JSON composition. The supervisor hands out
+// --- plain snapshot structs; the JSON shape (and its schema tags) is
+// --- this tool's contract with scrapers and acobe-top's remote mode.
+
+std::string JsonStr(const std::string& s) {
+  std::ostringstream os;
+  os << '"';
+  telemetry::JsonEscape(os, s);
+  os << '"';
+  return std::move(os).str();
+}
+
+std::string JsonNum(double v) {
+  std::ostringstream os;
+  telemetry::JsonNumber(os, v);
+  return std::move(os).str();
+}
+
+std::string StatuszJson(const ServiceSupervisor& sup) {
+  const ServiceStatus st = sup.Status();
+  const BuildInfo info = GetBuildInfo();
+  const auto alert_slo = sup.cycle_stats().AlertLatency();
+  const auto wall_slo = sup.cycle_stats().CycleWall();
+  std::ostringstream os;
+  os << "{\"schema\":\"acobe.statusz.v1\",\"tool\":\"acobe-serve\""
+     << ",\"version\":" << JsonStr(info.version)
+     << ",\"build_type\":" << JsonStr(info.build_type)
+     << ",\"simd\":" << JsonStr(info.simd)
+     << ",\"ready\":" << (st.ready ? "true" : "false")
+     << ",\"recovered\":" << (st.recovered ? "true" : "false")
+     << ",\"cycle\":" << st.cycle << ",\"alerts_total\":" << st.alerts_total
+     << ",\"last_batch\":" << JsonStr(st.last_batch);
+  if (st.window_end >= st.window_start) {
+    os << ",\"window\":{\"start\":"
+       << JsonStr(Date::FromDayNumber(st.window_start).ToString())
+       << ",\"end\":" << JsonStr(Date::FromDayNumber(st.window_end).ToString())
+       << "}";
+  } else {
+    os << ",\"window\":null";
+  }
+  if (st.last_scored_day >= 0) {
+    os << ",\"last_scored_day\":"
+       << JsonStr(Date::FromDayNumber(st.last_scored_day).ToString());
+  } else {
+    os << ",\"last_scored_day\":null";
+  }
+  os << ",\"shards\":[";
+  for (std::size_t i = 0; i < st.shards.size(); ++i) {
+    const ShardStatus& s = st.shards[i];
+    if (i) os << ',';
+    os << "{\"shard\":" << i << ",\"queue_rows\":" << s.queue_rows
+       << ",\"queue_bytes\":" << s.queue_bytes
+       << ",\"queue_peak_rows\":" << s.queue_peak_rows
+       << ",\"queue_shed\":" << s.queue_shed
+       << ",\"quarantined\":" << (s.quarantined ? "true" : "false")
+       << ",\"failures\":" << s.failures << "}";
+  }
+  os << "],\"departments\":[";
+  for (std::size_t i = 0; i < st.departments.size(); ++i) {
+    const DepartmentStatus& d = st.departments[i];
+    if (i) os << ',';
+    os << "{\"name\":" << JsonStr(d.name) << ",\"members\":" << d.members
+       << ",\"open_alerts\":" << d.open_alerts << "}";
+  }
+  os << "],\"slo\":{\"cycles_observed\":" << sup.cycle_stats().total_recorded()
+     << ",\"alert_latency_samples\":" << alert_slo.count
+     << ",\"alert_latency_p50_s\":" << JsonNum(alert_slo.p50)
+     << ",\"alert_latency_p95_s\":" << JsonNum(alert_slo.p95)
+     << ",\"cycle_wall_p50_s\":" << JsonNum(wall_slo.p50)
+     << ",\"cycle_wall_p95_s\":" << JsonNum(wall_slo.p95) << "}}\n";
+  return std::move(os).str();
+}
+
+std::string CyclesJson(const ServiceSupervisor& sup, std::size_t n) {
+  const std::vector<service::CycleStat> recent = sup.cycle_stats().Recent(n);
+  std::ostringstream os;
+  os << "{\"schema\":\"acobe.cycles.v1\",\"total_recorded\":"
+     << sup.cycle_stats().total_recorded() << ",\"count\":" << recent.size()
+     << ",\"cycles\":[";
+  for (std::size_t i = 0; i < recent.size(); ++i) {
+    const service::CycleStat& c = recent[i];
+    if (i) os << ',';
+    os << "{\"cycle\":" << c.cycle << ",\"batch\":" << JsonStr(c.batch);
+    if (c.window_end >= c.window_start) {
+      os << ",\"window_start\":"
+         << JsonStr(Date::FromDayNumber(c.window_start).ToString())
+         << ",\"window_end\":"
+         << JsonStr(Date::FromDayNumber(c.window_end).ToString());
+    }
+    if (c.scored_to >= c.scored_from) {
+      os << ",\"scored_from\":"
+         << JsonStr(Date::FromDayNumber(c.scored_from).ToString())
+         << ",\"scored_to\":"
+         << JsonStr(Date::FromDayNumber(c.scored_to).ToString());
+    }
+    os << ",\"events_admitted\":" << c.events_admitted
+       << ",\"events_shed\":" << c.events_shed
+       << ",\"departments_scored\":" << c.departments_scored
+       << ",\"alerts\":" << c.alerts
+       << ",\"queue_peak_rows\":" << c.queue_peak_rows
+       << ",\"ingest_s\":" << JsonNum(c.ingest_s)
+       << ",\"train_s\":" << JsonNum(c.train_s)
+       << ",\"score_s\":" << JsonNum(c.score_s)
+       << ",\"commit_s\":" << JsonNum(c.commit_s)
+       << ",\"total_s\":" << JsonNum(c.total_s)
+       << ",\"batch_age_s\":" << JsonNum(c.batch_age_s)
+       << ",\"alert_latency_s\":" << JsonNum(c.alert_latency_s) << "}";
+  }
+  os << "]}\n";
+  return std::move(os).str();
+}
+
+void RegisterEndpoints(net::HttpServer& http, ServiceSupervisor& sup) {
+  http.Handle("/", [](const net::HttpRequest&) {
+    net::HttpResponse r;
+    r.body =
+        "acobe-serve observability endpoints:\n"
+        "  /metrics   Prometheus text exposition\n"
+        "  /healthz   liveness (200 while the process serves)\n"
+        "  /readyz    readiness (503 until journal replay completes)\n"
+        "  /statusz   JSON service snapshot (acobe.statusz.v1)\n"
+        "  /cycles    JSON per-cycle time-series (acobe.cycles.v1, ?n=K)\n";
+    return r;
+  });
+  http.Handle("/metrics", [&sup](const net::HttpRequest&) {
+    sup.RefreshQueueGauges();  // scrape sees live occupancy
+    net::HttpResponse r;
+    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    std::ostringstream os;
+    telemetry::WriteMetricsProm(os);
+    r.body = std::move(os).str();
+    return r;
+  });
+  http.Handle("/healthz", [](const net::HttpRequest&) {
+    net::HttpResponse r;
+    r.body = "ok\n";
+    return r;
+  });
+  http.Handle("/readyz", [&sup](const net::HttpRequest&) {
+    net::HttpResponse r;
+    if (sup.Ready()) {
+      r.body = "ready\n";
+    } else {
+      r.status = 503;
+      r.body = "starting: journal replay / window rebuild in progress\n";
+    }
+    return r;
+  });
+  http.Handle("/statusz", [&sup](const net::HttpRequest&) {
+    net::HttpResponse r;
+    r.content_type = "application/json";
+    if (!sup.Ready()) {
+      r.status = 503;
+      r.body = "{\"schema\":\"acobe.statusz.v1\",\"ready\":false}\n";
+      return r;
+    }
+    r.body = StatuszJson(sup);
+    return r;
+  });
+  http.Handle("/cycles", [&sup](const net::HttpRequest& req) {
+    net::HttpResponse r;
+    r.content_type = "application/json";
+    std::size_t n = 64;
+    const std::string raw = req.QueryParam("n", "64");
+    try {
+      n = static_cast<std::size_t>(cli::ParseInt("n", raw.c_str(), 1, 4096));
+    } catch (const cli::FlagError&) {
+      r.status = 400;
+      r.content_type = "text/plain; charset=utf-8";
+      r.body = "bad query parameter n (want an integer in [1, 4096])\n";
+      return r;
+    }
+    r.body = CyclesJson(sup, n);
+    return r;
+  });
 }
 
 }  // namespace
@@ -116,6 +300,9 @@ int main(int argc, char** argv) {
   int poll_ms = 500;
   bool drain = false;
   long long max_cycles = 0;  // 0 = unbounded
+  bool listen_enabled = false;
+  std::string listen_address;
+  std::uint16_t listen_port = 0;
 
   const long long kMaxInt = std::numeric_limits<int>::max();
   try {
@@ -193,6 +380,9 @@ int main(int argc, char** argv) {
             static_cast<int>(cli::ParseInt(arg, arg + 21, 10, 3600000));
       } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
         metrics_out = arg + 14;
+      } else if (std::strncmp(arg, "--listen=", 9) == 0) {
+        net::ParseListenSpec(arg + 9, &listen_address, &listen_port);
+        listen_enabled = true;
       } else if (std::strcmp(arg, "--version") == 0) {
         const BuildInfo info = GetBuildInfo();
         std::printf("acobe-serve %s (%s, %s)\n", info.version.c_str(),
@@ -233,6 +423,27 @@ int main(int argc, char** argv) {
   int exit_code = 0;
   try {
     ServiceSupervisor sup(cfg);
+    // The server is declared after `sup` so unwinding stops it (joining
+    // every handler thread that captured &sup) before `sup` dies. It
+    // starts *before* sup.Start(): /healthz answers 200 and /readyz 503
+    // throughout journal replay, flipping to ready only when Start()
+    // returns.
+    net::HttpServer http;
+    if (listen_enabled) {
+      RegisterEndpoints(http, sup);
+      net::HttpServerConfig hcfg;
+      hcfg.address = listen_address;
+      hcfg.port = listen_port;
+      http.Start(hcfg);
+      std::filesystem::create_directories(cfg.out_dir);
+      const std::string addr_path =
+          (std::filesystem::path(cfg.out_dir) / "http.addr").string();
+      std::ofstream addr_out(addr_path, std::ios::trunc);
+      addr_out << http.bound_address() << "\n";
+      addr_out.close();
+      std::fprintf(stderr, "acobe-serve: listening on http://%s\n",
+                   http.bound_address().c_str());
+    }
     health::SetStage("start");
     sup.Start();
     if (sup.recovered()) {

@@ -1,7 +1,9 @@
 // acobe-top: terminal viewer for a live "acobe.health.v1" heartbeat
-// file (written by acobe-detect/acobe-gen --health-out).
+// file (written by acobe-detect/acobe-gen --health-out) or, with
+// --url, for a resident acobe-serve daemon's observability endpoint.
 //
 //   acobe-top HEALTH_FILE [--once] [--interval-ms=N] [--spans=N]
+//   acobe-top --url=http://HOST:PORT [--once] [--interval-ms=N]
 //
 // Follow mode (the default) repaints a dashboard every --interval-ms
 // (default 1000): tool + uptime, the current stage with a progress bar
@@ -15,6 +17,13 @@
 // wins, so a heartbeat torn by a crash (or a writer mid-append) is
 // skipped, never fatal.
 //
+// Remote mode (--url) polls GET /statusz and /cycles instead: service
+// readiness, window span, per-shard queue occupancy and quarantine
+// state, open alerts per department, the alert-latency/cycle-wall SLO
+// rollups, and the recent per-cycle wall-time breakdown. A fetch error
+// in follow mode renders as "waiting" (the daemon may be restarting);
+// with --once it exits 1.
+//
 // Exit codes: 0 ok, 1 no heartbeat could be read, 2 usage.
 
 #include <algorithm>
@@ -23,6 +32,7 @@
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -30,6 +40,7 @@
 #include "cli_util.h"
 #include "common/faults.h"
 #include "common/json.h"
+#include "net/http_client.h"
 
 using namespace acobe;
 
@@ -38,9 +49,12 @@ namespace {
 void Usage() {
   std::printf(
       "acobe-top HEALTH_FILE [--once] [--interval-ms=N] [--spans=N]\n"
+      "acobe-top --url=http://HOST:PORT [--once] [--interval-ms=N]\n"
       "  --once            render the latest heartbeat once and exit\n"
       "  --interval-ms=N   repaint period in follow mode (default 1000)\n"
       "  --spans=N         span-profile rows shown (default 12)\n"
+      "  --url=U           poll a running acobe-serve daemon's /statusz\n"
+      "                    and /cycles instead of reading a file\n"
       "  --version         print build identity and exit\n");
 }
 
@@ -221,10 +235,152 @@ void Render(std::ostream& out, const json::Value& hb, int span_rows) {
   }
 }
 
+// --- Remote (daemon) dashboard ---------------------------------------
+
+/// Fetches `path` from the daemon and parses the JSON body. Throws
+/// (std::runtime_error / json::ParseError) on any failure, including
+/// non-200 statuses other than 503 (503 bodies are valid "not ready"
+/// JSON and render as such).
+json::Value FetchJson(const net::ParsedUrl& base, const std::string& path) {
+  const net::HttpResult res = net::HttpGet(base.host, base.port, path);
+  if (res.status != 200 && res.status != 503) {
+    throw std::runtime_error(path + " answered HTTP " +
+                             std::to_string(res.status));
+  }
+  return json::Value::Parse(res.body);
+}
+
+/// One full repaint of the daemon dashboard from /statusz + /cycles.
+void RenderStatus(std::ostream& out, const json::Value& status,
+                  const json::Value& cycles) {
+  char line[256];
+  const bool ready = status.GetBool("ready", false);
+  std::snprintf(line, sizeof(line), "%s %s  cycle %-6.0f alerts %-6.0f %s\n",
+                status.GetString("tool", "acobe-serve").c_str(),
+                status.GetString("version", "?").c_str(),
+                status.GetNumber("cycle", 0),
+                status.GetNumber("alerts_total", 0),
+                ready ? "(ready)" : "(starting: replay in progress)");
+  out << line;
+  if (!ready) return;
+
+  if (const json::Value* window = status.Get("window");
+      window != nullptr && window->is_object()) {
+    out << "window " << window->GetString("start", "?") << ".."
+        << window->GetString("end", "?") << "  last scored "
+        << status.GetString("last_scored_day", "-") << "  last batch "
+        << status.GetString("last_batch", "-") << "\n";
+  } else {
+    out << "window -  (no events ingested yet)\n";
+  }
+
+  if (const json::Value* slo = status.Get("slo");
+      slo != nullptr && slo->is_object()) {
+    std::snprintf(line, sizeof(line),
+                  "slo  alert-latency p50 %s p95 %s (%.0f sample(s))  "
+                  "cycle-wall p50 %s p95 %s\n\n",
+                  HumanSeconds(slo->GetNumber("alert_latency_p50_s", 0))
+                      .c_str(),
+                  HumanSeconds(slo->GetNumber("alert_latency_p95_s", 0))
+                      .c_str(),
+                  slo->GetNumber("alert_latency_samples", 0),
+                  HumanSeconds(slo->GetNumber("cycle_wall_p50_s", 0)).c_str(),
+                  HumanSeconds(slo->GetNumber("cycle_wall_p95_s", 0)).c_str());
+    out << line;
+  }
+
+  if (const json::Value* shards = status.Get("shards");
+      shards != nullptr && shards->is_array() && shards->size() > 0) {
+    out << "  shard   queue rows   queue bytes    peak rows       shed"
+           "   state\n";
+    for (std::size_t i = 0; i < shards->size(); ++i) {
+      const json::Value& s = (*shards)[i];
+      std::string state = "ok";
+      if (s.GetBool("quarantined", false)) {
+        state = "QUARANTINED";
+      } else if (s.GetNumber("failures", 0) > 0) {
+        std::snprintf(line, sizeof(line), "ok (%.0f failure(s))",
+                      s.GetNumber("failures", 0));
+        state = line;
+      }
+      std::snprintf(line, sizeof(line),
+                    "  %5.0f %12.0f %13s %12.0f %10.0f   %s\n",
+                    s.GetNumber("shard", 0), s.GetNumber("queue_rows", 0),
+                    HumanBytes(s.GetNumber("queue_bytes", 0)).c_str(),
+                    s.GetNumber("queue_peak_rows", 0),
+                    s.GetNumber("queue_shed", 0), state.c_str());
+      out << line;
+    }
+    out << '\n';
+  }
+
+  if (const json::Value* depts = status.Get("departments");
+      depts != nullptr && depts->is_array() && depts->size() > 0) {
+    out << "  department                       members   open alerts\n";
+    for (std::size_t i = 0; i < depts->size(); ++i) {
+      const json::Value& d = (*depts)[i];
+      std::snprintf(line, sizeof(line), "  %-32s %7.0f %13.0f\n",
+                    d.GetString("name", "?").c_str(),
+                    d.GetNumber("members", 0), d.GetNumber("open_alerts", 0));
+      out << line;
+    }
+    out << '\n';
+  }
+
+  if (const json::Value* recent = cycles.Get("cycles");
+      recent != nullptr && recent->is_array() && recent->size() > 0) {
+    out << "  cycle  batch         events    alerts   ingest s    "
+           "train s    score s   commit s    total s\n";
+    for (std::size_t i = 0; i < recent->size(); ++i) {
+      const json::Value& c = (*recent)[i];
+      std::snprintf(line, sizeof(line),
+                    "  %5.0f  %-12s %8.0f %9.0f %10.2f %10.2f %10.2f "
+                    "%10.2f %10.2f\n",
+                    c.GetNumber("cycle", 0),
+                    c.GetString("batch", "?").c_str(),
+                    c.GetNumber("events_admitted", 0),
+                    c.GetNumber("alerts", 0), c.GetNumber("ingest_s", 0),
+                    c.GetNumber("train_s", 0), c.GetNumber("score_s", 0),
+                    c.GetNumber("commit_s", 0), c.GetNumber("total_s", 0));
+      out << line;
+    }
+  }
+}
+
+/// Remote mode main loop; mirrors the file-mode once/follow contract.
+int RunRemote(const std::string& url, bool once, int interval_ms) {
+  net::ParsedUrl base;
+  try {
+    base = net::ParseHttpUrl(url);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "acobe-top: %s\n", e.what());
+    return kExitUsage;
+  }
+
+  for (;;) {
+    std::ostringstream frame;
+    bool fetched = false;
+    if (!once) frame << "\033[H\033[2J";  // home + clear
+    try {
+      const json::Value status = FetchJson(base, "/statusz");
+      const json::Value cycles = FetchJson(base, "/cycles?n=8");
+      RenderStatus(frame, status, cycles);
+      fetched = true;
+    } catch (const std::exception& e) {
+      frame << "acobe-top: waiting for " << url << " (" << e.what() << ")\n";
+    }
+    std::fputs(frame.str().c_str(), stdout);
+    std::fflush(stdout);
+    if (once) return fetched ? 0 : kExitFailure;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string path;
+  std::string url;
   bool once = false;
   int interval_ms = 1000;
   int span_rows = 12;
@@ -234,6 +390,8 @@ int main(int argc, char** argv) {
       const char* arg = argv[i];
       if (std::strcmp(arg, "--once") == 0) {
         once = true;
+      } else if (std::strncmp(arg, "--url=", 6) == 0) {
+        url = arg + 6;
       } else if (std::strncmp(arg, "--interval-ms=", 14) == 0) {
         interval_ms =
             static_cast<int>(cli::ParseInt(arg, arg + 14, 10, 3600000));
@@ -260,6 +418,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "acobe-top: %s\n", e.what());
     Usage();
     return kExitUsage;
+  }
+  if (!url.empty()) {
+    if (!path.empty()) {
+      std::fprintf(stderr,
+                   "acobe-top: --url and HEALTH_FILE are exclusive\n");
+      Usage();
+      return kExitUsage;
+    }
+    return RunRemote(url, once, interval_ms);
   }
   if (path.empty()) {
     Usage();

@@ -2,6 +2,7 @@
 """Validate an acobe.health.v1 heartbeat file (--health-out output).
 
 Usage: check_health.py HEALTH_FILE [--require-final] [--min-beats=N]
+                       [--daemon]
 
 Checks, per line and across the file:
   - every line parses as JSON with schema acobe.health.v1 (a torn final
@@ -14,15 +15,24 @@ Checks, per line and across the file:
   - stage/stages/rss/cpu fields exist with sane types and values,
   - with --require-final: the last beat has final == true and its stage
     is "done", and at least --min-beats lines exist (default 2: the
-    startup beat plus the final one).
+    startup beat plus the final one),
+  - with --daemon: the file came from acobe_serve, so the per-shard
+    queue gauges (service.queue.rows.shardK / .bytes.shardK /
+    .shed_total.shardK) must appear in at least one beat, agree on the
+    shard count, keep bytes a whole multiple of the packed-event size,
+    and keep each shard's shed_total nondecreasing across beats.
 
 Exit code 0 on success, 1 with a diagnostic on the first failure.
 """
 
 import json
+import re
 import sys
 
 SCHEMA = "acobe.health.v1"
+PACKED_EVENT_BYTES = 24  # sizeof(acobe::PackedEvent), static_asserted
+QUEUE_GAUGE_RE = re.compile(
+    r"^service\.queue\.(rows|bytes|shed_total)\.shard(\d+)$")
 
 
 def fail(msg):
@@ -84,9 +94,50 @@ def check_beat(i, beat):
             fail(f"line {i}: span {s['name']!r} self_ms > total_ms")
 
 
+def check_daemon_gauges(beats):
+    """Daemon-mode validation of the per-shard queue gauges."""
+    shards_seen = set()
+    beats_with_gauges = 0
+    prev_shed = {}
+    for i, beat in enumerate(beats, 1):
+        queue = {}  # shard -> {kind: value}
+        for name, value in beat["gauges"].items():
+            m = QUEUE_GAUGE_RE.match(name)
+            if not m:
+                continue
+            kind, shard = m.group(1), int(m.group(2))
+            queue.setdefault(shard, {})[kind] = value
+        if not queue:
+            continue
+        beats_with_gauges += 1
+        shards_seen.update(queue)
+        for shard, kinds in sorted(queue.items()):
+            for kind in ("rows", "bytes", "shed_total"):
+                if kind not in kinds:
+                    fail(f"line {i}: shard {shard} lacks queue gauge "
+                         f"{kind!r} (has {sorted(kinds)})")
+                if kinds[kind] < 0:
+                    fail(f"line {i}: shard {shard} queue {kind} negative")
+            if kinds["bytes"] % PACKED_EVENT_BYTES != 0:
+                fail(f"line {i}: shard {shard} queue bytes "
+                     f"{kinds['bytes']} not a multiple of "
+                     f"{PACKED_EVENT_BYTES}")
+            if kinds["shed_total"] < prev_shed.get(shard, 0):
+                fail(f"line {i}: shard {shard} shed_total decreased "
+                     f"({prev_shed[shard]} -> {kinds['shed_total']})")
+            prev_shed[shard] = kinds["shed_total"]
+    if beats_with_gauges == 0:
+        fail("--daemon: no beat carries service.queue.* gauges")
+    if shards_seen != set(range(len(shards_seen))):
+        fail(f"--daemon: shard ids not contiguous from 0: "
+             f"{sorted(shards_seen)}")
+    return beats_with_gauges, len(shards_seen)
+
+
 def main():
     args = [a for a in sys.argv[1:] if not a.startswith("--")]
     require_final = "--require-final" in sys.argv
+    daemon = "--daemon" in sys.argv
     min_beats = 2
     for a in sys.argv[1:]:
         if a.startswith("--min-beats="):
@@ -141,10 +192,16 @@ def main():
         if last["stage"]["name"] != "done":
             fail(f"final stage {last['stage']['name']!r} != 'done'")
 
+    daemon_note = ""
+    if daemon:
+        gauge_beats, n_shards = check_daemon_gauges(beats)
+        daemon_note = (f", queue gauges for {n_shards} shard(s) "
+                       f"in {gauge_beats} beat(s)")
+
     tools = {b["tool"] for b in beats}
     print(f"check_health: OK: {len(beats)} beats from {'/'.join(sorted(tools))}"
           f", {len(prev_counters)} counters, "
-          f"{len(beats[-1]['stages'])} stages")
+          f"{len(beats[-1]['stages'])} stages{daemon_note}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,212 @@
+#!/usr/bin/env python3
+"""Validator for Prometheus text exposition format 0.0.4.
+
+Checks the invariants a real Prometheus scraper enforces on the output
+of telemetry::WriteMetricsProm (the /metrics endpoint and the
+--prom-out file):
+
+  - metric names match [a-zA-Z_:][a-zA-Z0-9_:]*
+  - label names match [a-zA-Z_][a-zA-Z0-9_]*; label values are quoted
+    with only \\\\ , \\" and \\n escapes
+  - every sample parses as NAME[{LABELS}] VALUE [TIMESTAMP] with a
+    float / +Inf / -Inf / NaN value
+  - a # TYPE line names a valid type, appears at most once per metric,
+    and precedes every sample of that metric
+  - samples of one metric family are contiguous (no interleaving)
+  - no duplicate sample (same name + label set)
+  - summaries/histograms only use their reserved _sum/_count/quantile
+    shapes
+
+Usage:
+  check_prom.py FILE            validate a file ('-' = stdin)
+  --require-prefix=acobe_       every family must carry the prefix
+  --min-samples=N               fail when fewer than N samples parsed
+
+Exit 0 when valid; exit 1 with one diagnostic per violation.
+"""
+
+import argparse
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+VALUE_RE = re.compile(
+    r"^(?:[+-]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?|[+-]?Inf|NaN)$")
+TYPES = {"counter", "gauge", "summary", "histogram", "untyped"}
+SUFFIXES = ("_sum", "_count", "_bucket", "_total")
+
+
+def base_family(name):
+    """Strips the reserved sample suffixes off a summary/histogram
+    sample name so it groups with its family."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def parse_labels(raw, err):
+    """Parses the text between { and }, returning a sorted tuple of
+    (name, value) pairs; reports violations through err()."""
+    labels = []
+    i = 0
+    while i < len(raw):
+        m = re.match(r"\s*([a-zA-Z_][a-zA-Z0-9_]*)\s*=\s*\"", raw[i:])
+        if not m:
+            err(f"malformed label block at ...{raw[i:i+30]!r}")
+            return tuple(labels)
+        name = m.group(1)
+        i += m.end()
+        value = []
+        while i < len(raw):
+            c = raw[i]
+            if c == "\\":
+                if i + 1 >= len(raw) or raw[i + 1] not in ('"', "\\", "n"):
+                    err(f"bad escape in label value of {name}")
+                    return tuple(labels)
+                value.append(raw[i:i + 2])
+                i += 2
+            elif c == '"':
+                i += 1
+                break
+            elif c == "\n":
+                err(f"raw newline in label value of {name}")
+                return tuple(labels)
+            else:
+                value.append(c)
+                i += 1
+        else:
+            err(f"unterminated label value of {name}")
+            return tuple(labels)
+        labels.append((name, "".join(value)))
+        rest = raw[i:].lstrip()
+        if rest.startswith(","):
+            i = len(raw) - len(rest) + 1
+        elif rest == "":
+            break
+        else:
+            err(f"garbage after label {name}: {rest[:20]!r}")
+            break
+    return tuple(sorted(labels))
+
+
+def validate(lines, require_prefix=None, min_samples=0):
+    errors = []
+    typed = {}          # family -> declared type
+    helped = set()
+    family_done = set()  # families whose run of samples has ended
+    current_family = None
+    samples_seen = set()
+    n_samples = 0
+
+    def err(lineno, msg):
+        errors.append(f"line {lineno}: {msg}")
+
+    for lineno, line in enumerate(lines, start=1):
+        line = line.rstrip("\n")
+        if line.strip() == "":
+            continue
+        if line.startswith("#"):
+            m = re.match(r"^# (HELP|TYPE) ([^ ]+)(?: (.*))?$", line)
+            if not m:
+                # Arbitrary comments are legal; only HELP/TYPE are parsed.
+                if re.match(r"^#\s*(HELP|TYPE)\b", line):
+                    err(lineno, f"malformed {line.split()[1]} line")
+                continue
+            kind, name, rest = m.group(1), m.group(2), m.group(3) or ""
+            if not NAME_RE.match(name):
+                err(lineno, f"invalid metric name in {kind}: {name!r}")
+                continue
+            if kind == "HELP":
+                if name in helped:
+                    err(lineno, f"duplicate HELP for {name}")
+                helped.add(name)
+                bad = re.search(r"\\(?![\\n])", rest)
+                if bad:
+                    err(lineno, f"bad escape in HELP text for {name}")
+            else:
+                if rest not in TYPES:
+                    err(lineno, f"invalid TYPE {rest!r} for {name}")
+                if name in typed:
+                    err(lineno, f"duplicate TYPE for {name}")
+                if name in family_done or name == current_family:
+                    err(lineno, f"TYPE for {name} after its samples")
+                typed[name] = rest
+            continue
+
+        # Sample line: NAME[{LABELS}] VALUE [TIMESTAMP]
+        m = re.match(r"^([^\s{]+)(\{.*\})?\s+(\S+)(?:\s+(-?\d+))?\s*$", line)
+        if not m:
+            err(lineno, f"unparseable sample line: {line[:60]!r}")
+            continue
+        name, labelblock, value = m.group(1), m.group(2), m.group(3)
+        if not NAME_RE.match(name):
+            err(lineno, f"invalid metric name: {name!r}")
+        if require_prefix and not name.startswith(require_prefix):
+            err(lineno, f"metric {name} lacks required prefix "
+                        f"{require_prefix!r}")
+        if not VALUE_RE.match(value):
+            err(lineno, f"invalid sample value for {name}: {value!r}")
+
+        labels = ()
+        if labelblock:
+            labels = parse_labels(labelblock[1:-1],
+                                  lambda msg: err(lineno, msg))
+            for lname, _ in labels:
+                if not LABEL_NAME_RE.match(lname):
+                    err(lineno, f"invalid label name {lname!r} on {name}")
+
+        family = base_family(name)
+        ftype = typed.get(family)
+        if ftype not in ("summary", "histogram") and family != name:
+            # _sum/_count only belong to summary/histogram families;
+            # for anything else the full name is its own family.
+            family = name
+        if family != current_family:
+            if family in family_done:
+                err(lineno, f"samples of {family} are interleaved with "
+                            f"other metrics")
+            if current_family is not None:
+                family_done.add(current_family)
+            current_family = family
+
+        key = (name, labels)
+        if key in samples_seen:
+            err(lineno, f"duplicate sample {name}{dict(labels)}")
+        samples_seen.add(key)
+        n_samples += 1
+
+    if n_samples < min_samples:
+        errors.append(
+            f"only {n_samples} samples parsed (need >= {min_samples})")
+    return errors, n_samples
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("file", help="exposition file, or '-' for stdin")
+    ap.add_argument("--require-prefix", default=None)
+    ap.add_argument("--min-samples", type=int, default=0)
+    args = ap.parse_args()
+
+    if args.file == "-":
+        lines = sys.stdin.readlines()
+    else:
+        with open(args.file, "r", encoding="utf-8") as fh:
+            lines = fh.readlines()
+
+    errors, n_samples = validate(lines, args.require_prefix,
+                                 args.min_samples)
+    if errors:
+        for e in errors:
+            print(f"check_prom: {e}", file=sys.stderr)
+        print(f"check_prom: FAIL ({len(errors)} violation(s), "
+              f"{n_samples} sample(s))", file=sys.stderr)
+        return 1
+    print(f"check_prom: OK ({n_samples} sample(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

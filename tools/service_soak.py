@@ -24,6 +24,12 @@ interrupted. This harness proves it the blunt way:
   6. validate the final process's heartbeat file with check_health.py
      --require-final.
 
+With --with-http every soak-side daemon additionally runs the embedded
+observability server (--listen=127.0.0.1:0) while the reference run
+does not, proving the endpoint plane never perturbs detection output,
+and the heartbeat check also enforces the per-shard queue gauges
+(check_health.py --daemon).
+
 Everything is driven by one --seed, so a failure reproduces.
 
 Exit code 0 on success, 1 with a diagnostic on the first failure.
@@ -132,6 +138,10 @@ def main():
     ap.add_argument("--workdir", default=None)
     ap.add_argument("--seed", type=int, default=1)
     ap.add_argument("--min-kills", type=int, default=12)
+    ap.add_argument("--with-http", action="store_true",
+                    help="run every soak daemon with --listen=127.0.0.1:0 "
+                         "(the reference run stays serverless; outputs "
+                         "must still match byte-for-byte)")
     ap.add_argument("--keep", action="store_true",
                     help="leave the workdir behind for inspection")
     args = ap.parse_args()
@@ -170,13 +180,14 @@ def main():
     rng = random.Random(args.seed)
     kills = 0
     kill_stages = []
+    http_args = ["--listen=127.0.0.1:0"] if args.with_http else []
 
     def killed_attempt(delay):
         """Starts the daemon, SIGKILLs it after `delay` seconds.
         Returns True when the kill actually landed mid-run."""
         nonlocal kills
         proc = subprocess.Popen(
-            serve_argv(args.serve, soak_watch, soak_out),
+            serve_argv(args.serve, soak_watch, soak_out, http_args),
             stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
         time.sleep(delay)
         if proc.poll() is not None:
@@ -190,7 +201,8 @@ def main():
     def run_to_completion(extra=()):
         for attempt in range(5):
             proc = subprocess.run(
-                serve_argv(args.serve, soak_watch, soak_out, extra),
+                serve_argv(args.serve, soak_watch, soak_out,
+                           http_args + list(extra)),
                 stdout=subprocess.DEVNULL, stderr=subprocess.PIPE)
             if proc.returncode == 0:
                 return
@@ -280,10 +292,12 @@ def main():
 
     log("validating final-run heartbeats")
     run_checked([sys.executable, args.check_health,
-                 os.path.join(soak_out, "health.jsonl"), "--require-final"],
+                 os.path.join(soak_out, "health.jsonl"), "--require-final"]
+                + (["--daemon"] if args.with_http else []),
                 "check_health.py")
 
-    log(f"PASS: {kills} kills, output bit-identical to uninterrupted run")
+    log(f"PASS: {kills} kills, output bit-identical to uninterrupted run"
+        + (" (observability server enabled)" if args.with_http else ""))
     if not args.keep:
         shutil.rmtree(workdir, ignore_errors=True)
 
